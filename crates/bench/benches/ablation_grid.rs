@@ -1,0 +1,57 @@
+//! Ablation: reducer-grid resolution.
+//!
+//! The paper fixes 64 reducers (8x8). This ablation sweeps the grid side
+//! and reports how C-Rep's marking and communication respond: finer grids
+//! mean more crossing rectangles (more marked) but smaller cells to
+//! replicate across; coarser grids mark less but each reducer does more
+//! local work. A design-space datapoint the paper does not explore.
+
+use mwsj_bench::{fmt_time, measure, print_header, scaled_extent, scaled_n};
+use mwsj_core::{Algorithm, Cluster, ClusterConfig};
+use mwsj_datagen::SyntheticConfig;
+use mwsj_query::Query;
+
+fn main() {
+    let extent = scaled_extent(100_000.0);
+    let n = scaled_n(2_000_000);
+    let gen = |seed: u64| {
+        let mut cfg = SyntheticConfig::paper_default(n, seed);
+        cfg.x_range = (0.0, extent);
+        cfg.y_range = (0.0, extent);
+        cfg.generate()
+    };
+    let (r1, r2, r3) = (gen(41), gen(42), gen(43));
+    let rels: [&[_]; 3] = [&r1, &r2, &r3];
+    let query = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+
+    print_header(
+        "Ablation: grid resolution",
+        "Q2 under varying reducer-grid sides (the paper fixes 8x8)",
+        &format!("nI={n}, space [0,{extent:.0}]²"),
+        &[
+            "grid", "tuples", "t C-Rep", "t C-Rep-L", "#Recs C-Rep", "#Recs C-Rep-L",
+            "max/mean reducer load",
+        ],
+    );
+
+    for side in [2u32, 4, 8, 16] {
+        let cluster = Cluster::new(ClusterConfig::for_space((0.0, extent), (0.0, extent), side));
+        let crep = measure(&cluster, &query, &rels, Algorithm::ControlledReplicate);
+        let crepl = measure(&cluster, &query, &rels, Algorithm::ControlledReplicateLimit);
+        assert_eq!(crep.output.tuple_count, crepl.output.tuple_count);
+        let join_job = &crep.output.report.jobs[1];
+        let mean = join_job.reduce_input_records as f64 / f64::from(side * side);
+        let skew = join_job.max_partition_records as f64 / mean.max(1.0);
+        println!(
+            "{side}x{side} | {} | {} | {} | {} ({}) | {} ({}) | {:.2}",
+            crep.output.len(),
+            fmt_time(crep.wall),
+            fmt_time(crepl.wall),
+            crep.output.stats.rectangles_replicated,
+            crep.output.stats.rectangles_after_replication,
+            crepl.output.stats.rectangles_replicated,
+            crepl.output.stats.rectangles_after_replication,
+            skew,
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Ablation: designated-cell pruning in the reducer-local matcher.
+//!
+//! C-Rep round 2 may deliver every member of a tuple to many reducers; the
+//! naive reducer enumerates the tuple at each and keeps it only at the
+//! designated cell (§6.2). `multiway_cell` pushes that test into the
+//! backtracking. This ablation measures both strategies over the same
+//! per-cell inputs.
+
+use std::time::Instant;
+
+use mwsj_bench::{print_header, scaled_extent, scaled_n};
+use mwsj_datagen::SyntheticConfig;
+use mwsj_local::{dedup, multiway, multiway_cell, LocalRect};
+use mwsj_partition::Grid;
+use mwsj_query::Query;
+
+fn main() {
+    let extent = scaled_extent(100_000.0);
+    let n = scaled_n(2_000_000);
+    let grid = Grid::square((0.0, extent), (0.0, extent), 8);
+    let query = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let gen = |seed: u64| {
+        let mut cfg = SyntheticConfig::paper_default(n, seed);
+        cfg.x_range = (0.0, extent);
+        cfg.y_range = (0.0, extent);
+        cfg.generate()
+    };
+    let rels_full = [gen(71), gen(72), gen(73)];
+
+    // Simulate C-Rep round 2 delivery: replicate everything f1 (the worst
+    // case, i.e. All-Replicate's reducer inputs).
+    let mut per_cell: Vec<Vec<Vec<LocalRect>>> =
+        vec![vec![Vec::new(); 3]; grid.num_cells() as usize];
+    for (pos, rel) in rels_full.iter().enumerate() {
+        for (id, r) in rel.iter().enumerate() {
+            for cell in grid.fourth_quadrant_cells(r) {
+                per_cell[cell.0 as usize][pos].push((*r, id as u32));
+            }
+        }
+    }
+
+    print_header(
+        "Ablation: matcher pruning",
+        "reducer-local enumeration with vs without designated-cell pruning",
+        &format!("Q2, nI={n}, f1-replicated inputs over an 8x8 grid"),
+        &["strategy", "tuples", "time"],
+    );
+
+    // Naive: enumerate everything per cell, filter by designated cell.
+    let t0 = Instant::now();
+    let mut naive = 0u64;
+    for cell in grid.cells() {
+        let rels = &per_cell[cell.0 as usize];
+        multiway::multiway_join(&query, rels, |tuple| {
+            let rects: Vec<_> = tuple.iter().map(|&(r, _)| r).collect();
+            if dedup::multiway_tuple_cell(&grid, &rects) == cell {
+                naive += 1;
+            }
+        });
+    }
+    let naive_t = t0.elapsed();
+    println!("enumerate-then-filter | {naive} | {naive_t:?}");
+
+    // Pruned: designated-cell bounds inside the backtracking.
+    let t0 = Instant::now();
+    let mut pruned = 0u64;
+    for cell in grid.cells() {
+        let rels = &per_cell[cell.0 as usize];
+        multiway_cell::multiway_join_at_cell(&query, rels, &grid, cell, |_| pruned += 1);
+    }
+    let pruned_t = t0.elapsed();
+    println!("designated-cell-pruned | {pruned} | {pruned_t:?}");
+
+    assert_eq!(naive, pruned, "both strategies must agree");
+    println!(
+        "\nspeedup: {:.2}x",
+        naive_t.as_secs_f64() / pruned_t.as_secs_f64()
+    );
+}

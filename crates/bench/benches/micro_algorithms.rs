@@ -1,0 +1,41 @@
+//! End-to-end algorithm comparison on a small fixed workload — the
+//! Criterion-tracked counterpart of the table benches (regression tracking
+//! for the full distributed pipelines).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mwsj_core::{Algorithm, Cluster, ClusterConfig, RunConfig};
+use mwsj_datagen::SyntheticConfig;
+use mwsj_query::Query;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let extent = 10_000.0;
+    let gen = |seed: u64| {
+        let mut cfg = SyntheticConfig::paper_default(5_000, seed);
+        cfg.x_range = (0.0, extent);
+        cfg.y_range = (0.0, extent);
+        cfg.generate()
+    };
+    let (r1, r2, r3) = (gen(1), gen(2), gen(3));
+    let cluster = Cluster::new(ClusterConfig::for_space((0.0, extent), (0.0, extent), 8));
+    let query = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+
+    let mut group = c.benchmark_group("algorithms_q2_5k");
+    group.sample_size(10);
+    for alg in Algorithm::ALL {
+        group.bench_function(alg.name(), |b| {
+            b.iter(|| {
+                black_box(cluster.run_with(
+                    &query,
+                    &[&r1, &r2, &r3],
+                    alg,
+                    RunConfig::counting(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

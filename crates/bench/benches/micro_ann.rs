@@ -1,0 +1,36 @@
+//! Micro-benchmark for the nearest-neighbor joins (§10 future work): the
+//! three-round distributed ANN/kNN vs the brute-force reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mwsj_core::ann::{ann_brute_force, ann_join, knn_join};
+use mwsj_core::{Cluster, ClusterConfig};
+use mwsj_datagen::SyntheticConfig;
+use std::hint::black_box;
+
+fn bench_ann(c: &mut Criterion) {
+    let extent = 20_000.0;
+    let gen = |seed: u64| {
+        let mut cfg = SyntheticConfig::paper_default(5_000, seed);
+        cfg.x_range = (0.0, extent);
+        cfg.y_range = (0.0, extent);
+        cfg.generate()
+    };
+    let (outer, inner) = (gen(1), gen(2));
+    let cluster = Cluster::new(ClusterConfig::for_space((0.0, extent), (0.0, extent), 8));
+
+    let mut group = c.benchmark_group("ann_5k");
+    group.sample_size(10);
+    group.bench_function("distributed_ann", |b| {
+        b.iter(|| black_box(ann_join(&cluster, &outer, &inner).len()));
+    });
+    group.bench_function("distributed_knn_k5", |b| {
+        b.iter(|| black_box(knn_join(&cluster, &outer, &inner, 5).len()));
+    });
+    group.bench_function("brute_force_baseline", |b| {
+        b.iter(|| black_box(ann_brute_force(&outer, &inner).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ann);
+criterion_main!(benches);

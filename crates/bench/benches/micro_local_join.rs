@@ -1,0 +1,50 @@
+//! Micro-benchmarks for the reducer-local joins: 2-way plane sweep vs the
+//! multi-way backtracking matcher restricted to two relations, and the
+//! matcher on a 3-chain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mwsj_datagen::SyntheticConfig;
+use mwsj_local::{multiway, planesweep, LocalRect};
+use mwsj_query::Query;
+use std::hint::black_box;
+
+fn relation(n: usize, seed: u64) -> Vec<LocalRect> {
+    let mut cfg = SyntheticConfig::paper_default(n, seed);
+    cfg.x_range = (0.0, 10_000.0);
+    cfg.y_range = (0.0, 10_000.0);
+    cfg.generate()
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (r, i as u32))
+        .collect()
+}
+
+fn bench_local(c: &mut Criterion) {
+    let a = relation(3_000, 1);
+    let b = relation(3_000, 2);
+    let d3 = relation(3_000, 3);
+    let q2 = Query::parse("A ov B").unwrap();
+    let q3 = Query::parse("A ov B and B ov C").unwrap();
+
+    let mut group = c.benchmark_group("local_join");
+    group.sample_size(20);
+    group.bench_function("plane_sweep_2way_3k", |bch| {
+        bch.iter(|| black_box(planesweep::sweep_join_pairs(&a, &b, 0.0).len()));
+    });
+    group.bench_function("matcher_2way_3k", |bch| {
+        bch.iter(|| {
+            let rels = vec![a.clone(), b.clone()];
+            black_box(multiway::multiway_join_ids(&q2, &rels).len())
+        });
+    });
+    group.bench_function("matcher_3chain_3k", |bch| {
+        bch.iter(|| {
+            let rels = vec![a.clone(), b.clone(), d3.clone()];
+            black_box(multiway::multiway_join_ids(&q3, &rels).len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_local);
+criterion_main!(benches);

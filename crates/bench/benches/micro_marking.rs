@@ -1,0 +1,51 @@
+//! Micro-benchmark for the C-Rep round-1 marking procedure (§7.4): the cost
+//! of evaluating conditions C1-C4 per reducer, for overlap, range and
+//! hybrid queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mwsj_datagen::SyntheticConfig;
+use mwsj_local::{marking, LocalRect};
+use mwsj_partition::Grid;
+use mwsj_query::Query;
+use std::hint::black_box;
+
+fn bench_marking(c: &mut Criterion) {
+    let grid = Grid::square((0.0, 10_000.0), (0.0, 10_000.0), 8);
+    let cell = grid.cell_of_point(&mwsj_geom::Point::new(5_100.0, 5_100.0));
+    // Rectangles concentrated on one cell, as a reducer would see.
+    let gen = |seed: u64| -> Vec<LocalRect> {
+        let mut cfg = SyntheticConfig::paper_default(2_000, seed);
+        cfg.x_range = (5_000.0, 6_250.0);
+        cfg.y_range = (5_000.0, 6_250.0);
+        cfg.generate()
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, i as u32))
+            .collect()
+    };
+    let rels = vec![gen(1), gen(2), gen(3)];
+
+    let queries = [
+        ("overlap_chain", Query::parse("A ov B and B ov C").unwrap()),
+        ("range_chain", Query::parse("A ra(100) B and B ra(100) C").unwrap()),
+        ("hybrid_chain", Query::parse("A ov B and B ra(200) C").unwrap()),
+    ];
+    let mut group = c.benchmark_group("marking");
+    group.sample_size(20);
+    for (name, q) in &queries {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                black_box(marking::mark_for_replication(
+                    black_box(q),
+                    &grid,
+                    cell,
+                    &rels,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_marking);
+criterion_main!(benches);

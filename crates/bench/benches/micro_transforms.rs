@@ -1,0 +1,35 @@
+//! Micro-benchmarks for the project / split / replicate transforms (§4) —
+//! the per-rectangle cost of generating intermediate key-value pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mwsj_datagen::SyntheticConfig;
+use mwsj_partition::{Grid, Transform};
+use std::hint::black_box;
+
+fn bench_transforms(c: &mut Criterion) {
+    let grid = Grid::square((0.0, 100_000.0), (0.0, 100_000.0), 8);
+    let data = SyntheticConfig::paper_default(10_000, 7).generate();
+    let mut group = c.benchmark_group("transforms");
+    group.sample_size(20);
+    for (name, t) in [
+        ("project", Transform::Project),
+        ("split", Transform::Split),
+        ("replicate_f1", Transform::ReplicateF1),
+        ("replicate_f2_d1000", Transform::ReplicateF2 { d: 1_000.0 }),
+        ("split_enlarged_d500", Transform::SplitEnlarged { d: 500.0 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut pairs = 0usize;
+                for r in &data {
+                    pairs += t.target_cells(black_box(r), &grid).len();
+                }
+                black_box(pairs)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

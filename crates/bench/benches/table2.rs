@@ -1,0 +1,88 @@
+//! Table 2 — Query Q2 (`R1 Ov R2 and R2 Ov R3`), varying the dataset size.
+//!
+//! Paper setup: nI ∈ {1M..5M} per relation, uniform data, sides ≤ 100,
+//! space 100K². Compares 2-way Cascade, All-Replicate, C-Rep and C-Rep-L:
+//! wall time and rectangles replicated / after replication. The paper cuts
+//! All-Rep off beyond 2M ("> 03:00"); this harness mirrors that by running
+//! All-Rep only on the two smallest rows.
+
+use mwsj_bench::{
+    assert_same_results, fmt_repl, fmt_times, measure, paper_cluster, print_header, scale,
+    scaled_extent, scaled_n,
+};
+use mwsj_core::Algorithm;
+use mwsj_datagen::SyntheticConfig;
+use mwsj_query::Query;
+
+fn main() {
+    let extent = scaled_extent(100_000.0);
+    let cluster = paper_cluster(extent);
+    let query = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+
+    print_header(
+        "Table 2",
+        "Q2, varying the dataset size",
+        &format!(
+            "dS=Uniform, dX,dY,dL,dB=Uniform, space [0,{extent:.0}]², sides [0,100], 8x8 grid"
+        ),
+        &[
+            "nI", "tuples", "t Cascade", "t All-Rep", "t C-Rep", "t C-Rep-L",
+            "#Recs All-Rep", "#Recs C-Rep", "#Recs C-Rep-L",
+        ],
+    );
+
+    for (row, paper_n) in [1u64, 2, 3, 4, 5].iter().enumerate() {
+        let n = scaled_n(paper_n * 1_000_000);
+        let gen = |seed: u64| {
+            let mut cfg = SyntheticConfig::paper_default(n, seed);
+            cfg.x_range = (0.0, extent);
+            cfg.y_range = (0.0, extent);
+            cfg.generate()
+        };
+        let (r1, r2, r3) = (
+            gen(1000 + row as u64),
+            gen(2000 + row as u64),
+            gen(3000 + row as u64),
+        );
+        let rels: [&[_]; 3] = [&r1, &r2, &r3];
+
+        let cascade = measure(&cluster, &query, &rels, Algorithm::TwoWayCascade);
+        let all_rep = (row < 2).then(|| measure(&cluster, &query, &rels, Algorithm::AllReplicate));
+        let crep = measure(&cluster, &query, &rels, Algorithm::ControlledReplicate);
+        let crepl = measure(&cluster, &query, &rels, Algorithm::ControlledReplicateLimit);
+
+        let mut same: Vec<&mwsj_bench::Measured> = vec![&cascade, &crep, &crepl];
+        if let Some(a) = &all_rep {
+            same.push(a);
+        }
+        assert_same_results(&format!("nI = {n}"), &same);
+
+        println!(
+            "{n} | {} | {} | {} | {} | {} | {} | {} | {}",
+            crep.output.len(),
+            fmt_times(&cascade, scale()),
+            all_rep
+                .as_ref()
+                .map_or_else(|| "> cut-off".into(), |a| fmt_times(a, scale())),
+            fmt_times(&crep, scale()),
+            fmt_times(&crepl, scale()),
+            all_rep.as_ref().map_or_else(
+                || {
+                    // The replication counts of All-Rep are computable
+                    // without running it: every rectangle, to its full 4th
+                    // quadrant (the paper reports these even for timed-out
+                    // rows).
+                    let after: u64 = rels
+                        .iter()
+                        .flat_map(|r| r.iter())
+                        .map(|r| cluster.grid().fourth_quadrant_cells(r).len() as u64)
+                        .sum();
+                    format!("{} ({})", 3 * n, after)
+                },
+                fmt_repl
+            ),
+            fmt_repl(&crep),
+            fmt_repl(&crepl),
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Table 3 — Query Q2, varying the maximum rectangle dimensions.
+//!
+//! Paper setup: nI = 2M per relation, l_max = b_max ∈ {100..500}, space
+//! 100K². Larger rectangles overlap more, blowing up the intermediate
+//! results that make the 2-way Cascade collapse (5h14 at l_max = 500 vs
+//! 33min for C-Rep-L). Output sizes grow cubically, so this table runs at
+//! an extra 1/20 of the global scale.
+
+use mwsj_bench::{
+    assert_same_results, fmt_repl, fmt_times, measure, paper_cluster, print_header, scale,
+};
+use mwsj_core::Algorithm;
+use mwsj_datagen::SyntheticConfig;
+use mwsj_query::Query;
+
+fn main() {
+    let s = scale() * 0.05;
+    let n = ((2_000_000.0 * s) as usize).max(100);
+    let extent = 100_000.0 * s.sqrt();
+    let cluster = paper_cluster(extent);
+    let query = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+
+    print_header(
+        "Table 3",
+        "Q2, varying rectangle dimensions",
+        &format!("nI={n}, dS=Uniform, space [0,{extent:.0}]², 8x8 grid (table scale s={s})"),
+        &[
+            "l_max,b_max", "tuples", "t Cascade", "t C-Rep", "t C-Rep-L",
+            "#Recs C-Rep", "#Recs C-Rep-L",
+        ],
+    );
+
+    for l_max in [100.0, 200.0, 300.0, 400.0, 500.0] {
+        let gen = |seed: u64| {
+            let mut cfg = SyntheticConfig::paper_default(n, seed).with_max_sides(l_max, l_max);
+            cfg.x_range = (0.0, extent);
+            cfg.y_range = (0.0, extent);
+            cfg.generate()
+        };
+        let (r1, r2, r3) = (gen(31), gen(32), gen(33));
+        let rels: [&[_]; 3] = [&r1, &r2, &r3];
+
+        let cascade = measure(&cluster, &query, &rels, Algorithm::TwoWayCascade);
+        let crep = measure(&cluster, &query, &rels, Algorithm::ControlledReplicate);
+        let crepl = measure(&cluster, &query, &rels, Algorithm::ControlledReplicateLimit);
+        assert_same_results(&format!("l_max = {l_max}"), &[&cascade, &crep, &crepl]);
+
+        println!(
+            "{l_max} | {} | {} | {} | {} | {} | {}",
+            crep.output.len(),
+            fmt_times(&cascade, s),
+            fmt_times(&crep, s),
+            fmt_times(&crepl, s),
+            fmt_repl(&crep),
+            fmt_repl(&crepl),
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Table 4 — Query Q2s (`R Ov R and R Ov R`, a star self-join) on
+//! California road data, varying the enlargement factor k.
+//!
+//! Paper setup: the 2.09M road MBBs (we generate a calibrated road-like
+//! dataset and contract positions to keep the paper's spatial density at
+//! the scaled-down count), each rectangle enlarged by factor
+//! k ∈ {1.0, 1.25, 1.5, 1.75, 2.0}.
+
+use mwsj_bench::{
+    assert_same_results, fmt_repl, fmt_times, measure, print_header, rect_cluster, scale,
+    scaled_n,
+};
+use mwsj_core::Algorithm;
+use mwsj_datagen::{enlarge_all, CaliforniaConfig};
+use mwsj_geom::Rect;
+use mwsj_query::Query;
+
+fn main() {
+    let n = scaled_n(2_000_000);
+    let cfg = CaliforniaConfig::scaled_to(n, 2013);
+    let roads = cfg.generate();
+    let (x_extent, y_extent) = (cfg.x_extent(), cfg.y_extent());
+    let space = Rect::new(0.0, y_extent, x_extent, y_extent);
+    let _ = scale(); // the effective scale for extrapolation is n / 2.09M
+    let cluster = rect_cluster(x_extent, y_extent);
+    let query = Query::parse("Ra ov Rb and Rb ov Rc").unwrap();
+
+    print_header(
+        "Table 4",
+        "Q2s, California road data, varying the enlargement factor",
+        &format!("nI={n} road MBBs, space [0,{x_extent:.0}]x[0,{y_extent:.0}], 8x8 grid"),
+        &[
+            "k", "tuples", "t Cascade", "t C-Rep", "t C-Rep-L",
+            "#Recs C-Rep", "#Recs C-Rep-L",
+        ],
+    );
+
+    for k in [1.0, 1.25, 1.5, 1.75, 2.0] {
+        let data = enlarge_all(&roads, k, &space);
+        let rels: [&[_]; 3] = [&data, &data, &data];
+
+        let cascade = measure(&cluster, &query, &rels, Algorithm::TwoWayCascade);
+        let crep = measure(&cluster, &query, &rels, Algorithm::ControlledReplicate);
+        let crepl = measure(&cluster, &query, &rels, Algorithm::ControlledReplicateLimit);
+        assert_same_results(&format!("k = {k}"), &[&cascade, &crep, &crepl]);
+
+        println!(
+            "{k} | {} | {} | {} | {} | {} | {}",
+            crep.output.len(),
+            fmt_times(&cascade, scale()),
+            fmt_times(&crep, scale()),
+            fmt_times(&crepl, scale()),
+            fmt_repl(&crep),
+            fmt_repl(&crepl),
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Table 5 — Query Q3 (`R1 Ra(d) R2 and R2 Ra(d) R3`, d = 100), varying
+//! the dataset size.
+//!
+//! Paper setup: nI ∈ {1M..5M}, uniform data, sides ≤ 100, space 100K².
+//! Range joins are far less selective than overlap joins, so outputs (and
+//! the cascade's intermediates) explode; this table runs at an extra 1/20
+//! of the global scale.
+
+use mwsj_bench::{
+    assert_same_results, fmt_repl, fmt_times, measure, paper_cluster, print_header, scale,
+};
+use mwsj_core::Algorithm;
+use mwsj_datagen::SyntheticConfig;
+use mwsj_query::Query;
+
+fn main() {
+    let s = scale() * 0.05;
+    let extent = 100_000.0 * s.sqrt();
+    let cluster = paper_cluster(extent);
+    let query = Query::parse("R1 ra(100) R2 and R2 ra(100) R3").unwrap();
+
+    print_header(
+        "Table 5",
+        "Q3, varying the dataset size (d = 100)",
+        &format!("dS=Uniform, sides [0,100], space [0,{extent:.0}]², 8x8 grid (table scale s={s})"),
+        &[
+            "nI", "tuples", "t Cascade", "t C-Rep", "t C-Rep-L",
+            "#Recs C-Rep", "#Recs C-Rep-L",
+        ],
+    );
+
+    for paper_n in [1u64, 2, 3, 4, 5] {
+        let n = ((paper_n as f64) * 1_000_000.0 * s) as usize;
+        let gen = |seed: u64| {
+            let mut cfg = SyntheticConfig::paper_default(n, seed);
+            cfg.x_range = (0.0, extent);
+            cfg.y_range = (0.0, extent);
+            cfg.generate()
+        };
+        let (r1, r2, r3) = (gen(51 + paper_n), gen(151 + paper_n), gen(251 + paper_n));
+        let rels: [&[_]; 3] = [&r1, &r2, &r3];
+
+        let cascade = measure(&cluster, &query, &rels, Algorithm::TwoWayCascade);
+        let crep = measure(&cluster, &query, &rels, Algorithm::ControlledReplicate);
+        let crepl = measure(&cluster, &query, &rels, Algorithm::ControlledReplicateLimit);
+        assert_same_results(&format!("nI = {n}"), &[&cascade, &crep, &crepl]);
+
+        println!(
+            "{n} | {} | {} | {} | {} | {} | {}",
+            crep.output.len(),
+            fmt_times(&cascade, s),
+            fmt_times(&crep, s),
+            fmt_times(&crepl, s),
+            fmt_repl(&crep),
+            fmt_repl(&crepl),
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Table 6 — Query Q3, varying the distance parameter d.
+//!
+//! Paper setup: nI = 1M per relation, d ∈ {100..500}. C-Rep's replication
+//! extent grows with d while C-Rep-L's bound keeps the communicated copies
+//! nearly flat (the paper's 9.1M -> 24.8M vs 3.0M -> 3.5M columns). Runs
+//! at an extra 1/20 of the global scale (outputs grow ~d²).
+
+use mwsj_bench::{
+    assert_same_results, fmt_repl, fmt_times, measure, paper_cluster, print_header, scale,
+};
+use mwsj_core::Algorithm;
+use mwsj_datagen::SyntheticConfig;
+use mwsj_query::Query;
+
+fn main() {
+    let s = scale() * 0.05;
+    let n = ((1_000_000.0 * s) as usize).max(100);
+    let extent = 100_000.0 * s.sqrt();
+    let cluster = paper_cluster(extent);
+
+    print_header(
+        "Table 6",
+        "Q3, varying the distance parameter d",
+        &format!("nI={n}, dS=Uniform, sides [0,100], space [0,{extent:.0}]², 8x8 grid (table scale s={s})"),
+        &["d", "tuples", "t C-Rep", "t C-Rep-L", "#Recs C-Rep", "#Recs C-Rep-L"],
+    );
+
+    let gen = |seed: u64| {
+        let mut cfg = SyntheticConfig::paper_default(n, seed);
+        cfg.x_range = (0.0, extent);
+        cfg.y_range = (0.0, extent);
+        cfg.generate()
+    };
+    let (r1, r2, r3) = (gen(61), gen(62), gen(63));
+    let rels: [&[_]; 3] = [&r1, &r2, &r3];
+
+    for d in [100.0, 200.0, 300.0, 400.0, 500.0] {
+        let query = Query::builder()
+            .range("R1", "R2", d)
+            .range("R2", "R3", d)
+            .build()
+            .unwrap();
+        let crep = measure(&cluster, &query, &rels, Algorithm::ControlledReplicate);
+        let crepl = measure(&cluster, &query, &rels, Algorithm::ControlledReplicateLimit);
+        assert_same_results(&format!("d = {d}"), &[&crep, &crepl]);
+
+        println!(
+            "{d} | {} | {} | {} | {} | {}",
+            crep.output.len(),
+            fmt_times(&crep, s),
+            fmt_times(&crepl, s),
+            fmt_repl(&crep),
+            fmt_repl(&crepl),
+        );
+    }
+}

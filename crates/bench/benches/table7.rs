@@ -1,0 +1,61 @@
+//! Table 7 — Query Q3s (`R Ra(d) R and R Ra(d) R`) on California road
+//! data sampled with probability 0.5, varying d.
+//!
+//! Paper setup: 1M road MBBs (the 2.09M dataset sampled at p = 0.5),
+//! d ∈ {5, 10, 15, 20}.
+
+use mwsj_bench::{
+    assert_same_results, fmt_repl, fmt_times, measure, print_header, rect_cluster, scale,
+    scaled_n,
+};
+use mwsj_core::Algorithm;
+use mwsj_datagen::{bernoulli_sample, CaliforniaConfig};
+use mwsj_query::Query;
+
+fn main() {
+    // Generate at twice the target count, then sample at p = 0.5 as the
+    // paper does (sampling thins road chains exactly as it thins the real
+    // dataset).
+    let n_full = scaled_n(2_000_000);
+    let cfg = CaliforniaConfig::scaled_to(n_full, 2013);
+    let full = cfg.generate();
+    let data = bernoulli_sample(&full, 0.5, 8);
+    let (x_extent, y_extent) = (cfg.x_extent(), cfg.y_extent());
+    let cluster = rect_cluster(x_extent, y_extent);
+
+    print_header(
+        "Table 7",
+        "Q3s, California road data (sampled p=0.5), varying d",
+        &format!(
+            "nI={} road MBBs, space [0,{x_extent:.0}]x[0,{y_extent:.0}], 8x8 grid",
+            data.len()
+        ),
+        &[
+            "d", "tuples", "t Cascade", "t C-Rep", "t C-Rep-L",
+            "#Recs C-Rep", "#Recs C-Rep-L",
+        ],
+    );
+
+    let rels: [&[_]; 3] = [&data, &data, &data];
+    for d in [5.0, 10.0, 15.0, 20.0] {
+        let query = Query::builder()
+            .range("Ra", "Rb", d)
+            .range("Rb", "Rc", d)
+            .build()
+            .unwrap();
+        let cascade = measure(&cluster, &query, &rels, Algorithm::TwoWayCascade);
+        let crep = measure(&cluster, &query, &rels, Algorithm::ControlledReplicate);
+        let crepl = measure(&cluster, &query, &rels, Algorithm::ControlledReplicateLimit);
+        assert_same_results(&format!("d = {d}"), &[&cascade, &crep, &crepl]);
+
+        println!(
+            "{d} | {} | {} | {} | {} | {} | {}",
+            crep.output.len(),
+            fmt_times(&cascade, scale()),
+            fmt_times(&crep, scale()),
+            fmt_times(&crepl, scale()),
+            fmt_repl(&crep),
+            fmt_repl(&crepl),
+        );
+    }
+}

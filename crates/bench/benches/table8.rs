@@ -1,0 +1,52 @@
+//! Table 8 — the hybrid query Q4 (`R1 Ov R2 and R2 Ra(d) R3`, d = 200),
+//! varying the dataset size.
+//!
+//! Paper setup: nI ∈ {1M..5M}, uniform data, sides ≤ 100, space 100K².
+//! Runs at an extra 1/20 of the global scale (the range edge dominates
+//! the output size).
+
+use mwsj_bench::{
+    assert_same_results, fmt_repl, fmt_times, measure, paper_cluster, print_header, scale,
+};
+use mwsj_core::Algorithm;
+use mwsj_datagen::SyntheticConfig;
+use mwsj_query::Query;
+
+fn main() {
+    let s = scale() * 0.05;
+    let extent = 100_000.0 * s.sqrt();
+    let cluster = paper_cluster(extent);
+    let query = Query::parse("R1 ov R2 and R2 ra(200) R3").unwrap();
+
+    print_header(
+        "Table 8",
+        "Q4 (hybrid, d = 200), varying the dataset size",
+        &format!("dS=Uniform, sides [0,100], space [0,{extent:.0}]², 8x8 grid (table scale s={s})"),
+        &["nI", "tuples", "t C-Rep", "t C-Rep-L", "#Recs C-Rep", "#Recs C-Rep-L"],
+    );
+
+    for paper_n in [1u64, 2, 3, 4, 5] {
+        let n = ((paper_n as f64) * 1_000_000.0 * s) as usize;
+        let gen = |seed: u64| {
+            let mut cfg = SyntheticConfig::paper_default(n, seed);
+            cfg.x_range = (0.0, extent);
+            cfg.y_range = (0.0, extent);
+            cfg.generate()
+        };
+        let (r1, r2, r3) = (gen(81 + paper_n), gen(181 + paper_n), gen(281 + paper_n));
+        let rels: [&[_]; 3] = [&r1, &r2, &r3];
+
+        let crep = measure(&cluster, &query, &rels, Algorithm::ControlledReplicate);
+        let crepl = measure(&cluster, &query, &rels, Algorithm::ControlledReplicateLimit);
+        assert_same_results(&format!("nI = {n}"), &[&crep, &crepl]);
+
+        println!(
+            "{n} | {} | {} | {} | {} | {}",
+            crep.output.len(),
+            fmt_times(&crep, s),
+            fmt_times(&crepl, s),
+            fmt_repl(&crep),
+            fmt_repl(&crepl),
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Shared harness for the table benchmarks.
+//!
+//! Every table of the paper's evaluation (Tables 2-9) has a bench target
+//! (`cargo bench -p mwsj-bench --bench tableN`) that regenerates the
+//! table's rows and columns. The paper's runs use millions of rectangles
+//! and a 16-core Hadoop cluster for hours; these harnesses run the same
+//! experiments scaled down while preserving the join *density* (and thus
+//! the comparative shape of the results): with scale factor `s`, dataset
+//! sizes shrink to `s x nI` and the space extent to `sqrt(s)` of the
+//! paper's, keeping `n x (side / extent)²` — the expected number of
+//! neighbours per rectangle — identical to the paper's setup, row by row.
+//!
+//! Set the `MWSJ_SCALE` environment variable (default `0.01`) to rescale:
+//! larger values approach the paper's workloads at the cost of runtime.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+use mwsj_core::{Algorithm, Cluster, ClusterConfig, JoinOutput, RunConfig};
+use mwsj_geom::Rect;
+use mwsj_mapreduce::CostModel;
+use mwsj_query::Query;
+
+/// The scale factor `s` (fraction of the paper's dataset sizes).
+#[must_use]
+pub fn scale() -> f64 {
+    std::env::var("MWSJ_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s > 0.0 && s <= 1.0)
+        .unwrap_or(0.01)
+}
+
+/// Scales one of the paper's dataset sizes.
+#[must_use]
+pub fn scaled_n(paper_n: u64) -> usize {
+    ((paper_n as f64) * scale()).round().max(1.0) as usize
+}
+
+/// Scales one of the paper's space extents (by `sqrt(s)`, preserving
+/// density).
+#[must_use]
+pub fn scaled_extent(paper_extent: f64) -> f64 {
+    paper_extent * scale().sqrt()
+}
+
+/// Contracts rectangle *positions* toward the origin by `factor` while
+/// keeping sizes — used to restore the paper's road density when sampling
+/// fewer road MBBs than the full California dataset.
+#[must_use]
+pub fn densify(rects: &[Rect], factor: f64) -> Vec<Rect> {
+    assert!(factor > 0.0 && factor <= 1.0);
+    rects
+        .iter()
+        .map(|r| Rect::new(r.x() * factor, r.y() * factor, r.l(), r.b()))
+        .collect()
+}
+
+/// A square cluster over `[0, extent]²` with the paper's 8x8 reducer grid.
+#[must_use]
+pub fn paper_cluster(extent: f64) -> Cluster {
+    Cluster::new(ClusterConfig::for_space((0.0, extent), (0.0, extent), 8))
+}
+
+/// A cluster over an `x_extent x y_extent` space (California experiments).
+#[must_use]
+pub fn rect_cluster(x_extent: f64, y_extent: f64) -> Cluster {
+    Cluster::new(ClusterConfig {
+        x_range: (0.0, x_extent),
+        y_range: (0.0, y_extent),
+        grid_cols: 8,
+        grid_rows: 8,
+        num_reducers: None,
+        engine: mwsj_mapreduce::EngineConfig::default(),
+    })
+}
+
+/// One measured algorithm run.
+pub struct Measured {
+    /// Wall time of the full run.
+    pub wall: Duration,
+    /// The run's output and metrics.
+    pub output: JoinOutput,
+}
+
+/// Runs one algorithm in count-only mode (the tables report times and
+/// replication counts; the paper's heavier rows produce outputs too large
+/// to materialize), measuring end-to-end wall time.
+#[must_use]
+pub fn measure(
+    cluster: &Cluster,
+    query: &Query,
+    relations: &[&[Rect]],
+    algorithm: Algorithm,
+) -> Measured {
+    let t0 = Instant::now();
+    let output = cluster.run_with(query, relations, algorithm, RunConfig::counting());
+    Measured {
+        wall: t0.elapsed(),
+        output,
+    }
+}
+
+/// Formats a duration as `mm:ss.mmm` (the paper prints hh:mm; at our scale
+/// milliseconds matter).
+#[must_use]
+pub fn fmt_time(d: Duration) -> String {
+    let ms = d.as_millis();
+    format!("{:02}:{:02}.{:03}", ms / 60_000, (ms / 1_000) % 60, ms % 1_000)
+}
+
+/// Extrapolates a scaled run to an estimated full-scale Hadoop time: the
+/// metered byte counters and compute walls are scaled by `1 / s_eff`
+/// (communication and join output grow linearly in the scale factor) and
+/// priced with [`CostModel::hadoop_2013`] — per-job overhead, shuffle
+/// bandwidth and DFS bandwidth. A rough extrapolation, but it restores the
+/// costs the in-memory substrate hides (job startup and intermediate-result
+/// I/O — exactly what §6.4 blames for the cascade's behaviour).
+#[must_use]
+pub fn extrapolated_model(m: &Measured, s_eff: f64) -> Duration {
+    let model = CostModel::hadoop_2013();
+    let r = &m.output.report;
+    let mut total = Duration::ZERO;
+    for j in &r.jobs {
+        total += model.per_job_overhead;
+        total += (j.map_wall + j.reduce_wall).div_f64(s_eff);
+        total +=
+            Duration::from_secs_f64(j.shuffle_bytes as f64 / s_eff / model.shuffle_bytes_per_sec);
+    }
+    total += Duration::from_secs_f64(
+        (r.dfs_read_bytes + r.dfs_write_bytes) as f64 / s_eff / model.dfs_bytes_per_sec,
+    );
+    total
+}
+
+/// Formats a duration as `hh:mm:ss` (the paper prints hh:mm; the seconds
+/// keep resolution for fast extrapolated rows).
+#[must_use]
+pub fn fmt_hhmm(d: Duration) -> String {
+    let secs = d.as_secs();
+    format!("{:02}:{:02}:{:02}", secs / 3600, (secs / 60) % 60, secs % 60)
+}
+
+/// The combined time column: measured wall, plus the full-scale Hadoop
+/// extrapolation in the paper's `hh:mm` format.
+#[must_use]
+pub fn fmt_times(m: &Measured, s_eff: f64) -> String {
+    format!("{} [{}]", fmt_time(m.wall), fmt_hhmm(extrapolated_model(m, s_eff)))
+}
+
+/// Formats the paper's "# Recs Replicated (after replication)" column.
+#[must_use]
+pub fn fmt_repl(m: &Measured) -> String {
+    format!(
+        "{} ({})",
+        m.output.stats.rectangles_replicated, m.output.stats.rectangles_after_replication
+    )
+}
+
+/// Prints the standard table header block.
+pub fn print_header(table: &str, caption: &str, workload: &str, columns: &[&str]) {
+    println!("=== {table}: {caption} ===");
+    println!("{workload}");
+    println!("scale s = {} (MWSJ_SCALE; 1.0 = the paper's sizes)", scale());
+    println!();
+    println!("{}", columns.join(" | "));
+    let width = columns.join(" | ").len();
+    println!("{}", "-".repeat(width));
+}
+
+/// Asserts that every algorithm in a row produced the same number of
+/// output tuples — the tables compare costs of algorithms computing the
+/// *same* result (full tuple-level equality is covered by the test
+/// suites; counts are what count-only runs expose).
+pub fn assert_same_results(row: &str, results: &[&Measured]) {
+    if let Some((first, rest)) = results.split_first() {
+        for m in rest {
+            assert_eq!(
+                first.output.tuple_count, m.output.tuple_count,
+                "algorithms disagree on row {row}"
+            );
+        }
+    }
+}

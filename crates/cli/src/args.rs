@@ -1,0 +1,133 @@
+//! Hand-rolled `--flag value` argument parsing (the workspace's offline
+//! dependency set has no CLI parser; the grammar here is small).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand, `--key value` options (repeatable
+/// keys collect in order) and bare flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag token).
+    pub command: Option<String>,
+    options: BTreeMap<String, Vec<String>>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses a token stream (excluding the program name).
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty flag `--`".into());
+                }
+                // `--key=value` or `--key value` or bare flag.
+                if let Some((k, v)) = key.split_once('=') {
+                    args.options.entry(k.to_string()).or_default().push(v.to_string());
+                } else if iter.peek().is_some_and(|n| !n.starts_with("--")) {
+                    let v = iter.next().expect("peeked");
+                    args.options.entry(key.to_string()).or_default().push(v);
+                } else {
+                    args.flags.push(key.to_string());
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                return Err(format!("unexpected positional argument `{tok}`"));
+            }
+        }
+        Ok(args)
+    }
+
+    /// The single value of `--key`, if present (errors if repeated).
+    pub fn get(&self, key: &str) -> Result<Option<&str>, String> {
+        match self.options.get(key).map(Vec::as_slice) {
+            None => Ok(None),
+            Some([v]) => Ok(Some(v)),
+            Some(_) => Err(format!("--{key} given more than once")),
+        }
+    }
+
+    /// All values of a repeatable `--key`.
+    pub fn get_all(&self, key: &str) -> &[String] {
+        self.options.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// A required `--key value`.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)?.ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// Whether a bare `--flag` was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Parses `--key` as a number with a default.
+    pub fn get_parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key)? {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("--{key} `{v}` is invalid: {e}")),
+        }
+    }
+
+    /// Rejects unknown options/flags (catches typos).
+    pub fn check_known(&self, known: &[&str]) -> Result<(), String> {
+        for k in self.options.keys().map(String::as_str).chain(self.flags.iter().map(String::as_str)) {
+            if !known.contains(&k) {
+                return Err(format!("unknown option --{k}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_options_flags() {
+        let a = parse("run --query q --grid 8 --count-only").unwrap();
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.get("query").unwrap(), Some("q"));
+        assert_eq!(a.get_parsed_or("grid", 0u32).unwrap(), 8);
+        assert!(a.flag("count-only"));
+    }
+
+    #[test]
+    fn equals_form_and_repeats() {
+        let a = parse("run --data=a.csv --data b.csv").unwrap();
+        assert_eq!(a.get_all("data"), ["a.csv", "b.csv"]);
+        assert!(a.get("data").is_err(), "repeated key is not a single get");
+    }
+
+    #[test]
+    fn missing_required() {
+        let a = parse("run").unwrap();
+        assert!(a.require("query").is_err());
+    }
+
+    #[test]
+    fn rejects_positional_after_command() {
+        assert!(parse("run extra").is_err());
+    }
+
+    #[test]
+    fn unknown_option_detection() {
+        let a = parse("run --typo 3").unwrap();
+        assert!(a.check_known(&["query"]).is_err());
+        assert!(a.check_known(&["typo"]).is_ok());
+    }
+}

@@ -1,0 +1,143 @@
+//! Dataset specifications: `NAME=SOURCE` bindings for query relation
+//! positions, where a source is a CSV path or an inline generator spec.
+//!
+//! ```text
+//! --data R1=roads.csv
+//! --data R2=synthetic:n=10000,seed=7,lmax=250,extent=20000
+//! --data R3=california:n=20000,seed=1
+//! ```
+
+use std::collections::BTreeMap;
+
+use mwsj_datagen::{io, CaliforniaConfig, SyntheticConfig};
+use mwsj_geom::Rect;
+
+/// Parses one `NAME=SOURCE` binding.
+pub fn parse_binding(spec: &str) -> Result<(String, Vec<Rect>), String> {
+    let (name, source) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("`{spec}` is not NAME=SOURCE"))?;
+    Ok((name.to_string(), load_source(source)?))
+}
+
+/// Loads a data source: `synthetic:...`, `california:...` or a CSV path.
+pub fn load_source(source: &str) -> Result<Vec<Rect>, String> {
+    if let Some(params) = source.strip_prefix("synthetic:") {
+        let p = parse_params(params)?;
+        let n = param_parsed(&p, "n", 10_000usize)?;
+        let seed = param_parsed(&p, "seed", 42u64)?;
+        let extent = param_parsed(&p, "extent", 100_000.0f64)?;
+        let lmax = param_parsed(&p, "lmax", 100.0f64)?;
+        let bmax = param_parsed(&p, "bmax", lmax)?;
+        let mut cfg = SyntheticConfig::paper_default(n, seed).with_max_sides(lmax, bmax);
+        cfg.x_range = (0.0, extent);
+        cfg.y_range = (0.0, extent);
+        Ok(cfg.generate())
+    } else if let Some(params) = source.strip_prefix("california:") {
+        let p = parse_params(params)?;
+        let n = param_parsed(&p, "n", 20_000usize)?;
+        let seed = param_parsed(&p, "seed", 2013u64)?;
+        let scaled = !p.contains_key("full");
+        let cfg = if scaled {
+            CaliforniaConfig::scaled_to(n, seed)
+        } else {
+            CaliforniaConfig::new(n, seed)
+        };
+        Ok(cfg.generate())
+    } else {
+        io::load_rects(source).map_err(|e| format!("reading `{source}`: {e}"))
+    }
+}
+
+fn parse_params(s: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut map = BTreeMap::new();
+    if s.is_empty() {
+        return Ok(map);
+    }
+    for part in s.split(',') {
+        match part.split_once('=') {
+            Some((k, v)) => {
+                map.insert(k.trim().to_string(), v.trim().to_string());
+            }
+            None => {
+                map.insert(part.trim().to_string(), String::new());
+            }
+        }
+    }
+    Ok(map)
+}
+
+fn param_parsed<T: std::str::FromStr>(
+    p: &BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match p.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("{key}=`{v}` invalid: {e}")),
+    }
+}
+
+/// The tight bounding extent of a set of datasets, padded for safety, as
+/// `(x_range, y_range)` for the cluster space.
+pub fn bounding_space(datasets: &[&[Rect]]) -> ((f64, f64), (f64, f64)) {
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for r in datasets.iter().flat_map(|d| d.iter()) {
+        min_x = min_x.min(r.min_x());
+        max_x = max_x.max(r.max_x());
+        min_y = min_y.min(r.min_y());
+        max_y = max_y.max(r.max_y());
+    }
+    if !min_x.is_finite() {
+        return ((0.0, 1.0), (0.0, 1.0));
+    }
+    let pad_x = ((max_x - min_x) * 0.001).max(1e-9);
+    let pad_y = ((max_y - min_y) * 0.001).max(1e-9);
+    ((min_x, max_x + pad_x), (min_y, max_y + pad_y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_spec() {
+        let d = load_source("synthetic:n=100,seed=1,extent=1000,lmax=50").unwrap();
+        assert_eq!(d.len(), 100);
+        assert!(d.iter().all(|r| r.max_x() <= 1000.0 && r.l() <= 50.0));
+    }
+
+    #[test]
+    fn california_spec() {
+        let d = load_source("california:n=500,seed=3").unwrap();
+        assert_eq!(d.len(), 500);
+    }
+
+    #[test]
+    fn binding_parse() {
+        let (name, d) = parse_binding("R1=synthetic:n=10").unwrap();
+        assert_eq!(name, "R1");
+        assert_eq!(d.len(), 10);
+        assert!(parse_binding("no-equals-here").is_err());
+    }
+
+    #[test]
+    fn bad_param_reports() {
+        assert!(load_source("synthetic:n=abc").is_err());
+    }
+
+    #[test]
+    fn bounding_space_covers_everything() {
+        let a = vec![Rect::new(5.0, 20.0, 3.0, 4.0)];
+        let b = vec![Rect::new(100.0, 80.0, 10.0, 10.0)];
+        let ((x0, x1), (y0, y1)) = bounding_space(&[&a, &b]);
+        assert!(x0 <= 5.0 && x1 >= 110.0);
+        assert!(y0 <= 16.0 && y1 >= 80.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! `mwsj` — run multi-way spatial joins on the simulated map-reduce
+//! cluster from the command line.
+//!
+//! ```text
+//! mwsj run --query "R1 ov R2 and R2 ov R3" \
+//!          --data R1=synthetic:n=10000,seed=1,extent=20000 \
+//!          --data R2=synthetic:n=10000,seed=2,extent=20000 \
+//!          --data R3=synthetic:n=10000,seed=3,extent=20000 \
+//!          --algorithm crep-l [--grid 8] [--count-only] [--plan] [--out results.csv]
+//!
+//! mwsj gen  --source california:n=20000,seed=7 --out roads.csv
+//! mwsj ann  --outer a.csv --inner b.csv [--grid 8]
+//! mwsj stats --source roads.csv
+//! ```
+
+mod args;
+mod data;
+
+use std::process::ExitCode;
+
+use args::Args;
+use mwsj_core::{planner, Algorithm, Cluster, ClusterConfig, RunConfig};
+use mwsj_datagen::CaliforniaStats;
+use mwsj_query::Query;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let result = match args.command.as_deref() {
+        Some("run") => cmd_run(&args),
+        Some("gen") => cmd_gen(&args),
+        Some("ann") => cmd_ann(&args),
+        Some("stats") => cmd_stats(&args),
+        Some("help") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`; try `mwsj help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}
+
+const HELP: &str = "\
+mwsj — multi-way spatial joins on a simulated map-reduce cluster
+
+USAGE:
+  mwsj run   --query Q --data NAME=SOURCE [--data ...] [options]
+  mwsj gen   --source SOURCE --out FILE.csv
+  mwsj ann   --outer SOURCE --inner SOURCE [--grid N] [--k K]
+  mwsj stats --source SOURCE
+  mwsj help
+
+QUERIES  (see the library docs for the full grammar)
+  \"R1 overlaps R2 and R2 within 100 of R3\"
+  \"county contains city and city ov river\"
+
+SOURCES
+  file.csv                                  CSV rows: x,y,l,b
+  synthetic:n=10000,seed=1,extent=100000,lmax=100[,bmax=..]
+  california:n=20000,seed=2013[,full]
+
+RUN OPTIONS
+  --algorithm cascade|allrep|crep|crep-l    (default crep-l)
+  --grid N        reducer grid side, N x N cells (default 8)
+  --count-only    count result tuples without materializing them
+  --plan          reorder the cascade's joins by sampled selectivity
+  --out FILE      write result tuples as CSV ids
+";
+
+fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    Ok(match name {
+        "cascade" => Algorithm::TwoWayCascade,
+        "allrep" | "all-rep" => Algorithm::AllReplicate,
+        "crep" | "c-rep" => Algorithm::ControlledReplicate,
+        "crep-l" | "c-rep-l" | "crepl" => Algorithm::ControlledReplicateLimit,
+        other => return Err(format!("unknown algorithm `{other}`")),
+    })
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    args.check_known(&["query", "data", "algorithm", "grid", "count-only", "plan", "out"])?;
+    let query_text = args.require("query")?;
+    let mut query = Query::parse(query_text).map_err(|e| format!("query: {e}"))?;
+    let algorithm = parse_algorithm(args.get("algorithm")?.unwrap_or("crep-l"))?;
+    let grid: u32 = args.get_parsed_or("grid", 8u32)?;
+
+    // Bind datasets to relation positions by name.
+    let mut bindings = std::collections::BTreeMap::new();
+    for spec in args.get_all("data") {
+        let (name, rects) = data::parse_binding(spec)?;
+        bindings.insert(name, rects);
+    }
+    let mut datasets: Vec<&[mwsj_geom::Rect]> = Vec::new();
+    for pos in query.relations() {
+        let name = query.name(pos);
+        datasets.push(
+            bindings
+                .get(name)
+                .ok_or_else(|| format!("no --data binding for relation `{name}`"))?,
+        );
+    }
+
+    let (x_range, y_range) = data::bounding_space(&datasets);
+    let cluster = Cluster::new(ClusterConfig {
+        x_range,
+        y_range,
+        grid_cols: grid,
+        grid_rows: grid,
+        num_reducers: None,
+        engine: Default::default(),
+    });
+
+    if args.flag("plan") {
+        query = planner::optimize_cascade_order(&query, &datasets, planner::DEFAULT_SAMPLE, 7);
+        eprintln!("planned order: {query}");
+    }
+
+    let config = RunConfig {
+        count_only: args.flag("count-only"),
+    };
+    let t0 = std::time::Instant::now();
+    let output = cluster.run_with(&query, &datasets, algorithm, config);
+    let wall = t0.elapsed();
+
+    eprintln!("query     : {query}");
+    eprintln!("algorithm : {}", algorithm.name());
+    eprintln!(
+        "space     : [{:.1}, {:.1}] x [{:.1}, {:.1}], {grid}x{grid} reducers",
+        x_range.0, x_range.1, y_range.0, y_range.1
+    );
+    eprintln!("tuples    : {}", output.len());
+    eprintln!(
+        "replicated: {} rectangles ({} copies)",
+        output.stats.rectangles_replicated, output.stats.rectangles_after_replication
+    );
+    for job in &output.report.jobs {
+        eprintln!(
+            "job {:<22}: {:>9} kv pairs, {:>11} shuffle bytes",
+            job.job_name, job.map_output_records, job.shuffle_bytes
+        );
+    }
+    eprintln!("wall      : {wall:?}");
+
+    if let Some(path) = args.get("out")? {
+        use std::io::Write;
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
+        );
+        let names: Vec<&str> = query.relations().map(|r| query.name(r)).collect();
+        writeln!(f, "# {}", names.join(",")).map_err(|e| e.to_string())?;
+        for tuple in &output.tuples {
+            let ids: Vec<String> = tuple.iter().map(u32::to_string).collect();
+            writeln!(f, "{}", ids.join(",")).map_err(|e| e.to_string())?;
+        }
+        eprintln!("wrote {} tuples to {path}", output.tuples.len());
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    args.check_known(&["source", "out"])?;
+    let source = args.require("source")?;
+    let out = args.require("out")?;
+    let rects = data::load_source(source)?;
+    mwsj_datagen::io::save_rects(out, &rects).map_err(|e| e.to_string())?;
+    eprintln!("wrote {} rectangles to {out}", rects.len());
+    Ok(())
+}
+
+fn cmd_ann(args: &Args) -> Result<(), String> {
+    args.check_known(&["outer", "inner", "grid", "out", "k"])?;
+    let outer = data::load_source(args.require("outer")?)?;
+    let inner = data::load_source(args.require("inner")?)?;
+    let grid: u32 = args.get_parsed_or("grid", 8u32)?;
+    let k: usize = args.get_parsed_or("k", 1usize)?;
+    let (x_range, y_range) = data::bounding_space(&[&outer, &inner]);
+    let cluster = Cluster::new(ClusterConfig {
+        x_range,
+        y_range,
+        grid_cols: grid,
+        grid_rows: grid,
+        num_reducers: None,
+        engine: Default::default(),
+    });
+    let t0 = std::time::Instant::now();
+    let result: Vec<mwsj_core::ann::NearestNeighbor> = if k == 1 {
+        mwsj_core::ann::ann_join(&cluster, &outer, &inner)
+    } else {
+        mwsj_core::ann::knn_join(&cluster, &outer, &inner, k)
+            .into_iter()
+            .flatten()
+            .collect()
+    };
+    eprintln!(
+        "{} nearest neighbors in {:?} ({} jobs)",
+        result.len(),
+        t0.elapsed(),
+        cluster.engine().report().num_jobs()
+    );
+    if let Some(path) = args.get("out")? {
+        use std::io::Write;
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
+        );
+        writeln!(f, "# outer,inner,distance").map_err(|e| e.to_string())?;
+        for nn in &result {
+            writeln!(f, "{},{},{}", nn.outer, nn.inner, nn.distance).map_err(|e| e.to_string())?;
+        }
+    } else {
+        for nn in result.iter().take(10) {
+            println!("outer {} -> inner {} (distance {:.3})", nn.outer, nn.inner, nn.distance);
+        }
+        if result.len() > 10 {
+            println!("... and {} more (use --out FILE for all)", result.len() - 10);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    args.check_known(&["source"])?;
+    let rects = data::load_source(args.require("source")?)?;
+    if rects.is_empty() {
+        println!("empty dataset");
+        return Ok(());
+    }
+    let s = CaliforniaStats::of(&rects);
+    let ((x0, x1), (y0, y1)) = data::bounding_space(&[&rects]);
+    println!("rectangles          : {}", rects.len());
+    println!("extent              : [{x0:.1}, {x1:.1}] x [{y0:.1}, {y1:.1}]");
+    println!("mean length/breadth : {:.2} / {:.2}", s.mean_length, s.mean_breadth);
+    println!("max length/breadth  : {:.2} / {:.2}", s.max_length, s.max_breadth);
+    println!("min side            : {:.2}", s.min_side);
+    println!(
+        "both sides < 100    : {:.2}%   < 1000: {:.2}%",
+        s.frac_both_under_100 * 100.0,
+        s.frac_both_under_1000 * 100.0
+    );
+    Ok(())
+}

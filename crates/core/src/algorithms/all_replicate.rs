@@ -1,0 +1,79 @@
+//! The *All-Replicate* baseline (§6.1).
+//!
+//! Every rectangle is replicated to all cells in its 4th quadrant
+//! (replication function `f1`), which guarantees that for every output
+//! tuple at least one reducer receives all members (§6.3 shows mere
+//! splitting does not). Each reducer then computes the local multi-way
+//! join and the designated-cell rule of §6.2 keeps exactly one copy of
+//! each tuple.
+//!
+//! One round, but a huge communication cost — a rectangle near the
+//! top-left corner travels to almost every reducer, whether or not it
+//! joins anything (the paper's `u_4` example).
+
+use mwsj_local::multiway;
+use mwsj_mapreduce::Engine;
+use mwsj_partition::{CellId, Grid};
+use mwsj_query::Query;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use super::{flatten_input, is_designated_cell, normalize_tuples, tuple_ids};
+use crate::record::group_by_relation;
+use crate::{JoinOutput, ReplicationStats, RunConfig};
+
+pub(crate) fn run(
+    engine: &Engine,
+    grid: &Grid,
+    num_reducers: u32,
+    query: &Query,
+    relations: &[&[mwsj_geom::Rect]],
+    config: RunConfig,
+) -> JoinOutput {
+    let input = flatten_input(relations);
+    let n = query.num_relations();
+    let partitions = num_reducers as usize;
+
+    let found = AtomicU64::new(0);
+    let tuples: Vec<Vec<u32>> = engine.run_job(
+        "all-replicate",
+        &input,
+        partitions,
+        |tr, emit| {
+            for cell in grid.fourth_quadrant_cells(&tr.rect) {
+                emit(cell.0, *tr);
+            }
+        },
+        |&k, p| k as usize % p,
+        |&cell, values, out| {
+            let rels = group_by_relation(n, values);
+            // Faithful to the paper's reducers: enumerate the local join of
+            // everything received, emit only at the designated cell (§6.2).
+            // (A designated-cell-aware matcher exists in
+            // `mwsj_local::multiway_cell`; the `ablation_pruning` bench
+            // shows it does not pay off under 4th-quadrant delivery, and
+            // using it would give our reducers a shortcut the paper's
+            // evaluation does not have.)
+            multiway::multiway_join(query, &rels, |tuple| {
+                if is_designated_cell(grid, CellId(cell), tuple) {
+                    found.fetch_add(1, Ordering::Relaxed);
+                    if !config.count_only {
+                        out(tuple_ids(tuple));
+                    }
+                }
+            });
+        },
+    );
+
+    let report = engine.report();
+    let stats = ReplicationStats {
+        rectangles_replicated: input.len() as u64,
+        rectangles_after_replication: report.jobs[0].map_output_records,
+    };
+    JoinOutput {
+        tuples: normalize_tuples(tuples),
+        tuple_count: found.load(Ordering::Relaxed),
+        stats,
+        report,
+    }
+}

@@ -1,0 +1,363 @@
+//! The *2-way Cascade* baseline (§6.1).
+//!
+//! The multi-way query is evaluated as a sequence of 2-way joins, one
+//! map-reduce job per join condition, in the order the query lists them
+//! (the paper assumes the given order is the optimal one, §6.1 footnote).
+//! Each job joins the growing intermediate result with the next base
+//! relation using the 2-way blueprint of §5: the bound side is routed to
+//! every cell its (enlarged, for range predicates) anchor rectangle
+//! overlaps, the new relation is split, and the §5.3 designated-cell rule
+//! keeps one copy of each pair. Between jobs the intermediate result is
+//! materialized on the DFS — the "huge reading and writing cost" of §6.4
+//! shows up in the DFS byte counters.
+//!
+//! A join condition whose endpoints are both already bound (only possible
+//! for cyclic queries; the paper's queries are chains and stars) is
+//! applied as a filter over the intermediate result instead of a join —
+//! Hadoop would fold that predicate into the following job's reducer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mwsj_geom::Rect;
+use mwsj_mapreduce::{Engine, RecordSize};
+use mwsj_partition::{CellId, Grid};
+use mwsj_query::{Predicate, Query, RelationId, Triple};
+use mwsj_rtree::RTree;
+
+use super::normalize_tuples;
+use crate::{JoinOutput, ReplicationStats, RunConfig, TaggedRect};
+
+/// A partially-joined tuple: one optional `(id, rect)` slot per relation
+/// position.
+#[derive(Debug, Clone, PartialEq)]
+struct Partial {
+    slots: Vec<Option<(u32, Rect)>>,
+}
+
+impl Partial {
+    fn bind(&self, pos: usize, id: u32, rect: Rect) -> Partial {
+        let mut slots = self.slots.clone();
+        debug_assert!(slots[pos].is_none());
+        slots[pos] = Some((id, rect));
+        Partial { slots }
+    }
+
+    fn rect(&self, pos: usize) -> Rect {
+        self.slots[pos].expect("position bound").1
+    }
+}
+
+impl RecordSize for Partial {
+    fn size_bytes(&self) -> usize {
+        // One presence byte per slot; bound slots carry id + 4 corners.
+        self.slots
+            .iter()
+            .map(|s| 1 + s.map_or(0, |_| 4 + 32))
+            .sum()
+    }
+}
+
+/// One record of a cascade stage's input: either an intermediate tuple or
+/// a base rectangle of the relation being joined in.
+#[derive(Debug, Clone)]
+enum Side {
+    Tuple(Partial),
+    Base(TaggedRect),
+}
+
+impl RecordSize for Side {
+    fn size_bytes(&self) -> usize {
+        1 + match self {
+            Side::Tuple(p) => p.size_bytes(),
+            Side::Base(tr) => tr.size_bytes(),
+        }
+    }
+}
+
+pub(crate) fn run(
+    engine: &Engine,
+    grid: &Grid,
+    num_reducers: u32,
+    query: &Query,
+    relations: &[&[Rect]],
+    config: RunConfig,
+) -> JoinOutput {
+    let n = query.num_relations();
+    let mut bound = vec![false; n];
+    let mut remaining: Vec<Triple> = query.triples().to_vec();
+    let mut intermediate: Vec<Partial> = Vec::new();
+    let mut stage = 0usize;
+    // In count-only mode the *final* stage only counts its output — every
+    // earlier stage must still materialize (its result feeds the next job;
+    // that materialization is precisely the cascade's cost).
+    let mut counted_final: Option<u64> = None;
+
+    while !remaining.is_empty() {
+        // Pick the next join condition: the first one touching the bound
+        // set (any one for the first stage). Connectivity guarantees one
+        // exists.
+        let idx = if stage == 0 {
+            0
+        } else {
+            remaining
+                .iter()
+                .position(|t| bound[t.left.index()] || bound[t.right.index()])
+                .expect("connected query graph")
+        };
+        let triple = remaining.remove(idx);
+        let (l, r) = (triple.left, triple.right);
+        let last_stage = remaining.is_empty();
+        let counting = config.count_only && last_stage;
+        let counter = AtomicU64::new(0);
+
+        intermediate = match (bound[l.index()], bound[r.index()]) {
+            (false, false) => {
+                debug_assert_eq!(stage, 0);
+                base_base_join(engine, grid, num_reducers, relations, n, triple, stage, counting, &counter)
+            }
+            (true, false) => stage_join(
+                engine, grid, num_reducers, relations, triple, l, r, false, &intermediate,
+                stage, counting, &counter,
+            ),
+            (false, true) => stage_join(
+                engine, grid, num_reducers, relations, triple, r, l, true, &intermediate,
+                stage, counting, &counter,
+            ),
+            (true, true) => {
+                // Cycle-closing predicate: filter in place.
+                let kept: Vec<Partial> = intermediate
+                    .into_iter()
+                    .filter(|p| {
+                        triple
+                            .predicate
+                            .eval(&p.rect(l.index()), &p.rect(r.index()))
+                    })
+                    .collect();
+                counter.fetch_add(kept.len() as u64, Ordering::Relaxed);
+                if counting {
+                    Vec::new()
+                } else {
+                    kept
+                }
+            }
+        };
+        if counting {
+            counted_final = Some(counter.load(Ordering::Relaxed));
+        }
+        bound[l.index()] = true;
+        bound[r.index()] = true;
+
+        // Materialize the intermediate result between jobs, as a Hadoop
+        // cascade must (§6.4).
+        if !remaining.is_empty() {
+            let name = format!("cascade/stage-{stage}");
+            engine.dfs.write(&name, intermediate.clone());
+            intermediate = engine
+                .dfs
+                .read::<Partial>(&name)
+                .expect("just written")
+                .as_ref()
+                .clone();
+        }
+        stage += 1;
+    }
+
+    let tuples: Vec<Vec<u32>> = intermediate
+        .iter()
+        .map(|p| {
+            p.slots
+                .iter()
+                .map(|s| s.expect("all positions bound at the end").0)
+                .collect()
+        })
+        .collect();
+    let tuple_count = counted_final.unwrap_or(tuples.len() as u64);
+
+    JoinOutput {
+        tuples: normalize_tuples(tuples),
+        tuple_count,
+        // The cascade never replicates; its cost lives in the DFS and
+        // shuffle counters of the report.
+        stats: ReplicationStats::default(),
+        report: engine.report(),
+    }
+}
+
+/// Stage 0: join two base relations (§5.2/§5.3). The left side is routed
+/// by its enlarged rectangle, the right side is split.
+#[allow(clippy::too_many_arguments)]
+fn base_base_join(
+    engine: &Engine,
+    grid: &Grid,
+    num_reducers: u32,
+    relations: &[&[Rect]],
+    n: usize,
+    triple: Triple,
+    stage: usize,
+    counting: bool,
+    counter: &AtomicU64,
+) -> Vec<Partial> {
+    let (l, r) = (triple.left, triple.right);
+    let mut input: Vec<Side> = Vec::new();
+    for (id, rect) in relations[l.index()].iter().enumerate() {
+        input.push(Side::Base(TaggedRect::new(l, id as u32, *rect)));
+    }
+    for (id, rect) in relations[r.index()].iter().enumerate() {
+        input.push(Side::Base(TaggedRect::new(r, id as u32, *rect)));
+    }
+
+    let empty = Partial {
+        slots: vec![None; n],
+    };
+    run_pair_job(
+        engine,
+        grid,
+        num_reducers,
+        &format!("cascade-stage-{stage}"),
+        &input,
+        triple.predicate,
+        l,
+        false,
+        move |tr| {
+            // Anchor side: wrap the base rectangle as a fresh partial.
+            empty.bind(l.index(), tr.id, tr.rect)
+        },
+        r,
+        counting,
+        counter,
+    )
+}
+
+/// Later stages: join the intermediate result (anchored at `anchor_pos`)
+/// with base relation `new_pos`.
+#[allow(clippy::too_many_arguments)]
+fn stage_join(
+    engine: &Engine,
+    grid: &Grid,
+    num_reducers: u32,
+    relations: &[&[Rect]],
+    triple: Triple,
+    anchor_pos: RelationId,
+    new_pos: RelationId,
+    anchor_is_right: bool,
+    intermediate: &[Partial],
+    stage: usize,
+    counting: bool,
+    counter: &AtomicU64,
+) -> Vec<Partial> {
+    let mut input: Vec<Side> = intermediate
+        .iter()
+        .map(|p| Side::Tuple(p.clone()))
+        .collect();
+    for (id, rect) in relations[new_pos.index()].iter().enumerate() {
+        input.push(Side::Base(TaggedRect::new(new_pos, id as u32, *rect)));
+    }
+    run_pair_job(
+        engine,
+        grid,
+        num_reducers,
+        &format!("cascade-stage-{stage}"),
+        &input,
+        triple.predicate,
+        anchor_pos,
+        anchor_is_right,
+        |tr| panic!("unexpected base record for anchor relation {tr:?}"),
+        new_pos,
+        counting,
+        counter,
+    )
+}
+
+/// The shared 2-way job: anchor-side records (intermediate tuples, or base
+/// rectangles lifted by `lift`) are routed by their enlarged anchor
+/// rectangle; `new_pos` base rectangles are split. Each reducer pairs them
+/// with an R-tree probe and keeps a pair only at its designated cell.
+#[allow(clippy::too_many_arguments)]
+fn run_pair_job(
+    engine: &Engine,
+    grid: &Grid,
+    num_reducers: u32,
+    name: &str,
+    input: &[Side],
+    predicate: Predicate,
+    anchor_pos: RelationId,
+    anchor_is_right: bool,
+    lift: impl Fn(&TaggedRect) -> Partial + Sync,
+    new_pos: RelationId,
+    counting: bool,
+    counter: &AtomicU64,
+) -> Vec<Partial> {
+    let d = predicate.distance();
+    let extent = grid.extent();
+    engine.run_job(
+        name,
+        input,
+        num_reducers as usize,
+        |record, emit| match record {
+            Side::Tuple(p) => {
+                let anchor = p.rect(anchor_pos.index());
+                let enlarged = anchor
+                    .enlarge(d)
+                    .intersection(&extent)
+                    .expect("anchor inside the space");
+                for cell in grid.split_cells(&enlarged) {
+                    emit(cell.0, Side::Tuple(p.clone()));
+                }
+            }
+            Side::Base(tr) if tr.relation == anchor_pos => {
+                // Stage 0 anchor side: lift to a partial, route enlarged.
+                let p = lift(tr);
+                let enlarged = tr
+                    .rect
+                    .enlarge(d)
+                    .intersection(&extent)
+                    .expect("rect inside the space");
+                for cell in grid.split_cells(&enlarged) {
+                    emit(cell.0, Side::Tuple(p.clone()));
+                }
+            }
+            Side::Base(tr) => {
+                for cell in grid.split_cells(&tr.rect) {
+                    emit(cell.0, Side::Base(*tr));
+                }
+            }
+        },
+        |&k, p| k as usize % p,
+        |&cell, values, out| {
+            let mut tuples: Vec<Partial> = Vec::new();
+            let mut base: Vec<(Rect, u32)> = Vec::new();
+            for v in values {
+                match v {
+                    Side::Tuple(p) => tuples.push(p),
+                    Side::Base(tr) => base.push((tr.rect, tr.id)),
+                }
+            }
+            if tuples.is_empty() || base.is_empty() {
+                return;
+            }
+            let tree = RTree::bulk_load(base);
+            for p in &tuples {
+                let anchor = p.rect(anchor_pos.index());
+                tree.query_within(&anchor, d, |rect, &id| {
+                    // The distance probe equals the predicate for Overlap
+                    // and Range; asymmetric predicates (Contains) need the
+                    // exact oriented check on top.
+                    if !predicate.eval_oriented(&anchor, rect, anchor_is_right) {
+                        return;
+                    }
+                    // Designated cell (§5.3): the start of the overlap
+                    // between the enlarged anchor and the partner.
+                    let designated =
+                        mwsj_local::dedup::range_pair_cell(grid, &anchor, rect, d)
+                            .expect("within distance implies enlarged overlap");
+                    if designated == CellId(cell) {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        if !counting {
+                            out(p.bind(new_pos.index(), id, *rect));
+                        }
+                    }
+                });
+            }
+        },
+    )
+}

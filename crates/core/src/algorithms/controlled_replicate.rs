@@ -1,0 +1,169 @@
+//! *Controlled-Replicate* and *C-Rep-L* (§7, §8, §9).
+//!
+//! Two map-reduce rounds:
+//!
+//! 1. **Mark.** All relations are *split*; the reducer of each cell runs
+//!    the C1-C4 marking procedure (`mwsj_local::marking`) and emits every
+//!    rectangle **starting** in its cell, flagged marked or unmarked. Each
+//!    rectangle starts in exactly one cell (and is always split onto it),
+//!    so round 1 emits each input rectangle exactly once. The flagged
+//!    stream is materialized on the DFS, as Hadoop would between jobs.
+//! 2. **Join.** Marked rectangles are replicated — with `f1` (C-Rep) or
+//!    with `f2` under per-relation distance bounds (C-Rep-L) — and
+//!    unmarked rectangles are projected. Each reducer computes the local
+//!    multi-way join; the designated cell of §6.2 emits each tuple once.
+//!
+//! # Why projecting unmarked rectangles is safe
+//!
+//! For an output tuple `U'` and an unmarked member `v` starting in cell
+//! `c_v`: if some member of `U'` did not overlap `c_v`, the members of
+//! `U'` overlapping `c_v` would satisfy C1-C3 there (the paper's §7.5
+//! argument) and `v` would have been marked. So *all* members overlap
+//! `c_v` — and under the half-open cell-region semantics of
+//! `mwsj-partition`, the duplicate-avoidance point `(u_r.x, u_l.y)` then
+//! lies in `c_v` itself (the region contains `u_r.x` because `u_r`
+//! overlaps the region and starts right of `v`; symmetrically for
+//! `u_l.y`). Hence the designated cell is `c_v`, which receives `v` by
+//! projection, every other unmarked member by the same argument, and every
+//! marked member because the designated cell lies in each member's 4th
+//! quadrant.
+//!
+//! # The C-Rep-L bound
+//!
+//! §7.9/§8 bound the distance between *joined rectangles* along join-graph
+//! paths (`replication_bounds`). The designated cell, however, combines
+//! the x of the rightmost and the y of the lowermost member, so its
+//! distance from a member `m` is at most `√2 ×` the member-to-member
+//! bound (each axis gap is bounded by a distance to one member). We
+//! therefore replicate to `√2 × replication_bounds(...)` — the paper does
+//! not spell this factor out, but without it boundary configurations lose
+//! tuples (our property tests find them).
+
+use mwsj_geom::Rect;
+use mwsj_local::{marking, multiway};
+use mwsj_mapreduce::Engine;
+use mwsj_partition::{CellId, Grid};
+use mwsj_query::{replication_bounds, Query};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use super::{flatten_input, is_designated_cell, max_diagonal, normalize_tuples, tuple_ids};
+use crate::record::group_by_relation;
+use crate::{JoinOutput, ReplicationStats, RunConfig, TaggedRect};
+
+#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run(
+    engine: &Engine,
+    grid: &Grid,
+    num_reducers: u32,
+    query: &Query,
+    relations: &[&[Rect]],
+    limit: bool,
+    config: RunConfig,
+) -> JoinOutput {
+    let input = flatten_input(relations);
+    let n = query.num_relations();
+    let partitions = num_reducers as usize;
+
+    // ---- Round 1: split everything, mark per cell --------------------
+    let round1: Vec<(TaggedRect, bool)> = engine.run_job(
+        "c-rep-round1-mark",
+        &input,
+        partitions,
+        |tr, emit| {
+            for cell in grid.split_cells(&tr.rect) {
+                emit(cell.0, *tr);
+            }
+        },
+        |&k, p| k as usize % p,
+        |&cell, values, out| {
+            let cell_id = CellId(cell);
+            let rels = group_by_relation(n, values);
+            let flags = marking::mark_for_replication(query, grid, cell_id, &rels);
+            for (pos, (rel_rects, rel_flags)) in rels.iter().zip(&flags).enumerate() {
+                for (&(rect, id), &marked) in rel_rects.iter().zip(rel_flags) {
+                    if grid.cell_of(&rect) == cell_id {
+                        out((
+                            TaggedRect::new(mwsj_query::RelationId(pos as u16), id, rect),
+                            marked,
+                        ));
+                    }
+                }
+            }
+        },
+    );
+    debug_assert_eq!(round1.len(), input.len(), "round 1 re-emits each rectangle once");
+
+    // Materialize the flagged stream between jobs, as Hadoop does.
+    engine.dfs.write("c-rep/marked", round1);
+    let round1 = engine
+        .dfs
+        .read::<(TaggedRect, bool)>("c-rep/marked")
+        .expect("just written");
+
+    let marked_count = round1.iter().filter(|(_, m)| *m).count() as u64;
+    let unmarked_count = round1.len() as u64 - marked_count;
+
+    // C-Rep-L per-relation replication bounds (with the √2 designated-cell
+    // factor; see the module docs).
+    let bounds: Option<Vec<f64>> = limit.then(|| {
+        let d_max = max_diagonal(relations);
+        replication_bounds(query, d_max)
+            .into_iter()
+            .map(|b| b * std::f64::consts::SQRT_2)
+            .collect()
+    });
+
+    // ---- Round 2: replicate marked / project unmarked, join ----------
+    let found = AtomicU64::new(0);
+    let tuples: Vec<Vec<u32>> = engine.run_job(
+        if limit { "c-rep-l-round2-join" } else { "c-rep-round2-join" },
+        &round1,
+        partitions,
+        |(tr, marked), emit| {
+            let targets = if *marked {
+                match &bounds {
+                    Some(b) => {
+                        grid.fourth_quadrant_cells_within(&tr.rect, b[tr.relation.index()])
+                    }
+                    None => grid.fourth_quadrant_cells(&tr.rect),
+                }
+            } else {
+                vec![grid.cell_of(&tr.rect)]
+            };
+            for cell in targets {
+                emit(cell.0, *tr);
+            }
+        },
+        |&k, p| k as usize % p,
+        |&cell, values, out| {
+            let rels = group_by_relation(n, values);
+            // Faithful enumerate-then-filter, as in All-Replicate's reducer
+            // (see the comment there and the `ablation_pruning` bench).
+            multiway::multiway_join(query, &rels, |tuple| {
+                if is_designated_cell(grid, CellId(cell), tuple) {
+                    found.fetch_add(1, Ordering::Relaxed);
+                    if !config.count_only {
+                        out(tuple_ids(tuple));
+                    }
+                }
+            });
+        },
+    );
+
+    let report = engine.report();
+    // Round 2 emits one pair per replication target for marked rectangles
+    // plus exactly one projected pair per unmarked rectangle.
+    let after_replication = report.jobs[1].map_output_records - unmarked_count;
+    let stats = ReplicationStats {
+        rectangles_replicated: marked_count,
+        rectangles_after_replication: after_replication,
+    };
+    JoinOutput {
+        tuples: normalize_tuples(tuples),
+        tuple_count: found.load(Ordering::Relaxed),
+        stats,
+        report,
+    }
+}

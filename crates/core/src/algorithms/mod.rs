@@ -1,0 +1,136 @@
+//! The four distributed join algorithms of the paper.
+//!
+//! All of them share the same contract: input relations bound to query
+//! positions, output tuples of record ids (exactly the in-memory reference
+//! result of [`crate::reference::in_memory_join`]), and a metrics report
+//! exposing the communication behaviour the paper compares.
+
+pub(crate) mod all_replicate;
+pub(crate) mod cascade;
+pub(crate) mod controlled_replicate;
+
+use mwsj_geom::Rect;
+use mwsj_query::RelationId;
+use serde::{Deserialize, Serialize};
+
+use crate::TaggedRect;
+
+/// Which distributed algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Naive baseline (§6.1): evaluate the query as a cascade of 2-way
+    /// joins, one map-reduce job per join, materializing every intermediate
+    /// result on the DFS.
+    TwoWayCascade,
+    /// Naive baseline (§6.1): replicate every rectangle to all cells in its
+    /// 4th quadrant and join in a single round.
+    AllReplicate,
+    /// The paper's *Controlled-Replicate* (§7): round 1 marks the
+    /// rectangles satisfying conditions C1-C4; round 2 replicates only
+    /// those and projects the rest.
+    ControlledReplicate,
+    /// *C-Rep-L* (§7.9): like C-Rep, but marked rectangles are replicated
+    /// only to 4th-quadrant cells within a per-relation distance bound
+    /// derived from the join graph.
+    ControlledReplicateLimit,
+}
+
+impl Algorithm {
+    /// All algorithms, in the order the paper's tables list them.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::TwoWayCascade,
+        Algorithm::AllReplicate,
+        Algorithm::ControlledReplicate,
+        Algorithm::ControlledReplicateLimit,
+    ];
+
+    /// Short display name used by the bench tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::TwoWayCascade => "2-way Cascade",
+            Algorithm::AllReplicate => "All-Rep",
+            Algorithm::ControlledReplicate => "C-Rep",
+            Algorithm::ControlledReplicateLimit => "C-Rep-L",
+        }
+    }
+}
+
+/// Flattens positional datasets into the tagged-rectangle records the map
+/// phase consumes.
+pub(crate) fn flatten_input(relations: &[&[Rect]]) -> Vec<TaggedRect> {
+    let mut out = Vec::with_capacity(relations.iter().map(|r| r.len()).sum());
+    for (pos, rel) in relations.iter().enumerate() {
+        for (id, rect) in rel.iter().enumerate() {
+            out.push(TaggedRect::new(RelationId(pos as u16), id as u32, *rect));
+        }
+    }
+    out
+}
+
+/// Sorts and dedups output tuples into the canonical order. The duplicate
+/// avoidance rules make duplicates impossible; normalizing keeps the
+/// contract obvious and the comparison with the reference trivial.
+pub(crate) fn normalize_tuples(mut tuples: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+    tuples.sort();
+    tuples.dedup();
+    tuples
+}
+
+/// The designated-cell test shared by the single-round reducers: emit the
+/// tuple only at the cell of the multi-way duplicate-avoidance point
+/// (§6.2).
+pub(crate) fn is_designated_cell(
+    grid: &mwsj_partition::Grid,
+    cell: mwsj_partition::CellId,
+    tuple: &[mwsj_local::LocalRect],
+) -> bool {
+    let rects: Vec<Rect> = tuple.iter().map(|&(r, _)| r).collect();
+    mwsj_local::dedup::multiway_tuple_cell(grid, &rects) == cell
+}
+
+pub(crate) fn tuple_ids(tuple: &[mwsj_local::LocalRect]) -> Vec<u32> {
+    tuple.iter().map(|&(_, id)| id).collect()
+}
+
+/// The largest rectangle diagonal across all inputs — the `d_max` dataset
+/// statistic the C-Rep-L bounds assume known (§7.9).
+pub(crate) fn max_diagonal(relations: &[&[Rect]]) -> f64 {
+    relations
+        .iter()
+        .flat_map(|rel| rel.iter())
+        .map(Rect::diagonal)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_tags_positions_and_ids() {
+        let a = vec![Rect::new(0.0, 1.0, 1.0, 1.0)];
+        let b = vec![
+            Rect::new(2.0, 1.0, 1.0, 1.0),
+            Rect::new(3.0, 1.0, 1.0, 1.0),
+        ];
+        let flat = flatten_input(&[&a, &b]);
+        assert_eq!(flat.len(), 3);
+        assert_eq!(flat[0].relation, RelationId(0));
+        assert_eq!(flat[2].relation, RelationId(1));
+        assert_eq!(flat[2].id, 1);
+    }
+
+    #[test]
+    fn max_diagonal_over_relations() {
+        let a = vec![Rect::new(0.0, 10.0, 3.0, 4.0)];
+        let b = vec![Rect::new(0.0, 10.0, 6.0, 8.0)];
+        assert_eq!(max_diagonal(&[&a, &b]), 10.0);
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::ControlledReplicate.name(), "C-Rep");
+        assert_eq!(Algorithm::ALL.len(), 4);
+    }
+}

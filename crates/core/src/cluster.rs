@@ -1,0 +1,225 @@
+use mwsj_geom::{Coord, Rect};
+use mwsj_mapreduce::{Engine, EngineConfig};
+use mwsj_partition::Grid;
+use mwsj_query::Query;
+
+use crate::algorithms::{self, Algorithm};
+use crate::{JoinOutput, RunConfig};
+
+/// Cluster configuration: the partitioned space, the reducer grid and the
+/// engine parallelism.
+///
+/// The paper runs 64 reducers as an 8×8 grid over the data space (§7.8.1);
+/// [`ClusterConfig::for_space`] mirrors that construction.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// x extent of the space (all rectangles must lie inside).
+    pub x_range: (Coord, Coord),
+    /// y extent of the space.
+    pub y_range: (Coord, Coord),
+    /// Grid columns (reducers per row).
+    pub grid_cols: u32,
+    /// Grid rows.
+    pub grid_rows: u32,
+    /// Number of physical reducers (shuffle partitions). `None` (the
+    /// default, and the paper's setup) uses one reducer per grid cell.
+    /// Setting it **below** the cell count decouples *logical* cells from
+    /// *physical* reducers — the standard skew mitigation: a finer grid
+    /// spreads hot regions over many cells, which hash onto the available
+    /// reducers. All key-value pairs of one cell still meet at a single
+    /// reducer, so every correctness argument is untouched.
+    pub num_reducers: Option<u32>,
+    /// Engine thread parallelism.
+    pub engine: EngineConfig,
+}
+
+impl ClusterConfig {
+    /// A square `side × side` reducer grid over the given space — `side²`
+    /// reducers, as in the paper's 8×8 / 64-reducer setup.
+    #[must_use]
+    pub fn for_space(x_range: (Coord, Coord), y_range: (Coord, Coord), side: u32) -> Self {
+        Self {
+            x_range,
+            y_range,
+            grid_cols: side,
+            grid_rows: side,
+            num_reducers: None,
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// Uses a fixed number of physical reducers independent of the grid
+    /// resolution (cells hash onto reducers).
+    #[must_use]
+    pub fn with_reducers(mut self, reducers: u32) -> Self {
+        assert!(reducers > 0);
+        self.num_reducers = Some(reducers);
+        self
+    }
+
+    /// Overrides the engine parallelism.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// A simulated map-reduce cluster: the engine plus the grid partitioning
+/// shared by every job of a join run.
+pub struct Cluster {
+    engine: Engine,
+    grid: Grid,
+    num_reducers: u32,
+}
+
+impl Cluster {
+    /// Creates a cluster.
+    #[must_use]
+    pub fn new(config: ClusterConfig) -> Self {
+        let grid = Grid::new(
+            config.x_range,
+            config.y_range,
+            config.grid_cols,
+            config.grid_rows,
+        );
+        let num_reducers = config
+            .num_reducers
+            .unwrap_or_else(|| grid.num_cells())
+            .min(grid.num_cells());
+        Self {
+            engine: Engine::new(config.engine),
+            grid,
+            num_reducers,
+        }
+    }
+
+    /// Number of physical reducers (shuffle partitions) used by the join
+    /// jobs.
+    #[must_use]
+    pub fn num_reducers(&self) -> u32 {
+        self.num_reducers
+    }
+
+    /// The grid partitioning (one reducer per cell).
+    #[must_use]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The underlying engine (exposed for inspection; the join algorithms
+    /// drive it internally).
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Runs a multi-way spatial join.
+    ///
+    /// `relations[i]` is the dataset bound to query position `i`; a
+    /// self-join binds the same slice to several positions. Output ids are
+    /// indices into these slices. Metrics are reset at the start of each
+    /// run, so [`JoinOutput::report`] covers exactly this run.
+    ///
+    /// # Panics
+    /// Panics if the number of datasets does not match the query's relation
+    /// positions, or a rectangle lies outside the configured space.
+    #[must_use]
+    pub fn run(&self, query: &Query, relations: &[&[Rect]], algorithm: Algorithm) -> JoinOutput {
+        self.run_with(query, relations, algorithm, RunConfig::default())
+    }
+
+    /// Like [`Cluster::run`], with explicit run options. With
+    /// [`RunConfig::count_only`] the output tuples are counted but not
+    /// materialized — the mode the benchmark tables use, since the paper's
+    /// heavier workloads produce outputs far larger than memory while the
+    /// tables only report times and replication counts.
+    #[must_use]
+    pub fn run_with(
+        &self,
+        query: &Query,
+        relations: &[&[Rect]],
+        algorithm: Algorithm,
+        config: RunConfig,
+    ) -> JoinOutput {
+        assert_eq!(
+            relations.len(),
+            query.num_relations(),
+            "one dataset per query relation position"
+        );
+        let extent = self.grid.extent();
+        for (i, rel) in relations.iter().enumerate() {
+            assert!(
+                rel.iter().all(|r| extent.contains_rect(r)),
+                "relation {i} contains rectangles outside the cluster space"
+            );
+        }
+        self.engine.reset_metrics();
+        match algorithm {
+            Algorithm::TwoWayCascade => algorithms::cascade::run(
+                &self.engine,
+                &self.grid,
+                self.num_reducers,
+                query,
+                relations,
+                config,
+            ),
+            Algorithm::AllReplicate => algorithms::all_replicate::run(
+                &self.engine,
+                &self.grid,
+                self.num_reducers,
+                query,
+                relations,
+                config,
+            ),
+            Algorithm::ControlledReplicate => algorithms::controlled_replicate::run(
+                &self.engine,
+                &self.grid,
+                self.num_reducers,
+                query,
+                relations,
+                false,
+                config,
+            ),
+            Algorithm::ControlledReplicateLimit => algorithms::controlled_replicate::run(
+                &self.engine,
+                &self.grid,
+                self.num_reducers,
+                query,
+                relations,
+                true,
+                config,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builds_square_grid() {
+        let c = Cluster::new(ClusterConfig::for_space((0.0, 80.0), (0.0, 80.0), 8));
+        assert_eq!(c.grid().num_cells(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the cluster space")]
+    fn rejects_out_of_space_rectangles() {
+        let cluster = Cluster::new(ClusterConfig::for_space((0.0, 10.0), (0.0, 10.0), 2));
+        let q = Query::parse("a ov b").unwrap();
+        let bad = vec![Rect::new(5.0, 5.0, 20.0, 2.0)];
+        let ok = vec![Rect::new(1.0, 9.0, 1.0, 1.0)];
+        let _ = cluster.run(&q, &[&bad, &ok], Algorithm::AllReplicate);
+    }
+
+    #[test]
+    #[should_panic(expected = "one dataset per query relation position")]
+    fn rejects_wrong_arity() {
+        let cluster = Cluster::new(ClusterConfig::for_space((0.0, 10.0), (0.0, 10.0), 2));
+        let q = Query::parse("a ov b").unwrap();
+        let r = vec![Rect::new(1.0, 9.0, 1.0, 1.0)];
+        let _ = cluster.run(&q, &[&r], Algorithm::AllReplicate);
+    }
+}

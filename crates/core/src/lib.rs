@@ -1,0 +1,63 @@
+//! Multi-way spatial joins on a (simulated) map-reduce cluster — a
+//! from-scratch reproduction of *Processing Multi-Way Spatial Joins on
+//! Map-Reduce* (Gupta et al., EDBT 2013).
+//!
+//! The crate distributes a multi-way spatial join query (conjunctions of
+//! `Overlap` and `Range(d)` predicates over rectangle relations) across a
+//! grid of reducers and implements all four algorithms the paper studies:
+//!
+//! * [`Algorithm::TwoWayCascade`] — the naive cascade of 2-way joins (§6);
+//! * [`Algorithm::AllReplicate`] — the naive single-round 4th-quadrant
+//!   replication (§6);
+//! * [`Algorithm::ControlledReplicate`] — the paper's contribution: a
+//!   two-round framework that replicates only rectangles satisfying the
+//!   C1-C4 conditions (§7, §8, §9);
+//! * [`Algorithm::ControlledReplicateLimit`] — *C-Rep-L*, which further
+//!   limits how far marked rectangles travel using per-relation distance
+//!   bounds derived from the join graph (§7.9).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mwsj_core::{Algorithm, Cluster, ClusterConfig};
+//! use mwsj_geom::Rect;
+//! use mwsj_query::Query;
+//!
+//! // Three tiny relations in a [0, 100]^2 space.
+//! let r1 = vec![Rect::new(10.0, 90.0, 5.0, 5.0)];
+//! let r2 = vec![Rect::new(12.0, 88.0, 5.0, 5.0)];
+//! let r3 = vec![Rect::new(14.0, 86.0, 5.0, 5.0)];
+//!
+//! let query = Query::parse("R1 overlaps R2 and R2 overlaps R3").unwrap();
+//! let cluster = Cluster::new(ClusterConfig::for_space((0.0, 100.0), (0.0, 100.0), 4));
+//! let output = cluster.run(&query, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+//! assert_eq!(output.tuples, vec![vec![0, 0, 0]]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod ann;
+mod cluster;
+pub mod planner;
+mod record;
+pub mod reference;
+mod run_config;
+pub mod refine;
+mod result;
+
+pub use algorithms::Algorithm;
+pub use cluster::{Cluster, ClusterConfig};
+pub use record::TaggedRect;
+pub use result::{JoinOutput, ReplicationStats};
+pub use run_config::RunConfig;
+
+// Re-export the building blocks a downstream user needs alongside the core
+// API, so `mwsj-core` is usable as a single dependency.
+pub use mwsj_geom as geom;
+pub use mwsj_local as local;
+pub use mwsj_mapreduce as mapreduce;
+pub use mwsj_partition as partition;
+pub use mwsj_query as query;
+pub use mwsj_rtree as rtree;

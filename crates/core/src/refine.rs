@@ -1,0 +1,102 @@
+//! The *refinement* step (§1.1).
+//!
+//! The distributed algorithms implement the **filter** step over MBRs and
+//! may therefore report tuples whose exact geometries do not actually
+//! satisfy the predicates. When the spatial objects are polygons, this
+//! module re-checks each candidate tuple against the exact geometry and
+//! keeps only true results.
+
+use mwsj_geom::Polygon;
+use mwsj_query::{Predicate, Query};
+
+/// Retains the candidate tuples whose exact polygon geometries satisfy
+/// every predicate of the query.
+///
+/// `polygons[i]` holds the exact geometries of the dataset bound to query
+/// position `i`, indexed by the same record ids the filter step reported.
+///
+/// # Panics
+/// Panics if a tuple references a record id outside its relation.
+#[must_use]
+pub fn refine_tuples(
+    query: &Query,
+    polygons: &[&[Polygon]],
+    candidates: &[Vec<u32>],
+) -> Vec<Vec<u32>> {
+    assert_eq!(polygons.len(), query.num_relations());
+    candidates
+        .iter()
+        .filter(|tuple| {
+            query.triples().iter().all(|t| {
+                let a = &polygons[t.left.index()][tuple[t.left.index()] as usize];
+                let b = &polygons[t.right.index()][tuple[t.right.index()] as usize];
+                match t.predicate {
+                    Predicate::Overlap => a.intersects(b),
+                    Predicate::Range(d) => a.within_distance(b, d),
+                    // Exact polygon containment: every vertex of b inside a
+                    // and no boundary crossing (a simple polygon contains
+                    // another iff all its vertices are inside and the
+                    // boundaries do not properly cross; vertex containment
+                    // plus mutual intersection already implies that here,
+                    // so check all vertices).
+                    Predicate::Contains => {
+                        b.vertices().iter().all(|v| a.contains_point(v))
+                    }
+                }
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwsj_geom::Point;
+
+    /// A right triangle with legs along the top-left corner.
+    fn tri(x: f64, y: f64, s: f64) -> Polygon {
+        Polygon::new(vec![
+            Point::new(x, y),
+            Point::new(x + s, y),
+            Point::new(x, y - s),
+        ])
+    }
+
+    #[test]
+    fn refinement_removes_mbr_false_positives() {
+        let q = Query::parse("a ov b").unwrap();
+        // Two triangles whose MBRs overlap but whose exact shapes do not
+        // touch (b sits below a's hypotenuse): the filter reports them, the
+        // refinement drops them.
+        let a = vec![tri(0.0, 10.0, 4.0)];
+        let b = vec![tri(2.8, 6.4, 0.3)];
+        assert!(a[0].mbr().overlaps(&b[0].mbr()));
+        assert!(!a[0].intersects(&b[0]));
+        let candidates = vec![vec![0, 0]];
+        assert!(refine_tuples(&q, &[&a, &b], &candidates).is_empty());
+    }
+
+    #[test]
+    fn refinement_keeps_true_positives() {
+        let q = Query::parse("a ov b and b within 5 of c").unwrap();
+        let a = vec![tri(0.0, 10.0, 4.0)];
+        let b = vec![tri(1.0, 9.5, 4.0)];
+        let c = vec![tri(7.0, 9.0, 2.0)];
+        let candidates = vec![vec![0, 0, 0]];
+        assert_eq!(refine_tuples(&q, &[&a, &b, &c], &candidates), candidates);
+    }
+
+    #[test]
+    fn range_refinement_checks_exact_distance() {
+        let q = Query::parse("a within 2 of b").unwrap();
+        let a = vec![tri(0.0, 10.0, 2.0)];
+        let near = vec![tri(3.5, 10.0, 2.0)];
+        let far = vec![tri(8.0, 10.0, 2.0)];
+        assert_eq!(
+            refine_tuples(&q, &[&a, &near], &[vec![0, 0]]),
+            vec![vec![0, 0]]
+        );
+        assert!(refine_tuples(&q, &[&a, &far], &[vec![0, 0]]).is_empty());
+    }
+}

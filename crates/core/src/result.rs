@@ -1,0 +1,48 @@
+use mwsj_mapreduce::MetricsReport;
+use serde::Serialize;
+
+/// Replication statistics matching the columns of the paper's result tables
+/// (§7.8.3).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ReplicationStats {
+    /// "The number of Rectangles Replicated": rectangles marked for
+    /// replication (every input rectangle for *All-Replicate*; 0 for the
+    /// cascade, which never replicates).
+    pub rectangles_replicated: u64,
+    /// "The number of Rectangles After Replication": the aggregated count
+    /// of copies communicated to reducers for the replicated rectangles
+    /// (the parenthesized figures in Tables 2-9).
+    pub rectangles_after_replication: u64,
+}
+
+/// The result of one distributed join run.
+#[derive(Debug)]
+pub struct JoinOutput {
+    /// Output tuples: one record id per relation position, in position
+    /// order. Ids are indices into the input slices. Sorted and
+    /// duplicate-free. Empty when the run was started with
+    /// [`crate::RunConfig::count_only`] — see [`JoinOutput::tuple_count`].
+    pub tuples: Vec<Vec<u32>>,
+    /// Number of output tuples (populated in every mode; equals
+    /// `tuples.len()` when tuples are collected).
+    pub tuple_count: u64,
+    /// Replication statistics (the paper's table columns).
+    pub stats: ReplicationStats,
+    /// Full engine metrics: per-job intermediate pair counts, shuffle
+    /// bytes, DFS traffic, wall times.
+    pub report: MetricsReport,
+}
+
+impl JoinOutput {
+    /// Number of output tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tuple_count as usize
+    }
+
+    /// Whether the join produced no tuples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tuple_count == 0
+    }
+}

@@ -1,0 +1,17 @@
+/// Options for one join run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunConfig {
+    /// Count output tuples instead of materializing them. The heavier
+    /// experiment rows of the paper produce outputs far larger than memory;
+    /// the evaluation tables only report times and replication counts, so
+    /// the bench harness runs in this mode.
+    pub count_only: bool,
+}
+
+impl RunConfig {
+    /// A configuration that counts output tuples without materializing.
+    #[must_use]
+    pub fn counting() -> Self {
+        Self { count_only: true }
+    }
+}

@@ -1,0 +1,157 @@
+//! Dataset persistence: a minimal CSV format for rectangle relations.
+//!
+//! One rectangle per line in the paper's `(x, y, l, b)` form:
+//!
+//! ```text
+//! # optional comment / header lines start with '#'
+//! x,y,l,b
+//! 12.5,100.0,4.0,2.5
+//! ```
+//!
+//! Numbers round-trip exactly (written with enough precision to
+//! reconstruct the same `f64`s), so a generated workload can be saved,
+//! inspected and reloaded for reproducible experiments.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use mwsj_geom::Rect;
+
+/// Errors from dataset I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes a dataset to a writer, one `x,y,l,b` line per rectangle.
+pub fn write_rects<W: Write>(mut w: W, rects: &[Rect]) -> Result<(), IoError> {
+    writeln!(w, "# x,y,l,b ({} rectangles)", rects.len())?;
+    for r in rects {
+        // 17 significant digits round-trip any f64.
+        writeln!(w, "{:.17e},{:.17e},{:.17e},{:.17e}", r.x(), r.y(), r.l(), r.b())?;
+    }
+    Ok(())
+}
+
+/// Saves a dataset to a file.
+pub fn save_rects<P: AsRef<Path>>(path: P, rects: &[Rect]) -> Result<(), IoError> {
+    let f = std::fs::File::create(path)?;
+    write_rects(BufWriter::new(f), rects)
+}
+
+/// Reads a dataset from a reader. Blank lines and `#` comments are
+/// skipped.
+pub fn read_rects<R: BufRead>(r: R) -> Result<Vec<Rect>, IoError> {
+    let mut out = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 4 {
+            return Err(IoError::Parse {
+                line: line_no,
+                message: format!("expected 4 comma-separated fields, found {}", fields.len()),
+            });
+        }
+        let mut nums = [0f64; 4];
+        for (slot, field) in nums.iter_mut().zip(&fields) {
+            *slot = field.trim().parse().map_err(|e| IoError::Parse {
+                line: line_no,
+                message: format!("`{field}` is not a number: {e}"),
+            })?;
+        }
+        let [x, y, l, b] = nums;
+        if !(l >= 0.0 && b >= 0.0) || nums.iter().any(|v| !v.is_finite()) {
+            return Err(IoError::Parse {
+                line: line_no,
+                message: "sides must be finite and non-negative".into(),
+            });
+        }
+        out.push(Rect::new(x, y, l, b));
+    }
+    Ok(out)
+}
+
+/// Loads a dataset from a file.
+pub fn load_rects<P: AsRef<Path>>(path: P) -> Result<Vec<Rect>, IoError> {
+    let f = std::fs::File::open(path)?;
+    read_rects(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticConfig;
+
+    #[test]
+    fn roundtrip_exact() {
+        let data = SyntheticConfig::paper_default(500, 3).generate();
+        let mut buf = Vec::new();
+        write_rects(&mut buf, &data).unwrap();
+        let back = read_rects(buf.as_slice()).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let data = SyntheticConfig::paper_default(100, 4).generate();
+        let path = std::env::temp_dir().join("mwsj-io-test.csv");
+        save_rects(&path, &data).unwrap();
+        let back = load_rects(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\n1.0,2.0,3.0,1.0\n  # another\n4.0,5.0,0.0,0.0\n";
+        let rects = read_rects(text.as_bytes()).unwrap();
+        assert_eq!(rects.len(), 2);
+        assert_eq!(rects[0], Rect::new(1.0, 2.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn reports_malformed_lines() {
+        let e = read_rects("1.0,2.0,3.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse { line: 1, .. }), "{e}");
+        let e = read_rects("# ok\n1.0,2.0,x,1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse { line: 2, .. }), "{e}");
+        let e = read_rects("1.0,2.0,-3.0,1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse { line: 1, .. }), "{e}");
+    }
+
+    #[test]
+    fn scientific_notation_parses() {
+        let rects = read_rects("1.5e2,2e3,3e0,1e-1\n".as_bytes()).unwrap();
+        assert_eq!(rects[0], Rect::new(150.0, 2000.0, 3.0, 0.1));
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded workload generators for the experiments.
+//!
+//! * [`synthetic`] — the paper's parameterized synthetic generator
+//!   (§7.8.2): number of rectangles `nI`, distributions for start-point
+//!   coordinates and side lengths, the space extent, and side-length
+//!   bounds.
+//! * [`california`] — a generator calibrated to every statistic the paper
+//!   reports for the flattened Census 2000 TIGER/Line California road
+//!   MBBs (§7.8.2); stands in for the real dataset, which is not
+//!   available offline. See DESIGN.md for the substitution argument.
+//! * [`sampling`] — Bernoulli sampling (the paper retains road MBBs with
+//!   probability 0.5 for the range experiments, §8.1) and the
+//!   enlarge-by-factor-k dataset derivation (§7.8.6).
+//! * [`io`] — CSV persistence for rectangle datasets (exact `f64`
+//!   round-trips), so generated workloads can be saved and reloaded.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod california;
+pub mod io;
+pub mod sampling;
+pub mod synthetic;
+
+pub use california::{CaliforniaConfig, CaliforniaStats};
+pub use sampling::{bernoulli_sample, enlarge_all};
+pub use synthetic::{Distribution, SyntheticConfig};

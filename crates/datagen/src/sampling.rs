@@ -1,0 +1,93 @@
+//! Dataset derivations used by the experiments: Bernoulli sampling (§8.1
+//! retains road MBBs with probability 0.5) and enlargement by factor `k`
+//! (§7.8.6 derives datasets of growing selectivity from the road data).
+
+use mwsj_geom::{Coord, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Retains each rectangle independently with probability `p` (seeded).
+#[must_use]
+pub fn bernoulli_sample(data: &[Rect], p: f64, seed: u64) -> Vec<Rect> {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    data.iter()
+        .filter(|_| rng.random_bool(p))
+        .copied()
+        .collect()
+}
+
+/// Enlarges every rectangle by factor `k` about its center (§7.8.6),
+/// clamping the result to `space` so the derived dataset still lies inside
+/// the partitioned extent.
+#[must_use]
+pub fn enlarge_all(data: &[Rect], k: Coord, space: &Rect) -> Vec<Rect> {
+    data.iter()
+        .map(|r| {
+            r.enlarge_factor(k)
+                .intersection(space)
+                .expect("rectangle inside the space stays inside after clamping")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rects() -> Vec<Rect> {
+        (0..10_000)
+            .map(|i| {
+                let x = f64::from(i % 100) * 10.0;
+                let y = f64::from(i / 100) * 10.0 + 5.0;
+                Rect::new(x, y, 4.0, 4.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sample_rate_close_to_p() {
+        let data = rects();
+        let s = bernoulli_sample(&data, 0.5, 99);
+        let rate = s.len() as f64 / data.len() as f64;
+        assert!((rate - 0.5).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn sample_deterministic() {
+        let data = rects();
+        assert_eq!(bernoulli_sample(&data, 0.3, 1), bernoulli_sample(&data, 0.3, 1));
+    }
+
+    #[test]
+    fn sample_edge_probabilities() {
+        let data = rects();
+        assert!(bernoulli_sample(&data, 0.0, 1).is_empty());
+        assert_eq!(bernoulli_sample(&data, 1.0, 1).len(), data.len());
+    }
+
+    #[test]
+    fn enlarge_all_scales_and_clamps() {
+        let space = Rect::new(0.0, 1005.0, 1010.0, 1005.0);
+        let data = rects();
+        let big = enlarge_all(&data, 2.0, &space);
+        assert_eq!(big.len(), data.len());
+        for (orig, e) in data.iter().zip(&big) {
+            assert!(space.contains_rect(e));
+            assert!(e.l() <= orig.l() * 2.0 + 1e-9);
+            // Interior rectangles double exactly.
+            if orig.min_x() > 10.0 && orig.max_x() < 990.0 && orig.min_y() > 10.0 && orig.max_y() < 990.0
+            {
+                assert!((e.l() - 8.0).abs() < 1e-9);
+                assert!((e.b() - 8.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn enlarge_factor_one_identity() {
+        let space = Rect::new(0.0, 1005.0, 1010.0, 1005.0);
+        let data = rects();
+        assert_eq!(enlarge_all(&data, 1.0, &space), data);
+    }
+}

@@ -1,0 +1,242 @@
+//! The paper's synthetic data generator (§7.8.2).
+//!
+//! Parameters mirror the paper's script: (a) number of rectangles `nI`,
+//! (b) distributions of start-point coordinates `dX`/`dY`, (c) distributions
+//! of length and breadth `dL`/`dB`, (d) the space extent, (e) side-length
+//! bounds. The paper's experiments use Uniform throughout; Gaussian and
+//! Clustered are provided for skew ablations.
+
+use mwsj_geom::{Coord, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional sampling distribution over `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Uniform over the range (the paper's `dS = Uniform`).
+    Uniform,
+    /// Truncated Gaussian centered mid-range; `spread` is the standard
+    /// deviation as a fraction of the range width.
+    Gaussian {
+        /// Standard deviation / range width.
+        spread: f64,
+    },
+    /// Values cluster around `clusters` seeded hot spots (skewed spatial
+    /// data); `spread` is each cluster's σ as a fraction of the range width.
+    Clustered {
+        /// Number of cluster centers.
+        clusters: u32,
+        /// Cluster σ / range width.
+        spread: f64,
+    },
+}
+
+impl Distribution {
+    fn sample(&self, rng: &mut StdRng, lo: Coord, hi: Coord, centers: &[Coord]) -> Coord {
+        debug_assert!(hi >= lo);
+        match *self {
+            Distribution::Uniform => {
+                if lo == hi {
+                    lo
+                } else {
+                    rng.random_range(lo..hi)
+                }
+            }
+            Distribution::Gaussian { spread } => {
+                let mid = (lo + hi) / 2.0;
+                let sigma = (hi - lo) * spread;
+                sample_normal(rng, mid, sigma).clamp(lo, hi)
+            }
+            Distribution::Clustered { clusters, spread } => {
+                debug_assert_eq!(centers.len(), clusters as usize);
+                let c = centers[rng.random_range(0..clusters as usize)];
+                let sigma = (hi - lo) * spread;
+                sample_normal(rng, c, sigma).clamp(lo, hi)
+            }
+        }
+    }
+
+    fn make_centers(&self, rng: &mut StdRng, lo: Coord, hi: Coord) -> Vec<Coord> {
+        match *self {
+            Distribution::Clustered { clusters, .. } => (0..clusters)
+                .map(|_| rng.random_range(lo..hi))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Box-Muller standard normal scaled to `(mean, sigma)`.
+fn sample_normal(rng: &mut StdRng, mean: Coord, sigma: Coord) -> Coord {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + sigma * z
+}
+
+/// Configuration of the synthetic generator — the parameter list of §7.8.2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of rectangles (`nI`).
+    pub n: usize,
+    /// Distribution of start-point x coordinates (`dX`).
+    pub dx: Distribution,
+    /// Distribution of start-point y coordinates (`dY`).
+    pub dy: Distribution,
+    /// Distribution of lengths (`dL`).
+    pub dl: Distribution,
+    /// Distribution of breadths (`dB`).
+    pub db: Distribution,
+    /// Space x range (`[x_min, x_max]`).
+    pub x_range: (Coord, Coord),
+    /// Space y range (`[y_min, y_max]`).
+    pub y_range: (Coord, Coord),
+    /// Side-length bounds (`[l_min, l_max]`).
+    pub l_range: (Coord, Coord),
+    /// Side-breadth bounds (`[b_min, b_max]`).
+    pub b_range: (Coord, Coord),
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The configuration used by Tables 2, 5, 6 and 8 of the paper:
+    /// `dX, dY, dL, dB = Uniform`, space `[0, 100K]²`, sides in `[0, 100]`.
+    #[must_use]
+    pub fn paper_default(n: usize, seed: u64) -> Self {
+        Self {
+            n,
+            dx: Distribution::Uniform,
+            dy: Distribution::Uniform,
+            dl: Distribution::Uniform,
+            db: Distribution::Uniform,
+            x_range: (0.0, 100_000.0),
+            y_range: (0.0, 100_000.0),
+            l_range: (0.0, 100.0),
+            b_range: (0.0, 100.0),
+            seed,
+        }
+    }
+
+    /// Sets the maximum side lengths (the `l_max`/`b_max` sweep of Table 3).
+    #[must_use]
+    pub fn with_max_sides(mut self, l_max: Coord, b_max: Coord) -> Self {
+        self.l_range.1 = l_max;
+        self.b_range.1 = b_max;
+        self
+    }
+
+    /// Generates the dataset. Every rectangle lies inside the space: the
+    /// start point is sampled from `dX`/`dY`, the sides from `dL`/`dB`, and
+    /// sides are clipped at the space boundary.
+    #[must_use]
+    pub fn generate(&self) -> Vec<Rect> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let x_centers = self.dx.make_centers(&mut rng, self.x_range.0, self.x_range.1);
+        let y_centers = self.dy.make_centers(&mut rng, self.y_range.0, self.y_range.1);
+        let l_centers = self.dl.make_centers(&mut rng, self.l_range.0, self.l_range.1);
+        let b_centers = self.db.make_centers(&mut rng, self.b_range.0, self.b_range.1);
+        (0..self.n)
+            .map(|_| {
+                let x = self
+                    .dx
+                    .sample(&mut rng, self.x_range.0, self.x_range.1, &x_centers);
+                let y = self
+                    .dy
+                    .sample(&mut rng, self.y_range.0, self.y_range.1, &y_centers);
+                let l = self
+                    .dl
+                    .sample(&mut rng, self.l_range.0, self.l_range.1, &l_centers)
+                    .min(self.x_range.1 - x);
+                let b = self
+                    .db
+                    .sample(&mut rng, self.b_range.0, self.b_range.1, &b_centers)
+                    .min(y - self.y_range.0);
+                Rect::new(x, y, l, b)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_inside_space() {
+        let cfg = SyntheticConfig::paper_default(5_000, 42);
+        let data = cfg.generate();
+        assert_eq!(data.len(), 5_000);
+        let space = Rect::new(0.0, 100_000.0, 100_000.0, 100_000.0);
+        assert!(data.iter().all(|r| space.contains_rect(r)));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = SyntheticConfig::paper_default(1_000, 7).generate();
+        let b = SyntheticConfig::paper_default(1_000, 7).generate();
+        assert_eq!(a, b);
+        let c = SyntheticConfig::paper_default(1_000, 8).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_side_bounds() {
+        let cfg = SyntheticConfig::paper_default(5_000, 1).with_max_sides(300.0, 500.0);
+        let data = cfg.generate();
+        assert!(data.iter().all(|r| r.l() <= 300.0 && r.b() <= 500.0));
+        // The sweep actually produces larger rectangles than the default.
+        assert!(data.iter().any(|r| r.l() > 100.0));
+        assert!(data.iter().any(|r| r.b() > 100.0));
+    }
+
+    #[test]
+    fn uniform_start_points_cover_the_space() {
+        let data = SyntheticConfig::paper_default(10_000, 3).generate();
+        let mean_x: f64 = data.iter().map(|r| r.x()).sum::<f64>() / data.len() as f64;
+        let mean_y: f64 = data.iter().map(|r| r.y()).sum::<f64>() / data.len() as f64;
+        assert!((mean_x - 50_000.0).abs() < 2_000.0, "mean_x = {mean_x}");
+        assert!((mean_y - 50_000.0).abs() < 2_000.0, "mean_y = {mean_y}");
+    }
+
+    #[test]
+    fn gaussian_concentrates_mid_range() {
+        let mut cfg = SyntheticConfig::paper_default(10_000, 3);
+        cfg.dx = Distribution::Gaussian { spread: 0.05 };
+        let data = cfg.generate();
+        let inside = data
+            .iter()
+            .filter(|r| (r.x() - 50_000.0).abs() < 15_000.0)
+            .count();
+        // 3 sigma = 15K: virtually everything.
+        assert!(inside as f64 / data.len() as f64 > 0.99);
+    }
+
+    #[test]
+    fn clustered_is_skewed() {
+        let mut cfg = SyntheticConfig::paper_default(10_000, 9);
+        cfg.dx = Distribution::Clustered {
+            clusters: 3,
+            spread: 0.01,
+        };
+        let data = cfg.generate();
+        // With 3 tight clusters, a histogram of 20 bins should leave most
+        // bins nearly empty.
+        let mut bins = [0usize; 20];
+        for r in &data {
+            bins[((r.x() / 100_000.0 * 20.0) as usize).min(19)] += 1;
+        }
+        let occupied = bins.iter().filter(|&&c| c > 200).count();
+        assert!(occupied <= 8, "occupied bins = {occupied}");
+    }
+
+    #[test]
+    fn zero_width_side_range_is_degenerate() {
+        let mut cfg = SyntheticConfig::paper_default(100, 5);
+        cfg.l_range = (0.0, 0.0);
+        cfg.b_range = (0.0, 0.0);
+        let data = cfg.generate();
+        assert!(data.iter().all(|r| r.l() == 0.0 && r.b() == 0.0));
+    }
+}

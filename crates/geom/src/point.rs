@@ -1,0 +1,73 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Coord;
+
+/// A point in the 2D plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Coord,
+    /// Vertical coordinate (y axis points up).
+    pub y: Coord,
+}
+
+impl Point {
+    /// Creates a new point.
+    #[must_use]
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[must_use]
+    pub fn distance(&self, other: &Point) -> Coord {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to another point (avoids the square root
+    /// when only comparisons are needed).
+    #[must_use]
+    pub fn distance_sq(&self, other: &Point) -> Coord {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    fn from((x, y): (Coord, Coord)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-1.5, 2.0);
+        let b = Point::new(4.0, -7.25);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(12.0, -3.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p, Point::new(1.0, 2.0));
+    }
+}

@@ -1,0 +1,174 @@
+//! Duplicate-avoidance rules.
+//!
+//! Several reducers may hold every rectangle of an output tuple; exactly
+//! one of them must emit it. The paper uses two designated-cell rules:
+//!
+//! * **2-way joins** (§5.2, §5.3, after Dittrich & Seeger): the cell
+//!   containing the start point of the rectangular overlap between the two
+//!   (possibly enlarged) rectangles computes the pair.
+//! * **Multi-way joins** (§6.2): with `u_r` the tuple member with the
+//!   largest start-point x and `u_l` the member with the smallest
+//!   start-point y, the cell containing the point `(u_r.x, u_l.y)` computes
+//!   the tuple.
+//!
+//! Under the half-open cell-region semantics of `mwsj-partition`, the
+//! designated cell provably receives every tuple member routed by the
+//! respective algorithm (see `mwsj-core::algorithms`), so these rules drop
+//! duplicates without ever dropping the last copy.
+
+use mwsj_geom::{Coord, Point, Rect};
+use mwsj_partition::{CellId, Grid};
+
+/// Designated cell of a 2-way overlap pair: the cell containing the start
+/// point of `a ∩ b` (§5.2).
+///
+/// Returns `None` when the rectangles do not overlap (no cell may emit).
+#[must_use]
+pub fn overlap_pair_cell(grid: &Grid, a: &Rect, b: &Rect) -> Option<CellId> {
+    a.intersection(b)
+        .map(|o| grid.cell_of_point(&o.start_point()))
+}
+
+/// Designated cell of a 2-way range pair: the cell containing the start
+/// point of `a.enlarge(d) ∩ b` (§5.3). `None` when the enlarged rectangles
+/// do not overlap (then the pair cannot satisfy the range predicate either).
+#[must_use]
+pub fn range_pair_cell(grid: &Grid, a: &Rect, b: &Rect, d: Coord) -> Option<CellId> {
+    a.enlarge(d)
+        .intersection(b)
+        .map(|o| grid.cell_of_point(&clamp_into(grid, o.start_point())))
+}
+
+/// Designated cell of a multi-way output tuple (§6.2): the cell containing
+/// `(u_r.x, u_l.y)`.
+#[must_use]
+pub fn multiway_tuple_cell(grid: &Grid, tuple: &[Rect]) -> CellId {
+    assert!(!tuple.is_empty());
+    let xr = tuple.iter().map(Rect::x).fold(Coord::NEG_INFINITY, Coord::max);
+    let yl = tuple.iter().map(Rect::y).fold(Coord::INFINITY, Coord::min);
+    grid.cell_of_point(&Point::new(xr, yl))
+}
+
+/// Clamps a point into the grid extent (an enlarged rectangle may start
+/// outside the space; its overlap with any in-space rectangle still starts
+/// in-space in the dimension that matters, so clamping is safe).
+fn clamp_into(grid: &Grid, p: Point) -> Point {
+    let e = grid.extent();
+    Point::new(
+        p.x.clamp(e.min_x(), e.max_x()),
+        p.y.clamp(e.min_y(), e.max_y()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid8() -> Grid {
+        Grid::square((0.0, 80.0), (0.0, 80.0), 8)
+    }
+
+    #[test]
+    fn figure2a_overlap_pair_cell_is_14() {
+        // Figure 2(a): r3 and r4 overlap; the overlap area starts in cell
+        // 14, so reducer 14 computes the pair. Recreate the geometry on the
+        // 4x4 grid over [0, 8]^2: r3 spans cells 13-15, r4 spans 14-15.
+        let grid = Grid::square((0.0, 8.0), (0.0, 8.0), 4);
+        let r3 = Rect::new(0.5, 1.8, 4.0, 1.2);
+        let r4 = Rect::new(2.5, 1.5, 3.0, 0.8);
+        let cell = overlap_pair_cell(&grid, &r3, &r4).unwrap();
+        assert_eq!(cell.paper_number(), 14);
+    }
+
+    #[test]
+    fn disjoint_pair_has_no_cell() {
+        let grid = grid8();
+        let a = Rect::new(0.0, 10.0, 2.0, 2.0);
+        let b = Rect::new(50.0, 10.0, 2.0, 2.0);
+        assert_eq!(overlap_pair_cell(&grid, &a, &b), None);
+    }
+
+    #[test]
+    fn range_pair_cell_requires_enlarged_overlap() {
+        let grid = grid8();
+        let a = Rect::new(0.0, 10.0, 2.0, 2.0);
+        let b = Rect::new(5.0, 10.0, 2.0, 2.0);
+        assert_eq!(range_pair_cell(&grid, &a, &b, 1.0), None);
+        assert!(range_pair_cell(&grid, &a, &b, 3.0).is_some());
+    }
+
+    #[test]
+    fn figure3_multiway_cell_is_19() {
+        // Figure 3: grid 8x4 over the space; U = (u1, v1, w1, x1). x1 is
+        // the rightmost rectangle, u1 the lowermost; cell 19 contains
+        // (x1.x, u1.y). Recreate the geometry: 8 columns x 4 rows over
+        // [0, 80] x [0, 40]. Cell 19 = (col 2, row 2) = x in [20, 30),
+        // y in (10, 20].
+        let grid = Grid::new((0.0, 80.0), (0.0, 40.0), 8, 4);
+        // u1 starts in cell 18 (col 1, row 2) and is the lowermost.
+        let u1 = Rect::new(15.0, 15.0, 4.0, 4.0);
+        // v1 starts in cell 10 (col 1, row 1) crossing down into 18.
+        let v1 = Rect::new(14.0, 25.0, 4.0, 12.0);
+        // w1 starts in cell 2 (col 2, row 0) and reaches down into 10/11.
+        let w1 = Rect::new(22.0, 38.0, 6.0, 10.0);
+        // x1 starts in cell 3 (col 2, row 0), rightmost start x.
+        let x1 = Rect::new(26.0, 39.0, 3.0, 8.0);
+        let cell = multiway_tuple_cell(&grid, &[u1, v1, w1, x1]);
+        // (x1.x, u1.y) = (26, 15) -> col 2, row 2 -> cell 19 (1-based).
+        assert_eq!(cell.paper_number(), 19);
+    }
+
+    #[test]
+    fn multiway_single_rect_is_its_own_cell() {
+        let grid = grid8();
+        let r = Rect::new(33.0, 47.0, 2.0, 2.0);
+        assert_eq!(multiway_tuple_cell(&grid, &[r]), grid.cell_of(&r));
+    }
+
+    fn arb_rect() -> impl Strategy<Value = Rect> {
+        (0.0..70.0f64, 10.0..80.0f64, 0.0..10.0f64, 0.0..10.0f64)
+            .prop_map(|(x, y, l, b)| Rect::new(x, y, l.min(80.0 - x), b.min(y)))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_overlap_cell_unique_and_shared(a in arb_rect(), b in arb_rect()) {
+            // The designated cell must be among the split cells of both
+            // rectangles: both are routed there by the 2-way overlap join.
+            let grid = grid8();
+            if let Some(cell) = overlap_pair_cell(&grid, &a, &b) {
+                prop_assert!(grid.split_cells(&a).contains(&cell));
+                prop_assert!(grid.split_cells(&b).contains(&cell));
+            }
+        }
+
+        #[test]
+        fn prop_range_cell_shared_by_routing(a in arb_rect(), b in arb_rect(), d in 0.0..20.0f64) {
+            // §5.3 routing: a is sent to cells overlapping a.enlarge(d), b
+            // is split. The designated cell must be in both target sets.
+            let grid = grid8();
+            if let Some(cell) = range_pair_cell(&grid, &a, &b, d) {
+                let enlarged = a.enlarge(d).intersection(&grid.extent()).unwrap();
+                prop_assert!(grid.split_cells(&enlarged).contains(&cell));
+                prop_assert!(grid.split_cells(&b).contains(&cell));
+            }
+        }
+
+        #[test]
+        fn prop_multiway_cell_in_fourth_quadrant_of_every_member(
+            a in arb_rect(), b in arb_rect(), c in arb_rect()
+        ) {
+            // All-Replicate routes every rectangle to its 4th quadrant; the
+            // designated cell must lie in each member's 4th quadrant.
+            let grid = grid8();
+            let cell = multiway_tuple_cell(&grid, &[a, b, c]);
+            for r in [&a, &b, &c] {
+                prop_assert!(
+                    grid.fourth_quadrant_cells(r).contains(&cell),
+                    "designated cell {cell:?} outside 4th quadrant of {r:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! The round-1 *Controlled-Replicate* marking procedure (§7.4).
+//!
+//! Reducer `c` receives every rectangle split onto cell `c` and must decide
+//! which of them to replicate. The paper defines the marked set through
+//! rectangle-sets `U` (one rectangle per relation of a relation-subset
+//! `R_s`) satisfying:
+//!
+//! * **C1** — `U` is *consistent*: all query predicates between relations
+//!   of `R_s` hold among the members (§7.3);
+//! * **C2** — every member whose relation has a join condition to a
+//!   relation **outside** `R_s` *crosses* cell `c` (overlap predicate:
+//!   overlaps another cell; range `d`: some other cell within distance `d`,
+//!   §8; hybrid queries take the per-edge condition, §9);
+//! * **C3** — at least one such outside pair exists;
+//! * **C4** — `U` is maximal.
+//!
+//! `uS_c` is the union of all such sets; rectangles of `uS_c` that *start*
+//! in `c` are replicated.
+//!
+//! # Algorithm
+//!
+//! The paper specifies the conditions but no enumeration procedure. Two
+//! observations make the computation tractable (proofs in the comments):
+//!
+//! 1. **C4 does not change the union.** Every set satisfying C1-C3 is
+//!    contained in some maximal such set, so the union over C1-C4 sets
+//!    equals the union over C1-C3 sets and maximality never needs to be
+//!    checked.
+//! 2. **Only connected relation-subsets matter.** If `R_s` induces a
+//!    disconnected subgraph of the (connected) join graph, restricting `U`
+//!    to the component of any member changes neither that member's C2
+//!    obligations (components share no internal edges) nor C3 (a proper
+//!    subset of a connected graph always has an outside edge). So a
+//!    rectangle is in `uS_c` iff it belongs to a consistent,
+//!    C2-satisfying set over a **connected proper** subset containing its
+//!    relation.
+//!
+//! For each connected proper subset `S` the procedure filters each member
+//! relation's rectangles by their C2 crossing obligations and then runs an
+//! **arc-consistency fixpoint** (semi-join reduction) over the predicates
+//! internal to `S`: a rectangle survives iff every internal edge offers at
+//! least one supporting partner. On tree-shaped subsets (all subsets of
+//! the paper's chain queries) arc consistency is exact — every survivor
+//! extends to a full consistent set. On cyclic subsets it may keep a
+//! rectangle that belongs to no full set; that only **over**-marks, which
+//! is always safe (a replicated rectangle reaches a superset of the cells
+//! a projected one does) and never misses a mark.
+
+use mwsj_geom::Rect;
+use mwsj_partition::{CellId, Grid};
+use mwsj_query::{Predicate, Query, RelationId};
+use mwsj_rtree::RTree;
+
+use crate::LocalRect;
+
+/// Computes, for every local rectangle, whether it belongs to `uS_c` — the
+/// union of rectangle-sets satisfying conditions C1-C4 at cell `cell`.
+///
+/// `relations[i]` holds the rectangles of relation position `i` that were
+/// split onto this cell. The returned flags are aligned with the input
+/// (`flags[i][j]` corresponds to `relations[i][j]`). The round-1 reducer
+/// replicates flagged rectangles **that start in `cell`**; membership is
+/// reported for all so the caller owns that filter.
+#[must_use]
+pub fn mark_for_replication(
+    query: &Query,
+    grid: &Grid,
+    cell: CellId,
+    relations: &[Vec<LocalRect>],
+) -> Vec<Vec<bool>> {
+    let n = query.num_relations();
+    assert_eq!(relations.len(), n, "one rectangle set per relation position");
+    let graph = query.graph();
+    let mut marked: Vec<Vec<bool>> = relations.iter().map(|r| vec![false; r.len()]).collect();
+
+    for mask in graph.connected_subsets(true) {
+        debug_assert!(
+            graph.has_outside_edge(mask),
+            "a proper subset of a connected graph has an outside edge (C3)"
+        );
+
+        // C2 pre-filter: candidate lists per relation in S.
+        let mut candidates: Vec<(RelationId, Vec<u32>)> = Vec::new();
+        let mut empty = false;
+        for rel in query.relations() {
+            if mask & (1 << rel.index()) == 0 {
+                continue;
+            }
+            let obligations = graph.outside_edges(rel, mask);
+            let list: Vec<u32> = relations[rel.index()]
+                .iter()
+                .enumerate()
+                .filter(|(_, (rect, _))| {
+                    obligations
+                        .iter()
+                        .all(|p| crosses_for_predicate(grid, cell, rect, *p))
+                })
+                .map(|(i, _)| i as u32)
+                .collect();
+            if list.is_empty() {
+                empty = true;
+                break;
+            }
+            candidates.push((rel, list));
+        }
+        if empty {
+            continue;
+        }
+
+        // C1 via arc-consistency over the predicates internal to S.
+        arc_consistency(query, relations, mask, &mut candidates);
+        if candidates.iter().any(|(_, list)| list.is_empty()) {
+            continue;
+        }
+        for (rel, list) in &candidates {
+            for &i in list {
+                marked[rel.index()][i as usize] = true;
+            }
+        }
+    }
+    marked
+}
+
+/// The C2 crossing test for one predicate (§7.4 for overlap, §8 for range,
+/// §9 takes the union for hybrid queries).
+fn crosses_for_predicate(grid: &Grid, cell: CellId, rect: &Rect, p: Predicate) -> bool {
+    match p {
+        // Containment implies overlap, so its crossing obligation is the
+        // overlap one (§9's per-edge union extends naturally).
+        Predicate::Overlap | Predicate::Contains => grid.rect_crosses_cell(rect, cell),
+        Predicate::Range(d) => grid.other_cell_within(rect, cell, d),
+    }
+}
+
+/// Prunes candidate lists to arc consistency: a rectangle survives iff for
+/// every internal edge of `mask` incident to its relation there exists a
+/// supporting partner among the other relation's survivors.
+/// Predicates between one (ordered) relation pair; `flipped` records that
+/// the triple listed the pair as (b, a), so asymmetric predicates keep
+/// their orientation.
+type PairPredicates = Vec<(Predicate, bool)>;
+
+fn arc_consistency(
+    query: &Query,
+    relations: &[Vec<LocalRect>],
+    mask: u32,
+    candidates: &mut [(RelationId, Vec<u32>)],
+) {
+    // Internal constraint per relation pair: the conjunction of all
+    // parallel predicates between them.
+    let pairs: Vec<(RelationId, RelationId, PairPredicates)> = {
+        let mut pairs: Vec<(RelationId, RelationId, PairPredicates)> = Vec::new();
+        for t in query.triples() {
+            let (a, b, flipped) = if t.left < t.right {
+                (t.left, t.right, false)
+            } else {
+                (t.right, t.left, true)
+            };
+            if mask & (1 << a.index()) == 0 || mask & (1 << b.index()) == 0 {
+                continue;
+            }
+            if let Some(entry) = pairs.iter_mut().find(|(x, y, _)| (*x, *y) == (a, b)) {
+                entry.2.push((t.predicate, flipped));
+            } else {
+                pairs.push((a, b, vec![(t.predicate, flipped)]));
+            }
+        }
+        pairs
+    };
+    if pairs.is_empty() {
+        return; // Singleton subset: nothing internal to check.
+    }
+
+    let slot_of = |rel: RelationId, candidates: &[(RelationId, Vec<u32>)]| {
+        candidates
+            .iter()
+            .position(|(r, _)| *r == rel)
+            .expect("relation in subset")
+    };
+
+    loop {
+        let mut changed = false;
+        for &(a, b, ref preds) in &pairs {
+            // The loosest probe distance that any support must satisfy;
+            // every predicate is then verified exactly.
+            let probe_d = preds
+                .iter()
+                .map(|(p, _)| p.distance())
+                .fold(f64::INFINITY, f64::min);
+            for (from, to) in [(a, b), (b, a)] {
+                let from_slot = slot_of(from, candidates);
+                let to_slot = slot_of(to, candidates);
+                // Index the current survivors of `to`.
+                let tree = RTree::bulk_load(
+                    candidates[to_slot]
+                        .1
+                        .iter()
+                        .map(|&i| (relations[to.index()][i as usize].0, ()))
+                        .collect(),
+                );
+                let before = candidates[from_slot].1.len();
+                let from_rel = from.index();
+                let kept: Vec<u32> = candidates[from_slot]
+                    .1
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        let rect = relations[from_rel][i as usize].0;
+                        // `rect` belongs to `from`; a predicate stored as
+                        // (a -> b, flipped) evaluates left = a. When probing
+                        // from b, the arguments swap once more.
+                        let probing_from_a = from == a;
+                        let mut supported = false;
+                        tree.query_within(&rect, probe_d, |partner, ()| {
+                            if !supported
+                                && preds.iter().all(|&(p, flipped)| {
+                                    p.eval_oriented(&rect, partner, flipped == probing_from_a)
+                                })
+                            {
+                                supported = true;
+                            }
+                        });
+                        supported
+                    })
+                    .collect();
+                if kept.len() != before {
+                    changed = true;
+                    candidates[from_slot].1 = kept;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwsj_query::Query;
+
+    /// Figure 5 of the paper: a 2x2 grid and the chain query Q1
+    /// (R1 Ov R2 and R2 Ov R3 and R3 Ov R4). Relations R1..R4 hold the
+    /// u, v, w, x rectangles. The geometry below reproduces every relation
+    /// the worked example states.
+    struct Fig5 {
+        grid: Grid,
+        query: Query,
+        u: Vec<LocalRect>,
+        v: Vec<LocalRect>,
+        w: Vec<LocalRect>,
+        x: Vec<LocalRect>,
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn fig5() -> Fig5 {
+        let grid = Grid::square((0.0, 8.0), (0.0, 8.0), 2);
+        let query = Query::builder()
+            .overlap("R1", "R2")
+            .overlap("R2", "R3")
+            .overlap("R3", "R4")
+            .build()
+            .unwrap();
+        // Ids are 1-based to match the paper's subscripts (u1 = id 1, ...).
+        let u = vec![
+            (Rect::new(0.5, 7.5, 0.5, 0.5), 1), // u1: isolated, inside c1
+            (Rect::new(1.5, 6.0, 0.8, 0.8), 2), // u2: overlaps v3, inside c1
+            (Rect::new(2.2, 3.8, 0.6, 0.6), 3), // u3: starts in c3, overlaps v3
+        ];
+        let v = vec![
+            (Rect::new(0.4, 6.8, 0.4, 0.4), 1), // v1: isolated, inside c1
+            (Rect::new(3.2, 4.9, 0.6, 0.4), 2), // v2: overlaps w1, does NOT cross
+            (Rect::new(2.0, 6.5, 1.2, 3.0), 3), // v3: crosses into c3
+            (Rect::new(3.5, 7.5, 1.0, 0.5), 4), // v4: crosses into c2, joins nothing
+        ];
+        let w = vec![
+            (Rect::new(3.0, 5.0, 2.0, 2.0), 1), // w1: crosses all four cells
+            (Rect::new(0.3, 5.2, 0.5, 0.8), 2), // w2: isolated, inside c1
+        ];
+        let x = vec![
+            (Rect::new(4.5, 4.8, 0.4, 0.4), 1), // x1: in c2, overlaps w1
+            (Rect::new(3.4, 4.6, 0.4, 0.4), 2), // x2: in c1, overlaps w1
+        ];
+        Fig5 { grid, query, u, v, w, x }
+    }
+
+    /// Restricts relations to the rectangles split onto `cell`.
+    fn at_cell(f: &Fig5, cell: CellId) -> Vec<Vec<LocalRect>> {
+        [&f.u, &f.v, &f.w, &f.x]
+            .iter()
+            .map(|rel| {
+                rel.iter()
+                    .filter(|(r, _)| f.grid.split_cells(r).contains(&cell))
+                    .copied()
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn marked_ids(relations: &[Vec<LocalRect>], flags: &[Vec<bool>]) -> Vec<Vec<u32>> {
+        relations
+            .iter()
+            .zip(flags)
+            .map(|(rel, fl)| {
+                rel.iter()
+                    .zip(fl)
+                    .filter(|(_, &m)| m)
+                    .map(|(&(_, id), _)| id)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn geometry_reproduces_the_output_tuples() {
+        // Sanity: exactly the four tuples the paper lists are the join
+        // output of the full data.
+        let f = fig5();
+        let rels = vec![f.u.clone(), f.v.clone(), f.w.clone(), f.x.clone()];
+        let got = crate::multiway::normalized(crate::multiway::brute_force_join(&f.query, &rels));
+        assert_eq!(
+            got,
+            vec![
+                vec![2, 3, 1, 1], // (u2, v3, w1, x1)
+                vec![2, 3, 1, 2], // (u2, v3, w1, x2)
+                vec![3, 3, 1, 1], // (u3, v3, w1, x1)
+                vec![3, 3, 1, 2], // (u3, v3, w1, x2)
+            ]
+        );
+    }
+
+    #[test]
+    fn figure5_reducer_c1_receives_the_stated_rectangles() {
+        let f = fig5();
+        let c1 = CellId::from_paper_number(1);
+        let local = at_cell(&f, c1);
+        // §7.7: reducer c1 receives u1, u2 | v1, v2, v3, v4 | w1, w2 — and
+        // x2 (it participates in US_c1's set (v3, w1, x2)).
+        let ids: Vec<Vec<u32>> = local
+            .iter()
+            .map(|rel| rel.iter().map(|&(_, id)| id).collect())
+            .collect();
+        assert_eq!(ids[0], vec![1, 2]);
+        assert_eq!(ids[1], vec![1, 2, 3, 4]);
+        assert_eq!(ids[2], vec![1, 2]);
+        assert_eq!(ids[3], vec![2]);
+    }
+
+    #[test]
+    fn figure5_marking_at_c1() {
+        // §7.7: uS_c1 = {u2, v3, v4, w1, x2}; u1, v1, v2, w2 stay unmarked.
+        let f = fig5();
+        let c1 = CellId::from_paper_number(1);
+        let local = at_cell(&f, c1);
+        let flags = mark_for_replication(&f.query, &f.grid, c1, &local);
+        assert_eq!(
+            marked_ids(&local, &flags),
+            vec![vec![2], vec![3, 4], vec![1], vec![2]]
+        );
+    }
+
+    #[test]
+    fn figure5_marking_at_c3() {
+        // §7.7: at reducer c3 the set (u3, v3) qualifies; u3 starts in c3
+        // and is replicated, v3 and w1 are marked but start in c1.
+        let f = fig5();
+        let c3 = CellId::from_paper_number(3);
+        let local = at_cell(&f, c3);
+        let flags = mark_for_replication(&f.query, &f.grid, c3, &local);
+        let ids = marked_ids(&local, &flags);
+        assert!(ids[0].contains(&3), "u3 must be marked at c3: {ids:?}");
+        // Replication = marked AND starts in the cell.
+        let replicated: Vec<Vec<u32>> = local
+            .iter()
+            .zip(&flags)
+            .map(|(rel, fl)| {
+                rel.iter()
+                    .zip(fl)
+                    .filter(|((r, _), &m)| m && f.grid.cell_of(r) == c3)
+                    .map(|(&(_, id), _)| id)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(replicated, vec![vec![3], vec![], vec![], vec![]]);
+    }
+
+    #[test]
+    fn figure7_range_marking() {
+        // Figure 7 / §8: Q3 = R1 Ra(d) R2 and R2 Ra(d) R3 on a 2x2 grid.
+        // Reducer C1 marks u1 and v1 (v1 is within d of cell C2, and u1 is
+        // within d of v1); v2 is not marked — no other cell is within d.
+        let grid = Grid::square((0.0, 8.0), (0.0, 8.0), 2);
+        let d = 1.0;
+        let query = Query::builder()
+            .range("R1", "R2", d)
+            .range("R2", "R3", d)
+            .build()
+            .unwrap();
+        let u = vec![(Rect::new(1.9, 7.3, 0.5, 0.5), 1)];
+        let v = vec![
+            (Rect::new(2.8, 7.0, 0.7, 0.5), 1), // v1: within d of u1 and of C2
+            (Rect::new(1.5, 6.0, 0.5, 0.5), 2), // v2: deep inside C1
+        ];
+        let w: Vec<LocalRect> = Vec::new();
+        let c1 = CellId::from_paper_number(1);
+        let local = vec![u.clone(), v.clone(), w];
+        let flags = mark_for_replication(&query, &grid, c1, &local);
+        assert_eq!(flags[0], vec![true], "u1 marked via the set (u1, v1)");
+        assert_eq!(flags[1], vec![true, false], "v1 marked, v2 not");
+    }
+
+    #[test]
+    fn range_marking_does_not_need_the_partner_to_exist() {
+        // §8: "even if the rectangle w1 were more than distance d apart
+        // from v1, u1 and v1 would have still required to be replicated as
+        // reducer C1 has no way to figure that out" — marking is local.
+        let grid = Grid::square((0.0, 8.0), (0.0, 8.0), 2);
+        let d = 1.0;
+        let query = Query::builder()
+            .range("R1", "R2", d)
+            .range("R2", "R3", d)
+            .build()
+            .unwrap();
+        let local = vec![
+            vec![(Rect::new(1.9, 7.3, 0.5, 0.5), 1)],
+            vec![(Rect::new(2.8, 7.0, 0.7, 0.5), 1)],
+            Vec::new(), // no R3 rectangle anywhere near
+        ];
+        let flags =
+            mark_for_replication(&query, &grid, CellId::from_paper_number(1), &local);
+        assert_eq!(flags[0], vec![true]);
+        assert_eq!(flags[1], vec![true]);
+    }
+
+    #[test]
+    fn fully_local_tuple_is_not_marked() {
+        // Condition C3: a set covering every relation of the query is not
+        // marked — the reducer computes the tuple itself in round 2.
+        let grid = Grid::square((0.0, 8.0), (0.0, 8.0), 2);
+        let query = Query::builder()
+            .overlap("R1", "R2")
+            .overlap("R2", "R3")
+            .build()
+            .unwrap();
+        // A chain of three mutually overlapping rectangles deep inside c1.
+        let local = vec![
+            vec![(Rect::new(1.0, 7.0, 0.5, 0.5), 1)],
+            vec![(Rect::new(1.2, 7.2, 0.5, 0.5), 1)],
+            vec![(Rect::new(1.4, 7.0, 0.5, 0.5), 1)],
+        ];
+        let flags =
+            mark_for_replication(&query, &grid, CellId::from_paper_number(1), &local);
+        assert!(flags.iter().flatten().all(|&m| !m), "{flags:?}");
+    }
+
+    #[test]
+    fn crossing_rectangle_with_no_partner_is_marked_when_singleton_qualifies() {
+        // v4 of Figure 5: a crossing rectangle of a middle relation is
+        // marked even though it joins nothing locally — the reducer cannot
+        // rule out partners elsewhere.
+        let grid = Grid::square((0.0, 8.0), (0.0, 8.0), 2);
+        let query = Query::builder()
+            .overlap("R1", "R2")
+            .overlap("R2", "R3")
+            .build()
+            .unwrap();
+        let local = vec![
+            Vec::new(),
+            vec![(Rect::new(3.5, 7.5, 1.0, 0.5), 4)], // crosses into c2
+            Vec::new(),
+        ];
+        let flags =
+            mark_for_replication(&query, &grid, CellId::from_paper_number(1), &local);
+        assert_eq!(flags[1], vec![true]);
+    }
+
+    #[test]
+    fn non_crossing_isolated_rectangle_is_not_marked() {
+        let grid = Grid::square((0.0, 8.0), (0.0, 8.0), 2);
+        let query = Query::builder()
+            .overlap("R1", "R2")
+            .overlap("R2", "R3")
+            .build()
+            .unwrap();
+        let local = vec![
+            Vec::new(),
+            vec![(Rect::new(1.0, 7.0, 0.5, 0.5), 1)], // interior of c1
+            Vec::new(),
+        ];
+        let flags =
+            mark_for_replication(&query, &grid, CellId::from_paper_number(1), &local);
+        assert_eq!(flags[1], vec![false]);
+    }
+
+    #[test]
+    fn hybrid_query_uses_per_edge_crossing() {
+        // §9: Q4 = R1 Ov R2 and R2 Ra(d) R3. An R2 rectangle with only the
+        // range edge leading outside needs a cell within d; with only the
+        // overlap edge outside it must cross.
+        let grid = Grid::square((0.0, 80.0), (0.0, 80.0), 2);
+        let d = 5.0;
+        let query = Query::builder()
+            .overlap("R1", "R2")
+            .range("R2", "R3", d)
+            .build()
+            .unwrap();
+        // v near the c1/c2 border (within d of c2 but not crossing), with a
+        // local R1 partner overlapping it.
+        let v = (Rect::new(36.0, 70.0, 2.0, 2.0), 1);
+        let u = (Rect::new(35.0, 70.5, 2.0, 2.0), 1);
+        let c1 = CellId::from_paper_number(1);
+        // Subset {R1, R2}: outside edge is the range edge R2-R3 -> v needs
+        // a cell within d (true: c2 is 2 units away), u has no obligation.
+        let local = vec![vec![u], vec![v], Vec::new()];
+        let flags = mark_for_replication(&query, &grid, c1, &local);
+        assert_eq!(flags[0], vec![true]);
+        assert_eq!(flags[1], vec![true]);
+
+        // Move the pair far from every border: the range obligation fails,
+        // nothing is marked (u's overlap edge to R2 is satisfied inside S).
+        let v_far = (Rect::new(15.0, 60.0, 2.0, 2.0), 1);
+        let u_far = (Rect::new(14.0, 60.5, 2.0, 2.0), 1);
+        let local = vec![vec![u_far], vec![v_far], Vec::new()];
+        let flags = mark_for_replication(&query, &grid, c1, &local);
+        assert!(flags.iter().flatten().all(|&m| !m), "{flags:?}");
+    }
+}

@@ -1,0 +1,336 @@
+//! The reducer-side variant of the multi-way matcher with **designated-cell
+//! pruning**.
+//!
+//! In the single-round join (All-Replicate) and in round 2 of
+//! Controlled-Replicate, many reducers hold every member of the same output
+//! tuple; only the *designated cell* of §6.2 — the cell containing
+//! `(u_r.x, u_l.y)` — may emit it. Running the plain matcher and filtering
+//! afterwards enumerates each tuple once **per receiving reducer**; with
+//! heavy replication that multiplies the join work by the replication
+//! factor.
+//!
+//! This variant pushes the designated-cell test *into* the backtracking:
+//! as members bind, `max(start x)` only grows and `min(start y)` only
+//! shrinks, so the designated point's column index and row index are both
+//! monotonically non-decreasing. The moment a partial assignment's
+//! designated column or row exceeds this reducer's cell, no extension can
+//! designate this cell and the branch is cut.
+//!
+//! **Finding** (see the `ablation_pruning` bench): under 4th-quadrant
+//! delivery the partial bound never fires — every delivered rectangle
+//! starts at-or-left-above the reducer's cell, so partial extrema cannot
+//! exceed it — and the check is pure overhead (~15%). The distributed
+//! algorithms therefore use the plain matcher plus post-filter, which is
+//! also what the paper's reducers do; this module remains as the measured
+//! ablation and for grids/delivery schemes where the bound can fire
+//! (e.g. split-based delivery).
+
+use mwsj_geom::{Coord, Rect};
+use mwsj_partition::{CellId, Grid};
+use mwsj_query::{Query, RelationId};
+use mwsj_rtree::RTree;
+
+use crate::LocalRect;
+
+/// Finds every consistent full tuple whose §6.2 designated cell is `cell`,
+/// calling `emit` once per tuple with one `(rect, id)` per relation
+/// position. Equivalent to running
+/// [`crate::multiway::multiway_join`] and keeping the tuples whose
+/// designated cell matches — but prunes those branches early.
+pub fn multiway_join_at_cell(
+    query: &Query,
+    relations: &[Vec<LocalRect>],
+    grid: &Grid,
+    cell: CellId,
+    mut emit: impl FnMut(&[LocalRect]),
+) {
+    let n = query.num_relations();
+    assert_eq!(relations.len(), n, "one rectangle set per relation position");
+    if relations.iter().any(Vec::is_empty) {
+        return;
+    }
+
+    let trees: Vec<RTree<u32>> = relations
+        .iter()
+        .map(|rel| {
+            RTree::bulk_load(
+                rel.iter()
+                    .enumerate()
+                    .map(|(i, (r, _))| (*r, i as u32))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let graph = query.graph();
+    let start = (0..n)
+        .min_by_key(|&i| relations[i].len())
+        .map(|i| RelationId(i as u16))
+        .expect("non-empty query");
+    let order = graph.bfs_order(start);
+    debug_assert_eq!(order.len(), n);
+
+    // Precompute the designated-cell test as pure float comparisons. With
+    // the half-open region semantics, `col(px) == cell_col` iff
+    // `px ∈ [x_lo, x_hi)` (closed at the space edge for the last column),
+    // and `row(py) == cell_row` iff `py ∈ (y_lo, y_hi]` (closed at the
+    // bottom edge for the last row). The partial test only needs the upper
+    // bounds (columns/rows are monotone as members bind).
+    let cell_rect = grid.cell_rect(cell);
+    let last_col = grid.col_of(cell) + 1 == grid.cols();
+    let last_row = grid.row_of(cell) + 1 == grid.rows();
+    let bounds = CellBounds {
+        x_lo: cell_rect.min_x(),
+        x_hi: cell_rect.max_x(),
+        y_lo: cell_rect.min_y(),
+        y_hi: cell_rect.max_y(),
+        last_col,
+        last_row,
+        extent: grid.extent(),
+    };
+
+    struct CellBounds {
+        x_lo: Coord,
+        x_hi: Coord,
+        y_lo: Coord,
+        y_hi: Coord,
+        last_col: bool,
+        last_row: bool,
+        extent: Rect,
+    }
+
+    impl CellBounds {
+        /// Can a partial assignment with these extrema still designate the
+        /// cell?
+        #[inline]
+        fn partial_ok(&self, frame: &Frame) -> bool {
+            let px = frame.max_start_x;
+            let py = frame.min_start_y;
+            (self.last_col || px < self.x_hi || px == Coord::NEG_INFINITY)
+                && (self.last_row || py > self.y_lo || py == Coord::INFINITY)
+        }
+
+        /// Does a full assignment designate the cell?
+        #[inline]
+        fn full_ok(&self, frame: &Frame) -> bool {
+            let px = frame.max_start_x.clamp(self.extent.min_x(), self.extent.max_x());
+            let py = frame.min_start_y.clamp(self.extent.min_y(), self.extent.max_y());
+            let x_ok = px >= self.x_lo && (px < self.x_hi || (self.last_col && px <= self.x_hi));
+            let y_ok = py <= self.y_hi && (py > self.y_lo || (self.last_row && py >= self.y_lo));
+            x_ok && y_ok
+        }
+    }
+
+    struct Ctx<'a, F> {
+        graph: &'a mwsj_query::JoinGraph,
+        relations: &'a [Vec<LocalRect>],
+        trees: &'a [RTree<u32>],
+        order: &'a [RelationId],
+        bounds: CellBounds,
+        emit: F,
+    }
+
+    struct Frame {
+        max_start_x: Coord,
+        min_start_y: Coord,
+    }
+
+    impl Frame {
+        fn extend(&self, r: &Rect) -> Frame {
+            Frame {
+                max_start_x: self.max_start_x.max(r.x()),
+                min_start_y: self.min_start_y.min(r.y()),
+            }
+        }
+    }
+
+    fn recurse<F: FnMut(&[LocalRect])>(
+        ctx: &mut Ctx<'_, F>,
+        depth: usize,
+        frame: Frame,
+        assignment: &mut Vec<Option<u32>>,
+        tuple: &mut Vec<LocalRect>,
+    ) {
+        if depth == ctx.order.len() {
+            if ctx.bounds.full_ok(&frame) {
+                (ctx.emit)(tuple);
+            }
+            return;
+        }
+        let v = ctx.order[depth];
+        let candidates: Vec<u32> = if depth == 0 {
+            (0..ctx.relations[v.index()].len() as u32).collect()
+        } else {
+            let probe = ctx
+                .graph
+                .neighbors(v)
+                .iter()
+                .filter(|(u, _, _)| assignment[u.index()].is_some())
+                .min_by(|(_, p1, _), (_, p2, _)| {
+                    p1.distance().partial_cmp(&p2.distance()).expect("finite")
+                })
+                .copied();
+            let Some((u, pred, _)) = probe else {
+                unreachable!("BFS order leaves no relation without a bound neighbor");
+            };
+            let probe_rect = tuple[u.index()].0;
+            let mut c = Vec::new();
+            ctx.trees[v.index()].query_within(&probe_rect, pred.distance(), |_, &idx| {
+                c.push(idx);
+            });
+            c
+        };
+        for idx in candidates {
+            let (rect, id) = ctx.relations[v.index()][idx as usize];
+            let next = frame.extend(&rect);
+            if !ctx.bounds.partial_ok(&next) {
+                continue;
+            }
+            let ok = ctx.graph.neighbors(v).iter().all(|&(w, p, forward)| {
+                match assignment[w.index()] {
+                    Some(_) => p.eval_oriented(&rect, &tuple[w.index()].0, !forward),
+                    None => true,
+                }
+            });
+            if !ok {
+                continue;
+            }
+            assignment[v.index()] = Some(idx);
+            tuple[v.index()] = (rect, id);
+            recurse(ctx, depth + 1, next, assignment, tuple);
+            assignment[v.index()] = None;
+        }
+    }
+
+    let mut assignment: Vec<Option<u32>> = vec![None; n];
+    let mut tuple: Vec<LocalRect> = vec![(Rect::new(0.0, 0.0, 0.0, 0.0), 0); n];
+    let mut ctx = Ctx {
+        graph: &graph,
+        relations,
+        trees: &trees,
+        order: &order,
+        bounds,
+        emit: &mut emit,
+    };
+    let root = Frame {
+        max_start_x: Coord::NEG_INFINITY,
+        min_start_y: Coord::INFINITY,
+    };
+    recurse(&mut ctx, 0, root, &mut assignment, &mut tuple);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiway;
+    use mwsj_local_test_util::*;
+
+    // Shared small helpers (kept local to this module).
+    mod mwsj_local_test_util {
+        use super::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        pub fn random_relation(n: usize, seed: u64, side: f64) -> Vec<LocalRect> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..n)
+                .map(|i| {
+                    (
+                        Rect::new(
+                            rng.random_range(0.0..300.0),
+                            rng.random_range(side..300.0),
+                            rng.random_range(0.0..side),
+                            rng.random_range(0.0..side),
+                        ),
+                        i as u32,
+                    )
+                })
+                .collect()
+        }
+    }
+
+    fn check_equivalence(query: &Query, relations: &[Vec<LocalRect>], grid: &Grid) {
+        // Union over all cells of the pruned matcher == plain matcher
+        // filtered by designated cell; and each tuple appears exactly once
+        // across cells.
+        let mut pruned: Vec<(u32, Vec<u32>)> = Vec::new();
+        for cell in grid.cells() {
+            multiway_join_at_cell(query, relations, grid, cell, |tuple| {
+                pruned.push((cell.0, tuple.iter().map(|&(_, id)| id).collect()));
+            });
+        }
+        let mut expected: Vec<(u32, Vec<u32>)> = Vec::new();
+        multiway::multiway_join(query, relations, |tuple| {
+            let rects: Vec<Rect> = tuple.iter().map(|&(r, _)| r).collect();
+            let cell = crate::dedup::multiway_tuple_cell(grid, &rects);
+            expected.push((cell.0, tuple.iter().map(|&(_, id)| id).collect()));
+        });
+        pruned.sort();
+        expected.sort();
+        assert_eq!(pruned, expected);
+        // Exactly-once across all cells.
+        let mut ids: Vec<&Vec<u32>> = pruned.iter().map(|(_, t)| t).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "a tuple was emitted by two cells");
+    }
+
+    #[test]
+    fn pruned_matcher_equals_filtered_matcher_overlap() {
+        let q = Query::builder()
+            .overlap("R1", "R2")
+            .overlap("R2", "R3")
+            .build()
+            .unwrap();
+        let rels = vec![
+            random_relation(40, 1, 30.0),
+            random_relation(40, 2, 30.0),
+            random_relation(40, 3, 30.0),
+        ];
+        let grid = Grid::square((0.0, 300.0), (0.0, 300.0), 4);
+        check_equivalence(&q, &rels, &grid);
+    }
+
+    #[test]
+    fn pruned_matcher_equals_filtered_matcher_range() {
+        let q = Query::builder()
+            .range("R1", "R2", 20.0)
+            .range("R2", "R3", 20.0)
+            .build()
+            .unwrap();
+        let rels = vec![
+            random_relation(30, 4, 15.0),
+            random_relation(30, 5, 15.0),
+            random_relation(30, 6, 15.0),
+        ];
+        let grid = Grid::square((0.0, 300.0), (0.0, 300.0), 8);
+        check_equivalence(&q, &rels, &grid);
+    }
+
+    #[test]
+    fn pruned_matcher_equals_filtered_matcher_star() {
+        let q = Query::builder()
+            .overlap("C", "L1")
+            .overlap("C", "L2")
+            .build()
+            .unwrap();
+        let rels = vec![
+            random_relation(25, 7, 40.0),
+            random_relation(25, 8, 40.0),
+            random_relation(25, 9, 40.0),
+        ];
+        let grid = Grid::square((0.0, 300.0), (0.0, 300.0), 2);
+        check_equivalence(&q, &rels, &grid);
+    }
+
+    #[test]
+    fn single_cell_grid_emits_everything() {
+        let q = Query::builder().overlap("A", "B").build().unwrap();
+        let rels = vec![random_relation(30, 10, 50.0), random_relation(30, 11, 50.0)];
+        let grid = Grid::square((0.0, 300.0), (0.0, 300.0), 1);
+        let mut count = 0;
+        multiway_join_at_cell(&q, &rels, &grid, CellId(0), |_| count += 1);
+        assert_eq!(count, multiway::multiway_join_ids(&q, &rels).len());
+    }
+}

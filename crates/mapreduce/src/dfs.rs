@@ -1,0 +1,187 @@
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::RecordSize;
+
+/// Errors from [`Dfs`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// No dataset with that name exists.
+    NotFound(String),
+    /// The dataset exists but holds a different element type.
+    TypeMismatch(String),
+}
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::NotFound(n) => write!(f, "dataset `{n}` not found"),
+            DfsError::TypeMismatch(n) => write!(f, "dataset `{n}` holds a different type"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+struct Dataset {
+    data: Arc<dyn Any + Send + Sync>,
+    bytes: u64,
+    records: u64,
+}
+
+/// An in-memory stand-in for HDFS with byte accounting.
+///
+/// Chained jobs (the *2-way Cascade* baseline) persist each intermediate
+/// join result here and re-read it as the next job's input; the read/write
+/// counters expose the amplification the paper blames for Cascade's poor
+/// performance (§6.4: "a huge reading and writing cost").
+#[derive(Default)]
+pub struct Dfs {
+    datasets: RwLock<HashMap<String, Dataset>>,
+    read_bytes: AtomicU64,
+    write_bytes: AtomicU64,
+}
+
+impl Dfs {
+    /// Creates an empty DFS.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes (or replaces) a dataset, charging its encoded size to the
+    /// write counter.
+    pub fn write<T: RecordSize + Send + Sync + 'static>(&self, name: &str, data: Vec<T>) {
+        let bytes: u64 = data.iter().map(|r| r.size_bytes() as u64).sum();
+        let records = data.len() as u64;
+        self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.datasets.write().insert(
+            name.to_string(),
+            Dataset {
+                data: Arc::new(data),
+                bytes,
+                records,
+            },
+        );
+    }
+
+    /// Reads a dataset, charging its encoded size to the read counter. The
+    /// data is shared, not copied.
+    pub fn read<T: Send + Sync + 'static>(&self, name: &str) -> Result<Arc<Vec<T>>, DfsError> {
+        let guard = self.datasets.read();
+        let ds = guard
+            .get(name)
+            .ok_or_else(|| DfsError::NotFound(name.to_string()))?;
+        let data = Arc::clone(&ds.data)
+            .downcast::<Vec<T>>()
+            .map_err(|_| DfsError::TypeMismatch(name.to_string()))?;
+        self.read_bytes.fetch_add(ds.bytes, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    /// Removes a dataset (no-op if absent).
+    pub fn delete(&self, name: &str) {
+        self.datasets.write().remove(name);
+    }
+
+    /// Whether a dataset exists.
+    #[must_use]
+    pub fn exists(&self, name: &str) -> bool {
+        self.datasets.read().contains_key(name)
+    }
+
+    /// Number of records in a dataset.
+    pub fn record_count(&self, name: &str) -> Result<u64, DfsError> {
+        self.datasets
+            .read()
+            .get(name)
+            .map(|d| d.records)
+            .ok_or_else(|| DfsError::NotFound(name.to_string()))
+    }
+
+    /// Total bytes read so far.
+    #[must_use]
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written so far.
+    #[must_use]
+    pub fn write_bytes(&self) -> u64 {
+        self.write_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Resets the byte counters (between experiments).
+    pub fn reset_counters(&self) {
+        self.read_bytes.store(0, Ordering::Relaxed);
+        self.write_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dfs = Dfs::new();
+        dfs.write("nums", vec![1u64, 2, 3]);
+        let back = dfs.read::<u64>("nums").unwrap();
+        assert_eq!(*back, vec![1, 2, 3]);
+        assert_eq!(dfs.record_count("nums").unwrap(), 3);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let dfs = Dfs::new();
+        dfs.write("nums", vec![1u64, 2, 3]); // 24 bytes
+        assert_eq!(dfs.write_bytes(), 24);
+        assert_eq!(dfs.read_bytes(), 0);
+        let _ = dfs.read::<u64>("nums").unwrap();
+        let _ = dfs.read::<u64>("nums").unwrap();
+        assert_eq!(dfs.read_bytes(), 48);
+        dfs.reset_counters();
+        assert_eq!(dfs.write_bytes(), 0);
+    }
+
+    #[test]
+    fn missing_dataset() {
+        let dfs = Dfs::new();
+        assert_eq!(
+            dfs.read::<u64>("nope").unwrap_err(),
+            DfsError::NotFound("nope".into())
+        );
+        assert!(!dfs.exists("nope"));
+    }
+
+    #[test]
+    fn type_mismatch() {
+        let dfs = Dfs::new();
+        dfs.write("nums", vec![1u64]);
+        assert_eq!(
+            dfs.read::<u32>("nums").unwrap_err(),
+            DfsError::TypeMismatch("nums".into())
+        );
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let dfs = Dfs::new();
+        dfs.write("d", vec![1u8]);
+        dfs.write("d", vec![2u8, 3]);
+        assert_eq!(*dfs.read::<u8>("d").unwrap(), vec![2, 3]);
+        assert_eq!(dfs.write_bytes(), 3);
+    }
+
+    #[test]
+    fn delete_removes() {
+        let dfs = Dfs::new();
+        dfs.write("d", vec![1u8]);
+        dfs.delete("d");
+        assert!(!dfs.exists("d"));
+    }
+}

@@ -1,0 +1,454 @@
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::{Dfs, JobMetrics, MetricsReport, RecordSize};
+
+/// Engine configuration: degrees of parallelism for the two phases.
+///
+/// The paper's cluster runs 16 cores with 64 reduce *slots*; here
+/// `reduce_tasks` is the number of worker threads executing reducers, while
+/// the number of logical reducers (partitions) is chosen per job — the join
+/// algorithms use one partition per grid cell.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for the map phase.
+    pub map_tasks: usize,
+    /// Worker threads for the reduce phase.
+    pub reduce_tasks: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let n = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        Self {
+            map_tasks: n,
+            reduce_tasks: n,
+        }
+    }
+}
+
+/// The map-reduce engine: runs jobs, owns the [`Dfs`], accumulates
+/// [`JobMetrics`].
+pub struct Engine {
+    config: EngineConfig,
+    /// The distributed file system shared by chained jobs.
+    pub dfs: Dfs,
+    metrics: Mutex<Vec<JobMetrics>>,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.map_tasks > 0 && config.reduce_tasks > 0);
+        Self {
+            config,
+            dfs: Dfs::new(),
+            metrics: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Runs one map-reduce job and returns the reducer outputs (in
+    /// partition order, sorted-key order within each partition).
+    ///
+    /// * `map_fn(record, emit)` — called once per input record; `emit(k, v)`
+    ///   produces an intermediate pair.
+    /// * `partition_fn(key, num_partitions)` — routes a key to a logical
+    ///   reducer; must return a value `< num_partitions`. All pairs with
+    ///   equal keys must map to the same partition (guaranteed when the
+    ///   function depends only on the key).
+    /// * `reduce_fn(key, values, out)` — called once per distinct key with
+    ///   every value for that key.
+    pub fn run_job<I, K, V, O, MF, PF, RF>(
+        &self,
+        name: &str,
+        input: &[I],
+        num_partitions: usize,
+        map_fn: MF,
+        partition_fn: PF,
+        reduce_fn: RF,
+    ) -> Vec<O>
+    where
+        I: Sync,
+        K: Ord + Send + RecordSize,
+        V: Send + RecordSize,
+        O: Send,
+        MF: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+        PF: Fn(&K, usize) -> usize + Sync,
+        RF: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+    {
+        assert!(num_partitions > 0, "a job needs at least one partition");
+        let job_start = Instant::now();
+        let mut metrics = JobMetrics {
+            job_name: name.to_string(),
+            map_input_records: input.len() as u64,
+            ..JobMetrics::default()
+        };
+
+        // ---- Map phase -------------------------------------------------
+        // Input is divided into chunks claimed by worker threads; each
+        // worker keeps one output bucket per partition (the mapper-side
+        // spill files of a real deployment).
+        let map_start = Instant::now();
+        let chunk_size = input.len().div_ceil(self.config.map_tasks * 4).max(1);
+        let chunks: Vec<&[I]> = input.chunks(chunk_size).collect();
+        let next_chunk = AtomicUsize::new(0);
+        let emitted = AtomicU64::new(0);
+        let shuffled_bytes = AtomicU64::new(0);
+
+        let worker_buckets: Vec<Vec<Vec<(K, V)>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.config.map_tasks)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut buckets: Vec<Vec<(K, V)>> = (0..num_partitions)
+                            .map(|_| Vec::new())
+                            .collect();
+                        let mut local_emitted = 0u64;
+                        let mut local_bytes = 0u64;
+                        loop {
+                            let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                            let Some(chunk) = chunks.get(c) else { break };
+                            for record in *chunk {
+                                map_fn(record, &mut |k: K, v: V| {
+                                    let p = partition_fn(&k, num_partitions);
+                                    assert!(
+                                        p < num_partitions,
+                                        "partition_fn returned {p} >= {num_partitions}"
+                                    );
+                                    local_emitted += 1;
+                                    local_bytes += (k.size_bytes() + v.size_bytes()) as u64;
+                                    buckets[p].push((k, v));
+                                });
+                            }
+                        }
+                        emitted.fetch_add(local_emitted, Ordering::Relaxed);
+                        shuffled_bytes.fetch_add(local_bytes, Ordering::Relaxed);
+                        buckets
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(buckets) => buckets,
+                    // Preserve the original panic (e.g. a partitioner
+                    // assertion) instead of masking it.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        metrics.map_wall = map_start.elapsed();
+        metrics.map_output_records = emitted.load(Ordering::Relaxed);
+        metrics.reduce_input_records = metrics.map_output_records;
+        metrics.shuffle_bytes = shuffled_bytes.load(Ordering::Relaxed);
+
+        // ---- Shuffle: merge per-partition streams and sort by key ------
+        let shuffle_start = Instant::now();
+        let mut partitions: Vec<Mutex<Vec<(K, V)>>> =
+            (0..num_partitions).map(|_| Mutex::new(Vec::new())).collect();
+        for buckets in worker_buckets {
+            for (p, mut bucket) in buckets.into_iter().enumerate() {
+                partitions[p].get_mut().append(&mut bucket);
+            }
+        }
+        let group_counter = AtomicU64::new(0);
+        let max_partition = AtomicU64::new(0);
+        let next_shuffle = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let next = &next_shuffle;
+            let partitions = &partitions;
+            let group_counter = &group_counter;
+            let max_partition = &max_partition;
+            for _ in 0..self.config.reduce_tasks {
+                scope.spawn(move || loop {
+                    let p = next.fetch_add(1, Ordering::Relaxed);
+                    if p >= partitions.len() {
+                        break;
+                    }
+                    let mut data = partitions[p].lock();
+                    max_partition.fetch_max(data.len() as u64, Ordering::Relaxed);
+                    data.sort_by(|a, b| a.0.cmp(&b.0));
+                    let mut groups = 0u64;
+                    let mut prev: Option<&K> = None;
+                    for (k, _) in data.iter() {
+                        if prev != Some(k) {
+                            groups += 1;
+                            prev = Some(k);
+                        }
+                    }
+                    group_counter.fetch_add(groups, Ordering::Relaxed);
+                });
+            }
+        });
+        metrics.shuffle_wall = shuffle_start.elapsed();
+        metrics.reduce_input_groups = group_counter.load(Ordering::Relaxed);
+        metrics.max_partition_records = max_partition.load(Ordering::Relaxed);
+
+        // ---- Reduce phase ----------------------------------------------
+        let reduce_start = Instant::now();
+        let output_slots: Vec<Mutex<Vec<O>>> =
+            (0..num_partitions).map(|_| Mutex::new(Vec::new())).collect();
+        let out_count = AtomicU64::new(0);
+        let next_reduce = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let next = &next_reduce;
+            let partitions = &partitions;
+            let output_slots = &output_slots;
+            let reduce_fn = &reduce_fn;
+            let out_count = &out_count;
+            for _ in 0..self.config.reduce_tasks {
+                scope.spawn(move || loop {
+                    let p = next.fetch_add(1, Ordering::Relaxed);
+                    if p >= partitions.len() {
+                        break;
+                    }
+                    let data = std::mem::take(&mut *partitions[p].lock());
+                    let mut outputs = Vec::new();
+                    let mut local_out = 0u64;
+                    let mut iter = data.into_iter().peekable();
+                    while let Some((key, first_value)) = iter.next() {
+                        let mut values = vec![first_value];
+                        while let Some((k, _)) = iter.peek() {
+                            if *k == key {
+                                let (_, v) = iter.next().expect("peeked");
+                                values.push(v);
+                            } else {
+                                break;
+                            }
+                        }
+                        reduce_fn(&key, values, &mut |o: O| {
+                            local_out += 1;
+                            outputs.push(o);
+                        });
+                    }
+                    out_count.fetch_add(local_out, Ordering::Relaxed);
+                    *output_slots[p].lock() = outputs;
+                });
+            }
+        });
+        metrics.reduce_wall = reduce_start.elapsed();
+        metrics.reduce_output_records = out_count.load(Ordering::Relaxed);
+        metrics.total_wall = job_start.elapsed();
+        self.metrics.lock().push(metrics);
+
+        output_slots
+            .into_iter()
+            .flat_map(parking_lot::Mutex::into_inner)
+            .collect()
+    }
+
+    /// Snapshot of all job metrics plus DFS counters since construction (or
+    /// the last [`Engine::reset_metrics`]).
+    #[must_use]
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            jobs: self.metrics.lock().clone(),
+            dfs_read_bytes: self.dfs.read_bytes(),
+            dfs_write_bytes: self.dfs.write_bytes(),
+        }
+    }
+
+    /// Clears accumulated job metrics and DFS counters.
+    pub fn reset_metrics(&self) {
+        self.metrics.lock().clear();
+        self.dfs.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig {
+            map_tasks: 4,
+            reduce_tasks: 4,
+        })
+    }
+
+    #[test]
+    fn word_count() {
+        let e = engine();
+        let input = vec!["a b a", "c b", "a"];
+        let mut out = e.run_job(
+            "wc",
+            &input,
+            3,
+            |line, emit| {
+                for w in line.split(' ') {
+                    emit(w.to_string(), 1u32);
+                }
+            },
+            |k, n| k.as_bytes()[0] as usize % n,
+            |k, vs, out| out((k.clone(), vs.len())),
+        );
+        out.sort();
+        assert_eq!(
+            out,
+            vec![("a".into(), 3usize), ("b".into(), 2), ("c".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn metrics_count_intermediate_pairs() {
+        let e = engine();
+        let input: Vec<u32> = (0..100).collect();
+        let _ = e.run_job(
+            "double-emit",
+            &input,
+            8,
+            |&x, emit| {
+                emit(x % 8, x);
+                emit((x + 1) % 8, x);
+            },
+            |&k, n| k as usize % n,
+            |_, vs, out| {
+                for v in vs {
+                    out(v);
+                }
+            },
+        );
+        let report = e.report();
+        assert_eq!(report.num_jobs(), 1);
+        let j = &report.jobs[0];
+        assert_eq!(j.map_input_records, 100);
+        assert_eq!(j.map_output_records, 200);
+        assert_eq!(j.reduce_input_records, 200);
+        assert_eq!(j.reduce_output_records, 200);
+        assert_eq!(j.reduce_input_groups, 8);
+        // Keys are u32 (4 bytes) and values u32 (4 bytes).
+        assert_eq!(j.shuffle_bytes, 200 * 8);
+    }
+
+    #[test]
+    fn all_values_for_a_key_meet_at_one_reducer() {
+        let e = engine();
+        let input: Vec<u64> = (0..1000).collect();
+        let out = e.run_job(
+            "group",
+            &input,
+            16,
+            |&x, emit| emit(x % 50, x),
+            |&k, n| (k as usize) % n,
+            |&k, vs, out| {
+                // Every value v with v % 50 == k must be present.
+                let mut got: Vec<u64> = vs;
+                got.sort_unstable();
+                let expect: Vec<u64> = (0..1000).filter(|v| v % 50 == k).collect();
+                assert_eq!(got, expect);
+                out(k);
+            },
+        );
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn reducers_see_keys_in_sorted_order_within_partition() {
+        let e = engine();
+        let input: Vec<u32> = (0..200).rev().collect();
+        let order = Mutex::new(Vec::new());
+        let _ = e.run_job(
+            "sorted",
+            &input,
+            1,
+            |&x, emit| emit(x, ()),
+            |_, _| 0,
+            |&k, _, _out: &mut dyn FnMut(())| {
+                order.lock().push(k);
+            },
+        );
+        let order = order.into_inner();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn empty_input_produces_no_output() {
+        let e = engine();
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = e.run_job(
+            "empty",
+            &input,
+            4,
+            |&x, emit| emit(x, x),
+            |&k, n| k as usize % n,
+            |&k, _, out| out(k),
+        );
+        assert!(out.is_empty());
+        assert_eq!(e.report().jobs[0].map_output_records, 0);
+    }
+
+    #[test]
+    fn chained_jobs_account_dfs_traffic() {
+        let e = engine();
+        let input: Vec<u32> = (0..10).collect();
+        let stage1: Vec<u32> = e.run_job(
+            "stage1",
+            &input,
+            2,
+            |&x, emit| emit(x % 2, x),
+            |&k, n| k as usize % n,
+            |_, vs, out| {
+                for v in vs {
+                    out(v * 2);
+                }
+            },
+        );
+        e.dfs.write("intermediate", stage1);
+        let stage2_input = e.dfs.read::<u32>("intermediate").unwrap();
+        let out: Vec<u32> = e.run_job(
+            "stage2",
+            &stage2_input,
+            2,
+            |&x, emit| emit(x % 2, x),
+            |&k, n| k as usize % n,
+            |_, vs, out| {
+                for v in vs {
+                    out(v);
+                }
+            },
+        );
+        assert_eq!(out.len(), 10);
+        let report = e.report();
+        assert_eq!(report.num_jobs(), 2);
+        assert_eq!(report.dfs_write_bytes, 40);
+        assert_eq!(report.dfs_read_bytes, 40);
+    }
+
+    #[test]
+    fn reset_metrics_clears_everything() {
+        let e = engine();
+        let input = vec![1u32];
+        let _ = e.run_job(
+            "j",
+            &input,
+            1,
+            |&x, emit| emit(x, x),
+            |_, _| 0,
+            |&k, _, out| out(k),
+        );
+        e.dfs.write("d", vec![1u8]);
+        e.reset_metrics();
+        let r = e.report();
+        assert_eq!(r.num_jobs(), 0);
+        assert_eq!(r.dfs_write_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition_fn returned")]
+    fn bad_partitioner_panics() {
+        let e = engine();
+        let input = vec![1u32];
+        let _ = e.run_job(
+            "bad",
+            &input,
+            2,
+            |&x, emit| emit(x, x),
+            |_, _| 7,
+            |&k, _, out| out(k),
+        );
+    }
+}

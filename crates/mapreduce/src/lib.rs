@@ -1,0 +1,56 @@
+//! An in-process, multi-threaded map-reduce engine.
+//!
+//! This crate stands in for the Hadoop 0.20.2 + HDFS stack the paper runs
+//! on (§2, §7.8.1). It executes jobs with real parallelism and a real
+//! shuffle — mappers emit `(key, value)` pairs that are partitioned,
+//! routed, sorted and grouped per reducer — and it meters exactly the
+//! quantities the paper's evaluation reasons about:
+//!
+//! * **intermediate key-value pairs** (the communication cost that
+//!   *Controlled-Replicate* is engineered to minimize),
+//! * **shuffle bytes** (via the [`RecordSize`] trait),
+//! * **DFS read/write bytes** (the read/write amplification that makes
+//!   *2-way Cascade* slow — each chained job re-reads and re-writes its
+//!   growing intermediate result through [`Dfs`]),
+//! * per-phase and end-to-end wall time.
+//!
+//! The engine is deliberately faithful to the map-reduce execution model:
+//! the reduce phase starts only after every mapper finishes (barrier), all
+//! pairs with equal keys meet at a single reducer, and reducers process
+//! keys in sorted order.
+//!
+//! # Example
+//!
+//! ```
+//! use mwsj_mapreduce::{Engine, EngineConfig};
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let words = vec!["a b", "b c", "c b"];
+//! let mut counts = engine.run_job(
+//!     "word-count",
+//!     &words,
+//!     4,                                   // reducers
+//!     |line, emit| {
+//!         for w in line.split(' ') {
+//!             emit(w.to_string(), 1u64);
+//!         }
+//!     },
+//!     |key, _| key.len() % 4,              // partitioner
+//!     |word, ones, out| out((word.clone(), ones.len() as u64)),
+//! );
+//! counts.sort();
+//! assert_eq!(counts, vec![("a".into(), 1), ("b".into(), 3), ("c".into(), 2)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dfs;
+mod engine;
+mod metrics;
+mod record;
+
+pub use dfs::{Dfs, DfsError};
+pub use engine::{Engine, EngineConfig};
+pub use metrics::{CostModel, JobMetrics, MetricsReport};
+pub use record::RecordSize;

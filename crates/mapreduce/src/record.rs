@@ -1,0 +1,107 @@
+/// Serialized-size accounting for shuffle and DFS byte metrics.
+///
+/// The engine never actually serializes records (everything stays in
+/// memory), but the paper's communication-cost arguments are about bytes on
+/// the wire and on HDFS, so every key, value and stored record reports the
+/// size it *would* occupy in a compact binary encoding.
+pub trait RecordSize {
+    /// The record's encoded size in bytes.
+    fn size_bytes(&self) -> usize;
+}
+
+macro_rules! impl_fixed {
+    ($($t:ty),*) => {
+        $(impl RecordSize for $t {
+            fn size_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_fixed!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl RecordSize for String {
+    fn size_bytes(&self) -> usize {
+        // 4-byte length prefix + UTF-8 payload.
+        4 + self.len()
+    }
+}
+
+impl RecordSize for &str {
+    fn size_bytes(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl RecordSize for () {
+    fn size_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl<T: RecordSize> RecordSize for Option<T> {
+    fn size_bytes(&self) -> usize {
+        1 + self.as_ref().map_or(0, RecordSize::size_bytes)
+    }
+}
+
+impl<T: RecordSize> RecordSize for Vec<T> {
+    fn size_bytes(&self) -> usize {
+        4 + self.iter().map(RecordSize::size_bytes).sum::<usize>()
+    }
+}
+
+impl<T: RecordSize> RecordSize for Box<T> {
+    fn size_bytes(&self) -> usize {
+        self.as_ref().size_bytes()
+    }
+}
+
+impl<A: RecordSize, B: RecordSize> RecordSize for (A, B) {
+    fn size_bytes(&self) -> usize {
+        self.0.size_bytes() + self.1.size_bytes()
+    }
+}
+
+impl<A: RecordSize, B: RecordSize, C: RecordSize> RecordSize for (A, B, C) {
+    fn size_bytes(&self) -> usize {
+        self.0.size_bytes() + self.1.size_bytes() + self.2.size_bytes()
+    }
+}
+
+impl<T: RecordSize, const N: usize> RecordSize for [T; N] {
+    fn size_bytes(&self) -> usize {
+        self.iter().map(RecordSize::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(7u32.size_bytes(), 4);
+        assert_eq!(7u64.size_bytes(), 8);
+        assert_eq!(1.5f64.size_bytes(), 8);
+        assert_eq!(true.size_bytes(), 1);
+        assert_eq!(().size_bytes(), 0);
+    }
+
+    #[test]
+    fn strings_carry_length_prefix() {
+        assert_eq!("abc".size_bytes(), 7);
+        assert_eq!(String::from("abc").size_bytes(), 7);
+    }
+
+    #[test]
+    fn composites() {
+        assert_eq!((1u32, 2u64).size_bytes(), 12);
+        assert_eq!(vec![1u32, 2, 3].size_bytes(), 4 + 12);
+        assert_eq!(Some(3u16).size_bytes(), 3);
+        assert_eq!(None::<u16>.size_bytes(), 1);
+        assert_eq!([1u8; 5].size_bytes(), 5);
+        assert_eq!(Box::new(9u64).size_bytes(), 8);
+    }
+}

@@ -1,0 +1,555 @@
+use mwsj_geom::{Coord, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a partition-cell.
+///
+/// Cells are numbered row-major from the **top-left**, starting at 0 (the
+/// paper numbers them from 1; its Figure 2 cell *k* is `CellId(k - 1)`).
+/// One reducer handles one cell, so a `CellId` doubles as a reducer id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The paper's 1-based cell number (for cross-checking worked examples).
+    #[must_use]
+    pub fn paper_number(self) -> u32 {
+        self.0 + 1
+    }
+
+    /// Builds a `CellId` from the paper's 1-based cell number.
+    #[must_use]
+    pub fn from_paper_number(n: u32) -> Self {
+        assert!(n >= 1, "paper cell numbers start at 1");
+        CellId(n - 1)
+    }
+}
+
+/// A rectilinear partitioning of the space `[x0, xn] × [y0, yn]` into
+/// `cols × rows` equal cells (§4; the paper's experiments use an 8×8 grid
+/// for 64 reducers).
+///
+/// Rows are numbered top-down and columns left-right, so the paper's
+/// "4th quadrant w.r.t. a rectangle" (cells with `c.x ≥ c_u.x` and
+/// `c.y ≤ c_u.y`) is exactly the set of cells with `col ≥ col(c_u)` and
+/// `row ≥ row(c_u)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    x0: Coord,
+    xn: Coord,
+    y0: Coord,
+    yn: Coord,
+    cols: u32,
+    rows: u32,
+    cell_w: Coord,
+    cell_h: Coord,
+}
+
+impl Grid {
+    /// Creates a grid over `[x0, xn] × [y0, yn]` with `cols × rows` cells.
+    ///
+    /// # Panics
+    /// Panics if the ranges are empty or the cell counts are zero.
+    #[must_use]
+    pub fn new(x_range: (Coord, Coord), y_range: (Coord, Coord), cols: u32, rows: u32) -> Self {
+        let (x0, xn) = x_range;
+        let (y0, yn) = y_range;
+        assert!(xn > x0 && yn > y0, "empty space extent");
+        assert!(cols > 0 && rows > 0, "grid must have at least one cell");
+        Self {
+            x0,
+            xn,
+            y0,
+            yn,
+            cols,
+            rows,
+            cell_w: (xn - x0) / Coord::from(cols),
+            cell_h: (yn - y0) / Coord::from(rows),
+        }
+    }
+
+    /// Square grid with `side × side` cells — the paper divides each axis in
+    /// `sqrt(k)` partitions for `k` reducers (§5.1).
+    #[must_use]
+    pub fn square(x_range: (Coord, Coord), y_range: (Coord, Coord), side: u32) -> Self {
+        Self::new(x_range, y_range, side, side)
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Total number of partition-cells (= reducers).
+    #[must_use]
+    pub fn num_cells(&self) -> u32 {
+        self.cols * self.rows
+    }
+
+    /// The full space extent as a rectangle.
+    #[must_use]
+    pub fn extent(&self) -> Rect {
+        Rect::new(self.x0, self.yn, self.xn - self.x0, self.yn - self.y0)
+    }
+
+    /// Cell id for `(col, row)` indices.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of range.
+    #[must_use]
+    pub fn cell_at(&self, col: u32, row: u32) -> CellId {
+        assert!(col < self.cols && row < self.rows, "cell index out of range");
+        CellId(row * self.cols + col)
+    }
+
+    /// Column index of a cell.
+    #[must_use]
+    pub fn col_of(&self, cell: CellId) -> u32 {
+        cell.0 % self.cols
+    }
+
+    /// Row index of a cell (0 = top row).
+    #[must_use]
+    pub fn row_of(&self, cell: CellId) -> u32 {
+        cell.0 / self.cols
+    }
+
+    /// Column index containing coordinate `x` under the half-open rule
+    /// (`[lo, hi)`, global right edge closed).
+    #[must_use]
+    pub fn col_of_x(&self, x: Coord) -> u32 {
+        debug_assert!(x >= self.x0 && x <= self.xn, "x = {x} outside the space");
+        let idx = ((x - self.x0) / self.cell_w).floor();
+        (idx as i64).clamp(0, i64::from(self.cols) - 1) as u32
+    }
+
+    /// Row index containing coordinate `y`. A point on a horizontal boundary
+    /// belongs to the cell **below** (a rectangle starting there has its body
+    /// below the boundary); the global bottom edge is closed.
+    #[must_use]
+    pub fn row_of_y(&self, y: Coord) -> u32 {
+        debug_assert!(y >= self.y0 && y <= self.yn, "y = {y} outside the space");
+        let idx = ((self.yn - y) / self.cell_h).floor();
+        (idx as i64).clamp(0, i64::from(self.rows) - 1) as u32
+    }
+
+    /// The cell containing a point.
+    #[must_use]
+    pub fn cell_of_point(&self, p: &Point) -> CellId {
+        self.cell_at(self.col_of_x(p.x), self.row_of_y(p.y))
+    }
+
+    /// The *cell of a rectangle* (§4): the cell containing its start point.
+    #[must_use]
+    pub fn cell_of(&self, r: &Rect) -> CellId {
+        self.cell_of_point(&r.start_point())
+    }
+
+    /// The closed rectangular extent of a cell.
+    #[must_use]
+    pub fn cell_rect(&self, cell: CellId) -> Rect {
+        let col = self.col_of(cell);
+        let row = self.row_of(cell);
+        let x = self.x0 + Coord::from(col) * self.cell_w;
+        let y = self.yn - Coord::from(row) * self.cell_h;
+        Rect::new(x, y, self.cell_w, self.cell_h)
+    }
+
+    /// Whether the closed rectangle intersects the cell's half-open region
+    /// ("has at least one point in common" in the paper's split definition,
+    /// made boundary-exact; see the crate docs).
+    #[must_use]
+    pub fn rect_overlaps_cell(&self, r: &Rect, cell: CellId) -> bool {
+        let c = self.cell_rect(cell);
+        let col = self.col_of(cell);
+        let row = self.row_of(cell);
+        // x axis: region [lo, hi), last column closed at xn.
+        let x_ok = r.max_x() >= c.min_x()
+            && (r.min_x() < c.max_x() || (col == self.cols - 1 && r.min_x() <= c.max_x()));
+        // y axis: region open at the top, closed at the bottom boundary; the
+        // top row is closed at yn.
+        let y_ok = r.min_y() <= c.max_y()
+            && (r.max_y() > c.min_y() || (row == self.rows - 1 && r.max_y() >= c.min_y()));
+        x_ok && y_ok
+    }
+
+    /// Whether the rectangle crosses the boundary of `cell`, i.e. overlaps at
+    /// least one other cell. This is the overlap-predicate crossing test of
+    /// condition C2 (§7.4).
+    #[must_use]
+    pub fn rect_crosses_cell(&self, r: &Rect, cell: CellId) -> bool {
+        let c = self.cell_rect(cell);
+        let col = self.col_of(cell);
+        let row = self.row_of(cell);
+        // Crosses right: some part of the closed rect lies in the next
+        // column's region [hi, ...). Crosses down: some part lies below
+        // (y <= min_y of the cell, belonging to the region of the row below).
+        let crosses_right = col + 1 < self.cols && r.max_x() >= c.max_x();
+        let crosses_down = row + 1 < self.rows && r.min_y() <= c.min_y();
+        let crosses_left = r.min_x() < c.min_x();
+        let crosses_up = r.max_y() > c.max_y();
+        crosses_right || crosses_down || crosses_left || crosses_up
+    }
+
+    /// Minimum distance between a cell (closed extent) and a rectangle —
+    /// `dist(c, r)` of equation (2). Using the closed extent only ever
+    /// over-approximates cell membership, which is the safe direction for
+    /// every use in the paper (replication and C2 checks send *more*, never
+    /// fewer, rectangles).
+    #[must_use]
+    pub fn cell_distance(&self, cell: CellId, r: &Rect) -> Coord {
+        self.cell_rect(cell).distance(r)
+    }
+
+    /// Whether some cell **other than** `cell` lies within distance `d` of
+    /// the rectangle — the range-predicate crossing test of condition C2 for
+    /// range joins (§8).
+    #[must_use]
+    pub fn other_cell_within(&self, r: &Rect, cell: CellId, d: Coord) -> bool {
+        // The nearest other cell is always one of the neighbours of the cells
+        // the enlarged rectangle touches; scanning the cells overlapping
+        // r.enlarge(d) is exact and cheap.
+        let e = r.enlarge(d);
+        let (c0, c1, r0, r1) = self.index_span(&e);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                let cand = self.cell_at(col, row);
+                if cand != cell && self.cell_distance(cand, r) <= d {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Iterator over every cell in the grid, row-major.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> {
+        (0..self.num_cells()).map(CellId)
+    }
+
+    /// Inclusive `(col_lo, col_hi, row_lo, row_hi)` index span of the cells a
+    /// rectangle can interact with (clamped to the grid).
+    fn index_span(&self, r: &Rect) -> (u32, u32, u32, u32) {
+        let clamp_x = |x: Coord| x.clamp(self.x0, self.xn);
+        let clamp_y = |y: Coord| y.clamp(self.y0, self.yn);
+        let c0 = self.col_of_x(clamp_x(r.min_x()));
+        let c1 = self.col_of_x(clamp_x(r.max_x()));
+        let r0 = self.row_of_y(clamp_y(r.max_y()));
+        let r1 = self.row_of_y(clamp_y(r.min_y()));
+        (c0, c1, r0, r1)
+    }
+
+    /// All cells overlapped by the rectangle (the **split** target set, §4).
+    #[must_use]
+    pub fn split_cells(&self, r: &Rect) -> Vec<CellId> {
+        let (c0, c1, r0, r1) = self.index_span(r);
+        let mut out = Vec::with_capacity(((c1 - c0 + 1) * (r1 - r0 + 1)) as usize);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                let cell = self.cell_at(col, row);
+                if self.rect_overlaps_cell(r, cell) {
+                    out.push(cell);
+                }
+            }
+        }
+        out
+    }
+
+    /// All cells in the 4th quadrant w.r.t. the rectangle (the **replicate**
+    /// target set with function `f1`, §4): cells with `col ≥ col(c_u)` and
+    /// `row ≥ row(c_u)` where `c_u` is the rectangle's cell.
+    #[must_use]
+    pub fn fourth_quadrant_cells(&self, r: &Rect) -> Vec<CellId> {
+        let cu = self.cell_of(r);
+        let (col0, row0) = (self.col_of(cu), self.row_of(cu));
+        let mut out =
+            Vec::with_capacity(((self.cols - col0) * (self.rows - row0)) as usize);
+        for row in row0..self.rows {
+            for col in col0..self.cols {
+                out.push(self.cell_at(col, row));
+            }
+        }
+        out
+    }
+
+    /// Replicate target set with function `f2` (§4): 4th-quadrant cells
+    /// within distance `d` of the rectangle.
+    #[must_use]
+    pub fn fourth_quadrant_cells_within(&self, r: &Rect, d: Coord) -> Vec<CellId> {
+        let cu = self.cell_of(r);
+        let (col0, row0) = (self.col_of(cu), self.row_of(cu));
+        let mut out = Vec::new();
+        for row in row0..self.rows {
+            // Once an entire row is beyond distance d we can stop: row
+            // distance grows monotonically going down.
+            let mut row_hit = false;
+            for col in col0..self.cols {
+                let cell = self.cell_at(col, row);
+                if self.cell_distance(cell, r) <= d {
+                    out.push(cell);
+                    row_hit = true;
+                } else if row_hit {
+                    // Distance grows monotonically moving right past the
+                    // rectangle; no further cell in this row qualifies.
+                    break;
+                }
+            }
+            if !row_hit && row > self.row_of_y(r.min_y().clamp(self.y0, self.yn)) {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The paper's Figure 2(a) grid: 4×4 cells over [0, 8] × [0, 8] (cell
+    /// numbers 1..16 row-major from top-left).
+    fn fig2_grid() -> Grid {
+        Grid::square((0.0, 8.0), (0.0, 8.0), 4)
+    }
+
+    #[test]
+    fn cell_numbering_is_row_major_from_top_left() {
+        let g = fig2_grid();
+        assert_eq!(g.cell_at(0, 0).paper_number(), 1);
+        assert_eq!(g.cell_at(3, 0).paper_number(), 4);
+        assert_eq!(g.cell_at(0, 1).paper_number(), 5);
+        assert_eq!(g.cell_at(3, 3).paper_number(), 16);
+        assert_eq!(g.num_cells(), 16);
+    }
+
+    #[test]
+    fn cell_rect_geometry() {
+        let g = fig2_grid();
+        // Cell 6 = (col 1, row 1): x in [2, 4], y in [4, 6].
+        let c6 = CellId::from_paper_number(6);
+        assert_eq!(g.cell_rect(c6), Rect::new(2.0, 6.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn cell_of_point_interior() {
+        let g = fig2_grid();
+        assert_eq!(g.cell_of_point(&Point::new(3.0, 5.0)).paper_number(), 6);
+        assert_eq!(g.cell_of_point(&Point::new(0.5, 7.5)).paper_number(), 1);
+        assert_eq!(g.cell_of_point(&Point::new(7.9, 0.1)).paper_number(), 16);
+    }
+
+    #[test]
+    fn boundary_point_goes_right_and_down() {
+        let g = fig2_grid();
+        // x = 2 is the boundary between columns 0 and 1 -> column 1.
+        assert_eq!(g.cell_of_point(&Point::new(2.0, 7.0)).paper_number(), 2);
+        // y = 6 is the boundary between rows 0 and 1 -> row 1 (below).
+        assert_eq!(g.cell_of_point(&Point::new(1.0, 6.0)).paper_number(), 5);
+        // Both at once.
+        assert_eq!(g.cell_of_point(&Point::new(2.0, 6.0)).paper_number(), 6);
+    }
+
+    #[test]
+    fn global_edges_are_closed() {
+        let g = fig2_grid();
+        assert_eq!(g.cell_of_point(&Point::new(8.0, 8.0)).paper_number(), 4);
+        assert_eq!(g.cell_of_point(&Point::new(8.0, 0.0)).paper_number(), 16);
+        assert_eq!(g.cell_of_point(&Point::new(0.0, 0.0)).paper_number(), 13);
+    }
+
+    #[test]
+    fn split_cells_interior_rect() {
+        let g = fig2_grid();
+        // A rectangle inside cell 6 only.
+        let r = Rect::new(2.5, 5.5, 1.0, 1.0);
+        let cells: Vec<u32> = g.split_cells(&r).iter().map(|c| c.paper_number()).collect();
+        assert_eq!(cells, vec![6]);
+    }
+
+    #[test]
+    fn split_cells_spanning_rect() {
+        let g = fig2_grid();
+        // Spans columns 1-2 and rows 1-2: cells 6, 7, 10, 11.
+        let r = Rect::new(3.0, 5.0, 2.0, 2.0);
+        let cells: Vec<u32> = g.split_cells(&r).iter().map(|c| c.paper_number()).collect();
+        assert_eq!(cells, vec![6, 7, 10, 11]);
+    }
+
+    #[test]
+    fn split_touching_boundary_from_left_reaches_right_cell() {
+        let g = fig2_grid();
+        // max_x = 4.0 exactly on the col 1 / col 2 boundary: the rectangle's
+        // right edge lies in column 2's region.
+        let r = Rect::new(3.0, 5.5, 1.0, 0.5);
+        let cells: Vec<u32> = g.split_cells(&r).iter().map(|c| c.paper_number()).collect();
+        assert_eq!(cells, vec![6, 7]);
+    }
+
+    #[test]
+    fn split_touching_bottom_boundary_reaches_lower_cell() {
+        let g = fig2_grid();
+        // min_y = 4.0 exactly on the row 1 / row 2 boundary: the bottom edge
+        // lies in row 2's region.
+        let r = Rect::new(2.5, 5.0, 1.0, 1.0);
+        let cells: Vec<u32> = g.split_cells(&r).iter().map(|c| c.paper_number()).collect();
+        assert_eq!(cells, vec![6, 10]);
+    }
+
+    #[test]
+    fn split_starting_on_boundary_stays_right() {
+        let g = fig2_grid();
+        let r = Rect::new(4.0, 5.5, 1.0, 0.5);
+        let cells: Vec<u32> = g.split_cells(&r).iter().map(|c| c.paper_number()).collect();
+        assert_eq!(cells, vec![7]);
+    }
+
+    #[test]
+    fn rect_crosses_cell_detects_all_directions() {
+        let g = fig2_grid();
+        let c6 = CellId::from_paper_number(6);
+        // Entirely inside cell 6.
+        assert!(!g.rect_crosses_cell(&Rect::new(2.5, 5.5, 1.0, 1.0), c6));
+        // Extends right into cell 7.
+        assert!(g.rect_crosses_cell(&Rect::new(3.0, 5.0, 2.0, 1.0), c6));
+        // Extends down into cell 10.
+        assert!(g.rect_crosses_cell(&Rect::new(2.5, 5.0, 1.0, 2.0), c6));
+        // Touches the right boundary: its edge lies in cell 7's region.
+        assert!(g.rect_crosses_cell(&Rect::new(3.0, 5.0, 1.0, 1.0), c6));
+    }
+
+    #[test]
+    fn fourth_quadrant_matches_figure2() {
+        // Figure 2(a): r1 starts in cell 6; its 4th quadrant is cells 6-8,
+        // 10-12, 14-16.
+        let g = fig2_grid();
+        let r1 = Rect::new(3.0, 5.5, 2.0, 1.0);
+        assert_eq!(g.cell_of(&r1).paper_number(), 6);
+        let cells: Vec<u32> = g
+            .fourth_quadrant_cells(&r1)
+            .iter()
+            .map(|c| c.paper_number())
+            .collect();
+        assert_eq!(cells, vec![6, 7, 8, 10, 11, 12, 14, 15, 16]);
+    }
+
+    #[test]
+    fn cell_distance_zero_when_overlapping() {
+        let g = fig2_grid();
+        let r = Rect::new(2.5, 5.5, 1.0, 1.0);
+        assert_eq!(g.cell_distance(CellId::from_paper_number(6), &r), 0.0);
+        assert!(g.cell_distance(CellId::from_paper_number(16), &r) > 0.0);
+    }
+
+    #[test]
+    fn replicate_f2_limits_distance() {
+        // Figure 2(c): replicate with f2 returns cells 6, 7, 10, 11 for a
+        // suitable d — 4th-quadrant cells within distance d of r1.
+        let g = fig2_grid();
+        let r1 = Rect::new(3.0, 5.5, 2.0, 1.0);
+        let d = 0.6; // reaches one cell right/down but not further
+        let cells: Vec<u32> = g
+            .fourth_quadrant_cells_within(&r1, d)
+            .iter()
+            .map(|c| c.paper_number())
+            .collect();
+        assert_eq!(cells, vec![6, 7, 10, 11]);
+    }
+
+    #[test]
+    fn other_cell_within_detects_neighbours() {
+        let g = fig2_grid();
+        let c6 = CellId::from_paper_number(6);
+        // Rectangle in the middle of cell 6 (0.5 from every boundary).
+        let r = Rect::new(2.5, 5.5, 1.0, 1.0);
+        assert!(!g.other_cell_within(&r, c6, 0.4));
+        assert!(g.other_cell_within(&r, c6, 0.5));
+    }
+
+    fn arb_rect_in(extent: Coord) -> impl Strategy<Value = Rect> {
+        (0.0..extent, 0.0..extent, 0.0..extent / 2.0, 0.0..extent / 2.0).prop_map(
+            move |(x, y, l, b)| {
+                let l = l.min(extent - x);
+                let b = b.min(y);
+                Rect::new(x, y, l, b)
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cell_of_is_in_split_set(r in arb_rect_in(100.0)) {
+            let g = Grid::square((0.0, 100.0), (0.0, 100.0), 8);
+            let cu = g.cell_of(&r);
+            prop_assert!(g.split_cells(&r).contains(&cu));
+        }
+
+        #[test]
+        fn prop_split_subset_of_fourth_quadrant(r in arb_rect_in(100.0)) {
+            let g = Grid::square((0.0, 100.0), (0.0, 100.0), 8);
+            let quad = g.fourth_quadrant_cells(&r);
+            for c in g.split_cells(&r) {
+                prop_assert!(quad.contains(&c), "split cell {c:?} outside 4th quadrant");
+            }
+        }
+
+        #[test]
+        fn prop_split_matches_overlap_scan(r in arb_rect_in(100.0)) {
+            let g = Grid::square((0.0, 100.0), (0.0, 100.0), 8);
+            let split = g.split_cells(&r);
+            for c in g.cells() {
+                prop_assert_eq!(split.contains(&c), g.rect_overlaps_cell(&r, c));
+            }
+        }
+
+        #[test]
+        fn prop_cell_regions_partition_points(x in 0.0..100.0f64, y in 0.0..100.0f64) {
+            // Every point belongs to exactly one cell via cell_of_point, and
+            // the zero-size rectangle at that point overlaps that cell.
+            let g = Grid::square((0.0, 100.0), (0.0, 100.0), 8);
+            let cell = g.cell_of_point(&Point::new(x, y));
+            let degenerate = Rect::new(x, y, 0.0, 0.0);
+            prop_assert!(g.rect_overlaps_cell(&degenerate, cell));
+        }
+
+        #[test]
+        fn prop_f2_subset_of_f1_and_distance_bound(r in arb_rect_in(100.0), d in 0.0..50.0f64) {
+            let g = Grid::square((0.0, 100.0), (0.0, 100.0), 8);
+            let f1 = g.fourth_quadrant_cells(&r);
+            let f2 = g.fourth_quadrant_cells_within(&r, d);
+            for c in &f2 {
+                prop_assert!(f1.contains(c));
+                prop_assert!(g.cell_distance(*c, &r) <= d);
+            }
+            // And every f1 cell within d is in f2 (no false pruning).
+            for c in &f1 {
+                if g.cell_distance(*c, &r) <= d {
+                    prop_assert!(f2.contains(c));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_crossing_iff_split_count(r in arb_rect_in(100.0)) {
+            let g = Grid::square((0.0, 100.0), (0.0, 100.0), 8);
+            let cu = g.cell_of(&r);
+            let split = g.split_cells(&r);
+            // The rectangle crosses its own cell iff it overlaps another cell.
+            prop_assert_eq!(g.rect_crosses_cell(&r, cu), split.len() > 1);
+        }
+
+        #[test]
+        fn prop_other_cell_within_matches_scan(r in arb_rect_in(100.0), d in 0.0..40.0f64) {
+            let g = Grid::square((0.0, 100.0), (0.0, 100.0), 8);
+            let cu = g.cell_of(&r);
+            let expect = g.cells().any(|c| c != cu && g.cell_distance(c, &r) <= d);
+            prop_assert_eq!(g.other_cell_within(&r, cu, d), expect);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+use mwsj_geom::Coord;
+
+use crate::query::{Query, RelationId};
+
+/// Computes the *C-Rep-L* per-relation replication distance bounds
+/// (§7.9 for overlap chains, §8 for range chains, generalized to arbitrary
+/// connected query graphs as the paper's footnote 3 sketches).
+///
+/// A rectangle `u` of relation `R_i` marked for replication only needs to
+/// reach reducers that might hold a rectangle `v` of some relation `R_j`
+/// joining (transitively) with `u`. Walking a path `R_i = V_0, V_1, …,
+/// V_h = R_j` in the join graph, consecutive rectangles are at most
+/// `d_edge` apart and each intermediate rectangle spans at most `d_max`
+/// (its diagonal), so
+///
+/// ```text
+/// dist(u, v) ≤ Σ_path d_edge + (h - 1) · d_max .
+/// ```
+///
+/// The replication bound for `R_i` is the maximum over all `R_j` of the
+/// minimum such path cost — a weighted eccentricity, computed here with
+/// Dijkstra over edge weights `d_edge + d_max` (subtracting the final
+/// `d_max` once, since only *intermediate* vertices contribute).
+///
+/// For the paper's chains this reproduces the closed forms exactly:
+/// * overlap chain of `m` relations: `(m-2)·d_max` at the ends (§7.9);
+/// * range chain, all edges `d`: `(m-2)·d_max + (m-1)·d` at the ends and
+///   `d_max + 2d` for the inner relations of a 4-chain (§8, Figure 8).
+///
+/// `d_max` is the upper bound on the rectangle diagonal across all
+/// relations (known from dataset statistics, as the paper assumes).
+#[must_use]
+pub fn replication_bounds(query: &Query, d_max: Coord) -> Vec<Coord> {
+    assert!(d_max >= 0.0, "d_max must be non-negative");
+    let g = query.graph();
+    let n = query.num_relations();
+    let mut bounds = Vec::with_capacity(n);
+    for src in 0..n {
+        // Dijkstra with weight d_edge + d_max per hop.
+        let mut dist = vec![Coord::INFINITY; n];
+        dist[src] = 0.0;
+        let mut visited = vec![false; n];
+        for _ in 0..n {
+            // n is tiny (≤ 16): linear extraction beats a heap.
+            let Some(u) = (0..n)
+                .filter(|&v| !visited[v])
+                .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).expect("finite"))
+            else {
+                break;
+            };
+            if dist[u].is_infinite() {
+                break;
+            }
+            visited[u] = true;
+            for &(w, p, _) in g.neighbors(RelationId(u as u16)) {
+                let cand = dist[u] + p.distance() + d_max;
+                if cand < dist[w.index()] {
+                    dist[w.index()] = cand;
+                }
+            }
+        }
+        // Eccentricity minus the one over-counted d_max (paths with h hops
+        // have h-1 intermediate vertices). The source itself is at 0.
+        let ecc = dist
+            .iter()
+            .enumerate()
+            .filter(|&(v, _)| v != src)
+            .map(|(_, &d)| d)
+            .fold(0.0, Coord::max);
+        bounds.push((ecc - d_max).max(0.0));
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Query;
+
+    #[test]
+    fn overlap_chain4_matches_paper_7_9() {
+        // §7.9 / Figure 6, query Q1 (chain of 4, all overlap): ends need
+        // 2 * d_max, inner relations d_max.
+        let q = Query::builder()
+            .overlap("R1", "R2")
+            .overlap("R2", "R3")
+            .overlap("R3", "R4")
+            .build()
+            .unwrap();
+        let d_max = 10.0;
+        let b = replication_bounds(&q, d_max);
+        assert_eq!(b, vec![20.0, 10.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn range_chain4_matches_paper_section8() {
+        // §8 / Figure 8: chain of 4, all Ra(d): ends 2*d_max + 3*d, inner
+        // d_max + 2*d.
+        let d = 7.0;
+        let d_max = 10.0;
+        let q = Query::builder()
+            .range("R1", "R2", d)
+            .range("R2", "R3", d)
+            .range("R3", "R4", d)
+            .build()
+            .unwrap();
+        let b = replication_bounds(&q, d_max);
+        assert_eq!(b[0], 2.0 * d_max + 3.0 * d);
+        assert_eq!(b[3], 2.0 * d_max + 3.0 * d);
+        assert_eq!(b[1], d_max + 2.0 * d);
+        assert_eq!(b[2], d_max + 2.0 * d);
+    }
+
+    #[test]
+    fn overlap_chain3_general_formula() {
+        // Q2 (3-chain): (m-2)*d_max = d_max at the ends; the middle
+        // relation reaches either end in one hop: bound 0 intermediate,
+        // i.e. 0 extra — max single-hop cost is d_max - d_max = 0? No:
+        // ends: 2 hops = 2*d_max - d_max = d_max; middle: 1 hop = d_max -
+        // d_max = 0. A middle rectangle only joins rectangles it touches.
+        let q = Query::builder()
+            .overlap("R1", "R2")
+            .overlap("R2", "R3")
+            .build()
+            .unwrap();
+        let b = replication_bounds(&q, 10.0);
+        assert_eq!(b, vec![10.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn hybrid_query_mixes_edge_weights() {
+        // Q4: R1 Ov R2 and R2 Ra(d) R3 with d = 200.
+        let q = Query::builder()
+            .overlap("R1", "R2")
+            .range("R2", "R3", 200.0)
+            .build()
+            .unwrap();
+        let d_max = 10.0;
+        let b = replication_bounds(&q, d_max);
+        // R1 -> R3: 0 + d_max + 200 + d_max - d_max = 210.
+        assert_eq!(b[0], 210.0);
+        // R2 -> R3 one hop: 200 + d_max - d_max = 200 (larger than R2->R1).
+        assert_eq!(b[1], 200.0);
+        // R3 -> R1: symmetric to R1.
+        assert_eq!(b[2], 210.0);
+    }
+
+    #[test]
+    fn star_center_bound_smaller_than_leaves() {
+        // Star with center C and three leaves: leaves are 2 hops apart.
+        let q = Query::builder()
+            .overlap("C", "L1")
+            .overlap("C", "L2")
+            .overlap("C", "L3")
+            .build()
+            .unwrap();
+        let d_max = 5.0;
+        let b = replication_bounds(&q, d_max);
+        assert_eq!(b[0], 0.0); // center touches everything it joins
+        assert_eq!(b[1], d_max); // leaf to leaf crosses the center
+    }
+
+    #[test]
+    fn cycle_uses_shortest_path() {
+        // Triangle: every pair adjacent; all bounds collapse to 0 for
+        // overlap (one hop each).
+        let q = Query::builder()
+            .overlap("A", "B")
+            .overlap("B", "C")
+            .overlap("C", "A")
+            .build()
+            .unwrap();
+        assert_eq!(replication_bounds(&q, 10.0), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_dmax_leaves_range_distances() {
+        // Degenerate rectangles (points): chain of 3 ranges.
+        let q = Query::builder()
+            .range("A", "B", 5.0)
+            .range("B", "C", 5.0)
+            .build()
+            .unwrap();
+        let b = replication_bounds(&q, 0.0);
+        assert_eq!(b, vec![10.0, 5.0, 10.0]);
+    }
+}

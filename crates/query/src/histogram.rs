@@ -1,0 +1,316 @@
+//! Grid-histogram statistics for selectivity estimation.
+//!
+//! The sampling planner in `mwsj-core` estimates predicate selectivities by
+//! evaluating pairs of sampled rectangles. This module provides the
+//! classic database alternative: an equi-width 2D histogram summarizing
+//! where a relation's rectangles live and how large they are, from which
+//! overlap- and range-join selectivities can be estimated in O(buckets²)
+//! without touching the data again — the kind of statistics a catalog
+//! would keep per relation.
+//!
+//! The estimator uses the standard uniformity-within-bucket model: two
+//! rectangles from buckets `p` and `q` join with probability
+//! `min(1, (l̄_p + l̄_q + 2d) (b̄_p + b̄_q + 2d) / (w_p w_q …))` collapsed to
+//! the closed form below, where `l̄`/`b̄` are per-bucket mean side lengths.
+//! Accuracy is validated in the tests against exact join counts.
+
+use mwsj_geom::{Coord, Rect};
+
+/// An equi-width 2D grid histogram over a rectangle relation: per bucket,
+/// the number of rectangles *starting* there and their mean side lengths.
+#[derive(Debug, Clone)]
+pub struct GridHistogram {
+    x0: Coord,
+    y0: Coord,
+    bucket_w: Coord,
+    bucket_h: Coord,
+    cols: usize,
+    rows: usize,
+    counts: Vec<u64>,
+    mean_l: Vec<Coord>,
+    mean_b: Vec<Coord>,
+    total: u64,
+}
+
+impl GridHistogram {
+    /// Builds a `cols x rows` histogram of `data` over the space
+    /// `[x_range] x [y_range]`.
+    ///
+    /// # Panics
+    /// Panics if the ranges are empty or a dimension is zero.
+    #[must_use]
+    pub fn build(
+        data: &[Rect],
+        x_range: (Coord, Coord),
+        y_range: (Coord, Coord),
+        cols: usize,
+        rows: usize,
+    ) -> Self {
+        assert!(cols > 0 && rows > 0);
+        assert!(x_range.1 > x_range.0 && y_range.1 > y_range.0);
+        let bucket_w = (x_range.1 - x_range.0) / cols as Coord;
+        let bucket_h = (y_range.1 - y_range.0) / rows as Coord;
+        let mut counts = vec![0u64; cols * rows];
+        let mut sum_l = vec![0.0; cols * rows];
+        let mut sum_b = vec![0.0; cols * rows];
+        for r in data {
+            let cx = (((r.x() - x_range.0) / bucket_w) as usize).min(cols - 1);
+            let cy = (((r.y() - y_range.0) / bucket_h) as usize).min(rows - 1);
+            let idx = cy * cols + cx;
+            counts[idx] += 1;
+            sum_l[idx] += r.l();
+            sum_b[idx] += r.b();
+        }
+        let mean_l = counts
+            .iter()
+            .zip(&sum_l)
+            .map(|(&c, &s)| if c == 0 { 0.0 } else { s / c as Coord })
+            .collect();
+        let mean_b = counts
+            .iter()
+            .zip(&sum_b)
+            .map(|(&c, &s)| if c == 0 { 0.0 } else { s / c as Coord })
+            .collect();
+        Self {
+            x0: x_range.0,
+            y0: y_range.0,
+            bucket_w,
+            bucket_h,
+            cols,
+            rows,
+            counts,
+            mean_l,
+            mean_b,
+            total: data.len() as u64,
+        }
+    }
+
+    /// Total number of summarized rectangles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Histogram resolution as `(cols, rows)`.
+    #[must_use]
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// Estimated number of pairs `(a, b)`, `a` from `self`'s relation and
+    /// `b` from `other`'s, within distance `d` (`d = 0` estimates the
+    /// overlap join).
+    ///
+    /// Start points are modeled as uniform within each bucket; a pair from
+    /// buckets `(p, q)` joins when the start-point difference falls in a
+    /// `(l̄ sum + 2d) x (b̄ sum + 2d)` window, intersected with the buckets'
+    /// start-point difference distribution (a box convolution, evaluated
+    /// per axis).
+    #[must_use]
+    pub fn estimate_join(&self, other: &GridHistogram, d: Coord) -> f64 {
+        let mut expected = 0.0f64;
+        for (pi, &pc) in self.counts.iter().enumerate() {
+            if pc == 0 {
+                continue;
+            }
+            let (px, py) = self.bucket_origin(pi);
+            for (qi, &qc) in other.counts.iter().enumerate() {
+                if qc == 0 {
+                    continue;
+                }
+                let (qx, qy) = other.bucket_origin(qi);
+                // Along an axis, intervals [A, A + l_p] and [B, B + l_q]
+                // come within d iff A - B ∈ [-(l_p + d), l_q + d] — an
+                // asymmetric window of width l_p + l_q + 2d.
+                let p_x = axis_overlap_probability(
+                    px,
+                    self.bucket_w,
+                    qx,
+                    other.bucket_w,
+                    self.mean_l[pi] + d,
+                    other.mean_l[qi] + d,
+                );
+                let p_y = axis_overlap_probability(
+                    py,
+                    self.bucket_h,
+                    qy,
+                    other.bucket_h,
+                    self.mean_b[pi] + d,
+                    other.mean_b[qi] + d,
+                );
+                expected += pc as f64 * qc as f64 * p_x * p_y;
+            }
+        }
+        expected
+    }
+
+    fn bucket_origin(&self, idx: usize) -> (Coord, Coord) {
+        let cx = idx % self.cols;
+        let cy = idx / self.cols;
+        (
+            self.x0 + cx as Coord * self.bucket_w,
+            self.y0 + cy as Coord * self.bucket_h,
+        )
+    }
+}
+
+/// Probability that two independent uniform start coordinates —
+/// `A ~ U[a0, a0 + aw]`, `B ~ U[b0, b0 + bw]` — satisfy
+/// `A - B ∈ [-left_win, right_win]` (the axis join condition with the
+/// per-side windows folded in by the caller). Computed as the area of a
+/// diagonal band inside the `aw x bw` joint-distribution rectangle.
+fn axis_overlap_probability(
+    a0: Coord,
+    aw: Coord,
+    b0: Coord,
+    bw: Coord,
+    left_win: Coord,
+    right_win: Coord,
+) -> f64 {
+    // (a0 + x) - (b0 + y) in [-left_win, right_win]
+    //   <=> x - y in [b0 - a0 - left_win, b0 - a0 + right_win].
+    let lo = b0 - a0 - left_win;
+    let hi = b0 - a0 + right_win;
+    if aw <= 0.0 || bw <= 0.0 {
+        // Degenerate buckets: a point model.
+        return f64::from(u8::from(lo <= 0.0 && 0.0 <= hi));
+    }
+    band_area(aw, bw, lo, hi) / (aw * bw)
+}
+
+/// Area of `{ (x, y) in [0, aw] x [0, bw] : lo <= x - y <= hi }`.
+fn band_area(aw: Coord, bw: Coord, lo: Coord, hi: Coord) -> f64 {
+    // Integrate over x: the y-range is [x - hi, x - lo] ∩ [0, bw].
+    // Piecewise-linear; integrate numerically-exactly via the antiderivative
+    // of clamped linear functions using a few breakpoints.
+    let f = |x: Coord| -> Coord {
+        let y_lo = (x - hi).max(0.0);
+        let y_hi = (x - lo).min(bw);
+        (y_hi - y_lo).max(0.0)
+    };
+    // Breakpoints where the piecewise expression changes slope.
+    let mut pts = vec![0.0, aw, hi, lo, hi + bw, lo + bw];
+    pts.retain(|&p| (0.0..=aw).contains(&p));
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    pts.dedup();
+    let mut area = 0.0;
+    for w in pts.windows(2) {
+        let (x1, x2) = (w[0], w[1]);
+        // f is linear on [x1, x2]; trapezoid rule is exact.
+        area += (f(x1) + f(x2)) / 2.0 * (x2 - x1);
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const EXTENT: f64 = 1_000.0;
+
+    fn relation(n: usize, seed: u64, side: f64) -> Vec<Rect> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.random_range(0.0..EXTENT - side);
+                let y = rng.random_range(side..EXTENT);
+                Rect::new(x, y, rng.random_range(0.0..side), rng.random_range(0.0..side))
+            })
+            .collect()
+    }
+
+    fn exact_join_count(a: &[Rect], b: &[Rect], d: f64) -> u64 {
+        let mut n = 0;
+        for ra in a {
+            for rb in b {
+                if ra.within_distance(rb, d) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    fn check_estimate(a: &[Rect], b: &[Rect], d: f64, tolerance: f64) {
+        let ha = GridHistogram::build(a, (0.0, EXTENT), (0.0, EXTENT), 16, 16);
+        let hb = GridHistogram::build(b, (0.0, EXTENT), (0.0, EXTENT), 16, 16);
+        let est = ha.estimate_join(&hb, d);
+        let exact = exact_join_count(a, b, d) as f64;
+        assert!(
+            est >= exact * (1.0 - tolerance) && est <= exact * (1.0 + tolerance),
+            "estimate {est:.0} vs exact {exact:.0} (d = {d})"
+        );
+    }
+
+    #[test]
+    fn overlap_estimate_within_30_percent_on_uniform_data() {
+        let a = relation(2_000, 1, 40.0);
+        let b = relation(2_000, 2, 40.0);
+        check_estimate(&a, &b, 0.0, 0.30);
+    }
+
+    #[test]
+    fn range_estimate_within_30_percent() {
+        let a = relation(1_500, 3, 25.0);
+        let b = relation(1_500, 4, 25.0);
+        for d in [20.0, 60.0] {
+            check_estimate(&a, &b, d, 0.30);
+        }
+    }
+
+    #[test]
+    fn estimate_tracks_skew() {
+        // `a` concentrated in the top-left corner, `b` in the bottom-right:
+        // virtually no joins. A pure-uniform model (which ignores *where*
+        // the rectangles are) would predict thousands; the histogram sees
+        // the disjoint placement. (Note that concentrating only ONE side
+        // would not reduce the expected pair count — the uniform side
+        // sweeps the whole space — so both must be skewed.)
+        let mut rng = StdRng::seed_from_u64(5);
+        let corner = |rng: &mut StdRng, x0: f64, y0: f64| -> Vec<Rect> {
+            (0..1_000)
+                .map(|_| {
+                    Rect::new(
+                        rng.random_range(x0..x0 + 80.0),
+                        rng.random_range(y0 + 20.0..y0 + 100.0),
+                        20.0,
+                        20.0,
+                    )
+                })
+                .collect()
+        };
+        let a = corner(&mut rng, 0.0, 900.0 - 20.0); // top-left
+        let b = corner(&mut rng, 900.0, 0.0); // bottom-right
+        let ha = GridHistogram::build(&a, (0.0, EXTENT), (0.0, EXTENT), 16, 16);
+        let hb = GridHistogram::build(&b, (0.0, EXTENT), (0.0, EXTENT), 16, 16);
+        let est = ha.estimate_join(&hb, 0.0);
+        assert_eq!(exact_join_count(&a, &b, 0.0), 0);
+        // A location-blind uniform model would predict ~1,600 pairs.
+        let uniform_guess = 1_000.0 * 1_000.0 * ((20.0 + 20.0) / EXTENT).powi(2);
+        assert!(uniform_guess > 1_000.0);
+        assert!(est < uniform_guess / 100.0, "estimate {est:.1}");
+    }
+
+    #[test]
+    fn empty_and_disjoint() {
+        let a: Vec<Rect> = Vec::new();
+        let b = relation(100, 7, 20.0);
+        let ha = GridHistogram::build(&a, (0.0, EXTENT), (0.0, EXTENT), 8, 8);
+        let hb = GridHistogram::build(&b, (0.0, EXTENT), (0.0, EXTENT), 8, 8);
+        assert_eq!(ha.estimate_join(&hb, 0.0), 0.0);
+        assert_eq!(ha.total(), 0);
+        assert_eq!(hb.total(), 100);
+    }
+
+    #[test]
+    fn band_area_known_cases() {
+        // Whole square inside the band.
+        assert!((band_area(1.0, 1.0, -2.0, 2.0) - 1.0).abs() < 1e-12);
+        // Empty band.
+        assert_eq!(band_area(1.0, 1.0, 5.0, 6.0), 0.0);
+        // Diagonal band |x - y| <= 0.5 in the unit square: 1 - 2*(0.5*0.5*0.5) = 0.75.
+        assert!((band_area(1.0, 1.0, -0.5, 0.5) - 0.75).abs() < 1e-12);
+    }
+}

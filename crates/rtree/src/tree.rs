@@ -1,0 +1,690 @@
+use mwsj_geom::{Coord, Rect};
+
+use crate::NODE_CAPACITY;
+
+/// An immutable R-tree over `(Rect, T)` entries, bulk-loaded with the
+/// Sort-Tile-Recursive algorithm.
+///
+/// `T` is an arbitrary payload (record ids in the join algorithms). Queries
+/// return references to payloads of entries whose rectangle overlaps a
+/// window ([`RTree::query_overlaps`]) or lies within a distance of a probe
+/// rectangle ([`RTree::query_within`]).
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    nodes: Vec<Node>,
+    entries: Vec<(Rect, T)>,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    mbr: Rect,
+    content: NodeContent,
+}
+
+#[derive(Debug, Clone)]
+enum NodeContent {
+    /// Indices into `entries`.
+    Leaf(Vec<u32>),
+    /// Indices into `nodes`.
+    Inner(Vec<u32>),
+}
+
+impl<T> RTree<T> {
+    /// Bulk-loads a tree from `(rect, payload)` entries using STR packing.
+    #[must_use]
+    pub fn bulk_load(mut items: Vec<(Rect, T)>) -> Self {
+        if items.is_empty() {
+            return Self {
+                nodes: Vec::new(),
+                entries: Vec::new(),
+                root: None,
+            };
+        }
+        // STR: sort by center-x, tile into vertical slabs of sqrt(n/cap)
+        // runs, sort each slab by center-y, pack leaves of NODE_CAPACITY.
+        items.sort_by(|a, b| {
+            a.0.center()
+                .x
+                .partial_cmp(&b.0.center().x)
+                .expect("finite coordinates")
+        });
+        let n = items.len();
+        let leaf_count = n.div_ceil(NODE_CAPACITY);
+        let slab_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let slab_size = n.div_ceil(slab_count);
+
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut leaf_ids: Vec<u32> = Vec::new();
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        {
+            // Determine the leaf packing order without moving the payloads.
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            for slab in idx.chunks_mut(slab_size) {
+                slab.sort_by(|&a, &b| {
+                    items[a as usize]
+                        .0
+                        .center()
+                        .y
+                        .partial_cmp(&items[b as usize].0.center().y)
+                        .expect("finite coordinates")
+                });
+            }
+            order.extend_from_slice(&idx);
+        }
+        for chunk in order.chunks(NODE_CAPACITY) {
+            let mbr = chunk
+                .iter()
+                .map(|&i| items[i as usize].0)
+                .reduce(|a, b| a.union(&b))
+                .expect("non-empty chunk");
+            nodes.push(Node {
+                mbr,
+                content: NodeContent::Leaf(chunk.to_vec()),
+            });
+            leaf_ids.push((nodes.len() - 1) as u32);
+        }
+
+        // Build upper levels by packing child MBRs in index order (children
+        // are already spatially clustered by the STR pass).
+        let mut level = leaf_ids;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
+            for chunk in level.chunks(NODE_CAPACITY) {
+                let mbr = chunk
+                    .iter()
+                    .map(|&i| nodes[i as usize].mbr)
+                    .reduce(|a, b| a.union(&b))
+                    .expect("non-empty chunk");
+                nodes.push(Node {
+                    mbr,
+                    content: NodeContent::Inner(chunk.to_vec()),
+                });
+                next.push((nodes.len() - 1) as u32);
+            }
+            level = next;
+        }
+
+        Self {
+            root: Some(level[0] as usize),
+            nodes,
+            entries: items,
+        }
+    }
+
+    /// Number of indexed entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tree is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all `(rect, payload)` entries in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Rect, T)> {
+        self.entries.iter()
+    }
+
+    /// Calls `visit` for every entry whose rectangle (closed) overlaps the
+    /// query window.
+    pub fn query_overlaps<'a>(&'a self, window: &Rect, visit: impl FnMut(&'a Rect, &'a T)) {
+        self.query_within(window, 0.0, visit);
+    }
+
+    /// Calls `visit` for every entry whose rectangle lies within distance
+    /// `d` (closed) of the probe rectangle. `d = 0` is the overlap query.
+    pub fn query_within<'a>(&'a self, probe: &Rect, d: Coord, mut visit: impl FnMut(&'a Rect, &'a T)) {
+        let Some(root) = self.root else { return };
+        let d_sq = d * d;
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if node.mbr.distance_sq(probe) > d_sq {
+                continue;
+            }
+            match &node.content {
+                NodeContent::Leaf(entry_ids) => {
+                    for &e in entry_ids {
+                        let (rect, payload) = &self.entries[e as usize];
+                        if rect.distance_sq(probe) <= d_sq {
+                            visit(rect, payload);
+                        }
+                    }
+                }
+                NodeContent::Inner(children) => {
+                    stack.extend(children.iter().map(|&c| c as usize));
+                }
+            }
+        }
+    }
+
+    /// Collects payload references overlapping the window (convenience for
+    /// tests and small probes; hot paths use the visitor form).
+    #[must_use]
+    pub fn overlapping(&self, window: &Rect) -> Vec<&T> {
+        let mut out = Vec::new();
+        self.query_overlaps(window, |_, t| out.push(t));
+        out
+    }
+
+    /// Returns the entry nearest to the probe rectangle (smallest closed
+    /// rectangle-to-rectangle distance), with its distance. Ties resolve to
+    /// the entry earliest in storage order. Best-first branch-and-bound
+    /// over node MBR distances.
+    #[must_use]
+    pub fn nearest(&self, probe: &Rect) -> Option<(&Rect, &T, Coord)> {
+        use std::cmp::Ordering as CmpOrdering;
+        use std::collections::BinaryHeap;
+
+        /// Min-heap item ordered by distance (then insertion order for
+        /// deterministic tie-breaks).
+        struct Item {
+            dist: Coord,
+            seq: u64,
+            node: usize,
+        }
+        impl PartialEq for Item {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist == other.dist && self.seq == other.seq
+            }
+        }
+        impl Eq for Item {}
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> CmpOrdering {
+                // Reverse for a min-heap; distances are finite by
+                // construction.
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .expect("finite distance")
+                    .then(other.seq.cmp(&self.seq))
+            }
+        }
+
+        let root = self.root?;
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        heap.push(Item {
+            dist: self.nodes[root].mbr.distance(probe),
+            seq,
+            node: root,
+        });
+        let mut best: Option<(u32, Coord)> = None;
+        while let Some(item) = heap.pop() {
+            if let Some((_, best_d)) = best {
+                if item.dist > best_d {
+                    break; // every remaining node is farther
+                }
+            }
+            match &self.nodes[item.node].content {
+                NodeContent::Leaf(entry_ids) => {
+                    for &e in entry_ids {
+                        let d = self.entries[e as usize].0.distance(probe);
+                        let better = match best {
+                            None => true,
+                            Some((be, bd)) => d < bd || (d == bd && e < be),
+                        };
+                        if better {
+                            best = Some((e, d));
+                        }
+                    }
+                }
+                NodeContent::Inner(children) => {
+                    for &c in children {
+                        seq += 1;
+                        heap.push(Item {
+                            dist: self.nodes[c as usize].mbr.distance(probe),
+                            seq,
+                            node: c as usize,
+                        });
+                    }
+                }
+            }
+        }
+        best.map(|(e, d)| {
+            let (rect, payload) = &self.entries[e as usize];
+            (rect, payload, d)
+        })
+    }
+
+    /// Returns the `k` entries nearest to the probe (by closed rectangle
+    /// distance, ties toward earlier storage order), sorted nearest-first.
+    /// Fewer than `k` when the tree is smaller. Branch-and-bound: nodes
+    /// farther than the current k-th best are never opened.
+    #[must_use]
+    pub fn k_nearest(&self, probe: &Rect, k: usize) -> Vec<(&Rect, &T, Coord)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
+        // Current k best as (distance, entry index), kept sorted ascending;
+        // worst at the back. k is small in practice (NN queries), so a
+        // sorted Vec beats a heap.
+        let mut best: Vec<(Coord, u32)> = Vec::with_capacity(k + 1);
+        let mut stack: Vec<(Coord, usize)> = vec![(self.nodes[root].mbr.distance(probe), root)];
+        while let Some((node_dist, node)) = stack.pop() {
+            if best.len() == k && node_dist > best[k - 1].0 {
+                continue;
+            }
+            match &self.nodes[node].content {
+                NodeContent::Leaf(entry_ids) => {
+                    for &e in entry_ids {
+                        let d = self.entries[e as usize].0.distance(probe);
+                        let cand = (d, e);
+                        if best.len() == k {
+                            let worst = best[k - 1];
+                            if (cand.0, cand.1) >= (worst.0, worst.1) {
+                                continue;
+                            }
+                        }
+                        let pos = best
+                            .partition_point(|&(bd, be)| (bd, be) < (cand.0, cand.1));
+                        best.insert(pos, cand);
+                        best.truncate(k);
+                    }
+                }
+                NodeContent::Inner(children) => {
+                    for &c in children {
+                        let d = self.nodes[c as usize].mbr.distance(probe);
+                        if best.len() < k || d <= best[k - 1].0 {
+                            stack.push((d, c as usize));
+                        }
+                    }
+                }
+            }
+        }
+        best.into_iter()
+            .map(|(d, e)| {
+                let (rect, payload) = &self.entries[e as usize];
+                (rect, payload, d)
+            })
+            .collect()
+    }
+
+    /// True if any entry overlaps the window.
+    #[must_use]
+    pub fn any_overlaps(&self, window: &Rect) -> bool {
+        let mut found = false;
+        // Early exit: the visitor API scans the whole result set, so walk
+        // manually here.
+        let Some(root) = self.root else { return false };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if found {
+                break;
+            }
+            let node = &self.nodes[id];
+            if !node.mbr.overlaps(window) {
+                continue;
+            }
+            match &node.content {
+                NodeContent::Leaf(entry_ids) => {
+                    if entry_ids
+                        .iter()
+                        .any(|&e| self.entries[e as usize].0.overlaps(window))
+                    {
+                        found = true;
+                    }
+                }
+                NodeContent::Inner(children) => {
+                    stack.extend(children.iter().map(|&c| c as usize));
+                }
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rects(n: usize, seed: u64) -> Vec<(Rect, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let x = rng.random_range(0.0..1000.0);
+                let y = rng.random_range(20.0..1000.0);
+                let l = rng.random_range(0.0..40.0);
+                let b = rng.random_range(0.0..20.0);
+                (Rect::new(x, y, l, b), i)
+            })
+            .collect()
+    }
+
+    fn brute_overlaps(items: &[(Rect, usize)], w: &Rect) -> Vec<usize> {
+        let mut v: Vec<usize> = items
+            .iter()
+            .filter(|(r, _)| r.overlaps(w))
+            .map(|&(_, i)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn brute_within(items: &[(Rect, usize)], w: &Rect, d: Coord) -> Vec<usize> {
+        let mut v: Vec<usize> = items
+            .iter()
+            .filter(|(r, _)| r.within_distance(w, d))
+            .map(|&(_, i)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t: RTree<usize> = RTree::bulk_load(Vec::new());
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.overlapping(&Rect::new(0.0, 10.0, 10.0, 10.0)).is_empty());
+        assert!(!t.any_overlaps(&Rect::new(0.0, 10.0, 10.0, 10.0)));
+    }
+
+    #[test]
+    fn single_entry() {
+        let t = RTree::bulk_load(vec![(Rect::new(5.0, 10.0, 2.0, 2.0), 42usize)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.overlapping(&Rect::new(6.0, 9.0, 1.0, 1.0)), vec![&42]);
+        assert!(t.overlapping(&Rect::new(20.0, 9.0, 1.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn overlap_query_matches_brute_force() {
+        let items = random_rects(500, 7);
+        let tree = RTree::bulk_load(items.clone());
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let w = Rect::new(
+                rng.random_range(0.0..900.0),
+                rng.random_range(100.0..1000.0),
+                rng.random_range(0.0..150.0),
+                rng.random_range(0.0..150.0),
+            );
+            let mut got: Vec<usize> = tree.overlapping(&w).into_iter().copied().collect();
+            got.sort_unstable();
+            assert_eq!(got, brute_overlaps(&items, &w));
+        }
+    }
+
+    #[test]
+    fn within_query_matches_brute_force() {
+        let items = random_rects(400, 11);
+        let tree = RTree::bulk_load(items.clone());
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(2000 + seed);
+            let w = Rect::new(
+                rng.random_range(0.0..900.0),
+                rng.random_range(100.0..1000.0),
+                rng.random_range(0.0..100.0),
+                rng.random_range(0.0..100.0),
+            );
+            let d = rng.random_range(0.0..80.0);
+            let mut got = Vec::new();
+            tree.query_within(&w, d, |_, &i| got.push(i));
+            got.sort_unstable();
+            assert_eq!(got, brute_within(&items, &w, d));
+        }
+    }
+
+    #[test]
+    fn any_overlaps_agrees_with_query() {
+        let items = random_rects(300, 13);
+        let tree = RTree::bulk_load(items.clone());
+        let mut rng = StdRng::seed_from_u64(3000);
+        for _ in 0..50 {
+            let w = Rect::new(
+                rng.random_range(0.0..1000.0),
+                rng.random_range(20.0..1000.0),
+                rng.random_range(0.0..30.0),
+                rng.random_range(0.0..30.0),
+            );
+            assert_eq!(tree.any_overlaps(&w), !tree.overlapping(&w).is_empty());
+        }
+    }
+
+    #[test]
+    fn duplicate_rectangles_are_all_returned() {
+        let r = Rect::new(10.0, 20.0, 5.0, 5.0);
+        let items: Vec<(Rect, usize)> = (0..40).map(|i| (r, i)).collect();
+        let tree = RTree::bulk_load(items);
+        assert_eq!(tree.overlapping(&r).len(), 40);
+    }
+
+    #[test]
+    fn large_tree_has_multiple_levels_and_stays_correct() {
+        let items = random_rects(5000, 17);
+        let tree = RTree::bulk_load(items.clone());
+        let w = Rect::new(200.0, 800.0, 300.0, 300.0);
+        let mut got: Vec<usize> = tree.overlapping(&w).into_iter().copied().collect();
+        got.sort_unstable();
+        assert_eq!(got, brute_overlaps(&items, &w));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_overlap_query_equals_scan(
+            rects in proptest::collection::vec(
+                (0.0..500.0f64, 50.0..500.0f64, 0.0..50.0f64, 0.0..50.0f64), 0..120),
+            wx in 0.0..500.0f64, wy in 50.0..500.0f64, wl in 0.0..200.0f64, wb in 0.0..200.0f64,
+        ) {
+            let items: Vec<(Rect, usize)> = rects
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y, l, b))| (Rect::new(x, y, l, b), i))
+                .collect();
+            let w = Rect::new(wx, wy, wl, wb);
+            let tree = RTree::bulk_load(items.clone());
+            let mut got: Vec<usize> = tree.overlapping(&w).into_iter().copied().collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, brute_overlaps(&items, &w));
+        }
+
+        #[test]
+        fn prop_within_query_equals_scan(
+            rects in proptest::collection::vec(
+                (0.0..500.0f64, 50.0..500.0f64, 0.0..50.0f64, 0.0..50.0f64), 0..100),
+            wx in 0.0..500.0f64, wy in 50.0..500.0f64, d in 0.0..100.0f64,
+        ) {
+            let items: Vec<(Rect, usize)> = rects
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y, l, b))| (Rect::new(x, y, l, b), i))
+                .collect();
+            let w = Rect::new(wx, wy, 10.0, 10.0);
+            let tree = RTree::bulk_load(items.clone());
+            let mut got = Vec::new();
+            tree.query_within(&w, d, |_, &i| got.push(i));
+            got.sort_unstable();
+            prop_assert_eq!(got, brute_within(&items, &w, d));
+        }
+    }
+}
+
+#[cfg(test)]
+mod nearest_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rects(n: usize, seed: u64) -> Vec<(Rect, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                (
+                    Rect::new(
+                        rng.random_range(0.0..1000.0),
+                        rng.random_range(20.0..1000.0),
+                        rng.random_range(0.0..30.0),
+                        rng.random_range(0.0..15.0),
+                    ),
+                    i,
+                )
+            })
+            .collect()
+    }
+
+    fn brute_nearest(items: &[(Rect, usize)], probe: &Rect) -> Option<(usize, f64)> {
+        items
+            .iter()
+            .map(|(r, i)| (*i, r.distance(probe)))
+            .min_by(|(i1, d1), (i2, d2)| d1.partial_cmp(d2).unwrap().then(i1.cmp(i2)))
+    }
+
+    #[test]
+    fn nearest_empty_tree() {
+        let t: RTree<usize> = RTree::bulk_load(Vec::new());
+        assert!(t.nearest(&Rect::new(0.0, 1.0, 1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let items = random_rects(600, 5);
+        let tree = RTree::bulk_load(items.clone());
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            let probe = Rect::new(
+                rng.random_range(0.0..1000.0),
+                rng.random_range(10.0..1000.0),
+                rng.random_range(0.0..10.0),
+                rng.random_range(0.0..10.0),
+            );
+            let (_, &id, d) = tree.nearest(&probe).unwrap();
+            let (bid, bd) = brute_nearest(&items, &probe).unwrap();
+            assert_eq!(d, bd, "distance mismatch");
+            // With equal distance, ids may differ only if distances tie;
+            // the tree breaks ties by storage order == insertion order
+            // after STR sorting, so compare distances of both.
+            assert_eq!(items[bid].0.distance(&probe), items[id].0.distance(&probe));
+        }
+    }
+
+    #[test]
+    fn nearest_overlapping_probe_returns_zero() {
+        let items = random_rects(100, 6);
+        let tree = RTree::bulk_load(items.clone());
+        let probe = items[42].0;
+        let (_, _, d) = tree.nearest(&probe).unwrap();
+        assert_eq!(d, 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_nearest_distance_equals_scan(
+            rects in proptest::collection::vec(
+                (0.0..400.0f64, 40.0..400.0f64, 0.0..40.0f64, 0.0..40.0f64), 1..80),
+            px in 0.0..400.0f64, py in 40.0..400.0f64,
+        ) {
+            let items: Vec<(Rect, usize)> = rects
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y, l, b))| (Rect::new(x, y, l, b), i))
+                .collect();
+            let tree = RTree::bulk_load(items.clone());
+            let probe = Rect::new(px, py, 1.0, 1.0);
+            let (_, _, d) = tree.nearest(&probe).unwrap();
+            let (_, bd) = brute_nearest(&items, &probe).unwrap();
+            prop_assert_eq!(d, bd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod k_nearest_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rects(n: usize, seed: u64) -> Vec<(Rect, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                (
+                    Rect::new(
+                        rng.random_range(0.0..500.0),
+                        rng.random_range(10.0..500.0),
+                        rng.random_range(0.0..10.0),
+                        rng.random_range(0.0..10.0),
+                    ),
+                    i,
+                )
+            })
+            .collect()
+    }
+
+    fn brute_k(items: &[(Rect, usize)], probe: &Rect, k: usize) -> Vec<f64> {
+        let mut d: Vec<f64> = items.iter().map(|(r, _)| r.distance(probe)).collect();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d.truncate(k);
+        d
+    }
+
+    #[test]
+    fn k_nearest_distances_match_brute_force() {
+        let items = random_rects(300, 21);
+        let tree = RTree::bulk_load(items.clone());
+        let mut rng = StdRng::seed_from_u64(55);
+        for _ in 0..40 {
+            let probe = Rect::new(
+                rng.random_range(0.0..500.0),
+                rng.random_range(10.0..500.0),
+                2.0,
+                2.0,
+            );
+            for k in [1usize, 3, 10, 50] {
+                let got: Vec<f64> = tree
+                    .k_nearest(&probe, k)
+                    .iter()
+                    .map(|&(_, _, d)| d)
+                    .collect();
+                assert_eq!(got, brute_k(&items, &probe, k), "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_and_k_exceeding_size() {
+        let items = random_rects(5, 22);
+        let tree = RTree::bulk_load(items);
+        let probe = Rect::new(100.0, 100.0, 1.0, 1.0);
+        assert!(tree.k_nearest(&probe, 0).is_empty());
+        assert_eq!(tree.k_nearest(&probe, 50).len(), 5);
+    }
+
+    #[test]
+    fn results_sorted_ascending() {
+        let items = random_rects(200, 23);
+        let tree = RTree::bulk_load(items);
+        let probe = Rect::new(250.0, 250.0, 1.0, 1.0);
+        let res = tree.k_nearest(&probe, 20);
+        for w in res.windows(2) {
+            assert!(w[0].2 <= w[1].2);
+        }
+    }
+
+    #[test]
+    fn k_one_agrees_with_nearest() {
+        let items = random_rects(150, 24);
+        let tree = RTree::bulk_load(items);
+        let probe = Rect::new(33.0, 44.0, 1.0, 1.0);
+        let (_, _, d1) = tree.nearest(&probe).unwrap();
+        assert_eq!(tree.k_nearest(&probe, 1)[0].2, d1);
+    }
+}

@@ -1,0 +1,119 @@
+//! The paper's motivating query (§1): *"find all cities adjacent to a
+//! forest and overlapping with a river"* — a hybrid multi-way join over
+//! polygon datasets, run as the two-step filter + refinement pipeline of
+//! §1.1.
+//!
+//! ```text
+//! cargo run --release --example city_forest_river
+//! ```
+//!
+//! Cities, forests and rivers are generated as polygons; the distributed
+//! join runs over their MBRs (the *filter* step) and the exact polygon
+//! geometry prunes the false positives (the *refinement* step).
+
+use mwsj_core::{refine, Algorithm, Cluster, ClusterConfig};
+use mwsj_geom::{Point, Polygon, Rect};
+use mwsj_query::Query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SPACE: f64 = 10_000.0;
+
+/// A random convex-ish blob polygon around a center.
+fn blob(rng: &mut StdRng, cx: f64, cy: f64, radius: f64, vertices: usize) -> Polygon {
+    let pts = (0..vertices)
+        .map(|i| {
+            let angle = std::f64::consts::TAU * i as f64 / vertices as f64;
+            let r = radius * rng.random_range(0.55..1.0);
+            Point::new(
+                (cx + r * angle.cos()).clamp(0.0, SPACE),
+                (cy + r * angle.sin()).clamp(0.0, SPACE),
+            )
+        })
+        .collect();
+    Polygon::new(pts)
+}
+
+/// A long, thin zig-zag polygon — a river.
+fn river(rng: &mut StdRng) -> Polygon {
+    let x0 = rng.random_range(0.0..SPACE * 0.6);
+    let y0 = rng.random_range(SPACE * 0.2..SPACE);
+    let len = rng.random_range(600.0..2_000.0);
+    let width = rng.random_range(15.0..50.0);
+    let dir = rng.random_range(-0.5..0.5f64);
+    // Upper bank, then lower bank back.
+    let segments = 6;
+    let mut upper = Vec::new();
+    let mut lower = Vec::new();
+    for i in 0..=segments {
+        let t = i as f64 / segments as f64;
+        let x = (x0 + t * len).clamp(0.0, SPACE);
+        let y = (y0 + t * len * dir + (t * 9.0).sin() * 60.0).clamp(width, SPACE);
+        upper.push(Point::new(x, y));
+        lower.push(Point::new(x, y - width));
+    }
+    lower.reverse();
+    upper.extend(lower);
+    Polygon::new(upper)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // Cities: medium blobs; forests: large blobs; rivers: thin zig-zags.
+    let cities: Vec<Polygon> = (0..400)
+        .map(|_| {
+            let (cx, cy) = (rng.random_range(0.0..SPACE), rng.random_range(0.0..SPACE));
+            let r = rng.random_range(60.0..250.0);
+            blob(&mut rng, cx, cy, r, 8)
+        })
+        .collect();
+    let forests: Vec<Polygon> = (0..300)
+        .map(|_| {
+            let (cx, cy) = (rng.random_range(0.0..SPACE), rng.random_range(0.0..SPACE));
+            let r = rng.random_range(150.0..500.0);
+            blob(&mut rng, cx, cy, r, 10)
+        })
+        .collect();
+    let rivers: Vec<Polygon> = (0..250).map(|_| river(&mut rng)).collect();
+
+    // Filter step: the join runs over MBRs.
+    let city_mbrs: Vec<Rect> = cities.iter().map(Polygon::mbr).collect();
+    let forest_mbrs: Vec<Rect> = forests.iter().map(Polygon::mbr).collect();
+    let river_mbrs: Vec<Rect> = rivers.iter().map(Polygon::mbr).collect();
+
+    // "Adjacent to a forest" = within 100 units; "overlaps a river".
+    let query = Query::parse("city within 100 of forest and city overlaps river")
+        .expect("valid query");
+    println!("query : {query}");
+
+    let cluster = Cluster::new(ClusterConfig::for_space((0.0, SPACE), (0.0, SPACE), 8));
+    let filtered = cluster.run(
+        &query,
+        &[&city_mbrs, &forest_mbrs, &river_mbrs],
+        Algorithm::ControlledReplicateLimit,
+    );
+    println!(
+        "filter step : {} candidate (city, forest, river) triples",
+        filtered.len()
+    );
+    println!(
+        "  {} rectangles replicated, {} after replication",
+        filtered.stats.rectangles_replicated, filtered.stats.rectangles_after_replication
+    );
+
+    // Refinement step: exact polygon predicates.
+    let exact = refine::refine_tuples(
+        &query,
+        &[&cities, &forests, &rivers],
+        &filtered.tuples,
+    );
+    println!(
+        "refine step : {} true triples ({} MBR false positives removed)",
+        exact.len(),
+        filtered.len() - exact.len()
+    );
+    for t in exact.iter().take(5) {
+        println!("  city {} / forest {} / river {}", t[0], t[1], t[2]);
+    }
+}

@@ -1,0 +1,210 @@
+//! The all-nearest-neighbor join (§10 future work): the distributed
+//! three-round ANN must match the brute-force reference exactly, including
+//! ties, empty cells and clustered data.
+
+use mwsj_core::ann::{ann_brute_force, ann_join};
+use mwsj_core::{Cluster, ClusterConfig};
+use mwsj_geom::Rect;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SPACE: (f64, f64) = (0.0, 1000.0);
+
+fn cluster(side: u32) -> Cluster {
+    Cluster::new(ClusterConfig::for_space(SPACE, SPACE, side))
+}
+
+fn relation(n: usize, seed: u64) -> Vec<Rect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.random_range(0.0..980.0);
+            let y = rng.random_range(20.0..1000.0);
+            Rect::new(x, y, rng.random_range(0.0..20.0), rng.random_range(0.0..20.0))
+        })
+        .collect()
+}
+
+#[test]
+fn matches_brute_force_random() {
+    let outer = relation(300, 1);
+    let inner = relation(300, 2);
+    let cl = cluster(8);
+    assert_eq!(ann_join(&cl, &outer, &inner), ann_brute_force(&outer, &inner));
+}
+
+#[test]
+fn matches_brute_force_sparse_inner() {
+    // Few inner rectangles: most cells are empty and round 1 falls back to
+    // the space diagonal, exercising the wide re-route.
+    let outer = relation(200, 3);
+    let inner = relation(3, 4);
+    let cl = cluster(8);
+    assert_eq!(ann_join(&cl, &outer, &inner), ann_brute_force(&outer, &inner));
+}
+
+#[test]
+fn matches_brute_force_clustered_far_apart() {
+    // Outer in one corner, inner in the opposite corner: every NN is far.
+    let mut rng = StdRng::seed_from_u64(5);
+    let outer: Vec<Rect> = (0..150)
+        .map(|_| {
+            Rect::new(
+                rng.random_range(0.0..100.0),
+                rng.random_range(900.0..1000.0),
+                5.0,
+                5.0,
+            )
+        })
+        .collect();
+    let inner: Vec<Rect> = (0..150)
+        .map(|_| {
+            Rect::new(
+                rng.random_range(890.0..990.0),
+                rng.random_range(20.0..110.0),
+                5.0,
+                5.0,
+            )
+        })
+        .collect();
+    let cl = cluster(8);
+    assert_eq!(ann_join(&cl, &outer, &inner), ann_brute_force(&outer, &inner));
+}
+
+#[test]
+fn overlapping_rectangles_have_distance_zero_nn() {
+    // Ties at distance 0: the smallest inner id must win, everywhere.
+    let outer = vec![Rect::new(100.0, 900.0, 50.0, 50.0)];
+    let inner = vec![
+        Rect::new(120.0, 880.0, 10.0, 10.0), // overlaps, id 0
+        Rect::new(110.0, 890.0, 10.0, 10.0), // overlaps, id 1
+        Rect::new(500.0, 500.0, 10.0, 10.0),
+    ];
+    let cl = cluster(4);
+    let got = ann_join(&cl, &outer, &inner);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].inner, 0);
+    assert_eq!(got[0].distance, 0.0);
+    assert_eq!(got, ann_brute_force(&outer, &inner));
+}
+
+#[test]
+fn empty_relations() {
+    let r = relation(10, 7);
+    let cl = cluster(4);
+    assert!(ann_join(&cl, &r, &[]).is_empty());
+    assert!(ann_join(&cl, &[], &r).is_empty());
+}
+
+#[test]
+fn self_ann_is_reflexive_at_zero() {
+    // Every rectangle's NN within its own relation is itself (closed
+    // distance 0, smallest id tie-break may pick an overlapping earlier
+    // rectangle — distance must still be 0).
+    let r = relation(100, 8);
+    let cl = cluster(8);
+    let got = ann_join(&cl, &r, &r);
+    assert_eq!(got.len(), r.len());
+    for nn in &got {
+        assert_eq!(nn.distance, 0.0);
+    }
+    assert_eq!(got, ann_brute_force(&r, &r));
+}
+
+#[test]
+fn runs_three_jobs() {
+    let outer = relation(50, 9);
+    let inner = relation(50, 10);
+    let cl = cluster(4);
+    let _ = ann_join(&cl, &outer, &inner);
+    assert_eq!(cl.engine().report().num_jobs(), 3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn prop_ann_equals_brute_force(
+        n_outer in 1usize..60,
+        n_inner in 1usize..60,
+        seed in 0u64..1_000,
+        side in 1u32..6,
+    ) {
+        let outer = relation(n_outer, seed);
+        let inner = relation(n_inner, seed.wrapping_add(1));
+        let cl = cluster(side);
+        prop_assert_eq!(ann_join(&cl, &outer, &inner), ann_brute_force(&outer, &inner));
+    }
+}
+
+// ------------------------------------------------------------------- kNN
+
+mod knn {
+    use super::*;
+    use mwsj_core::ann::{knn_brute_force, knn_join};
+
+    #[test]
+    fn matches_brute_force_random() {
+        let outer = relation(150, 21);
+        let inner = relation(150, 22);
+        let cl = cluster(8);
+        for k in [1usize, 3, 7] {
+            assert_eq!(
+                knn_join(&cl, &outer, &inner, k),
+                knn_brute_force(&outer, &inner, k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_exceeding_inner_size_returns_everything() {
+        let outer = relation(30, 23);
+        let inner = relation(5, 24);
+        let cl = cluster(4);
+        let got = knn_join(&cl, &outer, &inner, 50);
+        assert_eq!(got, knn_brute_force(&outer, &inner, 50));
+        assert!(got.iter().all(|l| l.len() == 5));
+    }
+
+    #[test]
+    fn k_one_equals_ann() {
+        use mwsj_core::ann::ann_join;
+        let outer = relation(100, 25);
+        let inner = relation(100, 26);
+        let cl = cluster(8);
+        let knn = knn_join(&cl, &outer, &inner, 1);
+        let ann = ann_join(&cl, &outer, &inner);
+        for (list, nn) in knn.iter().zip(&ann) {
+            assert_eq!(list.len(), 1);
+            assert_eq!(&list[0], nn);
+        }
+    }
+
+    #[test]
+    fn sparse_inner_with_fallback_bounds() {
+        let outer = relation(80, 27);
+        let inner = relation(4, 28);
+        let cl = cluster(8);
+        assert_eq!(knn_join(&cl, &outer, &inner, 3), knn_brute_force(&outer, &inner, 3));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_knn_equals_brute_force(
+            n_outer in 1usize..40,
+            n_inner in 1usize..40,
+            k in 1usize..6,
+            seed in 0u64..500,
+        ) {
+            let outer = relation(n_outer, seed);
+            let inner = relation(n_inner, seed.wrapping_add(9));
+            let cl = cluster(4);
+            prop_assert_eq!(
+                knn_join(&cl, &outer, &inner, k),
+                knn_brute_force(&outer, &inner, k)
+            );
+        }
+    }
+}

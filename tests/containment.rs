@@ -1,0 +1,168 @@
+//! The containment predicate — the paper's §10 future work, implemented:
+//! `Contains(r1, r2)` joins distribute with the overlap machinery (a
+//! contained rectangle overlaps its container) while the exact directional
+//! test runs locally. These tests pin orientation semantics and validate
+//! all four distributed algorithms against the oracle.
+
+use mwsj_core::{reference, Algorithm, Cluster, ClusterConfig};
+use mwsj_geom::Rect;
+use mwsj_query::{Predicate, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SPACE: (f64, f64) = (0.0, 1000.0);
+
+fn cluster(side: u32) -> Cluster {
+    Cluster::new(ClusterConfig::for_space(SPACE, SPACE, side))
+}
+
+/// Mix of large "container" rectangles and small ones so containment
+/// actually fires.
+fn mixed_relation(n: usize, seed: u64) -> Vec<Rect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let big = rng.random_bool(0.3);
+            let side = if big {
+                rng.random_range(60.0..150.0)
+            } else {
+                rng.random_range(1.0..25.0)
+            };
+            let x = rng.random_range(0.0..SPACE.1 - side);
+            let y = rng.random_range(side..SPACE.1);
+            Rect::new(x, y, side, side * rng.random_range(0.5..1.0))
+        })
+        .collect()
+}
+
+#[test]
+fn predicate_is_directional() {
+    let outer = Rect::new(0.0, 100.0, 50.0, 50.0);
+    let inner = Rect::new(10.0, 90.0, 10.0, 10.0);
+    assert!(Predicate::Contains.eval(&outer, &inner));
+    assert!(!Predicate::Contains.eval(&inner, &outer));
+    assert!(Predicate::Contains.eval_oriented(&inner, &outer, true));
+    assert!(!Predicate::Contains.is_symmetric());
+    assert!(Predicate::Overlap.is_symmetric());
+}
+
+#[test]
+fn parser_and_display_roundtrip() {
+    let q = Query::parse("county contains city and city overlaps river").unwrap();
+    assert_eq!(q.triples()[0].predicate, Predicate::Contains);
+    assert_eq!(q.to_string(), "county contains city and city overlaps river");
+    assert_eq!(Query::parse(&q.to_string()).unwrap(), q);
+}
+
+#[test]
+fn oracle_respects_direction() {
+    let outer = vec![Rect::new(0.0, 100.0, 50.0, 50.0)];
+    let inner = vec![Rect::new(10.0, 90.0, 10.0, 10.0)];
+    let q_fwd = Query::parse("A contains B").unwrap();
+    let q_rev = Query::parse("B contains A").unwrap();
+    assert_eq!(
+        reference::in_memory_join(&q_fwd, &[&outer, &inner]),
+        vec![vec![0, 0]]
+    );
+    // q_rev's first position is B; binding the outer rectangle to B makes
+    // "B contains A" hold...
+    assert_eq!(
+        reference::in_memory_join(&q_rev, &[&outer, &inner]),
+        vec![vec![0, 0]]
+    );
+    // ...while binding the inner rectangle to the container position does
+    // not.
+    assert!(reference::in_memory_join(&q_rev, &[&inner, &outer]).is_empty());
+    assert!(reference::in_memory_join(&q_fwd, &[&inner, &outer]).is_empty());
+}
+
+fn check_all(query: &Query, relations: &[&[Rect]], side: u32) {
+    let expected = reference::in_memory_join(query, relations);
+    let cl = cluster(side);
+    for alg in Algorithm::ALL {
+        let got = cl.run(query, relations, alg);
+        assert_eq!(
+            got.tuples,
+            expected,
+            "{} deviates ({} vs {} tuples)",
+            alg.name(),
+            got.tuples.len(),
+            expected.len()
+        );
+    }
+}
+
+#[test]
+fn two_way_containment_all_algorithms() {
+    let q = Query::parse("A contains B").unwrap();
+    let a = mixed_relation(250, 1);
+    let b = mixed_relation(250, 2);
+    let expected = reference::in_memory_join(&q, &[&a, &b]);
+    assert!(!expected.is_empty(), "workload must produce containments");
+    check_all(&q, &[&a, &b], 8);
+}
+
+#[test]
+fn containment_chain_all_algorithms() {
+    // County contains city, city overlaps river.
+    let q = Query::parse("county contains city and city overlaps river").unwrap();
+    let county = mixed_relation(200, 3);
+    let city = mixed_relation(200, 4);
+    let river = mixed_relation(200, 5);
+    check_all(&q, &[&county, &city, &river], 8);
+}
+
+#[test]
+fn containment_with_range_all_algorithms() {
+    let q = Query::parse("A contains B and B within 40 of C").unwrap();
+    let a = mixed_relation(150, 6);
+    let b = mixed_relation(150, 7);
+    let c = mixed_relation(150, 8);
+    check_all(&q, &[&a, &b, &c], 4);
+}
+
+#[test]
+fn reversed_containment_direction_all_algorithms() {
+    // The right side is the container: orientation must survive the
+    // graph's bidirectional adjacency.
+    let q = Query::builder()
+        .condition(Predicate::Contains, "B", "A")
+        .overlap("A", "C")
+        .build()
+        .unwrap();
+    let b = mixed_relation(150, 9);
+    let a = mixed_relation(150, 10);
+    let c = mixed_relation(150, 11);
+    check_all(&q, &[&b, &a, &c], 4);
+}
+
+#[test]
+fn nested_containment_self_join() {
+    // Triples (a, b) with a ⊇ b from one dataset: every rectangle contains
+    // itself (closed semantics), so the diagonal is always present.
+    let q = Query::parse("outer contains inner").unwrap();
+    let r = mixed_relation(200, 12);
+    let cl = cluster(8);
+    let out = cl.run(&q, &[&r, &r], Algorithm::ControlledReplicate);
+    assert_eq!(out.tuples, reference::in_memory_join(&q, &[&r, &r]));
+    for id in 0..r.len() as u32 {
+        assert!(out.tuples.contains(&vec![id, id]));
+    }
+}
+
+#[test]
+fn containment_marks_fewer_than_overlap() {
+    // Contains is stricter than overlap, so C-Rep's consistency pruning
+    // (C1) marks at most as many rectangles.
+    let a = mixed_relation(400, 13);
+    let b = mixed_relation(400, 14);
+    let c = mixed_relation(400, 15);
+    let cl = cluster(8);
+    let q_cont = Query::parse("A contains B and B contains C").unwrap();
+    let q_ov = Query::parse("A ov B and B ov C").unwrap();
+    let cont = cl.run(&q_cont, &[&a, &b, &c], Algorithm::ControlledReplicate);
+    let ov = cl.run(&q_ov, &[&a, &b, &c], Algorithm::ControlledReplicate);
+    assert!(cont.stats.rectangles_replicated <= ov.stats.rectangles_replicated);
+    assert!(cont.tuples.len() <= ov.tuples.len());
+    assert_eq!(cont.tuples, reference::in_memory_join(&q_cont, &[&a, &b, &c]));
+}

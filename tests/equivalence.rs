@@ -1,0 +1,296 @@
+//! The central correctness property of the whole system: every distributed
+//! algorithm — 2-way Cascade, All-Replicate, Controlled-Replicate and
+//! C-Rep-L — computes **exactly** the tuples of the in-memory reference
+//! join, on every query shape, including inputs engineered to sit on
+//! partition-cell boundaries.
+
+use mwsj_core::{reference, Algorithm, Cluster, ClusterConfig};
+use mwsj_geom::Rect;
+use mwsj_query::Query;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SPACE: (f64, f64) = (0.0, 1000.0);
+
+fn cluster(side: u32) -> Cluster {
+    Cluster::new(ClusterConfig::for_space(SPACE, SPACE, side))
+}
+
+fn random_relation(n: usize, seed: u64, max_side: f64) -> Vec<Rect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.random_range(0.0..SPACE.1);
+            let y = rng.random_range(0.0..SPACE.1);
+            let l = rng.random_range(0.0..max_side).min(SPACE.1 - x);
+            let b = rng.random_range(0.0..max_side).min(y);
+            Rect::new(x, y, l, b)
+        })
+        .collect()
+}
+
+/// Coordinates snapped to multiples of `grid_step / 2`, so rectangle edges
+/// frequently coincide with cell boundaries — the adversarial case for the
+/// half-open routing and designated-cell rules.
+fn boundary_relation(n: usize, seed: u64, grid_step: f64) -> Vec<Rect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let snap = grid_step / 2.0;
+    let slots = (SPACE.1 / snap) as u64;
+    (0..n)
+        .map(|_| {
+            let x = rng.random_range(0..slots) as f64 * snap;
+            let y = rng.random_range(1..=slots) as f64 * snap;
+            let l = (rng.random_range(0..=4) as f64 * snap).min(SPACE.1 - x);
+            let b = (rng.random_range(0..=4) as f64 * snap).min(y);
+            Rect::new(x, y, l, b)
+        })
+        .collect()
+}
+
+fn check_all(query: &Query, relations: &[&[Rect]], side: u32) {
+    let expected = reference::in_memory_join(query, relations);
+    let cl = cluster(side);
+    for alg in Algorithm::ALL {
+        let got = cl.run(query, relations, alg);
+        assert_eq!(
+            got.tuples,
+            expected,
+            "{} deviates from the reference ({} vs {} tuples)",
+            alg.name(),
+            got.tuples.len(),
+            expected.len()
+        );
+    }
+}
+
+#[test]
+fn overlap_chain3_random() {
+    // The paper's Q2 = R1 Ov R2 and R2 Ov R3.
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let r1 = random_relation(250, 10, 30.0);
+    let r2 = random_relation(250, 11, 30.0);
+    let r3 = random_relation(250, 12, 30.0);
+    check_all(&q, &[&r1, &r2, &r3], 8);
+}
+
+#[test]
+fn overlap_chain4_random() {
+    // The paper's Q1 = chain of four relations.
+    let q = Query::parse("R1 ov R2 and R2 ov R3 and R3 ov R4").unwrap();
+    let rels: Vec<Vec<Rect>> = (0..4).map(|i| random_relation(120, 20 + i, 40.0)).collect();
+    let refs: Vec<&[Rect]> = rels.iter().map(Vec::as_slice).collect();
+    check_all(&q, &refs, 4);
+}
+
+#[test]
+fn range_chain3_random() {
+    // The paper's Q3 = R1 Ra(d) R2 and R2 Ra(d) R3.
+    let q = Query::parse("R1 ra(25) R2 and R2 ra(25) R3").unwrap();
+    let r1 = random_relation(150, 30, 15.0);
+    let r2 = random_relation(150, 31, 15.0);
+    let r3 = random_relation(150, 32, 15.0);
+    check_all(&q, &[&r1, &r2, &r3], 8);
+}
+
+#[test]
+fn hybrid_chain3_random() {
+    // The paper's Q4 = R1 Ov R2 and R2 Ra(d) R3.
+    let q = Query::parse("R1 ov R2 and R2 ra(40) R3").unwrap();
+    let r1 = random_relation(180, 40, 25.0);
+    let r2 = random_relation(180, 41, 25.0);
+    let r3 = random_relation(180, 42, 25.0);
+    check_all(&q, &[&r1, &r2, &r3], 8);
+}
+
+#[test]
+fn star_query_random() {
+    let q = Query::parse("C ov L1 and C ov L2 and C ov L3").unwrap();
+    let c = random_relation(100, 50, 50.0);
+    let l1 = random_relation(100, 51, 50.0);
+    let l2 = random_relation(100, 52, 50.0);
+    let l3 = random_relation(100, 53, 50.0);
+    check_all(&q, &[&c, &l1, &l2, &l3], 4);
+}
+
+#[test]
+fn cyclic_query_random() {
+    // A triangle query exercises the cycle paths (cascade filter stage,
+    // cyclic arc-consistency marking).
+    let q = Query::parse("A ov B and B ov C and C ov A").unwrap();
+    let a = random_relation(150, 60, 60.0);
+    let b = random_relation(150, 61, 60.0);
+    let c = random_relation(150, 62, 60.0);
+    check_all(&q, &[&a, &b, &c], 4);
+}
+
+#[test]
+fn self_join_star() {
+    // The paper's Q2s = R Ov R and R Ov R over one dataset bound to three
+    // positions.
+    let q = Query::parse("Ra ov Rb and Rb ov Rc").unwrap();
+    let r = random_relation(200, 70, 35.0);
+    check_all(&q, &[&r, &r, &r], 8);
+}
+
+#[test]
+fn boundary_aligned_overlap_chain() {
+    // 8 cells over [0, 1000] => boundaries at multiples of 125; snap
+    // coordinates to multiples of 62.5 so edges land on boundaries.
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let r1 = boundary_relation(150, 80, 125.0);
+    let r2 = boundary_relation(150, 81, 125.0);
+    let r3 = boundary_relation(150, 82, 125.0);
+    check_all(&q, &[&r1, &r2, &r3], 8);
+}
+
+#[test]
+fn boundary_aligned_range_chain() {
+    let q = Query::parse("R1 ra(62.5) R2 and R2 ra(62.5) R3").unwrap();
+    let r1 = boundary_relation(100, 90, 125.0);
+    let r2 = boundary_relation(100, 91, 125.0);
+    let r3 = boundary_relation(100, 92, 125.0);
+    check_all(&q, &[&r1, &r2, &r3], 8);
+}
+
+#[test]
+fn degenerate_rectangles_points_and_lines() {
+    // Zero-width/zero-height rectangles (points, segments) are legal MBRs
+    // of point/line spatial objects.
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let mut rng = StdRng::seed_from_u64(100);
+    let mk = |rng: &mut StdRng| {
+        let x = rng.random_range(0.0..900.0);
+        let y = rng.random_range(100.0..1000.0);
+        match rng.random_range(0..3) {
+            0 => Rect::new(x, y, 0.0, 0.0),
+            1 => Rect::new(x, y, rng.random_range(0.0..80.0), 0.0),
+            _ => Rect::new(x, y, 0.0, rng.random_range(0.0..80.0)),
+        }
+    };
+    let r1: Vec<Rect> = (0..150).map(|_| mk(&mut rng)).collect();
+    let r2: Vec<Rect> = (0..150).map(|_| mk(&mut rng)).collect();
+    let r3: Vec<Rect> = (0..150).map(|_| mk(&mut rng)).collect();
+    check_all(&q, &[&r1, &r2, &r3], 4);
+}
+
+#[test]
+fn empty_relation_yields_empty_output() {
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let r1 = random_relation(50, 110, 40.0);
+    let empty: Vec<Rect> = Vec::new();
+    let r3 = random_relation(50, 111, 40.0);
+    let expected = reference::in_memory_join(&q, &[&r1, &empty, &r3]);
+    assert!(expected.is_empty());
+    check_all(&q, &[&r1, &empty, &r3], 4);
+}
+
+#[test]
+fn single_cell_grid_degenerates_to_local_join() {
+    let q = Query::parse("R1 ov R2").unwrap();
+    let r1 = random_relation(100, 120, 50.0);
+    let r2 = random_relation(100, 121, 50.0);
+    check_all(&q, &[&r1, &r2], 1);
+}
+
+#[test]
+fn two_way_overlap_and_range() {
+    let q_ov = Query::parse("R1 ov R2").unwrap();
+    let q_ra = Query::parse("R1 ra(30) R2").unwrap();
+    let r1 = random_relation(300, 130, 25.0);
+    let r2 = random_relation(300, 131, 25.0);
+    check_all(&q_ov, &[&r1, &r2], 8);
+    check_all(&q_ra, &[&r1, &r2], 8);
+}
+
+#[test]
+fn crep_communicates_less_than_all_rep() {
+    // The headline claim: C-Rep's intermediate pair count is far below
+    // All-Rep's on uniform data.
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let r1 = random_relation(400, 140, 10.0);
+    let r2 = random_relation(400, 141, 10.0);
+    let r3 = random_relation(400, 142, 10.0);
+    let cl = cluster(8);
+    let all = cl.run(&q, &[&r1, &r2, &r3], Algorithm::AllReplicate);
+    let crep = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+    assert_eq!(all.tuples, crep.tuples);
+    assert!(
+        crep.stats.rectangles_after_replication * 4 < all.stats.rectangles_after_replication,
+        "C-Rep {} vs All-Rep {}",
+        crep.stats.rectangles_after_replication,
+        all.stats.rectangles_after_replication
+    );
+    assert!(crep.stats.rectangles_replicated < all.stats.rectangles_replicated);
+}
+
+#[test]
+fn crep_l_communicates_no_more_than_crep() {
+    let q = Query::parse("R1 ra(50) R2 and R2 ra(50) R3").unwrap();
+    let r1 = random_relation(300, 150, 10.0);
+    let r2 = random_relation(300, 151, 10.0);
+    let r3 = random_relation(300, 152, 10.0);
+    let cl = cluster(8);
+    let crep = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+    let crepl = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicateLimit);
+    assert_eq!(crep.tuples, crepl.tuples);
+    // Same rectangles are marked; only the replication extent differs.
+    assert_eq!(
+        crep.stats.rectangles_replicated,
+        crepl.stats.rectangles_replicated
+    );
+    assert!(
+        crepl.stats.rectangles_after_replication <= crep.stats.rectangles_after_replication
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn prop_all_algorithms_agree_on_small_boundary_heavy_inputs(
+        seed in 0u64..10_000,
+        n1 in 1usize..40,
+        n2 in 1usize..40,
+        n3 in 1usize..40,
+        d in 0.0..80.0f64,
+        overlap_first in proptest::bool::ANY,
+    ) {
+        let r1 = boundary_relation(n1, seed, 250.0);
+        let r2 = boundary_relation(n2, seed.wrapping_add(1), 250.0);
+        let r3 = boundary_relation(n3, seed.wrapping_add(2), 250.0);
+        let q = if overlap_first {
+            Query::builder().overlap("R1", "R2").range("R2", "R3", d).build().unwrap()
+        } else {
+            Query::builder().range("R1", "R2", d).overlap("R2", "R3").build().unwrap()
+        };
+        let expected = reference::in_memory_join(&q, &[&r1, &r2, &r3]);
+        let cl = cluster(4);
+        for alg in Algorithm::ALL {
+            let got = cl.run(&q, &[&r1, &r2, &r3], alg);
+            prop_assert_eq!(
+                &got.tuples, &expected,
+                "{} deviates on seed {}", alg.name(), seed
+            );
+        }
+    }
+}
+
+#[test]
+fn virtual_cells_on_fewer_reducers_stay_correct() {
+    // A 16x16 logical grid hashed onto 10 physical reducers (the standard
+    // skew mitigation): results must be unchanged, and every key still
+    // meets at one reducer.
+    let q = Query::parse("R1 ov R2 and R2 ra(40) R3").unwrap();
+    let r1 = random_relation(200, 160, 30.0);
+    let r2 = random_relation(200, 161, 30.0);
+    let r3 = random_relation(200, 162, 30.0);
+    let expected = reference::in_memory_join(&q, &[&r1, &r2, &r3]);
+    let cl = Cluster::new(
+        ClusterConfig::for_space(SPACE, SPACE, 16).with_reducers(10),
+    );
+    assert_eq!(cl.num_reducers(), 10);
+    for alg in Algorithm::ALL {
+        let got = cl.run(&q, &[&r1, &r2, &r3], alg);
+        assert_eq!(got.tuples, expected, "{}", alg.name());
+    }
+}

@@ -1,0 +1,160 @@
+//! **Hybrid** joins mixing overlap and range predicates end-to-end (§9):
+//! the workload trends behind Tables 8-9, plus the refinement step over
+//! polygon payloads.
+
+use mwsj_core::{reference, refine, Algorithm, Cluster, ClusterConfig};
+use mwsj_datagen::{bernoulli_sample, CaliforniaConfig, SyntheticConfig};
+use mwsj_geom::{Point, Polygon, Rect};
+use mwsj_query::Query;
+
+fn q4(d: f64) -> Query {
+    // The paper's Q4 = R1 Ov R2 and R2 Ra(d) R3.
+    Query::builder()
+        .overlap("R1", "R2")
+        .range("R2", "R3", d)
+        .build()
+        .unwrap()
+}
+
+fn paper_cluster() -> Cluster {
+    Cluster::new(ClusterConfig::for_space((0.0, 100_000.0), (0.0, 100_000.0), 8))
+}
+
+fn synthetic(n: usize, seed: u64) -> Vec<Rect> {
+    SyntheticConfig::paper_default(n, seed).generate()
+}
+
+#[test]
+fn table8_hybrid_chain_correct_for_both_crep_variants() {
+    let cl = paper_cluster();
+    let q = q4(200.0);
+    let r1 = synthetic(4_000, 61);
+    let r2 = synthetic(4_000, 62);
+    let r3 = synthetic(4_000, 63);
+    let expected = reference::in_memory_join(&q, &[&r1, &r2, &r3]);
+    assert!(!expected.is_empty());
+
+    let crep = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+    let crepl = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicateLimit);
+    assert_eq!(crep.tuples, expected);
+    assert_eq!(crepl.tuples, expected);
+    assert!(
+        crepl.stats.rectangles_after_replication <= crep.stats.rectangles_after_replication
+    );
+}
+
+#[test]
+fn table9_california_hybrid_self_join_trend() {
+    // Table 9: Q4s = R Ov R and R Ra(d) R over sampled road data; both the
+    // marked count and the output grow with d.
+    let cl = Cluster::new(ClusterConfig::for_space((0.0, 63_000.0), (0.0, 100_000.0), 8));
+    let full = CaliforniaConfig::new(5_000, 31).generate();
+    let data = bernoulli_sample(&full, 0.5, 3);
+
+    let mut marked = Vec::new();
+    let mut outputs = Vec::new();
+    for d in [10.0, 40.0] {
+        let q = Query::builder()
+            .overlap("Ra", "Rb")
+            .range("Rb", "Rc", d)
+            .build()
+            .unwrap();
+        let out = cl.run(&q, &[&data, &data, &data], Algorithm::ControlledReplicateLimit);
+        assert_eq!(
+            out.tuples,
+            reference::in_memory_join(&q, &[&data, &data, &data]),
+            "d = {d}"
+        );
+        marked.push(out.stats.rectangles_replicated);
+        outputs.push(out.tuples.len());
+    }
+    assert!(outputs[1] > outputs[0], "outputs: {outputs:?}");
+    assert!(marked[1] >= marked[0], "marked: {marked:?}");
+}
+
+#[test]
+fn hybrid_equals_range_rewrite() {
+    // §9: a hybrid query may equivalently replace each overlap predicate
+    // with Ra(0) and be processed as a pure range query.
+    let cl = paper_cluster();
+    let r1 = synthetic(2_000, 71);
+    let r2 = synthetic(2_000, 72);
+    let r3 = synthetic(2_000, 73);
+    let hybrid = q4(150.0);
+    let rewritten = Query::builder()
+        .range("R1", "R2", 0.0)
+        .range("R2", "R3", 150.0)
+        .build()
+        .unwrap();
+    let a = cl.run(&hybrid, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+    let b = cl.run(&rewritten, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+    assert_eq!(a.tuples, b.tuples);
+}
+
+#[test]
+fn four_relation_hybrid_chain_all_algorithms() {
+    let cl = paper_cluster();
+    let q = Query::builder()
+        .overlap("R1", "R2")
+        .range("R2", "R3", 300.0)
+        .overlap("R3", "R4")
+        .build()
+        .unwrap();
+    let rels: Vec<Vec<Rect>> = (0..4).map(|i| synthetic(1_200, 80 + i)).collect();
+    let refs: Vec<&[Rect]> = rels.iter().map(Vec::as_slice).collect();
+    let expected = reference::in_memory_join(&q, &refs);
+    for alg in Algorithm::ALL {
+        let out = cl.run(&q, &refs, alg);
+        assert_eq!(out.tuples, expected, "{}", alg.name());
+    }
+}
+
+/// The filter + refinement pipeline of §1.1: generate polygon objects,
+/// join their MBRs on the cluster, then refine with exact geometry.
+#[test]
+fn filter_then_refine_pipeline_over_polygons() {
+    // Triangles with heavy MBR slack so the filter over-reports.
+    fn triangles(n: usize, seed: u64) -> Vec<Polygon> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.random_range(0.0..900.0);
+                let y = rng.random_range(100.0..1000.0);
+                let s = rng.random_range(10.0..80.0);
+                // A thin sliver triangle: big MBR, small actual area.
+                Polygon::new(vec![
+                    Point::new(x, y),
+                    Point::new((x + s).min(1000.0), (y - s).max(0.0)),
+                    Point::new((x + s * 0.9).min(1000.0), (y - s).max(0.0)),
+                ])
+            })
+            .collect()
+    }
+    let p1 = triangles(150, 1);
+    let p2 = triangles(150, 2);
+    let mbr1: Vec<Rect> = p1.iter().map(Polygon::mbr).collect();
+    let mbr2: Vec<Rect> = p2.iter().map(Polygon::mbr).collect();
+
+    let q = Query::parse("A ov B").unwrap();
+    let cl = Cluster::new(ClusterConfig::for_space((0.0, 1000.0), (0.0, 1000.0), 4));
+    let filtered = cl.run(&q, &[&mbr1, &mbr2], Algorithm::ControlledReplicate);
+    let refined = refine::refine_tuples(&q, &[&p1, &p2], &filtered.tuples);
+
+    // The refinement only removes candidates, never adds.
+    assert!(refined.len() <= filtered.tuples.len());
+    // And it removes exactly the pairs whose exact shapes do not touch.
+    for tuple in &filtered.tuples {
+        let touches = p1[tuple[0] as usize].intersects(&p2[tuple[1] as usize]);
+        assert_eq!(refined.contains(tuple), touches);
+    }
+    // The MBR slack must actually produce false positives for this test to
+    // mean anything.
+    assert!(
+        refined.len() < filtered.tuples.len(),
+        "expected MBR false positives: filter {} refine {}",
+        filtered.tuples.len(),
+        refined.len()
+    );
+}

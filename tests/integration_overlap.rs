@@ -1,0 +1,142 @@
+//! Multi-way **overlap** joins end-to-end (§7): the workload trends behind
+//! Tables 2-4, exercised at test scale through the public API.
+
+use mwsj_core::{reference, Algorithm, Cluster, ClusterConfig};
+use mwsj_datagen::{enlarge_all, CaliforniaConfig, SyntheticConfig};
+use mwsj_geom::Rect;
+use mwsj_query::Query;
+
+fn q2() -> Query {
+    Query::parse("R1 ov R2 and R2 ov R3").unwrap()
+}
+
+fn paper_cluster() -> Cluster {
+    // The paper's 8x8 grid of 64 reducers over the synthetic space.
+    Cluster::new(ClusterConfig::for_space((0.0, 100_000.0), (0.0, 100_000.0), 8))
+}
+
+fn synthetic(n: usize, seed: u64) -> Vec<Rect> {
+    SyntheticConfig::paper_default(n, seed).generate()
+}
+
+#[test]
+fn table2_trend_output_grows_with_dataset_size() {
+    // Table 2 varies nI; more rectangles => more overlapping triples and
+    // more rectangles marked for replication. The space shrinks relative
+    // to the paper's 100K² so the scaled-down nI keeps the paper's join
+    // selectivity (density scales with n · (side/extent)²).
+    let cl = Cluster::new(ClusterConfig::for_space((0.0, 20_000.0), (0.0, 20_000.0), 8));
+    let q = q2();
+    let mut last_tuples = 0;
+    let mut last_marked = 0;
+    for (i, n) in [2_000usize, 8_000].into_iter().enumerate() {
+        let gen = |seed| {
+            let mut cfg = SyntheticConfig::paper_default(n, seed);
+            cfg.x_range = (0.0, 20_000.0);
+            cfg.y_range = (0.0, 20_000.0);
+            cfg.generate()
+        };
+        let (r1, r2, r3) = (gen(100 + i as u64), gen(200 + i as u64), gen(300 + i as u64));
+        let out = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+        assert_eq!(
+            out.tuples,
+            reference::in_memory_join(&q, &[&r1, &r2, &r3]),
+            "C-Rep correctness at n = {n}"
+        );
+        assert!(out.tuples.len() >= last_tuples);
+        assert!(out.stats.rectangles_replicated >= last_marked);
+        last_tuples = out.tuples.len();
+        last_marked = out.stats.rectangles_replicated;
+    }
+    assert!(last_tuples > 0, "the largest workload must produce output");
+}
+
+#[test]
+fn table3_trend_larger_rectangles_mark_more() {
+    // Table 3 varies l_max/b_max at fixed nI: larger rectangles cross
+    // cells more often, so C-Rep marks more rectangles and the output
+    // grows.
+    let cl = paper_cluster();
+    let q = q2();
+    let mut marked = Vec::new();
+    let mut outputs = Vec::new();
+    for l_max in [100.0, 500.0] {
+        let gen = |seed| {
+            SyntheticConfig::paper_default(4_000, seed)
+                .with_max_sides(l_max, l_max)
+                .generate()
+        };
+        let (r1, r2, r3) = (gen(11), gen(12), gen(13));
+        let out = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+        assert_eq!(
+            out.tuples,
+            reference::in_memory_join(&q, &[&r1, &r2, &r3]),
+            "l_max = {l_max}"
+        );
+        marked.push(out.stats.rectangles_replicated);
+        outputs.push(out.tuples.len());
+    }
+    assert!(marked[1] > marked[0], "marked: {marked:?}");
+    assert!(outputs[1] > outputs[0], "outputs: {outputs:?}");
+}
+
+#[test]
+fn table4_california_star_self_join_with_enlargement() {
+    // Table 4: Q2s = R Ov R and R Ov R over California-like road MBBs,
+    // enlarged by factor k. Larger k => more overlaps => more marked and a
+    // bigger output.
+    let cl = Cluster::new(ClusterConfig::for_space((0.0, 63_000.0), (0.0, 100_000.0), 8));
+    let q = Query::parse("Ra ov Rb and Rb ov Rc").unwrap();
+    let base = CaliforniaConfig::new(4_000, 2013).generate();
+    let space = Rect::new(0.0, 100_000.0, 63_000.0, 100_000.0);
+
+    let mut marked = Vec::new();
+    let mut outputs = Vec::new();
+    for k in [1.0, 2.0] {
+        let data = enlarge_all(&base, k, &space);
+        let out = cl.run(&q, &[&data, &data, &data], Algorithm::ControlledReplicateLimit);
+        assert_eq!(
+            out.tuples,
+            reference::in_memory_join(&q, &[&data, &data, &data]),
+            "k = {k}"
+        );
+        marked.push(out.stats.rectangles_replicated);
+        outputs.push(out.tuples.len());
+    }
+    assert!(outputs[1] > outputs[0], "outputs: {outputs:?}");
+    assert!(marked[1] >= marked[0], "marked: {marked:?}");
+}
+
+#[test]
+fn self_join_output_contains_reflexive_triples() {
+    // A star self-join over one dataset must report (r, r, r) for every
+    // rectangle r (each rectangle overlaps itself).
+    let cl = paper_cluster();
+    let q = Query::parse("Ra ov Rb and Rb ov Rc").unwrap();
+    let r = synthetic(500, 77);
+    let out = cl.run(&q, &[&r, &r, &r], Algorithm::ControlledReplicate);
+    for id in 0..r.len() as u32 {
+        assert!(out.tuples.contains(&vec![id, id, id]));
+    }
+}
+
+#[test]
+fn skewed_data_still_correct() {
+    // Heavy spatial skew: all three relations concentrate in the top-left
+    // 4% of the space, overloading a few reducers while most stay idle.
+    let cl = paper_cluster();
+    let q = q2();
+    let gen = |seed| {
+        let mut cfg = SyntheticConfig::paper_default(2_000, seed);
+        cfg.x_range = (0.0, 20_000.0);
+        cfg.y_range = (80_000.0, 100_000.0);
+        cfg.generate()
+    };
+    let (r1, r2, r3) = (gen(5), gen(6), gen(7));
+    let expected = reference::in_memory_join(&q, &[&r1, &r2, &r3]);
+    assert!(!expected.is_empty(), "clustered data should collide");
+    for alg in [Algorithm::AllReplicate, Algorithm::ControlledReplicate] {
+        let out = cl.run(&q, &[&r1, &r2, &r3], alg);
+        assert_eq!(out.tuples, expected, "{}", alg.name());
+    }
+}

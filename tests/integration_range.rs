@@ -1,0 +1,138 @@
+//! Multi-way **range** joins end-to-end (§8): the workload trends behind
+//! Tables 5-7, exercised at test scale through the public API.
+
+use mwsj_core::{reference, Algorithm, Cluster, ClusterConfig};
+use mwsj_datagen::{bernoulli_sample, CaliforniaConfig, SyntheticConfig};
+use mwsj_geom::Rect;
+use mwsj_query::Query;
+
+fn q3(d: f64) -> Query {
+    Query::builder()
+        .range("R1", "R2", d)
+        .range("R2", "R3", d)
+        .build()
+        .unwrap()
+}
+
+fn paper_cluster() -> Cluster {
+    Cluster::new(ClusterConfig::for_space((0.0, 100_000.0), (0.0, 100_000.0), 8))
+}
+
+fn synthetic(n: usize, seed: u64) -> Vec<Rect> {
+    SyntheticConfig::paper_default(n, seed).generate()
+}
+
+#[test]
+fn table5_range_chain_correct_and_crepl_cheaper() {
+    // Table 5: Q3 with d = 100. C-Rep-L's headline: the number of
+    // rectangles after replication drops to a fraction of C-Rep's
+    // (~30% in the paper) because range marking is generous but the
+    // replication extent can be tightly bounded.
+    let cl = paper_cluster();
+    let q = q3(100.0);
+    let r1 = synthetic(4_000, 21);
+    let r2 = synthetic(4_000, 22);
+    let r3 = synthetic(4_000, 23);
+    let expected = reference::in_memory_join(&q, &[&r1, &r2, &r3]);
+
+    let crep = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+    let crepl = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicateLimit);
+    assert_eq!(crep.tuples, expected);
+    assert_eq!(crepl.tuples, expected);
+    assert_eq!(
+        crep.stats.rectangles_replicated,
+        crepl.stats.rectangles_replicated,
+        "marking is identical; only the extent differs"
+    );
+    assert!(
+        crepl.stats.rectangles_after_replication * 2
+            <= crep.stats.rectangles_after_replication,
+        "C-Rep-L {} vs C-Rep {}",
+        crepl.stats.rectangles_after_replication,
+        crep.stats.rectangles_after_replication
+    );
+}
+
+#[test]
+fn table6_trend_more_marked_with_growing_d() {
+    // Table 6 varies d at fixed nI: a larger d satisfies the range C2
+    // condition for more rectangles, so more are marked and the output
+    // grows.
+    let cl = paper_cluster();
+    let mut marked = Vec::new();
+    let mut outputs = Vec::new();
+    let r1 = synthetic(2_500, 31);
+    let r2 = synthetic(2_500, 32);
+    let r3 = synthetic(2_500, 33);
+    for d in [100.0, 500.0] {
+        let q = q3(d);
+        let out = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicateLimit);
+        assert_eq!(
+            out.tuples,
+            reference::in_memory_join(&q, &[&r1, &r2, &r3]),
+            "d = {d}"
+        );
+        marked.push(out.stats.rectangles_replicated);
+        outputs.push(out.tuples.len());
+    }
+    assert!(marked[1] > marked[0], "marked: {marked:?}");
+    assert!(outputs[1] > outputs[0], "outputs: {outputs:?}");
+}
+
+#[test]
+fn table7_california_sampled_self_join() {
+    // Table 7: Q3s over California-like roads sampled with p = 0.5.
+    let cl = Cluster::new(ClusterConfig::for_space((0.0, 63_000.0), (0.0, 100_000.0), 8));
+    let full = CaliforniaConfig::new(6_000, 99).generate();
+    let data = bernoulli_sample(&full, 0.5, 7);
+    assert!((data.len() as f64 / full.len() as f64 - 0.5).abs() < 0.05);
+
+    let q = Query::builder()
+        .range("Ra", "Rb", 20.0)
+        .range("Rb", "Rc", 20.0)
+        .build()
+        .unwrap();
+    let expected = reference::in_memory_join(&q, &[&data, &data, &data]);
+    assert!(!expected.is_empty(), "clustered roads must produce triples");
+    for alg in [
+        Algorithm::ControlledReplicate,
+        Algorithm::ControlledReplicateLimit,
+    ] {
+        let out = cl.run(&q, &[&data, &data, &data], alg);
+        assert_eq!(out.tuples, expected, "{}", alg.name());
+    }
+}
+
+#[test]
+fn range_zero_equals_overlap_query() {
+    // §9: Ra(0) is the overlap predicate; the distributed runs must agree.
+    let cl = paper_cluster();
+    let r1 = synthetic(2_000, 41);
+    let r2 = synthetic(2_000, 42);
+    let r3 = synthetic(2_000, 43);
+    let q_ra0 = q3(0.0);
+    let q_ov = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let a = cl.run(&q_ra0, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+    let b = cl.run(&q_ov, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+    assert_eq!(a.tuples, b.tuples);
+}
+
+#[test]
+fn asymmetric_range_distances_in_one_chain() {
+    // Different d per edge (not shown in the paper's tables but supported
+    // by the framework): correctness against the oracle.
+    let cl = paper_cluster();
+    let q = Query::builder()
+        .range("R1", "R2", 400.0)
+        .range("R2", "R3", 50.0)
+        .build()
+        .unwrap();
+    let r1 = synthetic(1_500, 51);
+    let r2 = synthetic(1_500, 52);
+    let r3 = synthetic(1_500, 53);
+    let expected = reference::in_memory_join(&q, &[&r1, &r2, &r3]);
+    for alg in Algorithm::ALL {
+        let out = cl.run(&q, &[&r1, &r2, &r3], alg);
+        assert_eq!(out.tuples, expected, "{}", alg.name());
+    }
+}

@@ -1,0 +1,310 @@
+//! The metric counters the experiment tables are built from: job counts,
+//! intermediate pair accounting, DFS traffic, and the invariants tying
+//! them together.
+
+use mwsj_core::{Algorithm, Cluster, ClusterConfig};
+use mwsj_datagen::SyntheticConfig;
+use mwsj_geom::Rect;
+use mwsj_query::Query;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig::for_space((0.0, 100_000.0), (0.0, 100_000.0), 8))
+}
+
+fn workload() -> (Vec<Rect>, Vec<Rect>, Vec<Rect>) {
+    (
+        SyntheticConfig::paper_default(2_000, 1).generate(),
+        SyntheticConfig::paper_default(2_000, 2).generate(),
+        SyntheticConfig::paper_default(2_000, 3).generate(),
+    )
+}
+
+#[test]
+fn job_counts_per_algorithm() {
+    let (r1, r2, r3) = workload();
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let cl = cluster();
+
+    let all = cl.run(&q, &[&r1, &r2, &r3], Algorithm::AllReplicate);
+    assert_eq!(all.report.num_jobs(), 1, "All-Rep is a single round");
+
+    let crep = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+    assert_eq!(crep.report.num_jobs(), 2, "C-Rep runs two rounds");
+
+    let cascade = cl.run(&q, &[&r1, &r2, &r3], Algorithm::TwoWayCascade);
+    assert_eq!(
+        cascade.report.num_jobs(),
+        2,
+        "a 2-triple chain cascades through two 2-way joins"
+    );
+}
+
+#[test]
+fn cascade_pays_dfs_traffic_others_pay_little() {
+    let (r1, r2, r3) = workload();
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let cl = cluster();
+
+    let cascade = cl.run(&q, &[&r1, &r2, &r3], Algorithm::TwoWayCascade);
+    assert!(
+        cascade.report.dfs_write_bytes > 0 && cascade.report.dfs_read_bytes > 0,
+        "the cascade materializes intermediates on the DFS"
+    );
+
+    let all = cl.run(&q, &[&r1, &r2, &r3], Algorithm::AllReplicate);
+    assert_eq!(all.report.dfs_write_bytes, 0, "single-round: no DFS round trip");
+
+    // C-Rep materializes only the flagged rectangle stream (38 + 1 bytes
+    // per rectangle), independent of the result size.
+    let crep = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+    assert_eq!(crep.report.dfs_write_bytes, 39 * 6_000);
+}
+
+#[test]
+fn intermediate_pair_accounting_is_exact() {
+    // Round-1 of C-Rep splits everything: the job's map-output count must
+    // equal the sum of split-cell counts; round 2 must equal projections
+    // plus replication targets, which the stats expose.
+    let (r1, r2, r3) = workload();
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let cl = cluster();
+    let out = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+
+    let expected_split: u64 = [&r1, &r2, &r3]
+        .iter()
+        .flat_map(|rel| rel.iter())
+        .map(|r| cl.grid().split_cells(r).len() as u64)
+        .sum();
+    assert_eq!(out.report.jobs[0].map_output_records, expected_split);
+
+    let unmarked = 6_000 - out.stats.rectangles_replicated;
+    assert_eq!(
+        out.report.jobs[1].map_output_records,
+        out.stats.rectangles_after_replication + unmarked
+    );
+}
+
+#[test]
+fn all_rep_after_replication_matches_fourth_quadrants() {
+    let (r1, r2, r3) = workload();
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let cl = cluster();
+    let out = cl.run(&q, &[&r1, &r2, &r3], Algorithm::AllReplicate);
+    let expected: u64 = [&r1, &r2, &r3]
+        .iter()
+        .flat_map(|rel| rel.iter())
+        .map(|r| cl.grid().fourth_quadrant_cells(r).len() as u64)
+        .sum();
+    assert_eq!(out.stats.rectangles_after_replication, expected);
+}
+
+#[test]
+fn shuffle_bytes_track_record_sizes() {
+    let (r1, r2, r3) = workload();
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let cl = cluster();
+    let out = cl.run(&q, &[&r1, &r2, &r3], Algorithm::AllReplicate);
+    let j = &out.report.jobs[0];
+    // Key u32 (4 bytes) + TaggedRect (38 bytes) per intermediate pair.
+    assert_eq!(j.shuffle_bytes, j.map_output_records * 42);
+}
+
+#[test]
+fn reduce_input_equals_map_output() {
+    let (r1, r2, r3) = workload();
+    let q = Query::parse("R1 ra(100) R2 and R2 ra(100) R3").unwrap();
+    let cl = cluster();
+    let out = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicateLimit);
+    for j in &out.report.jobs {
+        assert_eq!(j.reduce_input_records, j.map_output_records, "{}", j.job_name);
+        assert!(j.reduce_input_groups <= 64, "at most one group per cell");
+    }
+}
+
+#[test]
+fn metrics_reset_between_runs() {
+    let (r1, r2, r3) = workload();
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let cl = cluster();
+    let first = cl.run(&q, &[&r1, &r2, &r3], Algorithm::TwoWayCascade);
+    let second = cl.run(&q, &[&r1, &r2, &r3], Algorithm::AllReplicate);
+    // The second report must not contain the cascade's jobs or DFS bytes.
+    assert_eq!(second.report.num_jobs(), 1);
+    assert_eq!(second.report.dfs_write_bytes, 0);
+    assert!(first.report.num_jobs() > 1);
+}
+
+#[test]
+fn count_only_matches_collected_count() {
+    use mwsj_core::RunConfig;
+    let (r1, r2, r3) = workload();
+    let cl = cluster();
+    for q_text in [
+        "R1 ov R2 and R2 ov R3",
+        "R1 ra(150) R2 and R2 ra(150) R3",
+        "R1 ov R2 and R2 ra(300) R3",
+    ] {
+        let q = Query::parse(q_text).unwrap();
+        for alg in Algorithm::ALL {
+            let collected = cl.run(&q, &[&r1, &r2, &r3], alg);
+            let counted = cl.run_with(&q, &[&r1, &r2, &r3], alg, RunConfig::counting());
+            assert_eq!(collected.tuple_count, collected.tuples.len() as u64);
+            assert_eq!(
+                counted.tuple_count,
+                collected.tuple_count,
+                "{} on {q_text}",
+                alg.name()
+            );
+            assert!(counted.tuples.is_empty(), "counting mode must not collect");
+            // The cost metrics must be unaffected by the output mode.
+            assert_eq!(
+                counted.stats.rectangles_after_replication,
+                collected.stats.rectangles_after_replication
+            );
+        }
+    }
+}
+
+#[test]
+fn modeled_time_exceeds_compute_time() {
+    use mwsj_core::mapreduce::CostModel;
+    let (r1, r2, r3) = workload();
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let cl = cluster();
+    let out = cl.run(&q, &[&r1, &r2, &r3], Algorithm::TwoWayCascade);
+    let model = CostModel::hadoop_2013();
+    let modeled = out.report.modeled_time(&model);
+    // At least the per-job overhead times the number of jobs.
+    assert!(modeled >= model.per_job_overhead * out.report.num_jobs() as u32);
+}
+
+#[test]
+fn planned_cascade_shrinks_intermediates_on_skewed_selectivity() {
+    use mwsj_core::planner::optimize_cascade_order;
+    // A-B joins heavily (big rectangles); B-C barely joins. The naive
+    // order (A⋈B first) materializes a big intermediate; the planned order
+    // starts with B⋈C and writes far less to the DFS.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let big = |seed: u64| {
+        let mut cfg = SyntheticConfig::paper_default(2_000, seed).with_max_sides(2_000.0, 2_000.0);
+        cfg.x_range = (0.0, 100_000.0);
+        cfg.y_range = (0.0, 100_000.0);
+        cfg.generate()
+    };
+    let (a, b) = (big(1), big(2));
+    let c: Vec<Rect> = (0..2_000)
+        .map(|_| {
+            use rand::Rng;
+            Rect::new(
+                rng.random_range(0.0..99_000.0),
+                rng.random_range(10.0..100_000.0),
+                5.0,
+                5.0,
+            )
+        })
+        .collect();
+    let q = Query::parse("A ov B and B ov C").unwrap();
+    let planned = optimize_cascade_order(&q, &[&a, &b, &c], 150, 7);
+    // The planned first condition is the selective one.
+    assert_eq!(q.name(planned.triples()[0].right), "C");
+
+    let cl = cluster();
+    let naive = cl.run(&q, &[&a, &b, &c], Algorithm::TwoWayCascade);
+    let smart = cl.run(&planned, &[&a, &b, &c], Algorithm::TwoWayCascade);
+    assert_eq!(naive.tuples, smart.tuples, "reordering preserves results");
+    assert!(
+        smart.report.dfs_write_bytes * 2 < naive.report.dfs_write_bytes,
+        "planned {} vs naive {} DFS bytes",
+        smart.report.dfs_write_bytes,
+        naive.report.dfs_write_bytes
+    );
+}
+
+#[test]
+fn skew_metric_reports_hot_reducers() {
+    // All data in one corner: one reducer takes nearly everything.
+    let mut cfg = SyntheticConfig::paper_default(2_000, 9);
+    cfg.x_range = (0.0, 10_000.0);
+    cfg.y_range = (90_000.0, 100_000.0);
+    let r1 = cfg.clone().generate();
+    cfg.seed = 10;
+    let r2 = cfg.generate();
+    let q = Query::parse("R1 ov R2").unwrap();
+    let cl = cluster();
+    // C-Rep round 1 splits the relations: corner-concentrated data lands
+    // almost entirely on one reducer. (All-Replicate would *hide* this
+    // skew: a top-left corner rectangle is replicated to every cell.)
+    let out = cl.run(&q, &[&r1, &r2], Algorithm::ControlledReplicate);
+    let j = &out.report.jobs[0];
+    // The hottest reducer holds far more than the 64-partition average.
+    assert!(
+        j.max_partition_records as f64 > 10.0 * (j.reduce_input_records as f64 / 64.0),
+        "max {} vs total {}",
+        j.max_partition_records,
+        j.reduce_input_records
+    );
+}
+
+#[test]
+fn wall_times_are_populated() {
+    let (r1, r2, r3) = workload();
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let cl = cluster();
+    let out = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+    assert!(out.report.total_wall().as_nanos() > 0);
+    for j in &out.report.jobs {
+        assert!(j.total_wall >= j.map_wall);
+        assert!(j.total_wall >= j.reduce_wall);
+    }
+}
+
+#[test]
+fn results_and_counts_independent_of_parallelism() {
+    // The engine's thread counts must never affect results or the logical
+    // counters (only wall times may differ).
+    use mwsj_core::mapreduce::EngineConfig;
+    let (r1, r2, r3) = workload();
+    let q = Query::parse("R1 ov R2 and R2 ra(120) R3").unwrap();
+    let mut baseline: Option<(Vec<Vec<u32>>, u64, u64)> = None;
+    for threads in [1usize, 2, 8] {
+        let cl = Cluster::new(
+            ClusterConfig::for_space((0.0, 100_000.0), (0.0, 100_000.0), 8).with_engine(
+                EngineConfig {
+                    map_tasks: threads,
+                    reduce_tasks: threads,
+                },
+            ),
+        );
+        let out = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicateLimit);
+        let counts = (
+            out.tuples,
+            out.stats.rectangles_after_replication,
+            out.report.total_intermediate_records(),
+        );
+        match &baseline {
+            None => baseline = Some(counts),
+            Some(b) => assert_eq!(&counts, b, "threads = {threads}"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_runs_share_one_cluster_safely() {
+    // Several joins from different threads against separate clusters (an
+    // Engine serves one run at a time; users run clusters per session).
+    let (r1, r2, r3) = workload();
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let expected = {
+        let cl = cluster();
+        cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate).tuples
+    };
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                let cl = cluster();
+                let out = cl.run(&q, &[&r1, &r2, &r3], Algorithm::AllReplicate);
+                assert_eq!(out.tuples, expected);
+            });
+        }
+    });
+}
