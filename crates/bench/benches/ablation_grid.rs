@@ -29,7 +29,12 @@ fn main() {
         "Q2 under varying reducer-grid sides (the paper fixes 8x8)",
         &format!("nI={n}, space [0,{extent:.0}]²"),
         &[
-            "grid", "tuples", "t C-Rep", "t C-Rep-L", "#Recs C-Rep", "#Recs C-Rep-L",
+            "grid",
+            "tuples",
+            "t C-Rep",
+            "t C-Rep-L",
+            "#Recs C-Rep",
+            "#Recs C-Rep-L",
             "max/mean reducer load",
         ],
     );

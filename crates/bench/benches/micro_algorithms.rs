@@ -25,12 +25,7 @@ fn bench_algorithms(c: &mut Criterion) {
     for alg in Algorithm::ALL {
         group.bench_function(alg.name(), |b| {
             b.iter(|| {
-                black_box(cluster.run_with(
-                    &query,
-                    &[&r1, &r2, &r3],
-                    alg,
-                    RunConfig::counting(),
-                ))
+                black_box(cluster.run_with(&query, &[&r1, &r2, &r3], alg, RunConfig::counting()))
             });
         });
     }

@@ -27,13 +27,19 @@ fn bench_marking(c: &mut Criterion) {
 
     let queries = [
         ("overlap_chain", Query::parse("A ov B and B ov C").unwrap()),
-        ("range_chain", Query::parse("A ra(100) B and B ra(100) C").unwrap()),
-        ("hybrid_chain", Query::parse("A ov B and B ra(200) C").unwrap()),
+        (
+            "range_chain",
+            Query::parse("A ra(100) B and B ra(100) C").unwrap(),
+        ),
+        (
+            "hybrid_chain",
+            Query::parse("A ov B and B ra(200) C").unwrap(),
+        ),
     ];
     let mut group = c.benchmark_group("marking");
     group.sample_size(20);
     for (name, q) in &queries {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 black_box(marking::mark_for_replication(
                     black_box(q),

@@ -26,8 +26,15 @@ fn main() {
             "dS=Uniform, dX,dY,dL,dB=Uniform, space [0,{extent:.0}]², sides [0,100], 8x8 grid"
         ),
         &[
-            "nI", "tuples", "t Cascade", "t All-Rep", "t C-Rep", "t C-Rep-L",
-            "#Recs All-Rep", "#Recs C-Rep", "#Recs C-Rep-L",
+            "nI",
+            "tuples",
+            "t Cascade",
+            "t All-Rep",
+            "t C-Rep",
+            "t C-Rep-L",
+            "#Recs All-Rep",
+            "#Recs C-Rep",
+            "#Recs C-Rep-L",
         ],
     );
 

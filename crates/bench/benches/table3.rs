@@ -25,8 +25,13 @@ fn main() {
         "Q2, varying rectangle dimensions",
         &format!("nI={n}, dS=Uniform, space [0,{extent:.0}]², 8x8 grid (table scale s={s})"),
         &[
-            "l_max,b_max", "tuples", "t Cascade", "t C-Rep", "t C-Rep-L",
-            "#Recs C-Rep", "#Recs C-Rep-L",
+            "l_max,b_max",
+            "tuples",
+            "t Cascade",
+            "t C-Rep",
+            "t C-Rep-L",
+            "#Recs C-Rep",
+            "#Recs C-Rep-L",
         ],
     );
 

@@ -7,8 +7,7 @@
 //! k ∈ {1.0, 1.25, 1.5, 1.75, 2.0}.
 
 use mwsj_bench::{
-    assert_same_results, fmt_repl, fmt_times, measure, print_header, rect_cluster, scale,
-    scaled_n,
+    assert_same_results, fmt_repl, fmt_times, measure, print_header, rect_cluster, scale, scaled_n,
 };
 use mwsj_core::Algorithm;
 use mwsj_datagen::{enlarge_all, CaliforniaConfig};
@@ -30,8 +29,13 @@ fn main() {
         "Q2s, California road data, varying the enlargement factor",
         &format!("nI={n} road MBBs, space [0,{x_extent:.0}]x[0,{y_extent:.0}], 8x8 grid"),
         &[
-            "k", "tuples", "t Cascade", "t C-Rep", "t C-Rep-L",
-            "#Recs C-Rep", "#Recs C-Rep-L",
+            "k",
+            "tuples",
+            "t Cascade",
+            "t C-Rep",
+            "t C-Rep-L",
+            "#Recs C-Rep",
+            "#Recs C-Rep-L",
         ],
     );
 

@@ -24,8 +24,13 @@ fn main() {
         "Q3, varying the dataset size (d = 100)",
         &format!("dS=Uniform, sides [0,100], space [0,{extent:.0}]², 8x8 grid (table scale s={s})"),
         &[
-            "nI", "tuples", "t Cascade", "t C-Rep", "t C-Rep-L",
-            "#Recs C-Rep", "#Recs C-Rep-L",
+            "nI",
+            "tuples",
+            "t Cascade",
+            "t C-Rep",
+            "t C-Rep-L",
+            "#Recs C-Rep",
+            "#Recs C-Rep-L",
         ],
     );
 

@@ -5,8 +5,7 @@
 //! d ∈ {5, 10, 15, 20}.
 
 use mwsj_bench::{
-    assert_same_results, fmt_repl, fmt_times, measure, print_header, rect_cluster, scale,
-    scaled_n,
+    assert_same_results, fmt_repl, fmt_times, measure, print_header, rect_cluster, scale, scaled_n,
 };
 use mwsj_core::Algorithm;
 use mwsj_datagen::{bernoulli_sample, CaliforniaConfig};
@@ -31,8 +30,13 @@ fn main() {
             data.len()
         ),
         &[
-            "d", "tuples", "t Cascade", "t C-Rep", "t C-Rep-L",
-            "#Recs C-Rep", "#Recs C-Rep-L",
+            "d",
+            "tuples",
+            "t Cascade",
+            "t C-Rep",
+            "t C-Rep-L",
+            "#Recs C-Rep",
+            "#Recs C-Rep-L",
         ],
     );
 

@@ -22,7 +22,14 @@ fn main() {
         "Table 8",
         "Q4 (hybrid, d = 200), varying the dataset size",
         &format!("dS=Uniform, sides [0,100], space [0,{extent:.0}]², 8x8 grid (table scale s={s})"),
-        &["nI", "tuples", "t C-Rep", "t C-Rep-L", "#Recs C-Rep", "#Recs C-Rep-L"],
+        &[
+            "nI",
+            "tuples",
+            "t C-Rep",
+            "t C-Rep-L",
+            "#Recs C-Rep",
+            "#Recs C-Rep-L",
+        ],
     );
 
     for paper_n in [1u64, 2, 3, 4, 5] {

@@ -4,8 +4,7 @@
 //! Paper setup: 1M road MBBs, d ∈ {10, 20, 30, 40}.
 
 use mwsj_bench::{
-    assert_same_results, fmt_repl, fmt_times, measure, print_header, rect_cluster, scale,
-    scaled_n,
+    assert_same_results, fmt_repl, fmt_times, measure, print_header, rect_cluster, scale, scaled_n,
 };
 use mwsj_core::Algorithm;
 use mwsj_datagen::{bernoulli_sample, CaliforniaConfig};
@@ -26,7 +25,14 @@ fn main() {
             "nI={} road MBBs, space [0,{x_extent:.0}]x[0,{y_extent:.0}], 8x8 grid",
             data.len()
         ),
-        &["d", "tuples", "t C-Rep", "t C-Rep-L", "#Recs C-Rep", "#Recs C-Rep-L"],
+        &[
+            "d",
+            "tuples",
+            "t C-Rep",
+            "t C-Rep-L",
+            "#Recs C-Rep",
+            "#Recs C-Rep-L",
+        ],
     );
 
     let rels: [&[_]; 3] = [&data, &data, &data];

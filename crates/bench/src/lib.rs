@@ -12,6 +12,12 @@
 //!
 //! Set the `MWSJ_SCALE` environment variable (default `0.01`) to rescale:
 //! larger values approach the paper's workloads at the cost of runtime.
+//!
+//! Every table binary also accepts fault-injection flags after `--`
+//! (`cargo bench -p mwsj-bench --bench table2 -- --fault-rate 0.05
+//! --fault-seed 7 [--straggler-rate P]`): the whole table then runs under
+//! the given chaos plan, and — because retried task attempts never commit
+//! partial output — prints exactly the same numbers as the fault-free run.
 
 #![forbid(unsafe_code)]
 
@@ -19,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use mwsj_core::{Algorithm, Cluster, ClusterConfig, JoinOutput, RunConfig};
 use mwsj_geom::Rect;
-use mwsj_mapreduce::CostModel;
+use mwsj_mapreduce::{CostModel, EngineConfig, FaultPlan};
 use mwsj_query::Query;
 
 /// The scale factor `s` (fraction of the paper's dataset sizes).
@@ -57,10 +63,49 @@ pub fn densify(rects: &[Rect], factor: f64) -> Vec<Rect> {
         .collect()
 }
 
+/// The fault plan requested on the bench command line (`--fault-rate P`,
+/// `--straggler-rate P`, `--fault-seed N` after `--`), or `None` when no
+/// fault flag was given. Unknown flags are left for the harness.
+#[must_use]
+pub fn fault_plan_from_args() -> Option<FaultPlan> {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |flag: &str| -> Option<f64> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let rate = value_of("--fault-rate");
+    let straggler = value_of("--straggler-rate");
+    let seed = value_of("--fault-seed");
+    if rate.is_none() && straggler.is_none() && seed.is_none() {
+        return None;
+    }
+    Some(FaultPlan::chaos(
+        seed.unwrap_or(0.0) as u64,
+        rate.unwrap_or(0.0),
+        straggler.unwrap_or(0.0),
+    ))
+}
+
+fn engine_config() -> EngineConfig {
+    let mut config = EngineConfig::default();
+    if let Some(plan) = fault_plan_from_args() {
+        eprintln!(
+            "fault injection: rate {}, stragglers {}, seed {}",
+            plan.map_failure_rate, plan.straggler_rate, plan.seed
+        );
+        config.fault_plan = Some(plan);
+    }
+    config
+}
+
 /// A square cluster over `[0, extent]²` with the paper's 8x8 reducer grid.
 #[must_use]
 pub fn paper_cluster(extent: f64) -> Cluster {
-    Cluster::new(ClusterConfig::for_space((0.0, extent), (0.0, extent), 8))
+    Cluster::new(
+        ClusterConfig::for_space((0.0, extent), (0.0, extent), 8).with_engine(engine_config()),
+    )
 }
 
 /// A cluster over an `x_extent x y_extent` space (California experiments).
@@ -72,7 +117,7 @@ pub fn rect_cluster(x_extent: f64, y_extent: f64) -> Cluster {
         grid_cols: 8,
         grid_rows: 8,
         num_reducers: None,
-        engine: mwsj_mapreduce::EngineConfig::default(),
+        engine: engine_config(),
     })
 }
 
@@ -107,7 +152,12 @@ pub fn measure(
 #[must_use]
 pub fn fmt_time(d: Duration) -> String {
     let ms = d.as_millis();
-    format!("{:02}:{:02}.{:03}", ms / 60_000, (ms / 1_000) % 60, ms % 1_000)
+    format!(
+        "{:02}:{:02}.{:03}",
+        ms / 60_000,
+        (ms / 1_000) % 60,
+        ms % 1_000
+    )
 }
 
 /// Extrapolates a scaled run to an estimated full-scale Hadoop time: the
@@ -139,14 +189,23 @@ pub fn extrapolated_model(m: &Measured, s_eff: f64) -> Duration {
 #[must_use]
 pub fn fmt_hhmm(d: Duration) -> String {
     let secs = d.as_secs();
-    format!("{:02}:{:02}:{:02}", secs / 3600, (secs / 60) % 60, secs % 60)
+    format!(
+        "{:02}:{:02}:{:02}",
+        secs / 3600,
+        (secs / 60) % 60,
+        secs % 60
+    )
 }
 
 /// The combined time column: measured wall, plus the full-scale Hadoop
 /// extrapolation in the paper's `hh:mm` format.
 #[must_use]
 pub fn fmt_times(m: &Measured, s_eff: f64) -> String {
-    format!("{} [{}]", fmt_time(m.wall), fmt_hhmm(extrapolated_model(m, s_eff)))
+    format!(
+        "{} [{}]",
+        fmt_time(m.wall),
+        fmt_hhmm(extrapolated_model(m, s_eff))
+    )
 }
 
 /// Formats the paper's "# Recs Replicated (after replication)" column.
@@ -162,7 +221,10 @@ pub fn fmt_repl(m: &Measured) -> String {
 pub fn print_header(table: &str, caption: &str, workload: &str, columns: &[&str]) {
     println!("=== {table}: {caption} ===");
     println!("{workload}");
-    println!("scale s = {} (MWSJ_SCALE; 1.0 = the paper's sizes)", scale());
+    println!(
+        "scale s = {} (MWSJ_SCALE; 1.0 = the paper's sizes)",
+        scale()
+    );
     println!();
     println!("{}", columns.join(" | "));
     let width = columns.join(" | ").len();

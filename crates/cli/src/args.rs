@@ -25,7 +25,10 @@ impl Args {
                 }
                 // `--key=value` or `--key value` or bare flag.
                 if let Some((k, v)) = key.split_once('=') {
-                    args.options.entry(k.to_string()).or_default().push(v.to_string());
+                    args.options
+                        .entry(k.to_string())
+                        .or_default()
+                        .push(v.to_string());
                 } else if iter.peek().is_some_and(|n| !n.starts_with("--")) {
                     let v = iter.next().expect("peeked");
                     args.options.entry(key.to_string()).or_default().push(v);
@@ -57,7 +60,8 @@ impl Args {
 
     /// A required `--key value`.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key)?.ok_or_else(|| format!("missing required --{key}"))
+        self.get(key)?
+            .ok_or_else(|| format!("missing required --{key}"))
     }
 
     /// Whether a bare `--flag` was passed.
@@ -80,7 +84,12 @@ impl Args {
 
     /// Rejects unknown options/flags (catches typos).
     pub fn check_known(&self, known: &[&str]) -> Result<(), String> {
-        for k in self.options.keys().map(String::as_str).chain(self.flags.iter().map(String::as_str)) {
+        for k in self
+            .options
+            .keys()
+            .map(String::as_str)
+            .chain(self.flags.iter().map(String::as_str))
+        {
             if !known.contains(&k) {
                 return Err(format!("unknown option --{k}"));
             }

@@ -19,6 +19,7 @@ mod data;
 use std::process::ExitCode;
 
 use args::Args;
+use mwsj_core::mapreduce::{EngineConfig, FaultPlan};
 use mwsj_core::{planner, Algorithm, Cluster, ClusterConfig, RunConfig};
 use mwsj_datagen::CaliforniaStats;
 use mwsj_query::Query;
@@ -75,7 +76,31 @@ RUN OPTIONS
   --count-only    count result tuples without materializing them
   --plan          reorder the cascade's joins by sampled selectivity
   --out FILE      write result tuples as CSV ids
+
+FAULT INJECTION  (run and ann; results are identical to fault-free runs)
+  --fault-rate P      fail each task attempt and DFS read with probability P
+  --straggler-rate P  delay attempts with probability P, racing speculative copies
+  --fault-seed N      seed for the deterministic fault decisions (default 0)
 ";
+
+/// Builds the engine config from the `--fault-*` flags; no flags means a
+/// fault-free engine.
+fn parse_engine_config(args: &Args) -> Result<EngineConfig, String> {
+    let rate: f64 = args.get_parsed_or("fault-rate", 0.0)?;
+    let straggler: f64 = args.get_parsed_or("straggler-rate", 0.0)?;
+    let seed: u64 = args.get_parsed_or("fault-seed", 0u64)?;
+    for (name, p) in [("fault-rate", rate), ("straggler-rate", straggler)] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("--{name} must be a probability in [0, 1], got {p}"));
+        }
+    }
+    let mut config = EngineConfig::default();
+    if rate > 0.0 || straggler > 0.0 || args.get("fault-seed")?.is_some() {
+        config.fault_plan = Some(FaultPlan::chaos(seed, rate, straggler));
+        eprintln!("faults    : rate {rate}, stragglers {straggler}, seed {seed}");
+    }
+    Ok(config)
+}
 
 fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
     Ok(match name {
@@ -88,7 +113,18 @@ fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
-    args.check_known(&["query", "data", "algorithm", "grid", "count-only", "plan", "out"])?;
+    args.check_known(&[
+        "query",
+        "data",
+        "algorithm",
+        "grid",
+        "count-only",
+        "plan",
+        "out",
+        "fault-rate",
+        "straggler-rate",
+        "fault-seed",
+    ])?;
     let query_text = args.require("query")?;
     let mut query = Query::parse(query_text).map_err(|e| format!("query: {e}"))?;
     let algorithm = parse_algorithm(args.get("algorithm")?.unwrap_or("crep-l"))?;
@@ -117,7 +153,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         grid_cols: grid,
         grid_rows: grid,
         num_reducers: None,
-        engine: Default::default(),
+        engine: parse_engine_config(args)?,
     });
 
     if args.flag("plan") {
@@ -129,7 +165,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         count_only: args.flag("count-only"),
     };
     let t0 = std::time::Instant::now();
-    let output = cluster.run_with(&query, &datasets, algorithm, config);
+    let output = cluster
+        .try_run_with(&query, &datasets, algorithm, config)
+        .map_err(|e| format!("join failed: {e}"))?;
     let wall = t0.elapsed();
 
     eprintln!("query     : {query}");
@@ -148,6 +186,16 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             "job {:<22}: {:>9} kv pairs, {:>11} shuffle bytes",
             job.job_name, job.map_output_records, job.shuffle_bytes
         );
+        if job.retries > 0 || job.speculative_launched > 0 {
+            eprintln!(
+                "    faults: {} map + {} reduce attempt failures, {} retries, {} speculative ({} won)",
+                job.map_task_failures,
+                job.reduce_task_failures,
+                job.retries,
+                job.speculative_launched,
+                job.speculative_won
+            );
+        }
     }
     eprintln!("wall      : {wall:?}");
 
@@ -178,7 +226,16 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_ann(args: &Args) -> Result<(), String> {
-    args.check_known(&["outer", "inner", "grid", "out", "k"])?;
+    args.check_known(&[
+        "outer",
+        "inner",
+        "grid",
+        "out",
+        "k",
+        "fault-rate",
+        "straggler-rate",
+        "fault-seed",
+    ])?;
     let outer = data::load_source(args.require("outer")?)?;
     let inner = data::load_source(args.require("inner")?)?;
     let grid: u32 = args.get_parsed_or("grid", 8u32)?;
@@ -190,7 +247,7 @@ fn cmd_ann(args: &Args) -> Result<(), String> {
         grid_cols: grid,
         grid_rows: grid,
         num_reducers: None,
-        engine: Default::default(),
+        engine: parse_engine_config(args)?,
     });
     let t0 = std::time::Instant::now();
     let result: Vec<mwsj_core::ann::NearestNeighbor> = if k == 1 {
@@ -218,10 +275,16 @@ fn cmd_ann(args: &Args) -> Result<(), String> {
         }
     } else {
         for nn in result.iter().take(10) {
-            println!("outer {} -> inner {} (distance {:.3})", nn.outer, nn.inner, nn.distance);
+            println!(
+                "outer {} -> inner {} (distance {:.3})",
+                nn.outer, nn.inner, nn.distance
+            );
         }
         if result.len() > 10 {
-            println!("... and {} more (use --out FILE for all)", result.len() - 10);
+            println!(
+                "... and {} more (use --out FILE for all)",
+                result.len() - 10
+            );
         }
     }
     Ok(())
@@ -238,8 +301,14 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     let ((x0, x1), (y0, y1)) = data::bounding_space(&[&rects]);
     println!("rectangles          : {}", rects.len());
     println!("extent              : [{x0:.1}, {x1:.1}] x [{y0:.1}, {y1:.1}]");
-    println!("mean length/breadth : {:.2} / {:.2}", s.mean_length, s.mean_breadth);
-    println!("max length/breadth  : {:.2} / {:.2}", s.max_length, s.max_breadth);
+    println!(
+        "mean length/breadth : {:.2} / {:.2}",
+        s.mean_length, s.mean_breadth
+    );
+    println!(
+        "max length/breadth  : {:.2} / {:.2}",
+        s.max_length, s.max_breadth
+    );
     println!("min side            : {:.2}", s.min_side);
     println!(
         "both sides < 100    : {:.2}%   < 1000: {:.2}%",

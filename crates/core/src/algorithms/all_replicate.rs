@@ -16,11 +16,9 @@ use mwsj_mapreduce::Engine;
 use mwsj_partition::{CellId, Grid};
 use mwsj_query::Query;
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use super::{flatten_input, is_designated_cell, normalize_tuples, tuple_ids};
+use super::{count_record, finish_tuples, flatten_input, is_designated_cell, tuple_ids};
 use crate::record::group_by_relation;
-use crate::{JoinOutput, ReplicationStats, RunConfig};
+use crate::{JoinError, JoinOutput, ReplicationStats, RunConfig};
 
 pub(crate) fn run(
     engine: &Engine,
@@ -29,13 +27,12 @@ pub(crate) fn run(
     query: &Query,
     relations: &[&[mwsj_geom::Rect]],
     config: RunConfig,
-) -> JoinOutput {
+) -> Result<JoinOutput, JoinError> {
     let input = flatten_input(relations);
     let n = query.num_relations();
     let partitions = num_reducers as usize;
 
-    let found = AtomicU64::new(0);
-    let tuples: Vec<Vec<u32>> = engine.run_job(
+    let raw: Vec<Vec<u32>> = engine.try_run_job(
         "all-replicate",
         &input,
         partitions,
@@ -54,26 +51,31 @@ pub(crate) fn run(
             // shows it does not pay off under 4th-quadrant delivery, and
             // using it would give our reducers a shortcut the paper's
             // evaluation does not have.)
+            let mut found = 0u64;
             multiway::multiway_join(query, &rels, |tuple| {
                 if is_designated_cell(grid, CellId(cell), tuple) {
-                    found.fetch_add(1, Ordering::Relaxed);
+                    found += 1;
                     if !config.count_only {
                         out(tuple_ids(tuple));
                     }
                 }
             });
+            if config.count_only && found > 0 {
+                out(count_record(found));
+            }
         },
-    );
+    )?;
 
     let report = engine.report();
     let stats = ReplicationStats {
         rectangles_replicated: input.len() as u64,
         rectangles_after_replication: report.jobs[0].map_output_records,
     };
-    JoinOutput {
-        tuples: normalize_tuples(tuples),
-        tuple_count: found.load(Ordering::Relaxed),
+    let (tuples, tuple_count) = finish_tuples(raw, config.count_only);
+    Ok(JoinOutput {
+        tuples,
+        tuple_count,
         stats,
         report,
-    }
+    })
 }

@@ -16,8 +16,6 @@
 //! applied as a filter over the intermediate result instead of a join —
 //! Hadoop would fold that predicate into the following job's reducer.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use mwsj_geom::Rect;
 use mwsj_mapreduce::{Engine, RecordSize};
 use mwsj_partition::{CellId, Grid};
@@ -25,7 +23,7 @@ use mwsj_query::{Predicate, Query, RelationId, Triple};
 use mwsj_rtree::RTree;
 
 use super::normalize_tuples;
-use crate::{JoinOutput, ReplicationStats, RunConfig, TaggedRect};
+use crate::{JoinError, JoinOutput, ReplicationStats, RunConfig, TaggedRect};
 
 /// A partially-joined tuple: one optional `(id, rect)` slot per relation
 /// position.
@@ -50,10 +48,7 @@ impl Partial {
 impl RecordSize for Partial {
     fn size_bytes(&self) -> usize {
         // One presence byte per slot; bound slots carry id + 4 corners.
-        self.slots
-            .iter()
-            .map(|s| 1 + s.map_or(0, |_| 4 + 32))
-            .sum()
+        self.slots.iter().map(|s| 1 + s.map_or(0, |_| 4 + 32)).sum()
     }
 }
 
@@ -74,6 +69,16 @@ impl RecordSize for Side {
     }
 }
 
+/// One output record of a cascade stage. In count-only mode the final
+/// stage emits per-reducer [`StageOut::Count`] records instead of bound
+/// tuples: the count travels through the engine's task-commit protocol, so
+/// retried or speculative attempts (whose output is discarded) cannot
+/// double-count — a shared counter bumped from the reduce closure would.
+enum StageOut {
+    Tuple(Partial),
+    Count(u64),
+}
+
 pub(crate) fn run(
     engine: &Engine,
     grid: &Grid,
@@ -81,7 +86,7 @@ pub(crate) fn run(
     query: &Query,
     relations: &[&[Rect]],
     config: RunConfig,
-) -> JoinOutput {
+) -> Result<JoinOutput, JoinError> {
     let n = query.num_relations();
     let mut bound = vec![false; n];
     let mut remaining: Vec<Triple> = query.triples().to_vec();
@@ -108,21 +113,47 @@ pub(crate) fn run(
         let (l, r) = (triple.left, triple.right);
         let last_stage = remaining.is_empty();
         let counting = config.count_only && last_stage;
-        let counter = AtomicU64::new(0);
 
-        intermediate = match (bound[l.index()], bound[r.index()]) {
+        let (result, count) = match (bound[l.index()], bound[r.index()]) {
             (false, false) => {
                 debug_assert_eq!(stage, 0);
-                base_base_join(engine, grid, num_reducers, relations, n, triple, stage, counting, &counter)
+                base_base_join(
+                    engine,
+                    grid,
+                    num_reducers,
+                    relations,
+                    n,
+                    triple,
+                    stage,
+                    counting,
+                )?
             }
             (true, false) => stage_join(
-                engine, grid, num_reducers, relations, triple, l, r, false, &intermediate,
-                stage, counting, &counter,
-            ),
+                engine,
+                grid,
+                num_reducers,
+                relations,
+                triple,
+                l,
+                r,
+                false,
+                &intermediate,
+                stage,
+                counting,
+            )?,
             (false, true) => stage_join(
-                engine, grid, num_reducers, relations, triple, r, l, true, &intermediate,
-                stage, counting, &counter,
-            ),
+                engine,
+                grid,
+                num_reducers,
+                relations,
+                triple,
+                r,
+                l,
+                true,
+                &intermediate,
+                stage,
+                counting,
+            )?,
             (true, true) => {
                 // Cycle-closing predicate: filter in place.
                 let kept: Vec<Partial> = intermediate
@@ -133,16 +164,13 @@ pub(crate) fn run(
                             .eval(&p.rect(l.index()), &p.rect(r.index()))
                     })
                     .collect();
-                counter.fetch_add(kept.len() as u64, Ordering::Relaxed);
-                if counting {
-                    Vec::new()
-                } else {
-                    kept
-                }
+                let c = kept.len() as u64;
+                (if counting { Vec::new() } else { kept }, c)
             }
         };
+        intermediate = result;
         if counting {
-            counted_final = Some(counter.load(Ordering::Relaxed));
+            counted_final = Some(count);
         }
         bound[l.index()] = true;
         bound[r.index()] = true;
@@ -152,12 +180,7 @@ pub(crate) fn run(
         if !remaining.is_empty() {
             let name = format!("cascade/stage-{stage}");
             engine.dfs.write(&name, intermediate.clone());
-            intermediate = engine
-                .dfs
-                .read::<Partial>(&name)
-                .expect("just written")
-                .as_ref()
-                .clone();
+            intermediate = engine.dfs.read::<Partial>(&name)?.as_ref().clone();
         }
         stage += 1;
     }
@@ -173,14 +196,14 @@ pub(crate) fn run(
         .collect();
     let tuple_count = counted_final.unwrap_or(tuples.len() as u64);
 
-    JoinOutput {
+    Ok(JoinOutput {
         tuples: normalize_tuples(tuples),
         tuple_count,
         // The cascade never replicates; its cost lives in the DFS and
         // shuffle counters of the report.
         stats: ReplicationStats::default(),
         report: engine.report(),
-    }
+    })
 }
 
 /// Stage 0: join two base relations (§5.2/§5.3). The left side is routed
@@ -195,8 +218,7 @@ fn base_base_join(
     triple: Triple,
     stage: usize,
     counting: bool,
-    counter: &AtomicU64,
-) -> Vec<Partial> {
+) -> Result<(Vec<Partial>, u64), JoinError> {
     let (l, r) = (triple.left, triple.right);
     let mut input: Vec<Side> = Vec::new();
     for (id, rect) in relations[l.index()].iter().enumerate() {
@@ -224,7 +246,6 @@ fn base_base_join(
         },
         r,
         counting,
-        counter,
     )
 }
 
@@ -243,8 +264,7 @@ fn stage_join(
     intermediate: &[Partial],
     stage: usize,
     counting: bool,
-    counter: &AtomicU64,
-) -> Vec<Partial> {
+) -> Result<(Vec<Partial>, u64), JoinError> {
     let mut input: Vec<Side> = intermediate
         .iter()
         .map(|p| Side::Tuple(p.clone()))
@@ -264,7 +284,6 @@ fn stage_join(
         |tr| panic!("unexpected base record for anchor relation {tr:?}"),
         new_pos,
         counting,
-        counter,
     )
 }
 
@@ -285,11 +304,10 @@ fn run_pair_job(
     lift: impl Fn(&TaggedRect) -> Partial + Sync,
     new_pos: RelationId,
     counting: bool,
-    counter: &AtomicU64,
-) -> Vec<Partial> {
+) -> Result<(Vec<Partial>, u64), JoinError> {
     let d = predicate.distance();
     let extent = grid.extent();
-    engine.run_job(
+    let outputs: Vec<StageOut> = engine.try_run_job(
         name,
         input,
         num_reducers as usize,
@@ -336,6 +354,7 @@ fn run_pair_job(
                 return;
             }
             let tree = RTree::bulk_load(base);
+            let mut found = 0u64;
             for p in &tuples {
                 let anchor = p.rect(anchor_pos.index());
                 tree.query_within(&anchor, d, |rect, &id| {
@@ -347,17 +366,33 @@ fn run_pair_job(
                     }
                     // Designated cell (§5.3): the start of the overlap
                     // between the enlarged anchor and the partner.
-                    let designated =
-                        mwsj_local::dedup::range_pair_cell(grid, &anchor, rect, d)
-                            .expect("within distance implies enlarged overlap");
+                    let designated = mwsj_local::dedup::range_pair_cell(grid, &anchor, rect, d)
+                        .expect("within distance implies enlarged overlap");
                     if designated == CellId(cell) {
-                        counter.fetch_add(1, Ordering::Relaxed);
-                        if !counting {
-                            out(p.bind(new_pos.index(), id, *rect));
+                        if counting {
+                            found += 1;
+                        } else {
+                            out(StageOut::Tuple(p.bind(new_pos.index(), id, *rect)));
                         }
                     }
                 });
             }
+            if found > 0 {
+                out(StageOut::Count(found));
+            }
         },
-    )
+    )?;
+
+    let mut partials = Vec::with_capacity(outputs.len());
+    let mut count = 0u64;
+    for o in outputs {
+        match o {
+            StageOut::Tuple(p) => {
+                count += 1;
+                partials.push(p);
+            }
+            StageOut::Count(c) => count += c,
+        }
+    }
+    Ok((partials, count))
 }

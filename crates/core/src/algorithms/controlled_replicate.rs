@@ -45,11 +45,11 @@ use mwsj_mapreduce::Engine;
 use mwsj_partition::{CellId, Grid};
 use mwsj_query::{replication_bounds, Query};
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use super::{flatten_input, is_designated_cell, max_diagonal, normalize_tuples, tuple_ids};
+use super::{
+    count_record, finish_tuples, flatten_input, is_designated_cell, max_diagonal, tuple_ids,
+};
 use crate::record::group_by_relation;
-use crate::{JoinOutput, ReplicationStats, RunConfig, TaggedRect};
+use crate::{JoinError, JoinOutput, ReplicationStats, RunConfig, TaggedRect};
 
 #[allow(clippy::too_many_lines)]
 #[allow(clippy::too_many_arguments)]
@@ -61,13 +61,13 @@ pub(crate) fn run(
     relations: &[&[Rect]],
     limit: bool,
     config: RunConfig,
-) -> JoinOutput {
+) -> Result<JoinOutput, JoinError> {
     let input = flatten_input(relations);
     let n = query.num_relations();
     let partitions = num_reducers as usize;
 
     // ---- Round 1: split everything, mark per cell --------------------
-    let round1: Vec<(TaggedRect, bool)> = engine.run_job(
+    let round1: Vec<(TaggedRect, bool)> = engine.try_run_job(
         "c-rep-round1-mark",
         &input,
         partitions,
@@ -92,15 +92,18 @@ pub(crate) fn run(
                 }
             }
         },
+    )?;
+    debug_assert_eq!(
+        round1.len(),
+        input.len(),
+        "round 1 re-emits each rectangle once"
     );
-    debug_assert_eq!(round1.len(), input.len(), "round 1 re-emits each rectangle once");
 
-    // Materialize the flagged stream between jobs, as Hadoop does.
+    // Materialize the flagged stream between jobs, as Hadoop does. Under
+    // fault injection the read-back may hit transient failures; exhausted
+    // retries surface as a `JoinError::Dfs`.
     engine.dfs.write("c-rep/marked", round1);
-    let round1 = engine
-        .dfs
-        .read::<(TaggedRect, bool)>("c-rep/marked")
-        .expect("just written");
+    let round1 = engine.dfs.read::<(TaggedRect, bool)>("c-rep/marked")?;
 
     let marked_count = round1.iter().filter(|(_, m)| *m).count() as u64;
     let unmarked_count = round1.len() as u64 - marked_count;
@@ -116,17 +119,18 @@ pub(crate) fn run(
     });
 
     // ---- Round 2: replicate marked / project unmarked, join ----------
-    let found = AtomicU64::new(0);
-    let tuples: Vec<Vec<u32>> = engine.run_job(
-        if limit { "c-rep-l-round2-join" } else { "c-rep-round2-join" },
+    let raw: Vec<Vec<u32>> = engine.try_run_job(
+        if limit {
+            "c-rep-l-round2-join"
+        } else {
+            "c-rep-round2-join"
+        },
         &round1,
         partitions,
         |(tr, marked), emit| {
             let targets = if *marked {
                 match &bounds {
-                    Some(b) => {
-                        grid.fourth_quadrant_cells_within(&tr.rect, b[tr.relation.index()])
-                    }
+                    Some(b) => grid.fourth_quadrant_cells_within(&tr.rect, b[tr.relation.index()]),
                     None => grid.fourth_quadrant_cells(&tr.rect),
                 }
             } else {
@@ -141,16 +145,20 @@ pub(crate) fn run(
             let rels = group_by_relation(n, values);
             // Faithful enumerate-then-filter, as in All-Replicate's reducer
             // (see the comment there and the `ablation_pruning` bench).
+            let mut found = 0u64;
             multiway::multiway_join(query, &rels, |tuple| {
                 if is_designated_cell(grid, CellId(cell), tuple) {
-                    found.fetch_add(1, Ordering::Relaxed);
+                    found += 1;
                     if !config.count_only {
                         out(tuple_ids(tuple));
                     }
                 }
             });
+            if config.count_only && found > 0 {
+                out(count_record(found));
+            }
         },
-    );
+    )?;
 
     let report = engine.report();
     // Round 2 emits one pair per replication target for marked rectangles
@@ -160,10 +168,11 @@ pub(crate) fn run(
         rectangles_replicated: marked_count,
         rectangles_after_replication: after_replication,
     };
-    JoinOutput {
-        tuples: normalize_tuples(tuples),
-        tuple_count: found.load(Ordering::Relaxed),
+    let (tuples, tuple_count) = finish_tuples(raw, config.count_only);
+    Ok(JoinOutput {
+        tuples,
+        tuple_count,
         stats,
         report,
-    }
+    })
 }

@@ -93,6 +93,41 @@ pub(crate) fn tuple_ids(tuple: &[mwsj_local::LocalRect]) -> Vec<u32> {
     tuple.iter().map(|&(_, id)| id).collect()
 }
 
+/// Encodes a per-reducer output-tuple count as a job output record.
+///
+/// In count-only mode the reducers do not materialize tuples, but the
+/// count must still travel through the engine's task-commit protocol:
+/// anything tallied in shared state outside of it (e.g. an `AtomicU64`
+/// bumped from the reduce closure) is double-counted by retried or
+/// speculative task attempts whose output the engine discards. A count
+/// record is attempt-local like any other output, so it commits exactly
+/// once per task no matter how many attempts ran.
+pub(crate) fn count_record(count: u64) -> Vec<u32> {
+    vec![(count >> 32) as u32, count as u32]
+}
+
+/// Sums the [`count_record`]s committed by a count-only job.
+pub(crate) fn sum_count_records(records: &[Vec<u32>]) -> u64 {
+    records
+        .iter()
+        .map(|r| (u64::from(r[0]) << 32) | u64::from(r[1]))
+        .sum()
+}
+
+/// Turns raw job output into the `(tuples, tuple_count)` pair of a
+/// [`crate::JoinOutput`]: decodes [`count_record`]s in count-only mode,
+/// normalizes real tuples otherwise. Both derive the count from
+/// *committed* output, never from side effects of reduce attempts.
+pub(crate) fn finish_tuples(raw: Vec<Vec<u32>>, count_only: bool) -> (Vec<Vec<u32>>, u64) {
+    if count_only {
+        (Vec::new(), sum_count_records(&raw))
+    } else {
+        let tuples = normalize_tuples(raw);
+        let count = tuples.len() as u64;
+        (tuples, count)
+    }
+}
+
 /// The largest rectangle diagonal across all inputs — the `d_max` dataset
 /// statistic the C-Rep-L bounds assume known (§7.9).
 pub(crate) fn max_diagonal(relations: &[&[Rect]]) -> f64 {
@@ -110,10 +145,7 @@ mod tests {
     #[test]
     fn flatten_tags_positions_and_ids() {
         let a = vec![Rect::new(0.0, 1.0, 1.0, 1.0)];
-        let b = vec![
-            Rect::new(2.0, 1.0, 1.0, 1.0),
-            Rect::new(3.0, 1.0, 1.0, 1.0),
-        ];
+        let b = vec![Rect::new(2.0, 1.0, 1.0, 1.0), Rect::new(3.0, 1.0, 1.0, 1.0)];
         let flat = flatten_input(&[&a, &b]);
         assert_eq!(flat.len(), 3);
         assert_eq!(flat[0].relation, RelationId(0));

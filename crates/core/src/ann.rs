@@ -55,7 +55,10 @@ pub fn ann_join(cluster: &Cluster, outer: &[Rect], inner: &[Rect]) -> Vec<Neares
     let engine = cluster.engine();
     let extent = grid.extent();
     for r in outer.iter().chain(inner) {
-        assert!(extent.contains_rect(r), "rectangle outside the cluster space");
+        assert!(
+            extent.contains_rect(r),
+            "rectangle outside the cluster space"
+        );
     }
     if inner.is_empty() || outer.is_empty() {
         return Vec::new();
@@ -66,8 +69,18 @@ pub fn ann_join(cluster: &Cluster, outer: &[Rect], inner: &[Rect]) -> Vec<Neares
     let diag = extent.diagonal();
 
     let mut input: Vec<Record> = Vec::with_capacity(outer.len() + inner.len());
-    input.extend(outer.iter().enumerate().map(|(i, r)| Record::Outer(i as u32, *r)));
-    input.extend(inner.iter().enumerate().map(|(i, r)| Record::Inner(i as u32, *r)));
+    input.extend(
+        outer
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Record::Outer(i as u32, *r)),
+    );
+    input.extend(
+        inner
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Record::Inner(i as u32, *r)),
+    );
 
     // ---- Round 1: local candidate bounds ------------------------------
     let bounds: Vec<(u32, Coord)> = engine.run_job(
@@ -240,7 +253,10 @@ pub fn knn_join(
     let engine = cluster.engine();
     let extent = grid.extent();
     for r in outer.iter().chain(inner) {
-        assert!(extent.contains_rect(r), "rectangle outside the cluster space");
+        assert!(
+            extent.contains_rect(r),
+            "rectangle outside the cluster space"
+        );
     }
     if inner.is_empty() || outer.is_empty() {
         return vec![Vec::new(); outer.len()];
@@ -249,8 +265,18 @@ pub fn knn_join(
     let diag = extent.diagonal();
 
     let mut input: Vec<Record> = Vec::with_capacity(outer.len() + inner.len());
-    input.extend(outer.iter().enumerate().map(|(i, r)| Record::Outer(i as u32, *r)));
-    input.extend(inner.iter().enumerate().map(|(i, r)| Record::Inner(i as u32, *r)));
+    input.extend(
+        outer
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Record::Outer(i as u32, *r)),
+    );
+    input.extend(
+        inner
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Record::Inner(i as u32, *r)),
+    );
 
     // ---- Round 1: k-th-neighbor candidate bounds ----------------------
     let bounds: Vec<(u32, Coord)> = engine.run_job(

@@ -4,7 +4,7 @@ use mwsj_partition::Grid;
 use mwsj_query::Query;
 
 use crate::algorithms::{self, Algorithm};
-use crate::{JoinOutput, RunConfig};
+use crate::{JoinError, JoinOutput, RunConfig};
 
 /// Cluster configuration: the partitioned space, the reducer grid and the
 /// engine parallelism.
@@ -123,7 +123,8 @@ impl Cluster {
     ///
     /// # Panics
     /// Panics if the number of datasets does not match the query's relation
-    /// positions, or a rectangle lies outside the configured space.
+    /// positions, a rectangle lies outside the configured space, or — under
+    /// a fault plan — a job fails outright (see [`Cluster::try_run_with`]).
     #[must_use]
     pub fn run(&self, query: &Query, relations: &[&[Rect]], algorithm: Algorithm) -> JoinOutput {
         self.run_with(query, relations, algorithm, RunConfig::default())
@@ -134,6 +135,8 @@ impl Cluster {
     /// materialized — the mode the benchmark tables use, since the paper's
     /// heavier workloads produce outputs far larger than memory while the
     /// tables only report times and replication counts.
+    /// # Panics
+    /// See [`Cluster::run`].
     #[must_use]
     pub fn run_with(
         &self,
@@ -142,6 +145,29 @@ impl Cluster {
         algorithm: Algorithm,
         config: RunConfig,
     ) -> JoinOutput {
+        self.try_run_with(query, relations, algorithm, config)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Cluster::run_with`], surfacing failed jobs as a
+    /// [`JoinError`] instead of panicking: a task that exhausts its
+    /// attempt budget under a fault plan (or an intermediate dataset
+    /// whose DFS read retries run out) fails the join, not the process.
+    ///
+    /// # Errors
+    /// [`JoinError::Job`] when a map-reduce job fails;
+    /// [`JoinError::Dfs`] when an intermediate dataset stays unreadable.
+    ///
+    /// # Panics
+    /// Panics on the *caller* errors of [`Cluster::run`]: dataset count
+    /// not matching the query, or rectangles outside the space.
+    pub fn try_run_with(
+        &self,
+        query: &Query,
+        relations: &[&[Rect]],
+        algorithm: Algorithm,
+        config: RunConfig,
+    ) -> Result<JoinOutput, JoinError> {
         assert_eq!(
             relations.len(),
             query.num_relations(),

@@ -1,0 +1,49 @@
+use mwsj_mapreduce::{DfsError, JobError};
+
+/// A distributed join run that failed.
+///
+/// The join algorithms drive the engine through its fallible
+/// [`try_run_job`](mwsj_mapreduce::Engine::try_run_job) path, so a task
+/// exhausting its attempt budget (or a DFS dataset staying unreadable
+/// between rounds) surfaces here instead of aborting the process.
+/// [`Cluster::run`](crate::Cluster::run) panics on these;
+/// [`Cluster::try_run_with`](crate::Cluster::try_run_with) returns them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinError {
+    /// A map-reduce job failed: the error names the job, phase, task and
+    /// attempt count.
+    Job(JobError),
+    /// An intermediate dataset could not be read back from the DFS between
+    /// rounds.
+    Dfs(DfsError),
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::Job(e) => e.fmt(f),
+            JoinError::Dfs(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JoinError::Job(e) => Some(e),
+            JoinError::Dfs(e) => Some(e),
+        }
+    }
+}
+
+impl From<JobError> for JoinError {
+    fn from(e: JobError) -> Self {
+        JoinError::Job(e)
+    }
+}
+
+impl From<DfsError> for JoinError {
+    fn from(e: DfsError) -> Self {
+        JoinError::Dfs(e)
+    }
+}

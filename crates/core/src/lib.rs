@@ -40,15 +40,17 @@
 pub mod algorithms;
 pub mod ann;
 mod cluster;
+mod error;
 pub mod planner;
 mod record;
 pub mod reference;
-mod run_config;
 pub mod refine;
 mod result;
+mod run_config;
 
 pub use algorithms::Algorithm;
 pub use cluster::{Cluster, ClusterConfig};
+pub use error::JoinError;
 pub use record::TaggedRect;
 pub use result::{JoinOutput, ReplicationStats};
 pub use run_config::RunConfig;

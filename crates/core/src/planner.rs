@@ -153,7 +153,11 @@ fn order_greedily(
                             // A filter can only shrink the intermediate.
                             0.0
                         } else {
-                            let new = if bound[t.left.index()] { t.right } else { t.left };
+                            let new = if bound[t.left.index()] {
+                                t.right
+                            } else {
+                                t.left
+                            };
                             selectivity(t) * relations[new.index()].len() as f64
                         }
                     };
@@ -178,7 +182,9 @@ fn order_greedily(
     for t in &ordered {
         builder = builder.condition(t.predicate, query.name(t.left), query.name(t.right));
     }
-    builder.build().expect("reordering a valid query keeps it valid")
+    builder
+        .build()
+        .expect("reordering a valid query keeps it valid")
 }
 
 #[cfg(test)]
@@ -193,7 +199,12 @@ mod tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1000.0 - side);
                 let y = rng.random_range(side..1000.0);
-                Rect::new(x, y, rng.random_range(0.0..side), rng.random_range(0.0..side))
+                Rect::new(
+                    x,
+                    y,
+                    rng.random_range(0.0..side),
+                    rng.random_range(0.0..side),
+                )
             })
             .collect()
     }

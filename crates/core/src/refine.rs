@@ -39,9 +39,7 @@ pub fn refine_tuples(
                     // boundaries do not properly cross; vertex containment
                     // plus mutual intersection already implies that here,
                     // so check all vertices).
-                    Predicate::Contains => {
-                        b.vertices().iter().all(|v| a.contains_point(v))
-                    }
+                    Predicate::Contains => b.vertices().iter().all(|v| a.contains_point(v)),
                 }
             })
         })

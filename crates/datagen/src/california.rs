@@ -233,9 +233,8 @@ impl CaliforniaStats {
             .fold(Coord::INFINITY, Coord::min);
         let max_length = data.iter().map(Rect::l).fold(0.0, Coord::max);
         let max_breadth = data.iter().map(Rect::b).fold(0.0, Coord::max);
-        let both_under = |cap: Coord| {
-            data.iter().filter(|r| r.l() < cap && r.b() < cap).count() as f64 / n
-        };
+        let both_under =
+            |cap: Coord| data.iter().filter(|r| r.l() < cap && r.b() < cap).count() as f64 / n;
         Self {
             mean_length,
             mean_breadth,

@@ -53,7 +53,14 @@ pub fn write_rects<W: Write>(mut w: W, rects: &[Rect]) -> Result<(), IoError> {
     writeln!(w, "# x,y,l,b ({} rectangles)", rects.len())?;
     for r in rects {
         // 17 significant digits round-trip any f64.
-        writeln!(w, "{:.17e},{:.17e},{:.17e},{:.17e}", r.x(), r.y(), r.l(), r.b())?;
+        writeln!(
+            w,
+            "{:.17e},{:.17e},{:.17e},{:.17e}",
+            r.x(),
+            r.y(),
+            r.l(),
+            r.b()
+        )?;
     }
     Ok(())
 }

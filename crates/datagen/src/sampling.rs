@@ -56,7 +56,10 @@ mod tests {
     #[test]
     fn sample_deterministic() {
         let data = rects();
-        assert_eq!(bernoulli_sample(&data, 0.3, 1), bernoulli_sample(&data, 0.3, 1));
+        assert_eq!(
+            bernoulli_sample(&data, 0.3, 1),
+            bernoulli_sample(&data, 0.3, 1)
+        );
     }
 
     #[test]
@@ -76,7 +79,10 @@ mod tests {
             assert!(space.contains_rect(e));
             assert!(e.l() <= orig.l() * 2.0 + 1e-9);
             // Interior rectangles double exactly.
-            if orig.min_x() > 10.0 && orig.max_x() < 990.0 && orig.min_y() > 10.0 && orig.max_y() < 990.0
+            if orig.min_x() > 10.0
+                && orig.max_x() < 990.0
+                && orig.min_y() > 10.0
+                && orig.max_y() < 990.0
             {
                 assert!((e.l() - 8.0).abs() < 1e-9);
                 assert!((e.b() - 8.0).abs() < 1e-9);

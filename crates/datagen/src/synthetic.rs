@@ -59,9 +59,9 @@ impl Distribution {
 
     fn make_centers(&self, rng: &mut StdRng, lo: Coord, hi: Coord) -> Vec<Coord> {
         match *self {
-            Distribution::Clustered { clusters, .. } => (0..clusters)
-                .map(|_| rng.random_range(lo..hi))
-                .collect(),
+            Distribution::Clustered { clusters, .. } => {
+                (0..clusters).map(|_| rng.random_range(lo..hi)).collect()
+            }
             _ => Vec::new(),
         }
     }
@@ -133,10 +133,18 @@ impl SyntheticConfig {
     #[must_use]
     pub fn generate(&self) -> Vec<Rect> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let x_centers = self.dx.make_centers(&mut rng, self.x_range.0, self.x_range.1);
-        let y_centers = self.dy.make_centers(&mut rng, self.y_range.0, self.y_range.1);
-        let l_centers = self.dl.make_centers(&mut rng, self.l_range.0, self.l_range.1);
-        let b_centers = self.db.make_centers(&mut rng, self.b_range.0, self.b_range.1);
+        let x_centers = self
+            .dx
+            .make_centers(&mut rng, self.x_range.0, self.x_range.1);
+        let y_centers = self
+            .dy
+            .make_centers(&mut rng, self.y_range.0, self.y_range.1);
+        let l_centers = self
+            .dl
+            .make_centers(&mut rng, self.l_range.0, self.l_range.1);
+        let b_centers = self
+            .db
+            .make_centers(&mut rng, self.b_range.0, self.b_range.1);
         (0..self.n)
             .map(|_| {
                 let x = self

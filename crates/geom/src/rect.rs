@@ -34,7 +34,12 @@ impl Rect {
     #[must_use]
     pub fn new(x: Coord, y: Coord, l: Coord, b: Coord) -> Self {
         assert!(
-            l >= 0.0 && b >= 0.0 && l.is_finite() && b.is_finite() && x.is_finite() && y.is_finite(),
+            l >= 0.0
+                && b >= 0.0
+                && l.is_finite()
+                && b.is_finite()
+                && x.is_finite()
+                && y.is_finite(),
             "invalid rectangle ({x}, {y}, {l}, {b})"
         );
         Self {

@@ -44,7 +44,10 @@ pub fn range_pair_cell(grid: &Grid, a: &Rect, b: &Rect, d: Coord) -> Option<Cell
 #[must_use]
 pub fn multiway_tuple_cell(grid: &Grid, tuple: &[Rect]) -> CellId {
     assert!(!tuple.is_empty());
-    let xr = tuple.iter().map(Rect::x).fold(Coord::NEG_INFINITY, Coord::max);
+    let xr = tuple
+        .iter()
+        .map(Rect::x)
+        .fold(Coord::NEG_INFINITY, Coord::max);
     let yl = tuple.iter().map(Rect::y).fold(Coord::INFINITY, Coord::min);
     grid.cell_of_point(&Point::new(xr, yl))
 }

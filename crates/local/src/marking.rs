@@ -69,7 +69,11 @@ pub fn mark_for_replication(
     relations: &[Vec<LocalRect>],
 ) -> Vec<Vec<bool>> {
     let n = query.num_relations();
-    assert_eq!(relations.len(), n, "one rectangle set per relation position");
+    assert_eq!(
+        relations.len(),
+        n,
+        "one rectangle set per relation position"
+    );
     let graph = query.graph();
     let mut marked: Vec<Vec<bool>> = relations.iter().map(|r| vec![false; r.len()]).collect();
 
@@ -282,7 +286,14 @@ mod tests {
             (Rect::new(4.5, 4.8, 0.4, 0.4), 1), // x1: in c2, overlaps w1
             (Rect::new(3.4, 4.6, 0.4, 0.4), 2), // x2: in c1, overlaps w1
         ];
-        Fig5 { grid, query, u, v, w, x }
+        Fig5 {
+            grid,
+            query,
+            u,
+            v,
+            w,
+            x,
+        }
     }
 
     /// Restricts relations to the rectangles split onto `cell`.
@@ -427,8 +438,7 @@ mod tests {
             vec![(Rect::new(2.8, 7.0, 0.7, 0.5), 1)],
             Vec::new(), // no R3 rectangle anywhere near
         ];
-        let flags =
-            mark_for_replication(&query, &grid, CellId::from_paper_number(1), &local);
+        let flags = mark_for_replication(&query, &grid, CellId::from_paper_number(1), &local);
         assert_eq!(flags[0], vec![true]);
         assert_eq!(flags[1], vec![true]);
     }
@@ -449,8 +459,7 @@ mod tests {
             vec![(Rect::new(1.2, 7.2, 0.5, 0.5), 1)],
             vec![(Rect::new(1.4, 7.0, 0.5, 0.5), 1)],
         ];
-        let flags =
-            mark_for_replication(&query, &grid, CellId::from_paper_number(1), &local);
+        let flags = mark_for_replication(&query, &grid, CellId::from_paper_number(1), &local);
         assert!(flags.iter().flatten().all(|&m| !m), "{flags:?}");
     }
 
@@ -470,8 +479,7 @@ mod tests {
             vec![(Rect::new(3.5, 7.5, 1.0, 0.5), 4)], // crosses into c2
             Vec::new(),
         ];
-        let flags =
-            mark_for_replication(&query, &grid, CellId::from_paper_number(1), &local);
+        let flags = mark_for_replication(&query, &grid, CellId::from_paper_number(1), &local);
         assert_eq!(flags[1], vec![true]);
     }
 
@@ -488,8 +496,7 @@ mod tests {
             vec![(Rect::new(1.0, 7.0, 0.5, 0.5), 1)], // interior of c1
             Vec::new(),
         ];
-        let flags =
-            mark_for_replication(&query, &grid, CellId::from_paper_number(1), &local);
+        let flags = mark_for_replication(&query, &grid, CellId::from_paper_number(1), &local);
         assert_eq!(flags[1], vec![false]);
     }
 

@@ -21,9 +21,17 @@ use crate::LocalRect;
 /// `emit` with one `(rect, id)` per relation position, in position order.
 ///
 /// `relations[i]` holds the local rectangles of query position `i`.
-pub fn multiway_join(query: &Query, relations: &[Vec<LocalRect>], mut emit: impl FnMut(&[LocalRect])) {
+pub fn multiway_join(
+    query: &Query,
+    relations: &[Vec<LocalRect>],
+    mut emit: impl FnMut(&[LocalRect]),
+) {
     let n = query.num_relations();
-    assert_eq!(relations.len(), n, "one rectangle set per relation position");
+    assert_eq!(
+        relations.len(),
+        n,
+        "one rectangle set per relation position"
+    );
     if relations.iter().any(Vec::is_empty) {
         return;
     }
@@ -112,12 +120,14 @@ pub fn multiway_join(query: &Query, relations: &[Vec<LocalRect>], mut emit: impl
             // (including parallel edges to u beyond the probe predicate).
             // `forward` orients asymmetric predicates: this entry lists v
             // as the triple's left side when forward is true.
-            let ok = ctx.graph.neighbors(v).iter().all(|&(w, p, forward)| {
-                match assignment[w.index()] {
-                    Some(_) => p.eval_oriented(&rect, &tuple[w.index()].0, !forward),
-                    None => true,
-                }
-            });
+            let ok =
+                ctx.graph
+                    .neighbors(v)
+                    .iter()
+                    .all(|&(w, p, forward)| match assignment[w.index()] {
+                        Some(_) => p.eval_oriented(&rect, &tuple[w.index()].0, !forward),
+                        None => true,
+                    });
             if !ok {
                 continue;
             }
@@ -323,7 +333,11 @@ mod tests {
     #[test]
     fn empty_relation_gives_empty_result() {
         let q = chain3();
-        let rels = vec![random_relation(10, 1, 20.0), Vec::new(), random_relation(10, 2, 20.0)];
+        let rels = vec![
+            random_relation(10, 1, 20.0),
+            Vec::new(),
+            random_relation(10, 2, 20.0),
+        ];
         assert!(multiway_join_ids(&q, &rels).is_empty());
     }
 

@@ -45,7 +45,11 @@ pub fn multiway_join_at_cell(
     mut emit: impl FnMut(&[LocalRect]),
 ) {
     let n = query.num_relations();
-    assert_eq!(relations.len(), n, "one rectangle set per relation position");
+    assert_eq!(
+        relations.len(),
+        n,
+        "one rectangle set per relation position"
+    );
     if relations.iter().any(Vec::is_empty) {
         return;
     }
@@ -113,8 +117,12 @@ pub fn multiway_join_at_cell(
         /// Does a full assignment designate the cell?
         #[inline]
         fn full_ok(&self, frame: &Frame) -> bool {
-            let px = frame.max_start_x.clamp(self.extent.min_x(), self.extent.max_x());
-            let py = frame.min_start_y.clamp(self.extent.min_y(), self.extent.max_y());
+            let px = frame
+                .max_start_x
+                .clamp(self.extent.min_x(), self.extent.max_x());
+            let py = frame
+                .min_start_y
+                .clamp(self.extent.min_y(), self.extent.max_y());
             let x_ok = px >= self.x_lo && (px < self.x_hi || (self.last_col && px <= self.x_hi));
             let y_ok = py <= self.y_hi && (py > self.y_lo || (self.last_row && py >= self.y_lo));
             x_ok && y_ok
@@ -186,12 +194,14 @@ pub fn multiway_join_at_cell(
             if !ctx.bounds.partial_ok(&next) {
                 continue;
             }
-            let ok = ctx.graph.neighbors(v).iter().all(|&(w, p, forward)| {
-                match assignment[w.index()] {
-                    Some(_) => p.eval_oriented(&rect, &tuple[w.index()].0, !forward),
-                    None => true,
-                }
-            });
+            let ok =
+                ctx.graph
+                    .neighbors(v)
+                    .iter()
+                    .all(|&(w, p, forward)| match assignment[w.index()] {
+                        Some(_) => p.eval_oriented(&rect, &tuple[w.index()].0, !forward),
+                        None => true,
+                    });
             if !ok {
                 continue;
             }

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::fault::FaultInjector;
 use crate::RecordSize;
 
 /// Errors from [`Dfs`] operations.
@@ -14,6 +15,9 @@ pub enum DfsError {
     NotFound(String),
     /// The dataset exists but holds a different element type.
     TypeMismatch(String),
+    /// Every read retry hit an injected transient failure (the DFS analogue
+    /// of a task exhausting its attempts).
+    Unavailable(String),
 }
 
 impl std::fmt::Display for DfsError {
@@ -21,6 +25,12 @@ impl std::fmt::Display for DfsError {
         match self {
             DfsError::NotFound(n) => write!(f, "dataset `{n}` not found"),
             DfsError::TypeMismatch(n) => write!(f, "dataset `{n}` holds a different type"),
+            DfsError::Unavailable(n) => {
+                write!(
+                    f,
+                    "dataset `{n}` unavailable: transient read retries exhausted"
+                )
+            }
         }
     }
 }
@@ -39,18 +49,37 @@ struct Dataset {
 /// join result here and re-read it as the next job's input; the read/write
 /// counters expose the amplification the paper blames for Cascade's poor
 /// performance (§6.4: "a huge reading and writing cost").
+///
+/// Under a fault plan reads can hit *transient* failures: the failure is
+/// counted, the read retried in place (a fresh replica in a real
+/// deployment), and only a successful read is charged to the byte
+/// counters. A read whose every retry fails returns
+/// [`DfsError::Unavailable`].
 #[derive(Default)]
 pub struct Dfs {
     datasets: RwLock<HashMap<String, Dataset>>,
     read_bytes: AtomicU64,
     write_bytes: AtomicU64,
+    injector: FaultInjector,
+    read_seq: AtomicU64,
+    transient_read_failures: AtomicU64,
 }
 
 impl Dfs {
-    /// Creates an empty DFS.
+    /// Creates an empty, fault-free DFS.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty DFS whose reads are subject to the injector's
+    /// transient-failure rate.
+    #[must_use]
+    pub fn with_faults(injector: FaultInjector) -> Self {
+        Self {
+            injector,
+            ..Self::default()
+        }
     }
 
     /// Writes (or replaces) a dataset, charging its encoded size to the
@@ -72,6 +101,15 @@ impl Dfs {
     /// Reads a dataset, charging its encoded size to the read counter. The
     /// data is shared, not copied.
     pub fn read<T: Send + Sync + 'static>(&self, name: &str) -> Result<Arc<Vec<T>>, DfsError> {
+        let seq = self.read_seq.fetch_add(1, Ordering::Relaxed);
+        let mut attempt = 0u32;
+        while self.injector.should_fail_dfs_read(seq, attempt) {
+            self.transient_read_failures.fetch_add(1, Ordering::Relaxed);
+            attempt += 1;
+            if attempt >= self.injector.max_attempts() {
+                return Err(DfsError::Unavailable(name.to_string()));
+            }
+        }
         let guard = self.datasets.read();
         let ds = guard
             .get(name)
@@ -115,10 +153,17 @@ impl Dfs {
         self.write_bytes.load(Ordering::Relaxed)
     }
 
-    /// Resets the byte counters (between experiments).
+    /// Transient read failures injected (and retried) so far.
+    #[must_use]
+    pub fn transient_read_failures(&self) -> u64 {
+        self.transient_read_failures.load(Ordering::Relaxed)
+    }
+
+    /// Resets the byte and failure counters (between experiments).
     pub fn reset_counters(&self) {
         self.read_bytes.store(0, Ordering::Relaxed);
         self.write_bytes.store(0, Ordering::Relaxed);
+        self.transient_read_failures.store(0, Ordering::Relaxed);
     }
 }
 
@@ -175,6 +220,39 @@ mod tests {
         dfs.write("d", vec![2u8, 3]);
         assert_eq!(*dfs.read::<u8>("d").unwrap(), vec![2, 3]);
         assert_eq!(dfs.write_bytes(), 3);
+    }
+
+    #[test]
+    fn transient_read_faults_are_retried_and_uncharged() {
+        use crate::fault::FaultPlan;
+        let mut plan = FaultPlan::none();
+        plan.dfs_read_failure_rate = 0.5;
+        plan.seed = 11;
+        // Enough retries that no read plausibly exhausts them (0.5^16).
+        plan.max_attempts = 16;
+        let dfs = Dfs::with_faults(FaultInjector::new(plan));
+        dfs.write("nums", vec![1u64, 2, 3]);
+        for _ in 0..50 {
+            // Every read eventually succeeds (failures are transient) and
+            // returns the right data.
+            assert_eq!(*dfs.read::<u64>("nums").unwrap(), vec![1, 2, 3]);
+        }
+        assert!(dfs.transient_read_failures() > 0);
+        // Only successful reads are charged: exactly 50 × 24 bytes.
+        assert_eq!(dfs.read_bytes(), 50 * 24);
+    }
+
+    #[test]
+    fn exhausted_read_retries_surface_unavailable() {
+        use crate::fault::FaultPlan;
+        let mut plan = FaultPlan::none();
+        plan.dfs_read_failure_rate = 1.0;
+        let dfs = Dfs::with_faults(FaultInjector::new(plan));
+        dfs.write("nums", vec![1u64]);
+        assert_eq!(
+            dfs.read::<u64>("nums").unwrap_err(),
+            DfsError::Unavailable("nums".into())
+        );
     }
 
     #[test]

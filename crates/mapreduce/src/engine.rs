@@ -1,11 +1,14 @@
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use crate::{Dfs, JobMetrics, MetricsReport, RecordSize};
+use crate::fault::{FaultInjector, FaultPlan, JobErrorKind, Phase};
+use crate::{Dfs, JobError, JobMetrics, MetricsReport, RecordSize};
 
-/// Engine configuration: degrees of parallelism for the two phases.
+/// Engine configuration: degrees of parallelism for the two phases, plus
+/// an optional fault-injection plan.
 ///
 /// The paper's cluster runs 16 cores with 64 reduce *slots*; here
 /// `reduce_tasks` is the number of worker threads executing reducers, while
@@ -17,6 +20,9 @@ pub struct EngineConfig {
     pub map_tasks: usize,
     /// Worker threads for the reduce phase.
     pub reduce_tasks: usize,
+    /// Faults to inject into every job (`None` runs fault-free). See
+    /// [`FaultPlan`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -25,17 +31,145 @@ impl Default for EngineConfig {
         Self {
             map_tasks: n,
             reduce_tasks: n,
+            fault_plan: None,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Attaches a fault plan.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 }
 
 /// The map-reduce engine: runs jobs, owns the [`Dfs`], accumulates
 /// [`JobMetrics`].
+///
+/// # Fault tolerance
+///
+/// Each map chunk and each reduce partition executes as a **task
+/// attempt**: user code runs under `catch_unwind`, output goes to
+/// attempt-local buffers, and only a *successful* attempt commits its
+/// buffers and counter deltas — so a retried task never double-emits and
+/// the logical counters are byte-identical with or without faults. Tasks
+/// are retried up to [`FaultPlan::max_attempts`] times; attempts flagged
+/// as stragglers by the [`FaultInjector`] race a speculative duplicate
+/// attempt, first successful completion wins. A task that exhausts its
+/// attempts fails the job with a [`JobError`] naming the phase and task.
 pub struct Engine {
     config: EngineConfig,
     /// The distributed file system shared by chained jobs.
     pub dfs: Dfs,
     metrics: Mutex<Vec<JobMetrics>>,
+    injector: FaultInjector,
+    job_seq: AtomicU64,
+}
+
+/// Why one task attempt did not commit.
+enum AttemptError {
+    /// The [`FaultInjector`] failed this attempt; its output was discarded.
+    Injected,
+    /// User code panicked; the panic was isolated to the attempt.
+    Panic(String),
+    /// The partitioner routed a key out of range (not retryable).
+    BadPartition { partition: usize },
+}
+
+impl AttemptError {
+    fn message(&self) -> String {
+        match self {
+            AttemptError::Injected => "injected fault".to_string(),
+            AttemptError::Panic(m) => format!("task panicked: {m}"),
+            AttemptError::BadPartition { partition } => {
+                format!("partitioner returned out-of-range partition {partition}")
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// Attempt ids of speculative duplicates get this bit so their fault
+/// decisions are independent draws from their primary's.
+const SPECULATIVE_BIT: u32 = 1 << 31;
+
+/// Runs one task attempt, racing a speculative duplicate when the
+/// injector flags the attempt as a straggler. First successful completion
+/// wins; the loser's output is discarded. `run` must be pure up to its
+/// commit (it is: attempts write only attempt-local buffers).
+#[allow(clippy::too_many_arguments)]
+fn attempt_with_speculation<T, F>(
+    injector: &FaultInjector,
+    phase: Phase,
+    job: u64,
+    task: usize,
+    attempt: u32,
+    speculative_launched: &AtomicU64,
+    speculative_won: &AtomicU64,
+    run: &F,
+) -> Result<T, AttemptError>
+where
+    T: Send,
+    F: Fn(usize, u32) -> Result<T, AttemptError> + Sync,
+{
+    let Some(delay) = injector.straggler_delay(phase, job, task, attempt) else {
+        return run(task, attempt);
+    };
+    speculative_launched.fetch_add(1, Ordering::Relaxed);
+    // 0 = unclaimed, 1 = speculative committed, 2 = primary committed.
+    let claimed = AtomicU8::new(0);
+    let (speculative, primary) = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            let r = run(task, attempt | SPECULATIVE_BIT);
+            if r.is_ok() {
+                let _ = claimed.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst);
+            }
+            r
+        });
+        // The primary attempt straggles: it sleeps out its injected delay
+        // and only executes if the speculative copy has not finished yet.
+        std::thread::sleep(delay);
+        let primary = if claimed.load(Ordering::SeqCst) == 0 {
+            let r = run(task, attempt);
+            if r.is_ok() {
+                let _ = claimed.compare_exchange(0, 2, Ordering::SeqCst, Ordering::SeqCst);
+            }
+            Some(r)
+        } else {
+            None
+        };
+        let speculative = handle
+            .join()
+            .unwrap_or(Err(AttemptError::Panic("speculative attempt died".into())));
+        (speculative, primary)
+    });
+    match claimed.load(Ordering::SeqCst) {
+        1 => {
+            speculative_won.fetch_add(1, Ordering::Relaxed);
+            speculative
+        }
+        2 => primary.expect("claimed by primary"),
+        // Neither copy succeeded: surface the primary's error when it ran
+        // (its attempt id is the one the retry loop reasons about).
+        _ => primary.unwrap_or(speculative),
+    }
+}
+
+/// One committed map attempt: per-partition buckets of
+/// `(key, sequence-tag, value)` plus the attempt's counter deltas.
+struct MapCommit<K, V> {
+    buckets: Vec<Vec<(K, u64, V)>>,
+    emitted: u64,
+    bytes: u64,
 }
 
 impl Engine {
@@ -43,24 +177,28 @@ impl Engine {
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
         assert!(config.map_tasks > 0 && config.reduce_tasks > 0);
+        let injector = config
+            .fault_plan
+            .clone()
+            .map_or_else(FaultInjector::none, FaultInjector::new);
         Self {
-            config,
-            dfs: Dfs::new(),
+            dfs: Dfs::with_faults(injector.clone()),
             metrics: Mutex::new(Vec::new()),
+            injector,
+            job_seq: AtomicU64::new(0),
+            config,
         }
     }
 
     /// Runs one map-reduce job and returns the reducer outputs (in
-    /// partition order, sorted-key order within each partition).
+    /// partition order, deterministic order within each partition).
     ///
-    /// * `map_fn(record, emit)` — called once per input record; `emit(k, v)`
-    ///   produces an intermediate pair.
-    /// * `partition_fn(key, num_partitions)` — routes a key to a logical
-    ///   reducer; must return a value `< num_partitions`. All pairs with
-    ///   equal keys must map to the same partition (guaranteed when the
-    ///   function depends only on the key).
-    /// * `reduce_fn(key, values, out)` — called once per distinct key with
-    ///   every value for that key.
+    /// Panicking wrapper around [`Engine::try_run_job`] for call sites
+    /// that treat job failure as fatal (a driver aborting on a failed
+    /// Hadoop job).
+    ///
+    /// # Panics
+    /// Panics with the [`JobError`] display if the job fails.
     pub fn run_job<I, K, V, O, MF, PF, RF>(
         &self,
         name: &str,
@@ -72,14 +210,59 @@ impl Engine {
     ) -> Vec<O>
     where
         I: Sync,
-        K: Ord + Send + RecordSize,
-        V: Send + RecordSize,
+        K: Ord + Send + Sync + RecordSize,
+        V: Clone + Send + Sync + RecordSize,
+        O: Send,
+        MF: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+        PF: Fn(&K, usize) -> usize + Sync,
+        RF: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+    {
+        self.try_run_job(name, input, num_partitions, map_fn, partition_fn, reduce_fn)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs one map-reduce job, surfacing task failures as a [`JobError`]
+    /// instead of a panic.
+    ///
+    /// * `map_fn(record, emit)` — called once per input record; `emit(k, v)`
+    ///   produces an intermediate pair.
+    /// * `partition_fn(key, num_partitions)` — routes a key to a logical
+    ///   reducer; must return a value `< num_partitions`. All pairs with
+    ///   equal keys must map to the same partition (guaranteed when the
+    ///   function depends only on the key).
+    /// * `reduce_fn(key, values, out)` — called once per distinct key with
+    ///   every value for that key, in a deterministic order (input order
+    ///   within each map task, map tasks in input order).
+    ///
+    /// # Errors
+    /// [`JobErrorKind::AttemptsExhausted`] if a task fails more than
+    /// [`FaultPlan::max_attempts`] times (injected faults or user-code
+    /// panics, which are isolated per attempt);
+    /// [`JobErrorKind::BadPartitioner`] if the partitioner routes a key
+    /// out of range (not retried — the partitioner is deterministic).
+    #[allow(clippy::too_many_lines)]
+    pub fn try_run_job<I, K, V, O, MF, PF, RF>(
+        &self,
+        name: &str,
+        input: &[I],
+        num_partitions: usize,
+        map_fn: MF,
+        partition_fn: PF,
+        reduce_fn: RF,
+    ) -> Result<Vec<O>, JobError>
+    where
+        I: Sync,
+        K: Ord + Send + Sync + RecordSize,
+        V: Clone + Send + Sync + RecordSize,
         O: Send,
         MF: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
         PF: Fn(&K, usize) -> usize + Sync,
         RF: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
     {
         assert!(num_partitions > 0, "a job needs at least one partition");
+        let job = self.job_seq.fetch_add(1, Ordering::Relaxed);
+        let injector = &self.injector;
+        let max_attempts = injector.max_attempts();
         let job_start = Instant::now();
         let mut metrics = JobMetrics {
             job_name: name.to_string(),
@@ -87,72 +270,175 @@ impl Engine {
             ..JobMetrics::default()
         };
 
+        // Shared failure-tracking state for both phases.
+        let job_error: Mutex<Option<JobError>> = Mutex::new(None);
+        let abort = AtomicBool::new(false);
+        let fail_job = |err: JobError| {
+            job_error.lock().get_or_insert(err);
+            abort.store(true, Ordering::SeqCst);
+        };
+        let retries = AtomicU64::new(0);
+        let map_task_failures = AtomicU64::new(0);
+        let reduce_task_failures = AtomicU64::new(0);
+        let speculative_launched = AtomicU64::new(0);
+        let speculative_won = AtomicU64::new(0);
+
         // ---- Map phase -------------------------------------------------
-        // Input is divided into chunks claimed by worker threads; each
-        // worker keeps one output bucket per partition (the mapper-side
-        // spill files of a real deployment).
+        // The input is divided into chunks; each chunk is one map *task*,
+        // executed as one or more attempts. An attempt fills attempt-local
+        // buckets (the mapper-side spill files of a real deployment) and
+        // commits them — together with its counter deltas — only on
+        // success, so logical metrics count committed work, not attempts.
+        //
+        // Every emitted pair carries a (task, emit-sequence) tag used as a
+        // sort tiebreak in the shuffle: reducer value order then depends
+        // only on the input, not on which worker claimed which chunk first
+        // (and not on whether a task was retried) — reruns with equal
+        // seeds see byte-identical value streams.
         let map_start = Instant::now();
         let chunk_size = input.len().div_ceil(self.config.map_tasks * 4).max(1);
         let chunks: Vec<&[I]> = input.chunks(chunk_size).collect();
-        let next_chunk = AtomicUsize::new(0);
         let emitted = AtomicU64::new(0);
         let shuffled_bytes = AtomicU64::new(0);
+        let partitions: Vec<Mutex<Vec<(K, u64, V)>>> = (0..num_partitions)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
 
-        let worker_buckets: Vec<Vec<Vec<(K, V)>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.config.map_tasks)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut buckets: Vec<Vec<(K, V)>> = (0..num_partitions)
-                            .map(|_| Vec::new())
-                            .collect();
-                        let mut local_emitted = 0u64;
-                        let mut local_bytes = 0u64;
-                        loop {
-                            let c = next_chunk.fetch_add(1, Ordering::Relaxed);
-                            let Some(chunk) = chunks.get(c) else { break };
-                            for record in *chunk {
-                                map_fn(record, &mut |k: K, v: V| {
-                                    let p = partition_fn(&k, num_partitions);
-                                    assert!(
-                                        p < num_partitions,
-                                        "partition_fn returned {p} >= {num_partitions}"
-                                    );
-                                    local_emitted += 1;
-                                    local_bytes += (k.size_bytes() + v.size_bytes()) as u64;
-                                    buckets[p].push((k, v));
+        let run_map_attempt =
+            |task: usize, attempt: u32| -> Result<MapCommit<K, V>, AttemptError> {
+                // Consulted at the task boundary, applied at completion: the
+                // attempt does its (discarded) work first, exercising the
+                // partial-output-isolation path.
+                let injected = injector.should_fail(Phase::Map, job, task, attempt);
+                let chunk = chunks[task];
+                let mut buckets: Vec<Vec<(K, u64, V)>> =
+                    (0..num_partitions).map(|_| Vec::new()).collect();
+                let mut local_emitted = 0u64;
+                let mut local_bytes = 0u64;
+                let mut bad_partition: Option<usize> = None;
+                let base_tag = (task as u64) << 32;
+                let unwind = catch_unwind(AssertUnwindSafe(|| {
+                    let mut seq = 0u64;
+                    for record in chunk {
+                        map_fn(record, &mut |k: K, v: V| {
+                            if bad_partition.is_some() {
+                                return; // drain remaining emits of this record
+                            }
+                            let p = partition_fn(&k, num_partitions);
+                            if p >= num_partitions {
+                                bad_partition = Some(p);
+                                return;
+                            }
+                            local_emitted += 1;
+                            local_bytes += (k.size_bytes() + v.size_bytes()) as u64;
+                            debug_assert!(seq < u64::from(u32::MAX), "emit tag overflow");
+                            buckets[p].push((k, base_tag | seq, v));
+                            seq += 1;
+                        });
+                        if bad_partition.is_some() {
+                            break;
+                        }
+                    }
+                }));
+                match unwind {
+                    Err(payload) => Err(AttemptError::Panic(panic_message(payload))),
+                    Ok(()) => {
+                        if let Some(partition) = bad_partition {
+                            Err(AttemptError::BadPartition { partition })
+                        } else if injected {
+                            Err(AttemptError::Injected)
+                        } else {
+                            Ok(MapCommit {
+                                buckets,
+                                emitted: local_emitted,
+                                bytes: local_bytes,
+                            })
+                        }
+                    }
+                }
+            };
+
+        let next_chunk = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.map_tasks {
+                scope.spawn(|| loop {
+                    if abort.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let task = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if task >= chunks.len() {
+                        break;
+                    }
+                    let mut attempt = 0u32;
+                    loop {
+                        let outcome = attempt_with_speculation(
+                            injector,
+                            Phase::Map,
+                            job,
+                            task,
+                            attempt,
+                            &speculative_launched,
+                            &speculative_won,
+                            &run_map_attempt,
+                        );
+                        match outcome {
+                            Ok(commit) => {
+                                for (p, bucket) in commit.buckets.into_iter().enumerate() {
+                                    if !bucket.is_empty() {
+                                        partitions[p].lock().extend(bucket);
+                                    }
+                                }
+                                emitted.fetch_add(commit.emitted, Ordering::Relaxed);
+                                shuffled_bytes.fetch_add(commit.bytes, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(AttemptError::BadPartition { partition }) => {
+                                fail_job(JobError {
+                                    job: name.to_string(),
+                                    phase: Phase::Map,
+                                    task,
+                                    attempts: attempt + 1,
+                                    kind: JobErrorKind::BadPartitioner {
+                                        partition,
+                                        num_partitions,
+                                    },
                                 });
+                                break;
+                            }
+                            Err(e) => {
+                                map_task_failures.fetch_add(1, Ordering::Relaxed);
+                                attempt += 1;
+                                if attempt >= max_attempts || abort.load(Ordering::SeqCst) {
+                                    fail_job(JobError {
+                                        job: name.to_string(),
+                                        phase: Phase::Map,
+                                        task,
+                                        attempts: attempt,
+                                        kind: JobErrorKind::AttemptsExhausted {
+                                            last_error: e.message(),
+                                        },
+                                    });
+                                    break;
+                                }
+                                retries.fetch_add(1, Ordering::Relaxed);
                             }
                         }
-                        emitted.fetch_add(local_emitted, Ordering::Relaxed);
-                        shuffled_bytes.fetch_add(local_bytes, Ordering::Relaxed);
-                        buckets
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(buckets) => buckets,
-                    // Preserve the original panic (e.g. a partitioner
-                    // assertion) instead of masking it.
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
+                    }
+                });
+            }
         });
+        if let Some(err) = job_error.lock().take() {
+            return Err(err);
+        }
         metrics.map_wall = map_start.elapsed();
         metrics.map_output_records = emitted.load(Ordering::Relaxed);
         metrics.reduce_input_records = metrics.map_output_records;
         metrics.shuffle_bytes = shuffled_bytes.load(Ordering::Relaxed);
 
-        // ---- Shuffle: merge per-partition streams and sort by key ------
+        // ---- Shuffle: sort each partition by (key, emit tag) -----------
+        // The tag tiebreak makes the within-group value order a pure
+        // function of the input (see the map-phase comment).
         let shuffle_start = Instant::now();
-        let mut partitions: Vec<Mutex<Vec<(K, V)>>> =
-            (0..num_partitions).map(|_| Mutex::new(Vec::new())).collect();
-        for buckets in worker_buckets {
-            for (p, mut bucket) in buckets.into_iter().enumerate() {
-                partitions[p].get_mut().append(&mut bucket);
-            }
-        }
         let group_counter = AtomicU64::new(0);
         let max_partition = AtomicU64::new(0);
         let next_shuffle = AtomicUsize::new(0);
@@ -169,10 +455,10 @@ impl Engine {
                     }
                     let mut data = partitions[p].lock();
                     max_partition.fetch_max(data.len() as u64, Ordering::Relaxed);
-                    data.sort_by(|a, b| a.0.cmp(&b.0));
+                    data.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
                     let mut groups = 0u64;
                     let mut prev: Option<&K> = None;
-                    for (k, _) in data.iter() {
+                    for (k, _, _) in data.iter() {
                         if prev != Some(k) {
                             groups += 1;
                             prev = Some(k);
@@ -187,56 +473,131 @@ impl Engine {
         metrics.max_partition_records = max_partition.load(Ordering::Relaxed);
 
         // ---- Reduce phase ----------------------------------------------
+        // Each partition is one reduce task. The partition's sorted input
+        // stays in place (behind an RwLock so a speculative duplicate can
+        // read it concurrently) until the task commits, so a failed
+        // attempt can be replayed; values are cloned into each group per
+        // attempt. The input is dropped on commit.
         let reduce_start = Instant::now();
-        let output_slots: Vec<Mutex<Vec<O>>> =
-            (0..num_partitions).map(|_| Mutex::new(Vec::new())).collect();
+        let partition_store: Vec<RwLock<Vec<(K, u64, V)>>> = partitions
+            .into_iter()
+            .map(|m| RwLock::new(m.into_inner()))
+            .collect();
+        let output_slots: Vec<Mutex<Vec<O>>> = (0..num_partitions)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
         let out_count = AtomicU64::new(0);
-        let next_reduce = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let next = &next_reduce;
-            let partitions = &partitions;
-            let output_slots = &output_slots;
-            let reduce_fn = &reduce_fn;
-            let out_count = &out_count;
-            for _ in 0..self.config.reduce_tasks {
-                scope.spawn(move || loop {
-                    let p = next.fetch_add(1, Ordering::Relaxed);
-                    if p >= partitions.len() {
-                        break;
-                    }
-                    let data = std::mem::take(&mut *partitions[p].lock());
-                    let mut outputs = Vec::new();
-                    let mut local_out = 0u64;
-                    let mut iter = data.into_iter().peekable();
-                    while let Some((key, first_value)) = iter.next() {
-                        let mut values = vec![first_value];
-                        while let Some((k, _)) = iter.peek() {
-                            if *k == key {
-                                let (_, v) = iter.next().expect("peeked");
-                                values.push(v);
-                            } else {
-                                break;
-                            }
+
+        let run_reduce_attempt =
+            |task: usize, attempt: u32| -> Result<(Vec<O>, u64), AttemptError> {
+                let injected = injector.should_fail(Phase::Reduce, job, task, attempt);
+                let guard = partition_store[task].read();
+                let data: &[(K, u64, V)] = &guard;
+                let mut outputs = Vec::new();
+                let mut local_out = 0u64;
+                let unwind = catch_unwind(AssertUnwindSafe(|| {
+                    let mut i = 0;
+                    while i < data.len() {
+                        let key = &data[i].0;
+                        let mut j = i;
+                        let mut values = Vec::new();
+                        while j < data.len() && data[j].0 == *key {
+                            values.push(data[j].2.clone());
+                            j += 1;
                         }
-                        reduce_fn(&key, values, &mut |o: O| {
+                        reduce_fn(key, values, &mut |o: O| {
                             local_out += 1;
                             outputs.push(o);
                         });
+                        i = j;
                     }
-                    out_count.fetch_add(local_out, Ordering::Relaxed);
-                    *output_slots[p].lock() = outputs;
+                }));
+                match unwind {
+                    Err(payload) => Err(AttemptError::Panic(panic_message(payload))),
+                    Ok(()) => {
+                        if injected {
+                            Err(AttemptError::Injected)
+                        } else {
+                            Ok((outputs, local_out))
+                        }
+                    }
+                }
+            };
+
+        let next_reduce = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.reduce_tasks {
+                scope.spawn(|| loop {
+                    if abort.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let task = next_reduce.fetch_add(1, Ordering::Relaxed);
+                    if task >= partition_store.len() {
+                        break;
+                    }
+                    let mut attempt = 0u32;
+                    loop {
+                        let outcome = attempt_with_speculation(
+                            injector,
+                            Phase::Reduce,
+                            job,
+                            task,
+                            attempt,
+                            &speculative_launched,
+                            &speculative_won,
+                            &run_reduce_attempt,
+                        );
+                        match outcome {
+                            Ok((outputs, local_out)) => {
+                                out_count.fetch_add(local_out, Ordering::Relaxed);
+                                *output_slots[task].lock() = outputs;
+                                // Commit: the task's input is no longer
+                                // needed for replay.
+                                *partition_store[task].write() = Vec::new();
+                                break;
+                            }
+                            Err(AttemptError::BadPartition { .. }) => {
+                                unreachable!("partitioner does not run in the reduce phase")
+                            }
+                            Err(e) => {
+                                reduce_task_failures.fetch_add(1, Ordering::Relaxed);
+                                attempt += 1;
+                                if attempt >= max_attempts || abort.load(Ordering::SeqCst) {
+                                    fail_job(JobError {
+                                        job: name.to_string(),
+                                        phase: Phase::Reduce,
+                                        task,
+                                        attempts: attempt,
+                                        kind: JobErrorKind::AttemptsExhausted {
+                                            last_error: e.message(),
+                                        },
+                                    });
+                                    break;
+                                }
+                                retries.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
                 });
             }
         });
+        if let Some(err) = job_error.lock().take() {
+            return Err(err);
+        }
         metrics.reduce_wall = reduce_start.elapsed();
         metrics.reduce_output_records = out_count.load(Ordering::Relaxed);
+        metrics.map_task_failures = map_task_failures.load(Ordering::Relaxed);
+        metrics.reduce_task_failures = reduce_task_failures.load(Ordering::Relaxed);
+        metrics.retries = retries.load(Ordering::Relaxed);
+        metrics.speculative_launched = speculative_launched.load(Ordering::Relaxed);
+        metrics.speculative_won = speculative_won.load(Ordering::Relaxed);
         metrics.total_wall = job_start.elapsed();
         self.metrics.lock().push(metrics);
 
-        output_slots
+        Ok(output_slots
             .into_iter()
             .flat_map(parking_lot::Mutex::into_inner)
-            .collect()
+            .collect())
     }
 
     /// Snapshot of all job metrics plus DFS counters since construction (or
@@ -247,6 +608,7 @@ impl Engine {
             jobs: self.metrics.lock().clone(),
             dfs_read_bytes: self.dfs.read_bytes(),
             dfs_write_bytes: self.dfs.write_bytes(),
+            dfs_transient_read_failures: self.dfs.transient_read_failures(),
         }
     }
 
@@ -260,11 +622,21 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::ForcedFault;
 
     fn engine() -> Engine {
         Engine::new(EngineConfig {
             map_tasks: 4,
             reduce_tasks: 4,
+            fault_plan: None,
+        })
+    }
+
+    fn engine_with(plan: FaultPlan) -> Engine {
+        Engine::new(EngineConfig {
+            map_tasks: 4,
+            reduce_tasks: 4,
+            fault_plan: Some(plan),
         })
     }
 
@@ -320,6 +692,11 @@ mod tests {
         assert_eq!(j.reduce_input_groups, 8);
         // Keys are u32 (4 bytes) and values u32 (4 bytes).
         assert_eq!(j.shuffle_bytes, 200 * 8);
+        // Fault-free run: the fault counters stay zero.
+        assert_eq!(j.map_task_failures, 0);
+        assert_eq!(j.reduce_task_failures, 0);
+        assert_eq!(j.retries, 0);
+        assert_eq!(j.speculative_launched, 0);
     }
 
     #[test]
@@ -363,6 +740,34 @@ mod tests {
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn reducer_value_order_deterministic_across_runs() {
+        // The (task, emit-sequence) shuffle tiebreak: the value stream of
+        // each key group is a pure function of the input, not of racy
+        // chunk-claim order.
+        let runs: Vec<Vec<u32>> = (0..8)
+            .map(|_| {
+                let e = engine();
+                let input: Vec<u32> = (0..500).collect();
+                let seen = Mutex::new(Vec::new());
+                let _ = e.run_job(
+                    "order",
+                    &input,
+                    4,
+                    |&x, emit| emit(x % 7, x),
+                    |&k, n| k as usize % n,
+                    |_, vs, _out: &mut dyn FnMut(())| {
+                        seen.lock().extend(vs);
+                    },
+                );
+                seen.into_inner()
+            })
+            .collect();
+        for run in &runs[1..] {
+            assert_eq!(run, &runs[0]);
+        }
     }
 
     #[test]
@@ -438,8 +843,33 @@ mod tests {
     }
 
     #[test]
+    fn bad_partitioner_is_a_job_error() {
+        let e = engine();
+        let input = vec![1u32];
+        let err = e
+            .try_run_job(
+                "bad",
+                &input,
+                2,
+                |&x, emit| emit(x, x),
+                |_, _| 7,
+                |&k, _, out: &mut dyn FnMut(u32)| out(k),
+            )
+            .unwrap_err();
+        assert_eq!(err.phase, Phase::Map);
+        assert_eq!(
+            err.kind,
+            JobErrorKind::BadPartitioner {
+                partition: 7,
+                num_partitions: 2
+            }
+        );
+        assert!(err.to_string().contains("partition_fn returned 7 >= 2"));
+    }
+
+    #[test]
     #[should_panic(expected = "partition_fn returned")]
-    fn bad_partitioner_panics() {
+    fn bad_partitioner_panics_via_run_job() {
         let e = engine();
         let input = vec![1u32];
         let _ = e.run_job(
@@ -450,5 +880,109 @@ mod tests {
             |_, _| 7,
             |&k, _, out| out(k),
         );
+    }
+
+    #[test]
+    fn injected_map_fault_is_retried_transparently() {
+        let plan = FaultPlan::none().with_forced(vec![ForcedFault {
+            phase: Phase::Map,
+            task: 0,
+            attempts: 1,
+        }]);
+        let e = engine_with(plan);
+        let input: Vec<u32> = (0..100).collect();
+        let mut out = e.run_job(
+            "retry",
+            &input,
+            4,
+            |&x, emit| emit(x, x),
+            |&k, n| k as usize % n,
+            |&k, _, out| out(k),
+        );
+        out.sort_unstable();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        let j = &e.report().jobs[0];
+        assert_eq!(j.map_task_failures, 1);
+        assert_eq!(j.retries, 1);
+        // The retried task committed exactly once: no double-emits.
+        assert_eq!(j.map_output_records, 100);
+    }
+
+    #[test]
+    fn exhausted_attempts_surface_a_job_error() {
+        let plan = FaultPlan::none()
+            .with_forced(vec![ForcedFault {
+                phase: Phase::Reduce,
+                task: 1,
+                attempts: u32::MAX,
+            }])
+            .with_max_attempts(3);
+        let e = engine_with(plan);
+        let input: Vec<u32> = (0..10).collect();
+        let err = e
+            .try_run_job(
+                "doomed",
+                &input,
+                4,
+                |&x, emit| emit(x, x),
+                |&k, n| k as usize % n,
+                |&k, _, out: &mut dyn FnMut(u32)| out(k),
+            )
+            .unwrap_err();
+        assert_eq!(err.phase, Phase::Reduce);
+        assert_eq!(err.task, 1);
+        assert_eq!(err.attempts, 3);
+        let s = err.to_string();
+        assert!(
+            s.contains("reduce task 1") && s.contains("injected fault"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn user_panic_is_isolated_and_reported() {
+        let e = engine();
+        let input: Vec<u32> = (0..10).collect();
+        let err = e
+            .try_run_job(
+                "panicky",
+                &input,
+                2,
+                |&x, emit| emit(x, x),
+                |&k, n| k as usize % n,
+                |&k, _, _out: &mut dyn FnMut(u32)| {
+                    if k == 3 {
+                        panic!("reducer exploded on key {k}");
+                    }
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.phase, Phase::Reduce);
+        assert_eq!(err.attempts, FaultPlan::DEFAULT_MAX_ATTEMPTS);
+        assert!(err.to_string().contains("reducer exploded"), "{err}");
+    }
+
+    #[test]
+    fn stragglers_launch_speculative_attempts() {
+        let mut plan = FaultPlan::chaos(13, 0.0, 1.0);
+        plan.straggler_delay = std::time::Duration::from_millis(2);
+        let e = engine_with(plan);
+        let input: Vec<u32> = (0..200).collect();
+        let mut out = e.run_job(
+            "slow",
+            &input,
+            4,
+            |&x, emit| emit(x, x),
+            |&k, n| k as usize % n,
+            |&k, _, out| out(k),
+        );
+        out.sort_unstable();
+        assert_eq!(out.len(), 200);
+        let j = &e.report().jobs[0];
+        assert!(j.speculative_launched > 0);
+        assert!(j.speculative_won <= j.speculative_launched);
+        // Speculation must not distort the logical counters.
+        assert_eq!(j.map_output_records, 200);
+        assert_eq!(j.reduce_output_records, 200);
     }
 }

@@ -19,6 +19,12 @@
 //! pairs with equal keys meet at a single reducer, and reducers process
 //! keys in sorted order.
 //!
+//! It is also faithful to map-reduce's *failure* model: every map chunk
+//! and reduce partition runs as a retryable task attempt whose output
+//! commits atomically on success, with speculative re-execution of
+//! stragglers — see [`FaultPlan`] for deterministic fault injection and
+//! [`Engine::try_run_job`] for surfacing failed jobs as [`JobError`]s.
+//!
 //! # Example
 //!
 //! ```
@@ -47,10 +53,12 @@
 
 mod dfs;
 mod engine;
+mod fault;
 mod metrics;
 mod record;
 
 pub use dfs::{Dfs, DfsError};
 pub use engine::{Engine, EngineConfig};
+pub use fault::{FaultInjector, FaultPlan, ForcedFault, JobError, JobErrorKind, Phase};
 pub use metrics::{CostModel, JobMetrics, MetricsReport};
 pub use record::RecordSize;

@@ -65,6 +65,19 @@ pub struct JobMetrics {
     pub max_partition_records: u64,
     /// Records emitted by reducers.
     pub reduce_output_records: u64,
+    /// Map task attempts that failed (injected faults or mapper panics).
+    /// Fault-tolerance bookkeeping, *not* a paper-table counter: the
+    /// logical counters above only ever count committed attempts.
+    pub map_task_failures: u64,
+    /// Reduce task attempts that failed.
+    pub reduce_task_failures: u64,
+    /// Task re-executions after a failed attempt (map + reduce).
+    pub retries: u64,
+    /// Speculative duplicate attempts launched for straggling tasks.
+    pub speculative_launched: u64,
+    /// Speculative attempts that finished before their straggling primary
+    /// and committed the task.
+    pub speculative_won: u64,
     /// Wall time of the map phase.
     pub map_wall: Duration,
     /// Wall time of the shuffle (partition + route + sort).
@@ -86,6 +99,9 @@ pub struct MetricsReport {
     pub dfs_read_bytes: u64,
     /// Bytes written to the DFS across the run.
     pub dfs_write_bytes: u64,
+    /// Transient DFS read failures that were retried (fault injection);
+    /// the byte counters only charge successful reads.
+    pub dfs_transient_read_failures: u64,
 }
 
 impl MetricsReport {

@@ -104,7 +104,10 @@ impl Grid {
     /// Panics if the indices are out of range.
     #[must_use]
     pub fn cell_at(&self, col: u32, row: u32) -> CellId {
-        assert!(col < self.cols && row < self.rows, "cell index out of range");
+        assert!(
+            col < self.cols && row < self.rows,
+            "cell index out of range"
+        );
         CellId(row * self.cols + col)
     }
 
@@ -268,8 +271,7 @@ impl Grid {
     pub fn fourth_quadrant_cells(&self, r: &Rect) -> Vec<CellId> {
         let cu = self.cell_of(r);
         let (col0, row0) = (self.col_of(cu), self.row_of(cu));
-        let mut out =
-            Vec::with_capacity(((self.cols - col0) * (self.rows - row0)) as usize);
+        let mut out = Vec::with_capacity(((self.cols - col0) * (self.rows - row0)) as usize);
         for row in row0..self.rows {
             for col in col0..self.cols {
                 out.push(self.cell_at(col, row));
@@ -473,13 +475,17 @@ mod tests {
     }
 
     fn arb_rect_in(extent: Coord) -> impl Strategy<Value = Rect> {
-        (0.0..extent, 0.0..extent, 0.0..extent / 2.0, 0.0..extent / 2.0).prop_map(
-            move |(x, y, l, b)| {
+        (
+            0.0..extent,
+            0.0..extent,
+            0.0..extent / 2.0,
+            0.0..extent / 2.0,
+        )
+            .prop_map(move |(x, y, l, b)| {
                 let l = l.min(extent - x);
                 let b = b.min(y);
                 Rect::new(x, y, l, b)
-            },
-        )
+            })
     }
 
     proptest! {

@@ -99,13 +99,19 @@ mod tests {
     #[test]
     fn figure2_project() {
         let (grid, r1) = fig2();
-        assert_eq!(numbers(&Transform::Project.target_cells(&r1, &grid)), vec![6]);
+        assert_eq!(
+            numbers(&Transform::Project.target_cells(&r1, &grid)),
+            vec![6]
+        );
     }
 
     #[test]
     fn figure2_split() {
         let (grid, r1) = fig2();
-        assert_eq!(numbers(&Transform::Split.target_cells(&r1, &grid)), vec![6, 7]);
+        assert_eq!(
+            numbers(&Transform::Split.target_cells(&r1, &grid)),
+            vec![6, 7]
+        );
     }
 
     #[test]

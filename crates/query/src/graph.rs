@@ -211,7 +211,7 @@ mod tests {
         assert!(subs.contains(&0b0111));
         assert!(!subs.contains(&0b0101)); // {0, 2} is disconnected
         assert!(!subs.contains(&0b1111)); // full set excluded
-        // Including the full set:
+                                          // Including the full set:
         assert_eq!(g.connected_subsets(false).len(), 10);
     }
 

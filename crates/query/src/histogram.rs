@@ -216,7 +216,12 @@ mod tests {
             .map(|_| {
                 let x = rng.random_range(0.0..EXTENT - side);
                 let y = rng.random_range(side..EXTENT);
-                Rect::new(x, y, rng.random_range(0.0..side), rng.random_range(0.0..side))
+                Rect::new(
+                    x,
+                    y,
+                    rng.random_range(0.0..side),
+                    rng.random_range(0.0..side),
+                )
             })
             .collect()
     }

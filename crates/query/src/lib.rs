@@ -26,7 +26,7 @@ mod parser;
 mod query;
 
 pub use bounds::replication_bounds;
-pub use histogram::GridHistogram;
 pub use graph::JoinGraph;
+pub use histogram::GridHistogram;
 pub use parser::ParseError;
 pub use query::{Predicate, Query, QueryBuilder, QueryError, RelationId, Triple};

@@ -226,7 +226,10 @@ mod tests {
     #[test]
     fn rejects_unterminated_clause() {
         assert_eq!(parse("a overlaps").unwrap_err(), ParseError::UnexpectedEnd);
-        assert_eq!(parse("a within 3 of").unwrap_err(), ParseError::UnexpectedEnd);
+        assert_eq!(
+            parse("a within 3 of").unwrap_err(),
+            ParseError::UnexpectedEnd
+        );
     }
 
     #[test]

@@ -123,11 +123,17 @@ impl std::fmt::Display for QueryError {
                 write!(f, "relation position {name} is joined with itself; bind the same dataset to two positions instead")
             }
             QueryError::BadDistance(name) => {
-                write!(f, "range distance for {name} must be finite and non-negative")
+                write!(
+                    f,
+                    "range distance for {name} must be finite and non-negative"
+                )
             }
             QueryError::Disconnected => write!(f, "join graph must be connected"),
             QueryError::TooManyRelations(n) => {
-                write!(f, "{n} relation positions exceed the supported maximum of 16")
+                write!(
+                    f,
+                    "{n} relation positions exceed the supported maximum of 16"
+                )
             }
         }
     }
@@ -252,9 +258,10 @@ impl Query {
     #[must_use]
     pub fn satisfied_by(&self, tuple: &[Rect]) -> bool {
         debug_assert_eq!(tuple.len(), self.num_relations());
-        self.triples
-            .iter()
-            .all(|t| t.predicate.eval(&tuple[t.left.index()], &tuple[t.right.index()]))
+        self.triples.iter().all(|t| {
+            t.predicate
+                .eval(&tuple[t.left.index()], &tuple[t.right.index()])
+        })
     }
 }
 
@@ -429,7 +436,10 @@ mod tests {
 
     #[test]
     fn negative_distance_rejected() {
-        let err = Query::builder().range("R1", "R2", -1.0).build().unwrap_err();
+        let err = Query::builder()
+            .range("R1", "R2", -1.0)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, QueryError::BadDistance(_)));
     }
 

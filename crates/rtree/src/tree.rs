@@ -137,7 +137,12 @@ impl<T> RTree<T> {
 
     /// Calls `visit` for every entry whose rectangle lies within distance
     /// `d` (closed) of the probe rectangle. `d = 0` is the overlap query.
-    pub fn query_within<'a>(&'a self, probe: &Rect, d: Coord, mut visit: impl FnMut(&'a Rect, &'a T)) {
+    pub fn query_within<'a>(
+        &'a self,
+        probe: &Rect,
+        d: Coord,
+        mut visit: impl FnMut(&'a Rect, &'a T),
+    ) {
         let Some(root) = self.root else { return };
         let d_sq = d * d;
         let mut stack = vec![root];
@@ -288,8 +293,7 @@ impl<T> RTree<T> {
                                 continue;
                             }
                         }
-                        let pos = best
-                            .partition_point(|&(bd, be)| (bd, be) < (cand.0, cand.1));
+                        let pos = best.partition_point(|&(bd, be)| (bd, be) < (cand.0, cand.1));
                         best.insert(pos, cand);
                         best.truncate(k);
                     }

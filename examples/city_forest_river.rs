@@ -83,8 +83,8 @@ fn main() {
     let river_mbrs: Vec<Rect> = rivers.iter().map(Polygon::mbr).collect();
 
     // "Adjacent to a forest" = within 100 units; "overlaps a river".
-    let query = Query::parse("city within 100 of forest and city overlaps river")
-        .expect("valid query");
+    let query =
+        Query::parse("city within 100 of forest and city overlaps river").expect("valid query");
     println!("query : {query}");
 
     let cluster = Cluster::new(ClusterConfig::for_space((0.0, SPACE), (0.0, SPACE), 8));
@@ -103,11 +103,7 @@ fn main() {
     );
 
     // Refinement step: exact polygon predicates.
-    let exact = refine::refine_tuples(
-        &query,
-        &[&cities, &forests, &rivers],
-        &filtered.tuples,
-    );
+    let exact = refine::refine_tuples(&query, &[&cities, &forests, &rivers], &filtered.tuples);
     println!(
         "refine step : {} true triples ({} MBR false positives removed)",
         exact.len(),

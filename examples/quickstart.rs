@@ -35,18 +35,11 @@ fn main() {
         8,
     ));
 
-    let output = cluster.run(
-        &query,
-        &[&r1, &r2, &r3],
-        Algorithm::ControlledReplicate,
-    );
+    let output = cluster.run(&query, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
 
     println!("output : {} tuples", output.len());
     for tuple in output.tuples.iter().take(5) {
-        println!(
-            "  R1[{}] x R2[{}] x R3[{}]",
-            tuple[0], tuple[1], tuple[2]
-        );
+        println!("  R1[{}] x R2[{}] x R3[{}]", tuple[0], tuple[1], tuple[2]);
     }
     if output.len() > 5 {
         println!("  ... and {} more", output.len() - 5);

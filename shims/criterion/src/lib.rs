@@ -1,0 +1,154 @@
+//! Offline stand-in for the `criterion` crate (see `crates/shims/README.md`).
+//!
+//! Runs each benchmark a configurable number of iterations and prints the
+//! mean and best wall time per iteration. No statistics, warm-up
+//! calibration, or HTML reports — just enough to keep `cargo bench`
+//! targets building and producing comparable numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, 10, f);
+    }
+}
+
+/// A group of related benchmarks (subset of `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a named benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure (subset of `criterion::Bencher`).
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.budget {
+            let t0 = Instant::now();
+            let out = routine();
+            self.samples.push(t0.elapsed());
+            drop(black_box(out));
+        }
+    }
+}
+
+fn run_bench<F>(name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::new(),
+        // One untimed call warms caches; criterion's warm-up phase.
+        budget: 1,
+    };
+    f(&mut b);
+    b.samples.clear();
+    b.budget = sample_size;
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {name}: no samples");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let best = b.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "  {name}: mean {mean:?}, best {best:?} ({} samples)",
+        b.samples.len()
+    );
+}
+
+/// Declares the benchmark entry-point functions (subset of criterion's
+/// macro of the same name).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0usize;
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        group.finish();
+        // 1 warm-up + 3 timed.
+        assert_eq!(runs, 4);
+    }
+}

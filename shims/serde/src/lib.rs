@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate (see `crates/shims/README.md`).
+//!
+//! Nothing in this workspace serializes through serde at runtime — the
+//! derives exist so downstream users *could* — so `Serialize` and
+//! `Deserialize` are provided as marker traits satisfied by every type,
+//! and the derive macros expand to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive` (see `crates/shims/README.md`).
+//!
+//! The shim `serde` crate implements `Serialize` / `Deserialize` as marker
+//! traits with blanket impls, so the derives have nothing to generate and
+//! expand to an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

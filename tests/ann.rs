@@ -21,7 +21,12 @@ fn relation(n: usize, seed: u64) -> Vec<Rect> {
         .map(|_| {
             let x = rng.random_range(0.0..980.0);
             let y = rng.random_range(20.0..1000.0);
-            Rect::new(x, y, rng.random_range(0.0..20.0), rng.random_range(0.0..20.0))
+            Rect::new(
+                x,
+                y,
+                rng.random_range(0.0..20.0),
+                rng.random_range(0.0..20.0),
+            )
         })
         .collect()
 }
@@ -31,7 +36,10 @@ fn matches_brute_force_random() {
     let outer = relation(300, 1);
     let inner = relation(300, 2);
     let cl = cluster(8);
-    assert_eq!(ann_join(&cl, &outer, &inner), ann_brute_force(&outer, &inner));
+    assert_eq!(
+        ann_join(&cl, &outer, &inner),
+        ann_brute_force(&outer, &inner)
+    );
 }
 
 #[test]
@@ -41,7 +49,10 @@ fn matches_brute_force_sparse_inner() {
     let outer = relation(200, 3);
     let inner = relation(3, 4);
     let cl = cluster(8);
-    assert_eq!(ann_join(&cl, &outer, &inner), ann_brute_force(&outer, &inner));
+    assert_eq!(
+        ann_join(&cl, &outer, &inner),
+        ann_brute_force(&outer, &inner)
+    );
 }
 
 #[test]
@@ -69,7 +80,10 @@ fn matches_brute_force_clustered_far_apart() {
         })
         .collect();
     let cl = cluster(8);
-    assert_eq!(ann_join(&cl, &outer, &inner), ann_brute_force(&outer, &inner));
+    assert_eq!(
+        ann_join(&cl, &outer, &inner),
+        ann_brute_force(&outer, &inner)
+    );
 }
 
 #[test]
@@ -186,7 +200,10 @@ mod knn {
         let outer = relation(80, 27);
         let inner = relation(4, 28);
         let cl = cluster(8);
-        assert_eq!(knn_join(&cl, &outer, &inner, 3), knn_brute_force(&outer, &inner, 3));
+        assert_eq!(
+            knn_join(&cl, &outer, &inner, 3),
+            knn_brute_force(&outer, &inner, 3)
+        );
     }
 
     proptest! {

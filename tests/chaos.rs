@@ -1,0 +1,271 @@
+//! Chaos suite: fault tolerance must be *invisible* above the engine.
+//!
+//! Under a random [`FaultPlan`] — failed task attempts, stragglers with
+//! speculative re-execution, transient DFS read failures — every algorithm
+//! must still produce exactly the brute-force join result, and the logical
+//! metrics (record and byte counters) must be identical to the fault-free
+//! run: a retried task never double-emits, a failed attempt never commits
+//! partial output. Only when a task exhausts its attempt budget may a run
+//! fail — and then with a structured [`JoinError`], not a process abort.
+
+use mwsj_core::mapreduce::{FaultPlan, ForcedFault, Phase};
+use mwsj_core::{reference, Algorithm, Cluster, ClusterConfig, JoinError, RunConfig};
+use mwsj_geom::Rect;
+use mwsj_query::Query;
+
+fn synthetic(n: usize, seed: u64) -> Vec<Rect> {
+    mwsj_datagen::SyntheticConfig::paper_default(n, seed).generate()
+}
+
+/// A cluster with *pinned* engine parallelism, so the number of map chunks
+/// — and with it every deterministic fault decision — is identical on
+/// every machine.
+fn cluster_with(plan: Option<FaultPlan>) -> Cluster {
+    let mut config = ClusterConfig::for_space((0.0, 100_000.0), (0.0, 100_000.0), 8);
+    config.engine.map_tasks = 4;
+    config.engine.reduce_tasks = 4;
+    config.engine.fault_plan = plan;
+    Cluster::new(config)
+}
+
+fn chain_query() -> Query {
+    Query::builder()
+        .overlap("R1", "R2")
+        .range("R2", "R3", 300.0)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn all_algorithms_match_brute_force_under_random_faults() {
+    let q = chain_query();
+    let r1 = synthetic(4_000, 91);
+    let r2 = synthetic(4_000, 92);
+    let r3 = synthetic(4_000, 93);
+    let expected = reference::in_memory_join(&q, &[&r1, &r2, &r3]);
+    assert!(!expected.is_empty());
+
+    for fault_seed in [7, 1234] {
+        // An eight-attempt budget keeps the probability of any task
+        // exhausting it negligible (0.2^8) while injecting plenty of
+        // retries across the suite's hundreds of tasks.
+        let plan = FaultPlan::chaos(fault_seed, 0.2, 0.05).with_max_attempts(8);
+        for alg in Algorithm::ALL {
+            let cl = cluster_with(Some(plan.clone()));
+            let out = cl.run(&q, &[&r1, &r2, &r3], alg);
+            assert_eq!(
+                out.tuples,
+                expected,
+                "{} deviates under fault seed {fault_seed}",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn logical_counters_identical_with_and_without_faults() {
+    let q = chain_query();
+    let r1 = synthetic(2_000, 101);
+    let r2 = synthetic(2_000, 102);
+    let r3 = synthetic(2_000, 103);
+
+    let clean = cluster_with(None).run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+    let faulty = cluster_with(Some(FaultPlan::chaos(42, 0.25, 0.1).with_max_attempts(8))).run(
+        &q,
+        &[&r1, &r2, &r3],
+        Algorithm::ControlledReplicate,
+    );
+
+    assert_eq!(faulty.tuples, clean.tuples);
+    assert_eq!(
+        clean.report.num_jobs(),
+        faulty.report.num_jobs(),
+        "fault tolerance must not add or drop jobs"
+    );
+    for (c, f) in clean.report.jobs.iter().zip(&faulty.report.jobs) {
+        assert_eq!(c.map_input_records, f.map_input_records, "{}", c.job_name);
+        assert_eq!(c.map_output_records, f.map_output_records, "{}", c.job_name);
+        assert_eq!(c.shuffle_bytes, f.shuffle_bytes, "{}", c.job_name);
+        assert_eq!(
+            c.reduce_input_groups, f.reduce_input_groups,
+            "{}",
+            c.job_name
+        );
+        assert_eq!(
+            c.reduce_input_records, f.reduce_input_records,
+            "{}",
+            c.job_name
+        );
+        assert_eq!(
+            c.reduce_output_records, f.reduce_output_records,
+            "{}",
+            c.job_name
+        );
+        // Fault-free runs keep the fault counters at zero.
+        assert_eq!(c.retries, 0);
+        assert_eq!(c.map_task_failures + c.reduce_task_failures, 0);
+    }
+    // Successful DFS reads are charged identically; failed ones are free.
+    assert_eq!(clean.report.dfs_read_bytes, faulty.report.dfs_read_bytes);
+    assert_eq!(clean.report.dfs_write_bytes, faulty.report.dfs_write_bytes);
+    assert_eq!(clean.report.dfs_transient_read_failures, 0);
+
+    // The chaos plan must actually have bitten for this test to mean
+    // anything: at a 25% attempt-failure rate over dozens of tasks, some
+    // retries are statistically certain (and deterministic per seed).
+    let total_retries: u64 = faulty.report.jobs.iter().map(|j| j.retries).sum();
+    assert!(total_retries > 0, "fault plan injected nothing");
+}
+
+/// The ISSUE's surgical case: exactly one map failure and one reduce
+/// failure, each retried once — all logical counters byte-identical to the
+/// fault-free run, `retries == 2`.
+#[test]
+fn one_map_and_one_reduce_failure_retry_without_trace() {
+    let q = chain_query();
+    let r1 = synthetic(1_000, 111);
+    let r2 = synthetic(1_000, 112);
+    let r3 = synthetic(1_000, 113);
+
+    let plan = FaultPlan::none().with_forced(vec![
+        ForcedFault {
+            phase: Phase::Map,
+            task: 0,
+            attempts: 1,
+        },
+        ForcedFault {
+            phase: Phase::Reduce,
+            task: 1,
+            attempts: 1,
+        },
+    ]);
+
+    // All-Replicate runs exactly one job, so the forced faults fire once.
+    let clean = cluster_with(None).run(&q, &[&r1, &r2, &r3], Algorithm::AllReplicate);
+    let faulty = cluster_with(Some(plan)).run(&q, &[&r1, &r2, &r3], Algorithm::AllReplicate);
+
+    assert_eq!(faulty.tuples, clean.tuples);
+    let (c, f) = (&clean.report.jobs[0], &faulty.report.jobs[0]);
+    assert_eq!(f.map_output_records, c.map_output_records);
+    assert_eq!(f.shuffle_bytes, c.shuffle_bytes);
+    assert_eq!(f.reduce_output_records, c.reduce_output_records);
+    assert_eq!(f.map_task_failures, 1);
+    assert_eq!(f.reduce_task_failures, 1);
+    assert_eq!(f.retries, 2);
+}
+
+/// A task forced past `max_attempts` fails the *join* with a structured
+/// error naming the phase and task — the process, and the cluster, live on.
+#[test]
+fn exhausted_attempts_surface_join_error_not_abort() {
+    let q = chain_query();
+    let r1 = synthetic(400, 121);
+    let r2 = synthetic(400, 122);
+    let r3 = synthetic(400, 123);
+
+    let plan = FaultPlan::none()
+        .with_forced(vec![ForcedFault {
+            phase: Phase::Reduce,
+            task: 2,
+            attempts: u32::MAX,
+        }])
+        .with_max_attempts(3);
+    let cl = cluster_with(Some(plan));
+
+    let err = cl
+        .try_run_with(
+            &q,
+            &[&r1, &r2, &r3],
+            Algorithm::AllReplicate,
+            RunConfig::default(),
+        )
+        .unwrap_err();
+    match &err {
+        JoinError::Job(e) => {
+            assert_eq!(e.phase, Phase::Reduce);
+            assert_eq!(e.task, 2);
+            assert_eq!(e.attempts, 3);
+        }
+        JoinError::Dfs(e) => panic!("expected a job error, got DFS error {e}"),
+    }
+    let msg = err.to_string();
+    assert!(
+        msg.contains("reduce task 2") && msg.contains("3 attempts"),
+        "error must name phase, task and attempts: {msg}"
+    );
+
+    // The cluster is still usable: the same join without the fault plan's
+    // doomed task succeeds.
+    let ok = cluster_with(None).run(&q, &[&r1, &r2, &r3], Algorithm::AllReplicate);
+    assert_eq!(ok.tuples, reference::in_memory_join(&q, &[&r1, &r2, &r3]));
+}
+
+/// Count-only runs must not tally through side effects: a retried or
+/// speculative reduce attempt re-runs the user closure, and anything it
+/// adds to shared state outside the commit protocol is double-counted.
+/// Counts must ride the committed output, so `tuple_count` is identical
+/// with and without faults — this is what `assert_same_results` in the
+/// bench harness checks across algorithms.
+#[test]
+fn count_only_tuple_counts_survive_retries_and_speculation() {
+    let q = chain_query();
+    let r1 = synthetic(4_000, 141);
+    let r2 = synthetic(4_000, 142);
+    let r3 = synthetic(4_000, 143);
+    let counting = RunConfig::counting();
+
+    // Both failure retries and straggler speculation, to exercise every
+    // path that re-runs a reduce closure.
+    let mut plan = FaultPlan::chaos(9, 0.2, 0.1).with_max_attempts(8);
+    plan.straggler_delay = std::time::Duration::from_millis(1);
+
+    for alg in Algorithm::ALL {
+        let clean = cluster_with(None)
+            .try_run_with(&q, &[&r1, &r2, &r3], alg, counting)
+            .unwrap();
+        let faulty = cluster_with(Some(plan.clone()))
+            .try_run_with(&q, &[&r1, &r2, &r3], alg, counting)
+            .unwrap();
+        assert!(clean.tuples.is_empty() && faulty.tuples.is_empty());
+        assert!(clean.tuple_count > 0);
+        assert_eq!(
+            faulty.tuple_count,
+            clean.tuple_count,
+            "{} count drifts under faults",
+            alg.name()
+        );
+        let retries: u64 = faulty.report.jobs.iter().map(|j| j.retries).sum();
+        assert!(retries > 0, "{}: fault plan injected nothing", alg.name());
+    }
+}
+
+/// Speculative execution races duplicate attempts for straggling tasks and
+/// commits whichever finishes first — without perturbing results or
+/// logical counters.
+#[test]
+fn heavy_speculation_does_not_perturb_results() {
+    let q = chain_query();
+    let r1 = synthetic(800, 131);
+    let r2 = synthetic(800, 132);
+    let r3 = synthetic(800, 133);
+
+    let mut plan = FaultPlan::chaos(5, 0.0, 1.0);
+    plan.straggler_delay = std::time::Duration::from_millis(1);
+    let clean = cluster_with(None).run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicateLimit);
+    let slow =
+        cluster_with(Some(plan)).run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicateLimit);
+
+    assert_eq!(slow.tuples, clean.tuples);
+    let launched: u64 = slow
+        .report
+        .jobs
+        .iter()
+        .map(|j| j.speculative_launched)
+        .sum();
+    assert!(launched > 0, "straggler rate 1.0 must launch speculation");
+    for (c, f) in clean.report.jobs.iter().zip(&slow.report.jobs) {
+        assert_eq!(c.map_output_records, f.map_output_records);
+        assert_eq!(c.reduce_output_records, f.reduce_output_records);
+    }
+}

@@ -50,7 +50,10 @@ fn predicate_is_directional() {
 fn parser_and_display_roundtrip() {
     let q = Query::parse("county contains city and city overlaps river").unwrap();
     assert_eq!(q.triples()[0].predicate, Predicate::Contains);
-    assert_eq!(q.to_string(), "county contains city and city overlaps river");
+    assert_eq!(
+        q.to_string(),
+        "county contains city and city overlaps river"
+    );
     assert_eq!(Query::parse(&q.to_string()).unwrap(), q);
 }
 
@@ -164,5 +167,8 @@ fn containment_marks_fewer_than_overlap() {
     let ov = cl.run(&q_ov, &[&a, &b, &c], Algorithm::ControlledReplicate);
     assert!(cont.stats.rectangles_replicated <= ov.stats.rectangles_replicated);
     assert!(cont.tuples.len() <= ov.tuples.len());
-    assert_eq!(cont.tuples, reference::in_memory_join(&q_cont, &[&a, &b, &c]));
+    assert_eq!(
+        cont.tuples,
+        reference::in_memory_join(&q_cont, &[&a, &b, &c])
+    );
 }

@@ -239,9 +239,7 @@ fn crep_l_communicates_no_more_than_crep() {
         crep.stats.rectangles_replicated,
         crepl.stats.rectangles_replicated
     );
-    assert!(
-        crepl.stats.rectangles_after_replication <= crep.stats.rectangles_after_replication
-    );
+    assert!(crepl.stats.rectangles_after_replication <= crep.stats.rectangles_after_replication);
 }
 
 proptest! {
@@ -285,9 +283,7 @@ fn virtual_cells_on_fewer_reducers_stay_correct() {
     let r2 = random_relation(200, 161, 30.0);
     let r3 = random_relation(200, 162, 30.0);
     let expected = reference::in_memory_join(&q, &[&r1, &r2, &r3]);
-    let cl = Cluster::new(
-        ClusterConfig::for_space(SPACE, SPACE, 16).with_reducers(10),
-    );
+    let cl = Cluster::new(ClusterConfig::for_space(SPACE, SPACE, 16).with_reducers(10));
     assert_eq!(cl.num_reducers(), 10);
     for alg in Algorithm::ALL {
         let got = cl.run(&q, &[&r1, &r2, &r3], alg);

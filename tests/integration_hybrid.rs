@@ -17,7 +17,11 @@ fn q4(d: f64) -> Query {
 }
 
 fn paper_cluster() -> Cluster {
-    Cluster::new(ClusterConfig::for_space((0.0, 100_000.0), (0.0, 100_000.0), 8))
+    Cluster::new(ClusterConfig::for_space(
+        (0.0, 100_000.0),
+        (0.0, 100_000.0),
+        8,
+    ))
 }
 
 fn synthetic(n: usize, seed: u64) -> Vec<Rect> {
@@ -38,16 +42,18 @@ fn table8_hybrid_chain_correct_for_both_crep_variants() {
     let crepl = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicateLimit);
     assert_eq!(crep.tuples, expected);
     assert_eq!(crepl.tuples, expected);
-    assert!(
-        crepl.stats.rectangles_after_replication <= crep.stats.rectangles_after_replication
-    );
+    assert!(crepl.stats.rectangles_after_replication <= crep.stats.rectangles_after_replication);
 }
 
 #[test]
 fn table9_california_hybrid_self_join_trend() {
     // Table 9: Q4s = R Ov R and R Ra(d) R over sampled road data; both the
     // marked count and the output grow with d.
-    let cl = Cluster::new(ClusterConfig::for_space((0.0, 63_000.0), (0.0, 100_000.0), 8));
+    let cl = Cluster::new(ClusterConfig::for_space(
+        (0.0, 63_000.0),
+        (0.0, 100_000.0),
+        8,
+    ));
     let full = CaliforniaConfig::new(5_000, 31).generate();
     let data = bernoulli_sample(&full, 0.5, 3);
 
@@ -59,7 +65,11 @@ fn table9_california_hybrid_self_join_trend() {
             .range("Rb", "Rc", d)
             .build()
             .unwrap();
-        let out = cl.run(&q, &[&data, &data, &data], Algorithm::ControlledReplicateLimit);
+        let out = cl.run(
+            &q,
+            &[&data, &data, &data],
+            Algorithm::ControlledReplicateLimit,
+        );
         assert_eq!(
             out.tuples,
             reference::in_memory_join(&q, &[&data, &data, &data]),

@@ -12,7 +12,11 @@ fn q2() -> Query {
 
 fn paper_cluster() -> Cluster {
     // The paper's 8x8 grid of 64 reducers over the synthetic space.
-    Cluster::new(ClusterConfig::for_space((0.0, 100_000.0), (0.0, 100_000.0), 8))
+    Cluster::new(ClusterConfig::for_space(
+        (0.0, 100_000.0),
+        (0.0, 100_000.0),
+        8,
+    ))
 }
 
 fn synthetic(n: usize, seed: u64) -> Vec<Rect> {
@@ -25,7 +29,11 @@ fn table2_trend_output_grows_with_dataset_size() {
     // more rectangles marked for replication. The space shrinks relative
     // to the paper's 100K² so the scaled-down nI keeps the paper's join
     // selectivity (density scales with n · (side/extent)²).
-    let cl = Cluster::new(ClusterConfig::for_space((0.0, 20_000.0), (0.0, 20_000.0), 8));
+    let cl = Cluster::new(ClusterConfig::for_space(
+        (0.0, 20_000.0),
+        (0.0, 20_000.0),
+        8,
+    ));
     let q = q2();
     let mut last_tuples = 0;
     let mut last_marked = 0;
@@ -36,7 +44,11 @@ fn table2_trend_output_grows_with_dataset_size() {
             cfg.y_range = (0.0, 20_000.0);
             cfg.generate()
         };
-        let (r1, r2, r3) = (gen(100 + i as u64), gen(200 + i as u64), gen(300 + i as u64));
+        let (r1, r2, r3) = (
+            gen(100 + i as u64),
+            gen(200 + i as u64),
+            gen(300 + i as u64),
+        );
         let out = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
         assert_eq!(
             out.tuples,
@@ -85,7 +97,11 @@ fn table4_california_star_self_join_with_enlargement() {
     // Table 4: Q2s = R Ov R and R Ov R over California-like road MBBs,
     // enlarged by factor k. Larger k => more overlaps => more marked and a
     // bigger output.
-    let cl = Cluster::new(ClusterConfig::for_space((0.0, 63_000.0), (0.0, 100_000.0), 8));
+    let cl = Cluster::new(ClusterConfig::for_space(
+        (0.0, 63_000.0),
+        (0.0, 100_000.0),
+        8,
+    ));
     let q = Query::parse("Ra ov Rb and Rb ov Rc").unwrap();
     let base = CaliforniaConfig::new(4_000, 2013).generate();
     let space = Rect::new(0.0, 100_000.0, 63_000.0, 100_000.0);
@@ -94,7 +110,11 @@ fn table4_california_star_self_join_with_enlargement() {
     let mut outputs = Vec::new();
     for k in [1.0, 2.0] {
         let data = enlarge_all(&base, k, &space);
-        let out = cl.run(&q, &[&data, &data, &data], Algorithm::ControlledReplicateLimit);
+        let out = cl.run(
+            &q,
+            &[&data, &data, &data],
+            Algorithm::ControlledReplicateLimit,
+        );
         assert_eq!(
             out.tuples,
             reference::in_memory_join(&q, &[&data, &data, &data]),

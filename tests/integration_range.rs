@@ -15,7 +15,11 @@ fn q3(d: f64) -> Query {
 }
 
 fn paper_cluster() -> Cluster {
-    Cluster::new(ClusterConfig::for_space((0.0, 100_000.0), (0.0, 100_000.0), 8))
+    Cluster::new(ClusterConfig::for_space(
+        (0.0, 100_000.0),
+        (0.0, 100_000.0),
+        8,
+    ))
 }
 
 fn synthetic(n: usize, seed: u64) -> Vec<Rect> {
@@ -40,13 +44,11 @@ fn table5_range_chain_correct_and_crepl_cheaper() {
     assert_eq!(crep.tuples, expected);
     assert_eq!(crepl.tuples, expected);
     assert_eq!(
-        crep.stats.rectangles_replicated,
-        crepl.stats.rectangles_replicated,
+        crep.stats.rectangles_replicated, crepl.stats.rectangles_replicated,
         "marking is identical; only the extent differs"
     );
     assert!(
-        crepl.stats.rectangles_after_replication * 2
-            <= crep.stats.rectangles_after_replication,
+        crepl.stats.rectangles_after_replication * 2 <= crep.stats.rectangles_after_replication,
         "C-Rep-L {} vs C-Rep {}",
         crepl.stats.rectangles_after_replication,
         crep.stats.rectangles_after_replication
@@ -82,7 +84,11 @@ fn table6_trend_more_marked_with_growing_d() {
 #[test]
 fn table7_california_sampled_self_join() {
     // Table 7: Q3s over California-like roads sampled with p = 0.5.
-    let cl = Cluster::new(ClusterConfig::for_space((0.0, 63_000.0), (0.0, 100_000.0), 8));
+    let cl = Cluster::new(ClusterConfig::for_space(
+        (0.0, 63_000.0),
+        (0.0, 100_000.0),
+        8,
+    ));
     let full = CaliforniaConfig::new(6_000, 99).generate();
     let data = bernoulli_sample(&full, 0.5, 7);
     assert!((data.len() as f64 / full.len() as f64 - 0.5).abs() < 0.05);

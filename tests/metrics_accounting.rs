@@ -8,7 +8,11 @@ use mwsj_geom::Rect;
 use mwsj_query::Query;
 
 fn cluster() -> Cluster {
-    Cluster::new(ClusterConfig::for_space((0.0, 100_000.0), (0.0, 100_000.0), 8))
+    Cluster::new(ClusterConfig::for_space(
+        (0.0, 100_000.0),
+        (0.0, 100_000.0),
+        8,
+    ))
 }
 
 fn workload() -> (Vec<Rect>, Vec<Rect>, Vec<Rect>) {
@@ -52,7 +56,10 @@ fn cascade_pays_dfs_traffic_others_pay_little() {
     );
 
     let all = cl.run(&q, &[&r1, &r2, &r3], Algorithm::AllReplicate);
-    assert_eq!(all.report.dfs_write_bytes, 0, "single-round: no DFS round trip");
+    assert_eq!(
+        all.report.dfs_write_bytes, 0,
+        "single-round: no DFS round trip"
+    );
 
     // C-Rep materializes only the flagged rectangle stream (38 + 1 bytes
     // per rectangle), independent of the result size.
@@ -116,7 +123,11 @@ fn reduce_input_equals_map_output() {
     let cl = cluster();
     let out = cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicateLimit);
     for j in &out.report.jobs {
-        assert_eq!(j.reduce_input_records, j.map_output_records, "{}", j.job_name);
+        assert_eq!(
+            j.reduce_input_records, j.map_output_records,
+            "{}",
+            j.job_name
+        );
         assert!(j.reduce_input_groups <= 64, "at most one group per cell");
     }
 }
@@ -272,6 +283,7 @@ fn results_and_counts_independent_of_parallelism() {
                 EngineConfig {
                     map_tasks: threads,
                     reduce_tasks: threads,
+                    fault_plan: None,
                 },
             ),
         );
@@ -296,7 +308,8 @@ fn concurrent_runs_share_one_cluster_safely() {
     let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
     let expected = {
         let cl = cluster();
-        cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate).tuples
+        cl.run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate)
+            .tuples
     };
     std::thread::scope(|s| {
         for _ in 0..4 {

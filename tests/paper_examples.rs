@@ -221,12 +221,7 @@ fn figure4_crossing_pair_is_replicated_and_output_lands_at_c4() {
     assert_eq!(grid.cell_of(&w1), c1);
 
     // Marking at c1 replicates v1 and w1.
-    let local = vec![
-        Vec::new(),
-        vec![(v1, 1)],
-        vec![(w1, 1)],
-        Vec::new(),
-    ];
+    let local = vec![Vec::new(), vec![(v1, 1)], vec![(w1, 1)], Vec::new()];
     let flags = mwsj_local::marking::mark_for_replication(&q, &grid, c1, &local);
     assert_eq!(flags[1], vec![true], "v1 must be marked");
     assert_eq!(flags[2], vec![true], "w1 must be marked");

@@ -68,7 +68,12 @@ fn split_only_is_complete_for_two_way_joins() {
             .map(|_| {
                 let x = rng.random_range(0.0..950.0);
                 let y = rng.random_range(50.0..1000.0);
-                Rect::new(x, y, rng.random_range(0.0..50.0), rng.random_range(0.0..50.0))
+                Rect::new(
+                    x,
+                    y,
+                    rng.random_range(0.0..50.0),
+                    rng.random_range(0.0..50.0),
+                )
             })
             .collect()
     };
@@ -92,7 +97,12 @@ fn split_only_underreports_on_random_three_way_workloads() {
             .map(|_| {
                 let x = rng.random_range(0.0..900.0);
                 let y = rng.random_range(100.0..1000.0);
-                Rect::new(x, y, rng.random_range(0.0..100.0), rng.random_range(0.0..100.0))
+                Rect::new(
+                    x,
+                    y,
+                    rng.random_range(0.0..100.0),
+                    rng.random_range(0.0..100.0),
+                )
             })
             .collect()
     };
