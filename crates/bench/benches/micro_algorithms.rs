@@ -3,7 +3,7 @@
 //! for the full distributed pipelines).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mwsj_core::{Algorithm, Cluster, ClusterConfig, RunConfig};
+use mwsj_core::{Algorithm, Cluster, ClusterConfig, JoinRun};
 use mwsj_datagen::SyntheticConfig;
 use mwsj_query::Query;
 use std::hint::black_box;
@@ -25,7 +25,11 @@ fn bench_algorithms(c: &mut Criterion) {
     for alg in Algorithm::ALL {
         group.bench_function(alg.name(), |b| {
             b.iter(|| {
-                black_box(cluster.run_with(&query, &[&r1, &r2, &r3], alg, RunConfig::counting()))
+                black_box(
+                    cluster
+                        .submit(&JoinRun::new(&query, &[&r1, &r2, &r3], alg).counting())
+                        .unwrap(),
+                )
             });
         });
     }

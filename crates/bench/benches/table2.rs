@@ -8,7 +8,7 @@
 
 use mwsj_bench::{
     assert_same_results, fmt_repl, fmt_times, measure, paper_cluster, print_header, scale,
-    scaled_extent, scaled_n,
+    scaled_extent, scaled_n, BenchLog,
 };
 use mwsj_core::Algorithm;
 use mwsj_datagen::SyntheticConfig;
@@ -38,6 +38,7 @@ fn main() {
         ],
     );
 
+    let mut log = BenchLog::new("table2");
     for (row, paper_n) in [1u64, 2, 3, 4, 5].iter().enumerate() {
         let n = scaled_n(paper_n * 1_000_000);
         let gen = |seed: u64| {
@@ -63,6 +64,14 @@ fn main() {
             same.push(a);
         }
         assert_same_results(&format!("nI = {n}"), &same);
+
+        let label = format!("nI={n}");
+        log.record(&label, Algorithm::TwoWayCascade, &cascade);
+        if let Some(a) = &all_rep {
+            log.record(&label, Algorithm::AllReplicate, a);
+        }
+        log.record(&label, Algorithm::ControlledReplicate, &crep);
+        log.record(&label, Algorithm::ControlledReplicateLimit, &crepl);
 
         println!(
             "{n} | {} | {} | {} | {} | {} | {} | {} | {}",
@@ -92,4 +101,5 @@ fn main() {
             fmt_repl(&crepl),
         );
     }
+    log.write().expect("writing BENCH_table2.json");
 }

@@ -23,7 +23,7 @@
 
 use std::time::{Duration, Instant};
 
-use mwsj_core::{Algorithm, Cluster, ClusterConfig, JoinOutput, RunConfig};
+use mwsj_core::{Algorithm, Cluster, ClusterConfig, JoinOutput, JoinRun};
 use mwsj_geom::Rect;
 use mwsj_mapreduce::{CostModel, EngineConfig, FaultPlan};
 use mwsj_query::Query;
@@ -140,7 +140,9 @@ pub fn measure(
     algorithm: Algorithm,
 ) -> Measured {
     let t0 = Instant::now();
-    let output = cluster.run_with(query, relations, algorithm, RunConfig::counting());
+    let output = cluster
+        .submit(&JoinRun::new(query, relations, algorithm).counting())
+        .unwrap_or_else(|e| panic!("{e}"));
     Measured {
         wall: t0.elapsed(),
         output,
@@ -229,6 +231,122 @@ pub fn print_header(table: &str, caption: &str, workload: &str, columns: &[&str]
     println!("{}", columns.join(" | "));
     let width = columns.join(" | ").len();
     println!("{}", "-".repeat(width));
+}
+
+/// Collects per-phase timing records across a table's runs and writes them
+/// as a machine-readable `BENCH_<table>.json` file next to the printed
+/// table — one record per map-reduce job, with the phase walls and the
+/// headline logical counters of that job.
+///
+/// The JSON is emitted by hand (the workspace's offline `serde` is a
+/// no-op shim); `mwsj_mapreduce::validate_json` accepts the output.
+pub struct BenchLog {
+    table: String,
+    records: Vec<String>,
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+impl BenchLog {
+    /// Starts a log for one table (e.g. `"table2"`).
+    #[must_use]
+    pub fn new(table: &str) -> Self {
+        Self {
+            table: table.to_string(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Records every job of one measured run under a row label.
+    pub fn record(&mut self, row: &str, algorithm: Algorithm, m: &Measured) {
+        let r = &m.output.report;
+        for j in &r.jobs {
+            self.records.push(format!(
+                concat!(
+                    "{{\"row\":{row},\"algorithm\":{alg},\"job\":{job},",
+                    "\"map_ms\":{map},\"shuffle_ms\":{shuf},\"reduce_ms\":{red},",
+                    "\"total_ms\":{total},\"kv_pairs\":{kv},\"shuffle_bytes\":{sb},",
+                    "\"retries\":{retries},\"speculative_launched\":{spec}}}"
+                ),
+                row = json_str(row),
+                alg = json_str(algorithm.name()),
+                job = json_str(&j.job_name),
+                map = ms(j.map_wall),
+                shuf = ms(j.shuffle_wall),
+                red = ms(j.reduce_wall),
+                total = ms(j.total_wall),
+                kv = j.map_output_records,
+                sb = j.shuffle_bytes,
+                retries = j.retries,
+                spec = j.speculative_launched,
+            ));
+        }
+        self.records.push(format!(
+            concat!(
+                "{{\"row\":{row},\"algorithm\":{alg},\"run\":true,",
+                "\"wall_ms\":{wall},\"tuples\":{tuples},\"jobs\":{jobs},",
+                "\"dfs_read_bytes\":{dr},\"dfs_write_bytes\":{dw},",
+                "\"replicated\":{repl},\"after_replication\":{after}}}"
+            ),
+            row = json_str(row),
+            alg = json_str(algorithm.name()),
+            wall = ms(m.wall),
+            tuples = m.output.tuple_count,
+            jobs = r.num_jobs(),
+            dr = r.dfs_read_bytes,
+            dw = r.dfs_write_bytes,
+            repl = m.output.stats.rectangles_replicated,
+            after = m.output.stats.rectangles_after_replication,
+        ));
+    }
+
+    /// Renders the full document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"table\":{},\"scale\":{},\"records\":[\n{}\n]}}\n",
+            json_str(&self.table),
+            scale(),
+            self.records.join(",\n")
+        )
+    }
+
+    /// Writes `BENCH_<table>.json` into the workspace root (cargo runs
+    /// benches from the package directory) and reports the path on stderr.
+    ///
+    /// # Errors
+    /// Propagates the underlying file-system error.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("bench crate lives two levels below the workspace root");
+        let path = root.join(format!("BENCH_{}.json", self.table));
+        std::fs::write(&path, self.to_json())?;
+        eprintln!(
+            "bench log : {} records -> {}",
+            self.records.len(),
+            path.display()
+        );
+        Ok(path)
+    }
 }
 
 /// Asserts that every algorithm in a row produced the same number of

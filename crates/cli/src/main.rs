@@ -19,8 +19,8 @@ mod data;
 use std::process::ExitCode;
 
 use args::Args;
-use mwsj_core::mapreduce::{EngineConfig, FaultPlan};
-use mwsj_core::{planner, Algorithm, Cluster, ClusterConfig, RunConfig};
+use mwsj_core::mapreduce::{validate_json, EngineConfig, FaultPlan, TraceSink};
+use mwsj_core::{planner, Algorithm, Cluster, ClusterConfig, JoinRun};
 use mwsj_datagen::CaliforniaStats;
 use mwsj_query::Query;
 
@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args),
         Some("ann") => cmd_ann(&args),
         Some("stats") => cmd_stats(&args),
+        Some("trace-check") => cmd_trace_check(&args),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
@@ -59,6 +60,7 @@ USAGE:
   mwsj gen   --source SOURCE --out FILE.csv
   mwsj ann   --outer SOURCE --inner SOURCE [--grid N] [--k K]
   mwsj stats --source SOURCE
+  mwsj trace-check --file FILE
   mwsj help
 
 QUERIES  (see the library docs for the full grammar)
@@ -81,6 +83,11 @@ FAULT INJECTION  (run and ann; results are identical to fault-free runs)
   --fault-rate P      fail each task attempt and DFS read with probability P
   --straggler-rate P  delay attempts with probability P, racing speculative copies
   --fault-seed N      seed for the deterministic fault decisions (default 0)
+
+TRACING  (run and ann; recording does not perturb the metric counters)
+  --trace-out FILE    record spans for every job/phase/task attempt, write to FILE
+  --trace-format F    chrome (default; load FILE in chrome://tracing) or jsonl
+  trace-check         validate a written trace file (whole-document or JSON-lines)
 ";
 
 /// Builds the engine config from the `--fault-*` flags; no flags means a
@@ -100,6 +107,74 @@ fn parse_engine_config(args: &Args) -> Result<EngineConfig, String> {
         eprintln!("faults    : rate {rate}, stragglers {straggler}, seed {seed}");
     }
     Ok(config)
+}
+
+/// The `--trace-out` / `--trace-format` pair: a recording sink plus where
+/// and how to flush it after the run.
+struct TraceSpec {
+    sink: TraceSink,
+    path: String,
+    format: String,
+}
+
+/// Parses the tracing flags; `None` when tracing is off.
+fn parse_trace_args(args: &Args) -> Result<Option<TraceSpec>, String> {
+    let Some(path) = args.get("trace-out")? else {
+        if args.get("trace-format")?.is_some() {
+            return Err("--trace-format requires --trace-out".into());
+        }
+        return Ok(None);
+    };
+    let format = args.get("trace-format")?.unwrap_or("chrome");
+    if !["chrome", "jsonl"].contains(&format) {
+        return Err(format!(
+            "--trace-format must be `chrome` or `jsonl`, got `{format}`"
+        ));
+    }
+    Ok(Some(TraceSpec {
+        sink: TraceSink::recording(),
+        path: path.to_string(),
+        format: format.to_string(),
+    }))
+}
+
+impl TraceSpec {
+    /// Exports the recorded events in the chosen format and writes the file.
+    fn write(&self) -> Result<(), String> {
+        let body = match self.format.as_str() {
+            "jsonl" => self.sink.to_jsonl(),
+            _ => self.sink.to_chrome_trace(),
+        };
+        std::fs::write(&self.path, &body).map_err(|e| format!("writing {}: {e}", self.path))?;
+        eprintln!(
+            "trace     : {} events -> {} ({})",
+            self.sink.len(),
+            self.path,
+            self.format
+        );
+        Ok(())
+    }
+}
+
+fn cmd_trace_check(args: &Args) -> Result<(), String> {
+    args.check_known(&["file"])?;
+    let path = args.require("file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    // A chrome trace is one JSON document; an event log is JSON lines.
+    if validate_json(text.trim()).is_ok() {
+        println!("{path}: valid JSON document");
+        return Ok(());
+    }
+    let mut records = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_json(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        records += 1;
+    }
+    println!("{path}: valid JSON lines ({records} records)");
+    Ok(())
 }
 
 fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
@@ -124,6 +199,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "fault-rate",
         "straggler-rate",
         "fault-seed",
+        "trace-out",
+        "trace-format",
     ])?;
     let query_text = args.require("query")?;
     let mut query = Query::parse(query_text).map_err(|e| format!("query: {e}"))?;
@@ -146,6 +223,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         );
     }
 
+    let trace = parse_trace_args(args)?;
     let (x_range, y_range) = data::bounding_space(&datasets);
     let cluster = Cluster::new(ClusterConfig {
         x_range,
@@ -161,12 +239,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         eprintln!("planned order: {query}");
     }
 
-    let config = RunConfig {
-        count_only: args.flag("count-only"),
-    };
+    let mut run = JoinRun::new(&query, &datasets, algorithm).count_only(args.flag("count-only"));
+    if let Some(t) = &trace {
+        run = run.trace(t.sink.clone());
+    }
     let t0 = std::time::Instant::now();
     let output = cluster
-        .try_run_with(&query, &datasets, algorithm, config)
+        .submit(&run)
         .map_err(|e| format!("join failed: {e}"))?;
     let wall = t0.elapsed();
 
@@ -181,14 +260,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "replicated: {} rectangles ({} copies)",
         output.stats.rectangles_replicated, output.stats.rectangles_after_replication
     );
+    eprint!("{}", output.report.phase_table());
     for job in &output.report.jobs {
-        eprintln!(
-            "job {:<22}: {:>9} kv pairs, {:>11} shuffle bytes",
-            job.job_name, job.map_output_records, job.shuffle_bytes
-        );
         if job.retries > 0 || job.speculative_launched > 0 {
             eprintln!(
-                "    faults: {} map + {} reduce attempt failures, {} retries, {} speculative ({} won)",
+                "faults in {}: {} map + {} reduce attempt failures, {} retries, {} speculative ({} won)",
+                job.job_name,
                 job.map_task_failures,
                 job.reduce_task_failures,
                 job.retries,
@@ -198,6 +275,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
     }
     eprintln!("wall      : {wall:?}");
+    if let Some(t) = &trace {
+        t.write()?;
+    }
 
     if let Some(path) = args.get("out")? {
         use std::io::Write;
@@ -235,25 +315,36 @@ fn cmd_ann(args: &Args) -> Result<(), String> {
         "fault-rate",
         "straggler-rate",
         "fault-seed",
+        "trace-out",
+        "trace-format",
     ])?;
     let outer = data::load_source(args.require("outer")?)?;
     let inner = data::load_source(args.require("inner")?)?;
     let grid: u32 = args.get_parsed_or("grid", 8u32)?;
     let k: usize = args.get_parsed_or("k", 1usize)?;
+    let trace = parse_trace_args(args)?;
     let (x_range, y_range) = data::bounding_space(&[&outer, &inner]);
+    let mut engine = parse_engine_config(args)?;
+    if let Some(t) = &trace {
+        // The ANN rounds run directly on the engine, so the sink attaches
+        // engine-wide rather than per run.
+        engine = engine.with_trace(t.sink.clone());
+    }
     let cluster = Cluster::new(ClusterConfig {
         x_range,
         y_range,
         grid_cols: grid,
         grid_rows: grid,
         num_reducers: None,
-        engine: parse_engine_config(args)?,
+        engine,
     });
     let t0 = std::time::Instant::now();
     let result: Vec<mwsj_core::ann::NearestNeighbor> = if k == 1 {
-        mwsj_core::ann::ann_join(&cluster, &outer, &inner)
+        mwsj_core::ann::try_ann_join(&cluster, &outer, &inner)
+            .map_err(|e| format!("ann join failed: {e}"))?
     } else {
-        mwsj_core::ann::knn_join(&cluster, &outer, &inner, k)
+        mwsj_core::ann::try_knn_join(&cluster, &outer, &inner, k)
+            .map_err(|e| format!("knn join failed: {e}"))?
             .into_iter()
             .flatten()
             .collect()
@@ -264,6 +355,9 @@ fn cmd_ann(args: &Args) -> Result<(), String> {
         t0.elapsed(),
         cluster.engine().report().num_jobs()
     );
+    if let Some(t) = &trace {
+        t.write()?;
+    }
     if let Some(path) = args.get("out")? {
         use std::io::Write;
         let mut f = std::io::BufWriter::new(

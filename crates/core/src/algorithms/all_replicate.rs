@@ -12,66 +12,65 @@
 //! joins anything (the paper's `u_4` example).
 
 use mwsj_local::multiway;
-use mwsj_mapreduce::Engine;
-use mwsj_partition::{CellId, Grid};
+use mwsj_mapreduce::JobSpec;
+use mwsj_partition::CellId;
 use mwsj_query::Query;
 
-use super::{count_record, finish_tuples, flatten_input, is_designated_cell, tuple_ids};
+use super::{count_record, finish_tuples, flatten_input, is_designated_cell, tuple_ids, AlgoCtx};
 use crate::record::group_by_relation;
-use crate::{JoinError, JoinOutput, ReplicationStats, RunConfig};
+use crate::{JoinError, JoinOutput, ReplicationStats, TaggedRect};
 
 pub(crate) fn run(
-    engine: &Engine,
-    grid: &Grid,
-    num_reducers: u32,
+    ctx: &AlgoCtx<'_>,
     query: &Query,
     relations: &[&[mwsj_geom::Rect]],
-    config: RunConfig,
 ) -> Result<JoinOutput, JoinError> {
+    let grid = ctx.grid;
+    let count_only = ctx.count_only;
     let input = flatten_input(relations);
     let n = query.num_relations();
-    let partitions = num_reducers as usize;
 
-    let raw: Vec<Vec<u32>> = engine.try_run_job(
-        "all-replicate",
-        &input,
-        partitions,
-        |tr, emit| {
-            for cell in grid.fourth_quadrant_cells(&tr.rect) {
-                emit(cell.0, *tr);
-            }
-        },
-        |&k, p| k as usize % p,
-        |&cell, values, out| {
-            let rels = group_by_relation(n, values);
-            // Faithful to the paper's reducers: enumerate the local join of
-            // everything received, emit only at the designated cell (§6.2).
-            // (A designated-cell-aware matcher exists in
-            // `mwsj_local::multiway_cell`; the `ablation_pruning` bench
-            // shows it does not pay off under 4th-quadrant delivery, and
-            // using it would give our reducers a shortcut the paper's
-            // evaluation does not have.)
-            let mut found = 0u64;
-            multiway::multiway_join(query, &rels, |tuple| {
-                if is_designated_cell(grid, CellId(cell), tuple) {
-                    found += 1;
-                    if !config.count_only {
-                        out(tuple_ids(tuple));
-                    }
+    let raw: Vec<Vec<u32>> = ctx.engine.run(
+        JobSpec::new("all-replicate")
+            .reducers(ctx.num_reducers as usize)
+            .trace(ctx.trace.clone())
+            .map(|tr: &TaggedRect, emit| {
+                for cell in grid.fourth_quadrant_cells(&tr.rect) {
+                    emit(cell.0, *tr);
                 }
-            });
-            if config.count_only && found > 0 {
-                out(count_record(found));
-            }
-        },
+            })
+            .partition(|&k: &u32, p| k as usize % p)
+            .reduce(|&cell: &u32, values: Vec<TaggedRect>, out| {
+                let rels = group_by_relation(n, values);
+                // Faithful to the paper's reducers: enumerate the local join
+                // of everything received, emit only at the designated cell
+                // (§6.2). (A designated-cell-aware matcher exists in
+                // `mwsj_local::multiway_cell`; the `ablation_pruning` bench
+                // shows it does not pay off under 4th-quadrant delivery, and
+                // using it would give our reducers a shortcut the paper's
+                // evaluation does not have.)
+                let mut found = 0u64;
+                multiway::multiway_join(query, &rels, |tuple| {
+                    if is_designated_cell(grid, CellId(cell), tuple) {
+                        found += 1;
+                        if !count_only {
+                            out(tuple_ids(tuple));
+                        }
+                    }
+                });
+                if count_only && found > 0 {
+                    out(count_record(found));
+                }
+            }),
+        &input,
     )?;
 
-    let report = engine.report();
+    let report = ctx.engine.report();
     let stats = ReplicationStats {
         rectangles_replicated: input.len() as u64,
         rectangles_after_replication: report.jobs[0].map_output_records,
     };
-    let (tuples, tuple_count) = finish_tuples(raw, config.count_only);
+    let (tuples, tuple_count) = finish_tuples(raw, count_only);
     Ok(JoinOutput {
         tuples,
         tuple_count,

@@ -17,13 +17,13 @@
 //! Hadoop would fold that predicate into the following job's reducer.
 
 use mwsj_geom::Rect;
-use mwsj_mapreduce::{Engine, RecordSize};
-use mwsj_partition::{CellId, Grid};
+use mwsj_mapreduce::{JobSpec, RecordSize};
+use mwsj_partition::CellId;
 use mwsj_query::{Predicate, Query, RelationId, Triple};
 use mwsj_rtree::RTree;
 
-use super::normalize_tuples;
-use crate::{JoinError, JoinOutput, ReplicationStats, RunConfig, TaggedRect};
+use super::{normalize_tuples, AlgoCtx};
+use crate::{JoinError, JoinOutput, ReplicationStats, TaggedRect};
 
 /// A partially-joined tuple: one optional `(id, rect)` slot per relation
 /// position.
@@ -80,13 +80,11 @@ enum StageOut {
 }
 
 pub(crate) fn run(
-    engine: &Engine,
-    grid: &Grid,
-    num_reducers: u32,
+    ctx: &AlgoCtx<'_>,
     query: &Query,
     relations: &[&[Rect]],
-    config: RunConfig,
 ) -> Result<JoinOutput, JoinError> {
+    let engine = ctx.engine;
     let n = query.num_relations();
     let mut bound = vec![false; n];
     let mut remaining: Vec<Triple> = query.triples().to_vec();
@@ -112,26 +110,15 @@ pub(crate) fn run(
         let triple = remaining.remove(idx);
         let (l, r) = (triple.left, triple.right);
         let last_stage = remaining.is_empty();
-        let counting = config.count_only && last_stage;
+        let counting = ctx.count_only && last_stage;
 
         let (result, count) = match (bound[l.index()], bound[r.index()]) {
             (false, false) => {
                 debug_assert_eq!(stage, 0);
-                base_base_join(
-                    engine,
-                    grid,
-                    num_reducers,
-                    relations,
-                    n,
-                    triple,
-                    stage,
-                    counting,
-                )?
+                base_base_join(ctx, relations, n, triple, stage, counting)?
             }
             (true, false) => stage_join(
-                engine,
-                grid,
-                num_reducers,
+                ctx,
                 relations,
                 triple,
                 l,
@@ -142,9 +129,7 @@ pub(crate) fn run(
                 counting,
             )?,
             (false, true) => stage_join(
-                engine,
-                grid,
-                num_reducers,
+                ctx,
                 relations,
                 triple,
                 r,
@@ -208,11 +193,8 @@ pub(crate) fn run(
 
 /// Stage 0: join two base relations (§5.2/§5.3). The left side is routed
 /// by its enlarged rectangle, the right side is split.
-#[allow(clippy::too_many_arguments)]
 fn base_base_join(
-    engine: &Engine,
-    grid: &Grid,
-    num_reducers: u32,
+    ctx: &AlgoCtx<'_>,
     relations: &[&[Rect]],
     n: usize,
     triple: Triple,
@@ -232,9 +214,7 @@ fn base_base_join(
         slots: vec![None; n],
     };
     run_pair_job(
-        engine,
-        grid,
-        num_reducers,
+        ctx,
         &format!("cascade-stage-{stage}"),
         &input,
         triple.predicate,
@@ -253,9 +233,7 @@ fn base_base_join(
 /// with base relation `new_pos`.
 #[allow(clippy::too_many_arguments)]
 fn stage_join(
-    engine: &Engine,
-    grid: &Grid,
-    num_reducers: u32,
+    ctx: &AlgoCtx<'_>,
     relations: &[&[Rect]],
     triple: Triple,
     anchor_pos: RelationId,
@@ -273,9 +251,7 @@ fn stage_join(
         input.push(Side::Base(TaggedRect::new(new_pos, id as u32, *rect)));
     }
     run_pair_job(
-        engine,
-        grid,
-        num_reducers,
+        ctx,
         &format!("cascade-stage-{stage}"),
         &input,
         triple.predicate,
@@ -293,9 +269,7 @@ fn stage_join(
 /// with an R-tree probe and keeps a pair only at its designated cell.
 #[allow(clippy::too_many_arguments)]
 fn run_pair_job(
-    engine: &Engine,
-    grid: &Grid,
-    num_reducers: u32,
+    ctx: &AlgoCtx<'_>,
     name: &str,
     input: &[Side],
     predicate: Predicate,
@@ -305,82 +279,84 @@ fn run_pair_job(
     new_pos: RelationId,
     counting: bool,
 ) -> Result<(Vec<Partial>, u64), JoinError> {
+    let grid = ctx.grid;
     let d = predicate.distance();
     let extent = grid.extent();
-    let outputs: Vec<StageOut> = engine.try_run_job(
-        name,
-        input,
-        num_reducers as usize,
-        |record, emit| match record {
-            Side::Tuple(p) => {
-                let anchor = p.rect(anchor_pos.index());
-                let enlarged = anchor
-                    .enlarge(d)
-                    .intersection(&extent)
-                    .expect("anchor inside the space");
-                for cell in grid.split_cells(&enlarged) {
-                    emit(cell.0, Side::Tuple(p.clone()));
-                }
-            }
-            Side::Base(tr) if tr.relation == anchor_pos => {
-                // Stage 0 anchor side: lift to a partial, route enlarged.
-                let p = lift(tr);
-                let enlarged = tr
-                    .rect
-                    .enlarge(d)
-                    .intersection(&extent)
-                    .expect("rect inside the space");
-                for cell in grid.split_cells(&enlarged) {
-                    emit(cell.0, Side::Tuple(p.clone()));
-                }
-            }
-            Side::Base(tr) => {
-                for cell in grid.split_cells(&tr.rect) {
-                    emit(cell.0, Side::Base(*tr));
-                }
-            }
-        },
-        |&k, p| k as usize % p,
-        |&cell, values, out| {
-            let mut tuples: Vec<Partial> = Vec::new();
-            let mut base: Vec<(Rect, u32)> = Vec::new();
-            for v in values {
-                match v {
-                    Side::Tuple(p) => tuples.push(p),
-                    Side::Base(tr) => base.push((tr.rect, tr.id)),
-                }
-            }
-            if tuples.is_empty() || base.is_empty() {
-                return;
-            }
-            let tree = RTree::bulk_load(base);
-            let mut found = 0u64;
-            for p in &tuples {
-                let anchor = p.rect(anchor_pos.index());
-                tree.query_within(&anchor, d, |rect, &id| {
-                    // The distance probe equals the predicate for Overlap
-                    // and Range; asymmetric predicates (Contains) need the
-                    // exact oriented check on top.
-                    if !predicate.eval_oriented(&anchor, rect, anchor_is_right) {
-                        return;
+    let outputs: Vec<StageOut> = ctx.engine.run(
+        JobSpec::new(name)
+            .reducers(ctx.num_reducers as usize)
+            .trace(ctx.trace.clone())
+            .map(|record: &Side, emit| match record {
+                Side::Tuple(p) => {
+                    let anchor = p.rect(anchor_pos.index());
+                    let enlarged = anchor
+                        .enlarge(d)
+                        .intersection(&extent)
+                        .expect("anchor inside the space");
+                    for cell in grid.split_cells(&enlarged) {
+                        emit(cell.0, Side::Tuple(p.clone()));
                     }
-                    // Designated cell (§5.3): the start of the overlap
-                    // between the enlarged anchor and the partner.
-                    let designated = mwsj_local::dedup::range_pair_cell(grid, &anchor, rect, d)
-                        .expect("within distance implies enlarged overlap");
-                    if designated == CellId(cell) {
-                        if counting {
-                            found += 1;
-                        } else {
-                            out(StageOut::Tuple(p.bind(new_pos.index(), id, *rect)));
+                }
+                Side::Base(tr) if tr.relation == anchor_pos => {
+                    // Stage 0 anchor side: lift to a partial, route enlarged.
+                    let p = lift(tr);
+                    let enlarged = tr
+                        .rect
+                        .enlarge(d)
+                        .intersection(&extent)
+                        .expect("rect inside the space");
+                    for cell in grid.split_cells(&enlarged) {
+                        emit(cell.0, Side::Tuple(p.clone()));
+                    }
+                }
+                Side::Base(tr) => {
+                    for cell in grid.split_cells(&tr.rect) {
+                        emit(cell.0, Side::Base(*tr));
+                    }
+                }
+            })
+            .partition(|&k: &u32, p| k as usize % p)
+            .reduce(|&cell: &u32, values: Vec<Side>, out| {
+                let mut tuples: Vec<Partial> = Vec::new();
+                let mut base: Vec<(Rect, u32)> = Vec::new();
+                for v in values {
+                    match v {
+                        Side::Tuple(p) => tuples.push(p),
+                        Side::Base(tr) => base.push((tr.rect, tr.id)),
+                    }
+                }
+                if tuples.is_empty() || base.is_empty() {
+                    return;
+                }
+                let tree = RTree::bulk_load(base);
+                let mut found = 0u64;
+                for p in &tuples {
+                    let anchor = p.rect(anchor_pos.index());
+                    tree.query_within(&anchor, d, |rect, &id| {
+                        // The distance probe equals the predicate for Overlap
+                        // and Range; asymmetric predicates (Contains) need the
+                        // exact oriented check on top.
+                        if !predicate.eval_oriented(&anchor, rect, anchor_is_right) {
+                            return;
                         }
-                    }
-                });
-            }
-            if found > 0 {
-                out(StageOut::Count(found));
-            }
-        },
+                        // Designated cell (§5.3): the start of the overlap
+                        // between the enlarged anchor and the partner.
+                        let designated = mwsj_local::dedup::range_pair_cell(grid, &anchor, rect, d)
+                            .expect("within distance implies enlarged overlap");
+                        if designated == CellId(cell) {
+                            if counting {
+                                found += 1;
+                            } else {
+                                out(StageOut::Tuple(p.bind(new_pos.index(), id, *rect)));
+                            }
+                        }
+                    });
+                }
+                if found > 0 {
+                    out(StageOut::Count(found));
+                }
+            }),
+        input,
     )?;
 
     let mut partials = Vec::with_capacity(outputs.len());

@@ -41,57 +41,58 @@
 
 use mwsj_geom::Rect;
 use mwsj_local::{marking, multiway};
-use mwsj_mapreduce::Engine;
-use mwsj_partition::{CellId, Grid};
+use mwsj_mapreduce::JobSpec;
+use mwsj_partition::CellId;
 use mwsj_query::{replication_bounds, Query};
 
 use super::{
     count_record, finish_tuples, flatten_input, is_designated_cell, max_diagonal, tuple_ids,
+    AlgoCtx,
 };
 use crate::record::group_by_relation;
-use crate::{JoinError, JoinOutput, ReplicationStats, RunConfig, TaggedRect};
+use crate::{JoinError, JoinOutput, ReplicationStats, TaggedRect};
 
 #[allow(clippy::too_many_lines)]
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
-    engine: &Engine,
-    grid: &Grid,
-    num_reducers: u32,
+    ctx: &AlgoCtx<'_>,
     query: &Query,
     relations: &[&[Rect]],
     limit: bool,
-    config: RunConfig,
 ) -> Result<JoinOutput, JoinError> {
+    let engine = ctx.engine;
+    let grid = ctx.grid;
+    let count_only = ctx.count_only;
     let input = flatten_input(relations);
     let n = query.num_relations();
-    let partitions = num_reducers as usize;
+    let partitions = ctx.num_reducers as usize;
 
     // ---- Round 1: split everything, mark per cell --------------------
-    let round1: Vec<(TaggedRect, bool)> = engine.try_run_job(
-        "c-rep-round1-mark",
-        &input,
-        partitions,
-        |tr, emit| {
-            for cell in grid.split_cells(&tr.rect) {
-                emit(cell.0, *tr);
-            }
-        },
-        |&k, p| k as usize % p,
-        |&cell, values, out| {
-            let cell_id = CellId(cell);
-            let rels = group_by_relation(n, values);
-            let flags = marking::mark_for_replication(query, grid, cell_id, &rels);
-            for (pos, (rel_rects, rel_flags)) in rels.iter().zip(&flags).enumerate() {
-                for (&(rect, id), &marked) in rel_rects.iter().zip(rel_flags) {
-                    if grid.cell_of(&rect) == cell_id {
-                        out((
-                            TaggedRect::new(mwsj_query::RelationId(pos as u16), id, rect),
-                            marked,
-                        ));
+    let round1: Vec<(TaggedRect, bool)> = engine.run(
+        JobSpec::new("c-rep-round1-mark")
+            .reducers(partitions)
+            .trace(ctx.trace.clone())
+            .map(|tr: &TaggedRect, emit| {
+                for cell in grid.split_cells(&tr.rect) {
+                    emit(cell.0, *tr);
+                }
+            })
+            .partition(|&k: &u32, p| k as usize % p)
+            .reduce(|&cell: &u32, values: Vec<TaggedRect>, out| {
+                let cell_id = CellId(cell);
+                let rels = group_by_relation(n, values);
+                let flags = marking::mark_for_replication(query, grid, cell_id, &rels);
+                for (pos, (rel_rects, rel_flags)) in rels.iter().zip(&flags).enumerate() {
+                    for (&(rect, id), &marked) in rel_rects.iter().zip(rel_flags) {
+                        if grid.cell_of(&rect) == cell_id {
+                            out((
+                                TaggedRect::new(mwsj_query::RelationId(pos as u16), id, rect),
+                                marked,
+                            ));
+                        }
                     }
                 }
-            }
-        },
+            }),
+        &input,
     )?;
     debug_assert_eq!(
         round1.len(),
@@ -119,15 +120,15 @@ pub(crate) fn run(
     });
 
     // ---- Round 2: replicate marked / project unmarked, join ----------
-    let raw: Vec<Vec<u32>> = engine.try_run_job(
-        if limit {
+    let raw: Vec<Vec<u32>> = engine.run(
+        JobSpec::new(if limit {
             "c-rep-l-round2-join"
         } else {
             "c-rep-round2-join"
-        },
-        &round1,
-        partitions,
-        |(tr, marked), emit| {
+        })
+        .reducers(partitions)
+        .trace(ctx.trace.clone())
+        .map(|(tr, marked): &(TaggedRect, bool), emit| {
             let targets = if *marked {
                 match &bounds {
                     Some(b) => grid.fourth_quadrant_cells_within(&tr.rect, b[tr.relation.index()]),
@@ -139,9 +140,9 @@ pub(crate) fn run(
             for cell in targets {
                 emit(cell.0, *tr);
             }
-        },
-        |&k, p| k as usize % p,
-        |&cell, values, out| {
+        })
+        .partition(|&k: &u32, p| k as usize % p)
+        .reduce(|&cell: &u32, values: Vec<TaggedRect>, out| {
             let rels = group_by_relation(n, values);
             // Faithful enumerate-then-filter, as in All-Replicate's reducer
             // (see the comment there and the `ablation_pruning` bench).
@@ -149,15 +150,16 @@ pub(crate) fn run(
             multiway::multiway_join(query, &rels, |tuple| {
                 if is_designated_cell(grid, CellId(cell), tuple) {
                     found += 1;
-                    if !config.count_only {
+                    if !count_only {
                         out(tuple_ids(tuple));
                     }
                 }
             });
-            if config.count_only && found > 0 {
+            if count_only && found > 0 {
                 out(count_record(found));
             }
-        },
+        }),
+        &round1,
     )?;
 
     let report = engine.report();
@@ -168,7 +170,7 @@ pub(crate) fn run(
         rectangles_replicated: marked_count,
         rectangles_after_replication: after_replication,
     };
-    let (tuples, tuple_count) = finish_tuples(raw, config.count_only);
+    let (tuples, tuple_count) = finish_tuples(raw, count_only);
     Ok(JoinOutput {
         tuples,
         tuple_count,

@@ -10,10 +10,28 @@ pub(crate) mod cascade;
 pub(crate) mod controlled_replicate;
 
 use mwsj_geom::Rect;
+use mwsj_mapreduce::{Engine, TraceSink};
+use mwsj_partition::Grid;
 use mwsj_query::RelationId;
 use serde::{Deserialize, Serialize};
 
 use crate::TaggedRect;
+
+/// Everything an algorithm needs from the cluster plus the per-run
+/// options, threaded as one context so the four `run` entry points share a
+/// signature and every job they submit can attach the run's trace sink.
+pub(crate) struct AlgoCtx<'a> {
+    /// The map-reduce engine executing the jobs.
+    pub engine: &'a Engine,
+    /// The grid partitioning of the space.
+    pub grid: &'a Grid,
+    /// Number of physical reducers (shuffle partitions).
+    pub num_reducers: u32,
+    /// Count output tuples instead of materializing them.
+    pub count_only: bool,
+    /// Per-run trace sink (disabled unless the caller attached one).
+    pub trace: &'a TraceSink,
+}
 
 /// Which distributed algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -26,9 +26,10 @@
 //! Hadoop implementation would fold results.
 
 use mwsj_geom::{Coord, Rect};
+use mwsj_mapreduce::JobSpec;
 use mwsj_rtree::RTree;
 
-use crate::Cluster;
+use crate::{Cluster, JoinError};
 
 /// One ANN result: the outer record, its nearest inner record and their
 /// distance. Outer rectangles are always resolved when the inner relation
@@ -48,9 +49,28 @@ pub struct NearestNeighbor {
 /// empty when `inner` is empty.
 ///
 /// # Panics
-/// Panics if any rectangle lies outside the cluster space.
+/// Panics if any rectangle lies outside the cluster space, or — under a
+/// fault plan — if a job fails outright (use [`try_ann_join`] to handle
+/// that case).
 #[must_use]
 pub fn ann_join(cluster: &Cluster, outer: &[Rect], inner: &[Rect]) -> Vec<NearestNeighbor> {
+    try_ann_join(cluster, outer, inner).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`ann_join`], surfacing failed jobs as a [`JoinError`] instead of
+/// panicking.
+///
+/// # Errors
+/// [`JoinError::Job`] when a map-reduce job exhausts its attempt budget
+/// under a fault plan.
+///
+/// # Panics
+/// Panics if any rectangle lies outside the cluster space.
+pub fn try_ann_join(
+    cluster: &Cluster,
+    outer: &[Rect],
+    inner: &[Rect],
+) -> Result<Vec<NearestNeighbor>, JoinError> {
     let grid = cluster.grid();
     let engine = cluster.engine();
     let extent = grid.extent();
@@ -61,7 +81,7 @@ pub fn ann_join(cluster: &Cluster, outer: &[Rect], inner: &[Rect]) -> Vec<Neares
         );
     }
     if inner.is_empty() || outer.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     engine.reset_metrics();
 
@@ -83,28 +103,28 @@ pub fn ann_join(cluster: &Cluster, outer: &[Rect], inner: &[Rect]) -> Vec<Neares
     );
 
     // ---- Round 1: local candidate bounds ------------------------------
-    let bounds: Vec<(u32, Coord)> = engine.run_job(
-        "ann-round1-candidates",
-        &input,
-        grid.num_cells() as usize,
-        |record, emit| match record {
-            Record::Outer(id, r) => emit(grid.cell_of(r).0, Record::Outer(*id, *r)),
-            Record::Inner(id, r) => {
-                for cell in grid.split_cells(r) {
-                    emit(cell.0, Record::Inner(*id, *r));
+    let bounds: Vec<(u32, Coord)> = engine.run(
+        JobSpec::new("ann-round1-candidates")
+            .reducers(grid.num_cells() as usize)
+            .map(|record: &Record, emit| match record {
+                Record::Outer(id, r) => emit(grid.cell_of(r).0, Record::Outer(*id, *r)),
+                Record::Inner(id, r) => {
+                    for cell in grid.split_cells(r) {
+                        emit(cell.0, Record::Inner(*id, *r));
+                    }
                 }
-            }
-        },
-        |&k, _| k as usize,
-        |_, values, out| {
-            let (outers, inners) = partition_records(values);
-            let tree = RTree::bulk_load(inners);
-            for (id, r) in outers {
-                let ub = tree.nearest(&r).map_or(diag, |(_, _, d)| d);
-                out((id, ub));
-            }
-        },
-    );
+            })
+            .partition(|&k: &u32, _| k as usize)
+            .reduce(|_: &u32, values: Vec<Record>, out| {
+                let (outers, inners) = partition_records(values);
+                let tree = RTree::bulk_load(inners);
+                for (id, r) in outers {
+                    let ub = tree.nearest(&r).map_or(diag, |(_, _, d)| d);
+                    out((id, ub));
+                }
+            }),
+        &input,
+    )?;
 
     // ---- Round 2: verified local bests --------------------------------
     let ub_of: Vec<Coord> = {
@@ -114,82 +134,82 @@ pub fn ann_join(cluster: &Cluster, outer: &[Rect], inner: &[Rect]) -> Vec<Neares
         }
         v
     };
-    let locals: Vec<NearestNeighbor> = engine.run_job(
-        "ann-round2-verify",
+    let locals: Vec<NearestNeighbor> = engine.run(
+        JobSpec::new("ann-round2-verify")
+            .reducers(grid.num_cells() as usize)
+            .map(|record: &Record, emit| match record {
+                Record::Outer(id, r) => {
+                    let reach = r
+                        .enlarge(ub_of[*id as usize])
+                        .intersection(&extent)
+                        .expect("outer rectangle inside the space");
+                    for cell in grid.split_cells(&reach) {
+                        emit(cell.0, Record::Outer(*id, *r));
+                    }
+                }
+                Record::Inner(id, r) => {
+                    for cell in grid.split_cells(r) {
+                        emit(cell.0, Record::Inner(*id, *r));
+                    }
+                }
+            })
+            .partition(|&k: &u32, _| k as usize)
+            .reduce(|_: &u32, values: Vec<Record>, out| {
+                let (outers, inners) = partition_records(values);
+                if inners.is_empty() {
+                    return;
+                }
+                let tree = RTree::bulk_load(inners);
+                for (id, r) in outers {
+                    if let Some((nn_rect, &nn_id, d)) = tree.nearest(&r) {
+                        // Re-scan the ≤ d ball tracking (distance², id) so
+                        // distance ties resolve toward the smallest inner id —
+                        // the tree's own tie-break follows storage order, which
+                        // would make the global aggregation nondeterministic.
+                        // Seed with the nearest entry itself: `d` is a rounded
+                        // sqrt, so the ball query may exclude it.
+                        let mut best: (Coord, u32) = (nn_rect.distance_sq(&r), nn_id);
+                        tree.query_within(&r, d, |rect, &nn| {
+                            let ds = rect.distance_sq(&r);
+                            if ds < best.0 || (ds == best.0 && nn < best.1) {
+                                best = (ds, nn);
+                            }
+                        });
+                        let (ds, nn) = best;
+                        out(NearestNeighbor {
+                            outer: id,
+                            inner: nn,
+                            distance: ds.sqrt(),
+                        });
+                    }
+                }
+            }),
         &input,
-        grid.num_cells() as usize,
-        |record, emit| match record {
-            Record::Outer(id, r) => {
-                let reach = r
-                    .enlarge(ub_of[*id as usize])
-                    .intersection(&extent)
-                    .expect("outer rectangle inside the space");
-                for cell in grid.split_cells(&reach) {
-                    emit(cell.0, Record::Outer(*id, *r));
-                }
-            }
-            Record::Inner(id, r) => {
-                for cell in grid.split_cells(r) {
-                    emit(cell.0, Record::Inner(*id, *r));
-                }
-            }
-        },
-        |&k, _| k as usize,
-        |_, values, out| {
-            let (outers, inners) = partition_records(values);
-            if inners.is_empty() {
-                return;
-            }
-            let tree = RTree::bulk_load(inners);
-            for (id, r) in outers {
-                if let Some((nn_rect, &nn_id, d)) = tree.nearest(&r) {
-                    // Re-scan the ≤ d ball tracking (distance², id) so
-                    // distance ties resolve toward the smallest inner id —
-                    // the tree's own tie-break follows storage order, which
-                    // would make the global aggregation nondeterministic.
-                    // Seed with the nearest entry itself: `d` is a rounded
-                    // sqrt, so the ball query may exclude it.
-                    let mut best: (Coord, u32) = (nn_rect.distance_sq(&r), nn_id);
-                    tree.query_within(&r, d, |rect, &nn| {
-                        let ds = rect.distance_sq(&r);
-                        if ds < best.0 || (ds == best.0 && nn < best.1) {
-                            best = (ds, nn);
-                        }
-                    });
-                    let (ds, nn) = best;
-                    out(NearestNeighbor {
-                        outer: id,
-                        inner: nn,
-                        distance: ds.sqrt(),
-                    });
-                }
-            }
-        },
-    );
+    )?;
 
     // ---- Round 3: global minimum per outer id --------------------------
-    let mut result: Vec<NearestNeighbor> = engine.run_job(
-        "ann-round3-aggregate",
+    let mut result: Vec<NearestNeighbor> = engine.run(
+        JobSpec::new("ann-round3-aggregate")
+            .reducers(engine_partitions(outer.len()))
+            .map(|nn: &NearestNeighbor, emit| emit(nn.outer, *nn))
+            .partition(|&k: &u32, n| k as usize % n)
+            .reduce(|_: &u32, candidates: Vec<NearestNeighbor>, out| {
+                let best = candidates
+                    .into_iter()
+                    .min_by(|a, b| {
+                        a.distance
+                            .partial_cmp(&b.distance)
+                            .expect("finite")
+                            .then(a.inner.cmp(&b.inner))
+                    })
+                    .expect("at least one candidate per group");
+                out(best);
+            }),
         &locals,
-        engine_partitions(outer.len()),
-        |nn, emit| emit(nn.outer, *nn),
-        |&k, n| k as usize % n,
-        |_, candidates, out| {
-            let best = candidates
-                .into_iter()
-                .min_by(|a, b| {
-                    a.distance
-                        .partial_cmp(&b.distance)
-                        .expect("finite")
-                        .then(a.inner.cmp(&b.inner))
-                })
-                .expect("at least one candidate per group");
-            out(best);
-        },
-    );
+    )?;
     result.sort_by_key(|nn| nn.outer);
     debug_assert_eq!(result.len(), outer.len(), "every outer rectangle resolves");
-    result
+    Ok(result)
 }
 
 impl mwsj_mapreduce::RecordSize for NearestNeighbor {
@@ -240,7 +260,8 @@ fn partition_records(values: Vec<Record>) -> (OuterList, InnerList) {
 /// the k-th local neighbor.
 ///
 /// # Panics
-/// Panics if any rectangle lies outside the cluster space or `k == 0`.
+/// Panics if any rectangle lies outside the cluster space or `k == 0`, or
+/// — under a fault plan — if a job fails outright (use [`try_knn_join`]).
 #[must_use]
 pub fn knn_join(
     cluster: &Cluster,
@@ -248,6 +269,24 @@ pub fn knn_join(
     inner: &[Rect],
     k: usize,
 ) -> Vec<Vec<NearestNeighbor>> {
+    try_knn_join(cluster, outer, inner, k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`knn_join`], surfacing failed jobs as a [`JoinError`] instead of
+/// panicking.
+///
+/// # Errors
+/// [`JoinError::Job`] when a map-reduce job exhausts its attempt budget
+/// under a fault plan.
+///
+/// # Panics
+/// Panics if any rectangle lies outside the cluster space or `k == 0`.
+pub fn try_knn_join(
+    cluster: &Cluster,
+    outer: &[Rect],
+    inner: &[Rect],
+    k: usize,
+) -> Result<Vec<Vec<NearestNeighbor>>, JoinError> {
     assert!(k > 0, "k must be positive");
     let grid = cluster.grid();
     let engine = cluster.engine();
@@ -259,7 +298,7 @@ pub fn knn_join(
         );
     }
     if inner.is_empty() || outer.is_empty() {
-        return vec![Vec::new(); outer.len()];
+        return Ok(vec![Vec::new(); outer.len()]);
     }
     engine.reset_metrics();
     let diag = extent.diagonal();
@@ -279,31 +318,31 @@ pub fn knn_join(
     );
 
     // ---- Round 1: k-th-neighbor candidate bounds ----------------------
-    let bounds: Vec<(u32, Coord)> = engine.run_job(
-        "knn-round1-candidates",
-        &input,
-        grid.num_cells() as usize,
-        |record, emit| match record {
-            Record::Outer(id, r) => emit(grid.cell_of(r).0, Record::Outer(*id, *r)),
-            Record::Inner(id, r) => {
-                for cell in grid.split_cells(r) {
-                    emit(cell.0, Record::Inner(*id, *r));
+    let bounds: Vec<(u32, Coord)> = engine.run(
+        JobSpec::new("knn-round1-candidates")
+            .reducers(grid.num_cells() as usize)
+            .map(|record: &Record, emit| match record {
+                Record::Outer(id, r) => emit(grid.cell_of(r).0, Record::Outer(*id, *r)),
+                Record::Inner(id, r) => {
+                    for cell in grid.split_cells(r) {
+                        emit(cell.0, Record::Inner(*id, *r));
+                    }
                 }
-            }
-        },
-        |&kk, _| kk as usize,
-        |_, values, out| {
-            let (outers, inners) = partition_records(values);
-            let tree = RTree::bulk_load(inners);
-            for (id, r) in outers {
-                let knn = tree.k_nearest(&r, k);
-                // A valid bound needs k local neighbors; otherwise the
-                // true k-th neighbor may be anywhere.
-                let ub = if knn.len() == k { knn[k - 1].2 } else { diag };
-                out((id, ub));
-            }
-        },
-    );
+            })
+            .partition(|&kk: &u32, _| kk as usize)
+            .reduce(|_: &u32, values: Vec<Record>, out| {
+                let (outers, inners) = partition_records(values);
+                let tree = RTree::bulk_load(inners);
+                for (id, r) in outers {
+                    let knn = tree.k_nearest(&r, k);
+                    // A valid bound needs k local neighbors; otherwise the
+                    // true k-th neighbor may be anywhere.
+                    let ub = if knn.len() == k { knn[k - 1].2 } else { diag };
+                    out((id, ub));
+                }
+            }),
+        &input,
+    )?;
 
     // ---- Round 2: local k-best lists -----------------------------------
     let ub_of: Vec<Coord> = {
@@ -313,72 +352,73 @@ pub fn knn_join(
         }
         v
     };
-    let locals: Vec<NearestNeighbor> = engine.run_job(
-        "knn-round2-verify",
+    let locals: Vec<NearestNeighbor> = engine.run(
+        JobSpec::new("knn-round2-verify")
+            .reducers(grid.num_cells() as usize)
+            .map(|record: &Record, emit| match record {
+                Record::Outer(id, r) => {
+                    let reach = r
+                        .enlarge(ub_of[*id as usize])
+                        .intersection(&extent)
+                        .expect("outer rectangle inside the space");
+                    for cell in grid.split_cells(&reach) {
+                        emit(cell.0, Record::Outer(*id, *r));
+                    }
+                }
+                Record::Inner(id, r) => {
+                    for cell in grid.split_cells(r) {
+                        emit(cell.0, Record::Inner(*id, *r));
+                    }
+                }
+            })
+            .partition(|&kk: &u32, _| kk as usize)
+            .reduce(|_: &u32, values: Vec<Record>, out| {
+                let (outers, inners) = partition_records(values);
+                if inners.is_empty() {
+                    return;
+                }
+                let tree = RTree::bulk_load(inners);
+                for (id, r) in outers {
+                    for nn in local_k_best(&tree, &r, k) {
+                        out(NearestNeighbor {
+                            outer: id,
+                            inner: nn.1,
+                            distance: nn.0.sqrt(),
+                        });
+                    }
+                }
+            }),
         &input,
-        grid.num_cells() as usize,
-        |record, emit| match record {
-            Record::Outer(id, r) => {
-                let reach = r
-                    .enlarge(ub_of[*id as usize])
-                    .intersection(&extent)
-                    .expect("outer rectangle inside the space");
-                for cell in grid.split_cells(&reach) {
-                    emit(cell.0, Record::Outer(*id, *r));
-                }
-            }
-            Record::Inner(id, r) => {
-                for cell in grid.split_cells(r) {
-                    emit(cell.0, Record::Inner(*id, *r));
-                }
-            }
-        },
-        |&kk, _| kk as usize,
-        |_, values, out| {
-            let (outers, inners) = partition_records(values);
-            if inners.is_empty() {
-                return;
-            }
-            let tree = RTree::bulk_load(inners);
-            for (id, r) in outers {
-                for nn in local_k_best(&tree, &r, k) {
-                    out(NearestNeighbor {
-                        outer: id,
-                        inner: nn.1,
-                        distance: nn.0.sqrt(),
-                    });
-                }
-            }
-        },
-    );
+    )?;
 
     // ---- Round 3: global top-k per outer id ----------------------------
-    let merged: Vec<(u32, Vec<NearestNeighbor>)> = engine.run_job(
-        "knn-round3-aggregate",
+    let merged: Vec<(u32, Vec<NearestNeighbor>)> = engine.run(
+        JobSpec::new("knn-round3-aggregate")
+            .reducers(engine_partitions(outer.len()))
+            .map(|nn: &NearestNeighbor, emit| emit(nn.outer, *nn))
+            .partition(|&kk: &u32, n| kk as usize % n)
+            .reduce(|&oid: &u32, mut candidates: Vec<NearestNeighbor>, out| {
+                // The same inner can be reported by several reducers.
+                candidates.sort_by(|a, b| {
+                    a.distance
+                        .partial_cmp(&b.distance)
+                        .expect("finite")
+                        .then(a.inner.cmp(&b.inner))
+                });
+                candidates.dedup_by_key(|nn| nn.inner);
+                // Deduping by id after the (distance, id) sort can reorder
+                // only equal-id entries (same distance); re-sort is
+                // unnecessary.
+                candidates.truncate(k);
+                out((oid, candidates));
+            }),
         &locals,
-        engine_partitions(outer.len()),
-        |nn, emit| emit(nn.outer, *nn),
-        |&kk, n| kk as usize % n,
-        |&oid, mut candidates, out| {
-            // The same inner can be reported by several reducers.
-            candidates.sort_by(|a, b| {
-                a.distance
-                    .partial_cmp(&b.distance)
-                    .expect("finite")
-                    .then(a.inner.cmp(&b.inner))
-            });
-            candidates.dedup_by_key(|nn| nn.inner);
-            // Deduping by id after the (distance, id) sort can reorder only
-            // equal-id entries (same distance); re-sort is unnecessary.
-            candidates.truncate(k);
-            out((oid, candidates));
-        },
-    );
+    )?;
     let mut result = vec![Vec::new(); outer.len()];
     for (oid, list) in merged {
         result[oid as usize] = list;
     }
-    result
+    Ok(result)
 }
 
 /// The local top-k by `(distance², inner id)`: exact even under the

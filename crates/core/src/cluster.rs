@@ -1,10 +1,10 @@
 use mwsj_geom::{Coord, Rect};
-use mwsj_mapreduce::{Engine, EngineConfig};
+use mwsj_mapreduce::{Engine, EngineConfig, TraceSink};
 use mwsj_partition::Grid;
 use mwsj_query::Query;
 
-use crate::algorithms::{self, Algorithm};
-use crate::{JoinError, JoinOutput, RunConfig};
+use crate::algorithms::{self, AlgoCtx, Algorithm};
+use crate::{JoinError, JoinOutput, JoinRun};
 
 /// Cluster configuration: the partitioned space, the reducer grid and the
 /// engine parallelism.
@@ -63,6 +63,15 @@ impl ClusterConfig {
         self.engine = engine;
         self
     }
+
+    /// Attaches a trace sink to the engine: every job of every run on this
+    /// cluster records spans into it. An enabled per-run sink
+    /// ([`JoinRun::trace`]) takes precedence for that run's jobs.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.engine = self.engine.with_trace(trace);
+        self
+    }
 }
 
 /// A simulated map-reduce cluster: the engine plus the grid partitioning
@@ -114,7 +123,8 @@ impl Cluster {
         &self.engine
     }
 
-    /// Runs a multi-way spatial join.
+    /// Runs a multi-way spatial join with default options — the
+    /// convenience form of [`Cluster::submit`].
     ///
     /// `relations[i]` is the dataset bound to query position `i`; a
     /// self-join binds the same slice to several positions. Output ids are
@@ -124,99 +134,100 @@ impl Cluster {
     /// # Panics
     /// Panics if the number of datasets does not match the query's relation
     /// positions, a rectangle lies outside the configured space, or — under
-    /// a fault plan — a job fails outright (see [`Cluster::try_run_with`]).
+    /// a fault plan — a job fails outright (see [`Cluster::submit`]).
     #[must_use]
     pub fn run(&self, query: &Query, relations: &[&[Rect]], algorithm: Algorithm) -> JoinOutput {
-        self.run_with(query, relations, algorithm, RunConfig::default())
-    }
-
-    /// Like [`Cluster::run`], with explicit run options. With
-    /// [`RunConfig::count_only`] the output tuples are counted but not
-    /// materialized — the mode the benchmark tables use, since the paper's
-    /// heavier workloads produce outputs far larger than memory while the
-    /// tables only report times and replication counts.
-    /// # Panics
-    /// See [`Cluster::run`].
-    #[must_use]
-    pub fn run_with(
-        &self,
-        query: &Query,
-        relations: &[&[Rect]],
-        algorithm: Algorithm,
-        config: RunConfig,
-    ) -> JoinOutput {
-        self.try_run_with(query, relations, algorithm, config)
+        self.submit(&JoinRun::new(query, relations, algorithm))
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Like [`Cluster::run_with`], surfacing failed jobs as a
-    /// [`JoinError`] instead of panicking: a task that exhausts its
-    /// attempt budget under a fault plan (or an intermediate dataset
-    /// whose DFS read retries run out) fails the join, not the process.
+    /// Submits a fully-described join run — the single entry point behind
+    /// every other run method. The [`JoinRun`] carries the query, the
+    /// datasets, the algorithm and the run options (count-only mode, a
+    /// per-run [`TraceSink`]).
+    ///
+    /// Failed jobs surface as a [`JoinError`] instead of panicking: a task
+    /// that exhausts its attempt budget under a fault plan (or an
+    /// intermediate dataset whose DFS read retries run out) fails the
+    /// join, not the process.
     ///
     /// # Errors
     /// [`JoinError::Job`] when a map-reduce job fails;
     /// [`JoinError::Dfs`] when an intermediate dataset stays unreadable.
     ///
     /// # Panics
-    /// Panics on the *caller* errors of [`Cluster::run`]: dataset count
-    /// not matching the query, or rectangles outside the space.
-    pub fn try_run_with(
-        &self,
-        query: &Query,
-        relations: &[&[Rect]],
-        algorithm: Algorithm,
-        config: RunConfig,
-    ) -> Result<JoinOutput, JoinError> {
+    /// Panics on *caller* errors: dataset count not matching the query, or
+    /// rectangles outside the space.
+    pub fn submit(&self, run: &JoinRun<'_>) -> Result<JoinOutput, JoinError> {
         assert_eq!(
-            relations.len(),
-            query.num_relations(),
+            run.relations.len(),
+            run.query.num_relations(),
             "one dataset per query relation position"
         );
         let extent = self.grid.extent();
-        for (i, rel) in relations.iter().enumerate() {
+        for (i, rel) in run.relations.iter().enumerate() {
             assert!(
                 rel.iter().all(|r| extent.contains_rect(r)),
                 "relation {i} contains rectangles outside the cluster space"
             );
         }
         self.engine.reset_metrics();
-        match algorithm {
-            Algorithm::TwoWayCascade => algorithms::cascade::run(
-                &self.engine,
-                &self.grid,
-                self.num_reducers,
-                query,
-                relations,
-                config,
-            ),
-            Algorithm::AllReplicate => algorithms::all_replicate::run(
-                &self.engine,
-                &self.grid,
-                self.num_reducers,
-                query,
-                relations,
-                config,
-            ),
-            Algorithm::ControlledReplicate => algorithms::controlled_replicate::run(
-                &self.engine,
-                &self.grid,
-                self.num_reducers,
-                query,
-                relations,
-                false,
-                config,
-            ),
-            Algorithm::ControlledReplicateLimit => algorithms::controlled_replicate::run(
-                &self.engine,
-                &self.grid,
-                self.num_reducers,
-                query,
-                relations,
-                true,
-                config,
-            ),
+        let ctx = AlgoCtx {
+            engine: &self.engine,
+            grid: &self.grid,
+            num_reducers: self.num_reducers,
+            count_only: run.count_only,
+            trace: &run.trace,
+        };
+        match run.algorithm {
+            Algorithm::TwoWayCascade => algorithms::cascade::run(&ctx, run.query, run.relations),
+            Algorithm::AllReplicate => {
+                algorithms::all_replicate::run(&ctx, run.query, run.relations)
+            }
+            Algorithm::ControlledReplicate => {
+                algorithms::controlled_replicate::run(&ctx, run.query, run.relations, false)
+            }
+            Algorithm::ControlledReplicateLimit => {
+                algorithms::controlled_replicate::run(&ctx, run.query, run.relations, true)
+            }
         }
+    }
+
+    /// Like [`Cluster::run`], with explicit run options.
+    /// # Panics
+    /// See [`Cluster::run`].
+    #[deprecated(note = "describe the run with `JoinRun` and call `Cluster::submit`")]
+    #[allow(deprecated)]
+    #[must_use]
+    pub fn run_with(
+        &self,
+        query: &Query,
+        relations: &[&[Rect]],
+        algorithm: Algorithm,
+        config: crate::RunConfig,
+    ) -> JoinOutput {
+        self.submit(&JoinRun::new(query, relations, algorithm).count_only(config.count_only))
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Cluster::run_with`], surfacing failed jobs as a
+    /// [`JoinError`] instead of panicking.
+    ///
+    /// # Errors
+    /// See [`Cluster::submit`].
+    ///
+    /// # Panics
+    /// See [`Cluster::submit`].
+    #[deprecated(note = "describe the run with `JoinRun` and call `Cluster::submit`")]
+    #[allow(deprecated)]
+    pub fn try_run_with(
+        &self,
+        query: &Query,
+        relations: &[&[Rect]],
+        algorithm: Algorithm,
+        config: crate::RunConfig,
+    ) -> Result<JoinOutput, JoinError> {
+        self.submit(&JoinRun::new(query, relations, algorithm).count_only(config.count_only))
     }
 }
 
@@ -247,5 +258,37 @@ mod tests {
         let q = Query::parse("a ov b").unwrap();
         let r = vec![Rect::new(1.0, 9.0, 1.0, 1.0)];
         let _ = cluster.run(&q, &[&r], Algorithm::AllReplicate);
+    }
+
+    /// The pre-`JoinRun` entry points stay behaviourally identical to
+    /// `submit` until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_with_wrappers_match_submit() {
+        let cluster = Cluster::new(ClusterConfig::for_space((0.0, 10.0), (0.0, 10.0), 2));
+        let q = Query::parse("a ov b").unwrap();
+        let r1 = vec![Rect::new(1.0, 9.0, 3.0, 3.0), Rect::new(5.0, 6.0, 2.0, 2.0)];
+        let r2 = vec![Rect::new(2.0, 8.0, 3.0, 3.0)];
+
+        let via_submit = cluster
+            .submit(&JoinRun::new(&q, &[&r1, &r2], Algorithm::ControlledReplicate).counting())
+            .unwrap();
+        let via_wrapper = cluster.run_with(
+            &q,
+            &[&r1, &r2],
+            Algorithm::ControlledReplicate,
+            crate::RunConfig::counting(),
+        );
+        let via_fallible = cluster
+            .try_run_with(
+                &q,
+                &[&r1, &r2],
+                Algorithm::ControlledReplicate,
+                crate::RunConfig::counting(),
+            )
+            .unwrap();
+        assert!(via_submit.tuple_count > 0);
+        assert_eq!(via_wrapper.tuple_count, via_submit.tuple_count);
+        assert_eq!(via_fallible.tuple_count, via_submit.tuple_count);
     }
 }

@@ -7,7 +7,7 @@ use mwsj_mapreduce::{DfsError, JobError};
 /// exhausting its attempt budget (or a DFS dataset staying unreadable
 /// between rounds) surfaces here instead of aborting the process.
 /// [`Cluster::run`](crate::Cluster::run) panics on these;
-/// [`Cluster::try_run_with`](crate::Cluster::try_run_with) returns them.
+/// [`Cluster::submit`](crate::Cluster::submit) returns them.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JoinError {
     /// A map-reduce job failed: the error names the job, phase, task and

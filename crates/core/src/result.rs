@@ -20,8 +20,8 @@ pub struct ReplicationStats {
 pub struct JoinOutput {
     /// Output tuples: one record id per relation position, in position
     /// order. Ids are indices into the input slices. Sorted and
-    /// duplicate-free. Empty when the run was started with
-    /// [`crate::RunConfig::count_only`] — see [`JoinOutput::tuple_count`].
+    /// duplicate-free. Empty when the run was started in count-only mode
+    /// (see [`crate::JoinRun`]) — see [`JoinOutput::tuple_count`].
     pub tuples: Vec<Vec<u32>>,
     /// Number of output tuples (populated in every mode; equals
     /// `tuples.len()` when tuples are collected).

@@ -1,14 +1,15 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
 use crate::fault::{FaultInjector, FaultPlan, JobErrorKind, Phase};
+use crate::trace::{AttemptOutcome, RaceWinner, SpanPhase, TraceEvent, TraceSink};
 use crate::{Dfs, JobError, JobMetrics, MetricsReport, RecordSize};
 
 /// Engine configuration: degrees of parallelism for the two phases, plus
-/// an optional fault-injection plan.
+/// an optional fault-injection plan and an engine-wide [`TraceSink`].
 ///
 /// The paper's cluster runs 16 cores with 64 reduce *slots*; here
 /// `reduce_tasks` is the number of worker threads executing reducers, while
@@ -23,6 +24,9 @@ pub struct EngineConfig {
     /// Faults to inject into every job (`None` runs fault-free). See
     /// [`FaultPlan`].
     pub fault_plan: Option<FaultPlan>,
+    /// Engine-wide trace sink: every job records its spans here unless the
+    /// [`JobSpec`] carries its own sink. Disabled (free) by default.
+    pub trace: TraceSink,
 }
 
 impl Default for EngineConfig {
@@ -32,6 +36,7 @@ impl Default for EngineConfig {
             map_tasks: n,
             reduce_tasks: n,
             fault_plan: None,
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -41,6 +46,180 @@ impl EngineConfig {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches an engine-wide trace sink.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+/// Placeholder for a [`JobSpec`] stage that has not been set yet.
+///
+/// `Engine::run` requires the map, partition and reduce functions, so a
+/// spec still carrying `Unset` in one of those slots fails to compile at
+/// the submission site rather than at run time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unset;
+
+/// A declarative description of one map-reduce job, built fluently and
+/// submitted with [`Engine::run`].
+///
+/// ```
+/// use mwsj_mapreduce::{Engine, EngineConfig, JobSpec};
+///
+/// let engine = Engine::new(EngineConfig::default());
+/// let words = vec!["a b", "b c", "c b"];
+/// let mut counts = engine
+///     .run(
+///         JobSpec::new("word-count")
+///             .reducers(4)
+///             .map(|line: &&str, emit| {
+///                 for w in line.split(' ') {
+///                     emit(w.to_string(), 1u64);
+///                 }
+///             })
+///             .partition(|key: &String, n| key.len() % n)
+///             .reduce(|word: &String, ones: Vec<u64>, out| {
+///                 out((word.clone(), ones.len() as u64));
+///             }),
+///         &words,
+///     )
+///     .unwrap();
+/// counts.sort();
+/// assert_eq!(counts, vec![("a".into(), 1), ("b".into(), 3), ("c".into(), 2)]);
+/// ```
+///
+/// # Migrating from the positional API
+///
+/// The deprecated `Engine::run_job`/`Engine::try_run_job` took seven
+/// positional arguments; each maps onto one builder call:
+///
+/// ```text
+/// engine.try_run_job(name, &input, parts, map_fn, part_fn, reduce_fn)
+/// engine.run(JobSpec::new(name).reducers(parts)
+///                .map(map_fn).partition(part_fn).reduce(reduce_fn),
+///            &input)
+/// ```
+///
+/// Because the closures are now type-checked at their builder call (not at
+/// the submission site), their key/value argument types are occasionally no
+/// longer inferable from context — annotate them where the compiler asks
+/// (as in the example above). The builder also carries what the positional
+/// API could not express: a per-job [`FaultPlan`] override
+/// ([`JobSpec::fault_plan`]) and a per-job [`TraceSink`]
+/// ([`JobSpec::trace`]).
+#[derive(Debug, Clone)]
+pub struct JobSpec<MF = Unset, PF = Unset, RF = Unset> {
+    name: String,
+    reducers: usize,
+    map_fn: MF,
+    partition_fn: PF,
+    reduce_fn: RF,
+    fault_plan: Option<FaultPlan>,
+    trace: TraceSink,
+}
+
+impl JobSpec {
+    /// Starts a spec for a job with the given name, one reducer, no fault
+    /// override and no per-job trace sink.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            reducers: 1,
+            map_fn: Unset,
+            partition_fn: Unset,
+            reduce_fn: Unset,
+            fault_plan: None,
+            trace: TraceSink::disabled(),
+        }
+    }
+}
+
+impl<MF, PF, RF> JobSpec<MF, PF, RF> {
+    /// Sets the number of logical reducers (shuffle partitions). The
+    /// partitioner must route every key below this count.
+    #[must_use]
+    pub fn reducers(mut self, reducers: usize) -> Self {
+        self.reducers = reducers;
+        self
+    }
+
+    /// Sets the mapper: called once per input record, emitting intermediate
+    /// `(key, value)` pairs through `emit`.
+    #[must_use]
+    pub fn map<I, K, V, F>(self, map_fn: F) -> JobSpec<F, PF, RF>
+    where
+        F: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+    {
+        JobSpec {
+            name: self.name,
+            reducers: self.reducers,
+            map_fn,
+            partition_fn: self.partition_fn,
+            reduce_fn: self.reduce_fn,
+            fault_plan: self.fault_plan,
+            trace: self.trace,
+        }
+    }
+
+    /// Sets the partitioner: routes a key to a logical reducer; must return
+    /// a value below the reducer count, and must depend only on the key so
+    /// that equal keys meet at one reducer.
+    #[must_use]
+    pub fn partition<K, F>(self, partition_fn: F) -> JobSpec<MF, F, RF>
+    where
+        F: Fn(&K, usize) -> usize + Sync,
+    {
+        JobSpec {
+            name: self.name,
+            reducers: self.reducers,
+            map_fn: self.map_fn,
+            partition_fn,
+            reduce_fn: self.reduce_fn,
+            fault_plan: self.fault_plan,
+            trace: self.trace,
+        }
+    }
+
+    /// Sets the reducer: called once per distinct key with every value for
+    /// that key in a deterministic order (input order within each map task,
+    /// map tasks in input order), emitting outputs through `out`.
+    #[must_use]
+    pub fn reduce<K, V, O, F>(self, reduce_fn: F) -> JobSpec<MF, PF, F>
+    where
+        F: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+    {
+        JobSpec {
+            name: self.name,
+            reducers: self.reducers,
+            map_fn: self.map_fn,
+            partition_fn: self.partition_fn,
+            reduce_fn,
+            fault_plan: self.fault_plan,
+            trace: self.trace,
+        }
+    }
+
+    /// Overrides the engine's fault plan for this job only (the engine's
+    /// DFS keeps its own injector — a per-job plan governs task faults,
+    /// stragglers and the attempt budget of this job).
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Records this job's spans into the given sink instead of the
+    /// engine-wide one ([`EngineConfig::trace`]). Passing a disabled sink
+    /// leaves the engine-wide sink in effect.
+    #[must_use]
+    pub fn trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -57,8 +236,17 @@ impl EngineConfig {
 /// the logical counters are byte-identical with or without faults. Tasks
 /// are retried up to [`FaultPlan::max_attempts`] times; attempts flagged
 /// as stragglers by the [`FaultInjector`] race a speculative duplicate
-/// attempt, first successful completion wins. A task that exhausts its
-/// attempts fails the job with a [`JobError`] naming the phase and task.
+/// attempt (paced by [`FaultPlan::speculative_slowstart`]), first
+/// successful completion wins. A task that exhausts its attempts fails the
+/// job with a [`JobError`] naming the phase and task.
+///
+/// # Observability
+///
+/// When a [`TraceSink`] is attached (engine-wide via
+/// [`EngineConfig::with_trace`] or per job via [`JobSpec::trace`]), every
+/// job records a span tree — job → phase → task attempt, with retry and
+/// speculation outcome tags — plus a final counter snapshot equal to the
+/// job's [`JobMetrics`]. Tracing never perturbs the logical counters.
 pub struct Engine {
     config: EngineConfig,
     /// The distributed file system shared by chained jobs.
@@ -88,6 +276,14 @@ impl AttemptError {
             }
         }
     }
+
+    fn outcome(&self) -> AttemptOutcome {
+        match self {
+            AttemptError::Injected => AttemptOutcome::InjectedFault,
+            AttemptError::Panic(_) => AttemptOutcome::Panicked,
+            AttemptError::BadPartition { .. } => AttemptOutcome::BadPartition,
+        }
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -102,65 +298,158 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// decisions are independent draws from their primary's.
 const SPECULATIVE_BIT: u32 = 1 << 31;
 
+/// Median of the committed task durations seen so far (None when empty).
+fn median(durations: &[Duration]) -> Option<Duration> {
+    if durations.is_empty() {
+        return None;
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort_unstable();
+    Some(sorted[sorted.len() / 2])
+}
+
+/// Per-phase context shared by every task of the phase: fault decisions,
+/// tracing, speculation counters, and the committed-duration samples that
+/// drive slow-start pacing.
+struct TaskCtx<'a> {
+    injector: &'a FaultInjector,
+    sink: &'a TraceSink,
+    phase: Phase,
+    job: u64,
+    /// Durations of committed attempts in this phase (work time only — the
+    /// injected straggler sleep happens outside the attempt body), feeding
+    /// the median for slow-start pacing.
+    completed: &'a Mutex<Vec<Duration>>,
+    speculative_launched: &'a AtomicU64,
+    speculative_won: &'a AtomicU64,
+}
+
 /// Runs one task attempt, racing a speculative duplicate when the
 /// injector flags the attempt as a straggler. First successful completion
 /// wins; the loser's output is discarded. `run` must be pure up to its
 /// commit (it is: attempts write only attempt-local buffers).
-#[allow(clippy::too_many_arguments)]
+///
+/// With a non-zero [`FaultPlan::speculative_slowstart`] the duplicate is
+/// *paced*: it launches only after the straggling primary has been running
+/// longer than `slowstart × median committed task time` — mirroring
+/// Hadoop, which speculates only on tasks well behind their peers. With a
+/// multiplier of zero, or before any task of the phase has committed
+/// (no median), the duplicate launches immediately.
 fn attempt_with_speculation<T, F>(
-    injector: &FaultInjector,
-    phase: Phase,
-    job: u64,
+    ctx: &TaskCtx<'_>,
     task: usize,
     attempt: u32,
-    speculative_launched: &AtomicU64,
-    speculative_won: &AtomicU64,
     run: &F,
 ) -> Result<T, AttemptError>
 where
     T: Send,
     F: Fn(usize, u32) -> Result<T, AttemptError> + Sync,
 {
-    let Some(delay) = injector.straggler_delay(phase, job, task, attempt) else {
+    let Some(delay) = ctx
+        .injector
+        .straggler_delay(ctx.phase, ctx.job, task, attempt)
+    else {
         return run(task, attempt);
     };
-    speculative_launched.fetch_add(1, Ordering::Relaxed);
+    let slowstart = ctx.injector.slowstart();
+    let threshold = if slowstart > 0.0 {
+        median(&ctx.completed.lock()).map(|m| m.mul_f64(slowstart))
+    } else {
+        None
+    };
+
     // 0 = unclaimed, 1 = speculative committed, 2 = primary committed.
     let claimed = AtomicU8::new(0);
+    // Signals the primary attempt's completion to the pacing wait below.
+    let primary_done = (std::sync::Mutex::new(false), std::sync::Condvar::new());
     let (speculative, primary) = std::thread::scope(|scope| {
         let handle = scope.spawn(|| {
+            // The primary attempt straggles: it sleeps out its injected
+            // delay and only executes if a speculative copy has not
+            // finished yet.
+            std::thread::sleep(delay);
+            let result = if claimed.load(Ordering::SeqCst) == 0 {
+                let r = run(task, attempt);
+                if r.is_ok() {
+                    let _ = claimed.compare_exchange(0, 2, Ordering::SeqCst, Ordering::SeqCst);
+                }
+                Some(r)
+            } else {
+                None
+            };
+            *primary_done.0.lock().expect("primary_done poisoned") = true;
+            primary_done.1.notify_all();
+            result
+        });
+
+        // Slow-start pacing: give the straggler its head start before
+        // committing a duplicate's worth of work.
+        let launch_speculative = match threshold {
+            None => true,
+            Some(limit) => {
+                let (lock, condvar) = &primary_done;
+                let deadline = Instant::now() + limit;
+                let mut done = lock.lock().expect("primary_done poisoned");
+                while !*done {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, _timeout) = condvar
+                        .wait_timeout(done, deadline - now)
+                        .expect("primary_done poisoned");
+                    done = guard;
+                }
+                !*done
+            }
+        };
+
+        let speculative = if launch_speculative {
+            ctx.speculative_launched.fetch_add(1, Ordering::Relaxed);
             let r = run(task, attempt | SPECULATIVE_BIT);
             if r.is_ok() {
                 let _ = claimed.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst);
-            }
-            r
-        });
-        // The primary attempt straggles: it sleeps out its injected delay
-        // and only executes if the speculative copy has not finished yet.
-        std::thread::sleep(delay);
-        let primary = if claimed.load(Ordering::SeqCst) == 0 {
-            let r = run(task, attempt);
-            if r.is_ok() {
-                let _ = claimed.compare_exchange(0, 2, Ordering::SeqCst, Ordering::SeqCst);
             }
             Some(r)
         } else {
             None
         };
-        let speculative = handle
-            .join()
-            .unwrap_or(Err(AttemptError::Panic("speculative attempt died".into())));
+        let primary = handle.join().unwrap_or(Some(Err(AttemptError::Panic(
+            "primary attempt died".into(),
+        ))));
         (speculative, primary)
     });
+
+    let resolved = |winner: RaceWinner| {
+        if speculative.is_some() {
+            ctx.sink.record(TraceEvent::SpeculationResolved {
+                job: ctx.job,
+                phase: ctx.phase,
+                task,
+                attempt,
+                winner,
+                ts: ctx.sink.now_micros(),
+            });
+        }
+    };
     match claimed.load(Ordering::SeqCst) {
         1 => {
-            speculative_won.fetch_add(1, Ordering::Relaxed);
-            speculative
+            ctx.speculative_won.fetch_add(1, Ordering::Relaxed);
+            resolved(RaceWinner::Speculative);
+            speculative.expect("claimed by speculative")
         }
-        2 => primary.expect("claimed by primary"),
+        2 => {
+            resolved(RaceWinner::Primary);
+            primary.expect("claimed by primary")
+        }
         // Neither copy succeeded: surface the primary's error when it ran
         // (its attempt id is the one the retry loop reasons about).
-        _ => primary.unwrap_or(speculative),
+        _ => {
+            resolved(RaceWinner::Neither);
+            primary
+                .or(speculative)
+                .expect("at least one copy of the attempt ran")
+        }
     }
 }
 
@@ -193,12 +482,13 @@ impl Engine {
     /// Runs one map-reduce job and returns the reducer outputs (in
     /// partition order, deterministic order within each partition).
     ///
-    /// Panicking wrapper around [`Engine::try_run_job`] for call sites
-    /// that treat job failure as fatal (a driver aborting on a failed
-    /// Hadoop job).
+    /// Panicking wrapper around [`Engine::run`] for call sites that treat
+    /// job failure as fatal (a driver aborting on a failed Hadoop job).
     ///
     /// # Panics
     /// Panics with the [`JobError`] display if the job fails.
+    #[deprecated(note = "build a `JobSpec` and submit it with `Engine::run` \
+                         (panicking call sites can unwrap the result)")]
     pub fn run_job<I, K, V, O, MF, PF, RF>(
         &self,
         name: &str,
@@ -217,30 +507,23 @@ impl Engine {
         PF: Fn(&K, usize) -> usize + Sync,
         RF: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
     {
-        self.try_run_job(name, input, num_partitions, map_fn, partition_fn, reduce_fn)
-            .unwrap_or_else(|e| panic!("{e}"))
+        self.run(
+            JobSpec::new(name)
+                .reducers(num_partitions)
+                .map(map_fn)
+                .partition(partition_fn)
+                .reduce(reduce_fn),
+            input,
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs one map-reduce job, surfacing task failures as a [`JobError`]
     /// instead of a panic.
     ///
-    /// * `map_fn(record, emit)` — called once per input record; `emit(k, v)`
-    ///   produces an intermediate pair.
-    /// * `partition_fn(key, num_partitions)` — routes a key to a logical
-    ///   reducer; must return a value `< num_partitions`. All pairs with
-    ///   equal keys must map to the same partition (guaranteed when the
-    ///   function depends only on the key).
-    /// * `reduce_fn(key, values, out)` — called once per distinct key with
-    ///   every value for that key, in a deterministic order (input order
-    ///   within each map task, map tasks in input order).
-    ///
     /// # Errors
-    /// [`JobErrorKind::AttemptsExhausted`] if a task fails more than
-    /// [`FaultPlan::max_attempts`] times (injected faults or user-code
-    /// panics, which are isolated per attempt);
-    /// [`JobErrorKind::BadPartitioner`] if the partitioner routes a key
-    /// out of range (not retried — the partitioner is deterministic).
-    #[allow(clippy::too_many_lines)]
+    /// See [`Engine::run`].
+    #[deprecated(note = "build a `JobSpec` and submit it with `Engine::run`")]
     pub fn try_run_job<I, K, V, O, MF, PF, RF>(
         &self,
         name: &str,
@@ -259,11 +542,90 @@ impl Engine {
         PF: Fn(&K, usize) -> usize + Sync,
         RF: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
     {
+        self.run(
+            JobSpec::new(name)
+                .reducers(num_partitions)
+                .map(map_fn)
+                .partition(partition_fn)
+                .reduce(reduce_fn),
+            input,
+        )
+    }
+
+    /// Runs the job described by `spec` over `input`, returning the
+    /// reducer outputs (in partition order, deterministic order within
+    /// each partition).
+    ///
+    /// * the spec's *mapper* is called once per input record; `emit(k, v)`
+    ///   produces an intermediate pair;
+    /// * the *partitioner* routes a key to a logical reducer and must
+    ///   return a value below [`JobSpec::reducers`]. All pairs with equal
+    ///   keys must map to the same partition (guaranteed when the function
+    ///   depends only on the key);
+    /// * the *reducer* is called once per distinct key with every value
+    ///   for that key, in a deterministic order (input order within each
+    ///   map task, map tasks in input order).
+    ///
+    /// # Errors
+    /// [`JobErrorKind::AttemptsExhausted`] if a task fails more than
+    /// [`FaultPlan::max_attempts`] times (injected faults or user-code
+    /// panics, which are isolated per attempt);
+    /// [`JobErrorKind::BadPartitioner`] if the partitioner routes a key
+    /// out of range (not retried — the partitioner is deterministic).
+    #[allow(clippy::too_many_lines)]
+    pub fn run<I, K, V, O, MF, PF, RF>(
+        &self,
+        spec: JobSpec<MF, PF, RF>,
+        input: &[I],
+    ) -> Result<Vec<O>, JobError>
+    where
+        I: Sync,
+        K: Ord + Send + Sync + RecordSize,
+        V: Clone + Send + Sync + RecordSize,
+        O: Send,
+        MF: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+        PF: Fn(&K, usize) -> usize + Sync,
+        RF: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+    {
+        let JobSpec {
+            name,
+            reducers: num_partitions,
+            map_fn,
+            partition_fn,
+            reduce_fn,
+            fault_plan,
+            trace,
+        } = spec;
+        let name = name.as_str();
         assert!(num_partitions > 0, "a job needs at least one partition");
+
+        // A per-job fault plan overrides the engine's injector for task
+        // decisions (the DFS keeps the engine-wide injector); a per-job
+        // sink overrides the engine-wide one.
+        let job_injector = fault_plan.map(FaultInjector::new);
+        let injector = job_injector.as_ref().unwrap_or(&self.injector);
+        let sink = if trace.is_enabled() {
+            &trace
+        } else {
+            &self.config.trace
+        };
+
         let job = self.job_seq.fetch_add(1, Ordering::Relaxed);
-        let injector = &self.injector;
         let max_attempts = injector.max_attempts();
         let job_start = Instant::now();
+        sink.record(TraceEvent::JobStart {
+            job,
+            name: name.to_string(),
+            ts: sink.now_micros(),
+        });
+        let fail = |err: JobError| {
+            sink.record(TraceEvent::JobEnd {
+                job,
+                ts: sink.now_micros(),
+                error: Some(err.to_string()),
+            });
+            Err(err)
+        };
         let mut metrics = JobMetrics {
             job_name: name.to_string(),
             map_input_records: input.len() as u64,
@@ -282,6 +644,8 @@ impl Engine {
         let reduce_task_failures = AtomicU64::new(0);
         let speculative_launched = AtomicU64::new(0);
         let speculative_won = AtomicU64::new(0);
+        let map_completed: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+        let reduce_completed: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
 
         // ---- Map phase -------------------------------------------------
         // The input is divided into chunks; each chunk is one map *task*,
@@ -296,6 +660,11 @@ impl Engine {
         // (and not on whether a task was retried) — reruns with equal
         // seeds see byte-identical value streams.
         let map_start = Instant::now();
+        sink.record(TraceEvent::PhaseStart {
+            job,
+            phase: SpanPhase::Map,
+            ts: sink.now_micros(),
+        });
         let chunk_size = input.len().div_ceil(self.config.map_tasks * 4).max(1);
         let chunks: Vec<&[I]> = input.chunks(chunk_size).collect();
         let emitted = AtomicU64::new(0);
@@ -310,6 +679,8 @@ impl Engine {
                 // attempt does its (discarded) work first, exercising the
                 // partial-output-isolation path.
                 let injected = injector.should_fail(Phase::Map, job, task, attempt);
+                let t0 = Instant::now();
+                let ts0 = sink.now_micros();
                 let chunk = chunks[task];
                 let mut buckets: Vec<Vec<(K, u64, V)>> =
                     (0..num_partitions).map(|_| Vec::new()).collect();
@@ -340,7 +711,7 @@ impl Engine {
                         }
                     }
                 }));
-                match unwind {
+                let result = match unwind {
                     Err(payload) => Err(AttemptError::Panic(panic_message(payload))),
                     Ok(()) => {
                         if let Some(partition) = bad_partition {
@@ -348,6 +719,7 @@ impl Engine {
                         } else if injected {
                             Err(AttemptError::Injected)
                         } else {
+                            map_completed.lock().push(t0.elapsed());
                             Ok(MapCommit {
                                 buckets,
                                 emitted: local_emitted,
@@ -355,9 +727,31 @@ impl Engine {
                             })
                         }
                     }
-                }
+                };
+                sink.record(TraceEvent::Attempt {
+                    job,
+                    phase: Phase::Map,
+                    task,
+                    attempt: attempt & !SPECULATIVE_BIT,
+                    speculative: attempt & SPECULATIVE_BIT != 0,
+                    start: ts0,
+                    end: sink.now_micros(),
+                    outcome: result
+                        .as_ref()
+                        .map_or_else(AttemptError::outcome, |_| AttemptOutcome::Succeeded),
+                });
+                result
             };
 
+        let map_ctx = TaskCtx {
+            injector,
+            sink,
+            phase: Phase::Map,
+            job,
+            completed: &map_completed,
+            speculative_launched: &speculative_launched,
+            speculative_won: &speculative_won,
+        };
         let next_chunk = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..self.config.map_tasks {
@@ -371,16 +765,8 @@ impl Engine {
                     }
                     let mut attempt = 0u32;
                     loop {
-                        let outcome = attempt_with_speculation(
-                            injector,
-                            Phase::Map,
-                            job,
-                            task,
-                            attempt,
-                            &speculative_launched,
-                            &speculative_won,
-                            &run_map_attempt,
-                        );
+                        let outcome =
+                            attempt_with_speculation(&map_ctx, task, attempt, &run_map_attempt);
                         match outcome {
                             Ok(commit) => {
                                 for (p, bucket) in commit.buckets.into_iter().enumerate() {
@@ -427,8 +813,13 @@ impl Engine {
                 });
             }
         });
+        sink.record(TraceEvent::PhaseEnd {
+            job,
+            phase: SpanPhase::Map,
+            ts: sink.now_micros(),
+        });
         if let Some(err) = job_error.lock().take() {
-            return Err(err);
+            return fail(err);
         }
         metrics.map_wall = map_start.elapsed();
         metrics.map_output_records = emitted.load(Ordering::Relaxed);
@@ -439,6 +830,11 @@ impl Engine {
         // The tag tiebreak makes the within-group value order a pure
         // function of the input (see the map-phase comment).
         let shuffle_start = Instant::now();
+        sink.record(TraceEvent::PhaseStart {
+            job,
+            phase: SpanPhase::Shuffle,
+            ts: sink.now_micros(),
+        });
         let group_counter = AtomicU64::new(0);
         let max_partition = AtomicU64::new(0);
         let next_shuffle = AtomicUsize::new(0);
@@ -468,6 +864,11 @@ impl Engine {
                 });
             }
         });
+        sink.record(TraceEvent::PhaseEnd {
+            job,
+            phase: SpanPhase::Shuffle,
+            ts: sink.now_micros(),
+        });
         metrics.shuffle_wall = shuffle_start.elapsed();
         metrics.reduce_input_groups = group_counter.load(Ordering::Relaxed);
         metrics.max_partition_records = max_partition.load(Ordering::Relaxed);
@@ -479,6 +880,11 @@ impl Engine {
         // attempt can be replayed; values are cloned into each group per
         // attempt. The input is dropped on commit.
         let reduce_start = Instant::now();
+        sink.record(TraceEvent::PhaseStart {
+            job,
+            phase: SpanPhase::Reduce,
+            ts: sink.now_micros(),
+        });
         let partition_store: Vec<RwLock<Vec<(K, u64, V)>>> = partitions
             .into_iter()
             .map(|m| RwLock::new(m.into_inner()))
@@ -491,6 +897,8 @@ impl Engine {
         let run_reduce_attempt =
             |task: usize, attempt: u32| -> Result<(Vec<O>, u64), AttemptError> {
                 let injected = injector.should_fail(Phase::Reduce, job, task, attempt);
+                let t0 = Instant::now();
+                let ts0 = sink.now_micros();
                 let guard = partition_store[task].read();
                 let data: &[(K, u64, V)] = &guard;
                 let mut outputs = Vec::new();
@@ -512,18 +920,41 @@ impl Engine {
                         i = j;
                     }
                 }));
-                match unwind {
+                let result = match unwind {
                     Err(payload) => Err(AttemptError::Panic(panic_message(payload))),
                     Ok(()) => {
                         if injected {
                             Err(AttemptError::Injected)
                         } else {
+                            reduce_completed.lock().push(t0.elapsed());
                             Ok((outputs, local_out))
                         }
                     }
-                }
+                };
+                sink.record(TraceEvent::Attempt {
+                    job,
+                    phase: Phase::Reduce,
+                    task,
+                    attempt: attempt & !SPECULATIVE_BIT,
+                    speculative: attempt & SPECULATIVE_BIT != 0,
+                    start: ts0,
+                    end: sink.now_micros(),
+                    outcome: result
+                        .as_ref()
+                        .map_or_else(AttemptError::outcome, |_| AttemptOutcome::Succeeded),
+                });
+                result
             };
 
+        let reduce_ctx = TaskCtx {
+            injector,
+            sink,
+            phase: Phase::Reduce,
+            job,
+            completed: &reduce_completed,
+            speculative_launched: &speculative_launched,
+            speculative_won: &speculative_won,
+        };
         let next_reduce = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..self.config.reduce_tasks {
@@ -538,13 +969,9 @@ impl Engine {
                     let mut attempt = 0u32;
                     loop {
                         let outcome = attempt_with_speculation(
-                            injector,
-                            Phase::Reduce,
-                            job,
+                            &reduce_ctx,
                             task,
                             attempt,
-                            &speculative_launched,
-                            &speculative_won,
                             &run_reduce_attempt,
                         );
                         match outcome {
@@ -581,8 +1008,13 @@ impl Engine {
                 });
             }
         });
+        sink.record(TraceEvent::PhaseEnd {
+            job,
+            phase: SpanPhase::Reduce,
+            ts: sink.now_micros(),
+        });
         if let Some(err) = job_error.lock().take() {
-            return Err(err);
+            return fail(err);
         }
         metrics.reduce_wall = reduce_start.elapsed();
         metrics.reduce_output_records = out_count.load(Ordering::Relaxed);
@@ -592,6 +1024,16 @@ impl Engine {
         metrics.speculative_launched = speculative_launched.load(Ordering::Relaxed);
         metrics.speculative_won = speculative_won.load(Ordering::Relaxed);
         metrics.total_wall = job_start.elapsed();
+        sink.record(TraceEvent::Counters {
+            job,
+            ts: sink.now_micros(),
+            metrics: metrics.clone(),
+        });
+        sink.record(TraceEvent::JobEnd {
+            job,
+            ts: sink.now_micros(),
+            error: None,
+        });
         self.metrics.lock().push(metrics);
 
         Ok(output_slots
@@ -628,7 +1070,7 @@ mod tests {
         Engine::new(EngineConfig {
             map_tasks: 4,
             reduce_tasks: 4,
-            fault_plan: None,
+            ..EngineConfig::default()
         })
     }
 
@@ -637,6 +1079,7 @@ mod tests {
             map_tasks: 4,
             reduce_tasks: 4,
             fault_plan: Some(plan),
+            ..EngineConfig::default()
         })
     }
 
@@ -644,8 +1087,35 @@ mod tests {
     fn word_count() {
         let e = engine();
         let input = vec!["a b a", "c b", "a"];
+        let mut out = e
+            .run(
+                JobSpec::new("wc")
+                    .reducers(3)
+                    .map(|line: &&str, emit| {
+                        for w in line.split(' ') {
+                            emit(w.to_string(), 1u32);
+                        }
+                    })
+                    .partition(|k: &String, n| k.as_bytes()[0] as usize % n)
+                    .reduce(|k: &String, vs: Vec<u32>, out| out((k.clone(), vs.len()))),
+                &input,
+            )
+            .unwrap();
+        out.sort();
+        assert_eq!(
+            out,
+            vec![("a".into(), 3usize), ("b".into(), 2), ("c".into(), 1)]
+        );
+    }
+
+    /// The positional wrappers still work, delegating to `Engine::run`.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_wrappers_still_run() {
+        let e = engine();
+        let input = vec!["a b a", "c b", "a"];
         let mut out = e.run_job(
-            "wc",
+            "wc-positional",
             &input,
             3,
             |line, emit| {
@@ -661,27 +1131,40 @@ mod tests {
             out,
             vec![("a".into(), 3usize), ("b".into(), 2), ("c".into(), 1)]
         );
+        let err = e
+            .try_run_job(
+                "bad-positional",
+                &input,
+                2,
+                |_, emit| emit(0u32, 0u32),
+                |_, _| 9,
+                |&k, _, out: &mut dyn FnMut(u32)| out(k),
+            )
+            .unwrap_err();
+        assert_eq!(err.phase, Phase::Map);
     }
 
     #[test]
     fn metrics_count_intermediate_pairs() {
         let e = engine();
         let input: Vec<u32> = (0..100).collect();
-        let _ = e.run_job(
-            "double-emit",
-            &input,
-            8,
-            |&x, emit| {
-                emit(x % 8, x);
-                emit((x + 1) % 8, x);
-            },
-            |&k, n| k as usize % n,
-            |_, vs, out| {
-                for v in vs {
-                    out(v);
-                }
-            },
-        );
+        let _ = e
+            .run(
+                JobSpec::new("double-emit")
+                    .reducers(8)
+                    .map(|&x: &u32, emit| {
+                        emit(x % 8, x);
+                        emit((x + 1) % 8, x);
+                    })
+                    .partition(|&k: &u32, n| k as usize % n)
+                    .reduce(|_: &u32, vs: Vec<u32>, out| {
+                        for v in vs {
+                            out(v);
+                        }
+                    }),
+                &input,
+            )
+            .unwrap();
         let report = e.report();
         assert_eq!(report.num_jobs(), 1);
         let j = &report.jobs[0];
@@ -703,21 +1186,23 @@ mod tests {
     fn all_values_for_a_key_meet_at_one_reducer() {
         let e = engine();
         let input: Vec<u64> = (0..1000).collect();
-        let out = e.run_job(
-            "group",
-            &input,
-            16,
-            |&x, emit| emit(x % 50, x),
-            |&k, n| (k as usize) % n,
-            |&k, vs, out| {
-                // Every value v with v % 50 == k must be present.
-                let mut got: Vec<u64> = vs;
-                got.sort_unstable();
-                let expect: Vec<u64> = (0..1000).filter(|v| v % 50 == k).collect();
-                assert_eq!(got, expect);
-                out(k);
-            },
-        );
+        let out = e
+            .run(
+                JobSpec::new("group")
+                    .reducers(16)
+                    .map(|&x: &u64, emit| emit(x % 50, x))
+                    .partition(|&k: &u64, n| (k as usize) % n)
+                    .reduce(|&k: &u64, vs: Vec<u64>, out| {
+                        // Every value v with v % 50 == k must be present.
+                        let mut got: Vec<u64> = vs;
+                        got.sort_unstable();
+                        let expect: Vec<u64> = (0..1000).filter(|v| v % 50 == k).collect();
+                        assert_eq!(got, expect);
+                        out(k);
+                    }),
+                &input,
+            )
+            .unwrap();
         assert_eq!(out.len(), 50);
     }
 
@@ -726,16 +1211,17 @@ mod tests {
         let e = engine();
         let input: Vec<u32> = (0..200).rev().collect();
         let order = Mutex::new(Vec::new());
-        let _ = e.run_job(
-            "sorted",
-            &input,
-            1,
-            |&x, emit| emit(x, ()),
-            |_, _| 0,
-            |&k, _, _out: &mut dyn FnMut(())| {
-                order.lock().push(k);
-            },
-        );
+        let _ = e
+            .run(
+                JobSpec::new("sorted")
+                    .map(|&x: &u32, emit| emit(x, ()))
+                    .partition(|_: &u32, _| 0)
+                    .reduce(|&k: &u32, _: Vec<()>, _out: &mut dyn FnMut(())| {
+                        order.lock().push(k);
+                    }),
+                &input,
+            )
+            .unwrap();
         let order = order.into_inner();
         let mut sorted = order.clone();
         sorted.sort_unstable();
@@ -752,16 +1238,18 @@ mod tests {
                 let e = engine();
                 let input: Vec<u32> = (0..500).collect();
                 let seen = Mutex::new(Vec::new());
-                let _ = e.run_job(
-                    "order",
-                    &input,
-                    4,
-                    |&x, emit| emit(x % 7, x),
-                    |&k, n| k as usize % n,
-                    |_, vs, _out: &mut dyn FnMut(())| {
-                        seen.lock().extend(vs);
-                    },
-                );
+                let _ = e
+                    .run(
+                        JobSpec::new("order")
+                            .reducers(4)
+                            .map(|&x: &u32, emit| emit(x % 7, x))
+                            .partition(|&k: &u32, n| k as usize % n)
+                            .reduce(|_: &u32, vs: Vec<u32>, _out: &mut dyn FnMut(())| {
+                                seen.lock().extend(vs);
+                            }),
+                        &input,
+                    )
+                    .unwrap();
                 seen.into_inner()
             })
             .collect();
@@ -774,14 +1262,16 @@ mod tests {
     fn empty_input_produces_no_output() {
         let e = engine();
         let input: Vec<u32> = Vec::new();
-        let out: Vec<u32> = e.run_job(
-            "empty",
-            &input,
-            4,
-            |&x, emit| emit(x, x),
-            |&k, n| k as usize % n,
-            |&k, _, out| out(k),
-        );
+        let out: Vec<u32> = e
+            .run(
+                JobSpec::new("empty")
+                    .reducers(4)
+                    .map(|&x: &u32, emit| emit(x, x))
+                    .partition(|&k: &u32, n| k as usize % n)
+                    .reduce(|&k: &u32, _: Vec<u32>, out| out(k)),
+                &input,
+            )
+            .unwrap();
         assert!(out.is_empty());
         assert_eq!(e.report().jobs[0].map_output_records, 0);
     }
@@ -790,32 +1280,37 @@ mod tests {
     fn chained_jobs_account_dfs_traffic() {
         let e = engine();
         let input: Vec<u32> = (0..10).collect();
-        let stage1: Vec<u32> = e.run_job(
-            "stage1",
-            &input,
-            2,
-            |&x, emit| emit(x % 2, x),
-            |&k, n| k as usize % n,
-            |_, vs, out| {
-                for v in vs {
-                    out(v * 2);
-                }
-            },
-        );
+        let even_odd = |&k: &u32, n: usize| k as usize % n;
+        let stage1: Vec<u32> = e
+            .run(
+                JobSpec::new("stage1")
+                    .reducers(2)
+                    .map(|&x: &u32, emit| emit(x % 2, x))
+                    .partition(even_odd)
+                    .reduce(|_: &u32, vs: Vec<u32>, out| {
+                        for v in vs {
+                            out(v * 2);
+                        }
+                    }),
+                &input,
+            )
+            .unwrap();
         e.dfs.write("intermediate", stage1);
         let stage2_input = e.dfs.read::<u32>("intermediate").unwrap();
-        let out: Vec<u32> = e.run_job(
-            "stage2",
-            &stage2_input,
-            2,
-            |&x, emit| emit(x % 2, x),
-            |&k, n| k as usize % n,
-            |_, vs, out| {
-                for v in vs {
-                    out(v);
-                }
-            },
-        );
+        let out: Vec<u32> = e
+            .run(
+                JobSpec::new("stage2")
+                    .reducers(2)
+                    .map(|&x: &u32, emit| emit(x % 2, x))
+                    .partition(even_odd)
+                    .reduce(|_: &u32, vs: Vec<u32>, out| {
+                        for v in vs {
+                            out(v);
+                        }
+                    }),
+                &stage2_input,
+            )
+            .unwrap();
         assert_eq!(out.len(), 10);
         let report = e.report();
         assert_eq!(report.num_jobs(), 2);
@@ -827,14 +1322,15 @@ mod tests {
     fn reset_metrics_clears_everything() {
         let e = engine();
         let input = vec![1u32];
-        let _ = e.run_job(
-            "j",
-            &input,
-            1,
-            |&x, emit| emit(x, x),
-            |_, _| 0,
-            |&k, _, out| out(k),
-        );
+        let _ = e
+            .run(
+                JobSpec::new("j")
+                    .map(|&x: &u32, emit| emit(x, x))
+                    .partition(|_: &u32, _| 0)
+                    .reduce(|&k: &u32, _: Vec<u32>, out| out(k)),
+                &input,
+            )
+            .unwrap();
         e.dfs.write("d", vec![1u8]);
         e.reset_metrics();
         let r = e.report();
@@ -847,13 +1343,13 @@ mod tests {
         let e = engine();
         let input = vec![1u32];
         let err = e
-            .try_run_job(
-                "bad",
+            .run(
+                JobSpec::new("bad")
+                    .reducers(2)
+                    .map(|&x: &u32, emit| emit(x, x))
+                    .partition(|_: &u32, _| 7)
+                    .reduce(|&k: &u32, _: Vec<u32>, out: &mut dyn FnMut(u32)| out(k)),
                 &input,
-                2,
-                |&x, emit| emit(x, x),
-                |_, _| 7,
-                |&k, _, out: &mut dyn FnMut(u32)| out(k),
             )
             .unwrap_err();
         assert_eq!(err.phase, Phase::Map);
@@ -868,21 +1364,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "partition_fn returned")]
-    fn bad_partitioner_panics_via_run_job() {
-        let e = engine();
-        let input = vec![1u32];
-        let _ = e.run_job(
-            "bad",
-            &input,
-            2,
-            |&x, emit| emit(x, x),
-            |_, _| 7,
-            |&k, _, out| out(k),
-        );
-    }
-
-    #[test]
     fn injected_map_fault_is_retried_transparently() {
         let plan = FaultPlan::none().with_forced(vec![ForcedFault {
             phase: Phase::Map,
@@ -891,14 +1372,16 @@ mod tests {
         }]);
         let e = engine_with(plan);
         let input: Vec<u32> = (0..100).collect();
-        let mut out = e.run_job(
-            "retry",
-            &input,
-            4,
-            |&x, emit| emit(x, x),
-            |&k, n| k as usize % n,
-            |&k, _, out| out(k),
-        );
+        let mut out = e
+            .run(
+                JobSpec::new("retry")
+                    .reducers(4)
+                    .map(|&x: &u32, emit| emit(x, x))
+                    .partition(|&k: &u32, n| k as usize % n)
+                    .reduce(|&k: &u32, _: Vec<u32>, out| out(k)),
+                &input,
+            )
+            .unwrap();
         out.sort_unstable();
         assert_eq!(out, (0..100).collect::<Vec<_>>());
         let j = &e.report().jobs[0];
@@ -920,13 +1403,13 @@ mod tests {
         let e = engine_with(plan);
         let input: Vec<u32> = (0..10).collect();
         let err = e
-            .try_run_job(
-                "doomed",
+            .run(
+                JobSpec::new("doomed")
+                    .reducers(4)
+                    .map(|&x: &u32, emit| emit(x, x))
+                    .partition(|&k: &u32, n| k as usize % n)
+                    .reduce(|&k: &u32, _: Vec<u32>, out: &mut dyn FnMut(u32)| out(k)),
                 &input,
-                4,
-                |&x, emit| emit(x, x),
-                |&k, n| k as usize % n,
-                |&k, _, out: &mut dyn FnMut(u32)| out(k),
             )
             .unwrap_err();
         assert_eq!(err.phase, Phase::Reduce);
@@ -944,22 +1427,37 @@ mod tests {
         let e = engine();
         let input: Vec<u32> = (0..10).collect();
         let err = e
-            .try_run_job(
-                "panicky",
+            .run(
+                JobSpec::new("panicky")
+                    .reducers(2)
+                    .map(|&x: &u32, emit| emit(x, x))
+                    .partition(|&k: &u32, n| k as usize % n)
+                    .reduce(|&k: &u32, _: Vec<u32>, _out: &mut dyn FnMut(u32)| {
+                        if k == 3 {
+                            panic!("reducer exploded on key {k}");
+                        }
+                    }),
                 &input,
-                2,
-                |&x, emit| emit(x, x),
-                |&k, n| k as usize % n,
-                |&k, _, _out: &mut dyn FnMut(u32)| {
-                    if k == 3 {
-                        panic!("reducer exploded on key {k}");
-                    }
-                },
             )
             .unwrap_err();
         assert_eq!(err.phase, Phase::Reduce);
         assert_eq!(err.attempts, FaultPlan::DEFAULT_MAX_ATTEMPTS);
         assert!(err.to_string().contains("reducer exploded"), "{err}");
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn identity_spec(
+        name: &str,
+    ) -> JobSpec<
+        impl Fn(&u32, &mut dyn FnMut(u32, u32)) + Sync,
+        impl Fn(&u32, usize) -> usize + Sync,
+        impl Fn(&u32, Vec<u32>, &mut dyn FnMut(u32)) + Sync,
+    > {
+        JobSpec::new(name)
+            .reducers(4)
+            .map(|&x: &u32, emit| emit(x, x))
+            .partition(|&k: &u32, n| k as usize % n)
+            .reduce(|&k: &u32, _: Vec<u32>, out| out(k))
     }
 
     #[test]
@@ -968,14 +1466,7 @@ mod tests {
         plan.straggler_delay = std::time::Duration::from_millis(2);
         let e = engine_with(plan);
         let input: Vec<u32> = (0..200).collect();
-        let mut out = e.run_job(
-            "slow",
-            &input,
-            4,
-            |&x, emit| emit(x, x),
-            |&k, n| k as usize % n,
-            |&k, _, out| out(k),
-        );
+        let mut out = e.run(identity_spec("slow"), &input).unwrap();
         out.sort_unstable();
         assert_eq!(out.len(), 200);
         let j = &e.report().jobs[0];
@@ -984,5 +1475,102 @@ mod tests {
         // Speculation must not distort the logical counters.
         assert_eq!(j.map_output_records, 200);
         assert_eq!(j.reduce_output_records, 200);
+    }
+
+    /// With single-threaded phases and a huge slow-start multiplier, only
+    /// the *first* task of each phase (no median yet) launches a
+    /// speculative duplicate: every later straggler finishes well inside
+    /// `multiplier × median` and the duplicate is never launched.
+    #[test]
+    fn slowstart_paces_speculation_to_the_median() {
+        let mut plan = FaultPlan::chaos(13, 0.0, 1.0).with_slowstart(10_000.0);
+        plan.straggler_delay = std::time::Duration::from_micros(100);
+        let e = Engine::new(EngineConfig {
+            map_tasks: 1,
+            reduce_tasks: 1,
+            fault_plan: Some(plan),
+            ..EngineConfig::default()
+        });
+        let input: Vec<u32> = (0..400).collect();
+        let mut out = e.run(identity_spec("paced"), &input).unwrap();
+        out.sort_unstable();
+        assert_eq!(out, (0..400).collect::<Vec<_>>());
+        let j = &e.report().jobs[0];
+        // One map chunk per task with map_tasks = 1 gives 4 chunks; reduce
+        // has 4 partitions. Exactly one speculative launch per phase.
+        assert_eq!(
+            j.speculative_launched, 2,
+            "slow-start must gate all but the first (median-less) straggler per phase"
+        );
+        assert_eq!(j.map_output_records, 400);
+        assert_eq!(j.reduce_output_records, 400);
+    }
+
+    /// A zero multiplier (the default) preserves the old behavior: every
+    /// flagged straggler races a duplicate immediately.
+    #[test]
+    fn zero_slowstart_speculates_immediately() {
+        let mut plan = FaultPlan::chaos(13, 0.0, 1.0).with_slowstart(0.0);
+        plan.straggler_delay = std::time::Duration::from_micros(100);
+        let e = Engine::new(EngineConfig {
+            map_tasks: 1,
+            reduce_tasks: 1,
+            fault_plan: Some(plan),
+            ..EngineConfig::default()
+        });
+        let input: Vec<u32> = (0..400).collect();
+        let _ = e.run(identity_spec("eager"), &input).unwrap();
+        let j = &e.report().jobs[0];
+        // Every task straggles (rate 1.0) and races a duplicate: 4 map
+        // chunks + 4 reduce partitions.
+        assert_eq!(j.speculative_launched, 8);
+    }
+
+    /// A per-job fault plan overrides the engine's.
+    #[test]
+    fn job_level_fault_plan_overrides_engine_plan() {
+        let e = engine(); // fault-free engine
+        let doomed = FaultPlan::none()
+            .with_forced(vec![ForcedFault {
+                phase: Phase::Map,
+                task: 0,
+                attempts: u32::MAX,
+            }])
+            .with_max_attempts(2);
+        let input: Vec<u32> = (0..10).collect();
+        let err = e
+            .run(identity_spec("overridden").fault_plan(doomed), &input)
+            .unwrap_err();
+        assert_eq!(err.phase, Phase::Map);
+        assert_eq!(err.attempts, 2);
+        // The engine itself is still fault-free.
+        let ok = e.run(identity_spec("clean"), &input).unwrap();
+        assert_eq!(ok.len(), 10);
+    }
+
+    /// A per-job sink overrides the engine-wide sink; a disabled per-job
+    /// sink leaves the engine-wide sink in effect.
+    #[test]
+    fn trace_sink_selection() {
+        let engine_sink = TraceSink::recording();
+        let e = Engine::new(
+            EngineConfig {
+                map_tasks: 2,
+                reduce_tasks: 2,
+                ..EngineConfig::default()
+            }
+            .with_trace(engine_sink.clone()),
+        );
+        let input: Vec<u32> = (0..50).collect();
+
+        let job_sink = TraceSink::recording();
+        let _ = e
+            .run(identity_spec("per-job").trace(job_sink.clone()), &input)
+            .unwrap();
+        assert!(!job_sink.is_empty(), "per-job sink must capture the job");
+        assert!(engine_sink.is_empty(), "engine sink must not see the job");
+
+        let _ = e.run(identity_spec("engine-wide"), &input).unwrap();
+        assert!(!engine_sink.is_empty(), "engine sink must capture the job");
     }
 }

@@ -67,6 +67,14 @@ pub struct FaultPlan {
     pub straggler_delay: Duration,
     /// Probability that one DFS read attempt fails transiently.
     pub dfs_read_failure_rate: f64,
+    /// Slow-start pacing for speculative execution, as a multiple of the
+    /// median committed task time in the same phase: a duplicate attempt
+    /// is launched only once a straggling task has run longer than
+    /// `speculative_slowstart × median` (Hadoop launches speculation only
+    /// for tasks well behind their peers). `0.0` (the default) launches
+    /// the duplicate immediately, as does any straggler that flags before
+    /// a median exists (the first task of a phase).
+    pub speculative_slowstart: f64,
     /// Maximum attempts per task before the job fails with a
     /// [`JobError`](crate::JobError).
     pub max_attempts: u32,
@@ -88,6 +96,7 @@ impl FaultPlan {
             straggler_rate: 0.0,
             straggler_delay: Duration::from_millis(4),
             dfs_read_failure_rate: 0.0,
+            speculative_slowstart: 0.0,
             max_attempts: Self::DEFAULT_MAX_ATTEMPTS,
             forced: Vec::new(),
         }
@@ -123,6 +132,18 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the speculative slow-start multiplier (see
+    /// [`FaultPlan::speculative_slowstart`]).
+    #[must_use]
+    pub fn with_slowstart(mut self, multiplier: f64) -> Self {
+        assert!(
+            multiplier >= 0.0 && multiplier.is_finite(),
+            "speculative_slowstart must be finite and non-negative, got {multiplier}"
+        );
+        self.speculative_slowstart = multiplier;
+        self
+    }
+
     fn validate(&self) {
         for (name, p) in [
             ("map_failure_rate", self.map_failure_rate),
@@ -136,6 +157,11 @@ impl FaultPlan {
             );
         }
         assert!(self.max_attempts > 0, "a task needs at least one attempt");
+        assert!(
+            self.speculative_slowstart >= 0.0 && self.speculative_slowstart.is_finite(),
+            "speculative_slowstart must be finite and non-negative, got {}",
+            self.speculative_slowstart
+        );
     }
 }
 
@@ -185,6 +211,13 @@ impl FaultInjector {
         self.plan
             .as_ref()
             .map_or(FaultPlan::DEFAULT_MAX_ATTEMPTS, |p| p.max_attempts)
+    }
+
+    /// The plan's speculative slow-start multiplier (0.0 — immediate
+    /// speculation — when no plan is set).
+    #[must_use]
+    pub fn slowstart(&self) -> f64 {
+        self.plan.as_ref().map_or(0.0, |p| p.speculative_slowstart)
     }
 
     /// Whether any fault can ever fire (used to skip bookkeeping on the

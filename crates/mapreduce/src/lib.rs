@@ -25,27 +25,38 @@
 //! stragglers — see [`FaultPlan`] for deterministic fault injection and
 //! [`Engine::try_run_job`] for surfacing failed jobs as [`JobError`]s.
 //!
+//! Jobs are described declaratively with a [`JobSpec`] builder and
+//! submitted with [`Engine::run`]; a [`TraceSink`] attached to the engine
+//! or to one spec records a span per job, phase and task attempt,
+//! exportable as a JSON-lines event log or a `chrome://tracing` file.
+//!
 //! # Example
 //!
 //! ```
-//! use mwsj_mapreduce::{Engine, EngineConfig};
+//! use mwsj_mapreduce::{Engine, EngineConfig, JobSpec, TraceSink};
 //!
-//! let engine = Engine::new(EngineConfig::default());
+//! let trace = TraceSink::recording();
+//! let engine = Engine::new(EngineConfig::default().with_trace(trace.clone()));
 //! let words = vec!["a b", "b c", "c b"];
-//! let mut counts = engine.run_job(
-//!     "word-count",
-//!     &words,
-//!     4,                                   // reducers
-//!     |line, emit| {
-//!         for w in line.split(' ') {
-//!             emit(w.to_string(), 1u64);
-//!         }
-//!     },
-//!     |key, _| key.len() % 4,              // partitioner
-//!     |word, ones, out| out((word.clone(), ones.len() as u64)),
-//! );
+//! let mut counts = engine
+//!     .run(
+//!         JobSpec::new("word-count")
+//!             .reducers(4)
+//!             .map(|line: &&str, emit| {
+//!                 for w in line.split(' ') {
+//!                     emit(w.to_string(), 1u64);
+//!                 }
+//!             })
+//!             .partition(|key: &String, n| key.len() % n)
+//!             .reduce(|word: &String, ones: Vec<u64>, out| {
+//!                 out((word.clone(), ones.len() as u64));
+//!             }),
+//!         &words,
+//!     )
+//!     .expect("word-count failed");
 //! counts.sort();
 //! assert_eq!(counts, vec![("a".into(), 1), ("b".into(), 3), ("c".into(), 2)]);
+//! assert!(trace.to_chrome_trace().contains("word-count"));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -56,9 +67,11 @@ mod engine;
 mod fault;
 mod metrics;
 mod record;
+mod trace;
 
 pub use dfs::{Dfs, DfsError};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, JobSpec, Unset};
 pub use fault::{FaultInjector, FaultPlan, ForcedFault, JobError, JobErrorKind, Phase};
 pub use metrics::{CostModel, JobMetrics, MetricsReport};
 pub use record::RecordSize;
+pub use trace::{validate_json, AttemptOutcome, RaceWinner, SpanPhase, TraceEvent, TraceSink};

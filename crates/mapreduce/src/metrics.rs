@@ -129,6 +129,77 @@ impl MetricsReport {
         self.jobs.len()
     }
 
+    /// Renders a human-readable per-phase summary table: one row per job
+    /// with map/shuffle/reduce/total wall times and the headline logical
+    /// counters, plus a totals row. Complements the machine-readable
+    /// exports on [`TraceSink`](crate::TraceSink).
+    #[must_use]
+    pub fn phase_table(&self) -> String {
+        use std::fmt::Write as _;
+
+        fn ms(d: Duration) -> String {
+            format!("{:.1}", d.as_secs_f64() * 1e3)
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>7} {:>5}",
+            "job",
+            "map ms",
+            "shuf ms",
+            "red ms",
+            "total ms",
+            "kv pairs",
+            "shuffle B",
+            "retries",
+            "spec"
+        );
+        let mut total = JobMetrics::default();
+        for j in &self.jobs {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>7} {:>5}",
+                j.job_name,
+                ms(j.map_wall),
+                ms(j.shuffle_wall),
+                ms(j.reduce_wall),
+                ms(j.total_wall),
+                j.map_output_records,
+                j.shuffle_bytes,
+                j.retries,
+                j.speculative_launched
+            );
+            total.map_wall += j.map_wall;
+            total.shuffle_wall += j.shuffle_wall;
+            total.reduce_wall += j.reduce_wall;
+            total.total_wall += j.total_wall;
+            total.map_output_records += j.map_output_records;
+            total.shuffle_bytes += j.shuffle_bytes;
+            total.retries += j.retries;
+            total.speculative_launched += j.speculative_launched;
+        }
+        let _ = writeln!(
+            out,
+            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>7} {:>5}",
+            format!("total ({} jobs)", self.jobs.len()),
+            ms(total.map_wall),
+            ms(total.shuffle_wall),
+            ms(total.reduce_wall),
+            ms(total.total_wall),
+            total.map_output_records,
+            total.shuffle_bytes,
+            total.retries,
+            total.speculative_launched
+        );
+        let _ = writeln!(
+            out,
+            "dfs: {} B read, {} B written",
+            self.dfs_read_bytes, self.dfs_write_bytes
+        );
+        out
+    }
+
     /// Estimated wall time under a [`CostModel`] (see its docs): measured
     /// compute time plus modeled job overhead, shuffle and DFS transfer
     /// times derived from the metered counters.
@@ -167,5 +238,26 @@ mod tests {
         assert_eq!(report.total_intermediate_records(), 60);
         assert_eq!(report.total_shuffle_bytes(), 600);
         assert_eq!(report.total_wall(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn phase_table_lists_every_job_and_totals() {
+        let mut report = MetricsReport::default();
+        for i in 1..=2u64 {
+            report.jobs.push(JobMetrics {
+                job_name: format!("job{i}"),
+                map_output_records: 10 * i,
+                shuffle_bytes: 100 * i,
+                map_wall: Duration::from_millis(2 * i),
+                total_wall: Duration::from_millis(3 * i),
+                ..JobMetrics::default()
+            });
+        }
+        report.dfs_read_bytes = 64;
+        let table = report.phase_table();
+        assert!(table.contains("job1") && table.contains("job2"));
+        assert!(table.contains("total (2 jobs)"));
+        assert!(table.contains("30"), "kv-pair total missing:\n{table}");
+        assert!(table.contains("64 B read"), "{table}");
     }
 }

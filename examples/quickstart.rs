@@ -9,7 +9,8 @@
 //! Controlled-Replicate, and prints the result alongside the metrics the
 //! paper's evaluation reports.
 
-use mwsj_core::{Algorithm, Cluster, ClusterConfig};
+use mwsj_core::mapreduce::TraceSink;
+use mwsj_core::{Algorithm, Cluster, ClusterConfig, JoinRun};
 use mwsj_datagen::SyntheticConfig;
 use mwsj_query::Query;
 
@@ -35,7 +36,12 @@ fn main() {
         8,
     ));
 
-    let output = cluster.run(&query, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+    // A recording sink captures one span per job, phase and task attempt;
+    // `JoinRun` describes the run (algorithm, count-only mode, tracing).
+    let trace = TraceSink::recording();
+    let relations: [&[_]; 3] = [&r1, &r2, &r3];
+    let run = JoinRun::new(&query, &relations, Algorithm::ControlledReplicate).trace(trace.clone());
+    let output = cluster.submit(&run).expect("fault-free join");
 
     println!("output : {} tuples", output.len());
     for tuple in output.tuples.iter().take(5) {
@@ -54,10 +60,12 @@ fn main() {
         "  rectangles after replication : {}",
         output.stats.rectangles_after_replication
     );
-    for job in &output.report.jobs {
-        println!(
-            "  job `{}`: {} intermediate pairs, {} shuffle bytes, {:?}",
-            job.job_name, job.map_output_records, job.shuffle_bytes, job.total_wall
-        );
+    print!("{}", output.report.phase_table());
+
+    // Set MWSJ_TRACE_OUT=trace.json to export the recorded spans as a
+    // chrome://tracing file (load it at ui.perfetto.dev).
+    if let Ok(path) = std::env::var("MWSJ_TRACE_OUT") {
+        std::fs::write(&path, trace.to_chrome_trace()).expect("writing trace file");
+        println!("\ntrace  : {} events -> {path}", trace.len());
     }
 }

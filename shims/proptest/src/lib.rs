@@ -216,7 +216,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The [`vec`] strategy.
+    /// The [`vec()`](fn@vec) strategy.
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -9,7 +9,7 @@
 //! fail — and then with a structured [`JoinError`], not a process abort.
 
 use mwsj_core::mapreduce::{FaultPlan, ForcedFault, Phase};
-use mwsj_core::{reference, Algorithm, Cluster, ClusterConfig, JoinError, RunConfig};
+use mwsj_core::{reference, Algorithm, Cluster, ClusterConfig, JoinError, JoinRun};
 use mwsj_geom::Rect;
 use mwsj_query::Query;
 
@@ -174,12 +174,7 @@ fn exhausted_attempts_surface_join_error_not_abort() {
     let cl = cluster_with(Some(plan));
 
     let err = cl
-        .try_run_with(
-            &q,
-            &[&r1, &r2, &r3],
-            Algorithm::AllReplicate,
-            RunConfig::default(),
-        )
+        .submit(&JoinRun::new(&q, &[&r1, &r2, &r3], Algorithm::AllReplicate))
         .unwrap_err();
     match &err {
         JoinError::Job(e) => {
@@ -213,7 +208,6 @@ fn count_only_tuple_counts_survive_retries_and_speculation() {
     let r1 = synthetic(4_000, 141);
     let r2 = synthetic(4_000, 142);
     let r3 = synthetic(4_000, 143);
-    let counting = RunConfig::counting();
 
     // Both failure retries and straggler speculation, to exercise every
     // path that re-runs a reduce closure.
@@ -221,12 +215,10 @@ fn count_only_tuple_counts_survive_retries_and_speculation() {
     plan.straggler_delay = std::time::Duration::from_millis(1);
 
     for alg in Algorithm::ALL {
-        let clean = cluster_with(None)
-            .try_run_with(&q, &[&r1, &r2, &r3], alg, counting)
-            .unwrap();
-        let faulty = cluster_with(Some(plan.clone()))
-            .try_run_with(&q, &[&r1, &r2, &r3], alg, counting)
-            .unwrap();
+        let counting =
+            |rels: &Cluster| rels.submit(&JoinRun::new(&q, &[&r1, &r2, &r3], alg).counting());
+        let clean = counting(&cluster_with(None)).unwrap();
+        let faulty = counting(&cluster_with(Some(plan.clone()))).unwrap();
         assert!(clean.tuples.is_empty() && faulty.tuples.is_empty());
         assert!(clean.tuple_count > 0);
         assert_eq!(

@@ -147,7 +147,7 @@ fn metrics_reset_between_runs() {
 
 #[test]
 fn count_only_matches_collected_count() {
-    use mwsj_core::RunConfig;
+    use mwsj_core::JoinRun;
     let (r1, r2, r3) = workload();
     let cl = cluster();
     for q_text in [
@@ -158,7 +158,9 @@ fn count_only_matches_collected_count() {
         let q = Query::parse(q_text).unwrap();
         for alg in Algorithm::ALL {
             let collected = cl.run(&q, &[&r1, &r2, &r3], alg);
-            let counted = cl.run_with(&q, &[&r1, &r2, &r3], alg, RunConfig::counting());
+            let counted = cl
+                .submit(&JoinRun::new(&q, &[&r1, &r2, &r3], alg).counting())
+                .expect("fault-free run");
             assert_eq!(collected.tuple_count, collected.tuples.len() as u64);
             assert_eq!(
                 counted.tuple_count,
@@ -283,7 +285,7 @@ fn results_and_counts_independent_of_parallelism() {
                 EngineConfig {
                     map_tasks: threads,
                     reduce_tasks: threads,
-                    fault_plan: None,
+                    ..EngineConfig::default()
                 },
             ),
         );
