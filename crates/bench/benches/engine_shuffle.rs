@@ -1,0 +1,294 @@
+//! Engine micro-benchmark — the sorted-run shuffle vs the legacy one.
+//!
+//! Runs one fixed-seed map-reduce job twice over the same input:
+//!
+//! * **legacy** — an in-bench reimplementation of the engine's previous
+//!   shuffle: map attempts extend one contended `Mutex<Vec>` per partition
+//!   with unsorted pairs, the shuffle comparison-sorts each full partition,
+//!   and every key group is *cloned* into a `Vec` before the reducer sees
+//!   it;
+//! * **sorted-run** — the real engine: mapper-side sorted spills committed
+//!   as immutable runs, a k-way merge computing group boundaries inline,
+//!   and reducers borrowing each group as a slice.
+//!
+//! Both paths must produce identical outputs and logical counters (the
+//! bench asserts it); the timings land in `BENCH_engine.json`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mwsj_bench::BenchLog;
+use mwsj_mapreduce::{Engine, EngineConfig, JobSpec};
+
+const N: usize = 200_000;
+const REDUCERS: usize = 64;
+const SEED: u64 = 0xC0FFEE;
+const REPS: usize = 3;
+
+/// Both paths run at the machine's parallelism (like the engine default):
+/// oversubscribing a small box only measures scheduler thrash.
+fn threads() -> usize {
+    std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+}
+
+/// The shuffled value: a payload of rectangle-ish weight (the join jobs
+/// move ~40-byte tagged rectangles, not bare integers), so the cost of
+/// sorting, merging and per-group cloning is representative.
+type Payload = [u64; 4];
+
+/// Deterministic pseudo-random records (SplitMix64).
+fn synth(n: usize, seed: u64) -> Vec<u64> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+fn payload(x: u64) -> Payload {
+    [x, x ^ 0x5BD1_E995, x.rotate_left(17), x >> 3]
+}
+
+fn map_pairs(x: &u64, emit: &mut dyn FnMut(u64, Payload)) {
+    emit(x % 9973, payload(*x));
+    emit((x >> 5) % 9973, payload(x.wrapping_mul(3)));
+}
+
+fn route(k: &u64, n: usize) -> usize {
+    usize::try_from(*k % n as u64).expect("fits")
+}
+
+/// One reducer output row: `(key, group size, xor digest)`.
+type Row = (u64, u64, u64);
+
+fn reduce_group(k: u64, vs: &[Payload]) -> Row {
+    let digest = vs.iter().fold(0u64, |a, v| v.iter().fold(a, |a, &w| a ^ w));
+    (k, vs.len() as u64, digest)
+}
+
+struct Timings {
+    map: Duration,
+    shuffle: Duration,
+    reduce: Duration,
+    total: Duration,
+    kv_pairs: u64,
+    groups: u64,
+}
+
+/// The engine's previous shuffle, reproduced outside the engine: contended
+/// per-partition `Mutex<Vec>` extends, one full comparison sort per
+/// partition, and a per-group `Vec` clone feeding the reducer.
+fn legacy_run(input: &[u64]) -> (Vec<Row>, Timings) {
+    let workers = threads();
+    let t_job = Instant::now();
+    let t0 = Instant::now();
+    let chunk_size = input.len().div_ceil(workers * 4).max(1);
+    let chunks: Vec<&[u64]> = input.chunks(chunk_size).collect();
+    let partitions: Vec<Mutex<Vec<(u64, u64, Payload)>>> =
+        (0..REDUCERS).map(|_| Mutex::new(Vec::new())).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let task = next.fetch_add(1, Ordering::Relaxed);
+                if task >= chunks.len() {
+                    break;
+                }
+                let mut buckets: Vec<Vec<(u64, u64, Payload)>> =
+                    (0..REDUCERS).map(|_| Vec::new()).collect();
+                let base_tag = (task as u64) << 32;
+                let mut seq = 0u64;
+                for record in chunks[task] {
+                    map_pairs(record, &mut |k, v| {
+                        buckets[route(&k, REDUCERS)].push((k, base_tag | seq, v));
+                        seq += 1;
+                    });
+                }
+                for (p, bucket) in buckets.into_iter().enumerate() {
+                    partitions[p].lock().expect("poisoned").extend(bucket);
+                }
+            });
+        }
+    });
+    let map = t0.elapsed();
+
+    let t0 = Instant::now();
+    let sorted: Vec<Vec<(u64, u64, Payload)>> = {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Vec<(u64, u64, Payload)>>> = partitions;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let p = next.fetch_add(1, Ordering::Relaxed);
+                    if p >= slots.len() {
+                        break;
+                    }
+                    let mut part = std::mem::take(&mut *slots[p].lock().expect("poisoned"));
+                    part.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+                    *slots[p].lock().expect("poisoned") = part;
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("poisoned"))
+            .collect()
+    };
+    let shuffle = t0.elapsed();
+
+    let t0 = Instant::now();
+    let mut out = Vec::new();
+    let mut kv_pairs = 0u64;
+    let mut groups = 0u64;
+    for part in sorted {
+        kv_pairs += part.len() as u64;
+        let mut i = 0;
+        while i < part.len() {
+            let key = part[i].0;
+            let mut j = i;
+            while j < part.len() && part[j].0 == key {
+                j += 1;
+            }
+            // The per-group clone the zero-copy path eliminates.
+            let values: Vec<Payload> = part[i..j].iter().map(|t| t.2).collect();
+            out.push(reduce_group(key, &values));
+            groups += 1;
+            i = j;
+        }
+    }
+    let reduce = t0.elapsed();
+    (
+        out,
+        Timings {
+            map,
+            shuffle,
+            reduce,
+            total: t_job.elapsed(),
+            kv_pairs,
+            groups,
+        },
+    )
+}
+
+fn main() {
+    let input = synth(N, SEED);
+    let workers = threads();
+
+    // Best of REPS runs per implementation: a single run on a small box is
+    // dominated by scheduler and allocator noise.
+    let (legacy_out, legacy) = (0..REPS)
+        .map(|_| legacy_run(&input))
+        .min_by_key(|(_, t)| t.total)
+        .expect("REPS > 0");
+
+    let engine = Engine::new(EngineConfig {
+        map_tasks: workers,
+        reduce_tasks: workers,
+        ..EngineConfig::default()
+    });
+    let mut best: Option<(Vec<Row>, Duration)> = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let out = engine
+            .run(
+                JobSpec::new("engine-shuffle")
+                    .reducers(REDUCERS)
+                    .map(|x: &u64, emit| map_pairs(x, emit))
+                    .partition(route)
+                    .reduce(|&k: &u64, vs: &[Payload], out| out(reduce_group(k, vs))),
+                &input,
+            )
+            .expect("fault-free run");
+        let wall = t0.elapsed();
+        if best.as_ref().is_none_or(|(_, w)| wall < *w) {
+            best = Some((out, wall));
+        }
+    }
+    let (engine_out, wall) = best.expect("REPS > 0");
+    let jobs = engine.report().jobs;
+    let m = jobs
+        .iter()
+        .min_by_key(|j| j.total_wall)
+        .expect("REPS jobs ran")
+        .clone();
+
+    // Both implementations shuffle the same data the same way — identical
+    // outputs (partition/key order) and identical logical counters.
+    assert_eq!(engine_out, legacy_out, "shuffle implementations disagree");
+    assert_eq!(m.map_output_records, legacy.kv_pairs);
+    assert_eq!(m.reduce_input_groups, legacy.groups);
+    for j in &jobs {
+        assert_eq!(j.map_output_records, m.map_output_records);
+        assert_eq!(j.shuffle_bytes, m.shuffle_bytes);
+    }
+
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    println!("=== engine micro-bench: legacy vs sorted-run shuffle ===");
+    println!(
+        "workload: {N} records x 2 emits of 32-byte values, {REDUCERS} reducers, \
+         {workers} threads, seed {SEED:#x}, best of {REPS}"
+    );
+    println!();
+    println!("impl       |   map ms |  shuf ms |   red ms | total ms");
+    println!("-----------+----------+----------+----------+---------");
+    println!(
+        "legacy     | {:>8.3} | {:>8.3} | {:>8.3} | {:>8.3}",
+        ms(legacy.map),
+        ms(legacy.shuffle),
+        ms(legacy.reduce),
+        ms(legacy.total),
+    );
+    println!(
+        "sorted-run | {:>8.3} | {:>8.3} | {:>8.3} | {:>8.3}",
+        ms(m.map_wall),
+        ms(m.shuffle_wall),
+        ms(m.reduce_wall),
+        ms(m.total_wall),
+    );
+    println!(
+        "sorted-run detail: sort {:.3} ms (in-attempt), merge {:.3} ms, {} spill runs",
+        ms(m.sort_wall),
+        ms(m.merge_wall),
+        m.spill_runs,
+    );
+
+    let mut log = BenchLog::new("engine");
+    log.push_record(format!(
+        concat!(
+            "{{\"impl\":\"legacy\",\"map_ms\":{:.3},\"shuffle_ms\":{:.3},",
+            "\"reduce_ms\":{:.3},\"total_ms\":{:.3},",
+            "\"kv_pairs\":{},\"groups\":{}}}"
+        ),
+        ms(legacy.map),
+        ms(legacy.shuffle),
+        ms(legacy.reduce),
+        ms(legacy.total),
+        legacy.kv_pairs,
+        legacy.groups,
+    ));
+    log.push_record(format!(
+        concat!(
+            "{{\"impl\":\"sorted-run\",\"map_ms\":{:.3},\"sort_ms\":{:.3},",
+            "\"shuffle_ms\":{:.3},\"merge_ms\":{:.3},\"reduce_ms\":{:.3},",
+            "\"total_ms\":{:.3},\"wall_ms\":{:.3},",
+            "\"kv_pairs\":{},\"groups\":{},\"spill_runs\":{}}}"
+        ),
+        ms(m.map_wall),
+        ms(m.sort_wall),
+        ms(m.shuffle_wall),
+        ms(m.merge_wall),
+        ms(m.reduce_wall),
+        ms(m.total_wall),
+        ms(wall),
+        m.map_output_records,
+        m.reduce_input_groups,
+        m.spill_runs,
+    ));
+    log.write().expect("write BENCH_engine.json");
+}

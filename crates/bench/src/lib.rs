@@ -281,19 +281,24 @@ impl BenchLog {
             self.records.push(format!(
                 concat!(
                     "{{\"row\":{row},\"algorithm\":{alg},\"job\":{job},",
-                    "\"map_ms\":{map},\"shuffle_ms\":{shuf},\"reduce_ms\":{red},",
+                    "\"map_ms\":{map},\"sort_ms\":{sort},\"shuffle_ms\":{shuf},",
+                    "\"merge_ms\":{merge},\"reduce_ms\":{red},",
                     "\"total_ms\":{total},\"kv_pairs\":{kv},\"shuffle_bytes\":{sb},",
+                    "\"spill_runs\":{runs},",
                     "\"retries\":{retries},\"speculative_launched\":{spec}}}"
                 ),
                 row = json_str(row),
                 alg = json_str(algorithm.name()),
                 job = json_str(&j.job_name),
                 map = ms(j.map_wall),
+                sort = ms(j.sort_wall),
                 shuf = ms(j.shuffle_wall),
+                merge = ms(j.merge_wall),
                 red = ms(j.reduce_wall),
                 total = ms(j.total_wall),
                 kv = j.map_output_records,
                 sb = j.shuffle_bytes,
+                runs = j.spill_runs,
                 retries = j.retries,
                 spec = j.speculative_launched,
             ));
@@ -315,6 +320,14 @@ impl BenchLog {
             repl = m.output.stats.rectangles_replicated,
             after = m.output.stats.rectangles_after_replication,
         ));
+    }
+
+    /// Appends one pre-rendered JSON object to the record list — for
+    /// benches whose records do not follow the per-job table shape (the
+    /// engine micro-benchmark records one object per shuffle
+    /// implementation).
+    pub fn push_record(&mut self, json: String) {
+        self.records.push(json);
     }
 
     /// Renders the full document.

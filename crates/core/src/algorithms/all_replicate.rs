@@ -40,8 +40,8 @@ pub(crate) fn run(
                 }
             })
             .partition(|&k: &u32, p| k as usize % p)
-            .reduce(|&cell: &u32, values: Vec<TaggedRect>, out| {
-                let rels = group_by_relation(n, values);
+            .reduce(|&cell: &u32, values: &[TaggedRect], out| {
+                let rels = group_by_relation(n, values.iter().copied());
                 // Faithful to the paper's reducers: enumerate the local join
                 // of everything received, emit only at the designated cell
                 // (§6.2). (A designated-cell-aware matcher exists in

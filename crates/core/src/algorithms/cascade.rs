@@ -316,8 +316,10 @@ fn run_pair_job(
                 }
             })
             .partition(|&k: &u32, p| k as usize % p)
-            .reduce(|&cell: &u32, values: Vec<Side>, out| {
-                let mut tuples: Vec<Partial> = Vec::new();
+            .reduce(|&cell: &u32, values: &[Side], out| {
+                // Borrow the partial tuples straight out of the shuffle
+                // slice; only the (small) base pairs are copied out.
+                let mut tuples: Vec<&Partial> = Vec::new();
                 let mut base: Vec<(Rect, u32)> = Vec::new();
                 for v in values {
                     match v {

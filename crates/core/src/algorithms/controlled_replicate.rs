@@ -77,9 +77,9 @@ pub(crate) fn run(
                 }
             })
             .partition(|&k: &u32, p| k as usize % p)
-            .reduce(|&cell: &u32, values: Vec<TaggedRect>, out| {
+            .reduce(|&cell: &u32, values: &[TaggedRect], out| {
                 let cell_id = CellId(cell);
-                let rels = group_by_relation(n, values);
+                let rels = group_by_relation(n, values.iter().copied());
                 let flags = marking::mark_for_replication(query, grid, cell_id, &rels);
                 for (pos, (rel_rects, rel_flags)) in rels.iter().zip(&flags).enumerate() {
                     for (&(rect, id), &marked) in rel_rects.iter().zip(rel_flags) {
@@ -142,8 +142,8 @@ pub(crate) fn run(
             }
         })
         .partition(|&k: &u32, p| k as usize % p)
-        .reduce(|&cell: &u32, values: Vec<TaggedRect>, out| {
-            let rels = group_by_relation(n, values);
+        .reduce(|&cell: &u32, values: &[TaggedRect], out| {
+            let rels = group_by_relation(n, values.iter().copied());
             // Faithful enumerate-then-filter, as in All-Replicate's reducer
             // (see the comment there and the `ablation_pruning` bench).
             let mut found = 0u64;

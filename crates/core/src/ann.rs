@@ -115,7 +115,7 @@ pub fn try_ann_join(
                 }
             })
             .partition(|&k: &u32, _| k as usize)
-            .reduce(|_: &u32, values: Vec<Record>, out| {
+            .reduce(|_: &u32, values: &[Record], out| {
                 let (outers, inners) = partition_records(values);
                 let tree = RTree::bulk_load(inners);
                 for (id, r) in outers {
@@ -154,7 +154,7 @@ pub fn try_ann_join(
                 }
             })
             .partition(|&k: &u32, _| k as usize)
-            .reduce(|_: &u32, values: Vec<Record>, out| {
+            .reduce(|_: &u32, values: &[Record], out| {
                 let (outers, inners) = partition_records(values);
                 if inners.is_empty() {
                     return;
@@ -193,17 +193,16 @@ pub fn try_ann_join(
             .reducers(engine_partitions(outer.len()))
             .map(|nn: &NearestNeighbor, emit| emit(nn.outer, *nn))
             .partition(|&k: &u32, n| k as usize % n)
-            .reduce(|_: &u32, candidates: Vec<NearestNeighbor>, out| {
+            .reduce(|_: &u32, candidates: &[NearestNeighbor], out| {
                 let best = candidates
-                    .into_iter()
+                    .iter()
                     .min_by(|a, b| {
                         a.distance
-                            .partial_cmp(&b.distance)
-                            .expect("finite")
+                            .total_cmp(&b.distance)
                             .then(a.inner.cmp(&b.inner))
                     })
                     .expect("at least one candidate per group");
-                out(best);
+                out(*best);
             }),
         &locals,
     )?;
@@ -241,10 +240,10 @@ type OuterList = Vec<(u32, Rect)>;
 type InnerList = Vec<(Rect, u32)>;
 
 /// Splits reducer input into `(outer, inner)` lists.
-fn partition_records(values: Vec<Record>) -> (OuterList, InnerList) {
+fn partition_records(values: &[Record]) -> (OuterList, InnerList) {
     let mut outers = Vec::new();
     let mut inners = Vec::new();
-    for v in values {
+    for &v in values {
         match v {
             Record::Outer(id, r) => outers.push((id, r)),
             Record::Inner(id, r) => inners.push((r, id)),
@@ -330,7 +329,7 @@ pub fn try_knn_join(
                 }
             })
             .partition(|&kk: &u32, _| kk as usize)
-            .reduce(|_: &u32, values: Vec<Record>, out| {
+            .reduce(|_: &u32, values: &[Record], out| {
                 let (outers, inners) = partition_records(values);
                 let tree = RTree::bulk_load(inners);
                 for (id, r) in outers {
@@ -372,7 +371,7 @@ pub fn try_knn_join(
                 }
             })
             .partition(|&kk: &u32, _| kk as usize)
-            .reduce(|_: &u32, values: Vec<Record>, out| {
+            .reduce(|_: &u32, values: &[Record], out| {
                 let (outers, inners) = partition_records(values);
                 if inners.is_empty() {
                     return;
@@ -397,12 +396,12 @@ pub fn try_knn_join(
             .reducers(engine_partitions(outer.len()))
             .map(|nn: &NearestNeighbor, emit| emit(nn.outer, *nn))
             .partition(|&kk: &u32, n| kk as usize % n)
-            .reduce(|&oid: &u32, mut candidates: Vec<NearestNeighbor>, out| {
+            .reduce(|&oid: &u32, candidates: &[NearestNeighbor], out| {
                 // The same inner can be reported by several reducers.
-                candidates.sort_by(|a, b| {
+                let mut candidates = candidates.to_vec();
+                candidates.sort_unstable_by(|a, b| {
                     a.distance
-                        .partial_cmp(&b.distance)
-                        .expect("finite")
+                        .total_cmp(&b.distance)
                         .then(a.inner.cmp(&b.inner))
                 });
                 candidates.dedup_by_key(|nn| nn.inner);
@@ -436,7 +435,7 @@ fn local_k_best(tree: &RTree<u32>, r: &Rect, k: usize) -> Vec<(Coord, u32)> {
     tree.query_within(r, d_k, |rect, &id| {
         cands.push((rect.distance_sq(r), id));
     });
-    cands.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+    cands.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     cands.dedup_by_key(|c| c.1);
     // dedup_by_key only merges adjacent duplicates; equal ids always have
     // equal distances here, so adjacency holds after the sort.
@@ -460,10 +459,9 @@ pub fn knn_brute_force(outer: &[Rect], inner: &[Rect], k: usize) -> Vec<Vec<Near
                     distance: o.distance(r),
                 })
                 .collect();
-            all.sort_by(|a, b| {
+            all.sort_unstable_by(|a, b| {
                 a.distance
-                    .partial_cmp(&b.distance)
-                    .expect("finite")
+                    .total_cmp(&b.distance)
                     .then(a.inner.cmp(&b.inner))
             });
             all.truncate(k);
@@ -486,7 +484,7 @@ pub fn ann_brute_force(outer: &[Rect], inner: &[Rect]) -> Vec<NearestNeighbor> {
                 .iter()
                 .enumerate()
                 .map(|(i, r)| (i as u32, o.distance(r)))
-                .min_by(|(i1, d1), (i2, d2)| d1.partial_cmp(d2).expect("finite").then(i1.cmp(i2)))
+                .min_by(|(i1, d1), (i2, d2)| d1.total_cmp(d2).then(i1.cmp(i2)))
                 .expect("non-empty inner");
             NearestNeighbor {
                 outer: oid as u32,

@@ -192,43 +192,6 @@ impl Cluster {
             }
         }
     }
-
-    /// Like [`Cluster::run`], with explicit run options.
-    /// # Panics
-    /// See [`Cluster::run`].
-    #[deprecated(note = "describe the run with `JoinRun` and call `Cluster::submit`")]
-    #[allow(deprecated)]
-    #[must_use]
-    pub fn run_with(
-        &self,
-        query: &Query,
-        relations: &[&[Rect]],
-        algorithm: Algorithm,
-        config: crate::RunConfig,
-    ) -> JoinOutput {
-        self.submit(&JoinRun::new(query, relations, algorithm).count_only(config.count_only))
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Like [`Cluster::run_with`], surfacing failed jobs as a
-    /// [`JoinError`] instead of panicking.
-    ///
-    /// # Errors
-    /// See [`Cluster::submit`].
-    ///
-    /// # Panics
-    /// See [`Cluster::submit`].
-    #[deprecated(note = "describe the run with `JoinRun` and call `Cluster::submit`")]
-    #[allow(deprecated)]
-    pub fn try_run_with(
-        &self,
-        query: &Query,
-        relations: &[&[Rect]],
-        algorithm: Algorithm,
-        config: crate::RunConfig,
-    ) -> Result<JoinOutput, JoinError> {
-        self.submit(&JoinRun::new(query, relations, algorithm).count_only(config.count_only))
-    }
 }
 
 #[cfg(test)]
@@ -258,37 +221,5 @@ mod tests {
         let q = Query::parse("a ov b").unwrap();
         let r = vec![Rect::new(1.0, 9.0, 1.0, 1.0)];
         let _ = cluster.run(&q, &[&r], Algorithm::AllReplicate);
-    }
-
-    /// The pre-`JoinRun` entry points stay behaviourally identical to
-    /// `submit` until they are removed.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_with_wrappers_match_submit() {
-        let cluster = Cluster::new(ClusterConfig::for_space((0.0, 10.0), (0.0, 10.0), 2));
-        let q = Query::parse("a ov b").unwrap();
-        let r1 = vec![Rect::new(1.0, 9.0, 3.0, 3.0), Rect::new(5.0, 6.0, 2.0, 2.0)];
-        let r2 = vec![Rect::new(2.0, 8.0, 3.0, 3.0)];
-
-        let via_submit = cluster
-            .submit(&JoinRun::new(&q, &[&r1, &r2], Algorithm::ControlledReplicate).counting())
-            .unwrap();
-        let via_wrapper = cluster.run_with(
-            &q,
-            &[&r1, &r2],
-            Algorithm::ControlledReplicate,
-            crate::RunConfig::counting(),
-        );
-        let via_fallible = cluster
-            .try_run_with(
-                &q,
-                &[&r1, &r2],
-                Algorithm::ControlledReplicate,
-                crate::RunConfig::counting(),
-            )
-            .unwrap();
-        assert!(via_submit.tuple_count > 0);
-        assert_eq!(via_wrapper.tuple_count, via_submit.tuple_count);
-        assert_eq!(via_fallible.tuple_count, via_submit.tuple_count);
     }
 }

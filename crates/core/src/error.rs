@@ -3,9 +3,9 @@ use mwsj_mapreduce::{DfsError, JobError};
 /// A distributed join run that failed.
 ///
 /// The join algorithms drive the engine through its fallible
-/// [`try_run_job`](mwsj_mapreduce::Engine::try_run_job) path, so a task
-/// exhausting its attempt budget (or a DFS dataset staying unreadable
-/// between rounds) surfaces here instead of aborting the process.
+/// [`run`](mwsj_mapreduce::Engine::run) path, so a task exhausting its
+/// attempt budget (or a DFS dataset staying unreadable between rounds)
+/// surfaces here instead of aborting the process.
 /// [`Cluster::run`](crate::Cluster::run) panics on these;
 /// [`Cluster::submit`](crate::Cluster::submit) returns them.
 #[derive(Debug, Clone, PartialEq)]

@@ -54,8 +54,6 @@ pub use error::JoinError;
 pub use record::TaggedRect;
 pub use result::{JoinOutput, ReplicationStats};
 pub use run_config::JoinRun;
-#[allow(deprecated)]
-pub use run_config::RunConfig;
 
 // Re-export the building blocks a downstream user needs alongside the core
 // API, so `mwsj-core` is usable as a single dependency.

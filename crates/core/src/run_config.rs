@@ -6,8 +6,7 @@ use crate::Algorithm;
 
 /// A fully-described join run for [`Cluster::submit`](crate::Cluster::submit):
 /// the query, the datasets bound to its relation positions, the algorithm,
-/// and the run options that used to be scattered across
-/// `Cluster::run` / `run_with` / `try_run_with`.
+/// and the run options (count-only mode, a per-run trace sink).
 ///
 /// Built with [`JoinRun::new`] plus chained options:
 ///
@@ -84,25 +83,5 @@ impl<'a> JoinRun<'a> {
     pub fn trace(mut self, sink: TraceSink) -> Self {
         self.trace = sink;
         self
-    }
-}
-
-/// Options for one join run.
-#[deprecated(note = "describe the run with `JoinRun` and call `Cluster::submit`")]
-#[derive(Debug, Clone, Copy, Default)]
-pub struct RunConfig {
-    /// Count output tuples instead of materializing them. The heavier
-    /// experiment rows of the paper produce outputs far larger than memory;
-    /// the evaluation tables only report times and replication counts, so
-    /// the bench harness runs in this mode.
-    pub count_only: bool,
-}
-
-#[allow(deprecated)]
-impl RunConfig {
-    /// A configuration that counts output tuples without materializing.
-    #[must_use]
-    pub fn counting() -> Self {
-        Self { count_only: true }
     }
 }

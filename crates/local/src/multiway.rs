@@ -99,9 +99,7 @@ pub fn multiway_join(
             .neighbors(v)
             .iter()
             .filter(|(u, _, _)| assignment[u.index()].is_some())
-            .min_by(|(_, p1, _), (_, p2, _)| {
-                p1.distance().partial_cmp(&p2.distance()).expect("finite")
-            })
+            .min_by(|(_, p1, _), (_, p2, _)| p1.distance().total_cmp(&p2.distance()))
             .copied();
         let Some((u, pred, _)) = probe else {
             // Unreachable for connected queries: BFS order guarantees a

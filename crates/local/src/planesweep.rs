@@ -27,10 +27,9 @@ pub fn sweep_join(
     // retires it once the sweep line passes max_x + d.
     let mut l: Vec<&LocalRect> = left.iter().collect();
     let mut r: Vec<&LocalRect> = right.iter().collect();
-    let by_min_x =
-        |a: &&LocalRect, b: &&LocalRect| a.0.min_x().partial_cmp(&b.0.min_x()).expect("finite");
-    l.sort_by(by_min_x);
-    r.sort_by(by_min_x);
+    let by_min_x = |a: &&LocalRect, b: &&LocalRect| a.0.min_x().total_cmp(&b.0.min_x());
+    l.sort_unstable_by(by_min_x);
+    r.sort_unstable_by(by_min_x);
 
     let mut active_l: Vec<&LocalRect> = Vec::new();
     let mut active_r: Vec<&LocalRect> = Vec::new();

@@ -83,7 +83,7 @@ pub struct Unset;
 ///                 }
 ///             })
 ///             .partition(|key: &String, n| key.len() % n)
-///             .reduce(|word: &String, ones: Vec<u64>, out| {
+///             .reduce(|word: &String, ones: &[u64], out| {
 ///                 out((word.clone(), ones.len() as u64));
 ///             }),
 ///         &words,
@@ -93,25 +93,12 @@ pub struct Unset;
 /// assert_eq!(counts, vec![("a".into(), 1), ("b".into(), 3), ("c".into(), 2)]);
 /// ```
 ///
-/// # Migrating from the positional API
-///
-/// The deprecated `Engine::run_job`/`Engine::try_run_job` took seven
-/// positional arguments; each maps onto one builder call:
-///
-/// ```text
-/// engine.try_run_job(name, &input, parts, map_fn, part_fn, reduce_fn)
-/// engine.run(JobSpec::new(name).reducers(parts)
-///                .map(map_fn).partition(part_fn).reduce(reduce_fn),
-///            &input)
-/// ```
-///
-/// Because the closures are now type-checked at their builder call (not at
-/// the submission site), their key/value argument types are occasionally no
-/// longer inferable from context — annotate them where the compiler asks
-/// (as in the example above). The builder also carries what the positional
-/// API could not express: a per-job [`FaultPlan`] override
-/// ([`JobSpec::fault_plan`]) and a per-job [`TraceSink`]
-/// ([`JobSpec::trace`]).
+/// The closures are type-checked at their builder call (not at the
+/// submission site), so their key/value argument types are occasionally
+/// not inferable from context — annotate them where the compiler asks (as
+/// in the example above). Beyond the three stage functions, the builder
+/// carries a per-job [`FaultPlan`] override ([`JobSpec::fault_plan`]) and
+/// a per-job [`TraceSink`] ([`JobSpec::trace`]).
 #[derive(Debug, Clone)]
 pub struct JobSpec<MF = Unset, PF = Unset, RF = Unset> {
     name: String,
@@ -189,10 +176,14 @@ impl<MF, PF, RF> JobSpec<MF, PF, RF> {
     /// Sets the reducer: called once per distinct key with every value for
     /// that key in a deterministic order (input order within each map task,
     /// map tasks in input order), emitting outputs through `out`.
+    ///
+    /// The values arrive as a borrowed slice of the merged shuffle buffer —
+    /// the engine never clones them, and a retried or speculative attempt
+    /// re-reads the same immutable slice.
     #[must_use]
     pub fn reduce<K, V, O, F>(self, reduce_fn: F) -> JobSpec<MF, PF, F>
     where
-        F: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+        F: Fn(&K, &[V], &mut dyn FnMut(O)) + Sync,
     {
         JobSpec {
             name: self.name,
@@ -453,12 +444,157 @@ where
     }
 }
 
-/// One committed map attempt: per-partition buckets of
-/// `(key, sequence-tag, value)` plus the attempt's counter deltas.
+/// One committed map attempt: per-partition *sorted runs* of
+/// `(key, sequence-tag, value)` plus the attempt's counter deltas. Each
+/// non-empty bucket is already sorted by `(key, tag)` — the mapper-side
+/// sorted spill of a real deployment — and `sort` is the time that
+/// sorting took inside the attempt.
 struct MapCommit<K, V> {
     buckets: Vec<Vec<(K, u64, V)>>,
     emitted: u64,
     bytes: u64,
+    sort: Duration,
+}
+
+/// The sorted spill runs committed to one partition: one `(key, tag, value)`
+/// run per successful map attempt that routed anything here.
+type RunSet<K, V> = Vec<Vec<(K, u64, V)>>;
+
+/// A shuffled partition after the k-way merge: the distinct keys with the
+/// start offset of each key's value range, plus every value laid out
+/// contiguously in merged `(key, tag)` order. Group `i` owns
+/// `values[groups[i].1 .. groups[i + 1].1]` (through the end for the last
+/// group), so reducers borrow slices instead of cloning per attempt.
+struct MergedPartition<K, V> {
+    groups: Vec<(K, usize)>,
+    values: Vec<V>,
+}
+
+impl<K, V> MergedPartition<K, V> {
+    fn empty() -> Self {
+        Self {
+            groups: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Calls `f(key, group-values)` once per group, in key order.
+    fn for_each_group(&self, mut f: impl FnMut(&K, &[V])) {
+        for (i, (key, start)) in self.groups.iter().enumerate() {
+            let end = self.groups.get(i + 1).map_or(self.values.len(), |g| g.1);
+            f(key, &self.values[*start..end]);
+        }
+    }
+}
+
+/// K-way merges the sorted spill runs of one partition, computing group
+/// boundaries on the fly (no second grouping pass).
+///
+/// Every run is sorted by `(key, tag)` and the tags are globally unique,
+/// so the merged order — and therefore every reducer's value stream — is a
+/// pure function of the committed data, independent of the order in which
+/// map tasks committed their runs.
+///
+/// The k-way merge is a *cascade* of two-way merges: adjacent run pairs
+/// merge until at most two remain, and a final pass writes the grouped
+/// output directly. Each two-way step peeks both runs' ends with
+/// [`last`](slice::last) and consumes with [`Vec::pop`] — exactly one
+/// record move per element per level, `⌈log₂ k⌉` levels in total. To keep
+/// `pop()` yielding the *next* record, the cascade alternates orientation:
+/// ascending runs merge (largest-first) into descending runs and vice
+/// versa, with no reversal pass in between. With zero or one runs the
+/// merge degenerates to a comparison-free unzip of the already-sorted
+/// data.
+fn merge_sorted_runs<K: Ord, V>(mut runs: Vec<Vec<(K, u64, V)>>) -> MergedPartition<K, V> {
+    runs.retain(|r| !r.is_empty());
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = MergedPartition {
+        groups: Vec::new(),
+        values: Vec::with_capacity(total),
+    };
+    let push = |out: &mut MergedPartition<K, V>, k: K, v: V| {
+        if out.groups.last().is_none_or(|(g, _)| *g != k) {
+            out.groups.push((k, out.values.len()));
+        }
+        out.values.push(v);
+    };
+    if runs.len() <= 1 {
+        for (k, _, v) in runs.pop().unwrap_or_default() {
+            push(&mut out, k, v);
+        }
+        return out;
+    }
+    // Cascade down to two runs, flipping orientation per level. Mapper
+    // runs arrive ascending.
+    let mut ascending = true;
+    while runs.len() > 2 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(merge_two(a, b, ascending)),
+                None => {
+                    // An unpaired run must flip orientation to match its
+                    // new level.
+                    let mut a = a;
+                    a.reverse();
+                    next.push(a);
+                }
+            }
+        }
+        runs = next;
+        ascending = !ascending;
+    }
+    // Final pass: a two-way merge over *descending* runs (pop = smallest
+    // remaining) emitting the grouped ascending output directly.
+    let mut b = runs.pop().expect("two runs");
+    let mut a = runs.pop().expect("two runs");
+    if ascending {
+        a.reverse();
+        b.reverse();
+    }
+    loop {
+        let take_a = match (a.last(), b.last()) {
+            (Some(p), Some(q)) => (&p.0, p.1) <= (&q.0, q.1),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let (k, _, v) = if take_a { a.pop() } else { b.pop() }.expect("peeked non-empty");
+        push(&mut out, k, v);
+    }
+    out
+}
+
+/// One cascade step: merges two same-orientation runs into one run of the
+/// *opposite* orientation, peeking at the poppable ends so every element
+/// moves exactly once. Tags are globally unique, so ties cannot occur and
+/// the merged order is independent of which run is `a`.
+fn merge_two<K: Ord, V>(
+    mut a: Vec<(K, u64, V)>,
+    mut b: Vec<(K, u64, V)>,
+    ascending: bool,
+) -> Vec<(K, u64, V)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    loop {
+        let take_a = match (a.last(), b.last()) {
+            // Ascending inputs pop largest-first (descending output);
+            // descending inputs pop smallest-first (ascending output).
+            (Some(p), Some(q)) => ((&p.0, p.1) <= (&q.0, q.1)) != ascending,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            // Popping the survivor's tail end-to-front preserves the
+            // output orientation.
+            (None, None) => return out,
+        };
+        let other_empty = if take_a { b.is_empty() } else { a.is_empty() };
+        let from = if take_a { &mut a } else { &mut b };
+        if other_empty {
+            out.extend(from.drain(..).rev());
+            return out;
+        }
+        out.push(from.pop().expect("peeked non-empty"));
+    }
 }
 
 impl Engine {
@@ -477,79 +613,6 @@ impl Engine {
             job_seq: AtomicU64::new(0),
             config,
         }
-    }
-
-    /// Runs one map-reduce job and returns the reducer outputs (in
-    /// partition order, deterministic order within each partition).
-    ///
-    /// Panicking wrapper around [`Engine::run`] for call sites that treat
-    /// job failure as fatal (a driver aborting on a failed Hadoop job).
-    ///
-    /// # Panics
-    /// Panics with the [`JobError`] display if the job fails.
-    #[deprecated(note = "build a `JobSpec` and submit it with `Engine::run` \
-                         (panicking call sites can unwrap the result)")]
-    pub fn run_job<I, K, V, O, MF, PF, RF>(
-        &self,
-        name: &str,
-        input: &[I],
-        num_partitions: usize,
-        map_fn: MF,
-        partition_fn: PF,
-        reduce_fn: RF,
-    ) -> Vec<O>
-    where
-        I: Sync,
-        K: Ord + Send + Sync + RecordSize,
-        V: Clone + Send + Sync + RecordSize,
-        O: Send,
-        MF: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
-        PF: Fn(&K, usize) -> usize + Sync,
-        RF: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
-    {
-        self.run(
-            JobSpec::new(name)
-                .reducers(num_partitions)
-                .map(map_fn)
-                .partition(partition_fn)
-                .reduce(reduce_fn),
-            input,
-        )
-        .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Runs one map-reduce job, surfacing task failures as a [`JobError`]
-    /// instead of a panic.
-    ///
-    /// # Errors
-    /// See [`Engine::run`].
-    #[deprecated(note = "build a `JobSpec` and submit it with `Engine::run`")]
-    pub fn try_run_job<I, K, V, O, MF, PF, RF>(
-        &self,
-        name: &str,
-        input: &[I],
-        num_partitions: usize,
-        map_fn: MF,
-        partition_fn: PF,
-        reduce_fn: RF,
-    ) -> Result<Vec<O>, JobError>
-    where
-        I: Sync,
-        K: Ord + Send + Sync + RecordSize,
-        V: Clone + Send + Sync + RecordSize,
-        O: Send,
-        MF: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
-        PF: Fn(&K, usize) -> usize + Sync,
-        RF: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
-    {
-        self.run(
-            JobSpec::new(name)
-                .reducers(num_partitions)
-                .map(map_fn)
-                .partition(partition_fn)
-                .reduce(reduce_fn),
-            input,
-        )
     }
 
     /// Runs the job described by `spec` over `input`, returning the
@@ -581,11 +644,11 @@ impl Engine {
     where
         I: Sync,
         K: Ord + Send + Sync + RecordSize,
-        V: Clone + Send + Sync + RecordSize,
+        V: Send + Sync + RecordSize,
         O: Send,
         MF: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
         PF: Fn(&K, usize) -> usize + Sync,
-        RF: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+        RF: Fn(&K, &[V], &mut dyn FnMut(O)) + Sync,
     {
         let JobSpec {
             name,
@@ -650,9 +713,11 @@ impl Engine {
         // ---- Map phase -------------------------------------------------
         // The input is divided into chunks; each chunk is one map *task*,
         // executed as one or more attempts. An attempt fills attempt-local
-        // buckets (the mapper-side spill files of a real deployment) and
-        // commits them — together with its counter deltas — only on
-        // success, so logical metrics count committed work, not attempts.
+        // buckets (the mapper-side spill files of a real deployment),
+        // sorts each bucket by (key, tag) — the mapper-side sorted spill,
+        // parallel across map workers — and commits the sorted buckets as
+        // immutable *runs*, together with its counter deltas, only on
+        // success. Logical metrics count committed work, not attempts.
         //
         // Every emitted pair carries a (task, emit-sequence) tag used as a
         // sort tiebreak in the shuffle: reducer value order then depends
@@ -669,7 +734,9 @@ impl Engine {
         let chunks: Vec<&[I]> = input.chunks(chunk_size).collect();
         let emitted = AtomicU64::new(0);
         let shuffled_bytes = AtomicU64::new(0);
-        let partitions: Vec<Mutex<Vec<(K, u64, V)>>> = (0..num_partitions)
+        let sort_nanos = AtomicU64::new(0);
+        let spill_runs = AtomicU64::new(0);
+        let partitions: Vec<Mutex<RunSet<K, V>>> = (0..num_partitions)
             .map(|_| Mutex::new(Vec::new()))
             .collect();
 
@@ -719,11 +786,26 @@ impl Engine {
                         } else if injected {
                             Err(AttemptError::Injected)
                         } else {
+                            // Mapper-side sorted spill: each bucket leaves
+                            // the attempt already in (key, tag) order, so
+                            // the shuffle only merges. The sort runs
+                            // inside the attempt — parallel across map
+                            // workers and counted in its work time.
+                            let st = Instant::now();
+                            for bucket in &mut buckets {
+                                // A bucket is appended in emit order, i.e.
+                                // already sorted by tag — a *stable* sort
+                                // on the key alone yields (key, tag) order
+                                // with key-only comparisons.
+                                bucket.sort_by(|a, b| a.0.cmp(&b.0));
+                            }
+                            let sort = st.elapsed();
                             map_completed.lock().push(t0.elapsed());
                             Ok(MapCommit {
                                 buckets,
                                 emitted: local_emitted,
                                 bytes: local_bytes,
+                                sort,
                             })
                         }
                     }
@@ -769,11 +851,21 @@ impl Engine {
                             attempt_with_speculation(&map_ctx, task, attempt, &run_map_attempt);
                         match outcome {
                             Ok(commit) => {
+                                // Atomic commit: each non-empty sorted
+                                // bucket becomes one immutable run (moved,
+                                // never copied — no contended extend).
+                                let mut runs = 0u64;
                                 for (p, bucket) in commit.buckets.into_iter().enumerate() {
                                     if !bucket.is_empty() {
-                                        partitions[p].lock().extend(bucket);
+                                        runs += 1;
+                                        partitions[p].lock().push(bucket);
                                     }
                                 }
+                                spill_runs.fetch_add(runs, Ordering::Relaxed);
+                                // Counted at commit (not per attempt), so a
+                                // lost speculative race never double-counts.
+                                sort_nanos
+                                    .fetch_add(commit.sort.as_nanos() as u64, Ordering::Relaxed);
                                 emitted.fetch_add(commit.emitted, Ordering::Relaxed);
                                 shuffled_bytes.fetch_add(commit.bytes, Ordering::Relaxed);
                                 break;
@@ -822,25 +914,37 @@ impl Engine {
             return fail(err);
         }
         metrics.map_wall = map_start.elapsed();
+        metrics.sort_wall = Duration::from_nanos(sort_nanos.load(Ordering::Relaxed));
+        metrics.spill_runs = spill_runs.load(Ordering::Relaxed);
         metrics.map_output_records = emitted.load(Ordering::Relaxed);
         metrics.reduce_input_records = metrics.map_output_records;
         metrics.shuffle_bytes = shuffled_bytes.load(Ordering::Relaxed);
 
-        // ---- Shuffle: sort each partition by (key, emit tag) -----------
-        // The tag tiebreak makes the within-group value order a pure
-        // function of the input (see the map-phase comment).
+        // ---- Shuffle: k-way merge of the sorted runs -------------------
+        // Each partition's committed runs are merged by (key, emit tag)
+        // into one contiguous buffer, computing group boundaries during
+        // the merge (no comparison sort, no second grouping pass). The tag
+        // tiebreak makes the merged order — and so the within-group value
+        // order — a pure function of the input (see the map-phase
+        // comment), whatever order the runs were committed in.
         let shuffle_start = Instant::now();
         sink.record(TraceEvent::PhaseStart {
             job,
             phase: SpanPhase::Shuffle,
             ts: sink.now_micros(),
         });
+        let partition_store: Vec<RwLock<MergedPartition<K, V>>> = (0..num_partitions)
+            .map(|_| RwLock::new(MergedPartition::empty()))
+            .collect();
+        let merge_nanos = AtomicU64::new(0);
         let group_counter = AtomicU64::new(0);
         let max_partition = AtomicU64::new(0);
         let next_shuffle = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             let next = &next_shuffle;
             let partitions = &partitions;
+            let partition_store = &partition_store;
+            let merge_nanos = &merge_nanos;
             let group_counter = &group_counter;
             let max_partition = &max_partition;
             for _ in 0..self.config.reduce_tasks {
@@ -849,18 +953,13 @@ impl Engine {
                     if p >= partitions.len() {
                         break;
                     }
-                    let mut data = partitions[p].lock();
-                    max_partition.fetch_max(data.len() as u64, Ordering::Relaxed);
-                    data.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-                    let mut groups = 0u64;
-                    let mut prev: Option<&K> = None;
-                    for (k, _, _) in data.iter() {
-                        if prev != Some(k) {
-                            groups += 1;
-                            prev = Some(k);
-                        }
-                    }
-                    group_counter.fetch_add(groups, Ordering::Relaxed);
+                    let runs = std::mem::take(&mut *partitions[p].lock());
+                    let t0 = Instant::now();
+                    let merged = merge_sorted_runs(runs);
+                    merge_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    max_partition.fetch_max(merged.values.len() as u64, Ordering::Relaxed);
+                    group_counter.fetch_add(merged.groups.len() as u64, Ordering::Relaxed);
+                    *partition_store[p].write() = merged;
                 });
             }
         });
@@ -870,25 +969,23 @@ impl Engine {
             ts: sink.now_micros(),
         });
         metrics.shuffle_wall = shuffle_start.elapsed();
+        metrics.merge_wall = Duration::from_nanos(merge_nanos.load(Ordering::Relaxed));
         metrics.reduce_input_groups = group_counter.load(Ordering::Relaxed);
         metrics.max_partition_records = max_partition.load(Ordering::Relaxed);
 
         // ---- Reduce phase ----------------------------------------------
-        // Each partition is one reduce task. The partition's sorted input
-        // stays in place (behind an RwLock so a speculative duplicate can
-        // read it concurrently) until the task commits, so a failed
-        // attempt can be replayed; values are cloned into each group per
-        // attempt. The input is dropped on commit.
+        // Each partition is one reduce task. The merged partition stays in
+        // place (behind an RwLock so a speculative duplicate can read it
+        // concurrently) until the task commits, so a failed attempt can be
+        // replayed; every attempt borrows each group as a slice of the
+        // same immutable buffer — nothing is cloned. The input is dropped
+        // on commit.
         let reduce_start = Instant::now();
         sink.record(TraceEvent::PhaseStart {
             job,
             phase: SpanPhase::Reduce,
             ts: sink.now_micros(),
         });
-        let partition_store: Vec<RwLock<Vec<(K, u64, V)>>> = partitions
-            .into_iter()
-            .map(|m| RwLock::new(m.into_inner()))
-            .collect();
         let output_slots: Vec<Mutex<Vec<O>>> = (0..num_partitions)
             .map(|_| Mutex::new(Vec::new()))
             .collect();
@@ -900,25 +997,15 @@ impl Engine {
                 let t0 = Instant::now();
                 let ts0 = sink.now_micros();
                 let guard = partition_store[task].read();
-                let data: &[(K, u64, V)] = &guard;
                 let mut outputs = Vec::new();
                 let mut local_out = 0u64;
                 let unwind = catch_unwind(AssertUnwindSafe(|| {
-                    let mut i = 0;
-                    while i < data.len() {
-                        let key = &data[i].0;
-                        let mut j = i;
-                        let mut values = Vec::new();
-                        while j < data.len() && data[j].0 == *key {
-                            values.push(data[j].2.clone());
-                            j += 1;
-                        }
+                    guard.for_each_group(|key, values| {
                         reduce_fn(key, values, &mut |o: O| {
                             local_out += 1;
                             outputs.push(o);
                         });
-                        i = j;
-                    }
+                    });
                 }));
                 let result = match unwind {
                     Err(payload) => Err(AttemptError::Panic(panic_message(payload))),
@@ -980,7 +1067,7 @@ impl Engine {
                                 *output_slots[task].lock() = outputs;
                                 // Commit: the task's input is no longer
                                 // needed for replay.
-                                *partition_store[task].write() = Vec::new();
+                                *partition_store[task].write() = MergedPartition::empty();
                                 break;
                             }
                             Err(AttemptError::BadPartition { .. }) => {
@@ -1097,7 +1184,7 @@ mod tests {
                         }
                     })
                     .partition(|k: &String, n| k.as_bytes()[0] as usize % n)
-                    .reduce(|k: &String, vs: Vec<u32>, out| out((k.clone(), vs.len()))),
+                    .reduce(|k: &String, vs: &[u32], out| out((k.clone(), vs.len()))),
                 &input,
             )
             .unwrap();
@@ -1106,42 +1193,6 @@ mod tests {
             out,
             vec![("a".into(), 3usize), ("b".into(), 2), ("c".into(), 1)]
         );
-    }
-
-    /// The positional wrappers still work, delegating to `Engine::run`.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_positional_wrappers_still_run() {
-        let e = engine();
-        let input = vec!["a b a", "c b", "a"];
-        let mut out = e.run_job(
-            "wc-positional",
-            &input,
-            3,
-            |line, emit| {
-                for w in line.split(' ') {
-                    emit(w.to_string(), 1u32);
-                }
-            },
-            |k, n| k.as_bytes()[0] as usize % n,
-            |k, vs, out| out((k.clone(), vs.len())),
-        );
-        out.sort();
-        assert_eq!(
-            out,
-            vec![("a".into(), 3usize), ("b".into(), 2), ("c".into(), 1)]
-        );
-        let err = e
-            .try_run_job(
-                "bad-positional",
-                &input,
-                2,
-                |_, emit| emit(0u32, 0u32),
-                |_, _| 9,
-                |&k, _, out: &mut dyn FnMut(u32)| out(k),
-            )
-            .unwrap_err();
-        assert_eq!(err.phase, Phase::Map);
     }
 
     #[test]
@@ -1157,8 +1208,8 @@ mod tests {
                         emit((x + 1) % 8, x);
                     })
                     .partition(|&k: &u32, n| k as usize % n)
-                    .reduce(|_: &u32, vs: Vec<u32>, out| {
-                        for v in vs {
+                    .reduce(|_: &u32, vs: &[u32], out| {
+                        for &v in vs {
                             out(v);
                         }
                     }),
@@ -1180,6 +1231,11 @@ mod tests {
         assert_eq!(j.reduce_task_failures, 0);
         assert_eq!(j.retries, 0);
         assert_eq!(j.speculative_launched, 0);
+        // Mapper-side spill: every committed run is counted, and runs are
+        // per (task, non-empty partition) so the count is deterministic.
+        // 100 records in 7-record chunks is 15 map tasks × ≤ 8 partitions.
+        assert!(j.spill_runs > 0);
+        assert!(j.spill_runs <= 15 * 8, "spill_runs = {}", j.spill_runs);
     }
 
     #[test]
@@ -1192,9 +1248,9 @@ mod tests {
                     .reducers(16)
                     .map(|&x: &u64, emit| emit(x % 50, x))
                     .partition(|&k: &u64, n| (k as usize) % n)
-                    .reduce(|&k: &u64, vs: Vec<u64>, out| {
+                    .reduce(|&k: &u64, vs: &[u64], out| {
                         // Every value v with v % 50 == k must be present.
-                        let mut got: Vec<u64> = vs;
+                        let mut got: Vec<u64> = vs.to_vec();
                         got.sort_unstable();
                         let expect: Vec<u64> = (0..1000).filter(|v| v % 50 == k).collect();
                         assert_eq!(got, expect);
@@ -1216,7 +1272,7 @@ mod tests {
                 JobSpec::new("sorted")
                     .map(|&x: &u32, emit| emit(x, ()))
                     .partition(|_: &u32, _| 0)
-                    .reduce(|&k: &u32, _: Vec<()>, _out: &mut dyn FnMut(())| {
+                    .reduce(|&k: &u32, _: &[()], _out: &mut dyn FnMut(())| {
                         order.lock().push(k);
                     }),
                 &input,
@@ -1244,8 +1300,8 @@ mod tests {
                             .reducers(4)
                             .map(|&x: &u32, emit| emit(x % 7, x))
                             .partition(|&k: &u32, n| k as usize % n)
-                            .reduce(|_: &u32, vs: Vec<u32>, _out: &mut dyn FnMut(())| {
-                                seen.lock().extend(vs);
+                            .reduce(|_: &u32, vs: &[u32], _out: &mut dyn FnMut(())| {
+                                seen.lock().extend_from_slice(vs);
                             }),
                         &input,
                     )
@@ -1268,7 +1324,7 @@ mod tests {
                     .reducers(4)
                     .map(|&x: &u32, emit| emit(x, x))
                     .partition(|&k: &u32, n| k as usize % n)
-                    .reduce(|&k: &u32, _: Vec<u32>, out| out(k)),
+                    .reduce(|&k: &u32, _: &[u32], out| out(k)),
                 &input,
             )
             .unwrap();
@@ -1287,8 +1343,8 @@ mod tests {
                     .reducers(2)
                     .map(|&x: &u32, emit| emit(x % 2, x))
                     .partition(even_odd)
-                    .reduce(|_: &u32, vs: Vec<u32>, out| {
-                        for v in vs {
+                    .reduce(|_: &u32, vs: &[u32], out| {
+                        for &v in vs {
                             out(v * 2);
                         }
                     }),
@@ -1303,8 +1359,8 @@ mod tests {
                     .reducers(2)
                     .map(|&x: &u32, emit| emit(x % 2, x))
                     .partition(even_odd)
-                    .reduce(|_: &u32, vs: Vec<u32>, out| {
-                        for v in vs {
+                    .reduce(|_: &u32, vs: &[u32], out| {
+                        for &v in vs {
                             out(v);
                         }
                     }),
@@ -1327,7 +1383,7 @@ mod tests {
                 JobSpec::new("j")
                     .map(|&x: &u32, emit| emit(x, x))
                     .partition(|_: &u32, _| 0)
-                    .reduce(|&k: &u32, _: Vec<u32>, out| out(k)),
+                    .reduce(|&k: &u32, _: &[u32], out| out(k)),
                 &input,
             )
             .unwrap();
@@ -1348,7 +1404,7 @@ mod tests {
                     .reducers(2)
                     .map(|&x: &u32, emit| emit(x, x))
                     .partition(|_: &u32, _| 7)
-                    .reduce(|&k: &u32, _: Vec<u32>, out: &mut dyn FnMut(u32)| out(k)),
+                    .reduce(|&k: &u32, _: &[u32], out: &mut dyn FnMut(u32)| out(k)),
                 &input,
             )
             .unwrap_err();
@@ -1378,7 +1434,7 @@ mod tests {
                     .reducers(4)
                     .map(|&x: &u32, emit| emit(x, x))
                     .partition(|&k: &u32, n| k as usize % n)
-                    .reduce(|&k: &u32, _: Vec<u32>, out| out(k)),
+                    .reduce(|&k: &u32, _: &[u32], out| out(k)),
                 &input,
             )
             .unwrap();
@@ -1408,7 +1464,7 @@ mod tests {
                     .reducers(4)
                     .map(|&x: &u32, emit| emit(x, x))
                     .partition(|&k: &u32, n| k as usize % n)
-                    .reduce(|&k: &u32, _: Vec<u32>, out: &mut dyn FnMut(u32)| out(k)),
+                    .reduce(|&k: &u32, _: &[u32], out: &mut dyn FnMut(u32)| out(k)),
                 &input,
             )
             .unwrap_err();
@@ -1432,7 +1488,7 @@ mod tests {
                     .reducers(2)
                     .map(|&x: &u32, emit| emit(x, x))
                     .partition(|&k: &u32, n| k as usize % n)
-                    .reduce(|&k: &u32, _: Vec<u32>, _out: &mut dyn FnMut(u32)| {
+                    .reduce(|&k: &u32, _: &[u32], _out: &mut dyn FnMut(u32)| {
                         if k == 3 {
                             panic!("reducer exploded on key {k}");
                         }
@@ -1451,13 +1507,13 @@ mod tests {
     ) -> JobSpec<
         impl Fn(&u32, &mut dyn FnMut(u32, u32)) + Sync,
         impl Fn(&u32, usize) -> usize + Sync,
-        impl Fn(&u32, Vec<u32>, &mut dyn FnMut(u32)) + Sync,
+        impl Fn(&u32, &[u32], &mut dyn FnMut(u32)) + Sync,
     > {
         JobSpec::new(name)
             .reducers(4)
             .map(|&x: &u32, emit| emit(x, x))
             .partition(|&k: &u32, n| k as usize % n)
-            .reduce(|&k: &u32, _: Vec<u32>, out| out(k))
+            .reduce(|&k: &u32, _: &[u32], out| out(k))
     }
 
     #[test]
@@ -1546,6 +1602,42 @@ mod tests {
         // The engine itself is still fault-free.
         let ok = e.run(identity_spec("clean"), &input).unwrap();
         assert_eq!(ok.len(), 10);
+    }
+
+    /// The k-way merge of sorted runs equals a global stable sort by
+    /// (key, tag), with group boundaries exactly partitioning the values —
+    /// for zero, one and many runs, including empty ones.
+    #[test]
+    fn kway_merge_matches_global_sort() {
+        let cases: Vec<Vec<Vec<(u32, u64, u32)>>> = vec![
+            vec![],
+            vec![vec![]],
+            vec![vec![(1, 0, 10), (1, 1, 11), (2, 2, 12)]],
+            vec![
+                vec![(1, 4, 14), (3, 5, 15)],
+                vec![(1, 0, 10), (2, 1, 11)],
+                vec![],
+                vec![(0, 8, 18), (1, 9, 19), (9, 10, 20)],
+                vec![(1, 2, 12)],
+            ],
+        ];
+        for runs in cases {
+            let mut flat: Vec<(u32, u64, u32)> = runs.iter().flatten().copied().collect();
+            flat.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+            let merged = merge_sorted_runs(runs);
+            assert_eq!(
+                merged.values,
+                flat.iter().map(|t| t.2).collect::<Vec<_>>(),
+                "merged value stream must equal the globally sorted stream"
+            );
+            let mut expect_groups: Vec<(u32, usize)> = Vec::new();
+            for (i, (k, _, _)) in flat.iter().enumerate() {
+                if expect_groups.last().is_none_or(|(g, _)| g != k) {
+                    expect_groups.push((*k, i));
+                }
+            }
+            assert_eq!(merged.groups, expect_groups);
+        }
     }
 
     /// A per-job sink overrides the engine-wide sink; a disabled per-job

@@ -17,13 +17,17 @@
 //! The engine is deliberately faithful to the map-reduce execution model:
 //! the reduce phase starts only after every mapper finishes (barrier), all
 //! pairs with equal keys meet at a single reducer, and reducers process
-//! keys in sorted order.
+//! keys in sorted order. As in Hadoop, sorting happens mapper-side: each
+//! map task commits its output as per-partition *sorted runs*, the
+//! shuffle k-way-merges them, and reducers borrow each key's values as a
+//! slice of the merged buffer — the data path from map emit to reduce is
+//! zero-copy.
 //!
 //! It is also faithful to map-reduce's *failure* model: every map chunk
 //! and reduce partition runs as a retryable task attempt whose output
 //! commits atomically on success, with speculative re-execution of
-//! stragglers — see [`FaultPlan`] for deterministic fault injection and
-//! [`Engine::try_run_job`] for surfacing failed jobs as [`JobError`]s.
+//! stragglers — see [`FaultPlan`] for deterministic fault injection;
+//! [`Engine::run`] surfaces failed jobs as [`JobError`]s.
 //!
 //! Jobs are described declaratively with a [`JobSpec`] builder and
 //! submitted with [`Engine::run`]; a [`TraceSink`] attached to the engine
@@ -48,7 +52,7 @@
 //!                 }
 //!             })
 //!             .partition(|key: &String, n| key.len() % n)
-//!             .reduce(|word: &String, ones: Vec<u64>, out| {
+//!             .reduce(|word: &String, ones: &[u64], out| {
 //!                 out((word.clone(), ones.len() as u64));
 //!             }),
 //!         &words,

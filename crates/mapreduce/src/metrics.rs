@@ -78,10 +78,21 @@ pub struct JobMetrics {
     /// Speculative attempts that finished before their straggling primary
     /// and committed the task.
     pub speculative_won: u64,
+    /// Sorted spill runs committed by map tasks (one per non-empty
+    /// per-partition bucket of a committed attempt). Deterministic for a
+    /// fixed engine config: each task commits exactly once, faults or not.
+    pub spill_runs: u64,
     /// Wall time of the map phase.
     pub map_wall: Duration,
-    /// Wall time of the shuffle (partition + route + sort).
+    /// Time map attempts spent sorting their spill runs, summed over the
+    /// committed attempts (the sorts run in parallel inside the map
+    /// phase, so this can exceed any single phase's wall clock).
+    pub sort_wall: Duration,
+    /// Wall time of the shuffle (k-way merge of the sorted runs).
     pub shuffle_wall: Duration,
+    /// Time spent k-way-merging sorted runs, summed over the shuffle
+    /// workers (runs in parallel inside `shuffle_wall`).
+    pub merge_wall: Duration,
     /// Wall time of the reduce phase.
     pub reduce_wall: Duration,
     /// End-to-end job wall time.
@@ -144,14 +155,17 @@ impl MetricsReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>7} {:>5}",
+            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5}",
             "job",
             "map ms",
+            "sort ms",
             "shuf ms",
+            "merge ms",
             "red ms",
             "total ms",
             "kv pairs",
             "shuffle B",
+            "runs",
             "retries",
             "spec"
         );
@@ -159,36 +173,45 @@ impl MetricsReport {
         for j in &self.jobs {
             let _ = writeln!(
                 out,
-                "{:<24} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>7} {:>5}",
+                "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5}",
                 j.job_name,
                 ms(j.map_wall),
+                ms(j.sort_wall),
                 ms(j.shuffle_wall),
+                ms(j.merge_wall),
                 ms(j.reduce_wall),
                 ms(j.total_wall),
                 j.map_output_records,
                 j.shuffle_bytes,
+                j.spill_runs,
                 j.retries,
                 j.speculative_launched
             );
             total.map_wall += j.map_wall;
+            total.sort_wall += j.sort_wall;
             total.shuffle_wall += j.shuffle_wall;
+            total.merge_wall += j.merge_wall;
             total.reduce_wall += j.reduce_wall;
             total.total_wall += j.total_wall;
             total.map_output_records += j.map_output_records;
             total.shuffle_bytes += j.shuffle_bytes;
+            total.spill_runs += j.spill_runs;
             total.retries += j.retries;
             total.speculative_launched += j.speculative_launched;
         }
         let _ = writeln!(
             out,
-            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>7} {:>5}",
+            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5}",
             format!("total ({} jobs)", self.jobs.len()),
             ms(total.map_wall),
+            ms(total.sort_wall),
             ms(total.shuffle_wall),
+            ms(total.merge_wall),
             ms(total.reduce_wall),
             ms(total.total_wall),
             total.map_output_records,
             total.shuffle_bytes,
+            total.spill_runs,
             total.retries,
             total.speculative_launched
         );

@@ -15,7 +15,7 @@
 //! job (one per Engine::run)
 //! ├── phase: map
 //! │   └── task attempt (chunk × attempt, speculative duplicates tagged)
-//! ├── phase: shuffle          (sort/group; no task attempts)
+//! ├── phase: shuffle          (merge of sorted runs; no task attempts)
 //! ├── phase: reduce
 //! │   └── task attempt (partition × attempt)
 //! └── counters                (snapshot of the job's JobMetrics)
@@ -57,7 +57,7 @@ use crate::JobMetrics;
 pub enum SpanPhase {
     /// The map phase (input chunks → intermediate pairs).
     Map,
-    /// The shuffle: per-partition sort and group counting.
+    /// The shuffle: per-partition k-way merge of the mapper-sorted runs.
     Shuffle,
     /// The reduce phase (one task per partition).
     Reduce,
@@ -389,8 +389,9 @@ fn metrics_json_fields(m: &JobMetrics) -> String {
          \"shuffle_bytes\":{},\"reduce_input_groups\":{},\"reduce_input_records\":{},\
          \"max_partition_records\":{},\"reduce_output_records\":{},\
          \"map_task_failures\":{},\"reduce_task_failures\":{},\"retries\":{},\
-         \"speculative_launched\":{},\"speculative_won\":{},\
-         \"map_wall_us\":{},\"shuffle_wall_us\":{},\"reduce_wall_us\":{},\"total_wall_us\":{}",
+         \"speculative_launched\":{},\"speculative_won\":{},\"spill_runs\":{},\
+         \"map_wall_us\":{},\"sort_wall_us\":{},\"shuffle_wall_us\":{},\"merge_wall_us\":{},\
+         \"reduce_wall_us\":{},\"total_wall_us\":{}",
         json_escape(&m.job_name),
         m.map_input_records,
         m.map_output_records,
@@ -404,8 +405,11 @@ fn metrics_json_fields(m: &JobMetrics) -> String {
         m.retries,
         m.speculative_launched,
         m.speculative_won,
+        m.spill_runs,
         m.map_wall.as_micros(),
+        m.sort_wall.as_micros(),
         m.shuffle_wall.as_micros(),
+        m.merge_wall.as_micros(),
         m.reduce_wall.as_micros(),
         m.total_wall.as_micros(),
     )

@@ -43,12 +43,7 @@ impl<T> RTree<T> {
         }
         // STR: sort by center-x, tile into vertical slabs of sqrt(n/cap)
         // runs, sort each slab by center-y, pack leaves of NODE_CAPACITY.
-        items.sort_by(|a, b| {
-            a.0.center()
-                .x
-                .partial_cmp(&b.0.center().x)
-                .expect("finite coordinates")
-        });
+        items.sort_unstable_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
         let n = items.len();
         let leaf_count = n.div_ceil(NODE_CAPACITY);
         let slab_count = (leaf_count as f64).sqrt().ceil() as usize;
@@ -61,13 +56,12 @@ impl<T> RTree<T> {
             // Determine the leaf packing order without moving the payloads.
             let mut idx: Vec<u32> = (0..n as u32).collect();
             for slab in idx.chunks_mut(slab_size) {
-                slab.sort_by(|&a, &b| {
+                slab.sort_unstable_by(|&a, &b| {
                     items[a as usize]
                         .0
                         .center()
                         .y
-                        .partial_cmp(&items[b as usize].0.center().y)
-                        .expect("finite coordinates")
+                        .total_cmp(&items[b as usize].0.center().y)
                 });
             }
             order.extend_from_slice(&idx);
@@ -209,8 +203,7 @@ impl<T> RTree<T> {
                 // construction.
                 other
                     .dist
-                    .partial_cmp(&self.dist)
-                    .expect("finite distance")
+                    .total_cmp(&self.dist)
                     .then(other.seq.cmp(&self.seq))
             }
         }
@@ -548,7 +541,7 @@ mod nearest_tests {
         items
             .iter()
             .map(|(r, i)| (*i, r.distance(probe)))
-            .min_by(|(i1, d1), (i2, d2)| d1.partial_cmp(d2).unwrap().then(i1.cmp(i2)))
+            .min_by(|(i1, d1), (i2, d2)| d1.total_cmp(d2).then(i1.cmp(i2)))
     }
 
     #[test]
@@ -635,7 +628,7 @@ mod k_nearest_tests {
 
     fn brute_k(items: &[(Rect, usize)], probe: &Rect, k: usize) -> Vec<f64> {
         let mut d: Vec<f64> = items.iter().map(|(r, _)| r.distance(probe)).collect();
-        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d.sort_unstable_by(f64::total_cmp);
         d.truncate(k);
         d
     }
