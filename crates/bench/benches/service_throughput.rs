@@ -1,0 +1,134 @@
+//! Service throughput benchmark — closed-loop clients against an
+//! in-process `mwsj-server`.
+//!
+//! Boots the query service on a loopback port, then drives it with four
+//! concurrent closed-loop clients, each issuing requests round-robin
+//! from a small query pool. Repeats within the pool exercise the result
+//! cache, so the measured mix contains both cold joins and cache hits —
+//! the shape a real multi-tenant deployment sees. Reports per-request
+//! latency percentiles, aggregate QPS and the cache hit rate into
+//! `BENCH_service.json`.
+
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+use mwsj_bench::BenchLog;
+use mwsj_server::json::{self, Json};
+use mwsj_server::{Client, Server, ServerConfig};
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 25;
+const POOL: usize = 6;
+
+fn pool_query(i: usize) -> String {
+    let a = format!("synthetic:n=2000,seed={},extent=8000,lmax=250", 50 + 2 * i);
+    let b = format!("synthetic:n=2000,seed={},extent=8000,lmax=250", 51 + 2 * i);
+    format!(
+        "{{\"op\":\"query\",\"query\":\"A ov B\",\"data\":{{\"A\":\"{a}\",\"B\":\"{b}\"}},\"algorithm\":\"crep\",\"count_only\":true}}"
+    )
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    #[allow(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        clippy::cast_precision_loss
+    )]
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
+fn main() {
+    let server =
+        Server::bind(ServerConfig::default().with_admission(CLIENTS, CLIENTS)).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let server_thread = thread::spawn(move || server.run().expect("server run"));
+
+    // Warm-up: one pass over the pool populates the dataset and result
+    // caches, so the measured phase mixes hits with the steady state.
+    {
+        let mut c = Client::connect(&addr).expect("connect");
+        for i in 0..POOL {
+            let resp = c.request(&pool_query(i)).expect("warm request");
+            assert!(resp.contains("\"ok\":true"), "warm-up failed: {resp}");
+        }
+    }
+
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    thread::scope(|scope| {
+        for client_id in 0..CLIENTS {
+            let addr = &addr;
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let mut local = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let line = pool_query((client_id + r) % POOL);
+                    let t = Instant::now();
+                    let resp = c.request(&line).expect("request");
+                    local.push(t.elapsed().as_secs_f64() * 1e3);
+                    assert!(resp.contains("\"ok\":true"), "request failed: {resp}");
+                }
+                latencies.lock().expect("latencies").extend(local);
+            });
+        }
+    });
+    let wall = t0.elapsed();
+
+    let mut sorted = latencies.into_inner().expect("latencies");
+    sorted.sort_by(f64::total_cmp);
+    let total = sorted.len();
+    let qps = total as f64 / wall.as_secs_f64();
+
+    let mut c = Client::connect(&addr).expect("connect");
+    let stats_text = c.request("{\"op\":\"stats\"}").expect("stats");
+    let stats = json::parse(&stats_text).expect("stats json");
+    let cache = stats.get("cache").expect("cache stats");
+    let hits = cache.get("hits").and_then(Json::as_f64).unwrap_or(0.0);
+    let misses = cache.get("misses").and_then(Json::as_f64).unwrap_or(0.0);
+    let hit_rate = if hits + misses > 0.0 {
+        hits / (hits + misses)
+    } else {
+        0.0
+    };
+    let queries = stats.get("queries").and_then(Json::as_f64).unwrap_or(0.0);
+    c.request("{\"op\":\"shutdown\"}").expect("shutdown");
+    server_thread.join().expect("server thread");
+
+    let p50 = percentile(&sorted, 0.50);
+    let p99 = percentile(&sorted, 0.99);
+    eprintln!(
+        "service   : {total} requests from {CLIENTS} clients in {wall:.2?} \
+         ({qps:.1} QPS, p50 {p50:.2} ms, p99 {p99:.2} ms, hit rate {:.0}%)",
+        hit_rate * 100.0
+    );
+
+    let mut log = BenchLog::new("service");
+    log.push_record(format!(
+        concat!(
+            "{{\"clients\":{clients},\"requests\":{requests},\"pool\":{pool},",
+            "\"wall_ms\":{wall:.3},\"qps\":{qps:.3},",
+            "\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},",
+            "\"cache_hits\":{hits},\"cache_misses\":{misses},\"hit_rate\":{rate:.4},",
+            "\"queries_served\":{queries}}}"
+        ),
+        clients = CLIENTS,
+        requests = total,
+        pool = POOL,
+        wall = wall.as_secs_f64() * 1e3,
+        qps = qps,
+        p50 = p50,
+        p99 = p99,
+        hits = hits,
+        misses = misses,
+        rate = hit_rate,
+        queries = queries,
+    ));
+    log.write().expect("write bench log");
+}

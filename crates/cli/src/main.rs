@@ -8,19 +8,24 @@
 //!          --data R3=synthetic:n=10000,seed=3,extent=20000 \
 //!          --algorithm crep-l [--grid 8] [--count-only] [--plan] [--out results.csv]
 //!
+//! mwsj serve --addr 127.0.0.1:7878 --slots 8 --cache-bytes 16777216
+//! mwsj query --connect 127.0.0.1:7878 --query "R1 ov R2" \
+//!          --data R1=synthetic:n=1000,seed=1 --data R2=synthetic:n=1000,seed=2
+//!
 //! mwsj gen  --source california:n=20000,seed=7 --out roads.csv
 //! mwsj ann  --outer a.csv --inner b.csv [--grid 8]
 //! mwsj stats --source roads.csv
 //! ```
 
 mod args;
-mod data;
+
+use mwsj_server::source as data;
 
 use std::process::ExitCode;
 
 use args::Args;
 use mwsj_core::mapreduce::{validate_json, EngineConfig, FaultPlan, TraceSink};
-use mwsj_core::{planner, Algorithm, Cluster, ClusterConfig, JoinRun};
+use mwsj_core::{planner, Cluster, ClusterConfig, JoinRun};
 use mwsj_datagen::CaliforniaStats;
 use mwsj_query::Query;
 
@@ -31,6 +36,8 @@ fn main() -> ExitCode {
     };
     let result = match args.command.as_deref() {
         Some("run") => cmd_run(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("query") => cmd_query(&args),
         Some("gen") => cmd_gen(&args),
         Some("ann") => cmd_ann(&args),
         Some("stats") => cmd_stats(&args),
@@ -57,6 +64,8 @@ mwsj — multi-way spatial joins on a simulated map-reduce cluster
 
 USAGE:
   mwsj run   --query Q --data NAME=SOURCE [--data ...] [options]
+  mwsj serve --addr HOST:PORT [serve options]
+  mwsj query --connect HOST:PORT --query Q --data NAME=SOURCE [--data ...]
   mwsj gen   --source SOURCE --out FILE.csv
   mwsj ann   --outer SOURCE --inner SOURCE [--grid N] [--k K]
   mwsj stats --source SOURCE
@@ -78,6 +87,24 @@ RUN OPTIONS
   --count-only    count result tuples without materializing them
   --plan          reorder the cascade's joins by sampled selectivity
   --out FILE      write result tuples as CSV ids
+
+SERVE OPTIONS  (a concurrent query service speaking line-delimited JSON)
+  --addr HOST:PORT    listen address (default 127.0.0.1:7878; :0 picks a port)
+  --slots N           engine worker slots shared by all queries (default auto)
+  --cache-bytes N     result-cache budget in bytes (default 16 MiB; 0 disables)
+  --grid N            reducer grid side (default 8)
+  --extent E          service space is [0, E]^2 (default 100000)
+  --max-inflight N    concurrent joins before queueing (default 4)
+  --max-queue N       queued joins before shedding `overloaded` (default 16)
+
+QUERY OPTIONS  (submit to a running `mwsj serve`)
+  --connect HOST:PORT server address (required)
+  --algorithm NAME    as in run (default crep-l)
+  --count-only        count tuples without materializing them
+  --deadline-ms N     cancel the run past this wall-clock budget
+  --priority N / --share N   scheduler priority and fair-share weight
+  --stats             print service statistics instead of running a query
+  --shutdown          stop the server instead of running a query
 
 FAULT INJECTION  (run and ann; results are identical to fault-free runs)
   --fault-rate P      fail each task attempt and DFS read with probability P
@@ -177,14 +204,126 @@ fn cmd_trace_check(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
-    Ok(match name {
-        "cascade" => Algorithm::TwoWayCascade,
-        "allrep" | "all-rep" => Algorithm::AllReplicate,
-        "crep" | "c-rep" => Algorithm::ControlledReplicate,
-        "crep-l" | "c-rep-l" | "crepl" => Algorithm::ControlledReplicateLimit,
-        other => return Err(format!("unknown algorithm `{other}`")),
-    })
+use mwsj_server::protocol::parse_algorithm;
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    args.check_known(&[
+        "addr",
+        "slots",
+        "cache-bytes",
+        "grid",
+        "extent",
+        "max-inflight",
+        "max-queue",
+    ])?;
+    let config = mwsj_server::ServerConfig {
+        addr: args.get("addr")?.unwrap_or("127.0.0.1:7878").to_string(),
+        slots: args.get_parsed_or("slots", 0usize)?,
+        cache_bytes: args.get_parsed_or("cache-bytes", 16usize << 20)?,
+        max_inflight: args.get_parsed_or("max-inflight", 4usize)?,
+        max_queue: args.get_parsed_or("max-queue", 16usize)?,
+        grid: args.get_parsed_or("grid", 8u32)?,
+        extent: args.get_parsed_or("extent", 100_000.0f64)?,
+    };
+    mwsj_server::signal::install_handlers();
+    let server = mwsj_server::Server::bind(config).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("serving on {addr} (SIGTERM or the `shutdown` op stops it)");
+    server.run().map_err(|e| format!("server: {e}"))
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    use mwsj_core::mapreduce::json_escape;
+    use mwsj_server::json::{self, Json};
+
+    args.check_known(&[
+        "connect",
+        "query",
+        "data",
+        "algorithm",
+        "count-only",
+        "deadline-ms",
+        "priority",
+        "share",
+        "stats",
+        "shutdown",
+    ])?;
+    let addr = args.require("connect")?;
+    let mut client =
+        mwsj_server::Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+
+    if args.flag("stats") || args.flag("shutdown") {
+        let op = if args.flag("shutdown") {
+            "shutdown"
+        } else {
+            "stats"
+        };
+        let resp = client
+            .request(&format!("{{\"op\":\"{op}\"}}"))
+            .map_err(|e| e.to_string())?;
+        println!("{resp}");
+        return Ok(());
+    }
+
+    let query = args.require("query")?;
+    // Validate the algorithm name client-side for a friendlier error.
+    let algorithm = args.get("algorithm")?.unwrap_or("crep-l");
+    parse_algorithm(algorithm)?;
+    let mut bindings = Vec::new();
+    for spec in args.get_all("data") {
+        let (name, source) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("`{spec}` is not NAME=SOURCE"))?;
+        bindings.push(format!(
+            "\"{}\":\"{}\"",
+            json_escape(name),
+            json_escape(source)
+        ));
+    }
+    let mut request = format!(
+        "{{\"op\":\"query\",\"query\":\"{}\",\"data\":{{{}}},\"algorithm\":\"{algorithm}\"",
+        json_escape(query),
+        bindings.join(",")
+    );
+    if args.flag("count-only") {
+        request.push_str(",\"count_only\":true");
+    }
+    if let Some(ms) = args.get("deadline-ms")? {
+        let ms: u64 = ms.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
+        request.push_str(&format!(",\"deadline_ms\":{ms}"));
+    }
+    let priority: i32 = args.get_parsed_or("priority", 0i32)?;
+    let share: u32 = args.get_parsed_or("share", 1u32)?;
+    request.push_str(&format!(",\"priority\":{priority},\"share\":{share}}}"));
+
+    let resp = client.request(&request).map_err(|e| e.to_string())?;
+    let doc = json::parse(&resp).map_err(|e| format!("bad response `{resp}`: {e}"))?;
+    if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+        let code = doc.get("error").and_then(Json::as_str).unwrap_or("error");
+        let message = doc.get("message").and_then(Json::as_str).unwrap_or(&resp);
+        return Err(format!("{code}: {message}"));
+    }
+    let count = doc.get("tuple_count").and_then(Json::as_f64).unwrap_or(0.0);
+    let cached = doc.get("cached").and_then(Json::as_bool).unwrap_or(false);
+    let wall = doc.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+    eprintln!("tuples    : {count}");
+    eprintln!("cached    : {cached}");
+    eprintln!("wall_ms   : {wall:.3}");
+    if let Some(fp) = doc.get("fingerprint").and_then(Json::as_str) {
+        eprintln!("fingerprint: {fp}");
+    }
+    // Tuples go to stdout as deterministic CSV, one per line.
+    for tuple in doc.get("tuples").and_then(Json::as_arr).unwrap_or(&[]) {
+        let ids: Vec<String> = tuple
+            .as_arr()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Json::as_f64)
+            .map(|v| format!("{v}"))
+            .collect();
+        println!("{}", ids.join(","));
+    }
+    Ok(())
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {

@@ -12,7 +12,6 @@
 //! joins anything (the paper's `u_4` example).
 
 use mwsj_local::multiway;
-use mwsj_mapreduce::JobSpec;
 use mwsj_partition::CellId;
 use mwsj_query::Query;
 
@@ -31,9 +30,7 @@ pub(crate) fn run(
     let n = query.num_relations();
 
     let raw: Vec<Vec<u32>> = ctx.engine.run(
-        JobSpec::new("all-replicate")
-            .reducers(ctx.num_reducers as usize)
-            .trace(ctx.trace.clone())
+        ctx.spec("all-replicate")
             .map(|tr: &TaggedRect, emit| {
                 for cell in grid.fourth_quadrant_cells(&tr.rect) {
                     emit(cell.0, *tr);
@@ -65,7 +62,7 @@ pub(crate) fn run(
         &input,
     )?;
 
-    let report = ctx.engine.report();
+    let report = ctx.report();
     let stats = ReplicationStats {
         rectangles_replicated: input.len() as u64,
         rectangles_after_replication: report.jobs[0].map_output_records,

@@ -17,7 +17,7 @@
 //! Hadoop would fold that predicate into the following job's reducer.
 
 use mwsj_geom::Rect;
-use mwsj_mapreduce::{JobSpec, RecordSize};
+use mwsj_mapreduce::{Fnv64, RecordSize, StableHash};
 use mwsj_partition::CellId;
 use mwsj_query::{Predicate, Query, RelationId, Triple};
 use mwsj_rtree::RTree;
@@ -49,6 +49,27 @@ impl RecordSize for Partial {
     fn size_bytes(&self) -> usize {
         // One presence byte per slot; bound slots carry id + 4 corners.
         self.slots.iter().map(|s| 1 + s.map_or(0, |_| 4 + 32)).sum()
+    }
+}
+
+// Intermediate cascade results are materialized on the DFS, so they need a
+// fingerprint encoding; mirror the presence-byte layout of `size_bytes`.
+impl StableHash for Partial {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        h.write_u64(self.slots.len() as u64);
+        for s in &self.slots {
+            match s {
+                None => h.write(&[0]),
+                Some((id, rect)) => {
+                    h.write(&[1]);
+                    id.stable_hash(h);
+                    h.write_u64(rect.min_x().to_bits());
+                    h.write_u64(rect.min_y().to_bits());
+                    h.write_u64(rect.max_x().to_bits());
+                    h.write_u64(rect.max_y().to_bits());
+                }
+            }
+        }
     }
 }
 
@@ -187,7 +208,7 @@ pub(crate) fn run(
         // The cascade never replicates; its cost lives in the DFS and
         // shuffle counters of the report.
         stats: ReplicationStats::default(),
-        report: engine.report(),
+        report: ctx.report(),
     })
 }
 
@@ -283,9 +304,7 @@ fn run_pair_job(
     let d = predicate.distance();
     let extent = grid.extent();
     let outputs: Vec<StageOut> = ctx.engine.run(
-        JobSpec::new(name)
-            .reducers(ctx.num_reducers as usize)
-            .trace(ctx.trace.clone())
+        ctx.spec(name)
             .map(|record: &Side, emit| match record {
                 Side::Tuple(p) => {
                     let anchor = p.rect(anchor_pos.index());

@@ -41,7 +41,6 @@
 
 use mwsj_geom::Rect;
 use mwsj_local::{marking, multiway};
-use mwsj_mapreduce::JobSpec;
 use mwsj_partition::CellId;
 use mwsj_query::{replication_bounds, Query};
 
@@ -64,13 +63,10 @@ pub(crate) fn run(
     let count_only = ctx.count_only;
     let input = flatten_input(relations);
     let n = query.num_relations();
-    let partitions = ctx.num_reducers as usize;
 
     // ---- Round 1: split everything, mark per cell --------------------
     let round1: Vec<(TaggedRect, bool)> = engine.run(
-        JobSpec::new("c-rep-round1-mark")
-            .reducers(partitions)
-            .trace(ctx.trace.clone())
+        ctx.spec("c-rep-round1-mark")
             .map(|tr: &TaggedRect, emit| {
                 for cell in grid.split_cells(&tr.rect) {
                     emit(cell.0, *tr);
@@ -121,13 +117,11 @@ pub(crate) fn run(
 
     // ---- Round 2: replicate marked / project unmarked, join ----------
     let raw: Vec<Vec<u32>> = engine.run(
-        JobSpec::new(if limit {
+        ctx.spec(if limit {
             "c-rep-l-round2-join"
         } else {
             "c-rep-round2-join"
         })
-        .reducers(partitions)
-        .trace(ctx.trace.clone())
         .map(|(tr, marked): &(TaggedRect, bool), emit| {
             let targets = if *marked {
                 match &bounds {
@@ -162,7 +156,7 @@ pub(crate) fn run(
         &round1,
     )?;
 
-    let report = engine.report();
+    let report = ctx.report();
     // Round 2 emits one pair per replication target for marked rectangles
     // plus exactly one projected pair per unmarked rectangle.
     let after_replication = report.jobs[1].map_output_records - unmarked_count;

@@ -10,7 +10,7 @@ pub(crate) mod cascade;
 pub(crate) mod controlled_replicate;
 
 use mwsj_geom::Rect;
-use mwsj_mapreduce::{Engine, TraceSink};
+use mwsj_mapreduce::{CancelToken, Engine, JobSpec, MetricsHub, MetricsReport, TraceSink, Unset};
 use mwsj_partition::Grid;
 use mwsj_query::RelationId;
 use serde::{Deserialize, Serialize};
@@ -19,7 +19,8 @@ use crate::TaggedRect;
 
 /// Everything an algorithm needs from the cluster plus the per-run
 /// options, threaded as one context so the four `run` entry points share a
-/// signature and every job they submit can attach the run's trace sink.
+/// signature and every job they submit can attach the run's trace sink,
+/// cancellation token and scheduling parameters.
 pub(crate) struct AlgoCtx<'a> {
     /// The map-reduce engine executing the jobs.
     pub engine: &'a Engine,
@@ -31,6 +32,60 @@ pub(crate) struct AlgoCtx<'a> {
     pub count_only: bool,
     /// Per-run trace sink (disabled unless the caller attached one).
     pub trace: &'a TraceSink,
+    /// Cooperative cancellation token threaded into every job of the run.
+    pub cancel: CancelToken,
+    /// Per-run metrics hub: this run's jobs deliver their metrics here
+    /// instead of the engine-global vector, so concurrent runs on a shared
+    /// cluster read exactly their own jobs.
+    pub hub: MetricsHub,
+    /// Slot-scheduler priority of this run's jobs.
+    pub priority: i32,
+    /// Slot-scheduler fair-share weight of this run's jobs.
+    pub share: u32,
+    /// Combined fingerprint of the datasets bound to the query positions
+    /// (0 when the caller did not supply one).
+    pub input_fingerprint: u64,
+    /// DFS counters (read bytes, write bytes, transient failures) at
+    /// submit time; [`AlgoCtx::report`] subtracts them so a run's report
+    /// covers its own DFS traffic without resetting shared engine state.
+    pub dfs_base: (u64, u64, u64),
+}
+
+impl AlgoCtx<'_> {
+    /// A [`JobSpec`] pre-wired with this run's reducer count, trace sink,
+    /// cancellation token, metrics hub, scheduling parameters and input
+    /// fingerprint — every job an algorithm submits starts from this.
+    pub fn spec(&self, name: impl Into<String>) -> JobSpec<Unset, Unset, Unset> {
+        JobSpec::new(name)
+            .reducers(self.num_reducers as usize)
+            .trace(self.trace.clone())
+            .cancel(self.cancel.clone())
+            .collect_into(self.hub.clone())
+            .priority(self.priority)
+            .share(self.share)
+            .input_fingerprint(self.input_fingerprint)
+    }
+
+    /// This run's metrics report: the hub's jobs plus the DFS counter
+    /// deltas since submit. Exact for a solo run; under concurrent runs
+    /// the DFS deltas are approximate (the byte counters are shared), but
+    /// each run's per-job metrics are exactly its own.
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            jobs: self.hub.snapshot(),
+            dfs_read_bytes: self.engine.dfs.read_bytes().saturating_sub(self.dfs_base.0),
+            dfs_write_bytes: self
+                .engine
+                .dfs
+                .write_bytes()
+                .saturating_sub(self.dfs_base.1),
+            dfs_transient_read_failures: self
+                .engine
+                .dfs
+                .transient_read_failures()
+                .saturating_sub(self.dfs_base.2),
+        }
+    }
 }
 
 /// Which distributed algorithm to run.

@@ -128,8 +128,9 @@ impl Cluster {
     ///
     /// `relations[i]` is the dataset bound to query position `i`; a
     /// self-join binds the same slice to several positions. Output ids are
-    /// indices into these slices. Metrics are reset at the start of each
-    /// run, so [`JoinOutput::report`] covers exactly this run.
+    /// indices into these slices. Each run's jobs deliver their metrics to
+    /// a run-private hub, so [`JoinOutput::report`] covers exactly this
+    /// run's jobs even when runs share the cluster concurrently.
     ///
     /// # Panics
     /// Panics if the number of datasets does not match the query's relation
@@ -171,13 +172,25 @@ impl Cluster {
                 "relation {i} contains rectangles outside the cluster space"
             );
         }
-        self.engine.reset_metrics();
+        if let Some(timeout) = run.deadline {
+            run.cancel.deadline_in(timeout);
+        }
         let ctx = AlgoCtx {
             engine: &self.engine,
             grid: &self.grid,
             num_reducers: self.num_reducers,
             count_only: run.count_only,
             trace: &run.trace,
+            cancel: run.cancel.clone(),
+            hub: mwsj_mapreduce::MetricsHub::new(),
+            priority: run.priority,
+            share: run.share,
+            input_fingerprint: run.input_fingerprint,
+            dfs_base: (
+                self.engine.dfs.read_bytes(),
+                self.engine.dfs.write_bytes(),
+                self.engine.dfs.transient_read_failures(),
+            ),
         };
         match run.algorithm {
             Algorithm::TwoWayCascade => algorithms::cascade::run(&ctx, run.query, run.relations),

@@ -1,5 +1,7 @@
+use std::time::Duration;
+
 use mwsj_geom::Rect;
-use mwsj_mapreduce::TraceSink;
+use mwsj_mapreduce::{CancelToken, TraceSink};
 use mwsj_query::Query;
 
 use crate::Algorithm;
@@ -50,6 +52,23 @@ pub struct JoinRun<'a> {
     /// Disabled by default; an enabled sink here takes precedence over any
     /// engine-wide sink configured on the cluster.
     pub trace: TraceSink,
+    /// Cooperative cancellation token for the whole run: cancelling it
+    /// aborts the current job at the next task boundary and fails the run
+    /// with a `Cancelled` job error (never retried).
+    pub cancel: CancelToken,
+    /// Wall-clock budget for the run, enforced through [`JoinRun::cancel`]
+    /// from submit time.
+    pub deadline: Option<Duration>,
+    /// Slot-scheduler priority: among queued runs, strictly higher
+    /// priority acquires worker slots first.
+    pub priority: i32,
+    /// Fair-share weight: equal-priority runs receive slots proportionally
+    /// to their share (clamped to at least 1 by the engine).
+    pub share: u32,
+    /// Combined stable fingerprint of the bound datasets, surfaced in
+    /// every job's metrics (0 when unknown). Result caches use it to
+    /// detect stale entries.
+    pub input_fingerprint: u64,
 }
 
 impl<'a> JoinRun<'a> {
@@ -62,6 +81,11 @@ impl<'a> JoinRun<'a> {
             algorithm,
             count_only: false,
             trace: TraceSink::disabled(),
+            cancel: CancelToken::new(),
+            deadline: None,
+            priority: 0,
+            share: 1,
+            input_fingerprint: 0,
         }
     }
 
@@ -82,6 +106,44 @@ impl<'a> JoinRun<'a> {
     #[must_use]
     pub fn trace(mut self, sink: TraceSink) -> Self {
         self.trace = sink;
+        self
+    }
+
+    /// Attaches a cancellation token; cancelling it from another thread
+    /// aborts the run at the next task boundary.
+    #[must_use]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Bounds the run's wall-clock time; past the deadline the run fails
+    /// with a `Cancelled { deadline_exceeded: true }` job error.
+    #[must_use]
+    pub fn deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(timeout);
+        self
+    }
+
+    /// Sets the slot-scheduler priority of this run's jobs.
+    #[must_use]
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the fair-share weight of this run's jobs.
+    #[must_use]
+    pub fn share(mut self, share: u32) -> Self {
+        self.share = share;
+        self
+    }
+
+    /// Records the combined fingerprint of the bound datasets (surfaced in
+    /// job metrics; the engine does not interpret it).
+    #[must_use]
+    pub fn input_fingerprint(mut self, fingerprint: u64) -> Self {
+        self.input_fingerprint = fingerprint;
         self
     }
 }

@@ -6,7 +6,25 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::fault::FaultInjector;
+use crate::record::{Fnv64, StableHash};
 use crate::RecordSize;
+
+/// A stable content hash of one stored dataset.
+///
+/// Computed from the records' [`StableHash`] encodings at write time, so
+/// two datasets fingerprint identically iff their record bytes are
+/// identical — regeneration from the same seed matches, a one-record
+/// perturbation does not. Result caches key on this (plus the canonical
+/// query and the algorithm) to decide whether a cached answer is still
+/// valid for a named input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DatasetFingerprint(pub u64);
+
+impl std::fmt::Display for DatasetFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
 
 /// Errors from [`Dfs`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +59,7 @@ struct Dataset {
     data: Arc<dyn Any + Send + Sync>,
     bytes: u64,
     records: u64,
+    fingerprint: DatasetFingerprint,
 }
 
 /// An in-memory stand-in for HDFS with byte accounting.
@@ -83,10 +102,21 @@ impl Dfs {
     }
 
     /// Writes (or replaces) a dataset, charging its encoded size to the
-    /// write counter.
-    pub fn write<T: RecordSize + Send + Sync + 'static>(&self, name: &str, data: Vec<T>) {
+    /// write counter and fingerprinting the stored records (see
+    /// [`DatasetFingerprint`]).
+    pub fn write<T: RecordSize + StableHash + Send + Sync + 'static>(
+        &self,
+        name: &str,
+        data: Vec<T>,
+    ) {
         let bytes: u64 = data.iter().map(|r| r.size_bytes() as u64).sum();
         let records = data.len() as u64;
+        let mut h = Fnv64::new();
+        h.write_u64(records);
+        for r in &data {
+            r.stable_hash(&mut h);
+        }
+        let fingerprint = DatasetFingerprint(h.finish());
         self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.datasets.write().insert(
             name.to_string(),
@@ -94,6 +124,7 @@ impl Dfs {
                 data: Arc::new(data),
                 bytes,
                 records,
+                fingerprint,
             },
         );
     }
@@ -138,6 +169,15 @@ impl Dfs {
             .read()
             .get(name)
             .map(|d| d.records)
+            .ok_or_else(|| DfsError::NotFound(name.to_string()))
+    }
+
+    /// The content fingerprint computed when the dataset was written.
+    pub fn fingerprint(&self, name: &str) -> Result<DatasetFingerprint, DfsError> {
+        self.datasets
+            .read()
+            .get(name)
+            .map(|d| d.fingerprint)
             .ok_or_else(|| DfsError::NotFound(name.to_string()))
     }
 
@@ -261,5 +301,48 @@ mod tests {
         dfs.write("d", vec![1u8]);
         dfs.delete("d");
         assert!(!dfs.exists("d"));
+    }
+
+    /// A seeded xorshift stand-in for a dataset generator: the same seed
+    /// must regenerate a byte-identical dataset, hence the same
+    /// fingerprint.
+    fn gen_rects(seed: u64, n: usize) -> Vec<(f64, f64, f64, f64)> {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| (next() * 1e3, next() * 1e3, next() * 10.0, next() * 10.0))
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_regeneration_fingerprints_identically() {
+        let dfs = Dfs::new();
+        dfs.write("a", gen_rects(42, 500));
+        dfs.write("b", gen_rects(42, 500));
+        assert_eq!(dfs.fingerprint("a").unwrap(), dfs.fingerprint("b").unwrap());
+        assert_eq!(dfs.fingerprint("a").unwrap().to_string().len(), 16);
+    }
+
+    #[test]
+    fn one_rect_perturbation_changes_fingerprint() {
+        let dfs = Dfs::new();
+        let base = gen_rects(42, 500);
+        let mut perturbed = base.clone();
+        perturbed[250].0 += 1e-9;
+        dfs.write("base", base);
+        dfs.write("perturbed", perturbed);
+        assert_ne!(
+            dfs.fingerprint("base").unwrap(),
+            dfs.fingerprint("perturbed").unwrap()
+        );
+        assert_eq!(
+            dfs.fingerprint("nope").unwrap_err(),
+            DfsError::NotFound("nope".into())
+        );
     }
 }

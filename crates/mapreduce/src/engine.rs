@@ -1,10 +1,13 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
 use crate::fault::{FaultInjector, FaultPlan, JobErrorKind, Phase};
+use crate::metrics::MetricsHub;
+use crate::schedule::{CancelToken, SlotScheduler};
 use crate::trace::{AttemptOutcome, RaceWinner, SpanPhase, TraceEvent, TraceSink};
 use crate::{Dfs, JobError, JobMetrics, MetricsReport, RecordSize};
 
@@ -27,6 +30,12 @@ pub struct EngineConfig {
     /// Engine-wide trace sink: every job records its spans here unless the
     /// [`JobSpec`] carries its own sink. Disabled (free) by default.
     pub trace: TraceSink,
+    /// Task slots in the shared [`SlotScheduler`] pool gating concurrent
+    /// task execution across *all* jobs this engine runs. `0` (the
+    /// default) sizes the pool to `max(map_tasks, reduce_tasks)`, so a
+    /// solo job runs at full parallelism and never queues — concurrency
+    /// only matters when several jobs are submitted at once.
+    pub slots: usize,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +46,7 @@ impl Default for EngineConfig {
             reduce_tasks: n,
             fault_plan: None,
             trace: TraceSink::disabled(),
+            slots: 0,
         }
     }
 }
@@ -53,6 +63,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_trace(mut self, trace: TraceSink) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Sets the shared task-slot pool size (see [`EngineConfig::slots`]).
+    #[must_use]
+    pub fn with_slots(mut self, slots: usize) -> Self {
+        self.slots = slots;
         self
     }
 }
@@ -108,11 +125,17 @@ pub struct JobSpec<MF = Unset, PF = Unset, RF = Unset> {
     reduce_fn: RF,
     fault_plan: Option<FaultPlan>,
     trace: TraceSink,
+    priority: i32,
+    share: u32,
+    cancel: CancelToken,
+    collect: Option<MetricsHub>,
+    input_fingerprint: u64,
 }
 
 impl JobSpec {
     /// Starts a spec for a job with the given name, one reducer, no fault
-    /// override and no per-job trace sink.
+    /// override, no per-job trace sink, default scheduling (priority 0,
+    /// share 1) and a fresh, never-cancelled [`CancelToken`].
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
         Self {
@@ -123,6 +146,11 @@ impl JobSpec {
             reduce_fn: Unset,
             fault_plan: None,
             trace: TraceSink::disabled(),
+            priority: 0,
+            share: 1,
+            cancel: CancelToken::new(),
+            collect: None,
+            input_fingerprint: 0,
         }
     }
 }
@@ -151,6 +179,11 @@ impl<MF, PF, RF> JobSpec<MF, PF, RF> {
             reduce_fn: self.reduce_fn,
             fault_plan: self.fault_plan,
             trace: self.trace,
+            priority: self.priority,
+            share: self.share,
+            cancel: self.cancel,
+            collect: self.collect,
+            input_fingerprint: self.input_fingerprint,
         }
     }
 
@@ -170,6 +203,11 @@ impl<MF, PF, RF> JobSpec<MF, PF, RF> {
             reduce_fn: self.reduce_fn,
             fault_plan: self.fault_plan,
             trace: self.trace,
+            priority: self.priority,
+            share: self.share,
+            cancel: self.cancel,
+            collect: self.collect,
+            input_fingerprint: self.input_fingerprint,
         }
     }
 
@@ -193,6 +231,11 @@ impl<MF, PF, RF> JobSpec<MF, PF, RF> {
             reduce_fn,
             fault_plan: self.fault_plan,
             trace: self.trace,
+            priority: self.priority,
+            share: self.share,
+            cancel: self.cancel,
+            collect: self.collect,
+            input_fingerprint: self.input_fingerprint,
         }
     }
 
@@ -211,6 +254,61 @@ impl<MF, PF, RF> JobSpec<MF, PF, RF> {
     #[must_use]
     pub fn trace(mut self, trace: TraceSink) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Sets the scheduling priority (default 0). When slots are contended,
+    /// waiting tasks of a higher-priority job always go first.
+    #[must_use]
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the fair-share weight (default 1; clamped to ≥ 1). Among
+    /// equal-priority jobs, slots are granted to keep each job's share of
+    /// the pool proportional to this weight.
+    #[must_use]
+    pub fn share(mut self, share: u32) -> Self {
+        self.share = share.max(1);
+        self
+    }
+
+    /// Attaches a cancellation token. The engine checks it at every task
+    /// boundary (map chunk claim, shuffle partition claim, reduce partition
+    /// claim and before each retry): a tripped token fails the job with
+    /// [`JobErrorKind::Cancelled`] within one task granularity, with no
+    /// retries and all slots released.
+    #[must_use]
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Sets a deadline `timeout` from now on the job's [`CancelToken`] —
+    /// past it the job is cancelled with `deadline_exceeded` set.
+    #[must_use]
+    pub fn deadline(self, timeout: Duration) -> Self {
+        self.cancel.deadline_in(timeout);
+        self
+    }
+
+    /// Delivers this job's final [`JobMetrics`] to the given hub *instead
+    /// of* the engine-global metrics vector — the per-run collection
+    /// channel for concurrent submitters (and it keeps a long-lived
+    /// service from accumulating unbounded job history).
+    #[must_use]
+    pub fn collect_into(mut self, hub: MetricsHub) -> Self {
+        self.collect = Some(hub);
+        self
+    }
+
+    /// Attaches the input dataset's stable fingerprint
+    /// ([`DatasetFingerprint`](crate::DatasetFingerprint)`.0`), surfaced
+    /// verbatim in [`JobMetrics::input_fingerprint`] and the trace counters.
+    #[must_use]
+    pub fn input_fingerprint(mut self, fingerprint: u64) -> Self {
+        self.input_fingerprint = fingerprint;
         self
     }
 }
@@ -245,6 +343,7 @@ pub struct Engine {
     metrics: Mutex<Vec<JobMetrics>>,
     injector: FaultInjector,
     job_seq: AtomicU64,
+    scheduler: Arc<SlotScheduler>,
 }
 
 /// Why one task attempt did not commit.
@@ -606,13 +705,27 @@ impl Engine {
             .fault_plan
             .clone()
             .map_or_else(FaultInjector::none, FaultInjector::new);
+        let slots = if config.slots == 0 {
+            config.map_tasks.max(config.reduce_tasks)
+        } else {
+            config.slots
+        };
         Self {
             dfs: Dfs::with_faults(injector.clone()),
             metrics: Mutex::new(Vec::new()),
             injector,
             job_seq: AtomicU64::new(0),
+            scheduler: Arc::new(SlotScheduler::new(slots)),
             config,
         }
+    }
+
+    /// The shared fair-share slot scheduler gating task execution across
+    /// every job this engine runs (exposed for introspection: pool size,
+    /// free slots).
+    #[must_use]
+    pub fn scheduler(&self) -> &SlotScheduler {
+        &self.scheduler
     }
 
     /// Runs the job described by `spec` over `input`, returning the
@@ -634,7 +747,10 @@ impl Engine {
     /// [`FaultPlan::max_attempts`] times (injected faults or user-code
     /// panics, which are isolated per attempt);
     /// [`JobErrorKind::BadPartitioner`] if the partitioner routes a key
-    /// out of range (not retried — the partitioner is deterministic).
+    /// out of range (not retried — the partitioner is deterministic);
+    /// [`JobErrorKind::Cancelled`] if the job's [`CancelToken`] trips
+    /// (explicitly or by deadline) — detected at the next task boundary,
+    /// never retried, all slots released.
     #[allow(clippy::too_many_lines)]
     pub fn run<I, K, V, O, MF, PF, RF>(
         &self,
@@ -658,6 +774,11 @@ impl Engine {
             reduce_fn,
             fault_plan,
             trace,
+            priority,
+            share,
+            cancel,
+            collect,
+            input_fingerprint,
         } = spec;
         let name = name.as_str();
         assert!(num_partitions > 0, "a job needs at least one partition");
@@ -692,8 +813,30 @@ impl Engine {
         let mut metrics = JobMetrics {
             job_name: name.to_string(),
             map_input_records: input.len() as u64,
+            input_fingerprint,
             ..JobMetrics::default()
         };
+
+        // Fair-share scheduling: every concurrently running task of this
+        // job holds one slot of the shared pool; the guard unregisters the
+        // job on every exit path.
+        let scheduler = &*self.scheduler;
+        let _registration = scheduler.register(job, priority, share);
+        let queue_wait_nanos = AtomicU64::new(0);
+        let slot_nanos = AtomicU64::new(0);
+        let cancel = &cancel;
+        let cancel_error = |phase: Phase, task: usize, attempts: u32| JobError {
+            job: name.to_string(),
+            phase,
+            task,
+            attempts,
+            kind: JobErrorKind::Cancelled {
+                deadline_exceeded: cancel.cancelled_by_deadline(),
+            },
+        };
+        if cancel.is_cancelled() {
+            return fail(cancel_error(Phase::Map, 0, 0));
+        }
 
         // Shared failure-tracking state for both phases.
         let job_error: Mutex<Option<JobError>> = Mutex::new(None);
@@ -845,6 +988,23 @@ impl Engine {
                     if task >= chunks.len() {
                         break;
                     }
+                    // Cancellation is checked at every task claim (and
+                    // again once a contended slot is finally granted), so
+                    // a cancelled job stops within one task granularity.
+                    if cancel.is_cancelled() {
+                        fail_job(cancel_error(Phase::Map, task, 0));
+                        break;
+                    }
+                    let wait = scheduler.acquire(job);
+                    queue_wait_nanos.fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+                    if cancel.is_cancelled() || abort.load(Ordering::SeqCst) {
+                        scheduler.release(job);
+                        if cancel.is_cancelled() {
+                            fail_job(cancel_error(Phase::Map, task, 0));
+                        }
+                        break;
+                    }
+                    let held = Instant::now();
                     let mut attempt = 0u32;
                     loop {
                         let outcome =
@@ -886,6 +1046,13 @@ impl Engine {
                             Err(e) => {
                                 map_task_failures.fetch_add(1, Ordering::Relaxed);
                                 attempt += 1;
+                                // A cancelled job is never retried: the
+                                // retry budget is for task faults, not for
+                                // work the caller no longer wants.
+                                if cancel.is_cancelled() {
+                                    fail_job(cancel_error(Phase::Map, task, attempt));
+                                    break;
+                                }
                                 if attempt >= max_attempts || abort.load(Ordering::SeqCst) {
                                     fail_job(JobError {
                                         job: name.to_string(),
@@ -902,6 +1069,8 @@ impl Engine {
                             }
                         }
                     }
+                    slot_nanos.fetch_add(held.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    scheduler.release(job);
                 });
             }
         });
@@ -947,10 +1116,31 @@ impl Engine {
             let merge_nanos = &merge_nanos;
             let group_counter = &group_counter;
             let max_partition = &max_partition;
+            let abort = &abort;
+            let fail_job = &fail_job;
+            let cancel_error = &cancel_error;
+            let queue_wait_nanos = &queue_wait_nanos;
+            let slot_nanos = &slot_nanos;
             for _ in 0..self.config.reduce_tasks {
                 scope.spawn(move || loop {
+                    if abort.load(Ordering::SeqCst) {
+                        break;
+                    }
                     let p = next.fetch_add(1, Ordering::Relaxed);
                     if p >= partitions.len() {
+                        break;
+                    }
+                    if cancel.is_cancelled() {
+                        fail_job(cancel_error(Phase::Reduce, p, 0));
+                        break;
+                    }
+                    let wait = scheduler.acquire(job);
+                    queue_wait_nanos.fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+                    if cancel.is_cancelled() || abort.load(Ordering::SeqCst) {
+                        scheduler.release(job);
+                        if cancel.is_cancelled() {
+                            fail_job(cancel_error(Phase::Reduce, p, 0));
+                        }
                         break;
                     }
                     let runs = std::mem::take(&mut *partitions[p].lock());
@@ -960,6 +1150,8 @@ impl Engine {
                     max_partition.fetch_max(merged.values.len() as u64, Ordering::Relaxed);
                     group_counter.fetch_add(merged.groups.len() as u64, Ordering::Relaxed);
                     *partition_store[p].write() = merged;
+                    slot_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    scheduler.release(job);
                 });
             }
         });
@@ -968,6 +1160,11 @@ impl Engine {
             phase: SpanPhase::Shuffle,
             ts: sink.now_micros(),
         });
+        // The shuffle has no retry loop, so the only failure it can record
+        // is cancellation — surface it before starting the reduce phase.
+        if let Some(err) = job_error.lock().take() {
+            return fail(err);
+        }
         metrics.shuffle_wall = shuffle_start.elapsed();
         metrics.merge_wall = Duration::from_nanos(merge_nanos.load(Ordering::Relaxed));
         metrics.reduce_input_groups = group_counter.load(Ordering::Relaxed);
@@ -1053,6 +1250,20 @@ impl Engine {
                     if task >= partition_store.len() {
                         break;
                     }
+                    if cancel.is_cancelled() {
+                        fail_job(cancel_error(Phase::Reduce, task, 0));
+                        break;
+                    }
+                    let wait = scheduler.acquire(job);
+                    queue_wait_nanos.fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+                    if cancel.is_cancelled() || abort.load(Ordering::SeqCst) {
+                        scheduler.release(job);
+                        if cancel.is_cancelled() {
+                            fail_job(cancel_error(Phase::Reduce, task, 0));
+                        }
+                        break;
+                    }
+                    let held = Instant::now();
                     let mut attempt = 0u32;
                     loop {
                         let outcome = attempt_with_speculation(
@@ -1076,6 +1287,10 @@ impl Engine {
                             Err(e) => {
                                 reduce_task_failures.fetch_add(1, Ordering::Relaxed);
                                 attempt += 1;
+                                if cancel.is_cancelled() {
+                                    fail_job(cancel_error(Phase::Reduce, task, attempt));
+                                    break;
+                                }
                                 if attempt >= max_attempts || abort.load(Ordering::SeqCst) {
                                     fail_job(JobError {
                                         job: name.to_string(),
@@ -1092,6 +1307,8 @@ impl Engine {
                             }
                         }
                     }
+                    slot_nanos.fetch_add(held.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    scheduler.release(job);
                 });
             }
         });
@@ -1111,17 +1328,22 @@ impl Engine {
         metrics.speculative_launched = speculative_launched.load(Ordering::Relaxed);
         metrics.speculative_won = speculative_won.load(Ordering::Relaxed);
         metrics.total_wall = job_start.elapsed();
+        metrics.queue_wait = Duration::from_nanos(queue_wait_nanos.load(Ordering::Relaxed));
+        metrics.slot_wall = Duration::from_nanos(slot_nanos.load(Ordering::Relaxed));
         sink.record(TraceEvent::Counters {
             job,
             ts: sink.now_micros(),
-            metrics: metrics.clone(),
+            metrics: Box::new(metrics.clone()),
         });
         sink.record(TraceEvent::JobEnd {
             job,
             ts: sink.now_micros(),
             error: None,
         });
-        self.metrics.lock().push(metrics);
+        match &collect {
+            Some(hub) => hub.push(metrics),
+            None => self.metrics.lock().push(metrics),
+        }
 
         Ok(output_slots
             .into_iter()
@@ -1130,7 +1352,9 @@ impl Engine {
     }
 
     /// Snapshot of all job metrics plus DFS counters since construction (or
-    /// the last [`Engine::reset_metrics`]).
+    /// the last [`Engine::reset_metrics`]). Jobs that delivered their
+    /// metrics to a [`MetricsHub`] (via [`JobSpec::collect_into`]) are not
+    /// listed here — concurrent submitters read their own hubs instead.
     #[must_use]
     pub fn report(&self) -> MetricsReport {
         MetricsReport {
@@ -1664,5 +1888,153 @@ mod tests {
 
         let _ = e.run(identity_spec("engine-wide"), &input).unwrap();
         assert!(!engine_sink.is_empty(), "engine sink must capture the job");
+    }
+
+    /// Jobs racing for a 2-slot pool produce the same logical counters as
+    /// a solo run: slot scheduling changes *when* tasks run, never what
+    /// they compute.
+    #[test]
+    fn concurrent_jobs_match_solo_counters() {
+        let solo_engine = engine();
+        let input: Vec<u32> = (0..300).collect();
+        let _ = solo_engine.run(identity_spec("solo"), &input).unwrap();
+        let solo = solo_engine.report().jobs[0].clone();
+
+        let e = Engine::new(EngineConfig {
+            map_tasks: 4,
+            reduce_tasks: 4,
+            slots: 2,
+            ..EngineConfig::default()
+        });
+        let hub = MetricsHub::new();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let e = &e;
+                let input = &input;
+                let hub = hub.clone();
+                s.spawn(move || {
+                    let _ = e
+                        .run(
+                            identity_spec(&format!("contender-{i}")).collect_into(hub),
+                            input,
+                        )
+                        .unwrap();
+                });
+            }
+        });
+        let jobs = hub.take();
+        assert_eq!(jobs.len(), 4);
+        for j in &jobs {
+            assert_eq!(j.map_input_records, solo.map_input_records);
+            assert_eq!(j.map_output_records, solo.map_output_records);
+            assert_eq!(j.reduce_input_records, solo.reduce_input_records);
+            assert_eq!(j.reduce_output_records, solo.reduce_output_records);
+            assert_eq!(j.reduce_input_groups, solo.reduce_input_groups);
+            assert_eq!(j.shuffle_bytes, solo.shuffle_bytes);
+            assert_eq!(j.spill_runs, solo.spill_runs);
+        }
+        // Hub-collected jobs bypass the engine-global metrics vec.
+        assert_eq!(e.report().num_jobs(), 0);
+        // Every slot went back to the pool.
+        assert_eq!(e.scheduler().available(), e.scheduler().slots());
+    }
+
+    /// A token cancelled before submission fails the job up front, without
+    /// running any tasks, and the error names the job and the source.
+    #[test]
+    fn pre_cancelled_job_fails_before_any_task() {
+        let e = engine();
+        let token = CancelToken::new();
+        token.cancel();
+        let input: Vec<u32> = (0..50).collect();
+        let err = e
+            .run(identity_spec("doomed").cancel(token), &input)
+            .unwrap_err();
+        assert_eq!(
+            err.kind,
+            JobErrorKind::Cancelled {
+                deadline_exceeded: false
+            }
+        );
+        assert!(err.to_string().contains("job `doomed`"));
+        assert!(err.to_string().contains("by caller"));
+        assert_eq!(err.task, 0);
+        assert_eq!(err.attempts, 0, "no attempt may have launched");
+        assert_eq!(e.scheduler().available(), e.scheduler().slots());
+    }
+
+    /// Cancelling from another thread mid-map aborts the job promptly with
+    /// a `Cancelled` error (not a retried task fault) and releases slots.
+    #[test]
+    fn mid_run_cancel_aborts_job() {
+        let e = engine();
+        let token = CancelToken::new();
+        let input: Vec<u32> = (0..4_000).collect();
+        let spec = JobSpec::new("long-haul")
+            .reducers(4)
+            .cancel(token.clone())
+            .map(|&x: &u32, emit| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                emit(x, x)
+            })
+            .partition(|&k: &u32, n| k as usize % n)
+            .reduce(|&k: &u32, _: &[u32], out| out(k));
+        let err = std::thread::scope(|s| {
+            let handle = s.spawn(|| e.run(spec, &input));
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            token.cancel();
+            handle.join().unwrap().unwrap_err()
+        });
+        assert_eq!(
+            err.kind,
+            JobErrorKind::Cancelled {
+                deadline_exceeded: false
+            }
+        );
+        assert_eq!(e.scheduler().available(), e.scheduler().slots());
+    }
+
+    /// A deadline set through the spec builder trips the token mid-run and
+    /// the error reports `deadline_exceeded`.
+    #[test]
+    fn deadline_cancels_and_is_attributed() {
+        let e = engine();
+        let input: Vec<u32> = (0..4_000).collect();
+        let err = e
+            .run(
+                JobSpec::new("overdue")
+                    .reducers(4)
+                    .deadline(std::time::Duration::from_millis(2))
+                    .map(|&x: &u32, emit| {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        emit(x, x)
+                    })
+                    .partition(|&k: &u32, n| k as usize % n)
+                    .reduce(|&k: &u32, _: &[u32], out| out(k)),
+                &input,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err.kind,
+            JobErrorKind::Cancelled {
+                deadline_exceeded: true
+            }
+        );
+        assert!(err.to_string().contains("by deadline"));
+        assert_eq!(e.scheduler().available(), e.scheduler().slots());
+    }
+
+    /// Slot occupancy is metered: a completed job reports time spent
+    /// holding slots, and a solo job on an auto-sized pool never queues.
+    #[test]
+    fn slot_accounting_reaches_metrics() {
+        let e = engine();
+        let input: Vec<u32> = (0..500).collect();
+        let _ = e.run(identity_spec("metered"), &input).unwrap();
+        let j = &e.report().jobs[0];
+        assert!(
+            j.slot_wall > Duration::ZERO,
+            "tasks must be metered while holding slots"
+        );
     }
 }

@@ -346,6 +346,14 @@ pub enum JobErrorKind {
         /// The number of partitions the job was configured with.
         num_partitions: usize,
     },
+    /// The job's [`CancelToken`](crate::CancelToken) was tripped — by the
+    /// submitter (client disconnect, explicit abort) or by a per-job
+    /// deadline. Never retried: cancellation is a caller decision, not a
+    /// task fault, so the retry budget does not apply.
+    Cancelled {
+        /// `true` when the deadline expired, `false` on an explicit cancel.
+        deadline_exceeded: bool,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -364,6 +372,18 @@ impl std::fmt::Display for JobError {
                 "job `{}`: partition_fn returned {partition} >= {num_partitions} \
                  ({} task {})",
                 self.job, self.phase, self.task
+            ),
+            JobErrorKind::Cancelled { deadline_exceeded } => write!(
+                f,
+                "job `{}`: cancelled {} at {} task {}",
+                self.job,
+                if *deadline_exceeded {
+                    "by deadline"
+                } else {
+                    "by caller"
+                },
+                self.phase,
+                self.task
             ),
         }
     }
@@ -469,9 +489,58 @@ mod tests {
         };
         let s = e.to_string();
         assert!(
+            s.contains("job `j`"),
+            "display must carry the job identity: {s}"
+        );
+        assert!(
             s.contains("reduce task 5") && s.contains("4 attempts"),
             "{s}"
         );
+    }
+
+    #[test]
+    fn every_error_kind_names_its_job() {
+        // With concurrent jobs a bare "map task 3 failed" is unattributable;
+        // every kind's display must lead with the JobSpec name.
+        let kinds = [
+            JobErrorKind::AttemptsExhausted {
+                last_error: "x".into(),
+            },
+            JobErrorKind::BadPartitioner {
+                partition: 9,
+                num_partitions: 4,
+            },
+            JobErrorKind::Cancelled {
+                deadline_exceeded: false,
+            },
+            JobErrorKind::Cancelled {
+                deadline_exceeded: true,
+            },
+        ];
+        for kind in kinds {
+            let e = JobError {
+                job: "table2-crep-round1".into(),
+                phase: Phase::Map,
+                task: 3,
+                attempts: 1,
+                kind,
+            };
+            let s = e.to_string();
+            assert!(s.contains("job `table2-crep-round1`"), "{s}");
+        }
+    }
+
+    #[test]
+    fn cancelled_display_distinguishes_deadline() {
+        let mk = |deadline_exceeded| JobError {
+            job: "q".into(),
+            phase: Phase::Map,
+            task: 0,
+            attempts: 0,
+            kind: JobErrorKind::Cancelled { deadline_exceeded },
+        };
+        assert!(mk(true).to_string().contains("by deadline"));
+        assert!(mk(false).to_string().contains("by caller"));
     }
 
     #[test]

@@ -71,11 +71,15 @@ mod engine;
 mod fault;
 mod metrics;
 mod record;
+mod schedule;
 mod trace;
 
-pub use dfs::{Dfs, DfsError};
+pub use dfs::{DatasetFingerprint, Dfs, DfsError};
 pub use engine::{Engine, EngineConfig, JobSpec, Unset};
 pub use fault::{FaultInjector, FaultPlan, ForcedFault, JobError, JobErrorKind, Phase};
-pub use metrics::{CostModel, JobMetrics, MetricsReport};
-pub use record::RecordSize;
-pub use trace::{validate_json, AttemptOutcome, RaceWinner, SpanPhase, TraceEvent, TraceSink};
+pub use metrics::{CostModel, JobMetrics, MetricsHub, MetricsReport};
+pub use record::{Fnv64, RecordSize, StableHash};
+pub use schedule::{CancelToken, JobRegistration, SlotScheduler};
+pub use trace::{
+    json_escape, validate_json, AttemptOutcome, RaceWinner, SpanPhase, TraceEvent, TraceSink,
+};

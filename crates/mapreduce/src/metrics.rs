@@ -97,6 +97,55 @@ pub struct JobMetrics {
     pub reduce_wall: Duration,
     /// End-to-end job wall time.
     pub total_wall: Duration,
+    /// Time the job's task claims spent waiting for a scheduler slot,
+    /// summed over tasks. Zero when the job had the engine to itself (the
+    /// default slot pool admits a solo job's full parallelism).
+    pub queue_wait: Duration,
+    /// Time the job's tasks held scheduler slots, summed over tasks —
+    /// the job's occupancy of the shared worker pool.
+    pub slot_wall: Duration,
+    /// Stable fingerprint of the job's input dataset
+    /// ([`DatasetFingerprint`](crate::DatasetFingerprint)), carried through
+    /// from [`JobSpec::input_fingerprint`](crate::JobSpec::input_fingerprint);
+    /// `0` when the submitter attached none.
+    pub input_fingerprint: u64,
+}
+
+/// A cloneable per-run metrics collector.
+///
+/// With one engine multiplexing concurrent jobs, the engine-global metrics
+/// vector interleaves unrelated runs. A submitter that attaches a hub via
+/// [`JobSpec::collect_into`](crate::JobSpec::collect_into) gets exactly its
+/// own jobs delivered here instead (the engine-global vector is then left
+/// untouched, so long-lived services do not accumulate history).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHub {
+    jobs: std::sync::Arc<parking_lot::Mutex<Vec<JobMetrics>>>,
+}
+
+impl MetricsHub {
+    /// Creates an empty hub.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one finished job's metrics (called by the engine).
+    pub fn push(&self, metrics: JobMetrics) {
+        self.jobs.lock().push(metrics);
+    }
+
+    /// The jobs collected so far, in completion order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<JobMetrics> {
+        self.jobs.lock().clone()
+    }
+
+    /// Removes and returns the jobs collected so far.
+    #[must_use]
+    pub fn take(&self) -> Vec<JobMetrics> {
+        std::mem::take(&mut *self.jobs.lock())
+    }
 }
 
 /// Aggregated metrics over a sequence of jobs (one distributed join run may
@@ -155,7 +204,7 @@ impl MetricsReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5}",
+            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5}",
             "job",
             "map ms",
             "sort ms",
@@ -163,6 +212,7 @@ impl MetricsReport {
             "merge ms",
             "red ms",
             "total ms",
+            "wait ms",
             "kv pairs",
             "shuffle B",
             "runs",
@@ -173,7 +223,7 @@ impl MetricsReport {
         for j in &self.jobs {
             let _ = writeln!(
                 out,
-                "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5}",
+                "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5}",
                 j.job_name,
                 ms(j.map_wall),
                 ms(j.sort_wall),
@@ -181,6 +231,7 @@ impl MetricsReport {
                 ms(j.merge_wall),
                 ms(j.reduce_wall),
                 ms(j.total_wall),
+                ms(j.queue_wait),
                 j.map_output_records,
                 j.shuffle_bytes,
                 j.spill_runs,
@@ -193,6 +244,7 @@ impl MetricsReport {
             total.merge_wall += j.merge_wall;
             total.reduce_wall += j.reduce_wall;
             total.total_wall += j.total_wall;
+            total.queue_wait += j.queue_wait;
             total.map_output_records += j.map_output_records;
             total.shuffle_bytes += j.shuffle_bytes;
             total.spill_runs += j.spill_runs;
@@ -201,7 +253,7 @@ impl MetricsReport {
         }
         let _ = writeln!(
             out,
-            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5}",
+            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5}",
             format!("total ({} jobs)", self.jobs.len()),
             ms(total.map_wall),
             ms(total.sort_wall),
@@ -209,6 +261,7 @@ impl MetricsReport {
             ms(total.merge_wall),
             ms(total.reduce_wall),
             ms(total.total_wall),
+            ms(total.queue_wait),
             total.map_output_records,
             total.shuffle_bytes,
             total.spill_runs,

@@ -70,9 +70,188 @@ impl<A: RecordSize, B: RecordSize, C: RecordSize> RecordSize for (A, B, C) {
     }
 }
 
+impl<A: RecordSize, B: RecordSize, C: RecordSize, D: RecordSize> RecordSize for (A, B, C, D) {
+    fn size_bytes(&self) -> usize {
+        self.0.size_bytes() + self.1.size_bytes() + self.2.size_bytes() + self.3.size_bytes()
+    }
+}
+
 impl<T: RecordSize, const N: usize> RecordSize for [T; N] {
     fn size_bytes(&self) -> usize {
         self.iter().map(RecordSize::size_bytes).sum()
+    }
+}
+
+/// Incremental [FNV-1a] 64-bit hasher for [`StableHash`].
+///
+/// Chosen over `std::hash::Hasher` because dataset fingerprints must be
+/// *stable*: reproducible across processes, platforms and releases, so
+/// that a result cache keyed on them stays valid. `DefaultHasher` makes no
+/// such promise.
+///
+/// [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(Self::OFFSET_BASIS)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds one `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The hash of everything fed so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A platform- and process-stable content hash, fed into [`Fnv64`].
+///
+/// Implemented for every record type the DFS stores; `Dfs::write` folds
+/// each record into a per-dataset
+/// [`DatasetFingerprint`](crate::DatasetFingerprint). Floats hash their IEEE
+/// bit patterns (`to_bits`), so `-0.0` and `0.0` fingerprint differently —
+/// fingerprints track *bytes*, not numeric equivalence classes.
+pub trait StableHash {
+    /// Folds this record into the hasher.
+    fn stable_hash(&self, h: &mut Fnv64);
+}
+
+macro_rules! impl_stable_int {
+    ($($t:ty),*) => {
+        $(impl StableHash for $t {
+            #[allow(clippy::cast_sign_loss, clippy::cast_lossless)]
+            fn stable_hash(&self, h: &mut Fnv64) {
+                h.write_u64(*self as u64);
+            }
+        })*
+    };
+}
+
+impl_stable_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StableHash for f64 {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        h.write_u64(self.to_bits());
+    }
+}
+
+impl StableHash for f32 {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        h.write_u64(u64::from(self.to_bits()));
+    }
+}
+
+impl StableHash for bool {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        h.write(&[u8::from(*self)]);
+    }
+}
+
+impl StableHash for char {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        h.write_u64(u64::from(*self));
+    }
+}
+
+impl StableHash for String {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        h.write_u64(self.len() as u64);
+        h.write(self.as_bytes());
+    }
+}
+
+impl StableHash for &str {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        h.write_u64(self.len() as u64);
+        h.write(self.as_bytes());
+    }
+}
+
+impl StableHash for () {
+    fn stable_hash(&self, _h: &mut Fnv64) {}
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        match self {
+            None => h.write(&[0]),
+            Some(v) => {
+                h.write(&[1]);
+                v.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        h.write_u64(self.len() as u64);
+        for v in self {
+            v.stable_hash(h);
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Box<T> {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        self.as_ref().stable_hash(h);
+    }
+}
+
+impl<A: StableHash, B: StableHash> StableHash for (A, B) {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        self.0.stable_hash(h);
+        self.1.stable_hash(h);
+    }
+}
+
+impl<A: StableHash, B: StableHash, C: StableHash> StableHash for (A, B, C) {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        self.0.stable_hash(h);
+        self.1.stable_hash(h);
+        self.2.stable_hash(h);
+    }
+}
+
+impl<A: StableHash, B: StableHash, C: StableHash, D: StableHash> StableHash for (A, B, C, D) {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        self.0.stable_hash(h);
+        self.1.stable_hash(h);
+        self.2.stable_hash(h);
+        self.3.stable_hash(h);
+    }
+}
+
+impl<T: StableHash, const N: usize> StableHash for [T; N] {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        for v in self {
+            v.stable_hash(h);
+        }
     }
 }
 

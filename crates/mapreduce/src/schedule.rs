@@ -1,0 +1,432 @@
+//! Fair-share slot scheduling and cooperative cancellation.
+//!
+//! Up to this layer the engine let one job own every worker thread; the
+//! serving path multiplexes many concurrent [`Engine::run`] calls over one
+//! engine, so task execution is now gated by a fixed pool of *slots* (the
+//! analogue of Hadoop's map/reduce slots). A [`SlotScheduler`] hands slots
+//! to the registered job that is furthest below its fair share — highest
+//! priority first, then smallest `in_use / share` ratio — so a high-share
+//! job gets proportionally more concurrent tasks without starving the
+//! others.
+//!
+//! [`CancelToken`] is the cooperative cancellation handle threaded through
+//! the map/shuffle/reduce task loops: a cancelled (or past-deadline) job
+//! stops claiming tasks, is never retried, and releases its slots within
+//! one task granularity.
+//!
+//! [`Engine::run`]: crate::engine::Engine::run
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Cooperative cancellation handle shared between a job's submitter and the
+/// engine's task loops.
+///
+/// Cloning is cheap (an [`Arc`]); all clones observe the same state. A job
+/// is considered cancelled once [`CancelToken::cancel`] has been called *or*
+/// its deadline (if any) has passed — both latch: once observed cancelled, a
+/// token stays cancelled.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    has_deadline: AtomicBool,
+    deadline_hit: AtomicBool,
+    deadline: parking_lot::Mutex<Option<Instant>>,
+}
+
+impl CancelToken {
+    /// Creates a token that is not cancelled and has no deadline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cancels the job(s) observing this token. Idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Relaxed);
+    }
+
+    /// Sets (or tightens) an absolute deadline; the token reports cancelled
+    /// once `Instant::now()` reaches it. A later deadline never loosens an
+    /// earlier one.
+    pub fn set_deadline(&self, deadline: Instant) {
+        let mut slot = self.inner.deadline.lock();
+        match *slot {
+            Some(existing) if existing <= deadline => {}
+            _ => *slot = Some(deadline),
+        }
+        self.inner.has_deadline.store(true, Relaxed);
+    }
+
+    /// Sets a deadline `timeout` from now — see [`CancelToken::set_deadline`].
+    pub fn deadline_in(&self, timeout: Duration) {
+        self.set_deadline(Instant::now() + timeout);
+    }
+
+    /// Whether the token has been cancelled explicitly or by deadline.
+    /// Latching: once this returns `true` it always will.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Relaxed) || self.inner.deadline_hit.load(Relaxed) {
+            return true;
+        }
+        if !self.inner.has_deadline.load(Relaxed) {
+            return false;
+        }
+        let hit = self
+            .inner
+            .deadline
+            .lock()
+            .is_some_and(|d| Instant::now() >= d);
+        if hit {
+            self.inner.deadline_hit.store(true, Relaxed);
+        }
+        hit
+    }
+
+    /// Whether cancellation was triggered by the deadline (as opposed to an
+    /// explicit [`CancelToken::cancel`] call). Meaningful after
+    /// [`CancelToken::is_cancelled`] has returned `true`.
+    #[must_use]
+    pub fn cancelled_by_deadline(&self) -> bool {
+        self.inner.deadline_hit.load(Relaxed) && !self.inner.cancelled.load(Relaxed)
+    }
+}
+
+/// A fixed pool of task slots shared by every job an engine runs, handed
+/// out fair-share style.
+///
+/// Jobs [`register`](SlotScheduler::register) with a priority and a share,
+/// then [`acquire`](SlotScheduler::acquire) one slot per concurrently
+/// running task and [`release`](SlotScheduler::release) it when the task
+/// (including all its retries and speculative duplicates) finishes. When a
+/// slot frees up it goes to the waiting job with the highest priority;
+/// among equal priorities, to the job with the smallest weighted usage
+/// `in_use / share` (compared exactly by cross-multiplication), with
+/// registration order as the final tie-break.
+#[derive(Debug)]
+pub struct SlotScheduler {
+    slots: usize,
+    state: Mutex<SchedState>,
+    freed: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct SchedState {
+    in_use_total: usize,
+    next_seq: u64,
+    jobs: HashMap<u64, JobSlotState>,
+}
+
+#[derive(Debug)]
+struct JobSlotState {
+    priority: i32,
+    share: u32,
+    in_use: usize,
+    waiting: usize,
+    seq: u64,
+}
+
+impl SlotScheduler {
+    /// Creates a scheduler with `slots` task slots.
+    ///
+    /// # Panics
+    /// Panics if `slots` is zero.
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "scheduler needs at least one slot");
+        Self {
+            slots,
+            state: Mutex::new(SchedState::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Total number of slots in the pool.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Slots currently free (not held by any job).
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.slots - self.state.lock().unwrap().in_use_total
+    }
+
+    /// Registers a job with the scheduler. The returned guard unregisters
+    /// the job on drop; every `acquire` must be matched by a `release`
+    /// before the guard drops.
+    ///
+    /// `share` is clamped to at least 1.
+    #[must_use]
+    pub fn register(&self, job: u64, priority: i32, share: u32) -> JobRegistration<'_> {
+        let mut st = self.state.lock().unwrap();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.jobs.insert(
+            job,
+            JobSlotState {
+                priority,
+                share: share.max(1),
+                in_use: 0,
+                waiting: 0,
+                seq,
+            },
+        );
+        JobRegistration { sched: self, job }
+    }
+
+    /// Blocks until the calling job is entitled to a free slot, takes it,
+    /// and returns how long the call waited (the task's queue wait).
+    ///
+    /// # Panics
+    /// Panics if `job` is not registered.
+    pub fn acquire(&self, job: u64) -> Duration {
+        let start = Instant::now();
+        let mut st = self.state.lock().unwrap();
+        st.jobs
+            .get_mut(&job)
+            .expect("acquire on an unregistered job")
+            .waiting += 1;
+        loop {
+            if st.in_use_total < self.slots && Self::next_job(&st) == Some(job) {
+                let j = st.jobs.get_mut(&job).unwrap();
+                j.waiting -= 1;
+                j.in_use += 1;
+                st.in_use_total += 1;
+                // Another slot may still be free for a different waiter.
+                self.freed.notify_all();
+                return start.elapsed();
+            }
+            st = self.freed.wait(st).unwrap();
+        }
+    }
+
+    /// Returns a slot taken by [`SlotScheduler::acquire`].
+    ///
+    /// # Panics
+    /// Panics if `job` is not registered or holds no slot.
+    pub fn release(&self, job: u64) {
+        let mut st = self.state.lock().unwrap();
+        let j = st
+            .jobs
+            .get_mut(&job)
+            .expect("release on an unregistered job");
+        assert!(j.in_use > 0, "release without a matching acquire");
+        j.in_use -= 1;
+        st.in_use_total -= 1;
+        self.freed.notify_all();
+    }
+
+    /// The waiting job next in line for a slot, if any.
+    fn next_job(st: &SchedState) -> Option<u64> {
+        st.jobs
+            .iter()
+            .filter(|(_, j)| j.waiting > 0)
+            .min_by(|(_, a), (_, b)| {
+                // Highest priority first; then lowest weighted usage
+                // (a.in_use / a.share < b.in_use / b.share, cross-multiplied
+                // to stay exact in integers); then registration order.
+                b.priority
+                    .cmp(&a.priority)
+                    .then_with(|| {
+                        let au = a.in_use as u64 * u64::from(b.share);
+                        let bu = b.in_use as u64 * u64::from(a.share);
+                        au.cmp(&bu)
+                    })
+                    .then_with(|| a.seq.cmp(&b.seq))
+            })
+            .map(|(id, _)| *id)
+    }
+
+    fn unregister(&self, job: u64) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(j) = st.jobs.remove(&job) {
+            debug_assert_eq!(j.in_use, 0, "job unregistered while holding slots");
+            debug_assert_eq!(j.waiting, 0, "job unregistered while waiting");
+        }
+        // A departing job changes who is next in line.
+        self.freed.notify_all();
+    }
+}
+
+/// Guard returned by [`SlotScheduler::register`]; unregisters the job on
+/// drop.
+#[derive(Debug)]
+pub struct JobRegistration<'a> {
+    sched: &'a SlotScheduler,
+    job: u64,
+}
+
+impl Drop for JobRegistration<'_> {
+    fn drop(&mut self) {
+        self.sched.unregister(self.job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn cancel_latches_and_reports_source() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(!t.cancelled_by_deadline());
+        let clone = t.clone();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_trips_token() {
+        let t = CancelToken::new();
+        t.deadline_in(Duration::from_millis(5));
+        assert!(!t.cancelled_by_deadline());
+        while !t.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(t.cancelled_by_deadline());
+    }
+
+    #[test]
+    fn tighter_deadline_wins() {
+        let t = CancelToken::new();
+        t.deadline_in(Duration::from_millis(2));
+        t.deadline_in(Duration::from_secs(3600)); // must not loosen
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn solo_job_never_waits() {
+        let s = SlotScheduler::new(2);
+        let _reg = s.register(1, 0, 1);
+        let w1 = s.acquire(1);
+        let w2 = s.acquire(1);
+        assert_eq!(s.available(), 0);
+        assert!(w1 < Duration::from_secs(1) && w2 < Duration::from_secs(1));
+        s.release(1);
+        s.release(1);
+        assert_eq!(s.available(), 2);
+    }
+
+    #[test]
+    fn contended_jobs_all_complete() {
+        // One slot, two jobs pulling as fast as they can: no deadlock, no
+        // lost wakeups, every acquire eventually granted.
+        let s = SlotScheduler::new(1);
+        let _a = s.register(1, 0, 3);
+        let _b = s.register(2, 0, 1);
+        let grants = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        std::thread::scope(|scope| {
+            for (idx, job) in [(0usize, 1u64), (1, 2)] {
+                let grants = &grants;
+                let s = &s;
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        s.acquire(job);
+                        grants[idx].fetch_add(1, Relaxed);
+                        std::thread::sleep(Duration::from_micros(200));
+                        s.release(job);
+                    }
+                });
+            }
+        });
+        assert_eq!(grants[0].load(Relaxed), 20);
+        assert_eq!(grants[1].load(Relaxed), 20);
+    }
+
+    #[test]
+    fn fair_share_picks_least_loaded_job() {
+        let s = SlotScheduler::new(4);
+        let _a = s.register(1, 0, 3);
+        let _b = s.register(2, 0, 1);
+        // Job 1 holds 2 slots, job 2 holds 1: weighted usage 2/3 vs 1/1,
+        // so the next slot goes to job 1.
+        s.acquire(1);
+        s.acquire(1);
+        s.acquire(2);
+        let st = s.state.lock().unwrap();
+        assert_eq!(SlotScheduler::next_job(&st), None); // nobody waiting
+        drop(st);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                s.acquire(1); // 2*1 < 1*3 → job 1 is next in line
+                done.store(true, Relaxed);
+            });
+            while !done.load(Relaxed) {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        });
+        assert_eq!(s.available(), 0);
+        for _ in 0..3 {
+            s.release(1);
+        }
+        s.release(2);
+    }
+
+    #[test]
+    fn priority_beats_share() {
+        let s = SlotScheduler::new(1);
+        let _low = s.register(1, 0, 100);
+        let _high = s.register(2, 5, 1);
+        s.acquire(1); // occupy the only slot
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                s.acquire(2);
+                order.lock().unwrap().push(2u64);
+                s.release(2);
+            });
+            // Give the high-priority waiter time to park.
+            std::thread::sleep(Duration::from_millis(10));
+            scope.spawn(|| {
+                s.acquire(1);
+                order.lock().unwrap().push(1u64);
+                s.release(1);
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            s.release(1); // free the slot: priority 5 must win it
+        });
+        assert_eq!(*order.lock().unwrap(), vec![2, 1]);
+    }
+
+    #[test]
+    fn acquire_reports_queue_wait() {
+        let s = SlotScheduler::new(1);
+        let _reg = s.register(7, 0, 1);
+        s.acquire(7);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let waited = s.acquire(7);
+                assert!(waited >= Duration::from_millis(5));
+                s.release(7);
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            s.release(7);
+        });
+        assert_eq!(s.available(), 1);
+    }
+
+    #[test]
+    fn registration_drop_unregisters() {
+        let s = SlotScheduler::new(1);
+        {
+            let _reg = s.register(1, 0, 1);
+            assert!(s.state.lock().unwrap().jobs.contains_key(&1));
+        }
+        assert!(s.state.lock().unwrap().jobs.is_empty());
+    }
+}

@@ -221,8 +221,9 @@ pub enum TraceEvent {
         job: u64,
         /// Snapshot timestamp (µs, at job end).
         ts: u64,
-        /// The job's metrics.
-        metrics: JobMetrics,
+        /// The job's metrics (boxed: the snapshot dwarfs every other
+        /// variant, and one is recorded per job, not per event).
+        metrics: Box<JobMetrics>,
     },
 }
 
@@ -391,7 +392,8 @@ fn metrics_json_fields(m: &JobMetrics) -> String {
          \"map_task_failures\":{},\"reduce_task_failures\":{},\"retries\":{},\
          \"speculative_launched\":{},\"speculative_won\":{},\"spill_runs\":{},\
          \"map_wall_us\":{},\"sort_wall_us\":{},\"shuffle_wall_us\":{},\"merge_wall_us\":{},\
-         \"reduce_wall_us\":{},\"total_wall_us\":{}",
+         \"reduce_wall_us\":{},\"total_wall_us\":{},\"queue_wait_us\":{},\"slot_wall_us\":{},\
+         \"input_fingerprint\":{}",
         json_escape(&m.job_name),
         m.map_input_records,
         m.map_output_records,
@@ -412,6 +414,9 @@ fn metrics_json_fields(m: &JobMetrics) -> String {
         m.merge_wall.as_micros(),
         m.reduce_wall.as_micros(),
         m.total_wall.as_micros(),
+        m.queue_wait.as_micros(),
+        m.slot_wall.as_micros(),
+        m.input_fingerprint,
     )
 }
 
@@ -821,12 +826,12 @@ mod tests {
         s.record(TraceEvent::Counters {
             job: 3,
             ts: 20,
-            metrics: JobMetrics {
+            metrics: Box::new(JobMetrics {
                 job_name: "j".into(),
                 map_output_records: 7,
                 map_wall: Duration::from_micros(123),
                 ..JobMetrics::default()
-            },
+            }),
         });
         let jsonl = s.to_jsonl();
         assert_eq!(jsonl.lines().count(), 3);

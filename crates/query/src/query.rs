@@ -253,6 +253,62 @@ impl Query {
         })
     }
 
+    /// The canonical form of this query: a semantically identical query
+    /// with a unique spelling, so that trivially-different phrasings of
+    /// the same join compare (and hash, via their `Display` rendering) equal.
+    /// Result caches key on the canonical text.
+    ///
+    /// Canonicalization (idempotent):
+    /// 1. symmetric conjuncts are oriented with their endpoint names in
+    ///    lexicographic order (`Contains` is directional and kept as-is),
+    /// 2. conjuncts are sorted by (predicate kind, distance bit pattern,
+    ///    left name, right name),
+    /// 3. duplicate conjuncts are dropped (conjunction is idempotent),
+    /// 4. relation positions are renumbered by first appearance in the
+    ///    sorted conjunct list.
+    #[must_use]
+    pub fn canonical(&self) -> Query {
+        fn rank(p: &Predicate) -> u8 {
+            match p {
+                Predicate::Overlap => 0,
+                Predicate::Range(_) => 1,
+                Predicate::Contains => 2,
+            }
+        }
+        let mut conds: Vec<(Predicate, &str, &str)> = self
+            .triples
+            .iter()
+            .map(|t| {
+                let (l, r) = (self.name(t.left), self.name(t.right));
+                if t.predicate.is_symmetric() && l > r {
+                    (t.predicate, r, l)
+                } else {
+                    (t.predicate, l, r)
+                }
+            })
+            .collect();
+        conds.sort_by(|a, b| {
+            rank(&a.0)
+                .cmp(&rank(&b.0))
+                .then_with(|| a.0.distance().to_bits().cmp(&b.0.distance().to_bits()))
+                .then_with(|| a.1.cmp(b.1))
+                .then_with(|| a.2.cmp(b.2))
+        });
+        conds.dedup_by(|a, b| {
+            rank(&a.0) == rank(&b.0)
+                && a.0.distance().to_bits() == b.0.distance().to_bits()
+                && a.1 == b.1
+                && a.2 == b.2
+        });
+        let mut builder = Query::builder();
+        for (p, l, r) in conds {
+            builder = builder.condition(p, l, r);
+        }
+        builder
+            .build()
+            .expect("canonicalization preserves query validity")
+    }
+
     /// Checks a **full** tuple (one rectangle per position) against all
     /// join conditions.
     #[must_use]
@@ -518,6 +574,101 @@ mod tests {
         let text = q.to_string();
         assert_eq!(text, "R1 overlaps R2 and R2 within 100 of R3");
         assert_eq!(Query::parse(&text).unwrap(), q);
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let queries = [
+            chain3(),
+            Query::builder()
+                .range("B", "A", 50.0)
+                .contains("B", "C")
+                .build()
+                .unwrap(),
+            Query::builder()
+                .overlap("R2", "R1")
+                .overlap("R3", "R2")
+                .overlap("R1", "R3")
+                .build()
+                .unwrap(),
+        ];
+        for q in queries {
+            let c = q.canonical();
+            assert_eq!(c.canonical(), c, "canonical must be a fixed point");
+        }
+    }
+
+    #[test]
+    fn spelling_variants_share_one_canonical_form() {
+        // Same join, three spellings: flipped symmetric endpoints and
+        // reordered conjuncts.
+        let a = Query::builder()
+            .overlap("R1", "R2")
+            .range("R2", "R3", 100.0)
+            .build()
+            .unwrap();
+        let b = Query::builder()
+            .range("R3", "R2", 100.0)
+            .overlap("R2", "R1")
+            .build()
+            .unwrap();
+        let c = Query::builder()
+            .declare("R3")
+            .declare("R2")
+            .overlap("R2", "R1")
+            .range("R2", "R3", 100.0)
+            .build()
+            .unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.canonical(), c.canonical());
+        assert_eq!(a.canonical().to_string(), b.canonical().to_string());
+        // Distinct queries stay distinct.
+        let other = Query::builder()
+            .overlap("R1", "R2")
+            .range("R2", "R3", 101.0)
+            .build()
+            .unwrap();
+        assert_ne!(a.canonical(), other.canonical());
+    }
+
+    #[test]
+    fn canonical_preserves_contains_direction() {
+        // Contains is directional: `B contains A` must NOT reorient to
+        // `A contains B` even though "A" < "B".
+        let q = Query::builder()
+            .contains("B", "A")
+            .overlap("A", "B")
+            .build()
+            .unwrap();
+        let c = q.canonical();
+        let t = c
+            .triples()
+            .iter()
+            .find(|t| t.predicate == Predicate::Contains)
+            .unwrap();
+        assert_eq!(c.name(t.left), "B");
+        assert_eq!(c.name(t.right), "A");
+        // ...while its symmetric conjunct was reoriented.
+        let o = c
+            .triples()
+            .iter()
+            .find(|t| t.predicate == Predicate::Overlap)
+            .unwrap();
+        assert_eq!(c.name(o.left), "A");
+    }
+
+    #[test]
+    fn canonical_dedups_repeated_conjuncts() {
+        let q = Query::builder()
+            .overlap("R1", "R2")
+            .overlap("R2", "R1")
+            .overlap("R1", "R2")
+            .range("R2", "R3", 5.0)
+            .build()
+            .unwrap();
+        let c = q.canonical();
+        assert_eq!(c.triples().len(), 2);
+        assert_eq!(c.canonical(), c);
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! A byte-budgeted LRU cache for join results.
+//!
+//! The key is the *canonical* query text plus the fingerprints of the
+//! datasets bound to its canonical positions — so two clients spelling
+//! the same join differently (`"B ov A"` vs `"A overlaps B"`, reordered
+//! conjuncts, duplicated predicates) share one entry, while any change to
+//! the underlying data (a different seed, one perturbed rectangle)
+//! changes a [`DatasetFingerprint`](mwsj_core::mapreduce::DatasetFingerprint)
+//! and misses cleanly.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Cache key: canonicalized query + per-position dataset fingerprints +
+/// execution knobs that change the observable result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical query text ([`mwsj_query::Query::canonical`] rendering).
+    pub query: String,
+    /// Dataset fingerprints in canonical position order.
+    pub fingerprints: Vec<u64>,
+    /// Wire name of the algorithm (counters differ per algorithm).
+    pub algorithm: String,
+    /// Whether tuples were materialized.
+    pub count_only: bool,
+}
+
+/// A cached join result, in canonical position order.
+#[derive(Debug)]
+pub struct CachedResult {
+    /// Sorted result tuples, ids per *canonical* position.
+    pub tuples: Vec<Vec<u32>>,
+    /// Total tuples (meaningful in count-only mode too).
+    pub tuple_count: u64,
+    /// Pre-rendered per-job logical counters (JSON array text).
+    pub counters: String,
+}
+
+struct Entry {
+    value: Arc<CachedResult>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct CacheState {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Lookups that returned an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to stay under budget.
+    pub evictions: u64,
+    /// Bytes currently charged.
+    pub bytes: usize,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// The byte-budgeted LRU result cache.
+pub struct ResultCache {
+    budget: usize,
+    state: Mutex<CacheState>,
+}
+
+impl ResultCache {
+    /// Creates a cache with the given byte budget. A zero budget disables
+    /// caching (every lookup misses, every insert is dropped).
+    #[must_use]
+    pub fn new(budget: usize) -> Self {
+        Self {
+            budget,
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                tick: 0,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    fn cost(key: &CacheKey, value: &CachedResult) -> usize {
+        let key_bytes = key.query.len() + key.fingerprints.len() * 8 + key.algorithm.len();
+        let tuple_bytes: usize = value.tuples.iter().map(|t| t.len() * 4 + 24).sum();
+        key_bytes + tuple_bytes + value.counters.len() + 64
+    }
+
+    /// Looks up a result, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedResult>> {
+        let mut s = self.state.lock();
+        s.tick += 1;
+        let tick = s.tick;
+        match s.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                let v = Arc::clone(&e.value);
+                s.hits += 1;
+                Some(v)
+            }
+            None => {
+                s.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a result, evicting least-recently-used entries until the
+    /// budget holds. Results larger than the whole budget are not cached.
+    pub fn insert(&self, key: CacheKey, value: CachedResult) -> Arc<CachedResult> {
+        let bytes = Self::cost(&key, &value);
+        let value = Arc::new(value);
+        if bytes > self.budget {
+            return value;
+        }
+        let mut s = self.state.lock();
+        s.tick += 1;
+        let tick = s.tick;
+        if let Some(old) = s.map.remove(&key) {
+            s.bytes -= old.bytes;
+        }
+        while s.bytes + bytes > self.budget {
+            let Some(lru) = s
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let evicted = s.map.remove(&lru).expect("lru key just found");
+            s.bytes -= evicted.bytes;
+            s.evictions += 1;
+        }
+        s.map.insert(
+            key,
+            Entry {
+                value: Arc::clone(&value),
+                bytes,
+                last_used: tick,
+            },
+        );
+        s.bytes += bytes;
+        value
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let s = self.state.lock();
+        CacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+            bytes: s.bytes,
+            entries: s.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(q: &str, fp: u64) -> CacheKey {
+        CacheKey {
+            query: q.to_string(),
+            fingerprints: vec![fp, fp ^ 1],
+            algorithm: "crep".to_string(),
+            count_only: false,
+        }
+    }
+
+    fn result(n: usize) -> CachedResult {
+        CachedResult {
+            tuples: (0..n).map(|i| vec![i as u32, i as u32]).collect(),
+            tuple_count: n as u64,
+            counters: "[]".to_string(),
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_and_fingerprint_miss() {
+        let c = ResultCache::new(1 << 20);
+        c.insert(key("q", 7), result(3));
+        assert!(c.get(&key("q", 7)).is_some());
+        assert!(c.get(&key("q", 8)).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used_under_pressure() {
+        let one = ResultCache::cost(&key("a", 1), &result(10));
+        let c = ResultCache::new(one * 2 + 1);
+        c.insert(key("a", 1), result(10));
+        c.insert(key("b", 2), result(10));
+        assert!(c.get(&key("a", 1)).is_some()); // refresh `a`; `b` is now LRU
+        c.insert(key("c", 3), result(10));
+        assert!(c.get(&key("a", 1)).is_some());
+        assert!(c.get(&key("b", 2)).is_none());
+        assert!(c.get(&key("c", 3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.stats().bytes <= one * 2 + 1);
+    }
+
+    #[test]
+    fn oversized_and_zero_budget_results_bypass() {
+        let zero = ResultCache::new(0);
+        zero.insert(key("q", 1), result(1));
+        assert!(zero.get(&key("q", 1)).is_none());
+        let tiny = ResultCache::new(8);
+        tiny.insert(key("q", 1), result(1000));
+        assert_eq!(tiny.stats().entries, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_charging() {
+        let c = ResultCache::new(1 << 20);
+        c.insert(key("q", 1), result(5));
+        let before = c.stats().bytes;
+        c.insert(key("q", 1), result(5));
+        assert_eq!(c.stats().bytes, before);
+        assert_eq!(c.stats().entries, 1);
+    }
+}

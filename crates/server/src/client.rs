@@ -1,0 +1,48 @@
+//! A minimal blocking client for the line-JSON protocol.
+//!
+//! One TCP connection, one request line out, one response line back.
+//! The CLI's `mwsj query` command and the service tests and bench drive
+//! the server through this.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A connected protocol client.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    /// Propagates the connection failure.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Sends one request line and reads one response line.
+    ///
+    /// # Errors
+    /// I/O failures, or an unexpected EOF before a response arrived.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        if !line.ends_with('\n') {
+            self.stream.write_all(b"\n")?;
+        }
+        self.stream.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+}

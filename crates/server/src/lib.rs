@@ -1,0 +1,625 @@
+//! A concurrent query service for multi-way spatial joins.
+//!
+//! `mwsj-server` turns the library's [`Cluster`] into a long-running
+//! network service: a thread-per-connection TCP server speaking a
+//! line-delimited JSON protocol (see [`protocol`]), executing join
+//! queries concurrently on one shared engine whose fair-share slot
+//! scheduler arbitrates between them.
+//!
+//! The service adds three layers the paper's batch experiments do not
+//! need but any deployment does:
+//!
+//! * **Admission control** — at most `max_inflight` joins execute at
+//!   once with a bounded wait queue behind them; beyond that, requests
+//!   are shed with a typed `overloaded` error instead of collapsing the
+//!   engine under unbounded concurrency.
+//! * **A result cache** — keyed by the *canonical* query form
+//!   ([`mwsj_query::Query::canonical`]) and the
+//!   [`DatasetFingerprint`](mwsj_core::mapreduce::DatasetFingerprint)s
+//!   of the bound datasets, so differently-spelled equivalent queries
+//!   share entries and any data change misses cleanly (see [`cache`]).
+//! * **Cancellation** — a client that disconnects mid-query has its run
+//!   cancelled at the next task boundary, releasing its slots to the
+//!   other tenants; deadlines propagate into the engine the same way.
+//!
+//! ```text
+//! $ mwsj serve --addr 127.0.0.1:7878 --slots 8 --cache-bytes 16777216
+//! $ mwsj query --connect 127.0.0.1:7878 --query "R1 ov R2" \
+//!       --data R1=synthetic:n=1000,seed=1 --data R2=synthetic:n=1000,seed=2
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod signal;
+pub mod source;
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mwsj_core::mapreduce::{json_escape, CancelToken, EngineConfig, JobErrorKind, JobMetrics};
+use mwsj_core::{Cluster, ClusterConfig, JoinError, JoinOutput, JoinRun};
+use mwsj_geom::Rect;
+use mwsj_query::Query;
+
+use cache::{CacheKey, CachedResult, ResultCache};
+use protocol::{ErrorCode, QueryRequest, Request};
+
+pub use client::Client;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Engine worker slots shared by all concurrent queries (0 = auto).
+    pub slots: usize,
+    /// Result-cache byte budget (0 disables caching).
+    pub cache_bytes: usize,
+    /// Joins executing concurrently before requests queue.
+    pub max_inflight: usize,
+    /// Requests waiting behind the in-flight limit before shedding.
+    pub max_queue: usize,
+    /// Reducer grid side (the paper's 8×8 default).
+    pub grid: u32,
+    /// The service space is `[0, extent]²`; every dataset must fit.
+    pub extent: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            slots: 0,
+            cache_bytes: 16 << 20,
+            max_inflight: 4,
+            max_queue: 16,
+            grid: 8,
+            extent: 100_000.0,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the listen address.
+    #[must_use]
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the shared engine slot count.
+    #[must_use]
+    pub fn with_slots(mut self, slots: usize) -> Self {
+        self.slots = slots;
+        self
+    }
+
+    /// Sets the result-cache byte budget.
+    #[must_use]
+    pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the admission limits.
+    #[must_use]
+    pub fn with_admission(mut self, max_inflight: usize, max_queue: usize) -> Self {
+        self.max_inflight = max_inflight.max(1);
+        self.max_queue = max_queue;
+        self
+    }
+}
+
+/// Monotonic service counters (all successful/failed request outcomes).
+#[derive(Default)]
+struct ServiceStats {
+    /// Query requests answered with a result.
+    queries: AtomicU64,
+    /// Of those, answered from the result cache.
+    served_from_cache: AtomicU64,
+    /// Runs cancelled (client disconnect, explicit cancel or deadline).
+    cancelled: AtomicU64,
+    /// Requests shed by admission control.
+    shed: AtomicU64,
+    /// Other failed requests (bad requests, failed joins).
+    errors: AtomicU64,
+}
+
+/// Counting semaphore bounding concurrent joins, with a bounded queue.
+struct Admission {
+    max_inflight: usize,
+    max_queue: usize,
+    /// `(active, waiting)`.
+    state: StdMutex<(usize, usize)>,
+    cv: Condvar,
+}
+
+impl Admission {
+    fn new(max_inflight: usize, max_queue: usize) -> Self {
+        Self {
+            max_inflight: max_inflight.max(1),
+            max_queue,
+            state: StdMutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a join slot is free, or sheds when the queue is full.
+    fn admit(&self) -> Result<AdmitGuard<'_>, String> {
+        let mut s = self.state.lock().expect("admission lock");
+        if s.0 < self.max_inflight {
+            s.0 += 1;
+            return Ok(AdmitGuard(self));
+        }
+        if s.1 >= self.max_queue {
+            return Err(format!(
+                "service at capacity: {} joins running, {} queued",
+                s.0, s.1
+            ));
+        }
+        s.1 += 1;
+        while s.0 >= self.max_inflight {
+            s = self.cv.wait(s).expect("admission lock");
+        }
+        s.1 -= 1;
+        s.0 += 1;
+        Ok(AdmitGuard(self))
+    }
+}
+
+struct AdmitGuard<'a>(&'a Admission);
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        let mut s = self.0.state.lock().expect("admission lock");
+        s.0 -= 1;
+        self.0.cv.notify_one();
+    }
+}
+
+/// A loaded dataset paired with its DFS fingerprint.
+type LoadedDataset = (Arc<Vec<Rect>>, u64);
+
+struct Inner {
+    config: ServerConfig,
+    cluster: Cluster,
+    cache: ResultCache,
+    /// Loaded datasets by source spec, with their DFS fingerprints.
+    datasets: parking_lot::Mutex<HashMap<String, LoadedDataset>>,
+    admission: Admission,
+    stats: ServiceStats,
+    stop: AtomicBool,
+}
+
+impl Inner {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || signal::shutdown_requested()
+    }
+
+    /// Loads (or reuses) a dataset, fingerprinting it through the DFS.
+    fn dataset(&self, spec: &str) -> Result<LoadedDataset, String> {
+        let mut map = self.datasets.lock();
+        if let Some(entry) = map.get(spec) {
+            return Ok(entry.clone());
+        }
+        let rects = source::load_source(spec)?;
+        let extent = self.config.extent;
+        if let Some(bad) = rects.iter().find(|r| {
+            !(r.min_x() >= 0.0 && r.max_x() <= extent && r.min_y() >= 0.0 && r.max_y() <= extent)
+        }) {
+            return Err(format!(
+                "dataset `{spec}` does not fit the service space [0, {extent}]^2 \
+                 (rectangle spans x [{}, {}], y [{}, {}])",
+                bad.min_x(),
+                bad.max_x(),
+                bad.min_y(),
+                bad.max_y()
+            ));
+        }
+        let records: Vec<(f64, f64, f64, f64)> =
+            rects.iter().map(|r| (r.x(), r.y(), r.l(), r.b())).collect();
+        let dfs_name = format!("ds/{spec}");
+        let dfs = &self.cluster.engine().dfs;
+        dfs.write(&dfs_name, records);
+        let fp = dfs.fingerprint(&dfs_name).map_err(|e| e.to_string())?.0;
+        let entry = (Arc::new(rects), fp);
+        map.insert(spec.to_string(), entry.clone());
+        Ok(entry)
+    }
+}
+
+/// The TCP service. [`Server::bind`] it, then [`Server::run`] the accept
+/// loop (typically on a dedicated thread); `run` returns after a
+/// `shutdown` op or a termination signal, once in-flight requests have
+/// drained.
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Binds the listen socket and builds the shared cluster.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let space = (0.0, config.extent);
+        let engine = EngineConfig::default().with_slots(config.slots);
+        let cluster =
+            Cluster::new(ClusterConfig::for_space(space, space, config.grid).with_engine(engine));
+        let inner = Arc::new(Inner {
+            cache: ResultCache::new(config.cache_bytes),
+            datasets: parking_lot::Mutex::new(HashMap::new()),
+            admission: Admission::new(config.max_inflight, config.max_queue),
+            stats: ServiceStats::default(),
+            stop: AtomicBool::new(false),
+            cluster,
+            config,
+        });
+        Ok(Server { listener, inner })
+    }
+
+    /// The bound address (useful with a `:0` config).
+    ///
+    /// # Errors
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop until shutdown is requested (a `shutdown`
+    /// protocol op, or `SIGTERM`/`SIGINT` once
+    /// [`signal::install_handlers`] is in place), then joins every
+    /// connection thread.
+    ///
+    /// # Errors
+    /// Propagates accept-loop I/O failures (not per-connection ones).
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !self.inner.stopping() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let inner = Arc::clone(&self.inner);
+                    connections.push(thread::spawn(move || handle_connection(&inner, &stream)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            connections.retain(|h| !h.is_finished());
+        }
+        for h in connections {
+            h.join().ok();
+        }
+        Ok(())
+    }
+}
+
+/// One connection: read request lines, answer each on its own line.
+fn handle_connection(inner: &Arc<Inner>, stream: &TcpStream) {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        if inner.stopping() {
+            return;
+        }
+        use std::io::BufRead as _;
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                // EOF; a final unterminated line still gets an answer.
+                if !line.trim().is_empty() {
+                    serve_line(inner, stream, &line);
+                }
+                return;
+            }
+            Ok(_) => {
+                if !serve_line(inner, stream, &line) {
+                    return;
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one request line; `false` ends the connection.
+fn serve_line(inner: &Arc<Inner>, stream: &TcpStream, line: &str) -> bool {
+    if line.trim().is_empty() {
+        return true;
+    }
+    let response = match protocol::parse_request(line) {
+        Err(msg) => {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            Some(protocol::error_response(ErrorCode::BadRequest, &msg))
+        }
+        Ok(Request::Stats) => Some(stats_response(inner)),
+        Ok(Request::Shutdown) => {
+            inner.stop.store(true, Ordering::SeqCst);
+            Some("{\"ok\":true,\"stopping\":true}".to_string())
+        }
+        Ok(Request::Query(q)) => handle_query(inner, stream, q),
+    };
+    match response {
+        // No response means the client is gone.
+        None => false,
+        Some(r) => {
+            let mut w = stream;
+            w.write_all(r.as_bytes()).is_ok() && w.write_all(b"\n").is_ok() && w.flush().is_ok()
+        }
+    }
+}
+
+/// Whether the peer has closed the connection (poll, non-destructive).
+fn peer_disconnected(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,                                                 // orderly EOF
+        Ok(_) => false,                                                // pipelined data
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false, // idle but open
+        Err(_) => true,                                                // reset
+    };
+    stream.set_nonblocking(false).ok();
+    gone
+}
+
+/// Executes a query request end to end. `None` means the client
+/// disconnected and no response should be written.
+fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Option<String> {
+    let started = Instant::now();
+    let fail = |code: ErrorCode, msg: &str| {
+        inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+        Some(protocol::error_response(code, msg))
+    };
+
+    let query = match Query::parse(&q.query) {
+        Ok(query) => query,
+        Err(e) => return fail(ErrorCode::BadRequest, &format!("bad query: {e}")),
+    };
+    let canonical = query.canonical();
+
+    // Bind a dataset to every canonical relation position.
+    let requested_names: Vec<&str> = query.relations().map(|r| query.name(r)).collect();
+    let canonical_names: Vec<&str> = canonical.relations().map(|r| canonical.name(r)).collect();
+    for (name, _) in &q.data {
+        if !canonical_names.contains(&name.as_str()) {
+            return fail(
+                ErrorCode::BadRequest,
+                &format!("data binding `{name}` does not appear in the query"),
+            );
+        }
+    }
+    let mut datasets: Vec<Arc<Vec<Rect>>> = Vec::with_capacity(canonical_names.len());
+    let mut fingerprints: Vec<u64> = Vec::with_capacity(canonical_names.len());
+    for name in &canonical_names {
+        let Some((_, spec)) = q.data.iter().find(|(n, _)| n == name) else {
+            return fail(
+                ErrorCode::BadRequest,
+                &format!("no data binding for relation `{name}`"),
+            );
+        };
+        match inner.dataset(spec) {
+            Ok((rects, fp)) => {
+                datasets.push(rects);
+                fingerprints.push(fp);
+            }
+            Err(msg) => return fail(ErrorCode::BadRequest, &msg),
+        }
+    }
+    let combined_fingerprint = {
+        let mut h = mwsj_core::mapreduce::Fnv64::new();
+        h.write_u64(fingerprints.len() as u64);
+        for fp in &fingerprints {
+            h.write_u64(*fp);
+        }
+        h.finish()
+    };
+    // Requester position i reads canonical position perm[i].
+    let perm: Vec<usize> = requested_names
+        .iter()
+        .map(|n| {
+            canonical_names
+                .iter()
+                .position(|c| c == n)
+                .expect("canonicalization preserves relation names")
+        })
+        .collect();
+
+    let key = CacheKey {
+        query: canonical.to_string(),
+        fingerprints,
+        algorithm: protocol::algorithm_wire_name(q.algorithm).to_string(),
+        count_only: q.count_only,
+    };
+    if let Some(hit) = inner.cache.get(&key) {
+        inner.stats.queries.fetch_add(1, Ordering::Relaxed);
+        inner
+            .stats
+            .served_from_cache
+            .fetch_add(1, Ordering::Relaxed);
+        return Some(render_query_response(
+            true,
+            &hit,
+            &perm,
+            combined_fingerprint,
+            started.elapsed(),
+        ));
+    }
+
+    let _slot = match inner.admission.admit() {
+        Ok(guard) => guard,
+        Err(msg) => {
+            inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Some(protocol::error_response(ErrorCode::Overloaded, &msg));
+        }
+    };
+
+    let token = CancelToken::new();
+    let worker = {
+        let inner = Arc::clone(inner);
+        let token = token.clone();
+        let canonical = canonical.clone();
+        let datasets = datasets.clone();
+        let q = q.clone();
+        thread::spawn(move || -> Result<JoinOutput, JoinError> {
+            let refs: Vec<&[Rect]> = datasets.iter().map(|d| d.as_slice()).collect();
+            let mut run = JoinRun::new(&canonical, &refs, q.algorithm)
+                .count_only(q.count_only)
+                .cancel(token)
+                .priority(q.priority)
+                .share(q.share)
+                .input_fingerprint(combined_fingerprint);
+            if let Some(ms) = q.deadline_ms {
+                run = run.deadline(Duration::from_millis(ms));
+            }
+            inner.cluster.submit(&run)
+        })
+    };
+
+    // Babysit the run: a disconnected client's query is cancelled so its
+    // slots go back to the other tenants.
+    while !worker.is_finished() {
+        if peer_disconnected(stream) {
+            token.cancel();
+            worker.join().ok();
+            inner.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+
+    match worker.join() {
+        Ok(Ok(output)) => {
+            let value = CachedResult {
+                tuples: output.tuples,
+                tuple_count: output.tuple_count,
+                counters: counters_json(&output.report.jobs),
+            };
+            let cached = inner.cache.insert(key, value);
+            inner.stats.queries.fetch_add(1, Ordering::Relaxed);
+            Some(render_query_response(
+                false,
+                &cached,
+                &perm,
+                combined_fingerprint,
+                started.elapsed(),
+            ))
+        }
+        Ok(Err(JoinError::Job(e))) => {
+            if let JobErrorKind::Cancelled { deadline_exceeded } = e.kind {
+                inner.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                let code = if deadline_exceeded {
+                    ErrorCode::DeadlineExceeded
+                } else {
+                    ErrorCode::Cancelled
+                };
+                Some(protocol::error_response(code, &e.to_string()))
+            } else {
+                fail(ErrorCode::JoinFailed, &e.to_string())
+            }
+        }
+        Ok(Err(e)) => fail(ErrorCode::JoinFailed, &e.to_string()),
+        Err(_) => fail(
+            ErrorCode::JoinFailed,
+            "internal error: join worker panicked",
+        ),
+    }
+}
+
+/// Renders an `ok` query response, permuting the canonical-order tuples
+/// back to the requester's relation order.
+fn render_query_response(
+    cached: bool,
+    result: &CachedResult,
+    perm: &[usize],
+    fingerprint: u64,
+    wall: Duration,
+) -> String {
+    let mut tuples: Vec<Vec<u32>> = result
+        .tuples
+        .iter()
+        .map(|t| perm.iter().map(|&j| t[j]).collect())
+        .collect();
+    tuples.sort_unstable();
+    format!(
+        "{{\"ok\":true,\"cached\":{cached},\"tuple_count\":{},\"tuples\":{},\"counters\":{},\"wall_ms\":{:.3},\"fingerprint\":\"{fingerprint:016x}\"}}",
+        result.tuple_count,
+        protocol::tuples_json(&tuples),
+        result.counters,
+        wall.as_secs_f64() * 1e3,
+    )
+}
+
+/// The logical (concurrency-invariant) per-job counters of a run.
+fn counters_json(jobs: &[JobMetrics]) -> String {
+    let mut out = String::from("[");
+    for (i, j) in jobs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"job\":\"{}\",\"map_input_records\":{},\"map_output_records\":{},\"shuffle_bytes\":{},\"reduce_input_groups\":{},\"reduce_input_records\":{},\"reduce_output_records\":{},\"spill_runs\":{},\"retries\":{},\"input_fingerprint\":\"{:016x}\"}}",
+            json_escape(&j.job_name),
+            j.map_input_records,
+            j.map_output_records,
+            j.shuffle_bytes,
+            j.reduce_input_groups,
+            j.reduce_input_records,
+            j.reduce_output_records,
+            j.spill_runs,
+            j.retries,
+            j.input_fingerprint,
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Renders the `stats` response.
+fn stats_response(inner: &Inner) -> String {
+    let c = inner.cache.stats();
+    let sched = inner.cluster.engine().scheduler();
+    format!(
+        "{{\"ok\":true,\"queries\":{},\"served_from_cache\":{},\"cancelled\":{},\"shed\":{},\"errors\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"bytes\":{},\"entries\":{}}},\"slots\":{},\"slots_available\":{}}}",
+        inner.stats.queries.load(Ordering::Relaxed),
+        inner.stats.served_from_cache.load(Ordering::Relaxed),
+        inner.stats.cancelled.load(Ordering::Relaxed),
+        inner.stats.shed.load(Ordering::Relaxed),
+        inner.stats.errors.load(Ordering::Relaxed),
+        c.hits,
+        c.misses,
+        c.evictions,
+        c.bytes,
+        c.entries,
+        sched.slots(),
+        sched.available(),
+    )
+}

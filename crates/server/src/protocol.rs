@@ -1,0 +1,293 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Each request is one JSON object on one line; each response is one JSON
+//! object on one line. Three operations:
+//!
+//! ```text
+//! {"op":"query","query":"R1 ov R2","data":{"R1":"synthetic:n=100,seed=1","R2":"..."},
+//!  "algorithm":"crep","count_only":false,"deadline_ms":2000,"priority":0,"share":1}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Successful query responses carry `"ok":true`, the (sorted) result
+//! tuples in the *requester's* relation order, a `cached` flag, the
+//! combined input fingerprint and the per-job logical counters; failures
+//! carry `"ok":false` plus a typed error code from [`ErrorCode`].
+
+use mwsj_core::mapreduce::json_escape;
+use mwsj_core::Algorithm;
+
+use crate::json::Json;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Execute a join query.
+    Query(QueryRequest),
+    /// Report service statistics.
+    Stats,
+    /// Stop accepting connections and shut the service down.
+    Shutdown,
+}
+
+/// The payload of a `query` operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Query text, in the grammar of [`mwsj_query::Query::parse`].
+    pub query: String,
+    /// `(relation name, dataset source spec)` bindings.
+    pub data: Vec<(String, String)>,
+    /// Which join algorithm runs the query.
+    pub algorithm: Algorithm,
+    /// Count tuples without materializing (or returning) them.
+    pub count_only: bool,
+    /// Wall-clock budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Slot-scheduler priority.
+    pub priority: i32,
+    /// Slot-scheduler fair-share weight.
+    pub share: u32,
+}
+
+/// Typed error codes, so clients can distinguish load shedding from bad
+/// requests without string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was malformed (syntax, unknown op, missing binding,
+    /// out-of-space dataset).
+    BadRequest,
+    /// Admission control rejected the request: the service is at its
+    /// in-flight and queue limits. Retry later.
+    Overloaded,
+    /// The run was cancelled (client disconnect).
+    Cancelled,
+    /// The run exceeded its deadline.
+    DeadlineExceeded,
+    /// The join itself failed (task attempts exhausted under faults).
+    JoinFailed,
+}
+
+impl ErrorCode {
+    /// The wire name of the code.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::JoinFailed => "join_failed",
+        }
+    }
+}
+
+/// Parses an algorithm name as the CLI spells them.
+///
+/// # Errors
+/// Names the unknown algorithm.
+pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    Ok(match name {
+        "cascade" => Algorithm::TwoWayCascade,
+        "allrep" | "all-rep" => Algorithm::AllReplicate,
+        "crep" | "c-rep" => Algorithm::ControlledReplicate,
+        "crep-l" | "c-rep-l" | "crepl" => Algorithm::ControlledReplicateLimit,
+        other => return Err(format!("unknown algorithm `{other}`")),
+    })
+}
+
+/// The wire name of an algorithm (inverse of [`parse_algorithm`], used in
+/// cache keys).
+#[must_use]
+pub fn algorithm_wire_name(a: Algorithm) -> &'static str {
+    match a {
+        Algorithm::TwoWayCascade => "cascade",
+        Algorithm::AllReplicate => "allrep",
+        Algorithm::ControlledReplicate => "crep",
+        Algorithm::ControlledReplicateLimit => "crep-l",
+    }
+}
+
+fn num_field(doc: &Json, key: &str) -> Result<Option<f64>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a number")),
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+/// A human-readable message; the server wraps it as a `bad_request`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = crate::json::parse(line.trim())?;
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `op`")?;
+    match op {
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "query" => {
+            let query = doc
+                .get("query")
+                .and_then(Json::as_str)
+                .ok_or("missing string field `query`")?
+                .to_string();
+            let data = doc
+                .get("data")
+                .and_then(Json::as_obj)
+                .ok_or("missing object field `data`")?
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("data binding `{k}` must be a string source"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let algorithm = match doc.get("algorithm").and_then(Json::as_str) {
+                Some(name) => parse_algorithm(name)?,
+                None => Algorithm::ControlledReplicate,
+            };
+            let count_only = doc
+                .get("count_only")
+                .map(|v| v.as_bool().ok_or("`count_only` must be a boolean"))
+                .transpose()?
+                .unwrap_or(false);
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let deadline_ms = num_field(&doc, "deadline_ms")?.map(|v| v.max(0.0) as u64);
+            #[allow(clippy::cast_possible_truncation)]
+            let priority = num_field(&doc, "priority")?.unwrap_or(0.0) as i32;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let share = num_field(&doc, "share")?.unwrap_or(1.0).max(1.0) as u32;
+            Ok(Request::Query(QueryRequest {
+                query,
+                data,
+                algorithm,
+                count_only,
+                deadline_ms,
+                priority,
+                share,
+            }))
+        }
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Renders a typed error response line.
+#[must_use]
+pub fn error_response(code: ErrorCode, message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"{}\",\"message\":\"{}\"}}",
+        code.as_str(),
+        json_escape(message)
+    )
+}
+
+/// Renders result tuples as a JSON array of id arrays.
+#[must_use]
+pub fn tuples_json(tuples: &[Vec<u32>]) -> String {
+    let mut out = String::from("[");
+    for (i, t) in tuples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, id) in t.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&id.to_string());
+        }
+        out.push(']');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_query_request() {
+        let r = parse_request(
+            r#"{"op":"query","query":"A ov B","data":{"A":"x.csv","B":"synthetic:n=5"},
+               "algorithm":"allrep","count_only":true,"deadline_ms":250,"priority":3,"share":4}"#
+                .replace('\n', " ")
+                .as_str(),
+        )
+        .unwrap();
+        let Request::Query(q) = r else {
+            panic!("expected query")
+        };
+        assert_eq!(q.query, "A ov B");
+        assert_eq!(q.data.len(), 2);
+        assert_eq!(q.algorithm, Algorithm::AllReplicate);
+        assert!(q.count_only);
+        assert_eq!(q.deadline_ms, Some(250));
+        assert_eq!(q.priority, 3);
+        assert_eq!(q.share, 4);
+    }
+
+    #[test]
+    fn defaults_are_applied() {
+        let Request::Query(q) =
+            parse_request(r#"{"op":"query","query":"A ov B","data":{"A":"x","B":"y"}}"#).unwrap()
+        else {
+            panic!("expected query")
+        };
+        assert_eq!(q.algorithm, Algorithm::ControlledReplicate);
+        assert!(!q.count_only);
+        assert_eq!(q.deadline_ms, None);
+        assert_eq!(q.priority, 0);
+        assert_eq!(q.share, 1);
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn bad_requests_report() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"op":"nope"}"#).is_err());
+        assert!(parse_request(r#"{"op":"query","query":"A ov B"}"#).is_err());
+        assert!(
+            parse_request(r#"{"op":"query","query":"A ov B","data":{"A":1,"B":"y"}}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn algorithm_names_roundtrip() {
+        for a in Algorithm::ALL {
+            assert_eq!(parse_algorithm(algorithm_wire_name(a)).unwrap(), a);
+        }
+        assert!(parse_algorithm("quantum").is_err());
+    }
+
+    #[test]
+    fn error_response_is_valid_json() {
+        let line = error_response(ErrorCode::Overloaded, "queue full: 4 waiting");
+        let doc = crate::json::parse(&line).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.get("error").unwrap().as_str(), Some("overloaded"));
+    }
+
+    #[test]
+    fn tuples_render_compactly() {
+        assert_eq!(tuples_json(&[]), "[]");
+        assert_eq!(
+            tuples_json(&[vec![1, 2, 3], vec![4, 5, 6]]),
+            "[[1,2,3],[4,5,6]]"
+        );
+    }
+}

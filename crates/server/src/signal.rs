@@ -1,0 +1,79 @@
+//! Process signal handling for graceful shutdown.
+//!
+//! `SIGTERM` / `SIGINT` flip a process-wide flag that the accept loop
+//! polls; the server then stops accepting, finishes in-flight requests
+//! and joins its connection threads. This is the one place the crate
+//! needs `unsafe` (the `signal(2)` FFI), kept to a handler that only
+//! touches an atomic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been observed (or
+/// [`request_shutdown`] was called).
+#[must_use]
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests shutdown programmatically (the `shutdown` protocol op and
+/// tests use this; signals use the handler below).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Re-arms the flag (tests start several servers in one process).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod unix {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal(2)` with a handler that performs a single
+        // lock-free atomic store, which is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// Installs `SIGTERM`/`SIGINT` handlers that request shutdown. No-op on
+/// non-Unix platforms (the `shutdown` op still works everywhere).
+pub fn install_handlers() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_latches_and_resets() {
+        reset();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset();
+        assert!(!shutdown_requested());
+    }
+}

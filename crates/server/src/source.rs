@@ -6,6 +6,10 @@
 //! --data R2=synthetic:n=10000,seed=7,lmax=250,extent=20000
 //! --data R3=california:n=20000,seed=1
 //! ```
+//!
+//! Both the CLI (`mwsj run`, `mwsj query`) and the service's wire
+//! protocol use these specs, so a query sent over the network names its
+//! datasets exactly as the command line does.
 
 use std::collections::BTreeMap;
 
@@ -13,6 +17,9 @@ use mwsj_datagen::{io, CaliforniaConfig, SyntheticConfig};
 use mwsj_geom::Rect;
 
 /// Parses one `NAME=SOURCE` binding.
+///
+/// # Errors
+/// Describes the malformed binding or unreadable source.
 pub fn parse_binding(spec: &str) -> Result<(String, Vec<Rect>), String> {
     let (name, source) = spec
         .split_once('=')
@@ -21,6 +28,9 @@ pub fn parse_binding(spec: &str) -> Result<(String, Vec<Rect>), String> {
 }
 
 /// Loads a data source: `synthetic:...`, `california:...` or a CSV path.
+///
+/// # Errors
+/// Describes the bad parameter or unreadable file.
 pub fn load_source(source: &str) -> Result<Vec<Rect>, String> {
     if let Some(params) = source.strip_prefix("synthetic:") {
         let p = parse_params(params)?;
@@ -83,6 +93,7 @@ where
 
 /// The tight bounding extent of a set of datasets, padded for safety, as
 /// `(x_range, y_range)` for the cluster space.
+#[must_use]
 pub fn bounding_space(datasets: &[&[Rect]]) -> ((f64, f64), (f64, f64)) {
     let mut min_x = f64::INFINITY;
     let mut max_x = f64::NEG_INFINITY;

@@ -8,7 +8,7 @@
 //! partial output. Only when a task exhausts its attempt budget may a run
 //! fail — and then with a structured [`JoinError`], not a process abort.
 
-use mwsj_core::mapreduce::{FaultPlan, ForcedFault, Phase};
+use mwsj_core::mapreduce::{CancelToken, FaultPlan, ForcedFault, JobErrorKind, Phase, TraceSink};
 use mwsj_core::{reference, Algorithm, Cluster, ClusterConfig, JoinError, JoinRun};
 use mwsj_geom::Rect;
 use mwsj_query::Query;
@@ -229,6 +229,97 @@ fn count_only_tuple_counts_survive_retries_and_speculation() {
         );
         let retries: u64 = faulty.report.jobs.iter().map(|j| j.retries).sum();
         assert!(retries > 0, "{}: fault plan injected nothing", alg.name());
+    }
+}
+
+/// Cancellation composes with fault injection: cancelling one run mid-way
+/// on a shared cluster under an active chaos plan must (a) surface a
+/// `Cancelled` error that is never retried, (b) stop scheduling work — no
+/// stray task attempts after the error returns, (c) hand every worker
+/// slot back, and (d) leave a concurrently-running survivor's logical
+/// counters byte-identical to a solo fault-free run.
+#[test]
+fn cancel_mid_run_under_faults_releases_slots_and_leaves_survivors_exact() {
+    let q = chain_query();
+    // Big enough that the doomed run is still in its map phase when the
+    // cancel lands.
+    let big1 = synthetic(20_000, 151);
+    let big2 = synthetic(20_000, 152);
+    let big3 = synthetic(20_000, 153);
+    let s1 = synthetic(2_000, 101);
+    let s2 = synthetic(2_000, 102);
+    let s3 = synthetic(2_000, 103);
+
+    let plan = FaultPlan::chaos(11, 0.2, 0.05).with_max_attempts(8);
+    let cl = cluster_with(Some(plan));
+    let trace = TraceSink::recording();
+    let token = CancelToken::new();
+    let (doomed, survivor) = std::thread::scope(|s| {
+        let doomed = s.spawn(|| {
+            cl.submit(
+                &JoinRun::new(&q, &[&big1, &big2, &big3], Algorithm::ControlledReplicate)
+                    .cancel(token.clone())
+                    .trace(trace.clone()),
+            )
+        });
+        let survivor = s.spawn(|| {
+            cl.submit(&JoinRun::new(
+                &q,
+                &[&s1, &s2, &s3],
+                Algorithm::ControlledReplicate,
+            ))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        token.cancel();
+        (doomed.join().unwrap(), survivor.join().unwrap())
+    });
+
+    match doomed.expect_err("cancelled run must fail") {
+        JoinError::Job(e) => {
+            assert!(
+                matches!(
+                    e.kind,
+                    JobErrorKind::Cancelled {
+                        deadline_exceeded: false
+                    }
+                ),
+                "expected a caller cancel, got {e}"
+            );
+            assert!(e.to_string().contains("by caller"), "{e}");
+        }
+        JoinError::Dfs(e) => panic!("expected a cancelled job error, got DFS error {e}"),
+    }
+
+    // (b) No stray attempts: once the error surfaced, the doomed run's
+    // trace must have stopped growing.
+    let settled = trace.len();
+    std::thread::sleep(std::time::Duration::from_millis(80));
+    assert_eq!(trace.len(), settled, "task attempts ran after the cancel");
+
+    // (c) Every slot is back in the pool.
+    let scheduler = cl.engine().scheduler();
+    assert_eq!(scheduler.available(), scheduler.slots());
+
+    // (d) The survivor is untouched: identical tuples and logical
+    // counters to a solo run on a fault-free cluster.
+    let survivor = survivor.expect("survivor run failed");
+    let clean = cluster_with(None).run(&q, &[&s1, &s2, &s3], Algorithm::ControlledReplicate);
+    assert_eq!(survivor.tuples, clean.tuples);
+    assert_eq!(survivor.report.num_jobs(), clean.report.num_jobs());
+    for (c, f) in clean.report.jobs.iter().zip(&survivor.report.jobs) {
+        assert_eq!(c.map_input_records, f.map_input_records, "{}", c.job_name);
+        assert_eq!(c.map_output_records, f.map_output_records, "{}", c.job_name);
+        assert_eq!(c.shuffle_bytes, f.shuffle_bytes, "{}", c.job_name);
+        assert_eq!(
+            c.reduce_input_records, f.reduce_input_records,
+            "{}",
+            c.job_name
+        );
+        assert_eq!(
+            c.reduce_output_records, f.reduce_output_records,
+            "{}",
+            c.job_name
+        );
     }
 }
 

@@ -51,7 +51,7 @@ fn counter_snapshots(sink: &TraceSink) -> Vec<JobMetrics> {
         .events()
         .iter()
         .filter_map(|ev| match ev {
-            TraceEvent::Counters { job, metrics, .. } => Some((*job, metrics.clone())),
+            TraceEvent::Counters { job, metrics, .. } => Some((*job, (**metrics).clone())),
             _ => None,
         })
         .collect();
