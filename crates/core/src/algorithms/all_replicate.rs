@@ -11,7 +11,7 @@
 //! top-left corner travels to almost every reducer, whether or not it
 //! joins anything (the paper's `u_4` example).
 
-use mwsj_local::multiway;
+use mwsj_local::JoinKernel;
 use mwsj_partition::CellId;
 use mwsj_query::Query;
 
@@ -28,6 +28,9 @@ pub(crate) fn run(
     let count_only = ctx.count_only;
     let input = flatten_input(relations);
     let n = query.num_relations();
+    // Compile the local-join kernel once; the reduce closure shares it
+    // across every reducer group (per-thread scratch inside).
+    let kernel = JoinKernel::new(query);
 
     let raw: Vec<Vec<u32>> = ctx.engine.run(
         ctx.spec("all-replicate")
@@ -47,7 +50,7 @@ pub(crate) fn run(
                 // using it would give our reducers a shortcut the paper's
                 // evaluation does not have.)
                 let mut found = 0u64;
-                multiway::multiway_join(query, &rels, |tuple| {
+                kernel.execute(&rels, |tuple| {
                     if is_designated_cell(grid, CellId(cell), tuple) {
                         found += 1;
                         if !count_only {

@@ -40,7 +40,7 @@
 //! tuples (our property tests find them).
 
 use mwsj_geom::Rect;
-use mwsj_local::{marking, multiway};
+use mwsj_local::{marking, JoinKernel};
 use mwsj_partition::CellId;
 use mwsj_query::{replication_bounds, Query};
 
@@ -116,6 +116,8 @@ pub(crate) fn run(
     });
 
     // ---- Round 2: replicate marked / project unmarked, join ----------
+    // One kernel compilation serves every round-2 reducer group.
+    let kernel = JoinKernel::new(query);
     let raw: Vec<Vec<u32>> = engine.run(
         ctx.spec(if limit {
             "c-rep-l-round2-join"
@@ -141,7 +143,7 @@ pub(crate) fn run(
             // Faithful enumerate-then-filter, as in All-Replicate's reducer
             // (see the comment there and the `ablation_pruning` bench).
             let mut found = 0u64;
-            multiway::multiway_join(query, &rels, |tuple| {
+            kernel.execute(&rels, |tuple| {
                 if is_designated_cell(grid, CellId(cell), tuple) {
                     found += 1;
                     if !count_only {

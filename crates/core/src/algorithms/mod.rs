@@ -152,16 +152,21 @@ pub(crate) fn normalize_tuples(mut tuples: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
 
 /// The designated-cell test shared by the single-round reducers: emit the
 /// tuple only at the cell of the multi-way duplicate-avoidance point
-/// (§6.2).
+/// (§6.2). Runs once per *candidate* tuple at every receiving reducer —
+/// allocation-free (the extrema stream through
+/// [`mwsj_local::dedup::multiway_tuple_cell_of`]).
 pub(crate) fn is_designated_cell(
     grid: &mwsj_partition::Grid,
     cell: mwsj_partition::CellId,
     tuple: &[mwsj_local::LocalRect],
 ) -> bool {
-    let rects: Vec<Rect> = tuple.iter().map(|&(r, _)| r).collect();
-    mwsj_local::dedup::multiway_tuple_cell(grid, &rects) == cell
+    mwsj_local::dedup::multiway_tuple_cell_of(grid, tuple.iter().map(|(r, _)| r)) == cell
 }
 
+/// The ids of a tuple's members, in position order. The returned `Vec` is
+/// the output record itself (only built for tuples that passed the
+/// designated-cell filter), so this is the one allocation the materialized
+/// path keeps.
 pub(crate) fn tuple_ids(tuple: &[mwsj_local::LocalRect]) -> Vec<u32> {
     tuple.iter().map(|&(_, id)| id).collect()
 }

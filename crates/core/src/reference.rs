@@ -6,6 +6,10 @@
 //! avoidance — a single-machine oracle. The test suites assert that 2-way
 //! Cascade, All-Replicate, C-Rep and C-Rep-L all return exactly this
 //! result.
+//!
+//! Deliberately runs the *naive* recursive matcher, not the precompiled
+//! kernel the distributed reducers use: the oracle and the implementation
+//! under test share no execution path beyond the R-tree.
 
 use mwsj_geom::Rect;
 use mwsj_local::multiway;
@@ -24,7 +28,7 @@ pub fn in_memory_join(query: &Query, relations: &[&[Rect]]) -> Vec<Vec<u32>> {
                 .collect()
         })
         .collect();
-    multiway::normalized(multiway::multiway_join_ids(query, &local))
+    multiway::normalized(multiway::multiway_join_ids_naive(query, &local))
 }
 
 #[cfg(test)]

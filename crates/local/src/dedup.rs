@@ -43,12 +43,31 @@ pub fn range_pair_cell(grid: &Grid, a: &Rect, b: &Rect, d: Coord) -> Option<Cell
 /// `(u_r.x, u_l.y)`.
 #[must_use]
 pub fn multiway_tuple_cell(grid: &Grid, tuple: &[Rect]) -> CellId {
-    assert!(!tuple.is_empty());
-    let xr = tuple
-        .iter()
-        .map(Rect::x)
-        .fold(Coord::NEG_INFINITY, Coord::max);
-    let yl = tuple.iter().map(Rect::y).fold(Coord::INFINITY, Coord::min);
+    multiway_tuple_cell_of(grid, tuple)
+}
+
+/// [`multiway_tuple_cell`] over any borrowing iterator of tuple members —
+/// the allocation-free form for reducers whose tuples carry payloads next
+/// to the rectangles (previously they collected a `Vec<Rect>` per
+/// candidate tuple just to call the slice form).
+///
+/// # Panics
+///
+/// Panics when the iterator is empty (an empty tuple has no designated
+/// cell).
+pub fn multiway_tuple_cell_of<'a, I>(grid: &Grid, members: I) -> CellId
+where
+    I: IntoIterator<Item = &'a Rect>,
+{
+    let mut xr = Coord::NEG_INFINITY;
+    let mut yl = Coord::INFINITY;
+    let mut any = false;
+    for r in members {
+        any = true;
+        xr = xr.max(r.x());
+        yl = yl.min(r.y());
+    }
+    assert!(any, "designated cell of an empty tuple");
     grid.cell_of_point(&Point::new(xr, yl))
 }
 
@@ -120,6 +139,25 @@ mod tests {
         let cell = multiway_tuple_cell(&grid, &[u1, v1, w1, x1]);
         // (x1.x, u1.y) = (26, 15) -> col 2, row 2 -> cell 19 (1-based).
         assert_eq!(cell.paper_number(), 19);
+    }
+
+    #[test]
+    fn multiway_cell_of_iterator_matches_slice_form() {
+        let grid = grid8();
+        let tuple = [
+            Rect::new(15.0, 15.0, 4.0, 4.0),
+            Rect::new(14.0, 25.0, 4.0, 12.0),
+            Rect::new(26.0, 39.0, 3.0, 8.0),
+        ];
+        let with_ids: Vec<(Rect, u32)> = tuple
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i as u32))
+            .collect();
+        assert_eq!(
+            multiway_tuple_cell_of(&grid, with_ids.iter().map(|(r, _)| r)),
+            multiway_tuple_cell(&grid, &tuple)
+        );
     }
 
     #[test]

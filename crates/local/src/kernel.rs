@@ -1,0 +1,565 @@
+//! The precompiled, allocation-free multi-way join kernel.
+//!
+//! [`JoinKernel`] is the execution engine behind
+//! [`crate::multiway::multiway_join`]: the same window-reduction
+//! backtracking search, restructured for the reduce-phase hot loop.
+//!
+//! * **Precompiled plans.** The query's probe and verify edges are
+//!   resolved once per start vertex by [`mwsj_query::JoinPlan`] (the bound
+//!   set at depth `d` is exactly the first `d` relations of the BFS
+//!   order), so the per-candidate loop never walks the join graph or an
+//!   assignment array. Symmetric probe predicates are verified by the
+//!   index probe itself and dropped from the verify lists.
+//! * **Iterative stack, flat arena.** Recursion is replaced by an explicit
+//!   depth cursor over one flat candidate buffer; each depth owns a range
+//!   `[base, len)` of the buffer that is truncated on backtrack. No
+//!   per-probe `Vec` — a probe appends to the arena and the frame records
+//!   where its candidates start.
+//! * **SoA rectangles + linear scan for small relations.** Relations
+//!   below [`LINEAR_SCAN_THRESHOLD`] are not indexed at all: their corner
+//!   coordinates are copied into four flat arrays and probed by a branch-
+//!   light linear scan (exactly `distance_sq(candidate, probe) <= d²`,
+//!   the R-tree's acceptance test). Larger relations still get an STR
+//!   bulk-loaded R-tree whose visitor pushes straight into the arena.
+//! * **Thread-local scratch.** All of the above lives in one scratch
+//!   struct per worker thread, reused across reducer groups: after the
+//!   first group on a thread, executing a group allocates only for R-tree
+//!   construction of above-threshold relations (and whatever `emit`
+//!   itself does).
+//!
+//! The kernel emits exactly the tuples of the recursive matcher; only the
+//! order of candidates *within one probe* can differ when a relation is
+//! scanned linearly instead of through a tree (a permutation, invisible
+//! after the algorithms' normalization). `multiway_join_naive` in
+//! [`crate::multiway`] keeps the original recursive implementation as the
+//! comparison oracle.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use mwsj_geom::{Coord, Rect};
+use mwsj_query::{JoinPlan, PlanStep, Query};
+use mwsj_rtree::RTree;
+
+use crate::LocalRect;
+
+/// Relations smaller than this are probed by a linear scan over the SoA
+/// arrays instead of an R-tree. At `NODE_CAPACITY = 16` a tree this size
+/// is 1-2 leaves plus a root: walking it costs more than scanning four
+/// flat `f64` arrays (see the `micro_local_join` bench).
+pub const LINEAR_SCAN_THRESHOLD: usize = 48;
+
+/// One relation's rectangles in structure-of-arrays layout: the probe
+/// scan reads each coordinate array sequentially.
+#[derive(Default)]
+struct Soa {
+    min_x: Vec<Coord>,
+    max_x: Vec<Coord>,
+    min_y: Vec<Coord>,
+    max_y: Vec<Coord>,
+}
+
+impl Soa {
+    fn fill(&mut self, rel: &[LocalRect]) {
+        self.min_x.clear();
+        self.max_x.clear();
+        self.min_y.clear();
+        self.max_y.clear();
+        for (r, _) in rel {
+            self.min_x.push(r.min_x());
+            self.max_x.push(r.max_x());
+            self.min_y.push(r.min_y());
+            self.max_y.push(r.max_y());
+        }
+    }
+
+    /// Appends every rectangle of `rel` within distance `d` (closed) of
+    /// the probe — the R-tree's `query_within` acceptance test, run as a
+    /// scan over the coordinate arrays (`rel` is only read at accepted
+    /// positions, in order, to copy the `(rect, id)` into the arena).
+    // The scan walks four coordinate arrays plus `rel` in lockstep; an
+    // index loop states that more directly than a five-way zip.
+    #[allow(clippy::needless_range_loop)]
+    fn probe_into(&self, rel: &[LocalRect], probe: &Rect, d: Coord, out: &mut Vec<LocalRect>) {
+        let (p_lo_x, p_hi_x) = (probe.min_x(), probe.max_x());
+        let (p_lo_y, p_hi_y) = (probe.min_y(), probe.max_y());
+        if d == 0.0 {
+            // Overlap fast path: distance_sq <= 0 iff both axis gaps are 0
+            // iff the closed rectangles overlap — pure comparisons.
+            for i in 0..self.min_x.len() {
+                if self.min_x[i] <= p_hi_x
+                    && p_lo_x <= self.max_x[i]
+                    && self.min_y[i] <= p_hi_y
+                    && p_lo_y <= self.max_y[i]
+                {
+                    out.push(rel[i]);
+                }
+            }
+        } else {
+            let d_sq = d * d;
+            for i in 0..self.min_x.len() {
+                let dx = (self.min_x[i] - p_hi_x)
+                    .max(p_lo_x - self.max_x[i])
+                    .max(0.0);
+                let dy = (self.min_y[i] - p_hi_y)
+                    .max(p_lo_y - self.max_y[i])
+                    .max(0.0);
+                if dx * dx + dy * dy <= d_sq {
+                    out.push(rel[i]);
+                }
+            }
+        }
+    }
+}
+
+/// Multiply-rotate hasher for the fixed-width rectangle keys of the probe
+/// memo. The keys are 32 bytes of trusted coordinate bits — SipHash's
+/// hash-flooding resistance buys nothing here and costs measurable time
+/// in the probe loop.
+#[derive(Default)]
+struct RectKeyHasher(u64);
+
+impl Hasher for RectKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_ne_bytes(buf));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type RectKeyMap = HashMap<[u64; 4], (u32, u32), BuildHasherDefault<RectKeyHasher>>;
+
+fn rect_key(r: &Rect) -> [u64; 4] {
+    [
+        r.min_x().to_bits(),
+        r.max_x().to_bits(),
+        r.min_y().to_bits(),
+        r.max_y().to_bits(),
+    ]
+}
+
+/// One depth of the iterative search: its candidates occupy
+/// `arena[base..]` (up to the next frame's base) and `cursor` counts how
+/// many have been consumed.
+#[derive(Clone, Copy, Default)]
+struct Frame {
+    base: usize,
+    cursor: usize,
+}
+
+/// Reusable per-thread working memory.
+#[derive(Default)]
+struct Scratch {
+    soa: Vec<Soa>,
+    trees: Vec<Option<RTree<u32>>>,
+    /// Flat candidate arena shared by all depths. Probes copy the full
+    /// `(rect, id)` in, so consuming a candidate is one sequential arena
+    /// read — no random access back into the relation vectors.
+    arena: Vec<LocalRect>,
+    frames: Vec<Frame>,
+    tuple: Vec<LocalRect>,
+    /// R-tree traversal stack, reused across probes.
+    tree_stack: Vec<u32>,
+    /// Per-depth probe memo: probe-rect bits -> range in `memo_arena`. A
+    /// probe's result depends only on the probe rectangle (the target
+    /// index and distance are fixed per depth), so when the probing
+    /// relation is not the start relation — i.e. the same rectangle is
+    /// probed once per partial tuple it appears in — the index walk runs
+    /// once and repeats are a range copy.
+    memo: Vec<RectKeyMap>,
+    memo_arena: Vec<LocalRect>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// A query compiled for repeated reducer-group execution: one
+/// [`JoinPlan`] per possible start vertex (the matcher seeds from the
+/// smallest local relation, which varies per group). Build once per job,
+/// share across reduce tasks (`Sync` — the mutable state lives in
+/// thread-local scratch).
+pub struct JoinKernel {
+    plans: Vec<JoinPlan>,
+    n: usize,
+}
+
+impl JoinKernel {
+    /// Compiles the kernel for a query.
+    #[must_use]
+    pub fn new(query: &Query) -> Self {
+        Self {
+            plans: JoinPlan::compile_all(query),
+            n: query.num_relations(),
+        }
+    }
+
+    /// Number of relation positions the kernel joins.
+    #[must_use]
+    pub fn num_relations(&self) -> usize {
+        self.n
+    }
+
+    /// Finds every consistent full tuple over the local relations and
+    /// calls `emit` with one `(rect, id)` per relation position, in
+    /// position order. Same contract as
+    /// [`crate::multiway::multiway_join`].
+    pub fn execute(&self, relations: &[Vec<LocalRect>], mut emit: impl FnMut(&[LocalRect])) {
+        assert_eq!(
+            relations.len(),
+            self.n,
+            "one rectangle set per relation position"
+        );
+        if relations.iter().any(Vec::is_empty) {
+            return;
+        }
+        // Seed from the smallest relation (first minimal, like the
+        // original `min_by_key`).
+        let start = (0..self.n)
+            .min_by_key(|&i| relations[i].len())
+            .expect("non-empty query");
+        // Borrow the thread's scratch for the duration of the group; a
+        // reentrant call from `emit` falls back to a fresh one.
+        let mut scratch = SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        self.run(
+            self.plans[start].steps(),
+            relations,
+            &mut scratch,
+            &mut emit,
+        );
+        SCRATCH.with(|s| *s.borrow_mut() = scratch);
+    }
+
+    fn run(
+        &self,
+        steps: &[PlanStep],
+        relations: &[Vec<LocalRect>],
+        scratch: &mut Scratch,
+        emit: &mut impl FnMut(&[LocalRect]),
+    ) {
+        let n = self.n;
+        let Scratch {
+            soa,
+            trees,
+            arena,
+            frames,
+            tuple,
+            tree_stack,
+            memo,
+            memo_arena,
+        } = scratch;
+
+        // Index the probed relations (every step but the first): SoA scan
+        // below the threshold, R-tree above.
+        soa.resize_with(n, Soa::default);
+        trees.clear();
+        trees.resize_with(n, || None);
+        for step in steps.iter().skip(1) {
+            let v = step.relation.index();
+            let rel = &relations[v];
+            if rel.len() < LINEAR_SCAN_THRESHOLD {
+                soa[v].fill(rel);
+            } else {
+                // Payload = the record id: the tree visitor hands back the
+                // complete `(rect, id)` with no indirection.
+                trees[v] = Some(RTree::bulk_load(rel.clone()));
+            }
+        }
+        tuple.clear();
+        tuple.resize(n, (Rect::new(0.0, 0.0, 0.0, 0.0), 0));
+        frames.clear();
+        frames.resize(n, Frame::default());
+        memo.resize_with(n, RectKeyMap::default);
+        for m in memo.iter_mut() {
+            m.clear();
+        }
+        memo_arena.clear();
+
+        // Depth 0: every rectangle of the start relation seeds the search.
+        arena.clear();
+        arena.extend_from_slice(&relations[steps[0].relation.index()]);
+
+        let mut depth = 0usize;
+        loop {
+            let step = &steps[depth];
+            let v = step.relation.index();
+            let Frame { base, mut cursor } = frames[depth];
+            let len = arena.len() - base;
+
+            // Advance to the next candidate at this depth that satisfies
+            // its verify edges.
+            let mut extended = false;
+            while cursor < len {
+                let (rect, id) = arena[base + cursor];
+                cursor += 1;
+                let ok = step.verify.iter().all(|e| {
+                    let other = &tuple[e.against.index()].0;
+                    if e.candidate_is_left {
+                        e.predicate.eval(&rect, other)
+                    } else {
+                        e.predicate.eval(other, &rect)
+                    }
+                });
+                if ok {
+                    tuple[v] = (rect, id);
+                    extended = true;
+                    break;
+                }
+            }
+            frames[depth].cursor = cursor;
+
+            if !extended {
+                // Depth exhausted: release its candidates, backtrack.
+                arena.truncate(base);
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+                continue;
+            }
+            if depth + 1 == n {
+                emit(tuple);
+                continue;
+            }
+            // Probe for the next depth's candidates. When the probing
+            // relation is the start relation every probe rectangle is
+            // distinct, so the index is walked directly; otherwise the
+            // same rectangle recurs once per partial tuple containing it
+            // and the result is memoized by rectangle.
+            let next = &steps[depth + 1];
+            let w = next.relation.index();
+            let probe = next.probe.as_ref().expect("non-root steps have a probe");
+            let probe_rect = &tuple[probe.from.index()].0;
+            let d = probe.predicate.distance();
+            let next_base = arena.len();
+            if probe.from == steps[0].relation {
+                if let Some(tree) = &trees[w] {
+                    tree.query_within_scratch(probe_rect, d, tree_stack, |r, &id| {
+                        arena.push((*r, id));
+                    });
+                } else {
+                    soa[w].probe_into(&relations[w], probe_rect, d, arena);
+                }
+            } else {
+                let (s, e) = *memo[depth + 1]
+                    .entry(rect_key(probe_rect))
+                    .or_insert_with(|| {
+                        let m0 = memo_arena.len();
+                        if let Some(tree) = &trees[w] {
+                            tree.query_within_scratch(probe_rect, d, tree_stack, |r, &id| {
+                                memo_arena.push((*r, id));
+                            });
+                        } else {
+                            soa[w].probe_into(&relations[w], probe_rect, d, memo_arena);
+                        }
+                        (m0 as u32, memo_arena.len() as u32)
+                    });
+                arena.extend_from_slice(&memo_arena[s as usize..e as usize]);
+            }
+            depth += 1;
+            frames[depth] = Frame {
+                base: next_base,
+                cursor: 0,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiway::{brute_force_join, multiway_join_naive, normalized};
+    use mwsj_query::Query;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_relation(n: usize, seed: u64, side: f64) -> Vec<LocalRect> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                (
+                    Rect::new(
+                        rng.random_range(0.0..300.0),
+                        rng.random_range(side..300.0),
+                        rng.random_range(0.0..side),
+                        rng.random_range(0.0..side),
+                    ),
+                    i as u32,
+                )
+            })
+            .collect()
+    }
+
+    fn kernel_ids(query: &Query, relations: &[Vec<LocalRect>]) -> Vec<Vec<u32>> {
+        let kernel = JoinKernel::new(query);
+        let mut out = Vec::new();
+        kernel.execute(relations, |tuple| {
+            out.push(tuple.iter().map(|&(_, id)| id).collect());
+        });
+        out
+    }
+
+    fn naive_ids(query: &Query, relations: &[Vec<LocalRect>]) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        multiway_join_naive(query, relations, |tuple| {
+            out.push(tuple.iter().map(|&(_, id)| id).collect());
+        });
+        out
+    }
+
+    fn check_against_oracles(query: &Query, relations: &[Vec<LocalRect>]) {
+        let got = normalized(kernel_ids(query, relations));
+        assert_eq!(got, normalized(brute_force_join(query, relations)));
+        assert_eq!(got, normalized(naive_ids(query, relations)));
+    }
+
+    #[test]
+    fn kernel_is_reusable_across_groups() {
+        let q = Query::builder()
+            .overlap("A", "B")
+            .overlap("B", "C")
+            .build()
+            .unwrap();
+        let kernel = JoinKernel::new(&q);
+        for seed in 0..4u64 {
+            let rels = vec![
+                random_relation(25, 100 + seed, 35.0),
+                random_relation(30, 200 + seed, 35.0),
+                random_relation(20, 300 + seed, 35.0),
+            ];
+            let mut out = Vec::new();
+            kernel.execute(&rels, |tuple| {
+                out.push(tuple.iter().map(|&(_, id)| id).collect::<Vec<_>>());
+            });
+            assert_eq!(normalized(out), normalized(brute_force_join(&q, &rels)));
+        }
+    }
+
+    #[test]
+    fn kernel_crosses_the_linear_scan_threshold() {
+        // One relation well above the threshold (tree-probed), one well
+        // below (SoA-scanned), one at the boundary.
+        let q = Query::builder()
+            .overlap("A", "B")
+            .range("B", "C", 10.0)
+            .build()
+            .unwrap();
+        for sizes in [
+            [LINEAR_SCAN_THRESHOLD * 3, 10, LINEAR_SCAN_THRESHOLD],
+            [10, LINEAR_SCAN_THRESHOLD * 2, LINEAR_SCAN_THRESHOLD - 1],
+        ] {
+            let rels: Vec<Vec<LocalRect>> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| random_relation(s, 40 + i as u64, 25.0))
+                .collect();
+            check_against_oracles(&q, &rels);
+        }
+    }
+
+    #[test]
+    fn kernel_handles_contains_in_both_orientations() {
+        let q = Query::builder()
+            .contains("A", "B")
+            .overlap("B", "C")
+            .build()
+            .unwrap();
+        // Containers are large, contents small: non-trivial matches.
+        let mut rng = StdRng::seed_from_u64(77);
+        let big: Vec<LocalRect> = (0..25)
+            .map(|i| {
+                (
+                    Rect::new(
+                        rng.random_range(0.0..200.0),
+                        rng.random_range(80.0..300.0),
+                        rng.random_range(40.0..80.0),
+                        rng.random_range(40.0..80.0),
+                    ),
+                    i as u32,
+                )
+            })
+            .collect();
+        let small = random_relation(60, 78, 12.0);
+        let mid = random_relation(8, 79, 30.0);
+        // 8 < 25 < 60: the matcher starts at C, so A (the container) is
+        // bound last; flipping sizes starts elsewhere.
+        check_against_oracles(&q, &[big.clone(), small.clone(), mid]);
+        check_against_oracles(&q, &[big, small, random_relation(100, 80, 30.0)]);
+    }
+
+    #[test]
+    fn reentrant_emit_does_not_corrupt_scratch() {
+        let q = Query::builder().overlap("A", "B").build().unwrap();
+        let rels = vec![random_relation(20, 90, 40.0), random_relation(20, 91, 40.0)];
+        let inner_q = q.clone();
+        let inner_rels = rels.clone();
+        let kernel = JoinKernel::new(&q);
+        let mut outer = 0usize;
+        let mut inner_total = 0usize;
+        kernel.execute(&rels, |_| {
+            outer += 1;
+            // A nested execution on the same thread must see its own
+            // scratch, not the suspended outer one.
+            let inner_kernel = JoinKernel::new(&inner_q);
+            let mut inner = 0usize;
+            inner_kernel.execute(&inner_rels, |_| inner += 1);
+            inner_total = inner;
+        });
+        let expect = brute_force_join(&q, &rels).len();
+        assert!(expect > 0, "test should exercise non-empty output");
+        assert_eq!(outer, expect);
+        assert_eq!(inner_total, expect);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn prop_kernel_equals_oracle_across_shapes(
+            a in proptest::collection::vec((0.0..100.0f64, 20.0..100.0f64, 0.0..25.0f64, 0.0..20.0f64), 1..14),
+            b in proptest::collection::vec((0.0..100.0f64, 20.0..100.0f64, 0.0..25.0f64, 0.0..20.0f64), 1..14),
+            c in proptest::collection::vec((0.0..100.0f64, 20.0..100.0f64, 0.0..25.0f64, 0.0..20.0f64), 1..14),
+            d in 0.0..30.0f64,
+            shape in 0..4usize,
+        ) {
+            let to_rel = |v: Vec<(f64, f64, f64, f64)>| -> Vec<LocalRect> {
+                v.into_iter().enumerate()
+                    .map(|(i, (x, y, l, b))| (Rect::new(x, y, l, b), i as u32))
+                    .collect()
+            };
+            let rels = vec![to_rel(a), to_rel(b), to_rel(c)];
+            let q = match shape {
+                // Chain.
+                0 => Query::builder().overlap("A", "B").range("B", "C", d),
+                // Star centered on A.
+                1 => Query::builder().overlap("A", "B").overlap("A", "C"),
+                // Cycle.
+                2 => Query::builder()
+                    .overlap("A", "B")
+                    .range("B", "C", d)
+                    .overlap("C", "A"),
+                // Parallel edges A=B plus a chain link to C.
+                _ => Query::builder()
+                    .overlap("A", "B")
+                    .range("A", "B", d)
+                    .overlap("B", "C"),
+            }
+            .build()
+            .unwrap();
+            let got = normalized(kernel_ids(&q, &rels));
+            prop_assert_eq!(&got, &normalized(brute_force_join(&q, &rels)));
+            prop_assert_eq!(got, normalized(naive_ids(&q, &rels)));
+        }
+    }
+}

@@ -10,6 +10,10 @@
 //!   rectangles satisfying a multi-way query (the reducer-side join of
 //!   *All-Replicate* and round 2 of *Controlled-Replicate*), plus a
 //!   brute-force oracle used throughout the test suites;
+//! * [`kernel`] — the precompiled, allocation-free execution engine behind
+//!   the matcher: per-depth probe/verify plans, an iterative stack over a
+//!   flat candidate arena, SoA rectangle storage with linear-scan probes
+//!   for small relations, thread-local scratch;
 //! * [`marking`] — the round-1 *Controlled-Replicate* marking procedure:
 //!   which rectangles satisfy conditions C1-C4 (§7.4) and must be
 //!   replicated;
@@ -25,10 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod dedup;
+pub mod kernel;
 pub mod marking;
 pub mod multiway;
 pub mod multiway_cell;
 pub mod planesweep;
+
+pub use kernel::JoinKernel;
 
 use mwsj_geom::Rect;
 

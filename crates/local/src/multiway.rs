@@ -4,24 +4,44 @@
 //! The paper leaves the reducer-side algorithm unspecified; this is a
 //! window-reduction backtracking matcher in the spirit of Mamoulis &
 //! Papadias' multiway spatial joins: relations are bound in a BFS order of
-//! the join graph, each extension is driven by an R-tree probe from an
+//! the join graph, each extension is driven by an index probe from an
 //! already-bound neighbor (the tightest incident predicate), and all other
-//! predicates to bound relations are verified before recursing.
+//! predicates to bound relations are verified before extending further.
 //!
+//! [`multiway_join`] executes on the precompiled, allocation-free
+//! [`crate::kernel::JoinKernel`]; jobs running many reducer groups build
+//! the kernel once and call it directly. [`multiway_join_naive`] keeps the
+//! original recursive implementation — per-call R-trees, dynamic probe
+//! selection, a fresh candidate `Vec` per probe — as the comparison
+//! reference for the equivalence tests and the old-vs-new micro-bench.
 //! [`brute_force_join`] is the quadratic-or-worse oracle used by the test
-//! suites to validate both this matcher and every distributed algorithm.
+//! suites to validate both matchers and every distributed algorithm.
 
 use mwsj_geom::Rect;
 use mwsj_query::{Query, RelationId};
 use mwsj_rtree::RTree;
 
+use crate::kernel::JoinKernel;
 use crate::LocalRect;
 
 /// Finds every consistent full tuple over the local relations and calls
 /// `emit` with one `(rect, id)` per relation position, in position order.
 ///
 /// `relations[i]` holds the local rectangles of query position `i`.
-pub fn multiway_join(
+///
+/// Compiles a [`JoinKernel`] per call; callers joining many groups under
+/// one query should build the kernel once and use
+/// [`JoinKernel::execute`].
+pub fn multiway_join(query: &Query, relations: &[Vec<LocalRect>], emit: impl FnMut(&[LocalRect])) {
+    JoinKernel::new(query).execute(relations, emit);
+}
+
+/// The pre-kernel recursive matcher, kept as an independent reference:
+/// same bind order and probe selection as the kernel, but resolved
+/// dynamically per node with per-probe allocations. Emits the same tuple
+/// set as [`multiway_join`] (candidate order within a probe may differ —
+/// the kernel scans small relations linearly instead of through a tree).
+pub fn multiway_join_naive(
     query: &Query,
     relations: &[Vec<LocalRect>],
     mut emit: impl FnMut(&[LocalRect]),
@@ -63,7 +83,6 @@ pub fn multiway_join(
     let mut tuple: Vec<LocalRect> = vec![(Rect::new(0.0, 0.0, 0.0, 0.0), 0); n];
 
     struct Ctx<'a, F> {
-        query: &'a Query,
         graph: &'a mwsj_query::JoinGraph,
         relations: &'a [Vec<LocalRect>],
         trees: &'a [RTree<u32>],
@@ -134,11 +153,9 @@ pub fn multiway_join(
             recurse(ctx, depth + 1, assignment, tuple);
             assignment[v.index()] = None;
         }
-        let _ = ctx.query;
     }
 
     let mut ctx = Ctx {
-        query,
         graph: &graph,
         relations,
         trees: &trees,
@@ -154,6 +171,16 @@ pub fn multiway_join(
 pub fn multiway_join_ids(query: &Query, relations: &[Vec<LocalRect>]) -> Vec<Vec<u32>> {
     let mut out = Vec::new();
     multiway_join(query, relations, |tuple| {
+        out.push(tuple.iter().map(|&(_, id)| id).collect());
+    });
+    out
+}
+
+/// [`multiway_join_ids`] over the naive reference matcher.
+#[must_use]
+pub fn multiway_join_ids_naive(query: &Query, relations: &[Vec<LocalRect>]) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    multiway_join_naive(query, relations, |tuple| {
         out.push(tuple.iter().map(|&(_, id)| id).collect());
     });
     out
@@ -241,6 +268,14 @@ mod tests {
             .unwrap()
     }
 
+    /// Both matchers against the brute-force oracle, and against each
+    /// other.
+    fn check_all(q: &Query, rels: &[Vec<LocalRect>]) {
+        let want = normalized(brute_force_join(q, rels));
+        assert_eq!(normalized(multiway_join_ids(q, rels)), want);
+        assert_eq!(normalized(multiway_join_ids_naive(q, rels)), want);
+    }
+
     #[test]
     fn matches_brute_force_overlap_chain() {
         let q = chain3();
@@ -249,10 +284,11 @@ mod tests {
             random_relation(40, 2, 30.0),
             random_relation(40, 3, 30.0),
         ];
-        let got = normalized(multiway_join_ids(&q, &rels));
-        let want = normalized(brute_force_join(&q, &rels));
-        assert!(!want.is_empty(), "test should exercise non-empty output");
-        assert_eq!(got, want);
+        assert!(
+            !brute_force_join(&q, &rels).is_empty(),
+            "test should exercise non-empty output"
+        );
+        check_all(&q, &rels);
     }
 
     #[test]
@@ -267,10 +303,7 @@ mod tests {
             random_relation(30, 5, 10.0),
             random_relation(30, 6, 10.0),
         ];
-        assert_eq!(
-            normalized(multiway_join_ids(&q, &rels)),
-            normalized(brute_force_join(&q, &rels))
-        );
+        check_all(&q, &rels);
     }
 
     #[test]
@@ -287,10 +320,7 @@ mod tests {
             random_relation(20, 9, 25.0),
             random_relation(20, 10, 25.0),
         ];
-        assert_eq!(
-            normalized(multiway_join_ids(&q, &rels)),
-            normalized(brute_force_join(&q, &rels))
-        );
+        check_all(&q, &rels);
     }
 
     #[test]
@@ -306,10 +336,7 @@ mod tests {
             random_relation(30, 12, 40.0),
             random_relation(30, 13, 40.0),
         ];
-        assert_eq!(
-            normalized(multiway_join_ids(&q, &rels)),
-            normalized(brute_force_join(&q, &rels))
-        );
+        check_all(&q, &rels);
     }
 
     #[test]
@@ -322,10 +349,7 @@ mod tests {
             .build()
             .unwrap();
         let rels = vec![random_relation(50, 14, 20.0), random_relation(50, 15, 20.0)];
-        assert_eq!(
-            normalized(multiway_join_ids(&q, &rels)),
-            normalized(brute_force_join(&q, &rels))
-        );
+        check_all(&q, &rels);
     }
 
     #[test]
@@ -337,6 +361,7 @@ mod tests {
             random_relation(10, 2, 20.0),
         ];
         assert!(multiway_join_ids(&q, &rels).is_empty());
+        assert!(multiway_join_ids_naive(&q, &rels).is_empty());
     }
 
     #[test]
@@ -366,10 +391,7 @@ mod tests {
             random_relation(15, 33, 50.0),
             random_relation(15, 34, 50.0),
         ];
-        assert_eq!(
-            normalized(multiway_join_ids(&q, &rels)),
-            normalized(brute_force_join(&q, &rels))
-        );
+        check_all(&q, &rels);
     }
 
     proptest! {
@@ -392,10 +414,9 @@ mod tests {
                 .range("R2", "R3", d)
                 .build()
                 .unwrap();
-            prop_assert_eq!(
-                normalized(multiway_join_ids(&q, &rels)),
-                normalized(brute_force_join(&q, &rels))
-            );
+            let want = normalized(brute_force_join(&q, &rels));
+            prop_assert_eq!(&normalized(multiway_join_ids(&q, &rels)), &want);
+            prop_assert_eq!(normalized(multiway_join_ids_naive(&q, &rels)), want);
         }
     }
 }

@@ -27,7 +27,7 @@
 
 use mwsj_geom::{Coord, Rect};
 use mwsj_partition::{CellId, Grid};
-use mwsj_query::{Query, RelationId};
+use mwsj_query::{JoinPlan, PlanStep, Query, RelationId};
 use mwsj_rtree::RTree;
 
 use crate::LocalRect;
@@ -66,13 +66,14 @@ pub fn multiway_join_at_cell(
         })
         .collect();
 
-    let graph = query.graph();
+    // Same precompiled bind order as the kernel behind the plain matcher:
+    // per-depth probe and verify edges resolved once.
     let start = (0..n)
         .min_by_key(|&i| relations[i].len())
         .map(|i| RelationId(i as u16))
         .expect("non-empty query");
-    let order = graph.bfs_order(start);
-    debug_assert_eq!(order.len(), n);
+    let plan = JoinPlan::compile(query, start);
+    debug_assert_eq!(plan.len(), n);
 
     // Precompute the designated-cell test as pure float comparisons. With
     // the half-open region semantics, `col(px) == cell_col` iff
@@ -130,10 +131,9 @@ pub fn multiway_join_at_cell(
     }
 
     struct Ctx<'a, F> {
-        graph: &'a mwsj_query::JoinGraph,
+        steps: &'a [PlanStep],
         relations: &'a [Vec<LocalRect>],
         trees: &'a [RTree<u32>],
-        order: &'a [RelationId],
         bounds: CellBounds,
         emit: F,
     }
@@ -156,67 +156,58 @@ pub fn multiway_join_at_cell(
         ctx: &mut Ctx<'_, F>,
         depth: usize,
         frame: Frame,
-        assignment: &mut Vec<Option<u32>>,
         tuple: &mut Vec<LocalRect>,
+        bufs: &mut [Vec<u32>],
     ) {
-        if depth == ctx.order.len() {
+        if depth == ctx.steps.len() {
             if ctx.bounds.full_ok(&frame) {
                 (ctx.emit)(tuple);
             }
             return;
         }
-        let v = ctx.order[depth];
-        let candidates: Vec<u32> = if depth == 0 {
-            (0..ctx.relations[v.index()].len() as u32).collect()
-        } else {
-            let probe = ctx
-                .graph
-                .neighbors(v)
-                .iter()
-                .filter(|(u, _, _)| assignment[u.index()].is_some())
-                .min_by(|(_, p1, _), (_, p2, _)| p1.distance().total_cmp(&p2.distance()))
-                .copied();
-            let Some((u, pred, _)) = probe else {
-                unreachable!("BFS order leaves no relation without a bound neighbor");
-            };
-            let probe_rect = tuple[u.index()].0;
-            let mut c = Vec::new();
-            ctx.trees[v.index()].query_within(&probe_rect, pred.distance(), |_, &idx| {
-                c.push(idx);
-            });
-            c
-        };
-        for idx in candidates {
-            let (rect, id) = ctx.relations[v.index()][idx as usize];
+        let step = &ctx.steps[depth];
+        let v = step.relation.index();
+        // Each depth reuses its own candidate buffer across sibling probes
+        // (`query_within_into` clears it); deeper depths use the rest.
+        let (mine, rest) = bufs.split_first_mut().expect("one buffer per depth");
+        match &step.probe {
+            None => {
+                mine.clear();
+                mine.extend(0..ctx.relations[v].len() as u32);
+            }
+            Some(probe) => {
+                let probe_rect = tuple[probe.from.index()].0;
+                ctx.trees[v].query_within_into(&probe_rect, probe.predicate.distance(), mine);
+            }
+        }
+        for &idx in mine.iter() {
+            let (rect, id) = ctx.relations[v][idx as usize];
             let next = frame.extend(&rect);
             if !ctx.bounds.partial_ok(&next) {
                 continue;
             }
-            let ok =
-                ctx.graph
-                    .neighbors(v)
-                    .iter()
-                    .all(|&(w, p, forward)| match assignment[w.index()] {
-                        Some(_) => p.eval_oriented(&rect, &tuple[w.index()].0, !forward),
-                        None => true,
-                    });
+            let ok = step.verify.iter().all(|e| {
+                let other = &tuple[e.against.index()].0;
+                if e.candidate_is_left {
+                    e.predicate.eval(&rect, other)
+                } else {
+                    e.predicate.eval(other, &rect)
+                }
+            });
             if !ok {
                 continue;
             }
-            assignment[v.index()] = Some(idx);
-            tuple[v.index()] = (rect, id);
-            recurse(ctx, depth + 1, next, assignment, tuple);
-            assignment[v.index()] = None;
+            tuple[v] = (rect, id);
+            recurse(ctx, depth + 1, next, tuple, rest);
         }
     }
 
-    let mut assignment: Vec<Option<u32>> = vec![None; n];
     let mut tuple: Vec<LocalRect> = vec![(Rect::new(0.0, 0.0, 0.0, 0.0), 0); n];
+    let mut bufs: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut ctx = Ctx {
-        graph: &graph,
+        steps: plan.steps(),
         relations,
         trees: &trees,
-        order: &order,
         bounds,
         emit: &mut emit,
     };
@@ -224,7 +215,7 @@ pub fn multiway_join_at_cell(
         max_start_x: Coord::NEG_INFINITY,
         min_start_y: Coord::INFINITY,
     };
-    recurse(&mut ctx, 0, root, &mut assignment, &mut tuple);
+    recurse(&mut ctx, 0, root, &mut tuple, &mut bufs);
 }
 
 #[cfg(test)]

@@ -13,6 +13,8 @@
 //! * [`Query::parse`] — a small textual form
 //!   (`"R1 overlaps R2 and R2 within 100 of R3"`);
 //! * [`JoinGraph`] — adjacency, connectivity, traversal orders;
+//! * [`JoinPlan`] — precompiled bind orders (per-depth probe and verify
+//!   edges) for the reducer-local matcher;
 //! * [`replication_bounds`] — the *C-Rep-L* per-relation replication
 //!   distances (§7.9, §8) for arbitrary connected query graphs.
 
@@ -23,10 +25,12 @@ mod bounds;
 mod graph;
 pub mod histogram;
 mod parser;
+mod plan;
 mod query;
 
 pub use bounds::replication_bounds;
 pub use graph::JoinGraph;
 pub use histogram::GridHistogram;
 pub use parser::ParseError;
+pub use plan::{JoinPlan, PlanStep, ProbeEdge, VerifyEdge};
 pub use query::{Predicate, Query, QueryBuilder, QueryError, RelationId, Triple};

@@ -1,0 +1,312 @@
+//! Precompiled join plans for the reducer-local multi-way matcher.
+//!
+//! The backtracking matcher binds relations in a BFS order of the join
+//! graph; at each depth it probes an index of the next relation from an
+//! already-bound neighbor and verifies the remaining predicates to bound
+//! relations. Which neighbor drives the probe and which edges need
+//! verification depend only on the *depth*, not on the rectangles: after
+//! `d` binds the bound set is exactly the first `d` relations of the BFS
+//! order. [`JoinPlan::compile`] therefore resolves probe and verify edges
+//! once per `(query, start)` pair, so the per-candidate inner loop of the
+//! matcher touches no graph structure at all.
+//!
+//! Two invariants tie the plan to the dynamic matcher it replaces:
+//!
+//! * **Probe selection** replicates `Iterator::min_by` over the adjacency
+//!   list filtered to bound neighbors — the *first* edge with minimal
+//!   predicate distance wins ties, in adjacency (= triple declaration)
+//!   order.
+//! * **Probe-edge elision**: an index probe `query_within(r, d)` accepts a
+//!   candidate iff `distance_sq(candidate, r) <= d²`, which for the
+//!   symmetric predicates (`Overlap` ⇔ distance 0, `Range(d)` by
+//!   definition) *is* the predicate — so the probe edge is dropped from
+//!   the verify list. `Contains` is directional (its probe distance is 0,
+//!   a necessary overlap filter only) and stays on the verify list.
+
+use crate::graph::JoinGraph;
+use crate::query::{Predicate, Query, RelationId};
+
+/// The index probe driving one bind step: probe the step's relation from
+/// the already-bound relation `from` with window distance
+/// `predicate.distance()`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeEdge {
+    /// The bound relation whose rectangle is the probe window.
+    pub from: RelationId,
+    /// The predicate on the probe edge (its distance parameterizes the
+    /// index query).
+    pub predicate: Predicate,
+}
+
+/// One predicate a candidate must satisfy against an already-bound
+/// relation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerifyEdge {
+    /// The bound relation to check against.
+    pub against: RelationId,
+    /// The predicate on the edge.
+    pub predicate: Predicate,
+    /// Orientation: when true the candidate is the triple's left side
+    /// (the container for `Contains`).
+    pub candidate_is_left: bool,
+}
+
+/// One bind step of a compiled plan: extend the partial tuple with a
+/// rectangle of `relation`, found via `probe` (seeds at depth 0) and
+/// checked against every `verify` edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStep {
+    /// The relation position bound at this depth.
+    pub relation: RelationId,
+    /// The probe edge; `None` only at depth 0 (every rectangle seeds).
+    pub probe: Option<ProbeEdge>,
+    /// Predicates to bound relations that the probe does not already
+    /// guarantee, in adjacency order.
+    pub verify: Vec<VerifyEdge>,
+}
+
+/// A compiled bind order: one [`PlanStep`] per relation position, in BFS
+/// order from the chosen start vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPlan {
+    steps: Vec<PlanStep>,
+}
+
+impl JoinPlan {
+    /// Compiles the plan binding `start` first. Equivalent to — and
+    /// byte-for-byte interchangeable with — the dynamic probe/verify
+    /// selection of the backtracking matcher (see the module docs).
+    #[must_use]
+    pub fn compile(query: &Query, start: RelationId) -> JoinPlan {
+        Self::compile_with(query, &query.graph(), start)
+    }
+
+    /// [`JoinPlan::compile`] against a prebuilt graph (compiling all start
+    /// vertices shares one adjacency build).
+    #[must_use]
+    pub fn compile_with(query: &Query, graph: &JoinGraph, start: RelationId) -> JoinPlan {
+        let n = query.num_relations();
+        let order = graph.bfs_order(start);
+        debug_assert_eq!(order.len(), n, "query graphs are connected");
+        let mut bound = vec![false; n];
+        let mut steps = Vec::with_capacity(n);
+        for (depth, &v) in order.iter().enumerate() {
+            let mut probe = None;
+            // Adjacency index of the probe edge, so the verify filter can
+            // skip exactly that entry (parallel edges to the same neighbor
+            // must still be verified).
+            let mut elided = usize::MAX;
+            if depth > 0 {
+                let mut best: Option<(usize, RelationId, Predicate)> = None;
+                for (i, &(u, p, _)) in graph.neighbors(v).iter().enumerate() {
+                    if !bound[u.index()] {
+                        continue;
+                    }
+                    // Strict `<`: first minimal wins, like `min_by`.
+                    if best.is_none_or(|(_, _, bp)| p.distance() < bp.distance()) {
+                        best = Some((i, u, p));
+                    }
+                }
+                let (i, u, p) =
+                    best.expect("BFS order leaves no relation without a bound neighbor");
+                if p.is_symmetric() {
+                    elided = i;
+                }
+                probe = Some(ProbeEdge {
+                    from: u,
+                    predicate: p,
+                });
+            }
+            let verify = graph
+                .neighbors(v)
+                .iter()
+                .enumerate()
+                .filter(|&(i, &(w, _, _))| bound[w.index()] && i != elided)
+                .map(|(_, &(w, p, forward))| VerifyEdge {
+                    against: w,
+                    predicate: p,
+                    candidate_is_left: forward,
+                })
+                .collect();
+            steps.push(PlanStep {
+                relation: v,
+                probe,
+                verify,
+            });
+            bound[v.index()] = true;
+        }
+        JoinPlan { steps }
+    }
+
+    /// Compiles one plan per possible start vertex, indexed by the start's
+    /// relation position. The matcher picks its start per reducer group
+    /// (smallest local relation), so a job precompiles all of them once.
+    #[must_use]
+    pub fn compile_all(query: &Query) -> Vec<JoinPlan> {
+        let graph = query.graph();
+        query
+            .relations()
+            .map(|r| Self::compile_with(query, &graph, r))
+            .collect()
+    }
+
+    /// The bind steps, depth order.
+    #[must_use]
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// Number of relation positions the plan binds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the plan is empty (never true for valid queries).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> Query {
+        Query::builder()
+            .overlap("R1", "R2")
+            .overlap("R2", "R3")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn chain_plan_probes_along_the_chain() {
+        let plan = JoinPlan::compile(&chain3(), RelationId(0));
+        let steps = plan.steps();
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0].relation, RelationId(0));
+        assert!(steps[0].probe.is_none());
+        assert!(steps[0].verify.is_empty());
+        // Depth 1 binds R2, probed from R1; the symmetric overlap probe
+        // needs no re-verification.
+        assert_eq!(steps[1].relation, RelationId(1));
+        assert_eq!(steps[1].probe.unwrap().from, RelationId(0));
+        assert!(steps[1].verify.is_empty());
+        // Depth 2 binds R3 probed from R2.
+        assert_eq!(steps[2].relation, RelationId(2));
+        assert_eq!(steps[2].probe.unwrap().from, RelationId(1));
+        assert!(steps[2].verify.is_empty());
+    }
+
+    #[test]
+    fn cycle_plan_keeps_the_closing_edge_as_verify() {
+        let q = Query::builder()
+            .overlap("A", "B")
+            .overlap("B", "C")
+            .overlap("C", "A")
+            .build()
+            .unwrap();
+        let plan = JoinPlan::compile(&q, RelationId(0));
+        let last = plan.steps().last().unwrap();
+        // The last bind has two bound neighbors: one drives the probe, the
+        // other must be verified.
+        assert_eq!(last.verify.len(), 1);
+        let probe = last.probe.unwrap();
+        assert_ne!(probe.from, last.verify[0].against);
+    }
+
+    #[test]
+    fn tightest_predicate_drives_the_probe() {
+        // BFS from A visits C first (A-C is declared before A-B), so B
+        // binds last with both A and C bound. B is reachable from A via
+        // Range(50) and from C via Range(5); the tighter edge from C must
+        // drive the probe. Relation ids by first appearance: A=0, C=1, B=2.
+        let q = Query::builder()
+            .overlap("A", "C")
+            .range("A", "B", 50.0)
+            .range("C", "B", 5.0)
+            .build()
+            .unwrap();
+        let plan = JoinPlan::compile(&q, RelationId(0));
+        let b_step = plan
+            .steps()
+            .iter()
+            .find(|s| s.relation == RelationId(2))
+            .unwrap();
+        assert_eq!(b_step.probe.unwrap().from, RelationId(1));
+        assert_eq!(b_step.probe.unwrap().predicate, Predicate::Range(5.0));
+        // The looser Range(50) from A still needs verification.
+        assert_eq!(b_step.verify.len(), 1);
+        assert_eq!(b_step.verify[0].against, RelationId(0));
+    }
+
+    #[test]
+    fn tie_break_is_first_in_adjacency_order() {
+        // Parallel overlap edges between A and B: both have distance 0; the
+        // first adjacency entry must drive the probe and the second stays
+        // on the verify list.
+        let q = Query::builder()
+            .overlap("A", "B")
+            .range("A", "B", 0.0)
+            .build()
+            .unwrap();
+        let plan = JoinPlan::compile(&q, RelationId(0));
+        let step = &plan.steps()[1];
+        assert_eq!(step.probe.unwrap().predicate, Predicate::Overlap);
+        assert_eq!(step.verify.len(), 1);
+        assert_eq!(step.verify[0].predicate, Predicate::Range(0.0));
+    }
+
+    #[test]
+    fn contains_probe_is_never_elided() {
+        let q = Query::builder().contains("A", "B").build().unwrap();
+        // Start at B: A is probed (distance 0) but containment is
+        // directional, so the edge must still be verified — with A (the
+        // candidate) as the container.
+        let plan = JoinPlan::compile(&q, RelationId(1));
+        let step = &plan.steps()[1];
+        assert_eq!(step.relation, RelationId(0));
+        assert_eq!(step.probe.unwrap().predicate, Predicate::Contains);
+        assert_eq!(step.verify.len(), 1);
+        assert!(step.verify[0].candidate_is_left);
+
+        // Start at A: now B is the candidate, the contained side.
+        let plan = JoinPlan::compile(&q, RelationId(0));
+        let step = &plan.steps()[1];
+        assert_eq!(step.relation, RelationId(1));
+        assert!(!step.verify[0].candidate_is_left);
+    }
+
+    #[test]
+    fn compile_all_covers_every_start() {
+        let q = chain3();
+        let plans = JoinPlan::compile_all(&q);
+        assert_eq!(plans.len(), 3);
+        for (i, plan) in plans.iter().enumerate() {
+            assert_eq!(plan.len(), 3);
+            assert_eq!(plan.steps()[0].relation, RelationId(i as u16));
+            assert_eq!(
+                plan,
+                &JoinPlan::compile(&q, RelationId(i as u16)),
+                "compile_all must agree with compile"
+            );
+        }
+    }
+
+    #[test]
+    fn star_center_start_probes_every_leaf_from_the_center() {
+        let q = Query::builder()
+            .overlap("C", "L1")
+            .overlap("C", "L2")
+            .overlap("C", "L3")
+            .build()
+            .unwrap();
+        let plan = JoinPlan::compile(&q, RelationId(0));
+        for step in plan.steps().iter().skip(1) {
+            assert_eq!(step.probe.unwrap().from, RelationId(0));
+            assert!(step.verify.is_empty());
+        }
+    }
+}

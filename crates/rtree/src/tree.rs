@@ -24,10 +24,13 @@ struct Node {
 
 #[derive(Debug, Clone)]
 enum NodeContent {
-    /// Indices into `entries`.
-    Leaf(Vec<u32>),
-    /// Indices into `nodes`.
-    Inner(Vec<u32>),
+    /// Entries `entries[start..end]`. Bulk load stores entries in leaf-pack
+    /// order, so a leaf scan is one sequential read — no index indirection,
+    /// no per-leaf allocation.
+    Leaf { start: u32, end: u32 },
+    /// Child nodes `nodes[start..end]` (each level is packed contiguously,
+    /// so a node's children are consecutive ids).
+    Inner { start: u32, end: u32 },
 }
 
 impl<T> RTree<T> {
@@ -49,60 +52,77 @@ impl<T> RTree<T> {
         let slab_count = (leaf_count as f64).sqrt().ceil() as usize;
         let slab_size = n.div_ceil(slab_count);
 
-        let mut nodes: Vec<Node> = Vec::new();
-        let mut leaf_ids: Vec<u32> = Vec::new();
-        let mut order: Vec<u32> = Vec::with_capacity(n);
-        {
-            // Determine the leaf packing order without moving the payloads.
-            let mut idx: Vec<u32> = (0..n as u32).collect();
-            for slab in idx.chunks_mut(slab_size) {
-                slab.sort_unstable_by(|&a, &b| {
-                    items[a as usize]
-                        .0
-                        .center()
-                        .y
-                        .total_cmp(&items[b as usize].0.center().y)
-                });
-            }
-            order.extend_from_slice(&idx);
+        // Determine the leaf packing order, then *store the entries in that
+        // order*: each leaf owns a contiguous range of `entries`, scanned
+        // sequentially at query time.
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        for slab in idx.chunks_mut(slab_size) {
+            slab.sort_unstable_by(|&a, &b| {
+                items[a as usize]
+                    .0
+                    .center()
+                    .y
+                    .total_cmp(&items[b as usize].0.center().y)
+            });
         }
-        for chunk in order.chunks(NODE_CAPACITY) {
-            let mbr = chunk
+        let mut slots: Vec<Option<(Rect, T)>> = items.into_iter().map(Some).collect();
+        let entries: Vec<(Rect, T)> = idx
+            .iter()
+            .map(|&i| slots[i as usize].take().expect("each index exactly once"))
+            .collect();
+
+        let mut nodes: Vec<Node> = Vec::with_capacity(2 * leaf_count);
+        let mut start = 0;
+        while start < n {
+            let end = (start + NODE_CAPACITY).min(n);
+            let mbr = entries[start..end]
                 .iter()
-                .map(|&i| items[i as usize].0)
+                .map(|(r, _)| *r)
                 .reduce(|a, b| a.union(&b))
                 .expect("non-empty chunk");
             nodes.push(Node {
                 mbr,
-                content: NodeContent::Leaf(chunk.to_vec()),
+                content: NodeContent::Leaf {
+                    start: start as u32,
+                    end: end as u32,
+                },
             });
-            leaf_ids.push((nodes.len() - 1) as u32);
+            start = end;
         }
 
         // Build upper levels by packing child MBRs in index order (children
-        // are already spatially clustered by the STR pass).
-        let mut level = leaf_ids;
-        while level.len() > 1 {
-            let mut next = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
-            for chunk in level.chunks(NODE_CAPACITY) {
-                let mbr = chunk
+        // are already spatially clustered by the STR pass). Each level is
+        // appended contiguously, so children form consecutive id ranges.
+        let mut level_start = 0;
+        let mut level_len = nodes.len();
+        while level_len > 1 {
+            let next_start = nodes.len();
+            let mut child = level_start;
+            let level_end = level_start + level_len;
+            while child < level_end {
+                let chunk_end = (child + NODE_CAPACITY).min(level_end);
+                let mbr = nodes[child..chunk_end]
                     .iter()
-                    .map(|&i| nodes[i as usize].mbr)
+                    .map(|node| node.mbr)
                     .reduce(|a, b| a.union(&b))
                     .expect("non-empty chunk");
                 nodes.push(Node {
                     mbr,
-                    content: NodeContent::Inner(chunk.to_vec()),
+                    content: NodeContent::Inner {
+                        start: child as u32,
+                        end: chunk_end as u32,
+                    },
                 });
-                next.push((nodes.len() - 1) as u32);
+                child = chunk_end;
             }
-            level = next;
+            level_start = next_start;
+            level_len = nodes.len() - next_start;
         }
 
         Self {
-            root: Some(level[0] as usize),
+            root: Some(nodes.len() - 1),
             nodes,
-            entries: items,
+            entries,
         }
     }
 
@@ -131,34 +151,78 @@ impl<T> RTree<T> {
 
     /// Calls `visit` for every entry whose rectangle lies within distance
     /// `d` (closed) of the probe rectangle. `d = 0` is the overlap query.
-    pub fn query_within<'a>(
+    pub fn query_within<'a>(&'a self, probe: &Rect, d: Coord, visit: impl FnMut(&'a Rect, &'a T)) {
+        let mut stack = Vec::new();
+        self.query_within_scratch(probe, d, &mut stack, visit);
+    }
+
+    /// [`RTree::query_within`] with a caller-owned traversal stack: probing
+    /// in a loop reuses one buffer instead of allocating a stack per probe.
+    /// The stack is cleared on entry; visit order is identical to
+    /// [`RTree::query_within`].
+    ///
+    /// `d == 0` takes an overlap fast path — `distance_sq(a, b) <= 0` iff
+    /// both axis gaps are zero iff the closed rectangles overlap, so the
+    /// acceptance test reduces to four comparisons with no arithmetic.
+    pub fn query_within_scratch<'a>(
         &'a self,
         probe: &Rect,
         d: Coord,
+        stack: &mut Vec<u32>,
         mut visit: impl FnMut(&'a Rect, &'a T),
     ) {
         let Some(root) = self.root else { return };
+        stack.clear();
+        stack.push(root as u32);
+        if d == 0.0 {
+            while let Some(id) = stack.pop() {
+                let node = &self.nodes[id as usize];
+                if !node.mbr.overlaps(probe) {
+                    continue;
+                }
+                match node.content {
+                    NodeContent::Leaf { start, end } => {
+                        for (rect, payload) in &self.entries[start as usize..end as usize] {
+                            if rect.overlaps(probe) {
+                                visit(rect, payload);
+                            }
+                        }
+                    }
+                    NodeContent::Inner { start, end } => stack.extend(start..end),
+                }
+            }
+            return;
+        }
         let d_sq = d * d;
-        let mut stack = vec![root];
         while let Some(id) = stack.pop() {
-            let node = &self.nodes[id];
+            let node = &self.nodes[id as usize];
             if node.mbr.distance_sq(probe) > d_sq {
                 continue;
             }
-            match &node.content {
-                NodeContent::Leaf(entry_ids) => {
-                    for &e in entry_ids {
-                        let (rect, payload) = &self.entries[e as usize];
+            match node.content {
+                NodeContent::Leaf { start, end } => {
+                    for (rect, payload) in &self.entries[start as usize..end as usize] {
                         if rect.distance_sq(probe) <= d_sq {
                             visit(rect, payload);
                         }
                     }
                 }
-                NodeContent::Inner(children) => {
-                    stack.extend(children.iter().map(|&c| c as usize));
-                }
+                NodeContent::Inner { start, end } => stack.extend(start..end),
             }
         }
+    }
+
+    /// Clears `out` and fills it with the payloads of every entry within
+    /// distance `d` (closed) of the probe rectangle — the buffer-reusing
+    /// twin of [`RTree::query_within`]. Callers probing in a loop keep one
+    /// allocation alive across probes instead of collecting a fresh `Vec`
+    /// each time.
+    pub fn query_within_into(&self, probe: &Rect, d: Coord, out: &mut Vec<T>)
+    where
+        T: Clone,
+    {
+        out.clear();
+        self.query_within(probe, d, |_, t| out.push(t.clone()));
     }
 
     /// Collects payload references overlapping the window (convenience for
@@ -223,9 +287,9 @@ impl<T> RTree<T> {
                     break; // every remaining node is farther
                 }
             }
-            match &self.nodes[item.node].content {
-                NodeContent::Leaf(entry_ids) => {
-                    for &e in entry_ids {
+            match self.nodes[item.node].content {
+                NodeContent::Leaf { start, end } => {
+                    for e in start..end {
                         let d = self.entries[e as usize].0.distance(probe);
                         let better = match best {
                             None => true,
@@ -236,8 +300,8 @@ impl<T> RTree<T> {
                         }
                     }
                 }
-                NodeContent::Inner(children) => {
-                    for &c in children {
+                NodeContent::Inner { start, end } => {
+                    for c in start..end {
                         seq += 1;
                         heap.push(Item {
                             dist: self.nodes[c as usize].mbr.distance(probe),
@@ -275,9 +339,9 @@ impl<T> RTree<T> {
             if best.len() == k && node_dist > best[k - 1].0 {
                 continue;
             }
-            match &self.nodes[node].content {
-                NodeContent::Leaf(entry_ids) => {
-                    for &e in entry_ids {
+            match self.nodes[node].content {
+                NodeContent::Leaf { start, end } => {
+                    for e in start..end {
                         let d = self.entries[e as usize].0.distance(probe);
                         let cand = (d, e);
                         if best.len() == k {
@@ -291,8 +355,8 @@ impl<T> RTree<T> {
                         best.truncate(k);
                     }
                 }
-                NodeContent::Inner(children) => {
-                    for &c in children {
+                NodeContent::Inner { start, end } => {
+                    for c in start..end {
                         let d = self.nodes[c as usize].mbr.distance(probe);
                         if best.len() < k || d <= best[k - 1].0 {
                             stack.push((d, c as usize));
@@ -325,17 +389,17 @@ impl<T> RTree<T> {
             if !node.mbr.overlaps(window) {
                 continue;
             }
-            match &node.content {
-                NodeContent::Leaf(entry_ids) => {
-                    if entry_ids
+            match node.content {
+                NodeContent::Leaf { start, end } => {
+                    if self.entries[start as usize..end as usize]
                         .iter()
-                        .any(|&e| self.entries[e as usize].0.overlaps(window))
+                        .any(|(r, _)| r.overlaps(window))
                     {
                         found = true;
                     }
                 }
-                NodeContent::Inner(children) => {
-                    stack.extend(children.iter().map(|&c| c as usize));
+                NodeContent::Inner { start, end } => {
+                    stack.extend((start..end).map(|c| c as usize));
                 }
             }
         }
@@ -435,6 +499,58 @@ mod tests {
             tree.query_within(&w, d, |_, &i| got.push(i));
             got.sort_unstable();
             assert_eq!(got, brute_within(&items, &w, d));
+        }
+    }
+
+    #[test]
+    fn query_within_into_matches_visitor_and_reuses_buffer() {
+        let items = random_rects(400, 19);
+        let tree = RTree::bulk_load(items.clone());
+        let mut buf: Vec<usize> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(4000);
+        for _ in 0..30 {
+            let w = Rect::new(
+                rng.random_range(0.0..900.0),
+                rng.random_range(100.0..1000.0),
+                rng.random_range(0.0..100.0),
+                rng.random_range(0.0..100.0),
+            );
+            let d = rng.random_range(0.0..80.0);
+            // The buffer is cleared, not appended to — stale contents from
+            // the previous probe must not leak.
+            tree.query_within_into(&w, d, &mut buf);
+            let mut expect = Vec::new();
+            tree.query_within(&w, d, |_, &i| expect.push(i));
+            assert_eq!(buf, expect, "same payloads in the same visit order");
+        }
+    }
+
+    #[test]
+    fn query_within_scratch_matches_fresh_stack_at_all_distances() {
+        // d == 0 takes the overlap fast path; d > 0 the distance path —
+        // both must visit exactly what query_within visits, in the same
+        // order, with one stack reused across every probe.
+        let items = random_rects(400, 21);
+        let tree = RTree::bulk_load(items.clone());
+        let mut stack: Vec<u32> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(4100);
+        for probe_no in 0..30 {
+            let w = Rect::new(
+                rng.random_range(0.0..900.0),
+                rng.random_range(100.0..1000.0),
+                rng.random_range(0.0..100.0),
+                rng.random_range(0.0..100.0),
+            );
+            let d = if probe_no % 2 == 0 {
+                0.0
+            } else {
+                rng.random_range(0.0..80.0)
+            };
+            let mut got = Vec::new();
+            tree.query_within_scratch(&w, d, &mut stack, |_, &i| got.push(i));
+            let mut expect = Vec::new();
+            tree.query_within(&w, d, |_, &i| expect.push(i));
+            assert_eq!(got, expect, "probe {probe_no} (d = {d})");
         }
     }
 

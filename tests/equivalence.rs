@@ -273,6 +273,100 @@ proptest! {
     }
 }
 
+/// The reducer-side join kernel (PR 5) must be invisible in every
+/// communication counter: replication and shuffle are decided map-side,
+/// and the kernel emits exactly the tuples the old recursive matcher did.
+/// The goldens below were captured by running this exact workload against
+/// the pre-kernel recursive matcher; the kernel build must reproduce them
+/// byte for byte — including `reduce_output_records`, which counts the
+/// reduce-side emissions themselves.
+#[test]
+fn kernel_reducers_leave_communication_counters_unchanged() {
+    let q = Query::parse("R1 ov R2 and R2 ra(40) R3").unwrap();
+    let r1 = random_relation(250, 10, 30.0);
+    let r2 = random_relation(250, 11, 30.0);
+    let r3 = random_relation(250, 12, 30.0);
+    let cl = cluster(8);
+
+    // Per-job (map_output_records, shuffle_bytes, reduce_input_groups,
+    // reduce_output_records).
+    type JobCounters = (u64, u64, u64, u64);
+    let golden: [(Algorithm, &[JobCounters]); 4] = [
+        (
+            Algorithm::TwoWayCascade,
+            &[(606, 26_362, 64, 58), (461, 25_373, 64, 152)],
+        ),
+        (Algorithm::AllReplicate, &[(14_739, 619_038, 64, 152)]),
+        (
+            Algorithm::ControlledReplicate,
+            &[(917, 38_514, 64, 750), (8_660, 363_720, 64, 152)],
+        ),
+        (
+            Algorithm::ControlledReplicateLimit,
+            &[(917, 38_514, 64, 750), (1_732, 72_744, 64, 152)],
+        ),
+    ];
+
+    for (alg, jobs) in golden {
+        let out = cl.run(&q, &[&r1, &r2, &r3], alg);
+        assert_eq!(out.tuples.len(), 152, "{}", alg.name());
+        assert_eq!(out.report.jobs.len(), jobs.len(), "{}", alg.name());
+        for (j, want) in out.report.jobs.iter().zip(jobs) {
+            let got = (
+                j.map_output_records,
+                j.shuffle_bytes,
+                j.reduce_input_groups,
+                j.reduce_output_records,
+            );
+            assert_eq!(got, *want, "{} job {}", alg.name(), j.job_name);
+        }
+    }
+}
+
+/// The kernel's per-thread scratch must survive the engine's fault
+/// machinery: retried and speculative reduce attempts re-enter
+/// `JoinKernel::execute` on the same worker threads, and committed output
+/// and logical counters must match the fault-free run exactly.
+#[test]
+fn kernel_reducers_are_exact_under_fault_injection() {
+    use mwsj_core::mapreduce::FaultPlan;
+
+    let q = Query::parse("R1 ov R2 and R2 ra(40) R3").unwrap();
+    let r1 = random_relation(250, 10, 30.0);
+    let r2 = random_relation(250, 11, 30.0);
+    let r3 = random_relation(250, 12, 30.0);
+    let expected = reference::in_memory_join(&q, &[&r1, &r2, &r3]);
+
+    let mut config = ClusterConfig::for_space(SPACE, SPACE, 8);
+    config.engine.map_tasks = 4;
+    config.engine.reduce_tasks = 4;
+    let clean = Cluster::new(config.clone());
+
+    let mut faulty_config = config;
+    faulty_config.engine.fault_plan = Some(FaultPlan::chaos(23, 0.2, 0.05).with_max_attempts(8));
+    let faulty = Cluster::new(faulty_config);
+
+    for alg in [Algorithm::AllReplicate, Algorithm::ControlledReplicate] {
+        let a = clean.run(&q, &[&r1, &r2, &r3], alg);
+        let b = faulty.run(&q, &[&r1, &r2, &r3], alg);
+        assert_eq!(a.tuples, expected, "{} (clean)", alg.name());
+        assert_eq!(b.tuples, expected, "{} (faulty)", alg.name());
+        for (ja, jb) in a.report.jobs.iter().zip(&b.report.jobs) {
+            assert_eq!(
+                ja.map_output_records, jb.map_output_records,
+                "{}",
+                ja.job_name
+            );
+            assert_eq!(ja.shuffle_bytes, jb.shuffle_bytes, "{}", ja.job_name);
+            assert_eq!(
+                ja.reduce_output_records, jb.reduce_output_records,
+                "{}",
+                ja.job_name
+            );
+        }
+    }
+}
+
 #[test]
 fn virtual_cells_on_fewer_reducers_stay_correct() {
     // A 16x16 logical grid hashed onto 10 physical reducers (the standard

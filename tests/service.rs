@@ -280,9 +280,9 @@ fn heavy_line(extra: &str) -> String {
     query_line(
         "X ov Y and Y ov Z",
         &[
-            ("X", "synthetic:n=80000,seed=31,lmax=250"),
-            ("Y", "synthetic:n=80000,seed=32,lmax=250"),
-            ("Z", "synthetic:n=80000,seed=33,lmax=250"),
+            ("X", "synthetic:n=300000,seed=31,lmax=250"),
+            ("Y", "synthetic:n=300000,seed=32,lmax=250"),
+            ("Z", "synthetic:n=300000,seed=33,lmax=250"),
         ],
         extra,
     )
