@@ -96,6 +96,12 @@ SERVE OPTIONS  (a concurrent query service speaking line-delimited JSON)
   --extent E          service space is [0, E]^2 (default 100000)
   --max-inflight N    concurrent joins before queueing (default 4)
   --max-queue N       queued joins before shedding `overloaded` (default 16)
+  --net-fault-rate P  inject each network fault kind (torn frame, stall,
+                      disconnect, corrupt byte, slow loris) into every
+                      connection with probability P per I/O op (default 0)
+  --net-fault-seed N  seed for the deterministic network faults (default 0)
+  --drain-deadline-ms N  on shutdown, let in-flight queries finish for up
+                      to N ms before cancelling them (default 5000)
 
 QUERY OPTIONS  (submit to a running `mwsj serve`)
   --connect HOST:PORT server address (required)
@@ -215,8 +221,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "extent",
         "max-inflight",
         "max-queue",
+        "net-fault-rate",
+        "net-fault-seed",
+        "drain-deadline-ms",
     ])?;
-    let config = mwsj_server::ServerConfig {
+    let mut config = mwsj_server::ServerConfig {
         addr: args.get("addr")?.unwrap_or("127.0.0.1:7878").to_string(),
         slots: args.get_parsed_or("slots", 0usize)?,
         cache_bytes: args.get_parsed_or("cache-bytes", 16usize << 20)?,
@@ -224,7 +233,23 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         max_queue: args.get_parsed_or("max-queue", 16usize)?,
         grid: args.get_parsed_or("grid", 8u32)?,
         extent: args.get_parsed_or("extent", 100_000.0f64)?,
+        ..mwsj_server::ServerConfig::default()
     };
+    let net_fault_rate: f64 = args.get_parsed_or("net-fault-rate", 0.0f64)?;
+    if !(0.0..=1.0).contains(&net_fault_rate) {
+        return Err(format!(
+            "--net-fault-rate must be in [0, 1], got {net_fault_rate}"
+        ));
+    }
+    if net_fault_rate > 0.0 {
+        let seed: u64 = args.get_parsed_or("net-fault-seed", 0u64)?;
+        config = config.with_net_faults(mwsj_core::mapreduce::NetFaultPlan::chaos(
+            seed,
+            net_fault_rate,
+        ));
+    }
+    config.drain_deadline =
+        std::time::Duration::from_millis(args.get_parsed_or("drain-deadline-ms", 5_000u64)?);
     mwsj_server::signal::install_handlers();
     let server = mwsj_server::Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::fault::FaultInjector;
-use crate::record::{Fnv64, StableHash};
+use crate::record::{Fnv64, RunFrame, StableHash};
 use crate::RecordSize;
 
 /// A stable content hash of one stored dataset.
@@ -36,6 +36,9 @@ pub enum DfsError {
     /// Every read retry hit an injected transient failure (the DFS analogue
     /// of a task exhausting its attempts).
     Unavailable(String),
+    /// The dataset's integrity frame ([`RunFrame`]) no longer matches its
+    /// records — at-rest corruption detected on open.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for DfsError {
@@ -49,6 +52,9 @@ impl std::fmt::Display for DfsError {
                     "dataset `{n}` unavailable: transient read retries exhausted"
                 )
             }
+            DfsError::Corrupt(n) => {
+                write!(f, "dataset `{n}` corrupt: integrity frame mismatch")
+            }
         }
     }
 }
@@ -60,6 +66,8 @@ struct Dataset {
     bytes: u64,
     records: u64,
     fingerprint: DatasetFingerprint,
+    /// Integrity frame sealed at write time and re-derived on every read.
+    frame: RunFrame,
 }
 
 /// An in-memory stand-in for HDFS with byte accounting.
@@ -102,8 +110,10 @@ impl Dfs {
     }
 
     /// Writes (or replaces) a dataset, charging its encoded size to the
-    /// write counter and fingerprinting the stored records (see
-    /// [`DatasetFingerprint`]).
+    /// write counter, fingerprinting the stored records (see
+    /// [`DatasetFingerprint`]) and sealing an integrity frame
+    /// ([`RunFrame`]: record-count length header + FNV-64 checksum) that
+    /// every subsequent read re-verifies.
     pub fn write<T: RecordSize + StableHash + Send + Sync + 'static>(
         &self,
         name: &str,
@@ -117,6 +127,7 @@ impl Dfs {
             r.stable_hash(&mut h);
         }
         let fingerprint = DatasetFingerprint(h.finish());
+        let frame = RunFrame::seal(&data);
         self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.datasets.write().insert(
             name.to_string(),
@@ -125,13 +136,21 @@ impl Dfs {
                 bytes,
                 records,
                 fingerprint,
+                frame,
             },
         );
     }
 
     /// Reads a dataset, charging its encoded size to the read counter. The
-    /// data is shared, not copied.
-    pub fn read<T: Send + Sync + 'static>(&self, name: &str) -> Result<Arc<Vec<T>>, DfsError> {
+    /// data is shared, not copied. The stored integrity frame is
+    /// re-derived from the records on open; a mismatch (at-rest
+    /// corruption) surfaces as [`DfsError::Corrupt`] — unlike transient
+    /// read failures it is not retried, because every replica of the
+    /// simulated store shares the bytes.
+    pub fn read<T: RecordSize + Send + Sync + 'static>(
+        &self,
+        name: &str,
+    ) -> Result<Arc<Vec<T>>, DfsError> {
         let seq = self.read_seq.fetch_add(1, Ordering::Relaxed);
         let mut attempt = 0u32;
         while self.injector.should_fail_dfs_read(seq, attempt) {
@@ -148,8 +167,23 @@ impl Dfs {
         let data = Arc::clone(&ds.data)
             .downcast::<Vec<T>>()
             .map_err(|_| DfsError::TypeMismatch(name.to_string()))?;
+        if !ds.frame.verify(&data) {
+            return Err(DfsError::Corrupt(name.to_string()));
+        }
         self.read_bytes.fetch_add(ds.bytes, Ordering::Relaxed);
         Ok(data)
+    }
+
+    /// Tampers the stored integrity frame of a dataset — the test hook for
+    /// at-rest corruption. Every subsequent read fails with
+    /// [`DfsError::Corrupt`] until the dataset is rewritten.
+    pub fn tamper(&self, name: &str) -> Result<(), DfsError> {
+        let mut guard = self.datasets.write();
+        let ds = guard
+            .get_mut(name)
+            .ok_or_else(|| DfsError::NotFound(name.to_string()))?;
+        ds.frame = ds.frame.tamper();
+        Ok(())
     }
 
     /// Removes a dataset (no-op if absent).
@@ -292,6 +326,28 @@ mod tests {
         assert_eq!(
             dfs.read::<u64>("nums").unwrap_err(),
             DfsError::Unavailable("nums".into())
+        );
+    }
+
+    #[test]
+    fn tampered_frame_surfaces_corrupt() {
+        let dfs = Dfs::new();
+        dfs.write("nums", vec![1u64, 2, 3]);
+        assert_eq!(*dfs.read::<u64>("nums").unwrap(), vec![1, 2, 3]);
+        let before = dfs.read_bytes();
+        dfs.tamper("nums").unwrap();
+        assert_eq!(
+            dfs.read::<u64>("nums").unwrap_err(),
+            DfsError::Corrupt("nums".into())
+        );
+        // Corrupt reads are not charged to the byte counters.
+        assert_eq!(dfs.read_bytes(), before);
+        // Rewriting reseals the frame.
+        dfs.write("nums", vec![4u64]);
+        assert_eq!(*dfs.read::<u64>("nums").unwrap(), vec![4]);
+        assert_eq!(
+            dfs.tamper("nope").unwrap_err(),
+            DfsError::NotFound("nope".into())
         );
     }
 

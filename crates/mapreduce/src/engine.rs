@@ -9,7 +9,7 @@ use crate::fault::{FaultInjector, FaultPlan, JobErrorKind, Phase};
 use crate::metrics::MetricsHub;
 use crate::schedule::{CancelToken, SlotScheduler};
 use crate::trace::{AttemptOutcome, RaceWinner, SpanPhase, TraceEvent, TraceSink};
-use crate::{Dfs, JobError, JobMetrics, MetricsReport, RecordSize};
+use crate::{Dfs, JobError, JobMetrics, MetricsReport, RecordSize, RunFrame};
 
 /// Engine configuration: degrees of parallelism for the two phases, plus
 /// an optional fault-injection plan and an engine-wide [`TraceSink`].
@@ -354,6 +354,9 @@ enum AttemptError {
     Panic(String),
     /// The partitioner routed a key out of range (not retryable).
     BadPartition { partition: usize },
+    /// A committed spill run failed integrity verification on shuffle
+    /// open; the producing map attempt is re-executed.
+    CorruptRun,
 }
 
 impl AttemptError {
@@ -364,6 +367,9 @@ impl AttemptError {
             AttemptError::BadPartition { partition } => {
                 format!("partitioner returned out-of-range partition {partition}")
             }
+            AttemptError::CorruptRun => {
+                "corrupt spill run: integrity frame mismatch on shuffle open".to_string()
+            }
         }
     }
 
@@ -372,6 +378,7 @@ impl AttemptError {
             AttemptError::Injected => AttemptOutcome::InjectedFault,
             AttemptError::Panic(_) => AttemptOutcome::Panicked,
             AttemptError::BadPartition { .. } => AttemptOutcome::BadPartition,
+            AttemptError::CorruptRun => AttemptOutcome::CorruptRun,
         }
     }
 }
@@ -387,6 +394,11 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Attempt ids of speculative duplicates get this bit so their fault
 /// decisions are independent draws from their primary's.
 const SPECULATIVE_BIT: u32 = 1 << 31;
+
+/// Attempt ids of map re-executions triggered by a corrupt spill run get
+/// this bit, so the replacement attempt draws fresh fault decisions
+/// instead of replaying the (successful) original's.
+const REEXEC_BIT: u32 = 1 << 30;
 
 /// Median of the committed task durations seen so far (None when empty).
 fn median(durations: &[Duration]) -> Option<Duration> {
@@ -555,9 +567,20 @@ struct MapCommit<K, V> {
     sort: Duration,
 }
 
-/// The sorted spill runs committed to one partition: one `(key, tag, value)`
-/// run per successful map attempt that routed anything here.
-type RunSet<K, V> = Vec<Vec<(K, u64, V)>>;
+/// One committed spill run: a sorted `(key, tag, value)` run sealed under
+/// a [`RunFrame`] integrity frame at commit, verified when the shuffle
+/// opens it. `task` names the producing map task — the unit re-executed
+/// if verification fails (the reader cannot repair at-rest corruption;
+/// only the producer can regenerate the data).
+struct SpillRun<K, V> {
+    task: usize,
+    frame: RunFrame,
+    records: Vec<(K, u64, V)>,
+}
+
+/// The sorted spill runs committed to one partition: one framed run per
+/// successful map attempt that routed anything here.
+type RunSet<K, V> = Vec<SpillRun<K, V>>;
 
 /// A shuffled partition after the k-way merge: the distinct keys with the
 /// start offset of each key's value range, plus every value laid out
@@ -879,6 +902,7 @@ impl Engine {
         let shuffled_bytes = AtomicU64::new(0);
         let sort_nanos = AtomicU64::new(0);
         let spill_runs = AtomicU64::new(0);
+        let corrupt_runs = AtomicU64::new(0);
         let partitions: Vec<Mutex<RunSet<K, V>>> = (0..num_partitions)
             .map(|_| Mutex::new(Vec::new()))
             .collect();
@@ -1013,12 +1037,25 @@ impl Engine {
                             Ok(commit) => {
                                 // Atomic commit: each non-empty sorted
                                 // bucket becomes one immutable run (moved,
-                                // never copied — no contended extend).
+                                // never copied — no contended extend),
+                                // sealed under an integrity frame that the
+                                // shuffle verifies on open. Injected
+                                // corruption tampers the stored frame —
+                                // what a flipped byte looks like to a
+                                // reader checking a checksum.
                                 let mut runs = 0u64;
                                 for (p, bucket) in commit.buckets.into_iter().enumerate() {
                                     if !bucket.is_empty() {
                                         runs += 1;
-                                        partitions[p].lock().push(bucket);
+                                        let mut frame = RunFrame::seal(&bucket);
+                                        if injector.should_corrupt_run(job, task, p, 0) {
+                                            frame = frame.tamper();
+                                        }
+                                        partitions[p].lock().push(SpillRun {
+                                            task,
+                                            frame,
+                                            records: bucket,
+                                        });
                                     }
                                 }
                                 spill_runs.fetch_add(runs, Ordering::Relaxed);
@@ -1105,6 +1142,72 @@ impl Engine {
         let partition_store: Vec<RwLock<MergedPartition<K, V>>> = (0..num_partitions)
             .map(|_| RwLock::new(MergedPartition::empty()))
             .collect();
+        // Opens one committed run, verifying its integrity frame. A
+        // mismatch means at-rest corruption, which the reader cannot
+        // repair — the *producing* map task is re-executed (fresh fault
+        // and corruption draws per generation) and only this partition's
+        // bucket of the fresh commit is kept. Logical counters (emitted
+        // pairs, shuffle bytes, spill runs, sort time) were charged when
+        // the original attempt committed and are never re-charged, so
+        // recovery leaves the job's counter surface byte-identical to a
+        // clean run; only the fault-bookkeeping counters move.
+        // Re-executions share the task's retry budget, so a pathological
+        // corruption rate fails the job deterministically instead of
+        // looping forever.
+        let recover_run =
+            |run: SpillRun<K, V>, partition: usize| -> Result<Vec<(K, u64, V)>, JobError> {
+                if run.frame.verify(&run.records) {
+                    return Ok(run.records);
+                }
+                let task = run.task;
+                let mut generation = 0u32;
+                loop {
+                    corrupt_runs.fetch_add(1, Ordering::Relaxed);
+                    let ts = sink.now_micros();
+                    sink.record(TraceEvent::Attempt {
+                        job,
+                        phase: Phase::Map,
+                        task,
+                        attempt: generation,
+                        speculative: false,
+                        start: ts,
+                        end: ts,
+                        outcome: AttemptOutcome::CorruptRun,
+                    });
+                    loop {
+                        generation += 1;
+                        if generation >= max_attempts {
+                            return Err(JobError {
+                                job: name.to_string(),
+                                phase: Phase::Map,
+                                task,
+                                attempts: generation,
+                                kind: JobErrorKind::AttemptsExhausted {
+                                    last_error: AttemptError::CorruptRun.message(),
+                                },
+                            });
+                        }
+                        match run_map_attempt(task, REEXEC_BIT | generation) {
+                            Ok(mut commit) => {
+                                let bucket = std::mem::take(&mut commit.buckets[partition]);
+                                if injector.should_corrupt_run(job, task, partition, generation) {
+                                    // The replacement drew corruption too:
+                                    // detect, charge, and go another round.
+                                    break;
+                                }
+                                return Ok(bucket);
+                            }
+                            Err(_) => {
+                                // The re-execution itself failed (injected
+                                // fault or panic): an ordinary task failure
+                                // consuming ordinary retry budget.
+                                map_task_failures.fetch_add(1, Ordering::Relaxed);
+                                retries.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            };
         let merge_nanos = AtomicU64::new(0);
         let group_counter = AtomicU64::new(0);
         let max_partition = AtomicU64::new(0);
@@ -1121,6 +1224,7 @@ impl Engine {
             let cancel_error = &cancel_error;
             let queue_wait_nanos = &queue_wait_nanos;
             let slot_nanos = &slot_nanos;
+            let recover_run = &recover_run;
             for _ in 0..self.config.reduce_tasks {
                 scope.spawn(move || loop {
                     if abort.load(Ordering::SeqCst) {
@@ -1145,7 +1249,28 @@ impl Engine {
                     }
                     let runs = std::mem::take(&mut *partitions[p].lock());
                     let t0 = Instant::now();
-                    let merged = merge_sorted_runs(runs);
+                    // Every run's integrity frame is verified before the
+                    // merge; corrupt runs are regenerated by their
+                    // producing map task (or the job fails once the
+                    // corruption-retry budget is spent).
+                    let mut verified = Vec::with_capacity(runs.len());
+                    let mut corrupt = None;
+                    for run in runs {
+                        match recover_run(run, p) {
+                            Ok(records) => verified.push(records),
+                            Err(err) => {
+                                corrupt = Some(err);
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(err) = corrupt {
+                        fail_job(err);
+                        slot_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        scheduler.release(job);
+                        break;
+                    }
+                    let merged = merge_sorted_runs(verified);
                     merge_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     max_partition.fetch_max(merged.values.len() as u64, Ordering::Relaxed);
                     group_counter.fetch_add(merged.groups.len() as u64, Ordering::Relaxed);
@@ -1160,12 +1285,14 @@ impl Engine {
             phase: SpanPhase::Shuffle,
             ts: sink.now_micros(),
         });
-        // The shuffle has no retry loop, so the only failure it can record
-        // is cancellation — surface it before starting the reduce phase.
+        // The shuffle can fail two ways: cancellation, or a corrupt run
+        // whose producer exhausted its re-execution budget — surface
+        // either before starting the reduce phase.
         if let Some(err) = job_error.lock().take() {
             return fail(err);
         }
         metrics.shuffle_wall = shuffle_start.elapsed();
+        metrics.corrupt_runs = corrupt_runs.load(Ordering::Relaxed);
         metrics.merge_wall = Duration::from_nanos(merge_nanos.load(Ordering::Relaxed));
         metrics.reduce_input_groups = group_counter.load(Ordering::Relaxed);
         metrics.max_partition_records = max_partition.load(Ordering::Relaxed);
@@ -1826,6 +1953,73 @@ mod tests {
         // The engine itself is still fault-free.
         let ok = e.run(identity_spec("clean"), &input).unwrap();
         assert_eq!(ok.len(), 10);
+    }
+
+    /// Injected spill corruption is detected when the shuffle opens the
+    /// run and repaired by re-executing the producing map task: output
+    /// and every logical counter are byte-identical to a clean run, and
+    /// only the `corrupt_runs` bookkeeping moves.
+    #[test]
+    fn corrupt_runs_repaired_with_identical_counters() {
+        let input: Vec<u32> = (0..250).collect();
+        let clean_engine = engine();
+        let mut expected = clean_engine.run(identity_spec("job"), &input).unwrap();
+        expected.sort_unstable();
+        let clean = clean_engine.report().jobs[0].clone();
+
+        let plan = FaultPlan {
+            seed: 41,
+            ..FaultPlan::none()
+        }
+        .with_corruption(0.1);
+        let e = engine_with(plan);
+        let mut out = e.run(identity_spec("job"), &input).unwrap();
+        out.sort_unstable();
+        assert_eq!(out, expected);
+
+        let j = &e.report().jobs[0];
+        assert!(j.corrupt_runs > 0, "seed 41 must corrupt at least one run");
+        assert_eq!(clean.corrupt_runs, 0);
+        // Recovery never re-charges committed work: the whole logical
+        // counter surface matches the clean run.
+        assert_eq!(j.map_input_records, clean.map_input_records);
+        assert_eq!(j.map_output_records, clean.map_output_records);
+        assert_eq!(j.shuffle_bytes, clean.shuffle_bytes);
+        assert_eq!(j.spill_runs, clean.spill_runs);
+        assert_eq!(j.reduce_input_groups, clean.reduce_input_groups);
+        assert_eq!(j.reduce_input_records, clean.reduce_input_records);
+        assert_eq!(j.max_partition_records, clean.max_partition_records);
+        assert_eq!(j.reduce_output_records, clean.reduce_output_records);
+        assert_eq!(j.input_fingerprint, clean.input_fingerprint);
+    }
+
+    /// A corruption rate of 1.0 re-corrupts every replacement run, so the
+    /// producing task exhausts its re-execution budget and the job fails
+    /// with a corrupt-run error instead of looping forever.
+    #[test]
+    fn corruption_budget_exhaustion_fails_job() {
+        let plan = FaultPlan {
+            seed: 7,
+            ..FaultPlan::none()
+        }
+        .with_corruption(1.0)
+        .with_max_attempts(3);
+        let e = engine_with(plan);
+        let input: Vec<u32> = (0..40).collect();
+        let err = e.run(identity_spec("doomed"), &input).unwrap_err();
+        assert_eq!(err.phase, Phase::Map);
+        assert_eq!(err.attempts, 3);
+        match &err.kind {
+            JobErrorKind::AttemptsExhausted { last_error } => {
+                assert!(
+                    last_error.contains("corrupt spill run"),
+                    "unexpected error: {last_error}"
+                );
+            }
+            other => panic!("expected AttemptsExhausted, got {other:?}"),
+        }
+        // Failed jobs do not publish metrics.
+        assert_eq!(e.report().num_jobs(), 0);
     }
 
     /// The k-way merge of sorted runs equals a global stable sort by

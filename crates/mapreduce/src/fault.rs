@@ -67,6 +67,13 @@ pub struct FaultPlan {
     pub straggler_delay: Duration,
     /// Probability that one DFS read attempt fails transiently.
     pub dfs_read_failure_rate: f64,
+    /// Probability that a committed spill run is corrupted at rest (its
+    /// [`RunFrame`](crate::RunFrame) checksum is tampered after commit, as
+    /// a flipped byte on a real disk would). The shuffle detects the
+    /// corruption when it verifies the frame and re-executes the
+    /// *producing* map task, bounded by [`FaultPlan::max_attempts`]
+    /// re-executions per run.
+    pub spill_corruption_rate: f64,
     /// Slow-start pacing for speculative execution, as a multiple of the
     /// median committed task time in the same phase: a duplicate attempt
     /// is launched only once a straggling task has run longer than
@@ -96,6 +103,7 @@ impl FaultPlan {
             straggler_rate: 0.0,
             straggler_delay: Duration::from_millis(4),
             dfs_read_failure_rate: 0.0,
+            spill_corruption_rate: 0.0,
             speculative_slowstart: 0.0,
             max_attempts: Self::DEFAULT_MAX_ATTEMPTS,
             forced: Vec::new(),
@@ -132,6 +140,14 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the at-rest spill-run corruption probability (see
+    /// [`FaultPlan::spill_corruption_rate`]).
+    #[must_use]
+    pub fn with_corruption(mut self, rate: f64) -> Self {
+        self.spill_corruption_rate = rate;
+        self
+    }
+
     /// Sets the speculative slow-start multiplier (see
     /// [`FaultPlan::speculative_slowstart`]).
     #[must_use]
@@ -144,12 +160,16 @@ impl FaultPlan {
         self
     }
 
-    fn validate(&self) {
+    /// Panics unless every rate is a probability and the attempt budget
+    /// is positive. Builders call this; call it directly after filling
+    /// fields by hand.
+    pub fn validate(&self) {
         for (name, p) in [
             ("map_failure_rate", self.map_failure_rate),
             ("reduce_failure_rate", self.reduce_failure_rate),
             ("straggler_rate", self.straggler_rate),
             ("dfs_read_failure_rate", self.dfs_read_failure_rate),
+            ("spill_corruption_rate", self.spill_corruption_rate),
         ] {
             assert!(
                 (0.0..=1.0).contains(&p),
@@ -188,6 +208,7 @@ const DOMAIN_FAIL: u64 = 0x1;
 const DOMAIN_STRAGGLE: u64 = 0x2;
 const DOMAIN_DELAY: u64 = 0x3;
 const DOMAIN_DFS: u64 = 0x4;
+const DOMAIN_CORRUPT: u64 = 0x5;
 
 impl FaultInjector {
     /// An injector that never injects anything.
@@ -229,6 +250,7 @@ impl FaultInjector {
                 || p.reduce_failure_rate > 0.0
                 || p.straggler_rate > 0.0
                 || p.dfs_read_failure_rate > 0.0
+                || p.spill_corruption_rate > 0.0
                 || !p.forced.is_empty()
         })
     }
@@ -281,23 +303,60 @@ impl FaultInjector {
             && unit(mix(plan.seed, DOMAIN_DFS, Phase::Map, read_seq, 0, attempt))
                 < plan.dfs_read_failure_rate
     }
+
+    /// Should the spill run that map task `task` committed to `partition`
+    /// be corrupted at rest? `generation` is 0 for the original commit and
+    /// increments once per corruption-triggered re-execution of the
+    /// producing task, so a re-executed run draws fresh corruption
+    /// decisions (and a pathological rate eventually exhausts the budget
+    /// deterministically).
+    #[must_use]
+    pub fn should_corrupt_run(
+        &self,
+        job: u64,
+        task: usize,
+        partition: usize,
+        generation: u32,
+    ) -> bool {
+        let Some(plan) = &self.plan else { return false };
+        plan.spill_corruption_rate > 0.0
+            && unit(mix_words(
+                plan.seed,
+                &[
+                    DOMAIN_CORRUPT,
+                    job,
+                    task as u64,
+                    partition as u64,
+                    u64::from(generation),
+                ],
+            )) < plan.spill_corruption_rate
+    }
 }
 
 /// Hashes decision coordinates into 64 bits (SplitMix64 finalizer over a
 /// running combination).
 fn mix(seed: u64, domain: u64, phase: Phase, job: u64, task: usize, attempt: u32) -> u64 {
+    mix_words(
+        seed,
+        &[
+            domain,
+            match phase {
+                // ASCII "map" / "red", as distinct phase tags.
+                Phase::Map => 0x006d_6170,
+                Phase::Reduce => 0x0072_6564,
+            },
+            job,
+            task as u64,
+            u64::from(attempt),
+        ],
+    )
+}
+
+/// The general form of [`mix`]: folds an arbitrary word sequence through
+/// the SplitMix64 finalizer.
+fn mix_words(seed: u64, words: &[u64]) -> u64 {
     let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
-    for word in [
-        domain,
-        match phase {
-            // ASCII "map" / "red", as distinct phase tags.
-            Phase::Map => 0x006d_6170,
-            Phase::Reduce => 0x0072_6564,
-        },
-        job,
-        task as u64,
-        u64::from(attempt),
-    ] {
+    for &word in words {
         h ^= word.wrapping_add(0x9E37_79B9_7F4A_7C15);
         h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -309,6 +368,162 @@ fn mix(seed: u64, domain: u64, phase: Phase, job: u64, task: usize, attempt: u32
 /// Maps 64 bits to `[0, 1)`.
 fn unit(bits: u64) -> f64 {
     (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Decision domains for network faults (disjoint from the task-fault
+/// domains so a plan reusing one seed draws independently).
+const DOMAIN_NET_KIND: u64 = 0x10;
+const DOMAIN_NET_POINT: u64 = 0x11;
+const DOMAIN_NET_DELAY: u64 = 0x12;
+
+/// A seeded description of the *network* faults to inject into a serving
+/// tier, the service-side twin of [`FaultPlan`].
+///
+/// All probabilities are per I/O operation (one buffered read or one
+/// framed write) and must lie in `[0, 1]`. Decisions are a pure hash of
+/// `(seed, connection, operation)`, so a given plan tears the same frames
+/// of the same connections regardless of thread scheduling — service
+/// chaos tests are as reproducible as engine chaos tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetFaultPlan {
+    /// Seed for every injection decision.
+    pub seed: u64,
+    /// Probability that a framed write is torn: only a prefix reaches the
+    /// peer before the connection drops.
+    pub torn_frame_rate: f64,
+    /// Probability that an operation stalls mid-flight for up to
+    /// [`NetFaultPlan::stall`] before completing.
+    pub stall_rate: f64,
+    /// Probability that the connection drops abruptly before the
+    /// operation.
+    pub disconnect_rate: f64,
+    /// Probability that one inbound byte is flipped in flight (the peer
+    /// receives a corrupted request).
+    pub corrupt_rate: f64,
+    /// Probability that a read turns slow-loris: bytes trickle in with an
+    /// injected delay per chunk.
+    pub slow_loris_rate: f64,
+    /// Upper bound on injected stall / slow-loris delays; actual delays
+    /// are drawn uniformly from `(0, stall]`.
+    pub stall: Duration,
+}
+
+/// One deterministic network-fault decision (see [`NetFaultPlan::decide`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// The operation proceeds untouched.
+    None,
+    /// Write only a prefix of the frame, then drop the connection.
+    TornFrame,
+    /// Sleep for the given duration mid-operation, then proceed.
+    Stall(Duration),
+    /// Drop the connection before the operation.
+    Disconnect,
+    /// Flip one byte of the payload in flight.
+    CorruptByte,
+    /// Trickle the read, sleeping the given duration per chunk.
+    SlowLoris(Duration),
+}
+
+impl NetFaultPlan {
+    /// A plan injecting nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            torn_frame_rate: 0.0,
+            stall_rate: 0.0,
+            disconnect_rate: 0.0,
+            corrupt_rate: 0.0,
+            slow_loris_rate: 0.0,
+            stall: Duration::from_millis(20),
+        }
+    }
+
+    /// A chaos plan: every fault kind fires with probability `rate`.
+    #[must_use]
+    pub fn chaos(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            torn_frame_rate: rate,
+            stall_rate: rate,
+            disconnect_rate: rate,
+            corrupt_rate: rate,
+            slow_loris_rate: rate,
+            ..Self::none()
+        }
+    }
+
+    /// Panics unless every rate is a probability.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("torn_frame_rate", self.torn_frame_rate),
+            ("stall_rate", self.stall_rate),
+            ("disconnect_rate", self.disconnect_rate),
+            ("corrupt_rate", self.corrupt_rate),
+            ("slow_loris_rate", self.slow_loris_rate),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be in [0, 1], got {p}"
+            );
+        }
+    }
+
+    /// Whether any fault can ever fire.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.torn_frame_rate > 0.0
+            || self.stall_rate > 0.0
+            || self.disconnect_rate > 0.0
+            || self.corrupt_rate > 0.0
+            || self.slow_loris_rate > 0.0
+    }
+
+    /// The fault (at most one) injected into operation `op` of connection
+    /// `conn`. Kinds are drawn in a fixed precedence order (disconnect,
+    /// torn frame, corrupt byte, slow-loris, stall) from one uniform draw,
+    /// so raising one rate never changes another kind's decisions.
+    #[must_use]
+    pub fn decide(&self, conn: u64, op: u64) -> NetFault {
+        if !self.is_active() {
+            return NetFault::None;
+        }
+        let u = unit(mix_words(self.seed, &[DOMAIN_NET_KIND, conn, op]));
+        let mut threshold = 0.0;
+        for (rate, fault) in [
+            (self.disconnect_rate, NetFault::Disconnect),
+            (self.torn_frame_rate, NetFault::TornFrame),
+            (self.corrupt_rate, NetFault::CorruptByte),
+            (
+                self.slow_loris_rate,
+                NetFault::SlowLoris(self.delay(conn, op)),
+            ),
+            (self.stall_rate, NetFault::Stall(self.delay(conn, op))),
+        ] {
+            threshold += rate;
+            if u < threshold {
+                return fault;
+            }
+        }
+        NetFault::None
+    }
+
+    /// The byte offset a torn frame is cut at / a corrupt byte lands on,
+    /// in `0..len` (0 when the payload is empty).
+    #[must_use]
+    pub fn fault_point(&self, conn: u64, op: u64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let bits = mix_words(self.seed, &[DOMAIN_NET_POINT, conn, op]);
+        (((u128::from(bits) * len as u128) >> 64) as u64) as usize
+    }
+
+    fn delay(&self, conn: u64, op: u64) -> Duration {
+        let u = unit(mix_words(self.seed, &[DOMAIN_NET_DELAY, conn, op]));
+        self.stall.mul_f64(u.max(0.05))
+    }
 }
 
 /// A failed map-reduce job: the task that gave out, after how many
@@ -547,5 +762,97 @@ mod tests {
     #[should_panic(expected = "must be in [0, 1]")]
     fn rejects_bad_rate() {
         let _ = FaultInjector::new(FaultPlan::chaos(0, 1.5, 0.0));
+    }
+
+    #[test]
+    fn corruption_decisions_deterministic_and_generation_dependent() {
+        let a = FaultInjector::new(FaultPlan::none().with_corruption(0.5));
+        let b = FaultInjector::new(FaultPlan::none().with_corruption(0.5));
+        let mut corrupted = 0;
+        let mut generation_changes = 0;
+        for task in 0..50 {
+            for partition in 0..8 {
+                let d0 = a.should_corrupt_run(1, task, partition, 0);
+                assert_eq!(d0, b.should_corrupt_run(1, task, partition, 0));
+                corrupted += usize::from(d0);
+                if d0 != a.should_corrupt_run(1, task, partition, 1) {
+                    generation_changes += 1;
+                }
+            }
+        }
+        assert!((100..300).contains(&corrupted), "got {corrupted}");
+        // A re-executed run must draw a fresh decision, or a corrupt run
+        // could never be repaired.
+        assert!(generation_changes > 50, "got {generation_changes}");
+    }
+
+    #[test]
+    fn corruption_off_by_default() {
+        let inj = FaultInjector::new(FaultPlan::chaos(3, 0.3, 0.1));
+        for task in 0..100 {
+            assert!(!inj.should_corrupt_run(0, task, 0, 0));
+        }
+        assert!(FaultInjector::new(FaultPlan::none().with_corruption(0.1)).is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "spill_corruption_rate must be in [0, 1]")]
+    fn rejects_bad_corruption_rate() {
+        let _ = FaultInjector::new(FaultPlan::none().with_corruption(-0.5));
+    }
+
+    #[test]
+    fn net_plan_deterministic_and_at_most_one_fault() {
+        let plan = NetFaultPlan::chaos(9, 0.08);
+        plan.validate();
+        let again = NetFaultPlan::chaos(9, 0.08);
+        let mut fired = 0;
+        for conn in 0..20 {
+            for op in 0..50 {
+                let d = plan.decide(conn, op);
+                assert_eq!(d, again.decide(conn, op));
+                if d != NetFault::None {
+                    fired += 1;
+                }
+                let point = plan.fault_point(conn, op, 100);
+                assert!(point < 100);
+                assert_eq!(point, again.fault_point(conn, op, 100));
+            }
+        }
+        // 5 kinds × 8% each = 40% of ops faulted, roughly.
+        assert!((250..550).contains(&fired), "got {fired}");
+    }
+
+    #[test]
+    fn net_plan_none_is_inert() {
+        let plan = NetFaultPlan::none();
+        assert!(!plan.is_active());
+        for op in 0..100 {
+            assert_eq!(plan.decide(0, op), NetFault::None);
+        }
+        assert_eq!(plan.fault_point(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn net_delays_bounded() {
+        let mut plan = NetFaultPlan::chaos(4, 0.0);
+        plan.slow_loris_rate = 1.0;
+        plan.stall = Duration::from_millis(10);
+        for op in 0..100 {
+            match plan.decide(0, op) {
+                NetFault::SlowLoris(d) => {
+                    assert!(d > Duration::ZERO && d <= Duration::from_millis(10));
+                }
+                other => panic!("rate 1.0 must trickle every read, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt_rate must be in [0, 1]")]
+    fn net_plan_rejects_bad_rate() {
+        let mut plan = NetFaultPlan::none();
+        plan.corrupt_rate = 2.0;
+        plan.validate();
     }
 }

@@ -76,9 +76,11 @@ mod trace;
 
 pub use dfs::{DatasetFingerprint, Dfs, DfsError};
 pub use engine::{Engine, EngineConfig, JobSpec, Unset};
-pub use fault::{FaultInjector, FaultPlan, ForcedFault, JobError, JobErrorKind, Phase};
+pub use fault::{
+    FaultInjector, FaultPlan, ForcedFault, JobError, JobErrorKind, NetFault, NetFaultPlan, Phase,
+};
 pub use metrics::{CostModel, JobMetrics, MetricsHub, MetricsReport};
-pub use record::{Fnv64, RecordSize, StableHash};
+pub use record::{Fnv64, RecordSize, RunFrame, StableHash};
 pub use schedule::{CancelToken, JobRegistration, SlotScheduler};
 pub use trace::{
     json_escape, validate_json, AttemptOutcome, RaceWinner, SpanPhase, TraceEvent, TraceSink,

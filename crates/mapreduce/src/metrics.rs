@@ -82,6 +82,11 @@ pub struct JobMetrics {
     /// per-partition bucket of a committed attempt). Deterministic for a
     /// fixed engine config: each task commits exactly once, faults or not.
     pub spill_runs: u64,
+    /// Spill runs whose integrity frame failed verification when the
+    /// shuffle opened them (at-rest corruption, detected and repaired by
+    /// re-executing the producing map task). Fault-tolerance bookkeeping
+    /// like `retries`, never a paper-table counter.
+    pub corrupt_runs: u64,
     /// Wall time of the map phase.
     pub map_wall: Duration,
     /// Time map attempts spent sorting their spill runs, summed over the
@@ -204,7 +209,7 @@ impl MetricsReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5}",
+            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5} {:>7}",
             "job",
             "map ms",
             "sort ms",
@@ -217,13 +222,14 @@ impl MetricsReport {
             "shuffle B",
             "runs",
             "retries",
-            "spec"
+            "spec",
+            "corrupt"
         );
         let mut total = JobMetrics::default();
         for j in &self.jobs {
             let _ = writeln!(
                 out,
-                "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5}",
+                "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5} {:>7}",
                 j.job_name,
                 ms(j.map_wall),
                 ms(j.sort_wall),
@@ -236,7 +242,8 @@ impl MetricsReport {
                 j.shuffle_bytes,
                 j.spill_runs,
                 j.retries,
-                j.speculative_launched
+                j.speculative_launched,
+                j.corrupt_runs
             );
             total.map_wall += j.map_wall;
             total.sort_wall += j.sort_wall;
@@ -250,10 +257,11 @@ impl MetricsReport {
             total.spill_runs += j.spill_runs;
             total.retries += j.retries;
             total.speculative_launched += j.speculative_launched;
+            total.corrupt_runs += j.corrupt_runs;
         }
         let _ = writeln!(
             out,
-            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5}",
+            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>13} {:>6} {:>7} {:>5} {:>7}",
             format!("total ({} jobs)", self.jobs.len()),
             ms(total.map_wall),
             ms(total.sort_wall),
@@ -266,7 +274,8 @@ impl MetricsReport {
             total.shuffle_bytes,
             total.spill_runs,
             total.retries,
-            total.speculative_launched
+            total.speculative_launched,
+            total.corrupt_runs
         );
         let _ = writeln!(
             out,
@@ -335,5 +344,18 @@ mod tests {
         assert!(table.contains("total (2 jobs)"));
         assert!(table.contains("30"), "kv-pair total missing:\n{table}");
         assert!(table.contains("64 B read"), "{table}");
+    }
+
+    #[test]
+    fn phase_table_surfaces_corrupt_runs() {
+        let mut report = MetricsReport::default();
+        report.jobs.push(JobMetrics {
+            job_name: "j".into(),
+            corrupt_runs: 7,
+            ..JobMetrics::default()
+        });
+        let table = report.phase_table();
+        assert!(table.contains("corrupt"), "header missing:\n{table}");
+        assert!(table.contains('7'), "count missing:\n{table}");
     }
 }

@@ -129,6 +129,59 @@ impl Default for Fnv64 {
     }
 }
 
+/// The integrity frame sealed over one committed spill run or one stored
+/// DFS dataset: a record-count length header plus an FNV-64 checksum.
+///
+/// The engine never serializes payloads (everything stays in memory), so
+/// the checksum covers what a compact binary frame would expose without a
+/// payload scan: the record count and each record's encoded size, in
+/// order. Readers re-derive the frame on open ([`RunFrame::verify`]) and
+/// treat any mismatch as at-rest corruption — in the engine's case, by
+/// re-executing the map task that produced the run. Deterministic fault
+/// injection models a flipped byte by tampering the stored checksum
+/// ([`RunFrame::tamper`]), exactly what a real bit flip under a CRC would
+/// look like to the reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunFrame {
+    /// Number of records the frame was sealed over (the length header).
+    pub len: u64,
+    /// FNV-64 over the length header and each record's encoded size.
+    pub checksum: u64,
+}
+
+impl RunFrame {
+    /// Seals a frame over the records as they are committed.
+    #[must_use]
+    pub fn seal<T: RecordSize>(records: &[T]) -> Self {
+        let len = records.len() as u64;
+        let mut h = Fnv64::new();
+        h.write_u64(len);
+        for r in records {
+            h.write_u64(r.size_bytes() as u64);
+        }
+        Self {
+            len,
+            checksum: h.finish(),
+        }
+    }
+
+    /// Re-derives the frame from the data read back and compares: `true`
+    /// iff both the length header and the checksum match.
+    #[must_use]
+    pub fn verify<T: RecordSize>(&self, records: &[T]) -> bool {
+        *self == Self::seal(records)
+    }
+
+    /// Flips one checksum bit — the injected stand-in for at-rest
+    /// corruption. Never identity, so a tampered frame always fails
+    /// verification.
+    #[must_use]
+    pub fn tamper(mut self) -> Self {
+        self.checksum ^= 1;
+        self
+    }
+}
+
 /// A platform- and process-stable content hash, fed into [`Fnv64`].
 ///
 /// Implemented for every record type the DFS stores; `Dfs::write` folds
@@ -272,6 +325,23 @@ mod tests {
     fn strings_carry_length_prefix() {
         assert_eq!("abc".size_bytes(), 7);
         assert_eq!(String::from("abc").size_bytes(), 7);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_tamper() {
+        let records = vec![(1u32, 7u64, "abc".to_string()), (2, 8, "d".into())];
+        let frame = RunFrame::seal(&records);
+        assert_eq!(frame.len, 2);
+        assert!(frame.verify(&records));
+        assert!(!frame.tamper().verify(&records));
+        // A dropped record fails the length header; a swapped-size record
+        // fails the checksum.
+        assert!(!frame.verify(&records[..1]));
+        let resized = vec![(1u32, 7u64, "abcd".to_string()), (2, 8, String::new())];
+        assert!(!frame.verify(&resized));
+        // Empty runs still frame (len 0) and verify.
+        let empty: Vec<u64> = Vec::new();
+        assert!(RunFrame::seal(&empty).verify(&empty));
     }
 
     #[test]

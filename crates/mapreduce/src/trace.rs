@@ -95,6 +95,9 @@ pub enum AttemptOutcome {
     Panicked,
     /// The partitioner routed a key out of range (fails the job).
     BadPartition,
+    /// A committed spill run failed integrity verification when the
+    /// shuffle opened it; the producing map task is re-executed.
+    CorruptRun,
 }
 
 impl AttemptOutcome {
@@ -106,6 +109,7 @@ impl AttemptOutcome {
             AttemptOutcome::InjectedFault => "injected-fault",
             AttemptOutcome::Panicked => "panicked",
             AttemptOutcome::BadPartition => "bad-partition",
+            AttemptOutcome::CorruptRun => "corrupt-run",
         }
     }
 }
@@ -391,6 +395,7 @@ fn metrics_json_fields(m: &JobMetrics) -> String {
          \"max_partition_records\":{},\"reduce_output_records\":{},\
          \"map_task_failures\":{},\"reduce_task_failures\":{},\"retries\":{},\
          \"speculative_launched\":{},\"speculative_won\":{},\"spill_runs\":{},\
+         \"corrupt_runs\":{},\
          \"map_wall_us\":{},\"sort_wall_us\":{},\"shuffle_wall_us\":{},\"merge_wall_us\":{},\
          \"reduce_wall_us\":{},\"total_wall_us\":{},\"queue_wait_us\":{},\"slot_wall_us\":{},\
          \"input_fingerprint\":{}",
@@ -408,6 +413,7 @@ fn metrics_json_fields(m: &JobMetrics) -> String {
         m.speculative_launched,
         m.speculative_won,
         m.spill_runs,
+        m.corrupt_runs,
         m.map_wall.as_micros(),
         m.sort_wall.as_micros(),
         m.shuffle_wall.as_micros(),

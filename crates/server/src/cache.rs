@@ -156,6 +156,14 @@ impl ResultCache {
         value
     }
 
+    /// Recomputes resident bytes from first principles (test oracle for
+    /// the incremental accounting in `bytes`).
+    #[cfg(test)]
+    fn recomputed_bytes(&self) -> usize {
+        let s = self.state.lock();
+        s.map.iter().map(|(k, e)| Self::cost(k, &e.value)).sum()
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
         let s = self.state.lock();
@@ -233,5 +241,41 @@ mod tests {
         c.insert(key("q", 1), result(5));
         assert_eq!(c.stats().bytes, before);
         assert_eq!(c.stats().entries, 1);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// After every operation in an arbitrary get/insert sequence,
+            /// the incrementally maintained byte counter equals the sum
+            /// of the resident entries' costs and never exceeds the
+            /// budget — no leaks on eviction, no double charges on
+            /// re-insert, no phantom bytes from bypassed inserts.
+            #[test]
+            fn bytes_always_equal_resident_entry_costs(
+                budget in 0usize..4096,
+                ops in proptest::collection::vec(
+                    (proptest::bool::ANY, 0u8..6, 0u64..4, 0usize..24),
+                    0..64,
+                ),
+            ) {
+                let c = ResultCache::new(budget);
+                for (is_insert, q, fp, n) in ops {
+                    let k = key(&format!("q{q}"), fp);
+                    if is_insert {
+                        c.insert(k, result(n));
+                    } else {
+                        c.get(&k);
+                    }
+                    let s = c.stats();
+                    prop_assert_eq!(s.bytes, c.recomputed_bytes());
+                    prop_assert!(s.bytes <= budget);
+                }
+            }
+        }
     }
 }

@@ -1,48 +1,487 @@
-//! A minimal blocking client for the line-JSON protocol.
+//! A resilient blocking client for the line-JSON protocol.
 //!
-//! One TCP connection, one request line out, one response line back.
-//! The CLI's `mwsj query` command and the service tests and bench drive
-//! the server through this.
+//! One TCP connection, one request line out, one response line back —
+//! now with explicit connect/read/write timeouts, typed errors
+//! ([`ClientError::TimedOut`] instead of a raw `WouldBlock`), opt-in
+//! deadline-aware retries with deterministic jittered exponential
+//! backoff ([`Client::request_idempotent`]), and an opt-in hedged second
+//! attempt for read-only requests ([`Client::request_hedged`]).
+//!
+//! Retries and hedging are **not** applied by [`Client::request`]: a
+//! query submission is only safely retryable when the caller knows it is
+//! idempotent (the protocol's queries are — results are deterministic
+//! and cached — but the choice stays with the caller).
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A connect, read or write exceeded its configured timeout, or the
+    /// total request deadline expired mid-retry.
+    TimedOut(String),
+    /// The server closed the connection before responding.
+    Disconnected,
+    /// Any other I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::TimedOut(what) => write!(f, "timed out: {what}"),
+            ClientError::Disconnected => {
+                write!(f, "server closed the connection before responding")
+            }
+            ClientError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl ClientError {
+    /// Classifies an I/O error from operation `what`.
+    fn from_io(what: &str, e: std::io::Error) -> ClientError {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                ClientError::TimedOut(what.to_string())
+            }
+            std::io::ErrorKind::UnexpectedEof => ClientError::Disconnected,
+            _ => ClientError::Io(e),
+        }
+    }
+}
+
+/// Client-side resilience knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-read timeout while waiting for a response line.
+    pub read_timeout: Duration,
+    /// Per-write timeout while sending a request line.
+    pub write_timeout: Duration,
+    /// Extra attempts [`Client::request_idempotent`] makes after the
+    /// first failure (0 = no retries).
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles per attempt, plus
+    /// deterministic jitter in `[0, backoff/2)`.
+    pub backoff: Duration,
+    /// Overall deadline across all attempts of one
+    /// [`Client::request_idempotent`] call (`None` = unbounded).
+    pub total_deadline: Option<Duration>,
+    /// If set, [`Client::request_hedged`] launches a second connection
+    /// after this delay and takes whichever response arrives first.
+    pub hedge: Option<Duration>,
+    /// Seed for the jitter stream, so retry timing is reproducible.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+            retries: 0,
+            backoff: Duration::from_millis(50),
+            total_deadline: None,
+            hedge: None,
+            seed: 0,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Sets the retry budget and base backoff.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32, backoff: Duration) -> Self {
+        self.retries = retries;
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets the overall per-request deadline.
+    #[must_use]
+    pub fn with_total_deadline(mut self, deadline: Duration) -> Self {
+        self.total_deadline = Some(deadline);
+        self
+    }
+
+    /// Enables hedged reads with the given hedge delay.
+    #[must_use]
+    pub fn with_hedge(mut self, delay: Duration) -> Self {
+        self.hedge = Some(delay);
+        self
+    }
+
+    /// Sets the read timeout.
+    #[must_use]
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Seeds the deterministic jitter stream.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
 
 /// A connected protocol client.
+#[derive(Debug)]
 pub struct Client {
+    addr: String,
+    config: ClientConfig,
     stream: TcpStream,
     reader: BufReader<TcpStream>,
+    /// xorshift state for backoff jitter (derived from the seed).
+    rng: u64,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server with the default timeouts.
     ///
     /// # Errors
-    /// Propagates the connection failure.
-    pub fn connect(addr: &str) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { stream, reader })
+    /// [`ClientError::TimedOut`] on connect timeout, otherwise the
+    /// underlying I/O failure.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        Client::with_config(addr, ClientConfig::default())
     }
 
-    /// Sends one request line and reads one response line.
+    /// Connects with explicit resilience settings.
     ///
     /// # Errors
-    /// I/O failures, or an unexpected EOF before a response arrived.
-    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
-        self.stream.write_all(line.as_bytes())?;
-        if !line.ends_with('\n') {
-            self.stream.write_all(b"\n")?;
+    /// [`ClientError::TimedOut`] on connect timeout, otherwise the
+    /// underlying I/O failure.
+    pub fn with_config(addr: &str, config: ClientConfig) -> Result<Client, ClientError> {
+        let (stream, reader) = Client::open(addr, &config)?;
+        let mut rng = config.seed ^ 0x9E37_79B9_7F4A_7C15;
+        if rng == 0 {
+            rng = 1;
         }
-        self.stream.flush()?;
+        Ok(Client {
+            addr: addr.to_string(),
+            config,
+            stream,
+            reader,
+            rng,
+        })
+    }
+
+    /// Opens one fresh connection per the config's timeouts.
+    fn open(
+        addr: &str,
+        config: &ClientConfig,
+    ) -> Result<(TcpStream, BufReader<TcpStream>), ClientError> {
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::from_io("resolve", e))?;
+        let mut last: Option<std::io::Error> = None;
+        let mut stream: Option<TcpStream> = None;
+        for sock in resolved {
+            match TcpStream::connect_timeout(&sock, config.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        let stream = match (stream, last) {
+            (Some(s), _) => s,
+            (None, Some(e)) => return Err(ClientError::from_io("connect", e)),
+            (None, None) => {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::AddrNotAvailable,
+                    format!("`{addr}` resolved to no addresses"),
+                )))
+            }
+        };
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(config.read_timeout))
+            .map_err(ClientError::Io)?;
+        stream
+            .set_write_timeout(Some(config.write_timeout))
+            .map_err(ClientError::Io)?;
+        let reader = BufReader::new(stream.try_clone().map_err(ClientError::Io)?);
+        Ok((stream, reader))
+    }
+
+    /// Sends one request line and reads one response line. No retries:
+    /// see [`Client::request_idempotent`] for the retrying variant.
+    ///
+    /// # Errors
+    /// [`ClientError::TimedOut`] when a read or write exceeds its
+    /// timeout, [`ClientError::Disconnected`] on EOF before a response,
+    /// otherwise the underlying I/O failure.
+    pub fn request(&mut self, line: &str) -> Result<String, ClientError> {
+        self.stream
+            .write_all(line.as_bytes())
+            .map_err(|e| ClientError::from_io("write request", e))?;
+        if !line.ends_with('\n') {
+            self.stream
+                .write_all(b"\n")
+                .map_err(|e| ClientError::from_io("write request", e))?;
+        }
+        self.stream
+            .flush()
+            .map_err(|e| ClientError::from_io("write request", e))?;
         let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| ClientError::from_io("read response", e))?;
         if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection before responding",
-            ));
+            return Err(ClientError::Disconnected);
         }
         Ok(response.trim_end().to_string())
+    }
+
+    /// Sends an *idempotent* request, retrying with a fresh connection
+    /// after each failure: up to [`ClientConfig::retries`] extra
+    /// attempts, jittered exponential backoff between them, the whole
+    /// call bounded by [`ClientConfig::total_deadline`].
+    ///
+    /// Only use this for requests that are safe to re-execute (the
+    /// protocol's queries and `stats` are; re-sending `shutdown` is
+    /// harmless but pointless).
+    ///
+    /// # Errors
+    /// The last attempt's error, or [`ClientError::TimedOut`] once the
+    /// total deadline expires.
+    pub fn request_idempotent(&mut self, line: &str) -> Result<String, ClientError> {
+        let deadline = self.config.total_deadline.map(|d| Instant::now() + d);
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.request(line) {
+                Ok(response) => return Ok(response),
+                Err(e) => e,
+            };
+            attempt += 1;
+            if attempt > self.config.retries {
+                return Err(err);
+            }
+            let mut pause = self
+                .config
+                .backoff
+                .saturating_mul(1u32 << (attempt - 1).min(16));
+            let half = (pause / 2).as_nanos() as u64;
+            if half > 0 {
+                pause += Duration::from_nanos(self.next_rand() % half);
+            }
+            if let Some(d) = deadline {
+                let now = Instant::now();
+                if now >= d {
+                    return Err(ClientError::TimedOut("total request deadline".to_string()));
+                }
+                pause = pause.min(d - now);
+            }
+            std::thread::sleep(pause);
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(ClientError::TimedOut("total request deadline".to_string()));
+            }
+            // The failed connection may be wedged; replace it. A failed
+            // reconnect leaves the dead socket in place, so the next
+            // attempt fails fast and consumes the next retry.
+            if let Ok((stream, reader)) = Client::open(&self.addr, &self.config) {
+                self.stream = stream;
+                self.reader = reader;
+            }
+        }
+    }
+
+    /// Sends a read-only request with a hedged second attempt: if
+    /// [`ClientConfig::hedge`] is set and the first connection has not
+    /// answered within the hedge delay, a second connection races it and
+    /// the first response wins. Without a hedge delay this is
+    /// [`Client::request_idempotent`].
+    ///
+    /// Both attempts run on *fresh* connections (this client's pipelined
+    /// connection state is left untouched), so hedging is safe to mix
+    /// with pipelined `request` calls.
+    ///
+    /// # Errors
+    /// The last attempt's error once every racer has failed.
+    pub fn request_hedged(&mut self, line: &str) -> Result<String, ClientError> {
+        let Some(hedge_delay) = self.config.hedge else {
+            return self.request_idempotent(line);
+        };
+        let (tx, rx) = mpsc::channel::<Result<String, ClientError>>();
+        let racers = 2usize;
+        for i in 0..racers {
+            let tx = tx.clone();
+            let addr = self.addr.clone();
+            let config = self.config.clone();
+            let line = line.to_string();
+            let delay = if i == 0 { Duration::ZERO } else { hedge_delay };
+            std::thread::spawn(move || {
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                let result = Client::with_config(&addr, config).and_then(|mut c| c.request(&line));
+                tx.send(result).ok();
+            });
+        }
+        drop(tx);
+        let mut last = ClientError::Disconnected;
+        for _ in 0..racers {
+            match rx.recv() {
+                Ok(Ok(response)) => return Ok(response),
+                Ok(Err(e)) => last = e,
+                Err(_) => break,
+            }
+        }
+        Err(last)
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn read_request_line(stream: &TcpStream) -> String {
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).ok();
+        line
+    }
+
+    #[test]
+    fn io_errors_classify_to_typed_variants() {
+        let timed = std::io::Error::new(std::io::ErrorKind::TimedOut, "t");
+        assert!(matches!(
+            ClientError::from_io("read", timed),
+            ClientError::TimedOut(_)
+        ));
+        let blocked = std::io::Error::new(std::io::ErrorKind::WouldBlock, "b");
+        assert!(matches!(
+            ClientError::from_io("read", blocked),
+            ClientError::TimedOut(_)
+        ));
+        let eof = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "e");
+        assert!(matches!(
+            ClientError::from_io("read", eof),
+            ClientError::Disconnected
+        ));
+        let reset = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "r");
+        assert!(matches!(
+            ClientError::from_io("read", reset),
+            ClientError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn read_timeout_is_typed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Accept but never respond.
+        let silent = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            read_request_line(&s);
+            std::thread::sleep(Duration::from_millis(400));
+        });
+        let config = ClientConfig::default().with_read_timeout(Duration::from_millis(50));
+        let mut client = Client::with_config(&addr, config).unwrap();
+        let err = client.request("{\"op\":\"stats\"}").unwrap_err();
+        assert!(matches!(err, ClientError::TimedOut(_)), "got {err:?}");
+        silent.join().unwrap();
+    }
+
+    #[test]
+    fn idempotent_retry_reconnects_after_disconnect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // First connection: slam the door. Second: answer.
+            let (s, _) = listener.accept().unwrap();
+            drop(s);
+            let (mut s, _) = listener.accept().unwrap();
+            read_request_line(&s);
+            s.write_all(b"{\"ok\":true}\n").unwrap();
+        });
+        let config = ClientConfig::default()
+            .with_retries(2, Duration::from_millis(5))
+            .with_seed(7);
+        let mut client = Client::with_config(&addr, config).unwrap();
+        let response = client.request_idempotent("{\"op\":\"stats\"}").unwrap();
+        assert_eq!(response, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn total_deadline_bounds_retries() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Accept-and-drop forever, in the background.
+        std::thread::spawn(move || {
+            while let Ok((s, _)) = listener.accept() {
+                drop(s);
+            }
+        });
+        let config = ClientConfig::default()
+            .with_retries(u32::MAX, Duration::from_millis(20))
+            .with_total_deadline(Duration::from_millis(150))
+            .with_seed(3);
+        let started = Instant::now();
+        let mut client = Client::with_config(&addr, config).unwrap();
+        let err = client.request_idempotent("{\"op\":\"stats\"}").unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline ignored"
+        );
+        match err {
+            ClientError::TimedOut(_) | ClientError::Disconnected | ClientError::Io(_) => {}
+        }
+    }
+
+    #[test]
+    fn hedged_read_prefers_the_fast_lane() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let mut first = true;
+            while let Ok((mut s, _)) = listener.accept() {
+                let slow = first;
+                first = false;
+                std::thread::spawn(move || {
+                    read_request_line(&s);
+                    if slow {
+                        std::thread::sleep(Duration::from_millis(300));
+                        s.write_all(b"{\"ok\":true,\"lane\":\"slow\"}\n").ok();
+                    } else {
+                        s.write_all(b"{\"ok\":true,\"lane\":\"fast\"}\n").ok();
+                    }
+                });
+            }
+        });
+        let config = ClientConfig::default().with_hedge(Duration::from_millis(30));
+        let mut client = Client::with_config(&addr, config).unwrap();
+        let response = client.request_hedged("{\"op\":\"stats\"}").unwrap();
+        assert_eq!(response, "{\"ok\":true,\"lane\":\"fast\"}");
     }
 }

@@ -78,14 +78,21 @@ impl Json {
     }
 }
 
+/// Maximum container nesting the parser accepts. Deeper documents get a
+/// typed error instead of exhausting the thread's stack — a network peer
+/// must not choose our recursion depth.
+pub const MAX_DEPTH: usize = 64;
+
 /// Parses one complete JSON document.
 ///
 /// # Errors
-/// A message naming the byte offset of the first syntax error.
+/// A message naming the byte offset of the first syntax error, or a
+/// depth error for documents nested beyond [`MAX_DEPTH`].
 pub fn parse(input: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -99,6 +106,8 @@ pub fn parse(input: &str) -> Result<Json, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -127,8 +136,22 @@ impl Parser<'_> {
 
     fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(open @ (b'{' | b'[')) => {
+                if self.depth >= MAX_DEPTH {
+                    return Err(format!(
+                        "nesting deeper than {MAX_DEPTH} at byte {}",
+                        self.pos
+                    ));
+                }
+                self.depth += 1;
+                let out = if open == b'{' {
+                    self.object()
+                } else {
+                    self.array()
+                };
+                self.depth -= 1;
+                out
+            }
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -304,5 +327,82 @@ mod tests {
         let nasty = "quote\" slash\\ nl\n tab\t";
         let doc = format!("{{\"k\":\"{}\"}}", mwsj_core::mapreduce::json_escape(nasty));
         assert_eq!(parse(&doc).unwrap().get("k").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn nesting_is_bounded_not_stack_bounded() {
+        // Exactly at the limit: fine.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        // One past the limit: a typed error, not a deeper recursion.
+        let deep = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(parse(&deep).unwrap_err().contains("nesting deeper"));
+        // Pathologically deep input from the network must not overflow
+        // the stack (this is ~100k frames without the depth guard).
+        let hostile = "[".repeat(100_000);
+        assert!(parse(&hostile).is_err());
+        let hostile_obj = "{\"a\":".repeat(100_000);
+        assert!(parse(&hostile_obj).is_err());
+    }
+
+    mod props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// A structurally valid single-line document built from parts the
+        /// strategy controls, always spelled as an object (so every
+        /// strict prefix is invalid — handy for the truncation property).
+        fn doc(nums: &[i32], flag: bool, bytes: &[u8]) -> String {
+            let arr = nums
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            let s = String::from_utf8_lossy(bytes);
+            format!(
+                "{{\"a\":[{arr}],\"b\":{flag},\"s\":\"{}\",\"n\":null}}",
+                mwsj_core::mapreduce::json_escape(&s)
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..255, 0..64)) {
+                // Any outcome is fine; reaching here at all is the property.
+                let _ = parse(&String::from_utf8_lossy(&bytes));
+            }
+
+            #[test]
+            fn valid_documents_roundtrip(
+                nums in proptest::collection::vec(-1_000_000i32..1_000_000, 0..8),
+                flag in proptest::bool::ANY,
+                bytes in proptest::collection::vec(0u8..255, 0..24),
+            ) {
+                let text = doc(&nums, flag, &bytes);
+                let v = parse(&text).expect("generated document must parse");
+                let arr = v.get("a").unwrap().as_arr().unwrap();
+                prop_assert_eq!(arr.len(), nums.len());
+                for (got, want) in arr.iter().zip(&nums) {
+                    prop_assert_eq!(got.as_f64(), Some(f64::from(*want)));
+                }
+                prop_assert_eq!(v.get("b").unwrap().as_bool(), Some(flag));
+                let s = String::from_utf8_lossy(&bytes).to_string();
+                prop_assert_eq!(v.get("s").unwrap().as_str(), Some(s.as_str()));
+                prop_assert_eq!(v.get("n"), Some(&Json::Null));
+            }
+
+            #[test]
+            fn truncation_gives_typed_errors_not_panics(
+                nums in proptest::collection::vec(-1_000i32..1_000, 0..6),
+                cut in 0usize..256,
+            ) {
+                let text = doc(&nums, true, b"tail");
+                let cut = cut % text.len(); // strict prefix
+                let prefix: String = text.chars().take(cut).collect();
+                prop_assert!(parse(&prefix).is_err());
+            }
+        }
     }
 }

@@ -34,6 +34,7 @@
 pub mod cache;
 pub mod client;
 pub mod json;
+pub mod netfault;
 pub mod protocol;
 pub mod signal;
 pub mod source;
@@ -46,15 +47,18 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use mwsj_core::mapreduce::{json_escape, CancelToken, EngineConfig, JobErrorKind, JobMetrics};
+use mwsj_core::mapreduce::{
+    json_escape, CancelToken, EngineConfig, FaultPlan, JobErrorKind, JobMetrics, NetFaultPlan,
+};
 use mwsj_core::{Cluster, ClusterConfig, JoinError, JoinOutput, JoinRun};
 use mwsj_geom::Rect;
 use mwsj_query::Query;
 
 use cache::{CacheKey, CachedResult, ResultCache};
+use netfault::FaultyStream;
 use protocol::{ErrorCode, QueryRequest, Request};
 
-pub use client::Client;
+pub use client::{Client, ClientConfig, ClientError};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -73,6 +77,26 @@ pub struct ServerConfig {
     pub grid: u32,
     /// The service space is `[0, extent]²`; every dataset must fit.
     pub extent: f64,
+    /// Deterministic network faults injected into every connection
+    /// (`None` = a clean network).
+    pub net_fault: Option<NetFaultPlan>,
+    /// Engine-level fault plan (task failures, stragglers, spill
+    /// corruption) shared by every query's jobs.
+    pub engine_faults: Option<FaultPlan>,
+    /// Connections idle (or stuck mid-request-line) longer than this are
+    /// evicted — the slow-loris defence.
+    pub idle_timeout: Duration,
+    /// Request lines longer than this are rejected and the connection
+    /// closed — bounds per-connection memory.
+    pub max_request_line: usize,
+    /// On shutdown, in-flight queries get this long to finish before
+    /// their runs are cancelled.
+    pub drain_deadline: Duration,
+    /// After admission sheds a request, the service stays in *brownout*
+    /// for this long: cache hits are still served, cache misses are shed
+    /// immediately instead of queueing — bounding tail latency while
+    /// overloaded.
+    pub brownout_window: Duration,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +109,12 @@ impl Default for ServerConfig {
             max_queue: 16,
             grid: 8,
             extent: 100_000.0,
+            net_fault: None,
+            engine_faults: None,
+            idle_timeout: Duration::from_secs(30),
+            max_request_line: 1 << 20,
+            drain_deadline: Duration::from_secs(5),
+            brownout_window: Duration::from_secs(2),
         }
     }
 }
@@ -118,6 +148,51 @@ impl ServerConfig {
         self.max_queue = max_queue;
         self
     }
+
+    /// Injects deterministic network faults into every connection.
+    #[must_use]
+    pub fn with_net_faults(mut self, plan: NetFaultPlan) -> Self {
+        plan.validate();
+        self.net_fault = Some(plan);
+        self
+    }
+
+    /// Injects engine-level faults (task failures, stragglers, spill
+    /// corruption) into every query's jobs.
+    #[must_use]
+    pub fn with_engine_faults(mut self, plan: FaultPlan) -> Self {
+        plan.validate();
+        self.engine_faults = Some(plan);
+        self
+    }
+
+    /// Sets the idle-connection eviction timeout.
+    #[must_use]
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Sets the shutdown drain deadline.
+    #[must_use]
+    pub fn with_drain_deadline(mut self, deadline: Duration) -> Self {
+        self.drain_deadline = deadline;
+        self
+    }
+
+    /// Sets the brownout window entered after a shed.
+    #[must_use]
+    pub fn with_brownout_window(mut self, window: Duration) -> Self {
+        self.brownout_window = window;
+        self
+    }
+
+    /// Bounds the accepted request-line length.
+    #[must_use]
+    pub fn with_max_request_line(mut self, bytes: usize) -> Self {
+        self.max_request_line = bytes.max(64);
+        self
+    }
 }
 
 /// Monotonic service counters (all successful/failed request outcomes).
@@ -131,6 +206,11 @@ struct ServiceStats {
     cancelled: AtomicU64,
     /// Requests shed by admission control.
     shed: AtomicU64,
+    /// Of those, shed fast because the service was in brownout.
+    brownout_sheds: AtomicU64,
+    /// Connections evicted by the idle timeout (slow-loris defence) or
+    /// the request-line length bound.
+    evicted: AtomicU64,
     /// Other failed requests (bad requests, failed joins).
     errors: AtomicU64,
 }
@@ -199,11 +279,28 @@ struct Inner {
     admission: Admission,
     stats: ServiceStats,
     stop: AtomicBool,
+    /// Set once the drain deadline has passed: in-flight runs are
+    /// cancelled instead of being waited for.
+    cancel_inflight: AtomicBool,
+    /// Brownout lease: while `Instant::now()` is before this, cache
+    /// misses are shed without queueing.
+    brownout_until: parking_lot::Mutex<Option<Instant>>,
 }
 
 impl Inner {
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::SeqCst) || signal::shutdown_requested()
+    }
+
+    fn brownout_active(&self) -> bool {
+        self.brownout_until
+            .lock()
+            .is_some_and(|until| Instant::now() < until)
+    }
+
+    /// Extends the brownout lease after an overload event.
+    fn note_overload(&self) {
+        *self.brownout_until.lock() = Some(Instant::now() + self.config.brownout_window);
     }
 
     /// Loads (or reuses) a dataset, fingerprinting it through the DFS.
@@ -255,7 +352,8 @@ impl Server {
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let space = (0.0, config.extent);
-        let engine = EngineConfig::default().with_slots(config.slots);
+        let mut engine = EngineConfig::default().with_slots(config.slots);
+        engine.fault_plan = config.engine_faults.clone();
         let cluster =
             Cluster::new(ClusterConfig::for_space(space, space, config.grid).with_engine(engine));
         let inner = Arc::new(Inner {
@@ -264,6 +362,8 @@ impl Server {
             admission: Admission::new(config.max_inflight, config.max_queue),
             stats: ServiceStats::default(),
             stop: AtomicBool::new(false),
+            cancel_inflight: AtomicBool::new(false),
+            brownout_until: parking_lot::Mutex::new(None),
             cluster,
             config,
         });
@@ -280,19 +380,27 @@ impl Server {
 
     /// Runs the accept loop until shutdown is requested (a `shutdown`
     /// protocol op, or `SIGTERM`/`SIGINT` once
-    /// [`signal::install_handlers`] is in place), then joins every
-    /// connection thread.
+    /// [`signal::install_handlers`] is in place), then *drains*: no new
+    /// connections are accepted, in-flight requests get up to
+    /// [`ServerConfig::drain_deadline`] to finish, and whatever is still
+    /// running afterwards is cancelled through the engine's cancellation
+    /// tokens before the connection threads are joined.
     ///
     /// # Errors
     /// Propagates accept-loop I/O failures (not per-connection ones).
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+        let mut conn_seq = 0u64;
         while !self.inner.stopping() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     let inner = Arc::clone(&self.inner);
-                    connections.push(thread::spawn(move || handle_connection(&inner, &stream)));
+                    let conn = conn_seq;
+                    conn_seq += 1;
+                    connections.push(thread::spawn(move || {
+                        handle_connection(&inner, &stream, conn)
+                    }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     thread::sleep(Duration::from_millis(5));
@@ -302,6 +410,15 @@ impl Server {
             }
             connections.retain(|h| !h.is_finished());
         }
+        // Ordered drain: accepting has stopped; give in-flight requests
+        // until the drain deadline to answer...
+        let deadline = Instant::now() + self.inner.config.drain_deadline;
+        while connections.iter().any(|h| !h.is_finished()) && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        // ...then cancel the stragglers (their clients get a typed
+        // `cancelled` response) and join every connection thread.
+        self.inner.cancel_inflight.store(true, Ordering::SeqCst);
         for h in connections {
             h.join().ok();
         }
@@ -310,46 +427,86 @@ impl Server {
 }
 
 /// One connection: read request lines, answer each on its own line.
-fn handle_connection(inner: &Arc<Inner>, stream: &TcpStream) {
+///
+/// The socket is wrapped in a [`FaultyStream`] pair (transparent without
+/// a [`NetFaultPlan`]); two defences guard the read side: lines longer
+/// than [`ServerConfig::max_request_line`] are rejected and the
+/// connection closed, and a connection that makes no progress for
+/// [`ServerConfig::idle_timeout`] — idle, or trickling a request byte by
+/// byte — is evicted.
+fn handle_connection(inner: &Arc<Inner>, stream: &TcpStream, conn: u64) {
     stream.set_nodelay(true).ok();
     stream
         .set_read_timeout(Some(Duration::from_millis(100)))
         .ok();
-    let Ok(read_half) = stream.try_clone() else {
+    let Ok((read_half, mut write_half)) =
+        FaultyStream::pair(stream, inner.config.net_fault.clone(), conn)
+    else {
         return;
     };
     let mut reader = std::io::BufReader::new(read_half);
     let mut line = String::new();
+    let mut last_progress = Instant::now();
+    let evict_oversized = |inner: &Arc<Inner>, write_half: &mut FaultyStream| {
+        inner.stats.evicted.fetch_add(1, Ordering::Relaxed);
+        let resp = protocol::error_response(
+            ErrorCode::BadRequest,
+            "request line exceeds the configured maximum length",
+        );
+        write_half.write_all(resp.as_bytes()).ok();
+        write_half.write_all(b"\n").ok();
+        write_half.flush().ok();
+    };
     loop {
         if inner.stopping() {
             return;
         }
         use std::io::BufRead as _;
+        let before = line.len();
         match reader.read_line(&mut line) {
             Ok(0) => {
                 // EOF; a final unterminated line still gets an answer.
                 if !line.trim().is_empty() {
-                    serve_line(inner, stream, &line);
+                    serve_line(inner, stream, &mut write_half, &line);
                 }
                 return;
             }
             Ok(_) => {
-                if !serve_line(inner, stream, &line) {
+                if line.len() > inner.config.max_request_line {
+                    evict_oversized(inner, &mut write_half);
+                    return;
+                }
+                if !serve_line(inner, stream, &mut write_half, &line) {
                     return;
                 }
                 line.clear();
+                last_progress = Instant::now();
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut
-                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                // A partial line may have been buffered before the timeout.
+                if line.len() > inner.config.max_request_line {
+                    evict_oversized(inner, &mut write_half);
+                    return;
+                }
+                if line.len() > before {
+                    last_progress = Instant::now();
+                } else if last_progress.elapsed() > inner.config.idle_timeout {
+                    inner.stats.evicted.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
             Err(_) => return,
         }
     }
 }
 
-/// Handles one request line; `false` ends the connection.
-fn serve_line(inner: &Arc<Inner>, stream: &TcpStream, line: &str) -> bool {
+/// Handles one request line; `false` ends the connection. Responses go
+/// through the fault-wrapped write half.
+fn serve_line(inner: &Arc<Inner>, stream: &TcpStream, w: &mut FaultyStream, line: &str) -> bool {
     if line.trim().is_empty() {
         return true;
     }
@@ -369,7 +526,6 @@ fn serve_line(inner: &Arc<Inner>, stream: &TcpStream, line: &str) -> bool {
         // No response means the client is gone.
         None => false,
         Some(r) => {
-            let mut w = stream;
             w.write_all(r.as_bytes()).is_ok() && w.write_all(b"\n").is_ok() && w.flush().is_ok()
         }
     }
@@ -474,10 +630,24 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
         ));
     }
 
+    // Brownout: while the overload lease is live, misses are shed
+    // immediately rather than queueing behind a saturated engine (the
+    // cache-hit path above still serves).
+    if inner.brownout_active() {
+        inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+        inner.stats.brownout_sheds.fetch_add(1, Ordering::Relaxed);
+        inner.note_overload();
+        return Some(protocol::error_response(
+            ErrorCode::Overloaded,
+            "service in brownout: cache misses are shed while overloaded",
+        ));
+    }
+
     let _slot = match inner.admission.admit() {
         Ok(guard) => guard,
         Err(msg) => {
             inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+            inner.note_overload();
             return Some(protocol::error_response(ErrorCode::Overloaded, &msg));
         }
     };
@@ -505,8 +675,13 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
     };
 
     // Babysit the run: a disconnected client's query is cancelled so its
-    // slots go back to the other tenants.
+    // slots go back to the other tenants, and a drain deadline that
+    // expires mid-run cancels it so the client gets a typed `cancelled`
+    // response instead of a hung connection.
     while !worker.is_finished() {
+        if inner.cancel_inflight.load(Ordering::SeqCst) {
+            token.cancel();
+        }
         if peer_disconnected(stream) {
             token.cancel();
             worker.join().ok();
@@ -586,7 +761,7 @@ fn counters_json(jobs: &[JobMetrics]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"job\":\"{}\",\"map_input_records\":{},\"map_output_records\":{},\"shuffle_bytes\":{},\"reduce_input_groups\":{},\"reduce_input_records\":{},\"reduce_output_records\":{},\"spill_runs\":{},\"retries\":{},\"input_fingerprint\":\"{:016x}\"}}",
+            "{{\"job\":\"{}\",\"map_input_records\":{},\"map_output_records\":{},\"shuffle_bytes\":{},\"reduce_input_groups\":{},\"reduce_input_records\":{},\"reduce_output_records\":{},\"spill_runs\":{},\"retries\":{},\"corrupt_runs\":{},\"input_fingerprint\":\"{:016x}\"}}",
             json_escape(&j.job_name),
             j.map_input_records,
             j.map_output_records,
@@ -596,6 +771,7 @@ fn counters_json(jobs: &[JobMetrics]) -> String {
             j.reduce_output_records,
             j.spill_runs,
             j.retries,
+            j.corrupt_runs,
             j.input_fingerprint,
         ));
     }
@@ -608,12 +784,15 @@ fn stats_response(inner: &Inner) -> String {
     let c = inner.cache.stats();
     let sched = inner.cluster.engine().scheduler();
     format!(
-        "{{\"ok\":true,\"queries\":{},\"served_from_cache\":{},\"cancelled\":{},\"shed\":{},\"errors\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"bytes\":{},\"entries\":{}}},\"slots\":{},\"slots_available\":{}}}",
+        "{{\"ok\":true,\"queries\":{},\"served_from_cache\":{},\"cancelled\":{},\"shed\":{},\"brownout_sheds\":{},\"evicted\":{},\"errors\":{},\"brownout\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"bytes\":{},\"entries\":{}}},\"slots\":{},\"slots_available\":{}}}",
         inner.stats.queries.load(Ordering::Relaxed),
         inner.stats.served_from_cache.load(Ordering::Relaxed),
         inner.stats.cancelled.load(Ordering::Relaxed),
         inner.stats.shed.load(Ordering::Relaxed),
+        inner.stats.brownout_sheds.load(Ordering::Relaxed),
+        inner.stats.evicted.load(Ordering::Relaxed),
         inner.stats.errors.load(Ordering::Relaxed),
+        inner.brownout_active(),
         c.hits,
         c.misses,
         c.evictions,

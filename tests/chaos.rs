@@ -323,6 +323,51 @@ fn cancel_mid_run_under_faults_releases_slots_and_leaves_survivors_exact() {
     }
 }
 
+/// Checksummed spills: a corrupt committed run is detected on shuffle
+/// open and repaired by re-executing the *producing* map attempt. The
+/// repair must be invisible — identical tuples and byte-identical
+/// logical counters (including `spill_runs` and the input fingerprint,
+/// charged only at original commit) — while the `corrupt_runs` counter
+/// records every detection.
+#[test]
+fn corrupt_spill_runs_repair_to_byte_identical_counters() {
+    let q = chain_query();
+    let r1 = synthetic(2_000, 161);
+    let r2 = synthetic(2_000, 162);
+    let r3 = synthetic(2_000, 163);
+
+    let clean = cluster_with(None).run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+    // Attempt failures *and* spill corruption together: recovery re-runs
+    // draw fresh failure faults, so the two retry paths compose.
+    let plan = FaultPlan::chaos(23, 0.1, 0.0)
+        .with_corruption(0.05)
+        .with_max_attempts(8);
+    let faulty = cluster_with(Some(plan)).run(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+
+    assert_eq!(faulty.tuples, clean.tuples);
+    assert_eq!(clean.report.num_jobs(), faulty.report.num_jobs());
+    for (c, f) in clean.report.jobs.iter().zip(&faulty.report.jobs) {
+        assert_eq!(c.map_input_records, f.map_input_records, "{}", c.job_name);
+        assert_eq!(c.map_output_records, f.map_output_records, "{}", c.job_name);
+        assert_eq!(c.shuffle_bytes, f.shuffle_bytes, "{}", c.job_name);
+        assert_eq!(c.spill_runs, f.spill_runs, "{}", c.job_name);
+        assert_eq!(
+            c.reduce_input_records, f.reduce_input_records,
+            "{}",
+            c.job_name
+        );
+        assert_eq!(
+            c.reduce_output_records, f.reduce_output_records,
+            "{}",
+            c.job_name
+        );
+        assert_eq!(c.input_fingerprint, f.input_fingerprint, "{}", c.job_name);
+        assert_eq!(c.corrupt_runs, 0, "clean runs must report zero corruption");
+    }
+    let repaired: u64 = faulty.report.jobs.iter().map(|j| j.corrupt_runs).sum();
+    assert!(repaired > 0, "corruption plan injected nothing");
+}
+
 /// Speculative execution races duplicate attempts for straggling tasks and
 /// commits whichever finishes first — without perturbing results or
 /// logical counters.
