@@ -27,7 +27,11 @@ fn bench_algorithms(c: &mut Criterion) {
             b.iter(|| {
                 black_box(
                     cluster
-                        .submit(&JoinRun::new(&query, &[&r1, &r2, &r3], alg).counting())
+                        .submit(
+                            &JoinRun::new(&query, &[&r1, &r2, &r3])
+                                .algorithm(alg)
+                                .counting(),
+                        )
                         .unwrap(),
                 )
             });

@@ -1,0 +1,96 @@
+//! Optimizer bench — Q2 over the Table 2 size grid, `auto` vs every
+//! manually pinned algorithm.
+//!
+//! For each row the harness runs the cost-based planner's choice
+//! (`Algorithm::Auto`) and all five concrete algorithms (All-Rep only on
+//! the two smallest rows, mirroring Table 2's cut-off), then reports the
+//! chosen algorithm and the ratio of auto's wall to the best manual wall.
+//! A well-calibrated cost model keeps that ratio near 1.0: the planner
+//! picks the winning algorithm — or one whose wall is within noise of it —
+//! from samples alone, without running anything.
+
+use mwsj_bench::{
+    assert_same_results, fmt_time, measure, paper_cluster, print_header, scaled_extent, scaled_n,
+    BenchLog, Measured,
+};
+use mwsj_core::Algorithm;
+use mwsj_datagen::SyntheticConfig;
+use mwsj_query::Query;
+
+fn main() {
+    let extent = scaled_extent(100_000.0);
+    let cluster = paper_cluster(extent);
+    let query = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+
+    print_header(
+        "Opt",
+        "Q2, auto vs the best manually pinned algorithm",
+        &format!(
+            "dS=Uniform, dX,dY,dL,dB=Uniform, space [0,{extent:.0}]², sides [0,100], 8x8 grid"
+        ),
+        &["nI", "chosen", "t auto", "best manual", "t best", "ratio"],
+    );
+
+    let mut log = BenchLog::new("opt");
+    for (row, paper_n) in [1u64, 2, 3, 4, 5].iter().enumerate() {
+        let n = scaled_n(paper_n * 1_000_000);
+        let gen = |seed: u64| {
+            let mut cfg = SyntheticConfig::paper_default(n, seed);
+            cfg.x_range = (0.0, extent);
+            cfg.y_range = (0.0, extent);
+            cfg.generate()
+        };
+        let (r1, r2, r3) = (
+            gen(1000 + row as u64),
+            gen(2000 + row as u64),
+            gen(3000 + row as u64),
+        );
+        let rels: [&[_]; 3] = [&r1, &r2, &r3];
+
+        let auto = measure(&cluster, &query, &rels, Algorithm::Auto);
+        let manual: Vec<(Algorithm, Measured)> = Algorithm::ALL
+            .into_iter()
+            .filter(|&a| a != Algorithm::AllReplicate || row < 2)
+            .map(|a| (a, measure(&cluster, &query, &rels, a)))
+            .collect();
+
+        let mut same: Vec<&Measured> = vec![&auto];
+        same.extend(manual.iter().map(|(_, m)| m));
+        assert_same_results(&format!("nI = {n}"), &same);
+
+        let (best_alg, best) = manual
+            .iter()
+            .min_by_key(|(_, m)| m.wall)
+            .expect("at least one manual run");
+        let ratio = auto.wall.as_secs_f64() / best.wall.as_secs_f64();
+
+        let label = format!("nI={n}");
+        log.record(&label, Algorithm::Auto, &auto);
+        for (a, m) in &manual {
+            log.record(&label, *a, m);
+        }
+        log.push_record(format!(
+            concat!(
+                "{{\"row\":\"nI={n}\",\"summary\":true,",
+                "\"chosen\":\"{chosen}\",\"best_manual\":\"{best}\",",
+                "\"auto_ms\":{auto_ms:.3},\"best_ms\":{best_ms:.3},",
+                "\"ratio\":{ratio:.4}}}"
+            ),
+            n = n,
+            chosen = auto.output.algorithm,
+            best = best_alg,
+            auto_ms = auto.wall.as_secs_f64() * 1e3,
+            best_ms = best.wall.as_secs_f64() * 1e3,
+            ratio = ratio,
+        ));
+
+        println!(
+            "{n} | {} | {} | {} | {} | {ratio:.2}x",
+            auto.output.algorithm.name(),
+            fmt_time(auto.wall),
+            best_alg.name(),
+            fmt_time(best.wall),
+        );
+    }
+    log.write().expect("writing BENCH_opt.json");
+}

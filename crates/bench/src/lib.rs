@@ -154,7 +154,11 @@ pub fn measure(
         .map(|_| {
             let t0 = Instant::now();
             let output = cluster
-                .submit(&JoinRun::new(query, relations, algorithm).counting())
+                .submit(
+                    &JoinRun::new(query, relations)
+                        .algorithm(algorithm)
+                        .counting(),
+                )
                 .unwrap_or_else(|e| panic!("{e}"));
             Measured {
                 wall: t0.elapsed(),

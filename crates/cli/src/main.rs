@@ -6,7 +6,9 @@
 //!          --data R1=synthetic:n=10000,seed=1,extent=20000 \
 //!          --data R2=synthetic:n=10000,seed=2,extent=20000 \
 //!          --data R3=synthetic:n=10000,seed=3,extent=20000 \
-//!          --algorithm crep-l [--grid 8] [--count-only] [--plan] [--out results.csv]
+//!          [--algorithm auto] [--grid 8] [--count-only] [--plan] [--out results.csv]
+//!
+//! mwsj explain --query "R1 ov R2 and R2 ov R3" --data R1=... --data R2=... --data R3=...
 //!
 //! mwsj serve --addr 127.0.0.1:7878 --slots 8 --cache-bytes 16777216
 //! mwsj query --connect 127.0.0.1:7878 --query "R1 ov R2" \
@@ -25,7 +27,7 @@ use std::process::ExitCode;
 
 use args::Args;
 use mwsj_core::mapreduce::{validate_json, EngineConfig, FaultPlan, TraceSink};
-use mwsj_core::{planner, Cluster, ClusterConfig, JoinRun};
+use mwsj_core::{planner, Algorithm, Cluster, ClusterConfig, JoinRun};
 use mwsj_datagen::CaliforniaStats;
 use mwsj_query::Query;
 
@@ -36,6 +38,7 @@ fn main() -> ExitCode {
     };
     let result = match args.command.as_deref() {
         Some("run") => cmd_run(&args),
+        Some("explain") => cmd_explain(&args),
         Some("serve") => cmd_serve(&args),
         Some("query") => cmd_query(&args),
         Some("gen") => cmd_gen(&args),
@@ -64,6 +67,7 @@ mwsj — multi-way spatial joins on a simulated map-reduce cluster
 
 USAGE:
   mwsj run   --query Q --data NAME=SOURCE [--data ...] [options]
+  mwsj explain --query Q --data NAME=SOURCE [--data ...] [--grid N | --connect HOST:PORT]
   mwsj serve --addr HOST:PORT [serve options]
   mwsj query --connect HOST:PORT --query Q --data NAME=SOURCE [--data ...]
   mwsj gen   --source SOURCE --out FILE.csv
@@ -82,11 +86,16 @@ SOURCES
   california:n=20000,seed=2013[,full]
 
 RUN OPTIONS
-  --algorithm cascade|allrep|crep|crep-l    (default crep-l)
+  --algorithm auto|cascade|allrep|crep|crep-l|hypercube    (default auto:
+                  the cost-based optimizer picks; `mwsj explain` shows why)
   --grid N        reducer grid side, N x N cells (default 8)
   --count-only    count result tuples without materializing them
   --plan          reorder the cascade's joins by sampled selectivity
   --out FILE      write result tuples as CSV ids
+
+EXPLAIN  (print the optimizer's costed plan as JSON, without executing)
+  --grid N            reducer grid side for a local plan (default 8)
+  --connect HOST:PORT ask a running `mwsj serve` instead (uses its grid)
 
 SERVE OPTIONS  (a concurrent query service speaking line-delimited JSON)
   --addr HOST:PORT    listen address (default 127.0.0.1:7878; :0 picks a port)
@@ -105,7 +114,7 @@ SERVE OPTIONS  (a concurrent query service speaking line-delimited JSON)
 
 QUERY OPTIONS  (submit to a running `mwsj serve`)
   --connect HOST:PORT server address (required)
-  --algorithm NAME    as in run (default crep-l)
+  --algorithm NAME    as in run (default auto)
   --count-only        count tuples without materializing them
   --deadline-ms N     cancel the run past this wall-clock budget
   --priority N / --share N   scheduler priority and fair-share weight
@@ -210,8 +219,6 @@ fn cmd_trace_check(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-use mwsj_server::protocol::parse_algorithm;
-
 fn cmd_serve(args: &Args) -> Result<(), String> {
     args.check_known(&[
         "addr",
@@ -292,8 +299,8 @@ fn cmd_query(args: &Args) -> Result<(), String> {
 
     let query = args.require("query")?;
     // Validate the algorithm name client-side for a friendlier error.
-    let algorithm = args.get("algorithm")?.unwrap_or("crep-l");
-    parse_algorithm(algorithm)?;
+    let algorithm = args.get("algorithm")?.unwrap_or("auto");
+    algorithm.parse::<Algorithm>()?;
     let mut bindings = Vec::new();
     for spec in args.get_all("data") {
         let (name, source) = spec
@@ -332,6 +339,9 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let cached = doc.get("cached").and_then(Json::as_bool).unwrap_or(false);
     let wall = doc.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
     eprintln!("tuples    : {count}");
+    if let Some(chosen) = doc.get("algorithm").and_then(Json::as_str) {
+        eprintln!("algorithm : {chosen}");
+    }
     eprintln!("cached    : {cached}");
     eprintln!("wall_ms   : {wall:.3}");
     if let Some(fp) = doc.get("fingerprint").and_then(Json::as_str) {
@@ -368,7 +378,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     ])?;
     let query_text = args.require("query")?;
     let mut query = Query::parse(query_text).map_err(|e| format!("query: {e}"))?;
-    let algorithm = parse_algorithm(args.get("algorithm")?.unwrap_or("crep-l"))?;
+    let algorithm: Algorithm = args.get("algorithm")?.unwrap_or("auto").parse()?;
     let grid: u32 = args.get_parsed_or("grid", 8u32)?;
 
     // Bind datasets to relation positions by name.
@@ -403,7 +413,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         eprintln!("planned order: {query}");
     }
 
-    let mut run = JoinRun::new(&query, &datasets, algorithm).count_only(args.flag("count-only"));
+    let mut run = JoinRun::new(&query, &datasets)
+        .algorithm(algorithm)
+        .count_only(args.flag("count-only"));
     if let Some(t) = &trace {
         run = run.trace(t.sink.clone());
     }
@@ -414,7 +426,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let wall = t0.elapsed();
 
     eprintln!("query     : {query}");
-    eprintln!("algorithm : {}", algorithm.name());
+    if algorithm == Algorithm::Auto {
+        eprintln!("algorithm : {} (picked by auto)", output.algorithm.name());
+    } else {
+        eprintln!("algorithm : {}", output.algorithm.name());
+    }
     eprintln!(
         "space     : [{:.1}, {:.1}] x [{:.1}, {:.1}], {grid}x{grid} reducers",
         x_range.0, x_range.1, y_range.0, y_range.1
@@ -456,6 +472,69 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
         eprintln!("wrote {} tuples to {path}", output.tuples.len());
     }
+    Ok(())
+}
+
+/// Prints the optimizer's costed plan for a query without executing it.
+/// With `--connect` the plan comes from a running server (its grid and
+/// extent); otherwise it is computed locally as `mwsj run` would.
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    use mwsj_core::mapreduce::json_escape;
+
+    args.check_known(&["query", "data", "grid", "connect"])?;
+    let query_text = args.require("query")?;
+
+    if let Some(addr) = args.get("connect")? {
+        let mut client =
+            mwsj_server::Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+        let mut bindings = Vec::new();
+        for spec in args.get_all("data") {
+            let (name, source) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("`{spec}` is not NAME=SOURCE"))?;
+            bindings.push(format!(
+                "\"{}\":\"{}\"",
+                json_escape(name),
+                json_escape(source)
+            ));
+        }
+        let request = format!(
+            "{{\"op\":\"explain\",\"query\":\"{}\",\"data\":{{{}}}}}",
+            json_escape(query_text),
+            bindings.join(",")
+        );
+        let resp = client.request(&request).map_err(|e| e.to_string())?;
+        println!("{resp}");
+        return Ok(());
+    }
+
+    let query = Query::parse(query_text).map_err(|e| format!("query: {e}"))?;
+    let grid: u32 = args.get_parsed_or("grid", 8u32)?;
+    let mut bindings = std::collections::BTreeMap::new();
+    for spec in args.get_all("data") {
+        let (name, rects) = data::parse_binding(spec)?;
+        bindings.insert(name, rects);
+    }
+    let mut datasets: Vec<&[mwsj_geom::Rect]> = Vec::new();
+    for pos in query.relations() {
+        let name = query.name(pos);
+        datasets.push(
+            bindings
+                .get(name)
+                .ok_or_else(|| format!("no --data binding for relation `{name}`"))?,
+        );
+    }
+    let (x_range, y_range) = data::bounding_space(&datasets);
+    let cluster = Cluster::new(ClusterConfig {
+        x_range,
+        y_range,
+        grid_cols: grid,
+        grid_rows: grid,
+        num_reducers: None,
+        engine: EngineConfig::default(),
+    });
+    let plan = cluster.plan(&query, &datasets);
+    println!("{}", plan.to_json());
     Ok(())
 }
 

@@ -76,5 +76,6 @@ pub(crate) fn run(
         tuple_count,
         stats,
         report,
+        algorithm: super::Algorithm::AllReplicate,
     })
 }

@@ -209,6 +209,7 @@ pub(crate) fn run(
         // shuffle counters of the report.
         stats: ReplicationStats::default(),
         report: ctx.report(),
+        algorithm: super::Algorithm::TwoWayCascade,
     })
 }
 

@@ -172,5 +172,10 @@ pub(crate) fn run(
         tuple_count,
         stats,
         report,
+        algorithm: if limit {
+            super::Algorithm::ControlledReplicateLimit
+        } else {
+            super::Algorithm::ControlledReplicate
+        },
     })
 }

@@ -1,4 +1,5 @@
-//! The four distributed join algorithms of the paper.
+//! The distributed join algorithms: the paper's four plus the
+//! Shares-style hypercube join.
 //!
 //! All of them share the same contract: input relations bound to query
 //! positions, output tuples of record ids (exactly the in-memory reference
@@ -8,6 +9,7 @@
 pub(crate) mod all_replicate;
 pub(crate) mod cascade;
 pub(crate) mod controlled_replicate;
+pub(crate) mod hypercube;
 
 use mwsj_geom::Rect;
 use mwsj_mapreduce::{CancelToken, Engine, JobSpec, MetricsHub, MetricsReport, TraceSink, Unset};
@@ -45,6 +47,10 @@ pub(crate) struct AlgoCtx<'a> {
     /// Combined fingerprint of the datasets bound to the query positions
     /// (0 when the caller did not supply one).
     pub input_fingerprint: u64,
+    /// Planner-chosen hypercube share vector (one share per relation
+    /// position). `None` lets the hypercube algorithm derive shares from
+    /// the relation sizes; ignored by the spatial algorithms.
+    pub shares: Option<Vec<u32>>,
     /// DFS counters (read bytes, write bytes, transient failures) at
     /// submit time; [`AlgoCtx::report`] subtracts them so a run's report
     /// covers its own DFS traffic without resetting shared engine state.
@@ -106,15 +112,29 @@ pub enum Algorithm {
     /// only to 4th-quadrant cells within a per-relation distance bound
     /// derived from the join graph.
     ControlledReplicateLimit,
+    /// Shares-style hypercube join (Afrati/Ullman): the reducers form a
+    /// hypercube with one dimension per relation *position*; each tuple is
+    /// hashed on its own dimension and replicated along all unconstrained
+    /// dimensions, so every candidate tuple meets at exactly one reducer.
+    /// One round, predicate-agnostic, replication independent of the range
+    /// distance `d`.
+    Hypercube,
+    /// Let the cost-based optimizer ([`crate::optimizer`]) pick one of the
+    /// concrete algorithms from dataset statistics, sampled selectivities
+    /// and the query's join graph.
+    Auto,
 }
 
 impl Algorithm {
-    /// All algorithms, in the order the paper's tables list them.
-    pub const ALL: [Algorithm; 4] = [
+    /// All *concrete* algorithms, in the order the paper's tables list
+    /// them (plus the hypercube join). `Auto` is a planner directive, not
+    /// an executable algorithm, so it is not listed here.
+    pub const ALL: [Algorithm; 5] = [
         Algorithm::TwoWayCascade,
         Algorithm::AllReplicate,
         Algorithm::ControlledReplicate,
         Algorithm::ControlledReplicateLimit,
+        Algorithm::Hypercube,
     ];
 
     /// Short display name used by the bench tables.
@@ -125,7 +145,47 @@ impl Algorithm {
             Algorithm::AllReplicate => "All-Rep",
             Algorithm::ControlledReplicate => "C-Rep",
             Algorithm::ControlledReplicateLimit => "C-Rep-L",
+            Algorithm::Hypercube => "Hypercube",
+            Algorithm::Auto => "Auto",
         }
+    }
+
+    /// The wire name: the spelling the CLI, the server protocol and the
+    /// result-cache keys use. Inverse of the [`std::str::FromStr`] impl.
+    #[must_use]
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Algorithm::TwoWayCascade => "cascade",
+            Algorithm::AllReplicate => "allrep",
+            Algorithm::ControlledReplicate => "crep",
+            Algorithm::ControlledReplicateLimit => "crep-l",
+            Algorithm::Hypercube => "hypercube",
+            Algorithm::Auto => "auto",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    /// Parses an algorithm by its wire name (plus the historical aliases
+    /// the CLI accepted).
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        Ok(match name {
+            "cascade" => Algorithm::TwoWayCascade,
+            "allrep" | "all-rep" => Algorithm::AllReplicate,
+            "crep" | "c-rep" => Algorithm::ControlledReplicate,
+            "crep-l" | "c-rep-l" | "crepl" => Algorithm::ControlledReplicateLimit,
+            "hypercube" | "shares" => Algorithm::Hypercube,
+            "auto" => Algorithm::Auto,
+            other => return Err(format!("unknown algorithm `{other}`")),
+        })
     }
 }
 
@@ -241,6 +301,20 @@ mod tests {
     #[test]
     fn algorithm_names() {
         assert_eq!(Algorithm::ControlledReplicate.name(), "C-Rep");
-        assert_eq!(Algorithm::ALL.len(), 4);
+        assert_eq!(Algorithm::ALL.len(), 5);
+        assert!(!Algorithm::ALL.contains(&Algorithm::Auto));
+    }
+
+    #[test]
+    fn wire_names_round_trip() {
+        for alg in Algorithm::ALL.into_iter().chain([Algorithm::Auto]) {
+            assert_eq!(alg.to_string().parse::<Algorithm>(), Ok(alg));
+        }
+        assert_eq!("shares".parse::<Algorithm>(), Ok(Algorithm::Hypercube));
+        assert_eq!(
+            "c-rep-l".parse::<Algorithm>(),
+            Ok(Algorithm::ControlledReplicateLimit)
+        );
+        assert!("mystery".parse::<Algorithm>().is_err());
     }
 }

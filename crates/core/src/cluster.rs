@@ -138,8 +138,21 @@ impl Cluster {
     /// a fault plan — a job fails outright (see [`Cluster::submit`]).
     #[must_use]
     pub fn run(&self, query: &Query, relations: &[&[Rect]], algorithm: Algorithm) -> JoinOutput {
-        self.submit(&JoinRun::new(query, relations, algorithm))
+        self.submit(&JoinRun::new(query, relations).algorithm(algorithm))
             .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the cost-based execution plan for a query over bound
+    /// datasets — what [`Algorithm::Auto`] resolves to at submit time,
+    /// exposed for `explain`-style inspection. Deterministic for fixed
+    /// inputs (see [`crate::optimizer`]).
+    ///
+    /// # Panics
+    /// Panics if the number of datasets does not match the query's
+    /// relation positions.
+    #[must_use]
+    pub fn plan(&self, query: &Query, relations: &[&[Rect]]) -> crate::optimizer::Plan {
+        crate::optimizer::plan(query, relations, &self.grid, self.num_reducers)
     }
 
     /// Submits a fully-described join run — the single entry point behind
@@ -175,6 +188,22 @@ impl Cluster {
         if let Some(timeout) = run.deadline {
             run.cancel.deadline_in(timeout);
         }
+        // Resolve `Auto` to the optimizer's concrete choice (and its share
+        // vector) before building the context, so the dispatch below only
+        // ever sees executable algorithms. A pinned hypercube run derives
+        // the same shares itself — the plan and the algorithm share one
+        // deterministic derivation, so auto and pinned runs stay
+        // byte-identical.
+        let (algorithm, shares) = match run.algorithm {
+            Algorithm::Auto => {
+                let plan = self.plan(run.query, run.relations);
+                let shares = (plan.algorithm == Algorithm::Hypercube)
+                    .then(|| plan.shares.clone())
+                    .flatten();
+                (plan.algorithm, shares)
+            }
+            pinned => (pinned, None),
+        };
         let ctx = AlgoCtx {
             engine: &self.engine,
             grid: &self.grid,
@@ -186,13 +215,14 @@ impl Cluster {
             priority: run.priority,
             share: run.share,
             input_fingerprint: run.input_fingerprint,
+            shares,
             dfs_base: (
                 self.engine.dfs.read_bytes(),
                 self.engine.dfs.write_bytes(),
                 self.engine.dfs.transient_read_failures(),
             ),
         };
-        match run.algorithm {
+        match algorithm {
             Algorithm::TwoWayCascade => algorithms::cascade::run(&ctx, run.query, run.relations),
             Algorithm::AllReplicate => {
                 algorithms::all_replicate::run(&ctx, run.query, run.relations)
@@ -203,6 +233,8 @@ impl Cluster {
             Algorithm::ControlledReplicateLimit => {
                 algorithms::controlled_replicate::run(&ctx, run.query, run.relations, true)
             }
+            Algorithm::Hypercube => algorithms::hypercube::run(&ctx, run.query, run.relations),
+            Algorithm::Auto => unreachable!("Auto resolved to a concrete algorithm above"),
         }
     }
 }

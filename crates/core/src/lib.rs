@@ -4,7 +4,8 @@
 //!
 //! The crate distributes a multi-way spatial join query (conjunctions of
 //! `Overlap` and `Range(d)` predicates over rectangle relations) across a
-//! grid of reducers and implements all four algorithms the paper studies:
+//! grid of reducers and implements all four algorithms the paper studies,
+//! plus a Shares-style hypercube join and a cost-based optimizer:
 //!
 //! * [`Algorithm::TwoWayCascade`] — the naive cascade of 2-way joins (§6);
 //! * [`Algorithm::AllReplicate`] — the naive single-round 4th-quadrant
@@ -14,7 +15,11 @@
 //!   C1-C4 conditions (§7, §8, §9);
 //! * [`Algorithm::ControlledReplicateLimit`] — *C-Rep-L*, which further
 //!   limits how far marked rectangles travel using per-relation distance
-//!   bounds derived from the join graph (§7.9).
+//!   bounds derived from the join graph (§7.9);
+//! * [`Algorithm::Hypercube`] — the Shares-style hypercube join: a
+//!   reducer grid over per-relation *shares* instead of space;
+//! * [`Algorithm::Auto`] (the default) — the [`optimizer`] picks among
+//!   the above from sampled dataset statistics.
 //!
 //! # Quickstart
 //!
@@ -30,8 +35,9 @@
 //!
 //! let query = Query::parse("R1 overlaps R2 and R2 overlaps R3").unwrap();
 //! let cluster = Cluster::new(ClusterConfig::for_space((0.0, 100.0), (0.0, 100.0), 4));
-//! let output = cluster.run(&query, &[&r1, &r2, &r3], Algorithm::ControlledReplicate);
+//! let output = cluster.run(&query, &[&r1, &r2, &r3], Algorithm::Auto);
 //! assert_eq!(output.tuples, vec![vec![0, 0, 0]]);
+//! assert_ne!(output.algorithm, Algorithm::Auto); // the optimizer's pick
 //! ```
 
 #![forbid(unsafe_code)]
@@ -41,6 +47,7 @@ pub mod algorithms;
 pub mod ann;
 mod cluster;
 mod error;
+pub mod optimizer;
 pub mod planner;
 mod record;
 pub mod reference;

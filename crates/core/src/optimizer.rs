@@ -1,0 +1,468 @@
+//! The cost-based algorithm optimizer behind [`Algorithm::Auto`].
+//!
+//! The paper fixes the algorithm per experiment; ROADMAP item 1 asks the
+//! system to *choose*. This module generalises the cascade-only
+//! [`crate::planner`]: from cheap, seeded samples of the bound datasets it
+//! estimates — per candidate algorithm — the records communicated, the
+//! records materialized on the DFS, the number of map-reduce rounds and
+//! the local join work, combines them into one scalar cost, and picks the
+//! cheapest plan. For the hypercube it also derives the share vector; the
+//! spatial algorithms inherit the cluster's reducer grid.
+//!
+//! Everything is a pure function of `(query, relations, grid, reducers)`:
+//! sampling uses a fixed seed, shares are enumerated deterministically,
+//! and cost arithmetic avoids platform-dependent operations — so planner
+//! decisions can be pinned in golden tests and cache keys can rely on the
+//! same query always resolving to the same concrete algorithm.
+//!
+//! # Cost model
+//!
+//! For each candidate the model estimates, in units of *records*:
+//!
+//! - `comm_records` — map output records over all rounds: the shuffle
+//!   volume, the dominant term of every algorithm's runtime here and in
+//!   the paper's tables.
+//! - `dfs_records` — records written to and re-read from the DFS between
+//!   rounds (the cascade's intermediates, C-Rep's marked stream), charged
+//!   `DFS_WEIGHT` each: a DFS round-trip costs more than a shuffled
+//!   record (checksummed write + read + decode).
+//! - `jobs` — map-reduce rounds, charged `JOB_OVERHEAD` records each:
+//!   per-job setup, task scheduling and commit barriers.
+//! - `local_pairs` — candidate pairs the reducers' join kernels must
+//!   consider, charged `PAIR_WEIGHT` each. The spatial algorithms
+//!   deliver pre-filtered, co-located rectangles, so their pair term is
+//!   folded into `comm_records`; the hypercube delivers *every* pair of
+//!   co-hashed rectangles unfiltered, so its kernel work scales with
+//!   `Σ_t n_l·n_r·Π_{j∉{l,r}} s_j` and must be charged explicitly —
+//!   without this term the hypercube's modest communication would always
+//!   win and the optimizer would lose the paper's Table 2 rows.
+//!
+//! Weights are calibrated against this repo's in-process engine via the
+//! `opt` bench (`BENCH_opt.json`), not Hadoop: the acceptance bar is that
+//! `auto` lands within ~15% of the best manual choice on every Table 2
+//! row of *this* implementation.
+
+use mwsj_geom::Rect;
+use mwsj_partition::Grid;
+use mwsj_query::{replication_bounds, Query, Triple};
+
+use crate::algorithms::hypercube::derive_shares;
+use crate::algorithms::{max_diagonal, Algorithm};
+use crate::planner::{estimate_selectivity, sample_relations};
+
+/// Fixed sampling seed: planner decisions must be a pure function of the
+/// inputs (golden-pinnable, cache-key safe), never of run-to-run entropy.
+const PLAN_SEED: u64 = 0xC0_57;
+
+/// Sample size per relation. Larger than the cascade reorderer's
+/// [`crate::planner::DEFAULT_SAMPLE`]: the optimizer compares *algorithms*,
+/// and the cascade's cost hinges on pairwise selectivities estimated from
+/// `sample²` pairs — at Table 2 densities a 200-rect sample expects only a
+/// handful of matches, and that Poisson noise is enough to flip the
+/// cascade/C-Rep-L decision. 600 rects per relation keeps sampling cheap
+/// (sub-millisecond) while cutting the estimate's relative error ~3x.
+const PLAN_SAMPLE: usize = 600;
+
+/// Cost charged per map-reduce round, in record units.
+const JOB_OVERHEAD: f64 = 2_000.0;
+
+/// Cost multiplier for a DFS round-trip record relative to a shuffled one.
+const DFS_WEIGHT: f64 = 3.0;
+
+/// Cost per unfiltered candidate pair at a hypercube reducer.
+const PAIR_WEIGHT: f64 = 0.02;
+
+/// The estimated cost breakdown of one candidate algorithm.
+#[derive(Debug, Clone)]
+pub struct CandidateCost {
+    /// The candidate.
+    pub algorithm: Algorithm,
+    /// Map-reduce rounds the candidate needs.
+    pub jobs: u32,
+    /// Estimated map output records over all rounds.
+    pub comm_records: f64,
+    /// Estimated records round-tripped through the DFS between rounds.
+    pub dfs_records: f64,
+    /// Estimated unfiltered candidate pairs at the reducers (hypercube
+    /// only; 0 for the spatial algorithms, whose local work is folded
+    /// into `comm_records`).
+    pub local_pairs: f64,
+    /// The combined scalar cost the optimizer minimizes.
+    pub cost: f64,
+}
+
+impl CandidateCost {
+    fn new(algorithm: Algorithm, jobs: u32, comm: f64, dfs: f64, pairs: f64) -> Self {
+        Self {
+            algorithm,
+            jobs,
+            comm_records: comm,
+            dfs_records: dfs,
+            local_pairs: pairs,
+            cost: comm + DFS_WEIGHT * dfs + JOB_OVERHEAD * f64::from(jobs) + PAIR_WEIGHT * pairs,
+        }
+    }
+}
+
+/// A costed execution plan: the chosen algorithm plus the granularity
+/// parameters and the full candidate table (for `explain`).
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The optimizer's choice — always a concrete algorithm, never
+    /// [`Algorithm::Auto`].
+    pub algorithm: Algorithm,
+    /// Physical reducers the plan runs on.
+    pub reducers: u32,
+    /// The reducer grid granularity `(cols, rows)` of the spatial
+    /// algorithms.
+    pub grid: (u32, u32),
+    /// The hypercube share vector (one share per relation position) —
+    /// populated whenever the hypercube was costed, used when it is
+    /// chosen.
+    pub shares: Option<Vec<u32>>,
+    /// Every candidate's estimated cost, cheapest first.
+    pub candidates: Vec<CandidateCost>,
+}
+
+impl Plan {
+    /// Renders the plan as a JSON object (the `explain` wire format).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str(&format!(
+            "{{\"algorithm\":\"{}\",\"reducers\":{},\"grid\":[{},{}],\"shares\":",
+            self.algorithm, self.reducers, self.grid.0, self.grid.1
+        ));
+        match &self.shares {
+            Some(shares) => {
+                s.push('[');
+                for (i, sh) in shares.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&sh.to_string());
+                }
+                s.push(']');
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"candidates\":[");
+        for (i, c) in self.candidates.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"algorithm\":\"{}\",\"jobs\":{},\"comm_records\":{:.1},\"dfs_records\":{:.1},\"local_pairs\":{:.1},\"cost\":{:.1}}}",
+                c.algorithm, c.jobs, c.comm_records, c.dfs_records, c.local_pairs, c.cost
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Per-relation sampled statistics feeding the candidate cost formulas.
+struct RelationStats {
+    /// Relation cardinality.
+    n: f64,
+    /// Mean 4th-quadrant replication factor (`f1`) over the sample.
+    q4: f64,
+    /// Mean split factor (cells a rectangle overlaps).
+    split: f64,
+    /// Fraction of the sample estimated to be *marked* by C-Rep round 1:
+    /// rectangles whose `d`-enlargement overlaps more than one cell. An
+    /// interior rectangle with `d` of margin can never satisfy C1-C4, so
+    /// this upper-bounds the marking rate while scaling the same way
+    /// (rect size + d versus cell size).
+    marked: f64,
+    /// Mean `f1` factor conditioned on the marked sample (marked
+    /// rectangles are the large ones, so their replication factor is
+    /// above the relation mean).
+    q4_marked: f64,
+    /// Like `q4_marked` under the C-Rep-L bound.
+    q4_bounded_marked: f64,
+}
+
+/// Clamps a rectangle to the grid extent (enlarged probe rectangles may
+/// poke outside the space, which the grid treats as a caller error).
+fn clamp_to(extent: &Rect, r: &Rect) -> Rect {
+    let left = r.min_x().max(extent.min_x());
+    let right = r.max_x().min(extent.max_x());
+    let top = r.max_y().min(extent.max_y());
+    let bottom = r.min_y().max(extent.min_y());
+    Rect::new(left, top, (right - left).max(0.0), (top - bottom).max(0.0))
+}
+
+fn relation_stats(
+    relations: &[&[Rect]],
+    samples: &[Vec<Rect>],
+    grid: &Grid,
+    bounds: &[f64],
+    d: f64,
+) -> Vec<RelationStats> {
+    let extent = grid.extent();
+    relations
+        .iter()
+        .zip(samples.iter())
+        .zip(bounds.iter())
+        .map(|((rel, sample), &bound)| {
+            let n = rel.len() as f64;
+            if sample.is_empty() {
+                return RelationStats {
+                    n,
+                    q4: 1.0,
+                    split: 1.0,
+                    marked: 0.0,
+                    q4_marked: 1.0,
+                    q4_bounded_marked: 1.0,
+                };
+            }
+            let mut q4 = 0.0;
+            let mut split = 0.0;
+            let mut marked = 0usize;
+            let mut q4_m = 0.0;
+            let mut q4b_m = 0.0;
+            for r in sample {
+                let f1 = grid.fourth_quadrant_cells(r).len() as f64;
+                let f2 = grid.fourth_quadrant_cells_within(r, bound).len() as f64;
+                q4 += f1;
+                split += grid.split_cells(r).len() as f64;
+                let probe = clamp_to(&extent, &r.enlarge(d));
+                if grid.split_cells(&probe).len() > 1 {
+                    marked += 1;
+                    q4_m += f1;
+                    q4b_m += f2;
+                }
+            }
+            let count = sample.len() as f64;
+            RelationStats {
+                n,
+                q4: q4 / count,
+                split: split / count,
+                marked: marked as f64 / count,
+                q4_marked: if marked > 0 {
+                    q4_m / marked as f64
+                } else {
+                    1.0
+                },
+                q4_bounded_marked: if marked > 0 {
+                    q4b_m / marked as f64
+                } else {
+                    1.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// Estimated communication and DFS volume of the 2-way cascade in the
+/// query's (unreordered) condition order, from sampled selectivities:
+/// each stage shuffles the previous intermediate plus the newly-bound
+/// base relation and materializes its output on the DFS for the next.
+fn cascade_cost(query: &Query, relations: &[&[Rect]], samples: &[Vec<Rect>]) -> CandidateCost {
+    let triples = query.triples();
+    let mut bound = vec![false; query.num_relations()];
+    let mut comm = 0.0;
+    let mut dfs = 0.0;
+    let mut intermediate = 0.0;
+    for (stage, t) in triples.iter().enumerate() {
+        let sel = estimate_selectivity(t, samples);
+        let (l, r) = (t.left.index(), t.right.index());
+        let nl = relations[l].len() as f64;
+        let nr = relations[r].len() as f64;
+        if stage == 0 {
+            comm += nl + nr;
+            intermediate = sel * nl * nr;
+        } else {
+            let new = match (bound[l], bound[r]) {
+                (true, true) => None,
+                (true, false) => Some(nr),
+                (false, true) => Some(nl),
+                // A disconnected prefix never executes (the cascade
+                // requires connectivity); cost it like a fresh pair.
+                (false, false) => Some(nl + nr),
+            };
+            match new {
+                Some(n_new) => {
+                    comm += intermediate + n_new;
+                    intermediate *= sel * n_new;
+                }
+                None => {
+                    // A filter only shrinks the intermediate.
+                    comm += intermediate;
+                    intermediate *= sel.min(1.0);
+                }
+            }
+            // The previous stage's output made a DFS round-trip to reach
+            // this stage.
+            dfs += intermediate;
+        }
+        bound[l] = true;
+        bound[r] = true;
+    }
+    CandidateCost::new(
+        Algorithm::TwoWayCascade,
+        triples.len() as u32,
+        comm,
+        dfs,
+        0.0,
+    )
+}
+
+/// Total unfiltered candidate pairs at the hypercube reducers: a pair of
+/// rectangles from the relations of triple `t` is co-hashed at
+/// `Π_{j∉{l,r}} s_j` reducers.
+fn hypercube_pairs(triples: &[Triple], sizes: &[f64], shares: &[u32]) -> f64 {
+    let product: f64 = shares.iter().map(|&s| f64::from(s)).product();
+    triples
+        .iter()
+        .map(|t| {
+            let (l, r) = (t.left.index(), t.right.index());
+            sizes[l] * sizes[r] * product / (f64::from(shares[l]) * f64::from(shares[r]))
+        })
+        .sum()
+}
+
+/// Builds the costed plan for a query over bound datasets on a cluster of
+/// `reducers` physical reducers partitioning the space by `grid`.
+///
+/// Deterministic: same inputs, same plan (see the module docs).
+#[must_use]
+pub fn plan(query: &Query, relations: &[&[Rect]], grid: &Grid, reducers: u32) -> Plan {
+    assert_eq!(relations.len(), query.num_relations());
+    let samples = sample_relations(relations, PLAN_SAMPLE, PLAN_SEED);
+    let d = query.max_range_distance();
+    let bounds: Vec<f64> = replication_bounds(query, max_diagonal(relations))
+        .into_iter()
+        .map(|b| b * std::f64::consts::SQRT_2)
+        .collect();
+    let stats = relation_stats(relations, &samples, grid, &bounds, d);
+    let sizes: Vec<f64> = stats.iter().map(|s| s.n).collect();
+    let total: f64 = sizes.iter().sum();
+
+    // All-Replicate: one round, every rectangle shuffled q4-fold.
+    let all_rep_comm: f64 = stats.iter().map(|s| s.n * s.q4).sum();
+    // C-Rep: round 1 splits everything; round 2 replicates the marked
+    // rectangles f1-fold and projects the rest once. The marked stream
+    // makes one DFS round-trip between the rounds.
+    let round1: f64 = stats.iter().map(|s| s.n * s.split).sum();
+    let crep_round2: f64 = stats
+        .iter()
+        .map(|s| s.n * (s.marked * s.q4_marked + (1.0 - s.marked)))
+        .sum();
+    let crep_l_round2: f64 = stats
+        .iter()
+        .map(|s| s.n * (s.marked * s.q4_bounded_marked + (1.0 - s.marked)))
+        .sum();
+    // Hypercube: one round, relation i shuffled Π_{j≠i} s_j-fold.
+    let share_sizes: Vec<u64> = relations.iter().map(|r| r.len() as u64).collect();
+    let shares = derive_shares(&share_sizes, reducers);
+    let hyper_comm: f64 = {
+        let product: f64 = shares.iter().map(|&s| f64::from(s)).product();
+        stats
+            .iter()
+            .zip(shares.iter())
+            .map(|(s, &sh)| s.n * product / f64::from(sh))
+            .sum()
+    };
+    let pairs = hypercube_pairs(query.triples(), &sizes, &shares);
+
+    let mut candidates = vec![
+        cascade_cost(query, relations, &samples),
+        CandidateCost::new(Algorithm::AllReplicate, 1, all_rep_comm, 0.0, 0.0),
+        CandidateCost::new(
+            Algorithm::ControlledReplicate,
+            2,
+            round1 + crep_round2,
+            total,
+            0.0,
+        ),
+        CandidateCost::new(
+            Algorithm::ControlledReplicateLimit,
+            2,
+            round1 + crep_l_round2,
+            total,
+            0.0,
+        ),
+        CandidateCost::new(Algorithm::Hypercube, 1, hyper_comm, 0.0, pairs),
+    ];
+    // Cheapest first; f64 costs are finite by construction. The sort is
+    // stable, so equal costs keep the `Algorithm::ALL` order — another
+    // determinism guarantee for the golden pins.
+    candidates.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+
+    Plan {
+        algorithm: candidates[0].algorithm,
+        reducers,
+        grid: (grid.cols(), grid.rows()),
+        shares: Some(shares),
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn relation(n: usize, seed: u64, side: f64) -> Vec<Rect> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.random_range(0.0..1000.0 - side);
+                let y = rng.random_range(side..1000.0);
+                Rect::new(
+                    x,
+                    y,
+                    rng.random_range(0.0..side),
+                    rng.random_range(0.0..side),
+                )
+            })
+            .collect()
+    }
+
+    fn grid8() -> Grid {
+        Grid::new((0.0, 1000.0), (0.0, 1000.0), 8, 8)
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let q = Query::parse("A ov B and B ov C").unwrap();
+        let a = relation(300, 1, 30.0);
+        let b = relation(300, 2, 30.0);
+        let c = relation(300, 3, 30.0);
+        let grid = grid8();
+        let p1 = plan(&q, &[&a, &b, &c], &grid, 64);
+        let p2 = plan(&q, &[&a, &b, &c], &grid, 64);
+        assert_eq!(p1.algorithm, p2.algorithm);
+        assert_eq!(p1.to_json(), p2.to_json());
+        assert_ne!(p1.algorithm, Algorithm::Auto);
+        assert_eq!(p1.candidates.len(), Algorithm::ALL.len());
+    }
+
+    #[test]
+    fn tiny_inputs_avoid_multi_round_plans() {
+        // With a handful of rectangles, per-job overhead dominates: the
+        // plan must be a single-round algorithm.
+        let q = Query::parse("A ov B").unwrap();
+        let a = relation(5, 4, 10.0);
+        let b = relation(5, 5, 10.0);
+        let grid = grid8();
+        let p = plan(&q, &[&a, &b], &grid, 64);
+        assert_eq!(p.candidates[0].jobs, 1, "plan: {}", p.to_json());
+    }
+
+    #[test]
+    fn plan_json_is_valid_shape() {
+        let q = Query::parse("A ov B").unwrap();
+        let a = relation(50, 6, 20.0);
+        let b = relation(50, 7, 20.0);
+        let grid = grid8();
+        let json = plan(&q, &[&a, &b], &grid, 64).to_json();
+        assert!(json.starts_with("{\"algorithm\":\""));
+        assert!(json.contains("\"candidates\":["));
+        assert!(json.contains("\"shares\":["));
+        assert!(json.ends_with("]}"));
+    }
+}

@@ -19,9 +19,30 @@ use rand::{seq::SliceRandom, SeedableRng};
 /// Default number of rectangles sampled per relation for estimation.
 pub const DEFAULT_SAMPLE: usize = 200;
 
+/// Draws a seeded uniform sample of up to `sample_size` rectangles from
+/// each relation — shared by the cascade-order planner and the cost-based
+/// optimizer ([`crate::optimizer`]), so both see the same statistics for
+/// the same seed.
+pub(crate) fn sample_relations(
+    relations: &[&[Rect]],
+    sample_size: usize,
+    seed: u64,
+) -> Vec<Vec<Rect>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    relations
+        .iter()
+        .map(|rel| {
+            let mut idx: Vec<usize> = (0..rel.len()).collect();
+            idx.shuffle(&mut rng);
+            idx.truncate(sample_size);
+            idx.into_iter().map(|i| rel[i]).collect()
+        })
+        .collect()
+}
+
 /// Estimates the selectivity of one triple on samples of its two
 /// relations: the fraction of sampled pairs satisfying the predicate.
-fn estimate_selectivity(t: &Triple, samples: &[Vec<Rect>]) -> f64 {
+pub(crate) fn estimate_selectivity(t: &Triple, samples: &[Vec<Rect>]) -> f64 {
     let left = &samples[t.left.index()];
     let right = &samples[t.right.index()];
     if left.is_empty() || right.is_empty() {
@@ -66,16 +87,7 @@ pub fn optimize_cascade_order(
     seed: u64,
 ) -> Query {
     assert_eq!(relations.len(), query.num_relations());
-    let mut rng = StdRng::seed_from_u64(seed);
-    let samples: Vec<Vec<Rect>> = relations
-        .iter()
-        .map(|rel| {
-            let mut idx: Vec<usize> = (0..rel.len()).collect();
-            idx.shuffle(&mut rng);
-            idx.truncate(sample_size);
-            idx.into_iter().map(|i| rel[i]).collect()
-        })
-        .collect();
+    let samples = sample_relations(relations, sample_size, seed);
     order_greedily(query, relations, |t| estimate_selectivity(t, &samples))
 }
 

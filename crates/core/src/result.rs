@@ -18,6 +18,12 @@ pub struct ReplicationStats {
 /// The result of one distributed join run.
 #[derive(Debug)]
 pub struct JoinOutput {
+    /// The concrete algorithm that executed the run. Equal to the
+    /// requested algorithm for a pinned run; for [`Algorithm::Auto`] this
+    /// is the optimizer's choice — never `Auto` itself.
+    ///
+    /// [`Algorithm::Auto`]: crate::Algorithm::Auto
+    pub algorithm: crate::Algorithm,
     /// Output tuples: one record id per relation position, in position
     /// order. Ids are indices into the input slices. Sorted and
     /// duplicate-free. Empty when the run was started in count-only mode

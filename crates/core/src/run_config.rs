@@ -7,10 +7,12 @@ use mwsj_query::Query;
 use crate::Algorithm;
 
 /// A fully-described join run for [`Cluster::submit`](crate::Cluster::submit):
-/// the query, the datasets bound to its relation positions, the algorithm,
-/// and the run options (count-only mode, a per-run trace sink).
+/// the query, the datasets bound to its relation positions, and the run
+/// options (algorithm, count-only mode, a per-run trace sink).
 ///
-/// Built with [`JoinRun::new`] plus chained options:
+/// Built with [`JoinRun::new`] plus chained options. The algorithm is an
+/// option like any other, defaulting to [`Algorithm::Auto`] (the
+/// cost-based optimizer picks); pin one with [`JoinRun::algorithm`]:
 ///
 /// ```
 /// use mwsj_core::{Algorithm, Cluster, ClusterConfig, JoinRun};
@@ -26,12 +28,14 @@ use crate::Algorithm;
 /// let trace = TraceSink::recording();
 /// let output = cluster
 ///     .submit(
-///         &JoinRun::new(&query, &[&r1, &r2], Algorithm::ControlledReplicate)
+///         &JoinRun::new(&query, &[&r1, &r2])
+///             .algorithm(Algorithm::ControlledReplicate)
 ///             .counting()
 ///             .trace(trace.clone()),
 ///     )
 ///     .expect("join failed");
 /// assert_eq!(output.tuple_count, 1);
+/// assert_eq!(output.algorithm, Algorithm::ControlledReplicate);
 /// assert!(trace.to_jsonl().contains("c-rep-round2-join"));
 /// ```
 #[derive(Debug, Clone)]
@@ -42,6 +46,8 @@ pub struct JoinRun<'a> {
     /// binds position `i`; a self-join binds the same slice several times.
     pub relations: &'a [&'a [Rect]],
     /// Which distributed algorithm evaluates the query.
+    /// [`Algorithm::Auto`] (the default) defers the choice to the
+    /// cost-based optimizer at submit time.
     pub algorithm: Algorithm,
     /// Count output tuples instead of materializing them. The heavier
     /// experiment rows of the paper produce outputs far larger than memory;
@@ -72,13 +78,14 @@ pub struct JoinRun<'a> {
 }
 
 impl<'a> JoinRun<'a> {
-    /// Describes a run with default options: materialized tuples, no trace.
+    /// Describes a run with default options: optimizer-chosen algorithm
+    /// ([`Algorithm::Auto`]), materialized tuples, no trace.
     #[must_use]
-    pub fn new(query: &'a Query, relations: &'a [&'a [Rect]], algorithm: Algorithm) -> Self {
+    pub fn new(query: &'a Query, relations: &'a [&'a [Rect]]) -> Self {
         Self {
             query,
             relations,
-            algorithm,
+            algorithm: Algorithm::Auto,
             count_only: false,
             trace: TraceSink::disabled(),
             cancel: CancelToken::new(),
@@ -87,6 +94,14 @@ impl<'a> JoinRun<'a> {
             share: 1,
             input_fingerprint: 0,
         }
+    }
+
+    /// Pins the distributed algorithm instead of letting the optimizer
+    /// choose.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
     }
 
     /// Sets count-only mode explicitly.

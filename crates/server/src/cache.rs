@@ -36,6 +36,10 @@ pub struct CachedResult {
     pub tuple_count: u64,
     /// Pre-rendered per-job logical counters (JSON array text).
     pub counters: String,
+    /// Wire name of the concrete algorithm that produced the result
+    /// (never `"auto"`; reported in responses so cache hits state what
+    /// originally ran).
+    pub algorithm: String,
 }
 
 struct Entry {
@@ -95,7 +99,7 @@ impl ResultCache {
     fn cost(key: &CacheKey, value: &CachedResult) -> usize {
         let key_bytes = key.query.len() + key.fingerprints.len() * 8 + key.algorithm.len();
         let tuple_bytes: usize = value.tuples.iter().map(|t| t.len() * 4 + 24).sum();
-        key_bytes + tuple_bytes + value.counters.len() + 64
+        key_bytes + tuple_bytes + value.counters.len() + value.algorithm.len() + 64
     }
 
     /// Looks up a result, refreshing its recency on a hit.
@@ -195,6 +199,7 @@ mod tests {
             tuples: (0..n).map(|i| vec![i as u32, i as u32]).collect(),
             tuple_count: n as u64,
             counters: "[]".to_string(),
+            algorithm: "crep".to_string(),
         }
     }
 

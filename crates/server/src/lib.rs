@@ -50,13 +50,13 @@ use std::time::{Duration, Instant};
 use mwsj_core::mapreduce::{
     json_escape, CancelToken, EngineConfig, FaultPlan, JobErrorKind, JobMetrics, NetFaultPlan,
 };
-use mwsj_core::{Cluster, ClusterConfig, JoinError, JoinOutput, JoinRun};
+use mwsj_core::{Algorithm, Cluster, ClusterConfig, JoinError, JoinOutput, JoinRun};
 use mwsj_geom::Rect;
 use mwsj_query::Query;
 
 use cache::{CacheKey, CachedResult, ResultCache};
 use netfault::FaultyStream;
-use protocol::{ErrorCode, QueryRequest, Request};
+use protocol::{ErrorCode, ExplainRequest, QueryRequest, Request};
 
 pub use client::{Client, ClientConfig, ClientError};
 
@@ -521,6 +521,7 @@ fn serve_line(inner: &Arc<Inner>, stream: &TcpStream, w: &mut FaultyStream, line
             Some("{\"ok\":true,\"stopping\":true}".to_string())
         }
         Ok(Request::Query(q)) => handle_query(inner, stream, q),
+        Ok(Request::Explain(e)) => Some(handle_explain(inner, &e)),
     };
     match response {
         // No response means the client is gone.
@@ -547,48 +548,49 @@ fn peer_disconnected(stream: &TcpStream) -> bool {
     gone
 }
 
-/// Executes a query request end to end. `None` means the client
-/// disconnected and no response should be written.
-fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Option<String> {
-    let started = Instant::now();
-    let fail = |code: ErrorCode, msg: &str| {
-        inner.stats.errors.fetch_add(1, Ordering::Relaxed);
-        Some(protocol::error_response(code, msg))
-    };
+/// A parsed and bound query: the canonical form, the datasets bound to
+/// its canonical relation positions, their fingerprints, and the
+/// requester-order permutation.
+struct BoundQuery {
+    canonical: Query,
+    datasets: Vec<Arc<Vec<Rect>>>,
+    fingerprints: Vec<u64>,
+    combined_fingerprint: u64,
+    /// Requester position i reads canonical position perm[i].
+    perm: Vec<usize>,
+}
 
-    let query = match Query::parse(&q.query) {
-        Ok(query) => query,
-        Err(e) => return fail(ErrorCode::BadRequest, &format!("bad query: {e}")),
-    };
+/// Parses a query and binds a dataset to every canonical relation
+/// position — shared by the `query` and `explain` operations.
+fn bind_query(
+    inner: &Arc<Inner>,
+    query_text: &str,
+    data: &[(String, String)],
+) -> Result<BoundQuery, String> {
+    let query = Query::parse(query_text).map_err(|e| format!("bad query: {e}"))?;
     let canonical = query.canonical();
-
-    // Bind a dataset to every canonical relation position.
     let requested_names: Vec<&str> = query.relations().map(|r| query.name(r)).collect();
-    let canonical_names: Vec<&str> = canonical.relations().map(|r| canonical.name(r)).collect();
-    for (name, _) in &q.data {
-        if !canonical_names.contains(&name.as_str()) {
-            return fail(
-                ErrorCode::BadRequest,
-                &format!("data binding `{name}` does not appear in the query"),
-            );
+    let canonical_names: Vec<String> = canonical
+        .relations()
+        .map(|r| canonical.name(r).to_string())
+        .collect();
+    for (name, _) in data {
+        if !canonical_names.contains(name) {
+            return Err(format!(
+                "data binding `{name}` does not appear in the query"
+            ));
         }
     }
     let mut datasets: Vec<Arc<Vec<Rect>>> = Vec::with_capacity(canonical_names.len());
     let mut fingerprints: Vec<u64> = Vec::with_capacity(canonical_names.len());
     for name in &canonical_names {
-        let Some((_, spec)) = q.data.iter().find(|(n, _)| n == name) else {
-            return fail(
-                ErrorCode::BadRequest,
-                &format!("no data binding for relation `{name}`"),
-            );
-        };
-        match inner.dataset(spec) {
-            Ok((rects, fp)) => {
-                datasets.push(rects);
-                fingerprints.push(fp);
-            }
-            Err(msg) => return fail(ErrorCode::BadRequest, &msg),
-        }
+        let (_, spec) = data
+            .iter()
+            .find(|(n, _)| n == name)
+            .ok_or_else(|| format!("no data binding for relation `{name}`"))?;
+        let (rects, fp) = inner.dataset(spec)?;
+        datasets.push(rects);
+        fingerprints.push(fp);
     }
     let combined_fingerprint = {
         let mut h = mwsj_core::mapreduce::Fnv64::new();
@@ -598,7 +600,6 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
         }
         h.finish()
     };
-    // Requester position i reads canonical position perm[i].
     let perm: Vec<usize> = requested_names
         .iter()
         .map(|n| {
@@ -608,11 +609,71 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
                 .expect("canonicalization preserves relation names")
         })
         .collect();
+    Ok(BoundQuery {
+        canonical,
+        datasets,
+        fingerprints,
+        combined_fingerprint,
+        perm,
+    })
+}
+
+/// Answers an `explain` request: binds the datasets and returns the
+/// costed plan without executing anything.
+fn handle_explain(inner: &Arc<Inner>, e: &ExplainRequest) -> String {
+    match bind_query(inner, &e.query, &e.data) {
+        Ok(bound) => {
+            let refs: Vec<&[Rect]> = bound.datasets.iter().map(|d| d.as_slice()).collect();
+            let plan = inner.cluster.plan(&bound.canonical, &refs);
+            format!(
+                "{{\"ok\":true,\"plan\":{},\"fingerprint\":\"{:016x}\"}}",
+                plan.to_json(),
+                bound.combined_fingerprint
+            )
+        }
+        Err(msg) => {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            protocol::error_response(ErrorCode::BadRequest, &msg)
+        }
+    }
+}
+
+/// Executes a query request end to end. `None` means the client
+/// disconnected and no response should be written.
+fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Option<String> {
+    let started = Instant::now();
+    let fail = |code: ErrorCode, msg: &str| {
+        inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+        Some(protocol::error_response(code, msg))
+    };
+
+    let BoundQuery {
+        canonical,
+        datasets,
+        fingerprints,
+        combined_fingerprint,
+        perm,
+    } = match bind_query(inner, &q.query, &q.data) {
+        Ok(bound) => bound,
+        Err(msg) => return fail(ErrorCode::BadRequest, &msg),
+    };
+
+    // Resolve `auto` to the optimizer's concrete choice *before* forming
+    // the cache key: the key must never contain `"auto"`, so an auto
+    // query and its manually-pinned twin share one cache entry. The plan
+    // is deterministic, so resolving here and pinning the worker's run
+    // keeps the key and the execution consistent.
+    let algorithm = if q.algorithm == Algorithm::Auto {
+        let refs: Vec<&[Rect]> = datasets.iter().map(|d| d.as_slice()).collect();
+        inner.cluster.plan(&canonical, &refs).algorithm
+    } else {
+        q.algorithm
+    };
 
     let key = CacheKey {
         query: canonical.to_string(),
         fingerprints,
-        algorithm: protocol::algorithm_wire_name(q.algorithm).to_string(),
+        algorithm: algorithm.to_string(),
         count_only: q.count_only,
     };
     if let Some(hit) = inner.cache.get(&key) {
@@ -661,7 +722,8 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
         let q = q.clone();
         thread::spawn(move || -> Result<JoinOutput, JoinError> {
             let refs: Vec<&[Rect]> = datasets.iter().map(|d| d.as_slice()).collect();
-            let mut run = JoinRun::new(&canonical, &refs, q.algorithm)
+            let mut run = JoinRun::new(&canonical, &refs)
+                .algorithm(algorithm)
                 .count_only(q.count_only)
                 .cancel(token)
                 .priority(q.priority)
@@ -697,6 +759,7 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
                 tuples: output.tuples,
                 tuple_count: output.tuple_count,
                 counters: counters_json(&output.report.jobs),
+                algorithm: output.algorithm.to_string(),
             };
             let cached = inner.cache.insert(key, value);
             inner.stats.queries.fetch_add(1, Ordering::Relaxed);
@@ -745,7 +808,8 @@ fn render_query_response(
         .collect();
     tuples.sort_unstable();
     format!(
-        "{{\"ok\":true,\"cached\":{cached},\"tuple_count\":{},\"tuples\":{},\"counters\":{},\"wall_ms\":{:.3},\"fingerprint\":\"{fingerprint:016x}\"}}",
+        "{{\"ok\":true,\"cached\":{cached},\"algorithm\":\"{}\",\"tuple_count\":{},\"tuples\":{},\"counters\":{},\"wall_ms\":{:.3},\"fingerprint\":\"{fingerprint:016x}\"}}",
+        result.algorithm,
         result.tuple_count,
         protocol::tuples_json(&tuples),
         result.counters,

@@ -40,7 +40,9 @@ fn main() {
     // `JoinRun` describes the run (algorithm, count-only mode, tracing).
     let trace = TraceSink::recording();
     let relations: [&[_]; 3] = [&r1, &r2, &r3];
-    let run = JoinRun::new(&query, &relations, Algorithm::ControlledReplicate).trace(trace.clone());
+    let run = JoinRun::new(&query, &relations)
+        .algorithm(Algorithm::ControlledReplicate)
+        .trace(trace.clone());
     let output = cluster.submit(&run).expect("fault-free join");
 
     println!("output : {} tuples", output.len());

@@ -174,7 +174,7 @@ fn exhausted_attempts_surface_join_error_not_abort() {
     let cl = cluster_with(Some(plan));
 
     let err = cl
-        .submit(&JoinRun::new(&q, &[&r1, &r2, &r3], Algorithm::AllReplicate))
+        .submit(&JoinRun::new(&q, &[&r1, &r2, &r3]).algorithm(Algorithm::AllReplicate))
         .unwrap_err();
     match &err {
         JoinError::Job(e) => {
@@ -215,8 +215,9 @@ fn count_only_tuple_counts_survive_retries_and_speculation() {
     plan.straggler_delay = std::time::Duration::from_millis(1);
 
     for alg in Algorithm::ALL {
-        let counting =
-            |rels: &Cluster| rels.submit(&JoinRun::new(&q, &[&r1, &r2, &r3], alg).counting());
+        let counting = |rels: &Cluster| {
+            rels.submit(&JoinRun::new(&q, &[&r1, &r2, &r3]).algorithm(alg).counting())
+        };
         let clean = counting(&cluster_with(None)).unwrap();
         let faulty = counting(&cluster_with(Some(plan.clone()))).unwrap();
         assert!(clean.tuples.is_empty() && faulty.tuples.is_empty());
@@ -257,17 +258,14 @@ fn cancel_mid_run_under_faults_releases_slots_and_leaves_survivors_exact() {
     let (doomed, survivor) = std::thread::scope(|s| {
         let doomed = s.spawn(|| {
             cl.submit(
-                &JoinRun::new(&q, &[&big1, &big2, &big3], Algorithm::ControlledReplicate)
+                &JoinRun::new(&q, &[&big1, &big2, &big3])
+                    .algorithm(Algorithm::ControlledReplicate)
                     .cancel(token.clone())
                     .trace(trace.clone()),
             )
         });
         let survivor = s.spawn(|| {
-            cl.submit(&JoinRun::new(
-                &q,
-                &[&s1, &s2, &s3],
-                Algorithm::ControlledReplicate,
-            ))
+            cl.submit(&JoinRun::new(&q, &[&s1, &s2, &s3]).algorithm(Algorithm::ControlledReplicate))
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
         token.cancel();

@@ -1,8 +1,10 @@
 //! The central correctness property of the whole system: every distributed
-//! algorithm — 2-way Cascade, All-Replicate, Controlled-Replicate and
-//! C-Rep-L — computes **exactly** the tuples of the in-memory reference
-//! join, on every query shape, including inputs engineered to sit on
-//! partition-cell boundaries.
+//! algorithm — 2-way Cascade, All-Replicate, Controlled-Replicate, C-Rep-L
+//! and the Shares-style hypercube — computes **exactly** the tuples of the
+//! in-memory reference join, on every query shape, including inputs
+//! engineered to sit on partition-cell boundaries. The cost-based planner
+//! behind `Algorithm::Auto` is pinned here too: its decisions are a pure
+//! function of the inputs, so they golden-test like any other output.
 
 use mwsj_core::{reference, Algorithm, Cluster, ClusterConfig};
 use mwsj_geom::Rect;
@@ -346,7 +348,11 @@ fn kernel_reducers_are_exact_under_fault_injection() {
     faulty_config.engine.fault_plan = Some(FaultPlan::chaos(23, 0.2, 0.05).with_max_attempts(8));
     let faulty = Cluster::new(faulty_config);
 
-    for alg in [Algorithm::AllReplicate, Algorithm::ControlledReplicate] {
+    for alg in [
+        Algorithm::AllReplicate,
+        Algorithm::ControlledReplicate,
+        Algorithm::Hypercube,
+    ] {
         let a = clean.run(&q, &[&r1, &r2, &r3], alg);
         let b = faulty.run(&q, &[&r1, &r2, &r3], alg);
         assert_eq!(a.tuples, expected, "{} (clean)", alg.name());
@@ -363,6 +369,83 @@ fn kernel_reducers_are_exact_under_fault_injection() {
                 "{}",
                 ja.job_name
             );
+        }
+    }
+}
+
+/// Golden planner decisions over a Table 2-style size sweep. The plan is a
+/// pure function of `(query, relations, grid, reducers)` — fixed sampling
+/// seed, deterministic share enumeration, stable candidate sort — so these
+/// pins hold on every platform. They also document the cost model's
+/// regimes: tiny inputs take the single-round hypercube (per-job overhead
+/// dominates), mid sizes the cascade (small intermediates), large sizes
+/// C-Rep-L (the cascade's intermediates outgrow the marked replication).
+/// If a deliberate cost-model change moves a boundary, re-pin and say why.
+#[test]
+fn planner_decisions_are_pinned() {
+    let cl = cluster(8);
+    let q2 = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    let q2_golden = [
+        (20usize, Algorithm::Hypercube),
+        (200, Algorithm::TwoWayCascade),
+        (1000, Algorithm::TwoWayCascade),
+        (4000, Algorithm::ControlledReplicateLimit),
+    ];
+    for (n, want) in q2_golden {
+        let r1 = random_relation(n, 10, 30.0);
+        let r2 = random_relation(n, 11, 30.0);
+        let r3 = random_relation(n, 12, 30.0);
+        let p = cl.plan(&q2, &[&r1, &r2, &r3]);
+        assert_eq!(p.algorithm, want, "q2 n={n}: {}", p.to_json());
+        assert_eq!(p.shares.as_deref(), Some(&[4, 4, 4][..]), "q2 n={n}");
+    }
+
+    let q3 = Query::parse("R1 ra(25) R2 and R2 ra(25) R3").unwrap();
+    for (n, want) in [
+        (200usize, Algorithm::TwoWayCascade),
+        (2000, Algorithm::ControlledReplicateLimit),
+    ] {
+        let r1 = random_relation(n, 30, 15.0);
+        let r2 = random_relation(n, 31, 15.0);
+        let r3 = random_relation(n, 32, 15.0);
+        let p = cl.plan(&q3, &[&r1, &r2, &r3]);
+        assert_eq!(p.algorithm, want, "q3 n={n}: {}", p.to_json());
+    }
+
+    // Skewed two-way: the share vector must follow the size imbalance
+    // (all the budget goes to the dominant relation's dimension).
+    let qs = Query::parse("A ov B").unwrap();
+    let a = random_relation(3000, 40, 30.0);
+    let b = random_relation(30, 41, 30.0);
+    let p = cl.plan(&qs, &[&a, &b]);
+    assert_eq!(p.shares.as_deref(), Some(&[64, 1][..]), "{}", p.to_json());
+}
+
+/// `Algorithm::Auto` must be byte-identical to manually pinning the
+/// algorithm the planner chose — same tuples, same shuffle counters. This
+/// is what lets the server canonicalize its cache key to the concrete
+/// algorithm: an auto query and its pinned twin share one entry.
+#[test]
+fn auto_runs_identical_to_pinned_choice() {
+    let q = Query::parse("R1 ov R2 and R2 ov R3").unwrap();
+    for n in [20usize, 1000, 4000] {
+        let r1 = random_relation(n, 10, 30.0);
+        let r2 = random_relation(n, 11, 30.0);
+        let r3 = random_relation(n, 12, 30.0);
+        let cl = cluster(8);
+        let auto = cl.run(&q, &[&r1, &r2, &r3], Algorithm::Auto);
+        assert_ne!(auto.algorithm, Algorithm::Auto);
+        assert_eq!(auto.algorithm, cl.plan(&q, &[&r1, &r2, &r3]).algorithm);
+        let pinned = cl.run(&q, &[&r1, &r2, &r3], auto.algorithm);
+        assert_eq!(auto.tuples, pinned.tuples, "n={n}");
+        assert_eq!(
+            auto.tuples,
+            reference::in_memory_join(&q, &[&r1, &r2, &r3]),
+            "n={n}"
+        );
+        for (ja, jb) in auto.report.jobs.iter().zip(&pinned.report.jobs) {
+            assert_eq!(ja.map_output_records, jb.map_output_records, "n={n}");
+            assert_eq!(ja.shuffle_bytes, jb.shuffle_bytes, "n={n}");
         }
     }
 }

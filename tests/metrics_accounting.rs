@@ -159,7 +159,7 @@ fn count_only_matches_collected_count() {
         for alg in Algorithm::ALL {
             let collected = cl.run(&q, &[&r1, &r2, &r3], alg);
             let counted = cl
-                .submit(&JoinRun::new(&q, &[&r1, &r2, &r3], alg).counting())
+                .submit(&JoinRun::new(&q, &[&r1, &r2, &r3]).algorithm(alg).counting())
                 .expect("fault-free run");
             assert_eq!(collected.tuple_count, collected.tuples.len() as u64);
             assert_eq!(

@@ -76,7 +76,7 @@ fn direct(query: &str, specs: &[&str], algorithm: Algorithm) -> (Vec<Vec<u32>>, 
     let refs: Vec<&[Rect]> = datasets.iter().map(Vec::as_slice).collect();
     let cluster = Cluster::new(ClusterConfig::for_space((0.0, EXTENT), (0.0, EXTENT), 8));
     let out = cluster
-        .submit(&JoinRun::new(&q, &refs, algorithm))
+        .submit(&JoinRun::new(&q, &refs).algorithm(algorithm))
         .expect("direct join");
     (out.tuples, out.tuple_count)
 }
@@ -175,6 +175,70 @@ fn repeated_query_hits_the_cache_and_counts_in_stats() {
     let cache = stats.get("cache").expect("cache stats");
     assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(1.0));
     assert_eq!(cache.get("entries").and_then(Json::as_f64), Some(2.0));
+
+    stop(&addr, h);
+}
+
+/// The cache must never key on `"auto"`: the server resolves the planner's
+/// choice *before* building the cache key, so an auto query and its
+/// manually pinned twin share one entry — and every response reports the
+/// concrete algorithm that (originally) ran.
+#[test]
+fn auto_and_pinned_twin_share_one_cache_entry() {
+    let (addr, h) = start(ServerConfig::default());
+    let mut c = Client::connect(&addr).expect("connect");
+    let data = [("A", A), ("B", B), ("C", C)];
+
+    // `explain` names the planner's choice without executing anything.
+    let plan = response(
+        &mut c,
+        &query_line("A ov B and B ov C", &data, "")
+            .replace("\"op\":\"query\"", "\"op\":\"explain\""),
+    );
+    assert_eq!(plan.get("ok").and_then(Json::as_bool), Some(true));
+    let chosen = plan
+        .get("plan")
+        .and_then(|p| p.get("algorithm"))
+        .and_then(Json::as_str)
+        .expect("plan algorithm")
+        .to_string();
+    assert_ne!(chosen, "auto");
+
+    // An auto query reports that same concrete algorithm…
+    let auto = response(&mut c, &query_line("A ov B and B ov C", &data, ""));
+    assert_eq!(auto.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        auto.get("algorithm").and_then(Json::as_str),
+        Some(chosen.as_str())
+    );
+
+    // …and pinning it explicitly hits the entry the auto run populated.
+    let pinned = response(
+        &mut c,
+        &query_line(
+            "A ov B and B ov C",
+            &data,
+            &format!(",\"algorithm\":\"{chosen}\""),
+        ),
+    );
+    assert_eq!(pinned.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        pinned.get("algorithm").and_then(Json::as_str),
+        Some(chosen.as_str())
+    );
+    assert_eq!(tuples_of(&auto), tuples_of(&pinned));
+
+    // Spelling `"auto"` explicitly is the same key too.
+    let spelled = response(
+        &mut c,
+        &query_line("A ov B and B ov C", &data, ",\"algorithm\":\"auto\""),
+    );
+    assert_eq!(spelled.get("cached").and_then(Json::as_bool), Some(true));
+
+    let stats = response(&mut c, "{\"op\":\"stats\"}");
+    let cache = stats.get("cache").expect("cache stats");
+    assert_eq!(cache.get("entries").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(2.0));
 
     stop(&addr, h);
 }

@@ -105,7 +105,7 @@ fn direct(query: &str, specs: &[&str]) -> (Vec<Vec<u32>>, u64) {
     let refs: Vec<&[Rect]> = datasets.iter().map(Vec::as_slice).collect();
     let cluster = Cluster::new(ClusterConfig::for_space((0.0, EXTENT), (0.0, EXTENT), 8));
     let out = cluster
-        .submit(&JoinRun::new(&q, &refs, Algorithm::ControlledReplicate))
+        .submit(&JoinRun::new(&q, &refs).algorithm(Algorithm::ControlledReplicate))
         .expect("direct join");
     (out.tuples, out.tuple_count)
 }

@@ -40,7 +40,11 @@ fn traced_run(plan: Option<FaultPlan>, alg: Algorithm) -> (TraceSink, JoinOutput
     let r3 = synthetic(1_500, 63);
     let sink = TraceSink::recording();
     let out = cluster_with(plan)
-        .submit(&JoinRun::new(&q, &[&r1, &r2, &r3], alg).trace(sink.clone()))
+        .submit(
+            &JoinRun::new(&q, &[&r1, &r2, &r3])
+                .algorithm(alg)
+                .trace(sink.clone()),
+        )
         .expect("traced join");
     (sink, out)
 }
@@ -324,7 +328,9 @@ fn tracing_does_not_perturb_logical_counters() {
     let run = |trace: TraceSink| {
         cluster_with(None)
             .submit(
-                &JoinRun::new(&q, &[&r1, &r2, &r3], Algorithm::ControlledReplicate).trace(trace),
+                &JoinRun::new(&q, &[&r1, &r2, &r3])
+                    .algorithm(Algorithm::ControlledReplicate)
+                    .trace(trace),
             )
             .unwrap()
     };
