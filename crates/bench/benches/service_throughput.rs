@@ -3,11 +3,13 @@
 //!
 //! Boots the query service on a loopback port, then drives it with four
 //! concurrent closed-loop clients, each issuing requests round-robin
-//! from a small query pool. Repeats within the pool exercise the result
-//! cache, so the measured mix contains both cold joins and cache hits —
-//! the shape a real multi-tenant deployment sees. Reports per-request
-//! latency percentiles, aggregate QPS and the cache hit rate into
-//! `BENCH_service.json`.
+//! from a small query pool. The measurement runs twice: once with the
+//! result cache on (repeats within the pool become hits — the shape a
+//! real multi-tenant deployment sees) and once with the cache disabled
+//! (`mwsj serve --no-cache`), so the engine's own per-query cost is
+//! visible instead of hiding behind a ~94% hit rate. Reports per-request
+//! latency percentiles, aggregate QPS and the cache hit rate for both
+//! phases into `BENCH_service.json`.
 
 use std::sync::Mutex;
 use std::thread;
@@ -42,15 +44,21 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// One full boot → warm-up → measured phase → stats → shutdown cycle,
+/// returning the phase's JSON record.
 #[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
-fn main() {
-    let server =
-        Server::bind(ServerConfig::default().with_admission(CLIENTS, CLIENTS)).expect("bind");
+fn run_phase(cache_enabled: bool) -> String {
+    let mut config = ServerConfig::default().with_admission(CLIENTS, CLIENTS);
+    if !cache_enabled {
+        config.cache_bytes = 0; // what `mwsj serve --no-cache` sets
+    }
+    let server = Server::bind(config).expect("bind");
     let addr = server.local_addr().expect("local addr").to_string();
     let server_thread = thread::spawn(move || server.run().expect("server run"));
 
-    // Warm-up: one pass over the pool populates the dataset and result
-    // caches, so the measured phase mixes hits with the steady state.
+    // Warm-up: one pass over the pool populates the dataset cache (and,
+    // when enabled, the result cache), so the measured phase sees the
+    // steady state rather than dataset generation.
     {
         let mut c = Client::connect(&addr).expect("connect");
         for i in 0..POOL {
@@ -103,21 +111,23 @@ fn main() {
 
     let p50 = percentile(&sorted, 0.50);
     let p99 = percentile(&sorted, 0.99);
+    let label = if cache_enabled { "cache" } else { "no-cache" };
     eprintln!(
-        "service   : {total} requests from {CLIENTS} clients in {wall:.2?} \
+        "service   : [{label}] {total} requests from {CLIENTS} clients in {wall:.2?} \
          ({qps:.1} QPS, p50 {p50:.2} ms, p99 {p99:.2} ms, hit rate {:.0}%)",
         hit_rate * 100.0
     );
 
-    let mut log = BenchLog::new("service");
-    log.push_record(format!(
+    format!(
         concat!(
-            "{{\"clients\":{clients},\"requests\":{requests},\"pool\":{pool},",
+            "{{\"cache_enabled\":{cache_enabled},",
+            "\"clients\":{clients},\"requests\":{requests},\"pool\":{pool},",
             "\"wall_ms\":{wall:.3},\"qps\":{qps:.3},",
             "\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},",
             "\"cache_hits\":{hits},\"cache_misses\":{misses},\"hit_rate\":{rate:.4},",
             "\"queries_served\":{queries}}}"
         ),
+        cache_enabled = cache_enabled,
         clients = CLIENTS,
         requests = total,
         pool = POOL,
@@ -129,6 +139,13 @@ fn main() {
         misses = misses,
         rate = hit_rate,
         queries = queries,
-    ));
+    )
+}
+
+fn main() {
+    let mut log = BenchLog::new("service");
+    for cache_enabled in [true, false] {
+        log.push_record(run_phase(cache_enabled));
+    }
     log.write().expect("write bench log");
 }

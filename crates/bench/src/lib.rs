@@ -44,6 +44,23 @@ pub fn scaled_n(paper_n: u64) -> usize {
     ((paper_n as f64) * scale()).round().max(1.0) as usize
 }
 
+/// Repetitions per measurement (`MWSJ_BENCH_REPS`, default 3); each
+/// measured wall is the fastest of these.
+#[must_use]
+pub fn bench_reps() -> usize {
+    std::env::var("MWSJ_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(3)
+}
+
+/// Worker threads available to this bench run.
+#[must_use]
+pub fn nproc() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Scales one of the paper's space extents (by `sqrt(s)`, preserving
 /// density).
 #[must_use]
@@ -145,12 +162,7 @@ pub fn measure(
     relations: &[&[Rect]],
     algorithm: Algorithm,
 ) -> Measured {
-    let reps = std::env::var("MWSJ_BENCH_REPS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&r| r >= 1)
-        .unwrap_or(3);
-    (0..reps)
+    (0..bench_reps())
         .map(|_| {
             let t0 = Instant::now();
             let output = cluster
@@ -350,12 +362,17 @@ impl BenchLog {
         self.records.push(json);
     }
 
-    /// Renders the full document.
+    /// Renders the full document. The `env` header records where the
+    /// numbers came from (worker threads, repetitions, scale), so
+    /// `BENCH_*.json` trajectories are comparable across machines.
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"table\":{},\"scale\":{},\"records\":[\n{}\n]}}\n",
+            "{{\"table\":{},\"scale\":{},\"env\":{{\"nproc\":{},\"bench_reps\":{},\"scale\":{}}},\"records\":[\n{}\n]}}\n",
             json_str(&self.table),
+            scale(),
+            nproc(),
+            bench_reps(),
             scale(),
             self.records.join(",\n")
         )

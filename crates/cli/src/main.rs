@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         Some("explain") => cmd_explain(&args),
         Some("serve") => cmd_serve(&args),
         Some("query") => cmd_query(&args),
+        Some("ingest") => cmd_ingest(&args),
         Some("gen") => cmd_gen(&args),
         Some("ann") => cmd_ann(&args),
         Some("stats") => cmd_stats(&args),
@@ -70,6 +71,7 @@ USAGE:
   mwsj explain --query Q --data NAME=SOURCE [--data ...] [--grid N | --connect HOST:PORT]
   mwsj serve --addr HOST:PORT [serve options]
   mwsj query --connect HOST:PORT --query Q --data NAME=SOURCE [--data ...]
+  mwsj ingest --source SOURCE --out FILE.store [--grid N] [--extent E]
   mwsj gen   --source SOURCE --out FILE.csv
   mwsj ann   --outer SOURCE --inner SOURCE [--grid N] [--k K]
   mwsj stats --source SOURCE
@@ -84,14 +86,25 @@ SOURCES
   file.csv                                  CSV rows: x,y,l,b
   synthetic:n=10000,seed=1,extent=100000,lmax=100[,bmax=..]
   california:n=20000,seed=2013[,full]
+  store:file.store                          `mwsj ingest` output; when every
+                  binding is a store on the same grid, `run` and `serve`
+                  join shuffle-free off the per-cell indexes (map-side)
 
 RUN OPTIONS
-  --algorithm auto|cascade|allrep|crep|crep-l|hypercube    (default auto:
-                  the cost-based optimizer picks; `mwsj explain` shows why)
+  --algorithm auto|cascade|allrep|crep|crep-l|hypercube|map-side
+                  (default auto: the cost-based optimizer picks;
+                  `mwsj explain` shows why; map-side needs store: inputs)
   --grid N        reducer grid side, N x N cells (default 8)
   --count-only    count result tuples without materializing them
   --plan          reorder the cascade's joins by sampled selectivity
   --out FILE      write result tuples as CSV ids
+
+INGEST OPTIONS  (partition + index a dataset into an on-disk store)
+  --source SOURCE any source above; --out FILE.store the store to write
+  --grid N        partition grid side (default 8; must match the grid the
+                  store is later queried on)
+  --extent E      the store space is [0, E]^2 (default 100000, matching
+                  `mwsj serve`; every rectangle must fit)
 
 EXPLAIN  (print the optimizer's costed plan as JSON, without executing)
   --grid N            reducer grid side for a local plan (default 8)
@@ -101,6 +114,7 @@ SERVE OPTIONS  (a concurrent query service speaking line-delimited JSON)
   --addr HOST:PORT    listen address (default 127.0.0.1:7878; :0 picks a port)
   --slots N           engine worker slots shared by all queries (default auto)
   --cache-bytes N     result-cache budget in bytes (default 16 MiB; 0 disables)
+  --no-cache          disable the result cache (same as --cache-bytes 0)
   --grid N            reducer grid side (default 8)
   --extent E          service space is [0, E]^2 (default 100000)
   --max-inflight N    concurrent joins before queueing (default 4)
@@ -224,6 +238,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "addr",
         "slots",
         "cache-bytes",
+        "no-cache",
         "grid",
         "extent",
         "max-inflight",
@@ -232,10 +247,18 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "net-fault-seed",
         "drain-deadline-ms",
     ])?;
+    if args.flag("no-cache") && args.get("cache-bytes")?.is_some() {
+        return Err("--no-cache and --cache-bytes are mutually exclusive".into());
+    }
+    let cache_bytes = if args.flag("no-cache") {
+        0
+    } else {
+        args.get_parsed_or("cache-bytes", 16usize << 20)?
+    };
     let mut config = mwsj_server::ServerConfig {
         addr: args.get("addr")?.unwrap_or("127.0.0.1:7878").to_string(),
         slots: args.get_parsed_or("slots", 0usize)?,
-        cache_bytes: args.get_parsed_or("cache-bytes", 16usize << 20)?,
+        cache_bytes,
         max_inflight: args.get_parsed_or("max-inflight", 4usize)?,
         max_queue: args.get_parsed_or("max-queue", 16usize)?,
         grid: args.get_parsed_or("grid", 8u32)?,
@@ -381,6 +404,22 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let algorithm: Algorithm = args.get("algorithm")?.unwrap_or("auto").parse()?;
     let grid: u32 = args.get_parsed_or("grid", 8u32)?;
 
+    // All-stored bindings run off the stores (shuffle-free under auto);
+    // the space and grid come from the stores themselves.
+    if let Some(bindings) = stored_bindings(args)? {
+        if args.get("grid")?.is_some() {
+            eprintln!("note      : --grid is ignored for stored runs (the stores' grid is used)");
+        }
+        return cmd_run_stored(args, &query, algorithm, &bindings);
+    }
+    if algorithm == Algorithm::MapSide {
+        return Err(
+            "the map-side join needs every --data binding to be a store:PATH dataset \
+             (see `mwsj ingest`)"
+                .into(),
+        );
+    }
+
     // Bind datasets to relation positions by name.
     let mut bindings = std::collections::BTreeMap::new();
     for spec in args.get_all("data") {
@@ -424,17 +463,162 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         .submit(&run)
         .map_err(|e| format!("join failed: {e}"))?;
     let wall = t0.elapsed();
+    finish_run(
+        args,
+        &query,
+        algorithm,
+        &output,
+        (x_range, y_range),
+        (grid, grid),
+        wall,
+        &trace,
+    )
+}
 
+/// Runs a query whose bindings are all `store:PATH` datasets: the cluster
+/// takes its space and grid from the stores, the join runs through
+/// [`Cluster::submit_stored`], and under `auto` the optimizer can pick
+/// the shuffle-free map-side join.
+fn cmd_run_stored(
+    args: &Args,
+    query: &Query,
+    algorithm: Algorithm,
+    bindings: &[(String, String)],
+) -> Result<(), String> {
+    use mwsj_core::store::StoredDataset;
+    use mwsj_core::StoredRun;
+
+    if args.flag("plan") {
+        return Err(
+            "--plan needs in-memory inputs; stored runs are ordered by the stored plan".into(),
+        );
+    }
+    let (by_name, open_wall) = open_stores(bindings)?;
+    let mut stores: Vec<&StoredDataset> = Vec::new();
+    for pos in query.relations() {
+        let name = query.name(pos);
+        stores.push(
+            by_name
+                .get(name)
+                .ok_or_else(|| format!("no --data binding for relation `{name}`"))?,
+        );
+    }
+    let grid = check_store_grids(&stores)?.clone();
+
+    let trace = parse_trace_args(args)?;
+    let cluster = Cluster::new(ClusterConfig {
+        x_range: grid.x_range(),
+        y_range: grid.y_range(),
+        grid_cols: grid.cols(),
+        grid_rows: grid.rows(),
+        num_reducers: None,
+        engine: parse_engine_config(args)?,
+    });
+    let mut run = StoredRun::new(query, &stores)
+        .algorithm(algorithm)
+        .count_only(args.flag("count-only"))
+        .open_wall(open_wall);
+    if let Some(t) = &trace {
+        run = run.trace(t.sink.clone());
+    }
+    let t0 = std::time::Instant::now();
+    let output = cluster
+        .submit_stored(&run)
+        .map_err(|e| format!("join failed: {e}"))?;
+    let wall = t0.elapsed();
+    eprintln!(
+        "stores    : {} relations, {} records, opened in {open_wall:?}",
+        stores.len(),
+        stores.iter().map(|s| s.record_count()).sum::<u64>()
+    );
+    finish_run(
+        args,
+        query,
+        algorithm,
+        &output,
+        (grid.x_range(), grid.y_range()),
+        (grid.cols(), grid.rows()),
+        wall,
+        &trace,
+    )
+}
+
+/// Opens every `NAME=PATH` stored binding, returning the stores by name
+/// and the total open wall (charged to the run's `open_wall`).
+fn open_stores(
+    bindings: &[(String, String)],
+) -> Result<
+    (
+        std::collections::BTreeMap<String, mwsj_core::store::StoredDataset>,
+        std::time::Duration,
+    ),
+    String,
+> {
+    let t0 = std::time::Instant::now();
+    let mut by_name = std::collections::BTreeMap::new();
+    for (name, path) in bindings {
+        let store = mwsj_core::store::StoredDataset::open(std::path::Path::new(path))
+            .map_err(|e| format!("opening store `{path}`: {e}"))?;
+        by_name.insert(name.clone(), store);
+    }
+    Ok((by_name, t0.elapsed()))
+}
+
+/// All stores in a run must be co-partitioned; returns their shared grid.
+fn check_store_grids<'a>(
+    stores: &[&'a mwsj_core::store::StoredDataset],
+) -> Result<&'a mwsj_core::partition::Grid, String> {
+    let first = stores
+        .first()
+        .ok_or("a stored run needs at least one --data binding")?;
+    for s in stores {
+        if s.grid() != first.grid() {
+            return Err(
+                "stores were ingested on different grids; re-ingest with matching \
+                 --grid and --extent so they are co-partitioned"
+                    .into(),
+            );
+        }
+    }
+    Ok(first.grid())
+}
+
+/// The `(NAME, PATH)` pairs of the `--data` bindings when *every* binding
+/// is a `store:PATH` spec; `None` when any is not (or there are none).
+fn stored_bindings(args: &Args) -> Result<Option<Vec<(String, String)>>, String> {
+    let mut out = Vec::new();
+    for spec in args.get_all("data") {
+        let (name, source) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("`{spec}` is not NAME=SOURCE"))?;
+        match source.strip_prefix("store:") {
+            Some(path) => out.push((name.to_string(), path.to_string())),
+            None => return Ok(None),
+        }
+    }
+    Ok((!out.is_empty()).then_some(out))
+}
+
+/// Prints the run summary and writes `--out` — the shared tail of the
+/// in-memory and stored paths of `mwsj run`.
+#[allow(clippy::too_many_arguments)]
+fn finish_run(
+    args: &Args,
+    query: &Query,
+    requested: Algorithm,
+    output: &mwsj_core::JoinOutput,
+    ((x0, x1), (y0, y1)): ((f64, f64), (f64, f64)),
+    (cols, rows): (u32, u32),
+    wall: std::time::Duration,
+    trace: &Option<TraceSpec>,
+) -> Result<(), String> {
     eprintln!("query     : {query}");
-    if algorithm == Algorithm::Auto {
+    if requested == Algorithm::Auto {
         eprintln!("algorithm : {} (picked by auto)", output.algorithm.name());
     } else {
         eprintln!("algorithm : {}", output.algorithm.name());
     }
-    eprintln!(
-        "space     : [{:.1}, {:.1}] x [{:.1}, {:.1}], {grid}x{grid} reducers",
-        x_range.0, x_range.1, y_range.0, y_range.1
-    );
+    eprintln!("space     : [{x0:.1}, {x1:.1}] x [{y0:.1}, {y1:.1}], {cols}x{rows} reducers");
     eprintln!("tuples    : {}", output.len());
     eprintln!(
         "replicated: {} rectangles ({} copies)",
@@ -455,7 +639,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
     }
     eprintln!("wall      : {wall:?}");
-    if let Some(t) = &trace {
+    if let Some(t) = trace {
         t.write()?;
     }
 
@@ -472,6 +656,39 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
         eprintln!("wrote {} tuples to {path}", output.tuples.len());
     }
+    Ok(())
+}
+
+/// Partitions and indexes a dataset into an on-disk store (see
+/// `mwsj_core::store`): rectangles are homed to grid cells, each cell
+/// gets an STR-packed R-tree, and every section is checksummed.
+fn cmd_ingest(args: &Args) -> Result<(), String> {
+    args.check_known(&["source", "out", "grid", "extent"])?;
+    let source = args.require("source")?;
+    let out = args.require("out")?;
+    let side: u32 = args.get_parsed_or("grid", 8u32)?;
+    let extent: f64 = args.get_parsed_or("extent", 100_000.0f64)?;
+    if !extent.is_finite() || extent <= 0.0 {
+        return Err(format!("--extent must be positive, got {extent}"));
+    }
+    if side == 0 {
+        return Err("--grid must be at least 1".into());
+    }
+    let rects = data::load_source(source)?;
+    let grid = mwsj_core::partition::Grid::square((0.0, extent), (0.0, extent), side);
+    let t0 = std::time::Instant::now();
+    mwsj_core::store::StoreBuilder::new(&grid)
+        .write(&rects, std::path::Path::new(out))
+        .map_err(|e| format!("ingest: {e}"))?;
+    let wall = t0.elapsed();
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    eprintln!("records   : {}", rects.len());
+    eprintln!("space     : [0, {extent:.1}]^2, {side}x{side} cells");
+    eprintln!(
+        "fingerprint: {:016x}",
+        mwsj_core::store::dataset_fingerprint(&rects)
+    );
+    eprintln!("wrote {bytes} bytes to {out} in {wall:?}");
     Ok(())
 }
 
@@ -510,6 +727,34 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
 
     let query = Query::parse(query_text).map_err(|e| format!("query: {e}"))?;
     let grid: u32 = args.get_parsed_or("grid", 8u32)?;
+
+    // All-stored bindings are planned with the map-side candidate in
+    // play, on the stores' own grid.
+    if let Some(stored) = stored_bindings(args)? {
+        let (by_name, _) = open_stores(&stored)?;
+        let mut stores: Vec<&mwsj_core::store::StoredDataset> = Vec::new();
+        for pos in query.relations() {
+            let name = query.name(pos);
+            stores.push(
+                by_name
+                    .get(name)
+                    .ok_or_else(|| format!("no --data binding for relation `{name}`"))?,
+            );
+        }
+        let g = check_store_grids(&stores)?.clone();
+        let cluster = Cluster::new(ClusterConfig {
+            x_range: g.x_range(),
+            y_range: g.y_range(),
+            grid_cols: g.cols(),
+            grid_rows: g.rows(),
+            num_reducers: None,
+            engine: EngineConfig::default(),
+        });
+        let plan = cluster.plan_stored(&query, &stores);
+        println!("{}", plan.to_json());
+        return Ok(());
+    }
+
     let mut bindings = std::collections::BTreeMap::new();
     for spec in args.get_all("data") {
         let (name, rects) = data::parse_binding(spec)?;

@@ -10,6 +10,7 @@ pub(crate) mod all_replicate;
 pub(crate) mod cascade;
 pub(crate) mod controlled_replicate;
 pub(crate) mod hypercube;
+pub(crate) mod map_side;
 
 use mwsj_geom::Rect;
 use mwsj_mapreduce::{CancelToken, Engine, JobSpec, MetricsHub, MetricsReport, TraceSink, Unset};
@@ -119,6 +120,13 @@ pub enum Algorithm {
     /// One round, predicate-agnostic, replication independent of the range
     /// distance `d`.
     Hypercube,
+    /// Shuffle-free join over *stored* datasets: when every relation is
+    /// pre-partitioned on the cluster grid by `mwsj ingest`, the join runs
+    /// the local kernel directly over the per-cell stored R-trees — no
+    /// map, sort, shuffle or merge phase at all. Only executable through
+    /// [`Cluster::submit_stored`](crate::Cluster::submit_stored); it is
+    /// not in [`Algorithm::ALL`] because it needs stored inputs.
+    MapSide,
     /// Let the cost-based optimizer ([`crate::optimizer`]) pick one of the
     /// concrete algorithms from dataset statistics, sampled selectivities
     /// and the query's join graph.
@@ -146,6 +154,7 @@ impl Algorithm {
             Algorithm::ControlledReplicate => "C-Rep",
             Algorithm::ControlledReplicateLimit => "C-Rep-L",
             Algorithm::Hypercube => "Hypercube",
+            Algorithm::MapSide => "Map-Side",
             Algorithm::Auto => "Auto",
         }
     }
@@ -160,6 +169,7 @@ impl Algorithm {
             Algorithm::ControlledReplicate => "crep",
             Algorithm::ControlledReplicateLimit => "crep-l",
             Algorithm::Hypercube => "hypercube",
+            Algorithm::MapSide => "map-side",
             Algorithm::Auto => "auto",
         }
     }
@@ -183,6 +193,7 @@ impl std::str::FromStr for Algorithm {
             "crep" | "c-rep" => Algorithm::ControlledReplicate,
             "crep-l" | "c-rep-l" | "crepl" => Algorithm::ControlledReplicateLimit,
             "hypercube" | "shares" => Algorithm::Hypercube,
+            "map-side" | "mapside" => Algorithm::MapSide,
             "auto" => Algorithm::Auto,
             other => return Err(format!("unknown algorithm `{other}`")),
         })
@@ -303,11 +314,16 @@ mod tests {
         assert_eq!(Algorithm::ControlledReplicate.name(), "C-Rep");
         assert_eq!(Algorithm::ALL.len(), 5);
         assert!(!Algorithm::ALL.contains(&Algorithm::Auto));
+        // Map-side needs stored inputs, so it is not a shuffle candidate.
+        assert!(!Algorithm::ALL.contains(&Algorithm::MapSide));
     }
 
     #[test]
     fn wire_names_round_trip() {
-        for alg in Algorithm::ALL.into_iter().chain([Algorithm::Auto]) {
+        for alg in Algorithm::ALL
+            .into_iter()
+            .chain([Algorithm::MapSide, Algorithm::Auto])
+        {
             assert_eq!(alg.to_string().parse::<Algorithm>(), Ok(alg));
         }
         assert_eq!("shares".parse::<Algorithm>(), Ok(Algorithm::Hypercube));

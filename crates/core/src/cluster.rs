@@ -1,10 +1,11 @@
 use mwsj_geom::{Coord, Rect};
-use mwsj_mapreduce::{Engine, EngineConfig, TraceSink};
+use mwsj_mapreduce::{Engine, EngineConfig, Fnv64, TraceSink};
 use mwsj_partition::Grid;
 use mwsj_query::Query;
+use mwsj_store::StoredDataset;
 
 use crate::algorithms::{self, AlgoCtx, Algorithm};
-use crate::{JoinError, JoinOutput, JoinRun};
+use crate::{JoinError, JoinOutput, JoinRun, StoredRun};
 
 /// Cluster configuration: the partitioned space, the reducer grid and the
 /// engine parallelism.
@@ -234,9 +235,123 @@ impl Cluster {
                 algorithms::controlled_replicate::run(&ctx, run.query, run.relations, true)
             }
             Algorithm::Hypercube => algorithms::hypercube::run(&ctx, run.query, run.relations),
+            Algorithm::MapSide => {
+                panic!("the map-side join needs stored datasets; use Cluster::submit_stored")
+            }
             Algorithm::Auto => unreachable!("Auto resolved to a concrete algorithm above"),
         }
     }
+
+    /// Builds the cost-based execution plan for a query over *stored*
+    /// datasets — what [`Algorithm::Auto`] resolves to in
+    /// [`Cluster::submit_stored`]. Adds the shuffle-free
+    /// [`Algorithm::MapSide`] as a sixth candidate (zero communication;
+    /// the inputs are already partitioned and indexed on disk) alongside
+    /// the five shuffle algorithms.
+    ///
+    /// # Panics
+    /// Panics if the number of stores does not match the query's relation
+    /// positions, or a store was ingested with a different grid than this
+    /// cluster's.
+    #[must_use]
+    pub fn plan_stored(&self, query: &Query, stores: &[&StoredDataset]) -> crate::optimizer::Plan {
+        self.check_stored(query, stores);
+        crate::optimizer::plan_stored(query, stores, &self.grid, self.num_reducers)
+    }
+
+    /// Submits a join run over stored datasets.
+    ///
+    /// When the resolved algorithm is [`Algorithm::MapSide`], the join
+    /// runs directly over the per-cell stored R-trees — no map, sort,
+    /// shuffle or merge phase, and the relations are never materialized in
+    /// memory. Any other algorithm materializes the stored relations and
+    /// goes through [`Cluster::submit`] unchanged, so outputs and logical
+    /// counters are byte-identical across both paths.
+    ///
+    /// The combined input fingerprint is derived from the stores' recorded
+    /// fingerprints exactly as [`Cluster::submit`] callers derive it from
+    /// in-memory datasets, so result-cache keys are unaffected by where
+    /// the data lives.
+    ///
+    /// # Errors
+    /// Like [`Cluster::submit`]; the map-side path can only fail by
+    /// cancellation or deadline.
+    ///
+    /// # Panics
+    /// Panics on caller errors: store count not matching the query, or a
+    /// store ingested with a different grid than this cluster's.
+    pub fn submit_stored(&self, run: &StoredRun<'_>) -> Result<JoinOutput, JoinError> {
+        self.check_stored(run.query, run.stores);
+        if let Some(timeout) = run.deadline {
+            run.cancel.deadline_in(timeout);
+        }
+        let algorithm = match run.algorithm {
+            Algorithm::Auto => self.plan_stored(run.query, run.stores).algorithm,
+            pinned => pinned,
+        };
+        let fingerprint = combined_fingerprint(run.stores);
+        if algorithm == Algorithm::MapSide {
+            let ctx = AlgoCtx {
+                engine: &self.engine,
+                grid: &self.grid,
+                num_reducers: self.num_reducers,
+                count_only: run.count_only,
+                trace: &run.trace,
+                cancel: run.cancel.clone(),
+                hub: mwsj_mapreduce::MetricsHub::new(),
+                priority: run.priority,
+                share: run.share,
+                input_fingerprint: fingerprint,
+                shares: None,
+                dfs_base: (
+                    self.engine.dfs.read_bytes(),
+                    self.engine.dfs.write_bytes(),
+                    self.engine.dfs.transient_read_failures(),
+                ),
+            };
+            return algorithms::map_side::run(&ctx, run.query, run.stores, run.open_wall);
+        }
+        let materialized: Vec<Vec<Rect>> = run.stores.iter().map(|s| s.materialize()).collect();
+        let relations: Vec<&[Rect]> = materialized.iter().map(Vec::as_slice).collect();
+        self.submit(
+            &JoinRun::new(run.query, &relations)
+                .algorithm(algorithm)
+                .count_only(run.count_only)
+                .trace(run.trace.clone())
+                .cancel(run.cancel.clone())
+                .priority(run.priority)
+                .share(run.share)
+                .input_fingerprint(fingerprint),
+        )
+    }
+
+    /// The shared caller-error checks of the stored entry points.
+    fn check_stored(&self, query: &Query, stores: &[&StoredDataset]) {
+        assert_eq!(
+            stores.len(),
+            query.num_relations(),
+            "one stored dataset per query relation position"
+        );
+        for (i, s) in stores.iter().enumerate() {
+            assert!(
+                s.grid() == &self.grid,
+                "stored dataset {i} was ingested with a different grid than the cluster's"
+            );
+        }
+    }
+}
+
+/// The combined fingerprint of a run's stored inputs: the same recipe
+/// (record count, then each dataset fingerprint) the server applies to
+/// in-memory bindings, so cache keys do not depend on where data lives.
+#[must_use]
+pub(crate) fn combined_fingerprint(stores: &[&StoredDataset]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(stores.len() as u64);
+    for s in stores {
+        h.write_u64(s.fingerprint());
+    }
+    h.finish()
 }
 
 #[cfg(test)]
@@ -266,5 +381,27 @@ mod tests {
         let q = Query::parse("a ov b").unwrap();
         let r = vec![Rect::new(1.0, 9.0, 1.0, 1.0)];
         let _ = cluster.run(&q, &[&r], Algorithm::AllReplicate);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs stored datasets")]
+    fn map_side_requires_the_stored_entry_point() {
+        let cluster = Cluster::new(ClusterConfig::for_space((0.0, 10.0), (0.0, 10.0), 2));
+        let q = Query::parse("a ov b").unwrap();
+        let r = vec![Rect::new(1.0, 9.0, 1.0, 1.0)];
+        let _ = cluster.run(&q, &[&r, &r], Algorithm::MapSide);
+    }
+
+    #[test]
+    #[should_panic(expected = "different grid")]
+    fn stored_runs_reject_grid_mismatch() {
+        let cluster = Cluster::new(ClusterConfig::for_space((0.0, 10.0), (0.0, 10.0), 2));
+        let other = Grid::square((0.0, 10.0), (0.0, 10.0), 4);
+        let bytes = mwsj_store::StoreBuilder::new(&other)
+            .build(&[Rect::new(1.0, 9.0, 1.0, 1.0)])
+            .unwrap();
+        let store = StoredDataset::from_bytes(&bytes).unwrap();
+        let q = Query::parse("a ov b").unwrap();
+        let _ = cluster.submit_stored(&crate::StoredRun::new(&q, &[&store, &store]));
     }
 }

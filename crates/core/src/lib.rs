@@ -60,7 +60,7 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use error::JoinError;
 pub use record::TaggedRect;
 pub use result::{JoinOutput, ReplicationStats};
-pub use run_config::JoinRun;
+pub use run_config::{JoinRun, StoredRun};
 
 // Re-export the building blocks a downstream user needs alongside the core
 // API, so `mwsj-core` is usable as a single dependency.
@@ -70,3 +70,4 @@ pub use mwsj_mapreduce as mapreduce;
 pub use mwsj_partition as partition;
 pub use mwsj_query as query;
 pub use mwsj_rtree as rtree;
+pub use mwsj_store as store;

@@ -3,6 +3,7 @@ use std::time::Duration;
 use mwsj_geom::Rect;
 use mwsj_mapreduce::{CancelToken, TraceSink};
 use mwsj_query::Query;
+use mwsj_store::StoredDataset;
 
 use crate::Algorithm;
 
@@ -159,6 +160,128 @@ impl<'a> JoinRun<'a> {
     #[must_use]
     pub fn input_fingerprint(mut self, fingerprint: u64) -> Self {
         self.input_fingerprint = fingerprint;
+        self
+    }
+}
+
+/// A join run over *stored* datasets, for
+/// [`Cluster::submit_stored`](crate::Cluster::submit_stored): the query,
+/// one opened [`StoredDataset`] per relation position, and the same run
+/// options as [`JoinRun`].
+///
+/// The default algorithm is [`Algorithm::Auto`]; on co-partitioned stores
+/// the optimizer's stored plan usually resolves it to
+/// [`Algorithm::MapSide`], the shuffle-free join over the per-cell stored
+/// R-trees. Pinning a shuffle algorithm instead materializes the stored
+/// relations and runs it unchanged — outputs are byte-identical either
+/// way. The combined input fingerprint is derived from the stores'
+/// recorded fingerprints, so no fingerprint option exists here.
+#[derive(Debug, Clone)]
+pub struct StoredRun<'a> {
+    /// The multi-way spatial join query.
+    pub query: &'a Query,
+    /// Stored datasets bound to the query's relation positions.
+    pub stores: &'a [&'a StoredDataset],
+    /// Which algorithm evaluates the query (default [`Algorithm::Auto`]).
+    pub algorithm: Algorithm,
+    /// Count output tuples instead of materializing them.
+    pub count_only: bool,
+    /// Trace sink for any engine jobs a materialized fallback submits.
+    pub trace: TraceSink,
+    /// Cooperative cancellation token for the whole run.
+    pub cancel: CancelToken,
+    /// Wall-clock budget for the run.
+    pub deadline: Option<Duration>,
+    /// Slot-scheduler priority (materialized fallback only).
+    pub priority: i32,
+    /// Fair-share weight (materialized fallback only).
+    pub share: u32,
+    /// Wall time the caller spent opening (reading + validating) the
+    /// stores for this run, reported as the map-side job's
+    /// `index_open_wall` so end-to-end comparisons against the shuffle
+    /// algorithms stay honest. Zero (the default) for long-mounted stores
+    /// whose open cost is amortized across many queries.
+    pub open_wall: Duration,
+}
+
+impl<'a> StoredRun<'a> {
+    /// Describes a stored run with default options.
+    #[must_use]
+    pub fn new(query: &'a Query, stores: &'a [&'a StoredDataset]) -> Self {
+        Self {
+            query,
+            stores,
+            algorithm: Algorithm::Auto,
+            count_only: false,
+            trace: TraceSink::disabled(),
+            cancel: CancelToken::new(),
+            deadline: None,
+            priority: 0,
+            share: 1,
+            open_wall: Duration::ZERO,
+        }
+    }
+
+    /// Records how long the caller spent opening the stores (surfaced as
+    /// the map-side job's index-open time).
+    #[must_use]
+    pub fn open_wall(mut self, open_wall: Duration) -> Self {
+        self.open_wall = open_wall;
+        self
+    }
+
+    /// Pins the algorithm instead of letting the optimizer choose.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets count-only mode explicitly.
+    #[must_use]
+    pub fn count_only(mut self, count_only: bool) -> Self {
+        self.count_only = count_only;
+        self
+    }
+
+    /// Counts output tuples without materializing them.
+    #[must_use]
+    pub fn counting(self) -> Self {
+        self.count_only(true)
+    }
+
+    /// Attaches a trace sink to any engine jobs of this run.
+    #[must_use]
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Bounds the run's wall-clock time.
+    #[must_use]
+    pub fn deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(timeout);
+        self
+    }
+
+    /// Sets the slot-scheduler priority (materialized fallback only).
+    #[must_use]
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the fair-share weight (materialized fallback only).
+    #[must_use]
+    pub fn share(mut self, share: u32) -> Self {
+        self.share = share;
         self
     }
 }

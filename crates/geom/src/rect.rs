@@ -61,6 +61,26 @@ impl Rect {
         }
     }
 
+    /// Creates a rectangle directly from its corner extents, without any
+    /// reordering or arithmetic — the accessors return exactly the values
+    /// passed in, bit for bit (unlike [`Rect::from_corners`], whose
+    /// `min`/`max` normalization can swap `-0.0`/`0.0`). This is the
+    /// round-trip constructor for serialized rectangles.
+    ///
+    /// Returns `None` when a coordinate is non-finite or an extent is
+    /// inverted (`min > max`).
+    #[must_use]
+    pub fn from_bounds(min_x: Coord, min_y: Coord, max_x: Coord, max_y: Coord) -> Option<Self> {
+        let finite =
+            min_x.is_finite() && min_y.is_finite() && max_x.is_finite() && max_y.is_finite();
+        (finite && min_x <= max_x && min_y <= max_y).then_some(Self {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        })
+    }
+
     fn from_extents(min_x: Coord, min_y: Coord, max_x: Coord, max_y: Coord) -> Self {
         debug_assert!(min_x <= max_x && min_y <= max_y);
         Self {
@@ -297,6 +317,16 @@ mod tests {
     fn from_corners_normalizes_order() {
         let a = Rect::from_corners(Point::new(5.0, 1.0), Point::new(1.0, 5.0));
         assert_eq!(a, r(1.0, 5.0, 4.0, 4.0));
+    }
+
+    #[test]
+    fn from_bounds_is_bit_exact_and_validated() {
+        let a = Rect::from_bounds(-0.0, 1.0, 0.0, 2.0).unwrap();
+        assert_eq!(a.min_x().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(a.max_x().to_bits(), 0.0f64.to_bits());
+        assert!(Rect::from_bounds(1.0, 0.0, 0.0, 1.0).is_none());
+        assert!(Rect::from_bounds(f64::NAN, 0.0, 1.0, 1.0).is_none());
+        assert!(Rect::from_bounds(0.0, f64::INFINITY, 1.0, f64::INFINITY).is_none());
     }
 
     #[test]

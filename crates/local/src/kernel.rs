@@ -241,6 +241,59 @@ impl JoinKernel {
         SCRATCH.with(|s| *s.borrow_mut() = scratch);
     }
 
+    /// Runs the search seeded by caller-supplied depth-0 candidates,
+    /// probing through a caller-supplied index — the entry point for
+    /// map-side joins over *stored* per-cell trees, where the candidate
+    /// index is a forest of serialized R-trees rather than the in-memory
+    /// relation vectors.
+    ///
+    /// `start` picks the compiled plan (seeds are candidates of relation
+    /// position `start`); `probe(w, rect, d, out)` must append every
+    /// `(rect, id)` of relation position `w` within distance `d` (closed)
+    /// of `rect` — the R-tree acceptance test — to `out`, appending only.
+    /// Probe results are memoized per depth by the probe rectangle's bit
+    /// pattern (exactly as [`JoinKernel::execute`] memoizes), so the
+    /// probe must be a pure function of `(w, rect, d)` for one call.
+    /// `emit` receives each full tuple in relation-position order.
+    ///
+    /// # Panics
+    /// Panics when `start` is not a relation position of the query.
+    pub fn execute_seeded(
+        &self,
+        start: usize,
+        seeds: &[LocalRect],
+        mut probe: impl FnMut(usize, &Rect, Coord, &mut Vec<LocalRect>),
+        mut emit: impl FnMut(&[LocalRect]),
+    ) {
+        assert!(start < self.n, "start relation position out of range");
+        if seeds.is_empty() {
+            return;
+        }
+        let mut scratch = SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        let Scratch {
+            arena,
+            frames,
+            tuple,
+            memo,
+            memo_arena,
+            ..
+        } = &mut scratch;
+        arena.clear();
+        arena.extend_from_slice(seeds);
+        search(
+            self.plans[start].steps(),
+            self.n,
+            arena,
+            frames,
+            tuple,
+            memo,
+            memo_arena,
+            &mut probe,
+            &mut emit,
+        );
+        SCRATCH.with(|s| *s.borrow_mut() = scratch);
+    }
+
     fn run(
         &self,
         steps: &[PlanStep],
@@ -276,103 +329,124 @@ impl JoinKernel {
                 trees[v] = Some(RTree::bulk_load(rel.clone()));
             }
         }
-        tuple.clear();
-        tuple.resize(n, (Rect::new(0.0, 0.0, 0.0, 0.0), 0));
-        frames.clear();
-        frames.resize(n, Frame::default());
-        memo.resize_with(n, RectKeyMap::default);
-        for m in memo.iter_mut() {
-            m.clear();
-        }
-        memo_arena.clear();
 
         // Depth 0: every rectangle of the start relation seeds the search.
         arena.clear();
         arena.extend_from_slice(&relations[steps[0].relation.index()]);
 
-        let mut depth = 0usize;
-        loop {
-            let step = &steps[depth];
-            let v = step.relation.index();
-            let Frame { base, mut cursor } = frames[depth];
-            let len = arena.len() - base;
-
-            // Advance to the next candidate at this depth that satisfies
-            // its verify edges.
-            let mut extended = false;
-            while cursor < len {
-                let (rect, id) = arena[base + cursor];
-                cursor += 1;
-                let ok = step.verify.iter().all(|e| {
-                    let other = &tuple[e.against.index()].0;
-                    if e.candidate_is_left {
-                        e.predicate.eval(&rect, other)
-                    } else {
-                        e.predicate.eval(other, &rect)
-                    }
+        let mut probe = |w: usize, probe_rect: &Rect, d: Coord, out: &mut Vec<LocalRect>| {
+            if let Some(tree) = &trees[w] {
+                tree.query_within_scratch(probe_rect, d, tree_stack, |r, &id| {
+                    out.push((*r, id));
                 });
-                if ok {
-                    tuple[v] = (rect, id);
-                    extended = true;
-                    break;
-                }
-            }
-            frames[depth].cursor = cursor;
-
-            if !extended {
-                // Depth exhausted: release its candidates, backtrack.
-                arena.truncate(base);
-                if depth == 0 {
-                    break;
-                }
-                depth -= 1;
-                continue;
-            }
-            if depth + 1 == n {
-                emit(tuple);
-                continue;
-            }
-            // Probe for the next depth's candidates. When the probing
-            // relation is the start relation every probe rectangle is
-            // distinct, so the index is walked directly; otherwise the
-            // same rectangle recurs once per partial tuple containing it
-            // and the result is memoized by rectangle.
-            let next = &steps[depth + 1];
-            let w = next.relation.index();
-            let probe = next.probe.as_ref().expect("non-root steps have a probe");
-            let probe_rect = &tuple[probe.from.index()].0;
-            let d = probe.predicate.distance();
-            let next_base = arena.len();
-            if probe.from == steps[0].relation {
-                if let Some(tree) = &trees[w] {
-                    tree.query_within_scratch(probe_rect, d, tree_stack, |r, &id| {
-                        arena.push((*r, id));
-                    });
-                } else {
-                    soa[w].probe_into(&relations[w], probe_rect, d, arena);
-                }
             } else {
-                let (s, e) = *memo[depth + 1]
-                    .entry(rect_key(probe_rect))
-                    .or_insert_with(|| {
-                        let m0 = memo_arena.len();
-                        if let Some(tree) = &trees[w] {
-                            tree.query_within_scratch(probe_rect, d, tree_stack, |r, &id| {
-                                memo_arena.push((*r, id));
-                            });
-                        } else {
-                            soa[w].probe_into(&relations[w], probe_rect, d, memo_arena);
-                        }
-                        (m0 as u32, memo_arena.len() as u32)
-                    });
-                arena.extend_from_slice(&memo_arena[s as usize..e as usize]);
+                soa[w].probe_into(&relations[w], probe_rect, d, out);
             }
-            depth += 1;
-            frames[depth] = Frame {
-                base: next_base,
-                cursor: 0,
-            };
+        };
+        search(
+            steps, n, arena, frames, tuple, memo, memo_arena, &mut probe, emit,
+        );
+    }
+}
+
+/// The iterative backtracking loop shared by [`JoinKernel::execute`] and
+/// [`JoinKernel::execute_seeded`]: candidate generation is abstracted
+/// behind `probe`, everything else (verify edges, frame bookkeeping, the
+/// per-depth probe memo) is identical for both entry points. `arena` must
+/// arrive holding exactly the depth-0 seeds; the remaining scratch parts
+/// are (re)initialized here.
+#[allow(clippy::too_many_arguments)]
+fn search(
+    steps: &[PlanStep],
+    n: usize,
+    arena: &mut Vec<LocalRect>,
+    frames: &mut Vec<Frame>,
+    tuple: &mut Vec<LocalRect>,
+    memo: &mut Vec<RectKeyMap>,
+    memo_arena: &mut Vec<LocalRect>,
+    probe: &mut impl FnMut(usize, &Rect, Coord, &mut Vec<LocalRect>),
+    emit: &mut impl FnMut(&[LocalRect]),
+) {
+    tuple.clear();
+    tuple.resize(n, (Rect::new(0.0, 0.0, 0.0, 0.0), 0));
+    frames.clear();
+    frames.resize(n, Frame::default());
+    memo.resize_with(n, RectKeyMap::default);
+    for m in memo.iter_mut() {
+        m.clear();
+    }
+    memo_arena.clear();
+
+    let mut depth = 0usize;
+    loop {
+        let step = &steps[depth];
+        let v = step.relation.index();
+        let Frame { base, mut cursor } = frames[depth];
+        let len = arena.len() - base;
+
+        // Advance to the next candidate at this depth that satisfies
+        // its verify edges.
+        let mut extended = false;
+        while cursor < len {
+            let (rect, id) = arena[base + cursor];
+            cursor += 1;
+            let ok = step.verify.iter().all(|e| {
+                let other = &tuple[e.against.index()].0;
+                if e.candidate_is_left {
+                    e.predicate.eval(&rect, other)
+                } else {
+                    e.predicate.eval(other, &rect)
+                }
+            });
+            if ok {
+                tuple[v] = (rect, id);
+                extended = true;
+                break;
+            }
         }
+        frames[depth].cursor = cursor;
+
+        if !extended {
+            // Depth exhausted: release its candidates, backtrack.
+            arena.truncate(base);
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+            continue;
+        }
+        if depth + 1 == n {
+            emit(tuple);
+            continue;
+        }
+        // Probe for the next depth's candidates. When the probing
+        // relation is the start relation every probe rectangle is
+        // distinct, so the index is walked directly; otherwise the
+        // same rectangle recurs once per partial tuple containing it
+        // and the result is memoized by rectangle.
+        let next = &steps[depth + 1];
+        let w = next.relation.index();
+        let probe_edge = next.probe.as_ref().expect("non-root steps have a probe");
+        let probe_rect = &tuple[probe_edge.from.index()].0;
+        let d = probe_edge.predicate.distance();
+        let next_base = arena.len();
+        if probe_edge.from == steps[0].relation {
+            probe(w, probe_rect, d, arena);
+        } else {
+            let (s, e) = *memo[depth + 1]
+                .entry(rect_key(probe_rect))
+                .or_insert_with(|| {
+                    let m0 = memo_arena.len();
+                    probe(w, probe_rect, d, memo_arena);
+                    (m0 as u32, memo_arena.len() as u32)
+                });
+            arena.extend_from_slice(&memo_arena[s as usize..e as usize]);
+        }
+        depth += 1;
+        frames[depth] = Frame {
+            base: next_base,
+            cursor: 0,
+        };
     }
 }
 
@@ -497,6 +571,51 @@ mod tests {
         // bound last; flipping sizes starts elsewhere.
         check_against_oracles(&q, &[big.clone(), small.clone(), mid]);
         check_against_oracles(&q, &[big, small, random_relation(100, 80, 30.0)]);
+    }
+
+    #[test]
+    fn execute_seeded_matches_execute_from_every_start() {
+        // Seeding with a full relation and probing through bulk-loaded
+        // trees must reproduce `execute` exactly (normalized: `execute`
+        // picks its own start vertex, which changes emission order).
+        let q = Query::builder()
+            .overlap("A", "B")
+            .range("B", "C", 12.0)
+            .build()
+            .unwrap();
+        let rels = vec![
+            random_relation(60, 500, 30.0),
+            random_relation(45, 501, 30.0),
+            random_relation(55, 502, 30.0),
+        ];
+        let kernel = JoinKernel::new(&q);
+        let want = normalized(kernel_ids(&q, &rels));
+        assert!(!want.is_empty(), "test should exercise non-empty output");
+        let trees: Vec<RTree<u32>> = rels.iter().map(|r| RTree::bulk_load(r.clone())).collect();
+        for (start, seeds) in rels.iter().enumerate() {
+            let mut out: Vec<Vec<u32>> = Vec::new();
+            let mut stack = Vec::new();
+            kernel.execute_seeded(
+                start,
+                seeds,
+                |w, probe, d, out| {
+                    trees[w].query_within_scratch(probe, d, &mut stack, |r, &id| {
+                        out.push((*r, id));
+                    });
+                },
+                |tuple| out.push(tuple.iter().map(|&(_, id)| id).collect()),
+            );
+            assert_eq!(normalized(out), want, "start = {start}");
+        }
+    }
+
+    #[test]
+    fn execute_seeded_empty_seeds_is_a_no_op() {
+        let q = Query::builder().overlap("A", "B").build().unwrap();
+        let kernel = JoinKernel::new(&q);
+        let mut called = false;
+        kernel.execute_seeded(0, &[], |_, _, _, _| {}, |_| called = true);
+        assert!(!called);
     }
 
     #[test]

@@ -109,6 +109,11 @@ pub struct JobMetrics {
     /// Time the job's tasks held scheduler slots, summed over tasks —
     /// the job's occupancy of the shared worker pool.
     pub slot_wall: Duration,
+    /// Time spent opening (reading + validating) pre-built on-disk indexes
+    /// before any task ran. Zero for ordinary shuffle jobs; the map-side
+    /// join over stored datasets reports its store-open cost here so the
+    /// "shuffle-free" wall time still accounts for everything it did.
+    pub index_open_wall: Duration,
     /// Stable fingerprint of the job's input dataset
     /// ([`DatasetFingerprint`](crate::DatasetFingerprint)), carried through
     /// from [`JobSpec::input_fingerprint`](crate::JobSpec::input_fingerprint);
@@ -277,6 +282,10 @@ impl MetricsReport {
             total.speculative_launched,
             total.corrupt_runs
         );
+        let index_open: Duration = self.jobs.iter().map(|j| j.index_open_wall).sum();
+        if index_open > Duration::ZERO {
+            let _ = writeln!(out, "index open: {} ms", ms(index_open));
+        }
         let _ = writeln!(
             out,
             "dfs: {} B read, {} B written",
@@ -344,6 +353,19 @@ mod tests {
         assert!(table.contains("total (2 jobs)"));
         assert!(table.contains("30"), "kv-pair total missing:\n{table}");
         assert!(table.contains("64 B read"), "{table}");
+    }
+
+    #[test]
+    fn phase_table_surfaces_index_open_time_only_when_nonzero() {
+        let mut report = MetricsReport::default();
+        report.jobs.push(JobMetrics {
+            job_name: "j".into(),
+            ..JobMetrics::default()
+        });
+        assert!(!report.phase_table().contains("index open"));
+        report.jobs[0].index_open_wall = Duration::from_millis(4);
+        let table = report.phase_table();
+        assert!(table.contains("index open: 4.0 ms"), "{table}");
     }
 
     #[test]

@@ -92,6 +92,21 @@ impl Grid {
         self.cols * self.rows
     }
 
+    /// The exact `(x0, xn)` range the grid was constructed with — the
+    /// round-trip accessor for serializing grid geometry ([`Grid::extent`]
+    /// re-derives corners through rectangle arithmetic, which need not be
+    /// bit-exact).
+    #[must_use]
+    pub fn x_range(&self) -> (Coord, Coord) {
+        (self.x0, self.xn)
+    }
+
+    /// The exact `(y0, yn)` range the grid was constructed with.
+    #[must_use]
+    pub fn y_range(&self) -> (Coord, Coord) {
+        (self.y0, self.yn)
+    }
+
     /// The full space extent as a rectangle.
     #[must_use]
     pub fn extent(&self) -> Rect {

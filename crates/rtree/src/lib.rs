@@ -13,8 +13,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod packed;
 mod tree;
 
+pub use packed::{pack, PackedRTree};
 pub use tree::RTree;
 
 /// Maximum number of entries per R-tree node. 16 balances fan-out against

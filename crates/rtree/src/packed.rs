@@ -1,0 +1,410 @@
+//! A serialized, zero-copy view of an STR-packed R-tree.
+//!
+//! [`pack`] flattens an [`RTree<u32>`] into two plain `u64` word arrays —
+//! one for the leaf-packed entries, one for the nodes — preserving the
+//! bulk-load layout exactly: entries stay in leaf-pack order, each level's
+//! nodes stay contiguous, children precede parents and the root is the
+//! last node. [`PackedRTree`] reinterprets borrowed word slices as a
+//! queryable tree without rebuilding anything: coordinates are read back
+//! with `f64::from_bits` on the fly, so opening a stored dataset costs one
+//! validation scan and no per-entry allocation.
+//!
+//! [`PackedRTree::query_within_scratch`] replicates the traversal of
+//! [`RTree::query_within_scratch`] operation for operation (same pruning,
+//! same acceptance arithmetic, same visit order), which is what lets the
+//! map-side join over stored trees produce byte-identical results to the
+//! in-memory kernels.
+
+use mwsj_geom::{Coord, Rect};
+
+use crate::tree::{Node, NodeContent};
+use crate::RTree;
+
+/// Words per packed entry: four corner coordinates (IEEE bit patterns)
+/// plus the `u32` payload widened to a word.
+pub const ENTRY_WORDS: usize = 5;
+
+/// Words per packed node: four MBR corner coordinates, the node kind
+/// (0 = leaf, 1 = inner) and the packed `start`/`end` range.
+pub const NODE_WORDS: usize = 6;
+
+const KIND_LEAF: u64 = 0;
+const KIND_INNER: u64 = 1;
+
+/// Flattens a bulk-loaded tree into `(entry_words, node_words)`.
+///
+/// Entry *i* occupies words `[5 i .. 5 i + 5]`: `min_x`, `min_y`, `max_x`,
+/// `max_y` as `f64::to_bits`, then the payload. Node *j* occupies words
+/// `[6 j .. 6 j + 6]`: the four MBR corners, the kind word and
+/// `(start << 32) | end` (entry range for leaves, child-node range for
+/// inner nodes). An empty tree packs to two empty arrays.
+#[must_use]
+pub fn pack(tree: &RTree<u32>) -> (Vec<u64>, Vec<u64>) {
+    let mut entry_words = Vec::with_capacity(tree.entries.len() * ENTRY_WORDS);
+    for (rect, id) in &tree.entries {
+        push_rect(&mut entry_words, rect);
+        entry_words.push(u64::from(*id));
+    }
+    let mut node_words = Vec::with_capacity(tree.nodes.len() * NODE_WORDS);
+    for Node { mbr, content } in &tree.nodes {
+        push_rect(&mut node_words, mbr);
+        let (kind, start, end) = match *content {
+            NodeContent::Leaf { start, end } => (KIND_LEAF, start, end),
+            NodeContent::Inner { start, end } => (KIND_INNER, start, end),
+        };
+        node_words.push(kind);
+        node_words.push((u64::from(start) << 32) | u64::from(end));
+    }
+    (entry_words, node_words)
+}
+
+fn push_rect(words: &mut Vec<u64>, r: &Rect) {
+    words.push(r.min_x().to_bits());
+    words.push(r.min_y().to_bits());
+    words.push(r.max_x().to_bits());
+    words.push(r.max_y().to_bits());
+}
+
+fn rect_at(words: &[u64], base: usize) -> Option<Rect> {
+    Rect::from_bounds(
+        f64::from_bits(words[base]),
+        f64::from_bits(words[base + 1]),
+        f64::from_bits(words[base + 2]),
+        f64::from_bits(words[base + 3]),
+    )
+}
+
+/// A read-only R-tree over borrowed packed words (see [`pack`]).
+///
+/// Construction validates the whole structure once — word counts, node
+/// kinds, range bounds, child ordering and corner finiteness — so queries
+/// can trust every access afterwards.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedRTree<'a> {
+    entries: &'a [u64],
+    nodes: &'a [u64],
+}
+
+impl<'a> PackedRTree<'a> {
+    /// Validates packed word arrays and wraps them as a queryable tree.
+    ///
+    /// # Errors
+    /// Describes the first structural defect found: truncated arrays, a
+    /// node/entry count mismatch, an unknown node kind, an out-of-bounds
+    /// or inverted range, a child range that does not precede its node
+    /// (which could cycle), or a non-finite/inverted rectangle.
+    pub fn new(entries: &'a [u64], nodes: &'a [u64]) -> Result<Self, String> {
+        if !entries.len().is_multiple_of(ENTRY_WORDS) {
+            return Err(format!(
+                "entry array length {} is not a multiple of {ENTRY_WORDS}",
+                entries.len()
+            ));
+        }
+        if !nodes.len().is_multiple_of(NODE_WORDS) {
+            return Err(format!(
+                "node array length {} is not a multiple of {NODE_WORDS}",
+                nodes.len()
+            ));
+        }
+        let num_entries = entries.len() / ENTRY_WORDS;
+        let num_nodes = nodes.len() / NODE_WORDS;
+        if (num_entries == 0) != (num_nodes == 0) {
+            return Err(format!(
+                "entry/node count mismatch: {num_entries} entries, {num_nodes} nodes"
+            ));
+        }
+        for i in 0..num_entries {
+            let base = i * ENTRY_WORDS;
+            if rect_at(entries, base).is_none() {
+                return Err(format!("entry {i}: non-finite or inverted rectangle"));
+            }
+            if entries[base + 4] > u64::from(u32::MAX) {
+                return Err(format!("entry {i}: payload exceeds u32"));
+            }
+        }
+        for j in 0..num_nodes {
+            let base = j * NODE_WORDS;
+            if rect_at(nodes, base).is_none() {
+                return Err(format!("node {j}: non-finite or inverted MBR"));
+            }
+            let kind = nodes[base + 4];
+            let range = nodes[base + 5];
+            let start = (range >> 32) as usize;
+            let end = (range & 0xFFFF_FFFF) as usize;
+            if start >= end {
+                return Err(format!("node {j}: empty or inverted range {start}..{end}"));
+            }
+            match kind {
+                KIND_LEAF => {
+                    if end > num_entries {
+                        return Err(format!(
+                            "node {j}: leaf range {start}..{end} exceeds {num_entries} entries"
+                        ));
+                    }
+                }
+                KIND_INNER => {
+                    // Children must strictly precede their parent (the
+                    // bulk-load invariant); this also rules out cycles.
+                    if end > j {
+                        return Err(format!(
+                            "node {j}: child range {start}..{end} does not precede the node"
+                        ));
+                    }
+                }
+                k => return Err(format!("node {j}: unknown kind {k}")),
+            }
+        }
+        Ok(Self { entries, nodes })
+    }
+
+    /// Number of indexed entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len() / ENTRY_WORDS
+    }
+
+    /// Whether the tree is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The MBR of the whole tree (`None` when empty) — the cheap
+    /// whole-tree prune for forest probes.
+    #[must_use]
+    pub fn root_mbr(&self) -> Option<Rect> {
+        let num_nodes = self.nodes.len() / NODE_WORDS;
+        (num_nodes > 0).then(|| {
+            rect_at(self.nodes, (num_nodes - 1) * NODE_WORDS).expect("validated at construction")
+        })
+    }
+
+    /// The `(rect, payload)` of entry `i` in storage (leaf-pack) order.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[must_use]
+    pub fn entry(&self, i: usize) -> (Rect, u32) {
+        let base = i * ENTRY_WORDS;
+        let rect = rect_at(self.entries, base).expect("validated at construction");
+        (rect, self.entries[base + 4] as u32)
+    }
+
+    /// Iterates over all `(rect, payload)` entries in storage order —
+    /// matches [`RTree::iter`] on the packed source tree.
+    pub fn iter(&self) -> impl Iterator<Item = (Rect, u32)> + '_ {
+        (0..self.len()).map(|i| self.entry(i))
+    }
+
+    /// Calls `visit` for every entry within distance `d` (closed) of the
+    /// probe; `d == 0` is the overlap query. Pruning, acceptance tests and
+    /// visit order replicate [`RTree::query_within_scratch`] exactly.
+    pub fn query_within_scratch(
+        &self,
+        probe: &Rect,
+        d: Coord,
+        stack: &mut Vec<u32>,
+        mut visit: impl FnMut(Rect, u32),
+    ) {
+        let num_nodes = self.nodes.len() / NODE_WORDS;
+        if num_nodes == 0 {
+            return;
+        }
+        stack.clear();
+        stack.push((num_nodes - 1) as u32);
+        let (p_min_x, p_min_y, p_max_x, p_max_y) =
+            (probe.min_x(), probe.min_y(), probe.max_x(), probe.max_y());
+        let overlaps = |base: usize, words: &[u64]| {
+            let min_x = f64::from_bits(words[base]);
+            let min_y = f64::from_bits(words[base + 1]);
+            let max_x = f64::from_bits(words[base + 2]);
+            let max_y = f64::from_bits(words[base + 3]);
+            min_x <= p_max_x && p_min_x <= max_x && min_y <= p_max_y && p_min_y <= max_y
+        };
+        let distance_sq = |base: usize, words: &[u64]| {
+            let min_x = f64::from_bits(words[base]);
+            let min_y = f64::from_bits(words[base + 1]);
+            let max_x = f64::from_bits(words[base + 2]);
+            let max_y = f64::from_bits(words[base + 3]);
+            let dx = (p_min_x - max_x).max(min_x - p_max_x).max(0.0);
+            let dy = (p_min_y - max_y).max(min_y - p_max_y).max(0.0);
+            dx * dx + dy * dy
+        };
+        if d == 0.0 {
+            while let Some(id) = stack.pop() {
+                let base = id as usize * NODE_WORDS;
+                if !overlaps(base, self.nodes) {
+                    continue;
+                }
+                let (start, end) = node_range(self.nodes[base + 5]);
+                if self.nodes[base + 4] == KIND_LEAF {
+                    for e in start..end {
+                        if overlaps(e as usize * ENTRY_WORDS, self.entries) {
+                            let (rect, payload) = self.entry(e as usize);
+                            visit(rect, payload);
+                        }
+                    }
+                } else {
+                    stack.extend(start..end);
+                }
+            }
+            return;
+        }
+        let d_sq = d * d;
+        while let Some(id) = stack.pop() {
+            let base = id as usize * NODE_WORDS;
+            if distance_sq(base, self.nodes) > d_sq {
+                continue;
+            }
+            let (start, end) = node_range(self.nodes[base + 5]);
+            if self.nodes[base + 4] == KIND_LEAF {
+                for e in start..end {
+                    if distance_sq(e as usize * ENTRY_WORDS, self.entries) <= d_sq {
+                        let (rect, payload) = self.entry(e as usize);
+                        visit(rect, payload);
+                    }
+                }
+            } else {
+                stack.extend(start..end);
+            }
+        }
+    }
+}
+
+fn node_range(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, (word & 0xFFFF_FFFF) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rects(n: usize, seed: u64) -> Vec<(Rect, u32)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let x = rng.random_range(0.0..1000.0);
+                let y = rng.random_range(20.0..1000.0);
+                let l = rng.random_range(0.0..40.0);
+                let b = rng.random_range(0.0..20.0);
+                (Rect::new(x, y, l, b), i as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_packs_and_queries() {
+        let tree: RTree<u32> = RTree::bulk_load(Vec::new());
+        let (entries, nodes) = pack(&tree);
+        assert!(entries.is_empty() && nodes.is_empty());
+        let packed = PackedRTree::new(&entries, &nodes).unwrap();
+        assert!(packed.is_empty());
+        assert_eq!(packed.root_mbr(), None);
+        let mut stack = Vec::new();
+        let mut hits = 0;
+        packed.query_within_scratch(
+            &Rect::new(0.0, 100.0, 50.0, 50.0),
+            0.0,
+            &mut stack,
+            |_, _| hits += 1,
+        );
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn iter_matches_source_tree_storage_order() {
+        let tree = RTree::bulk_load(random_rects(777, 3));
+        let (entries, nodes) = pack(&tree);
+        let packed = PackedRTree::new(&entries, &nodes).unwrap();
+        assert_eq!(packed.len(), tree.len());
+        for (got, want) in packed.iter().zip(tree.iter()) {
+            assert_eq!(got.0, want.0);
+            assert_eq!(got.1, want.1);
+        }
+    }
+
+    #[test]
+    fn queries_replicate_source_tree_exactly() {
+        // Same hits *in the same visit order*, on both the d == 0 overlap
+        // fast path and the d > 0 distance path, across many probes.
+        for n in [1usize, 15, 16, 17, 255, 1000, 5000] {
+            let tree = RTree::bulk_load(random_rects(n, 40 + n as u64));
+            let (entries, nodes) = pack(&tree);
+            let packed = PackedRTree::new(&entries, &nodes).unwrap();
+            assert_eq!(packed.root_mbr().is_some(), !tree.is_empty());
+            let mut rng = StdRng::seed_from_u64(900 + n as u64);
+            let mut stack = Vec::new();
+            let mut tree_stack = Vec::new();
+            for probe_no in 0..40 {
+                let probe = Rect::new(
+                    rng.random_range(0.0..900.0),
+                    rng.random_range(100.0..1000.0),
+                    rng.random_range(0.0..120.0),
+                    rng.random_range(0.0..120.0),
+                );
+                let d = if probe_no % 2 == 0 {
+                    0.0
+                } else {
+                    rng.random_range(0.0..90.0)
+                };
+                let mut got: Vec<(Rect, u32)> = Vec::new();
+                packed.query_within_scratch(&probe, d, &mut stack, |r, id| got.push((r, id)));
+                let mut want: Vec<(Rect, u32)> = Vec::new();
+                tree.query_within_scratch(&probe, d, &mut tree_stack, |r, &id| {
+                    want.push((*r, id));
+                });
+                assert_eq!(got, want, "n = {n}, probe {probe_no}, d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_corrupt_words() {
+        let tree = RTree::bulk_load(random_rects(100, 9));
+        let (entries, nodes) = pack(&tree);
+        assert!(PackedRTree::new(&entries, &nodes).is_ok());
+
+        // Truncated arrays.
+        assert!(PackedRTree::new(&entries[..entries.len() - 1], &nodes).is_err());
+        assert!(PackedRTree::new(&entries, &nodes[..nodes.len() - 1]).is_err());
+        // Entries without nodes (and vice versa).
+        assert!(PackedRTree::new(&entries, &[]).is_err());
+        assert!(PackedRTree::new(&[], &nodes).is_err());
+
+        // Non-finite entry corner.
+        let mut bad = entries.clone();
+        bad[0] = f64::NAN.to_bits();
+        assert!(PackedRTree::new(&bad, &nodes).is_err());
+        // Inverted entry extent.
+        let mut bad = entries.clone();
+        bad.swap(0, 2);
+        assert!(PackedRTree::new(&bad, &nodes).is_err());
+        // Oversized payload.
+        let mut bad = entries.clone();
+        bad[4] = u64::from(u32::MAX) + 1;
+        assert!(PackedRTree::new(&bad, &nodes).is_err());
+
+        // Unknown node kind.
+        let mut bad = nodes.clone();
+        bad[4] = 7;
+        assert!(PackedRTree::new(&entries, &bad).is_err());
+        // Leaf range past the entries.
+        let mut bad = nodes.clone();
+        bad[5] = (u64::MAX << 32) | u64::MAX;
+        assert!(PackedRTree::new(&entries, &bad).is_err());
+        // Inner child range that does not precede its node.
+        let last = nodes.len() - NODE_WORDS;
+        let mut bad = nodes.clone();
+        if bad[last + 4] == 1 {
+            let count = (nodes.len() / NODE_WORDS) as u64;
+            bad[last + 5] = ((count - 1) << 32) | count; // points at itself
+            assert!(PackedRTree::new(&entries, &bad).is_err());
+        }
+        // Empty range.
+        let mut bad = nodes.clone();
+        bad[5] = 0;
+        assert!(PackedRTree::new(&entries, &bad).is_err());
+    }
+}

@@ -11,19 +11,19 @@ use crate::NODE_CAPACITY;
 /// rectangle ([`RTree::query_within`]).
 #[derive(Debug, Clone)]
 pub struct RTree<T> {
-    nodes: Vec<Node>,
-    entries: Vec<(Rect, T)>,
-    root: Option<usize>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) entries: Vec<(Rect, T)>,
+    pub(crate) root: Option<usize>,
 }
 
 #[derive(Debug, Clone)]
-struct Node {
-    mbr: Rect,
-    content: NodeContent,
+pub(crate) struct Node {
+    pub(crate) mbr: Rect,
+    pub(crate) content: NodeContent,
 }
 
 #[derive(Debug, Clone)]
-enum NodeContent {
+pub(crate) enum NodeContent {
     /// Entries `entries[start..end]`. Bulk load stores entries in leaf-pack
     /// order, so a leaf scan is one sequential read — no index indirection,
     /// no per-leaf allocation.

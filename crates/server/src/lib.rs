@@ -270,12 +270,20 @@ impl Drop for AdmitGuard<'_> {
 /// A loaded dataset paired with its DFS fingerprint.
 type LoadedDataset = (Arc<Vec<Rect>>, u64);
 
+/// A mounted stored dataset paired with how long its open took — charged
+/// to the first query that mounts it (see [`mwsj_core::StoredRun`]).
+type MountedStore = (Arc<mwsj_core::store::StoredDataset>, Duration);
+
 struct Inner {
     config: ServerConfig,
     cluster: Cluster,
     cache: ResultCache,
     /// Loaded datasets by source spec, with their DFS fingerprints.
     datasets: parking_lot::Mutex<HashMap<String, LoadedDataset>>,
+    /// Mounted `store:` datasets by path. Mounting holds the cell index
+    /// and record sections, not a materialized `Vec<Rect>` — stored
+    /// queries join straight off these.
+    stores: parking_lot::Mutex<HashMap<String, MountedStore>>,
     admission: Admission,
     stats: ServiceStats,
     stop: AtomicBool,
@@ -333,6 +341,23 @@ impl Inner {
         map.insert(spec.to_string(), entry.clone());
         Ok(entry)
     }
+
+    /// Mounts (or reuses) a stored dataset for a `store:PATH` spec. The
+    /// store's ingest fingerprint follows the same recipe as the DFS
+    /// fingerprint in [`Inner::dataset`], so a stored binding and its
+    /// materialized twin share cache entries.
+    fn mounted_store(&self, path: &str) -> Result<MountedStore, String> {
+        let mut map = self.stores.lock();
+        if let Some(entry) = map.get(path) {
+            return Ok(entry.clone());
+        }
+        let t0 = Instant::now();
+        let stored = mwsj_core::store::StoredDataset::open(std::path::Path::new(path))
+            .map_err(|e| format!("opening store `{path}`: {e}"))?;
+        let entry = (Arc::new(stored), t0.elapsed());
+        map.insert(path.to_string(), entry.clone());
+        Ok(entry)
+    }
 }
 
 /// The TCP service. [`Server::bind`] it, then [`Server::run`] the accept
@@ -359,6 +384,7 @@ impl Server {
         let inner = Arc::new(Inner {
             cache: ResultCache::new(config.cache_bytes),
             datasets: parking_lot::Mutex::new(HashMap::new()),
+            stores: parking_lot::Mutex::new(HashMap::new()),
             admission: Admission::new(config.max_inflight, config.max_queue),
             stats: ServiceStats::default(),
             stop: AtomicBool::new(false),
@@ -553,7 +579,13 @@ fn peer_disconnected(stream: &TcpStream) -> bool {
 /// requester-order permutation.
 struct BoundQuery {
     canonical: Query,
+    /// In-memory relations; empty (never read) when `stores` is bound.
     datasets: Vec<Arc<Vec<Rect>>>,
+    /// Mounted stores in canonical relation order, plus the total open
+    /// wall charged to this query — bound when *every* spec is a
+    /// `store:PATH` whose grid matches the service grid. Such queries
+    /// run shuffle-free off the stores without materializing anything.
+    stores: Option<(Vec<Arc<mwsj_core::store::StoredDataset>>, Duration)>,
     fingerprints: Vec<u64>,
     combined_fingerprint: u64,
     /// Requester position i reads canonical position perm[i].
@@ -581,16 +613,41 @@ fn bind_query(
             ));
         }
     }
-    let mut datasets: Vec<Arc<Vec<Rect>>> = Vec::with_capacity(canonical_names.len());
-    let mut fingerprints: Vec<u64> = Vec::with_capacity(canonical_names.len());
+    let mut specs: Vec<&str> = Vec::with_capacity(canonical_names.len());
     for name in &canonical_names {
         let (_, spec) = data
             .iter()
             .find(|(n, _)| n == name)
             .ok_or_else(|| format!("no data binding for relation `{name}`"))?;
-        let (rects, fp) = inner.dataset(spec)?;
-        datasets.push(rects);
-        fingerprints.push(fp);
+        specs.push(spec);
+    }
+
+    // The shuffle-free path: every binding is a stored dataset that is
+    // co-partitioned with the service grid. Mount them all; fall back to
+    // materializing if any store was ingested on a different grid.
+    let mut datasets: Vec<Arc<Vec<Rect>>> = Vec::new();
+    let mut fingerprints: Vec<u64> = Vec::with_capacity(canonical_names.len());
+    let mut stores = None;
+    if specs.iter().all(|s| s.starts_with("store:")) {
+        let mut mounted = Vec::with_capacity(specs.len());
+        let mut open_wall = Duration::ZERO;
+        for spec in &specs {
+            let path = spec.strip_prefix("store:").expect("checked above");
+            let (store, opened_in) = inner.mounted_store(path)?;
+            open_wall += opened_in;
+            mounted.push(store);
+        }
+        if mounted.iter().all(|s| s.grid() == inner.cluster.grid()) {
+            fingerprints.extend(mounted.iter().map(|s| s.fingerprint()));
+            stores = Some((mounted, open_wall));
+        }
+    }
+    if stores.is_none() {
+        for spec in &specs {
+            let (rects, fp) = inner.dataset(spec)?;
+            datasets.push(rects);
+            fingerprints.push(fp);
+        }
     }
     let combined_fingerprint = {
         let mut h = mwsj_core::mapreduce::Fnv64::new();
@@ -612,6 +669,7 @@ fn bind_query(
     Ok(BoundQuery {
         canonical,
         datasets,
+        stores,
         fingerprints,
         combined_fingerprint,
         perm,
@@ -623,8 +681,14 @@ fn bind_query(
 fn handle_explain(inner: &Arc<Inner>, e: &ExplainRequest) -> String {
     match bind_query(inner, &e.query, &e.data) {
         Ok(bound) => {
-            let refs: Vec<&[Rect]> = bound.datasets.iter().map(|d| d.as_slice()).collect();
-            let plan = inner.cluster.plan(&bound.canonical, &refs);
+            let plan = if let Some((stores, _)) = &bound.stores {
+                let refs: Vec<&mwsj_core::store::StoredDataset> =
+                    stores.iter().map(Arc::as_ref).collect();
+                inner.cluster.plan_stored(&bound.canonical, &refs)
+            } else {
+                let refs: Vec<&[Rect]> = bound.datasets.iter().map(|d| d.as_slice()).collect();
+                inner.cluster.plan(&bound.canonical, &refs)
+            };
             format!(
                 "{{\"ok\":true,\"plan\":{},\"fingerprint\":\"{:016x}\"}}",
                 plan.to_json(),
@@ -650,6 +714,7 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
     let BoundQuery {
         canonical,
         datasets,
+        stores,
         fingerprints,
         combined_fingerprint,
         perm,
@@ -664,11 +729,24 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
     // is deterministic, so resolving here and pinning the worker's run
     // keeps the key and the execution consistent.
     let algorithm = if q.algorithm == Algorithm::Auto {
-        let refs: Vec<&[Rect]> = datasets.iter().map(|d| d.as_slice()).collect();
-        inner.cluster.plan(&canonical, &refs).algorithm
+        if let Some((stores, _)) = &stores {
+            let refs: Vec<&mwsj_core::store::StoredDataset> =
+                stores.iter().map(Arc::as_ref).collect();
+            inner.cluster.plan_stored(&canonical, &refs).algorithm
+        } else {
+            let refs: Vec<&[Rect]> = datasets.iter().map(|d| d.as_slice()).collect();
+            inner.cluster.plan(&canonical, &refs).algorithm
+        }
     } else {
         q.algorithm
     };
+    if algorithm == Algorithm::MapSide && stores.is_none() {
+        return fail(
+            ErrorCode::BadRequest,
+            "the map-side join needs every binding to be a `store:PATH` dataset \
+             co-partitioned with the service grid",
+        );
+    }
 
     let key = CacheKey {
         query: canonical.to_string(),
@@ -721,6 +799,21 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
         let datasets = datasets.clone();
         let q = q.clone();
         thread::spawn(move || -> Result<JoinOutput, JoinError> {
+            if let Some((stores, open_wall)) = &stores {
+                let refs: Vec<&mwsj_core::store::StoredDataset> =
+                    stores.iter().map(Arc::as_ref).collect();
+                let mut run = mwsj_core::StoredRun::new(&canonical, &refs)
+                    .algorithm(algorithm)
+                    .count_only(q.count_only)
+                    .cancel(token)
+                    .priority(q.priority)
+                    .share(q.share)
+                    .open_wall(*open_wall);
+                if let Some(ms) = q.deadline_ms {
+                    run = run.deadline(Duration::from_millis(ms));
+                }
+                return inner.cluster.submit_stored(&run);
+            }
             let refs: Vec<&[Rect]> = datasets.iter().map(|d| d.as_slice()).collect();
             let mut run = JoinRun::new(&canonical, &refs)
                 .algorithm(algorithm)

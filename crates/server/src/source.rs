@@ -27,12 +27,20 @@ pub fn parse_binding(spec: &str) -> Result<(String, Vec<Rect>), String> {
     Ok((name.to_string(), load_source(source)?))
 }
 
-/// Loads a data source: `synthetic:...`, `california:...` or a CSV path.
+/// Loads a data source: `synthetic:...`, `california:...`, `store:...`
+/// or a CSV path. A `store:` source materializes the stored relation into
+/// memory — callers that can join stored datasets in place (the stored
+/// query paths in the server and CLI) should open the store directly and
+/// only fall back to this loader for mixed bindings.
 ///
 /// # Errors
 /// Describes the bad parameter or unreadable file.
 pub fn load_source(source: &str) -> Result<Vec<Rect>, String> {
-    if let Some(params) = source.strip_prefix("synthetic:") {
+    if let Some(path) = source.strip_prefix("store:") {
+        let stored = mwsj_core::store::StoredDataset::open(std::path::Path::new(path))
+            .map_err(|e| format!("opening store `{path}`: {e}"))?;
+        Ok(stored.materialize())
+    } else if let Some(params) = source.strip_prefix("synthetic:") {
         let p = parse_params(params)?;
         let n = param_parsed(&p, "n", 10_000usize)?;
         let seed = param_parsed(&p, "seed", 42u64)?;
@@ -141,6 +149,22 @@ mod tests {
     #[test]
     fn bad_param_reports() {
         assert!(load_source("synthetic:n=abc").is_err());
+    }
+
+    #[test]
+    fn store_spec_materializes() {
+        use mwsj_core::partition::Grid;
+        use mwsj_core::store::StoreBuilder;
+
+        let rects = load_source("synthetic:n=50,seed=9,extent=1000").unwrap();
+        let path = std::env::temp_dir().join("mwsj-source-test.store");
+        let grid = Grid::square((0.0, 1000.0), (0.0, 1000.0), 4);
+        StoreBuilder::new(&grid).write(&rects, &path).unwrap();
+        let spec = format!("store:{}", path.display());
+        let loaded = load_source(&spec).unwrap();
+        assert_eq!(loaded, rects);
+        std::fs::remove_file(&path).ok();
+        assert!(load_source("store:/no/such/file.store").is_err());
     }
 
     #[test]

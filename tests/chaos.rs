@@ -8,7 +8,9 @@
 //! partial output. Only when a task exhausts its attempt budget may a run
 //! fail — and then with a structured [`JoinError`], not a process abort.
 
-use mwsj_core::mapreduce::{CancelToken, FaultPlan, ForcedFault, JobErrorKind, Phase, TraceSink};
+use mwsj_core::mapreduce::{
+    CancelToken, FaultInjector, FaultPlan, ForcedFault, JobErrorKind, Phase, TraceSink,
+};
 use mwsj_core::{reference, Algorithm, Cluster, ClusterConfig, JoinError, JoinRun};
 use mwsj_geom::Rect;
 use mwsj_query::Query;
@@ -394,4 +396,38 @@ fn heavy_speculation_does_not_perturb_results() {
         assert_eq!(c.map_output_records, f.map_output_records);
         assert_eq!(c.reduce_output_records, f.reduce_output_records);
     }
+}
+
+/// The on-disk dataset store shares the engine's at-rest integrity
+/// discipline: driving file tampering with the *same*
+/// [`FaultPlan::with_corruption`] decisions the spill-run repair path
+/// uses, every corrupted store image must be rejected on open — a
+/// map-side join can never silently read flipped bits.
+#[test]
+fn stored_datasets_detect_fault_plan_corruption() {
+    use mwsj_core::store::{StoreBuilder, StoredDataset};
+
+    let rects = synthetic(500, 171);
+    let grid = mwsj_core::partition::Grid::square((0.0, 100_000.0), (0.0, 100_000.0), 8);
+    let bytes = StoreBuilder::new(&grid).build(&rects).expect("ingest");
+    assert!(StoredDataset::from_bytes(&bytes).is_ok());
+
+    // Each word of the image plays the role of a committed spill
+    // partition: the injector's deterministic draw decides which words
+    // rot, exactly as it decides which spill runs rot in the engine.
+    let injector = FaultInjector::new(FaultPlan::none().with_corruption(0.03));
+    let mut corrupted = 0;
+    for w in 0..bytes.len() / 8 {
+        if !injector.should_corrupt_run(1, 0, w, 0) {
+            continue;
+        }
+        corrupted += 1;
+        let mut bad = bytes.clone();
+        bad[w * 8 + (w % 8)] ^= 1 << (w % 8);
+        assert!(
+            StoredDataset::from_bytes(&bad).is_err(),
+            "corrupted word {w} went undetected"
+        );
+    }
+    assert!(corrupted > 0, "corruption plan injected nothing");
 }

@@ -373,6 +373,149 @@ fn kernel_reducers_are_exact_under_fault_injection() {
     }
 }
 
+/// The stored map-side join must be a perfect stand-in for the shuffle
+/// algorithms: identical tuples on every query shape (including
+/// boundary-aligned and degenerate inputs), and — pinned against the
+/// All-Rep golden above — identical logical output counters. Map-side
+/// moves nothing, so its communication counters are *genuinely* zero, but
+/// the tuple count, the designated-cell group count and the per-cell
+/// attribution must match what the shuffle reducers commit.
+#[test]
+fn map_side_matches_shuffle_algorithms_and_golden_counters() {
+    use mwsj_core::store::{StoreBuilder, StoredDataset};
+    use mwsj_core::StoredRun;
+
+    let q = Query::parse("R1 ov R2 and R2 ra(40) R3").unwrap();
+    let r1 = random_relation(250, 10, 30.0);
+    let r2 = random_relation(250, 11, 30.0);
+    let r3 = random_relation(250, 12, 30.0);
+    let cl = cluster(8);
+
+    let builder = StoreBuilder::new(cl.grid());
+    let stores: Vec<StoredDataset> = [&r1, &r2, &r3]
+        .iter()
+        .map(|rel| StoredDataset::from_bytes(&builder.build(rel).unwrap()).unwrap())
+        .collect();
+    let refs: Vec<&StoredDataset> = stores.iter().collect();
+
+    // Auto on stored co-partitioned inputs resolves to map-side.
+    let plan = cl.plan_stored(&q, &refs);
+    assert_eq!(plan.algorithm, Algorithm::MapSide, "{}", plan.to_json());
+
+    let out = cl.submit_stored(&StoredRun::new(&q, &refs)).unwrap();
+    assert_eq!(out.algorithm, Algorithm::MapSide);
+    assert_eq!(out.tuples, reference::in_memory_join(&q, &[&r1, &r2, &r3]));
+    assert_eq!(out.tuples.len(), 152);
+
+    // Counter pin against the All-Rep golden of the same workload: one
+    // synthetic job, zero communication, and the same committed output
+    // count (152). Map-side groups count designated cells that actually
+    // commit tuples (31 of the 64 occupied reducer groups All-Rep sees).
+    assert_eq!(out.report.jobs.len(), 1);
+    let j = &out.report.jobs[0];
+    assert_eq!(j.job_name, "map-side");
+    assert_eq!(j.map_input_records, 750);
+    assert_eq!(j.map_output_records, 0);
+    assert_eq!(j.shuffle_bytes, 0);
+    assert_eq!(j.reduce_input_groups, 31);
+    assert_eq!(j.reduce_output_records, 152);
+
+    // A pinned shuffle algorithm over the same stores materializes and
+    // reproduces its golden counters exactly (byte-identical fallback).
+    let all_rep = cl
+        .submit_stored(&StoredRun::new(&q, &refs).algorithm(Algorithm::AllReplicate))
+        .unwrap();
+    assert_eq!(all_rep.tuples, out.tuples);
+    let j = &all_rep.report.jobs[0];
+    assert_eq!(
+        (
+            j.map_output_records,
+            j.shuffle_bytes,
+            j.reduce_input_groups,
+            j.reduce_output_records
+        ),
+        (14_739, 619_038, 64, 152)
+    );
+
+    // Count-only mode reports the same tuple count without materializing.
+    let counted = cl
+        .submit_stored(&StoredRun::new(&q, &refs).counting())
+        .unwrap();
+    assert_eq!(counted.tuple_count, 152);
+    assert!(counted.tuples.is_empty());
+}
+
+/// Map-side over every equivalence workload shape: stored joins agree
+/// with the reference on boundary-heavy, degenerate and self-join inputs.
+#[test]
+fn map_side_agrees_with_reference_on_adversarial_shapes() {
+    use mwsj_core::store::{StoreBuilder, StoredDataset};
+    use mwsj_core::StoredRun;
+
+    let cases: Vec<(Query, Vec<Vec<Rect>>, u32)> = vec![
+        (
+            Query::parse("R1 ov R2 and R2 ov R3").unwrap(),
+            vec![
+                boundary_relation(150, 80, 125.0),
+                boundary_relation(150, 81, 125.0),
+                boundary_relation(150, 82, 125.0),
+            ],
+            8,
+        ),
+        (
+            Query::parse("R1 ra(62.5) R2 and R2 ra(62.5) R3").unwrap(),
+            vec![
+                boundary_relation(100, 90, 125.0),
+                boundary_relation(100, 91, 125.0),
+                boundary_relation(100, 92, 125.0),
+            ],
+            8,
+        ),
+        (
+            Query::parse("A ov B and B ov C and C ov A").unwrap(),
+            vec![
+                random_relation(150, 60, 60.0),
+                random_relation(150, 61, 60.0),
+                random_relation(150, 62, 60.0),
+            ],
+            4,
+        ),
+        (
+            Query::parse("Ra ov Rb and Rb ov Rc").unwrap(),
+            vec![
+                random_relation(200, 70, 35.0),
+                random_relation(200, 70, 35.0),
+                random_relation(200, 70, 35.0),
+            ],
+            8,
+        ),
+        (
+            Query::parse("R1 ov R2 and R2 ov R3").unwrap(),
+            vec![
+                random_relation(50, 110, 40.0),
+                Vec::new(),
+                random_relation(50, 111, 40.0),
+            ],
+            4,
+        ),
+    ];
+    for (q, rels, side) in cases {
+        let refs_mem: Vec<&[Rect]> = rels.iter().map(Vec::as_slice).collect();
+        let expected = reference::in_memory_join(&q, &refs_mem);
+        let cl = cluster(side);
+        let builder = StoreBuilder::new(cl.grid());
+        let stores: Vec<StoredDataset> = rels
+            .iter()
+            .map(|rel| StoredDataset::from_bytes(&builder.build(rel).unwrap()).unwrap())
+            .collect();
+        let refs: Vec<&StoredDataset> = stores.iter().collect();
+        let out = cl
+            .submit_stored(&StoredRun::new(&q, &refs).algorithm(Algorithm::MapSide))
+            .unwrap();
+        assert_eq!(out.tuples, expected, "{q} on a {side}x{side} grid");
+    }
+}
+
 /// Golden planner decisions over a Table 2-style size sweep. The plan is a
 /// pure function of `(query, relations, grid, reducers)` — fixed sampling
 /// seed, deterministic share enumeration, stable candidate sort — so these
