@@ -1,19 +1,31 @@
-//! Service throughput benchmark — closed-loop clients against an
-//! in-process `mwsj-server`.
+//! Service throughput benchmark — closed-loop clients and an open-loop
+//! arrival process against an in-process `mwsj-server`.
 //!
-//! Boots the query service on a loopback port, then drives it with four
-//! concurrent closed-loop clients, each issuing requests round-robin
-//! from a small query pool. The measurement runs twice: once with the
-//! result cache on (repeats within the pool become hits — the shape a
-//! real multi-tenant deployment sees) and once with the cache disabled
-//! (`mwsj serve --no-cache`), so the engine's own per-query cost is
-//! visible instead of hiding behind a ~94% hit rate. Reports per-request
-//! latency percentiles, aggregate QPS and the cache hit rate for both
-//! phases into `BENCH_service.json`.
+//! **Closed loop**: boots the query service on a loopback port, then
+//! drives it with four concurrent closed-loop clients, each issuing
+//! requests round-robin from a small query pool. The measurement runs
+//! twice: once with the result cache on (repeats within the pool become
+//! hits — the shape a real multi-tenant deployment sees) and once with
+//! the cache disabled (`mwsj serve --no-cache`), so the engine's own
+//! per-query cost is visible instead of hiding behind a ~94% hit rate.
+//!
+//! **Open loop**: a sweep over connection counts (default 256 and 1024;
+//! override with `MWSJ_OPEN_CONNS=N`) holds that many concurrent
+//! connections on the event loop while requests arrive at a fixed
+//! target rate regardless of completions. Latency is measured from each
+//! request's *scheduled* send time, so queueing delay counts — no
+//! coordinated omission — and the tail is reported as p50/p99/p999.
+//! The generator multiplexes several connections per sender thread
+//! (the wrk2 model) and discards its first schedule round as a
+//! calibration window, so generator-side scheduling noise is not
+//! billed to the server.
+//!
+//! All phases append records to `BENCH_service.json`.
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mwsj_bench::BenchLog;
 use mwsj_server::json::{self, Json};
@@ -120,7 +132,7 @@ fn run_phase(cache_enabled: bool) -> String {
 
     format!(
         concat!(
-            "{{\"cache_enabled\":{cache_enabled},",
+            "{{\"mode\":\"closed\",\"cache_enabled\":{cache_enabled},",
             "\"clients\":{clients},\"requests\":{requests},\"pool\":{pool},",
             "\"wall_ms\":{wall:.3},\"qps\":{qps:.3},",
             "\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},",
@@ -142,10 +154,193 @@ fn run_phase(cache_enabled: bool) -> String {
     )
 }
 
+/// Open-loop target arrival rate, spread across all connections.
+const OPEN_TARGET_QPS: f64 = 800.0;
+/// Nominal length of each open-loop measurement window.
+const OPEN_DURATION_SECS: f64 = 3.0;
+/// Connections multiplexed per generator thread. One thread per
+/// connection would make the *load generator* the bottleneck: hundreds
+/// of client threads time-sharing the same cores as the server turn
+/// scheduler queueing into phantom request latency. A small fleet of
+/// sender threads, each owning a slice of the connections (the wrk2
+/// model), keeps the generator honest while the server still holds
+/// every socket concurrently.
+const OPEN_CONNS_PER_THREAD: usize = 8;
+
+/// One open-loop phase: `conns` concurrent connections, requests fired
+/// on a fixed schedule (a per-connection offset plus a fixed interval),
+/// latency clocked from the *scheduled* send time.
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+fn run_open_phase(conns: usize) -> String {
+    let server = Server::bind(ServerConfig::default().with_admission(CLIENTS, 64)).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let server_thread = thread::spawn(move || server.run().expect("server run"));
+
+    // Warm the result cache: the open-loop phase measures the serving
+    // tier (event loop, protocol, dispatch), not engine throughput — a
+    // single core cannot run 800 joins/s, but it can serve 800 hits/s.
+    {
+        let mut c = Client::connect(&addr).expect("connect");
+        for i in 0..POOL {
+            let resp = c.request(&pool_query(i)).expect("warm request");
+            assert!(resp.contains("\"ok\":true"), "warm-up failed: {resp}");
+        }
+    }
+
+    let per_conn = (((OPEN_TARGET_QPS * OPEN_DURATION_SECS) / conns as f64).ceil() as usize).max(1);
+    let interval = conns as f64 / OPEN_TARGET_QPS;
+    let stagger = 1.0 / OPEN_TARGET_QPS;
+    let threads = conns.div_ceil(OPEN_CONNS_PER_THREAD);
+    let barrier = Barrier::new(threads + 1);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let errors = AtomicUsize::new(0);
+    // The arrival schedule's epoch: set by the main thread immediately
+    // before it releases the barrier, so slot 0 is "now" for every
+    // connection — not some time back during the connect phase.
+    let epoch: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+
+    thread::scope(|scope| {
+        for g in 0..threads {
+            let addr = &addr;
+            let barrier = &barrier;
+            let latencies = &latencies;
+            let errors = &errors;
+            let epoch = &epoch;
+            thread::Builder::new()
+                .stack_size(96 * 1024)
+                .spawn_scoped(scope, move || {
+                    let first = g * OPEN_CONNS_PER_THREAD;
+                    let group = OPEN_CONNS_PER_THREAD.min(conns - first);
+                    // Connect before the barrier so the measurement sees
+                    // an established fleet, not a connect storm, and
+                    // prove each connection with one unmeasured request:
+                    // connect() alone can succeed while the listener's
+                    // accept queue is saturated, which would leave the
+                    // kernel's ~1s SYN-ACK retransmit inside the first
+                    // measured round.
+                    let mut clients: Vec<Option<Client>> = (0..group)
+                        .map(|k| {
+                            for _ in 0..20 {
+                                if let Ok(mut c) = Client::connect(addr) {
+                                    if c.request(&pool_query((first + k) % POOL)).is_ok() {
+                                        return Some(c);
+                                    }
+                                }
+                                thread::sleep(Duration::from_millis(25));
+                            }
+                            None
+                        })
+                        .collect();
+                    barrier.wait();
+                    let t0 = *epoch.get().expect("epoch set before release");
+                    let mut local = Vec::with_capacity(group * per_conn);
+                    // Within a group the schedule stays monotonic: the
+                    // k-loop walks one stagger apart, the r-loop one
+                    // (larger) interval apart. Round 0 is the
+                    // generator's calibration window — the thread fleet
+                    // settling onto its sleep cadence after the barrier
+                    // — and is excluded from the recorded latencies,
+                    // the same convention as wrk2's calibration phase.
+                    for r in 0..=per_conn {
+                        for (k, slot) in clients.iter_mut().enumerate() {
+                            let id = first + k;
+                            let Some(c) = slot.as_mut() else {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            };
+                            let scheduled = t0
+                                + Duration::from_secs_f64(
+                                    id as f64 * stagger + r as f64 * interval,
+                                );
+                            if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                                thread::sleep(wait);
+                            }
+                            let line = pool_query((id + r) % POOL);
+                            match c.request(&line) {
+                                // Open loop: latency from the scheduled
+                                // send, so server-side queueing is
+                                // charged in full.
+                                Ok(resp) if resp.contains("\"ok\":true") => {
+                                    if r > 0 {
+                                        local.push(scheduled.elapsed().as_secs_f64() * 1e3);
+                                    }
+                                }
+                                _ => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                    *slot = None;
+                                }
+                            }
+                        }
+                    }
+                    latencies.lock().expect("latencies").extend(local);
+                })
+                .expect("spawn open-loop client");
+        }
+        epoch.set(Instant::now()).expect("epoch set once");
+        barrier.wait();
+    });
+    // The measured window excludes the calibration round's interval.
+    let wall = epoch
+        .get()
+        .expect("epoch")
+        .elapsed()
+        .saturating_sub(Duration::from_secs_f64(interval));
+
+    let mut sorted = latencies.into_inner().expect("latencies");
+    sorted.sort_by(f64::total_cmp);
+    let total = sorted.len();
+    let errs = errors.load(Ordering::Relaxed);
+    let qps = total as f64 / wall.as_secs_f64();
+
+    let mut c = Client::connect(&addr).expect("connect");
+    c.request("{\"op\":\"shutdown\"}").expect("shutdown");
+    server_thread.join().expect("server thread");
+
+    let p50 = percentile(&sorted, 0.50);
+    let p99 = percentile(&sorted, 0.99);
+    let p999 = percentile(&sorted, 0.999);
+    eprintln!(
+        "service   : [open {conns} conns] {total} requests at target {OPEN_TARGET_QPS:.0}/s \
+         in {wall:.2?} ({qps:.1} QPS achieved, p50 {p50:.2} ms, p99 {p99:.2} ms, \
+         p999 {p999:.2} ms, {errs} errors)"
+    );
+
+    format!(
+        concat!(
+            "{{\"mode\":\"open\",\"conns\":{conns},",
+            "\"target_qps\":{target:.1},\"achieved_qps\":{qps:.3},",
+            "\"requests\":{total},\"errors\":{errs},\"wall_ms\":{wall:.3},",
+            "\"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\"p999_ms\":{p999:.3}}}"
+        ),
+        conns = conns,
+        target = OPEN_TARGET_QPS,
+        qps = qps,
+        total = total,
+        errs = errs,
+        wall = wall.as_secs_f64() * 1e3,
+        p50 = p50,
+        p99 = p99,
+        p999 = p999,
+    )
+}
+
 fn main() {
     let mut log = BenchLog::new("service");
     for cache_enabled in [true, false] {
         log.push_record(run_phase(cache_enabled));
+    }
+    // Connection sweep for the open-loop phases; MWSJ_OPEN_CONNS pins a
+    // single count (CI uses 1024 as the high-connection smoke).
+    let sweep: Vec<usize> = match std::env::var("MWSJ_OPEN_CONNS") {
+        Ok(v) => vec![v.parse().expect("MWSJ_OPEN_CONNS must be a number")],
+        Err(_) => vec![256, 1024],
+    };
+    for conns in sweep {
+        log.push_record(run_open_phase(conns));
     }
     log.write().expect("write bench log");
 }

@@ -110,7 +110,7 @@ EXPLAIN  (print the optimizer's costed plan as JSON, without executing)
   --grid N            reducer grid side for a local plan (default 8)
   --connect HOST:PORT ask a running `mwsj serve` instead (uses its grid)
 
-SERVE OPTIONS  (a concurrent query service speaking line-delimited JSON)
+SERVE OPTIONS  (a concurrent query service; line-JSON or binary framing)
   --addr HOST:PORT    listen address (default 127.0.0.1:7878; :0 picks a port)
   --slots N           engine worker slots shared by all queries (default auto)
   --cache-bytes N     result-cache budget in bytes (default 16 MiB; 0 disables)
@@ -125,9 +125,17 @@ SERVE OPTIONS  (a concurrent query service speaking line-delimited JSON)
   --net-fault-seed N  seed for the deterministic network faults (default 0)
   --drain-deadline-ms N  on shutdown, let in-flight queries finish for up
                       to N ms before cancelling them (default 5000)
+  --shards N          shard stored map-side queries across N engine
+                      instances, each owning a disjoint seed-cell range;
+                      results stay byte-identical to --shards 1 (default 1)
+  --proto auto|line   wire protocol per connection: auto sniffs the first
+                      byte (0xB1 opens length-prefixed binary framing,
+                      `{` stays line JSON); line pins line JSON (default auto)
 
 QUERY OPTIONS  (submit to a running `mwsj serve`)
   --connect HOST:PORT server address (required)
+  --proto line|binary|auto  client wire protocol; auto probes for binary
+                      and falls back to line JSON (default line)
   --algorithm NAME    as in run (default auto)
   --count-only        count tuples without materializing them
   --deadline-ms N     cancel the run past this wall-clock budget
@@ -246,6 +254,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "net-fault-rate",
         "net-fault-seed",
         "drain-deadline-ms",
+        "shards",
+        "proto",
     ])?;
     if args.flag("no-cache") && args.get("cache-bytes")?.is_some() {
         return Err("--no-cache and --cache-bytes are mutually exclusive".into());
@@ -263,6 +273,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         max_queue: args.get_parsed_or("max-queue", 16usize)?,
         grid: args.get_parsed_or("grid", 8u32)?,
         extent: args.get_parsed_or("extent", 100_000.0f64)?,
+        shards: args.get_parsed_or("shards", 1u32)?.max(1),
+        proto: match args.get("proto")?.unwrap_or("auto") {
+            "auto" => mwsj_server::ProtoPolicy::Auto,
+            "line" => mwsj_server::ProtoPolicy::LineOnly,
+            other => return Err(format!("--proto must be `auto` or `line`, got `{other}`")),
+        },
         ..mwsj_server::ServerConfig::default()
     };
     let net_fault_rate: f64 = args.get_parsed_or("net-fault-rate", 0.0f64)?;
@@ -302,10 +318,22 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         "share",
         "stats",
         "shutdown",
+        "proto",
     ])?;
     let addr = args.require("connect")?;
-    let mut client =
-        mwsj_server::Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let proto = match args.get("proto")?.unwrap_or("line") {
+        "line" => mwsj_server::Proto::Line,
+        "binary" => mwsj_server::Proto::Binary,
+        "auto" => mwsj_server::Proto::Auto,
+        other => {
+            return Err(format!(
+                "--proto must be `line`, `binary` or `auto`, got `{other}`"
+            ))
+        }
+    };
+    let client_config = mwsj_server::ClientConfig::default().with_proto(proto);
+    let mut client = mwsj_server::Client::with_config(addr, client_config)
+        .map_err(|e| format!("connecting {addr}: {e}"))?;
 
     if args.flag("stats") || args.flag("shutdown") {
         let op = if args.flag("shutdown") {

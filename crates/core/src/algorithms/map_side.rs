@@ -38,12 +38,27 @@ use mwsj_store::StoredDataset;
 use super::{normalize_tuples, tuple_ids, AlgoCtx, Algorithm};
 use crate::{JoinError, JoinOutput, ReplicationStats};
 
-pub(crate) fn run(
+/// The raw output of one (possibly range-scoped) map-side execution:
+/// unnormalized tuples, the per-designated-cell tally, and the join
+/// wall time. [`run`] finalizes these into a [`JoinOutput`]; sharded
+/// serving gathers several of them first (see [`crate::shards`]).
+pub(crate) struct Partial {
+    pub tuples: Vec<Vec<u32>>,
+    pub tally: Vec<u64>,
+    pub join_wall: Duration,
+}
+
+/// Runs the map-side kernel, seeding only from cells in `seed_range`
+/// (`None` seeds from every cell). Probes always traverse the whole
+/// forest — the scope restricts which tuples are *enumerated*, not
+/// which rectangles participate, so disjoint seed ranges partition the
+/// output exactly.
+pub(crate) fn execute(
     ctx: &AlgoCtx<'_>,
     query: &Query,
     stores: &[&StoredDataset],
-    open_wall: Duration,
-) -> Result<JoinOutput, JoinError> {
+    seed_range: Option<std::ops::Range<u32>>,
+) -> Result<Partial, JoinError> {
     let grid = ctx.grid;
     let num_cells = grid.num_cells() as usize;
     let count_only = ctx.count_only;
@@ -100,8 +115,13 @@ pub(crate) fn run(
         .collect();
 
     let kernel = JoinKernel::new(query);
+    let in_scope = |c: usize| {
+        seed_range
+            .as_ref()
+            .is_none_or(|r| (c as u64) >= u64::from(r.start) && (c as u64) < u64::from(r.end))
+    };
     let cells: Vec<usize> = (0..num_cells)
-        .filter(|&c| !forests[start][c].is_empty())
+        .filter(|&c| in_scope(c) && !forests[start][c].is_empty())
         .collect();
     let workers = std::thread::available_parallelism()
         .map_or(4, std::num::NonZeroUsize::get)
@@ -210,16 +230,41 @@ pub(crate) fn run(
     let join_wall = join_started.elapsed();
 
     if ctx.cancel.is_cancelled() {
-        return Err(JoinError::Job(JobError {
-            job: "map-side".to_string(),
-            phase: Phase::Reduce,
-            task: 0,
-            attempts: 1,
-            kind: JobErrorKind::Cancelled {
-                deadline_exceeded: ctx.cancel.cancelled_by_deadline(),
-            },
-        }));
+        return Err(cancelled_error(&ctx.cancel));
     }
+
+    Ok(Partial {
+        tuples,
+        tally,
+        join_wall,
+    })
+}
+
+/// The typed cancellation error every map-side path reports.
+pub(crate) fn cancelled_error(cancel: &mwsj_mapreduce::CancelToken) -> JoinError {
+    JoinError::Job(JobError {
+        job: "map-side".to_string(),
+        phase: Phase::Reduce,
+        task: 0,
+        attempts: 1,
+        kind: JobErrorKind::Cancelled {
+            deadline_exceeded: cancel.cancelled_by_deadline(),
+        },
+    })
+}
+
+pub(crate) fn run(
+    ctx: &AlgoCtx<'_>,
+    query: &Query,
+    stores: &[&StoredDataset],
+    open_wall: Duration,
+) -> Result<JoinOutput, JoinError> {
+    let Partial {
+        tuples,
+        tally,
+        join_wall,
+    } = execute(ctx, query, stores, None)?;
+    let count_only = ctx.count_only;
 
     let tuple_count: u64 = tally.iter().sum();
     let groups = tally.iter().filter(|&&t| t > 0).count() as u64;

@@ -325,6 +325,53 @@ impl Cluster {
         )
     }
 
+    /// Runs one shard's slice of a map-side join over stored datasets:
+    /// seeds only from start-relation rectangles homed in `seed_cells`,
+    /// probes everything, and returns the raw tuples and per-cell tally
+    /// for [`crate::shards::gather`] to merge.
+    ///
+    /// Unlike [`Cluster::submit_stored`] this never arms a deadline on
+    /// the run's cancel token — the scatter caller owns the token and
+    /// arms it once across all shards. The algorithm is always
+    /// [`Algorithm::MapSide`]; `run.algorithm` is ignored.
+    ///
+    /// # Errors
+    /// Only by cancellation or deadline on the shared token.
+    ///
+    /// # Panics
+    /// Panics on caller errors: store count not matching the query, or a
+    /// store ingested with a different grid than this cluster's.
+    pub fn submit_stored_partial(
+        &self,
+        run: &StoredRun<'_>,
+        seed_cells: std::ops::Range<u32>,
+    ) -> Result<crate::shards::ShardPartial, JoinError> {
+        self.check_stored(run.query, run.stores);
+        let ctx = AlgoCtx {
+            engine: &self.engine,
+            grid: &self.grid,
+            num_reducers: self.num_reducers,
+            count_only: run.count_only,
+            trace: &run.trace,
+            cancel: run.cancel.clone(),
+            hub: mwsj_mapreduce::MetricsHub::new(),
+            priority: run.priority,
+            share: run.share,
+            input_fingerprint: combined_fingerprint(run.stores),
+            shares: None,
+            dfs_base: (
+                self.engine.dfs.read_bytes(),
+                self.engine.dfs.write_bytes(),
+                self.engine.dfs.transient_read_failures(),
+            ),
+        };
+        let partial = algorithms::map_side::execute(&ctx, run.query, run.stores, Some(seed_cells))?;
+        Ok(crate::shards::ShardPartial {
+            tuples: partial.tuples,
+            tally: partial.tally,
+        })
+    }
+
     /// The shared caller-error checks of the stored entry points.
     fn check_stored(&self, query: &Query, stores: &[&StoredDataset]) {
         assert_eq!(

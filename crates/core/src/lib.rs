@@ -54,6 +54,7 @@ pub mod reference;
 pub mod refine;
 mod result;
 mod run_config;
+pub mod shards;
 
 pub use algorithms::Algorithm;
 pub use cluster::{Cluster, ClusterConfig};

@@ -1,0 +1,303 @@
+//! Cell-range planning and counter gathering for sharded serving.
+//!
+//! The serving tier can split a stored-dataset map-side join across N
+//! engine shards: each shard owns a disjoint, contiguous range of grid
+//! cells and enumerates exactly the tuples whose *start-relation seed*
+//! is homed in its range (probes still traverse every cell tree, so no
+//! shard needs another shard's data to finish its slice). Because the
+//! map-side join already attributes every tuple to its §6.2
+//! designated cell for accounting, the per-cell tallies of the shards
+//! are disjoint and sum element-wise — gathering reconstructs the
+//! *identical* logical counters a single-node run reports:
+//!
+//! * `reduce_input_groups` — non-empty designated cells of the summed
+//!   tally;
+//! * `max_partition_records` — max of the summed tally (a designated
+//!   cell's tuples all come from the one shard owning their seeds, so
+//!   the sum preserves per-cell maxima);
+//! * `tuple_count` / `reduce_output_records` — tally sums;
+//! * tuples — the concatenation, normalized exactly like the
+//!   single-node run (disjoint seeding makes this a pure merge).
+//!
+//! Only wall-clock fields (`reduce_wall`, `total_wall`,
+//! `index_open_wall`) are physical rather than logical; the gatherer
+//! stamps them from its own clock, and the service's counter JSON
+//! never includes them — which is what "sharded results are
+//! byte-identical to single-node" means and what the shard smoke gate
+//! asserts.
+
+use std::ops::Range;
+use std::time::Duration;
+
+use mwsj_mapreduce::{JobMetrics, MetricsReport};
+
+use crate::algorithms::{normalize_tuples, Algorithm};
+use crate::{JoinOutput, ReplicationStats};
+
+/// Splits `num_cells` grid cells into at most `shards` disjoint,
+/// contiguous, near-equal ranges covering `0..num_cells`.
+///
+/// Degenerate inputs clamp: zero shards plans like one, and more
+/// shards than cells yields one range per cell (never an empty range).
+#[must_use]
+pub fn seed_cell_ranges(num_cells: u32, shards: u32) -> Vec<Range<u32>> {
+    if num_cells == 0 {
+        #[allow(clippy::single_range_in_vec_init)] // one empty range, not a Vec of 0
+        return vec![0..0];
+    }
+    let shards = shards.clamp(1, num_cells);
+    let base = num_cells / shards;
+    let extra = num_cells % shards;
+    let mut ranges = Vec::with_capacity(shards as usize);
+    let mut at = 0;
+    for i in 0..shards {
+        let len = base + u32::from(i < extra);
+        ranges.push(at..at + len);
+        at += len;
+    }
+    ranges
+}
+
+/// The combined input fingerprint of a run's stored inputs — the same
+/// recipe [`crate::Cluster::submit_stored`] stamps into its metrics, so
+/// a gathering front-end can fill [`GatherSpec::input_fingerprint`]
+/// without submitting a full run.
+#[must_use]
+pub fn combined_fingerprint(stores: &[&mwsj_store::StoredDataset]) -> u64 {
+    crate::cluster::combined_fingerprint(stores)
+}
+
+/// One shard's slice of a map-side run: the tuples seeded from its
+/// cell range and the per-designated-cell tally they produced.
+#[derive(Debug, Default)]
+pub struct ShardPartial {
+    /// Unnormalized output tuples (empty in count-only mode).
+    pub tuples: Vec<Vec<u32>>,
+    /// Per-designated-cell tuple counts, length `num_cells`.
+    pub tally: Vec<u64>,
+}
+
+/// The run-level context [`gather`] needs to reconstruct the exact
+/// single-node [`JobMetrics`].
+#[derive(Debug, Clone)]
+pub struct GatherSpec {
+    /// Total records across every bound store (`map_input_records`).
+    pub record_total: u64,
+    /// Whether the run was count-only.
+    pub count_only: bool,
+    /// Summed index-open wall across the bindings.
+    pub open_wall: Duration,
+    /// Wall time of the scatter/gather join phase.
+    pub join_wall: Duration,
+    /// The combined input fingerprint of the bound stores.
+    pub input_fingerprint: u64,
+}
+
+/// Merges shard partials into the [`JoinOutput`] a single-node
+/// map-side run over the same stores would produce (logical fields
+/// byte-identical; wall-clock fields stamped from `spec`).
+#[must_use]
+pub fn gather(partials: Vec<ShardPartial>, spec: &GatherSpec) -> JoinOutput {
+    let num_cells = partials.iter().map(|p| p.tally.len()).max().unwrap_or(0);
+    let mut tally = vec![0u64; num_cells];
+    let mut tuples: Vec<Vec<u32>> = Vec::new();
+    for p in partials {
+        for (total, part) in tally.iter_mut().zip(p.tally) {
+            *total += part;
+        }
+        tuples.extend(p.tuples);
+    }
+    let tuple_count: u64 = tally.iter().sum();
+    let groups = tally.iter().filter(|&&t| t > 0).count() as u64;
+    let metrics = JobMetrics {
+        job_name: "map-side".to_string(),
+        map_input_records: spec.record_total,
+        reduce_input_groups: groups,
+        max_partition_records: tally.iter().copied().max().unwrap_or(0),
+        reduce_output_records: if spec.count_only { groups } else { tuple_count },
+        reduce_wall: spec.join_wall,
+        total_wall: spec.open_wall + spec.join_wall,
+        index_open_wall: spec.open_wall,
+        input_fingerprint: spec.input_fingerprint,
+        ..JobMetrics::default()
+    };
+    let tuples = if spec.count_only {
+        Vec::new()
+    } else {
+        normalize_tuples(tuples)
+    };
+    JoinOutput {
+        algorithm: Algorithm::MapSide,
+        tuples,
+        tuple_count,
+        stats: ReplicationStats::default(),
+        report: MetricsReport {
+            jobs: vec![metrics],
+            dfs_read_bytes: 0,
+            dfs_write_bytes: 0,
+            dfs_transient_read_failures: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_the_cells() {
+        for (cells, shards) in [(64, 4), (64, 5), (7, 3), (1, 8), (16, 16), (9, 1), (5, 0)] {
+            let ranges = seed_cell_ranges(cells, shards);
+            assert!(!ranges.is_empty());
+            let mut at = 0;
+            for r in &ranges {
+                assert_eq!(r.start, at, "{cells} cells / {shards} shards");
+                assert!(r.end > r.start, "no empty ranges");
+                at = r.end;
+            }
+            assert_eq!(at, cells);
+            let spread: Vec<u32> = ranges.iter().map(|r| r.end - r.start).collect();
+            let (min, max) = (
+                *spread.iter().min().expect("nonempty"),
+                *spread.iter().max().expect("nonempty"),
+            );
+            assert!(max - min <= 1, "near-equal split: {spread:?}");
+        }
+    }
+
+    #[test]
+    fn zero_cells_degenerate_to_one_empty_range() {
+        assert_eq!(seed_cell_ranges(0, 4), vec![0..0]);
+    }
+
+    #[test]
+    fn gather_sums_tallies_and_normalizes_tuples() {
+        let partials = vec![
+            ShardPartial {
+                tuples: vec![vec![2, 0], vec![1, 1]],
+                tally: vec![1, 1, 0, 0],
+            },
+            ShardPartial {
+                tuples: vec![vec![0, 0]],
+                tally: vec![0, 0, 1, 0],
+            },
+        ];
+        let spec = GatherSpec {
+            record_total: 6,
+            count_only: false,
+            open_wall: Duration::from_millis(2),
+            join_wall: Duration::from_millis(5),
+            input_fingerprint: 0xABCD,
+        };
+        let out = gather(partials, &spec);
+        assert_eq!(out.algorithm, Algorithm::MapSide);
+        assert_eq!(out.tuple_count, 3);
+        assert_eq!(out.tuples, vec![vec![0, 0], vec![1, 1], vec![2, 0]]);
+        let job = &out.report.jobs[0];
+        assert_eq!(job.job_name, "map-side");
+        assert_eq!(job.map_input_records, 6);
+        assert_eq!(job.reduce_input_groups, 3);
+        assert_eq!(job.max_partition_records, 1);
+        assert_eq!(job.reduce_output_records, 3);
+        assert_eq!(job.input_fingerprint, 0xABCD);
+    }
+
+    #[test]
+    fn sharded_gather_matches_the_single_node_run() {
+        use crate::{Algorithm, Cluster, ClusterConfig, StoredRun};
+        use mwsj_geom::Rect;
+        use mwsj_query::Query;
+        use mwsj_store::{StoreBuilder, StoredDataset};
+
+        let cluster = Cluster::new(ClusterConfig::for_space((0.0, 100.0), (0.0, 100.0), 6));
+        let grid = cluster.grid().clone();
+        let mut state = 0x9E37_79B9_u64;
+        let mut rects = |n: usize, lmax: f64| -> Vec<Rect> {
+            (0..n)
+                .map(|_| {
+                    let mut next = || {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        (state >> 11) as f64 / (1u64 << 53) as f64
+                    };
+                    let x = next() * (100.0 - lmax);
+                    let y = next() * (100.0 - lmax) + lmax;
+                    Rect::new(x, y, next() * lmax + 0.01, next() * lmax + 0.01)
+                })
+                .collect()
+        };
+        let bytes: Vec<Vec<u8>> = [rects(160, 8.0), rects(120, 6.0), rects(90, 7.0)]
+            .iter()
+            .map(|r| StoreBuilder::new(&grid).build(r).expect("build store"))
+            .collect();
+        let stores: Vec<StoredDataset> = bytes
+            .iter()
+            .map(|b| StoredDataset::from_bytes(b).expect("open store"))
+            .collect();
+        let refs: Vec<&StoredDataset> = stores.iter().collect();
+        let query = Query::parse("a ov b and b within 4 of c").expect("query");
+
+        for count_only in [false, true] {
+            let single = cluster
+                .submit_stored(
+                    &StoredRun::new(&query, &refs)
+                        .algorithm(Algorithm::MapSide)
+                        .count_only(count_only),
+                )
+                .expect("single-node run");
+
+            let partials: Vec<ShardPartial> = seed_cell_ranges(grid.num_cells(), 4)
+                .into_iter()
+                .map(|range| {
+                    cluster
+                        .submit_stored_partial(
+                            &StoredRun::new(&query, &refs)
+                                .algorithm(Algorithm::MapSide)
+                                .count_only(count_only),
+                            range,
+                        )
+                        .expect("shard run")
+                })
+                .collect();
+            let spec = GatherSpec {
+                record_total: refs.iter().map(|s| s.record_count()).sum(),
+                count_only,
+                open_wall: Duration::ZERO,
+                join_wall: Duration::ZERO,
+                input_fingerprint: combined_fingerprint(&refs),
+            };
+            let gathered = gather(partials, &spec);
+
+            assert!(single.tuple_count > 0, "test data should join");
+            assert_eq!(gathered.tuple_count, single.tuple_count);
+            assert_eq!(gathered.tuples, single.tuples);
+            let (g, s) = (&gathered.report.jobs[0], &single.report.jobs[0]);
+            assert_eq!(g.job_name, s.job_name);
+            assert_eq!(g.map_input_records, s.map_input_records);
+            assert_eq!(g.reduce_input_groups, s.reduce_input_groups);
+            assert_eq!(g.max_partition_records, s.max_partition_records);
+            assert_eq!(g.reduce_output_records, s.reduce_output_records);
+            assert_eq!(g.input_fingerprint, s.input_fingerprint);
+        }
+    }
+
+    #[test]
+    fn count_only_gather_reports_groups_not_tuples() {
+        let partials = vec![ShardPartial {
+            tuples: Vec::new(),
+            tally: vec![4, 0, 2, 0],
+        }];
+        let spec = GatherSpec {
+            record_total: 10,
+            count_only: true,
+            open_wall: Duration::ZERO,
+            join_wall: Duration::ZERO,
+            input_fingerprint: 1,
+        };
+        let out = gather(partials, &spec);
+        assert_eq!(out.tuple_count, 6);
+        assert!(out.tuples.is_empty());
+        assert_eq!(out.report.jobs[0].reduce_output_records, 2);
+    }
+}

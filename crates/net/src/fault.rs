@@ -1,17 +1,30 @@
 //! Deterministic network-fault injection for the serving tier.
 //!
-//! [`FaultyStream`] wraps one connection's socket and applies the
-//! decisions of a [`NetFaultPlan`]:
-//! abrupt disconnects, torn frames, flipped bytes, mid-operation stalls
-//! and slow-loris reads. Two deliberate asymmetries keep the injected
+//! Two adapters apply the decisions of a
+//! [`mwsj_mapreduce::NetFaultPlan`] — abrupt disconnects,
+//! torn frames, flipped bytes, mid-operation stalls and slow-loris
+//! reads — to a connection:
+//!
+//! * [`FaultyStream`] wraps a **blocking** socket and sleeps through
+//!   stalls in place (the original thread-per-connection adapter, still
+//!   used by blocking clients and tests).
+//! * [`FaultGate`] is the **nonblocking** counterpart for the event
+//!   loop: it only *decides* — the connection state machine enacts the
+//!   decision (deferring a stalled read via the timer wheel instead of
+//!   sleeping, tearing its own buffers, latching death).
+//!
+//! Both draw from the same (connection, operation) id scheme — reads
+//! and writes count in separate id spaces — so a pinned seed yields the
+//! same fault pattern for the same traffic shape regardless of which
+//! adapter carries it. Two deliberate asymmetries keep the injected
 //! chaos honest:
 //!
 //! * **Byte corruption is inbound-only.** A flipped byte in a *request*
-//!   exercises the server's parse/validate error paths; a flipped byte in
-//!   a *response* would make the server lie to a healthy client, which no
-//!   amount of server-side robustness could detect. Survivors therefore
-//!   always receive byte-correct responses — the invariant the chaos
-//!   suite asserts.
+//!   exercises the server's parse/validate error paths; a flipped byte
+//!   in a *response* would make the server lie to a healthy client,
+//!   which no amount of server-side robustness could detect. Survivors
+//!   therefore always receive byte-correct responses — the invariant
+//!   the chaos suite asserts.
 //! * **Decisions are per (connection, operation).** Connection ids come
 //!   from the accept sequence and operation ids from per-direction
 //!   counters, so a pinned seed yields the same fault pattern for the
@@ -23,11 +36,72 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use mwsj_core::mapreduce::{NetFault, NetFaultPlan};
+use mwsj_mapreduce::{NetFault, NetFaultPlan};
 
 /// Read operations draw from a different id space than writes, so the
 /// two directions' fault decisions are independent.
 const READ_OP_BIT: u64 = 1 << 63;
+
+/// Nonblocking fault decider for one event-loop connection.
+///
+/// Each read or flush attempt asks for one decision; the returned
+/// operation id feeds [`fault_point`](FaultGate::fault_point) when the
+/// fault needs a position (torn prefix length, corrupt byte index).
+/// With no plan every decision is [`NetFault::None`].
+pub struct FaultGate {
+    plan: Option<NetFaultPlan>,
+    conn: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl FaultGate {
+    /// Creates a gate for connection `conn` (accept sequence number).
+    #[must_use]
+    pub fn new(plan: Option<NetFaultPlan>, conn: u64) -> FaultGate {
+        FaultGate {
+            plan,
+            conn,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// A gate that never injects anything.
+    #[must_use]
+    pub fn transparent() -> FaultGate {
+        FaultGate::new(None, 0)
+    }
+
+    /// Draws the next read-side decision and its operation id.
+    pub fn next_read(&mut self) -> (u64, NetFault) {
+        let op = READ_OP_BIT | self.reads;
+        self.reads += 1;
+        (op, self.decide(op))
+    }
+
+    /// Draws the next write-side decision and its operation id.
+    pub fn next_write(&mut self) -> (u64, NetFault) {
+        let op = self.writes;
+        self.writes += 1;
+        (op, self.decide(op))
+    }
+
+    fn decide(&self, op: u64) -> NetFault {
+        self.plan
+            .as_ref()
+            .map_or(NetFault::None, |plan| plan.decide(self.conn, op))
+    }
+
+    /// The deterministic byte position for operation `op` within a
+    /// buffer of length `len` (0 when no plan is armed).
+    #[must_use]
+    pub fn fault_point(&self, op: u64, len: usize) -> usize {
+        self.plan
+            .as_ref()
+            .map_or(0, |plan| plan.fault_point(self.conn, op, len))
+    }
+}
 
 /// Per-connection fault state shared by the read and write halves.
 struct ConnFaults {
@@ -40,7 +114,8 @@ struct ConnFaults {
     dead: AtomicBool,
 }
 
-/// One direction of a fault-wrapped connection ([`Read`] + [`Write`]).
+/// One direction of a fault-wrapped blocking connection
+/// ([`Read`] + [`Write`]).
 pub struct FaultyStream {
     stream: TcpStream,
     state: Arc<ConnFaults>,
@@ -273,5 +348,31 @@ mod tests {
             let b: Vec<NetFault> = (0..32).map(|op| plan.decide(conn, op)).collect();
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn gate_and_stream_draw_identical_decisions() {
+        let plan = NetFaultPlan::chaos(77, 0.5);
+        let mut gate = FaultGate::new(Some(plan.clone()), 9);
+        for i in 0..16u64 {
+            let (op, fault) = gate.next_read();
+            assert_eq!(op, READ_OP_BIT | i);
+            assert_eq!(fault, plan.decide(9, op));
+        }
+        for i in 0..16u64 {
+            let (op, fault) = gate.next_write();
+            assert_eq!(op, i);
+            assert_eq!(fault, plan.decide(9, op));
+        }
+    }
+
+    #[test]
+    fn transparent_gate_never_faults() {
+        let mut gate = FaultGate::transparent();
+        for _ in 0..64 {
+            assert_eq!(gate.next_read().1, NetFault::None);
+            assert_eq!(gate.next_write().1, NetFault::None);
+        }
+        assert_eq!(gate.fault_point(0, 100), 0);
     }
 }

@@ -1,0 +1,41 @@
+//! Event-loop networking for the mwsj serving tier.
+//!
+//! The serving tier (PR 6) began as thread-per-connection blocking TCP.
+//! This crate supplies the primitives that turn it into a readiness
+//! event loop able to hold thousands of connections on a handful of
+//! threads:
+//!
+//! * [`poll`] — level-triggered readiness polling: `epoll` on Linux,
+//!   `poll(2)` elsewhere on Unix, with the raw syscalls confined to one
+//!   small `#[allow(unsafe_code)]` module each, plus a cross-thread
+//!   [`poll::Waker`] built on a loopback socket pair.
+//! * [`frame`] — protocol sniffing (first byte decides line-JSON vs
+//!   binary) and the length-prefixed binary frame codec with typed,
+//!   never-panicking decode errors.
+//! * [`conn`] — per-connection state machines (read/write buffering,
+//!   protocol negotiation, fault application) and the [`conn::Sequencer`]
+//!   that keeps pipelined responses in request order.
+//! * [`timer`] — a hashed timer wheel for idle eviction, injected-stall
+//!   resumption and slow-loris pacing.
+//! * [`fault`] — deterministic network-fault injection: the blocking
+//!   [`fault::FaultyStream`] adapter and the event-loop
+//!   [`fault::FaultGate`] decider, driven by the same
+//!   [`mwsj_mapreduce::NetFaultPlan`] decisions.
+//!
+//! Everything here is transport-only: no JSON, no query semantics, no
+//! engine types — the server crate composes these into its service.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod fault;
+pub mod frame;
+pub mod poll;
+pub mod timer;
+
+pub use conn::{Connection, FlushOutcome, ProtoError, ReadOutcome, Sequencer};
+pub use fault::{FaultGate, FaultyStream};
+pub use frame::{FrameError, WireMode, FRAME_HEADER, FRAME_MAGIC};
+pub use poll::{Event, Interest, Poller, Waker};
+pub use timer::TimerWheel;

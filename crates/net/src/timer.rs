@@ -1,0 +1,172 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The serving tier schedules thousands of cheap, coarse timers — idle
+//! eviction, stall resumption, slow-loris pacing — where a `BinaryHeap`
+//! of exact deadlines would be overkill. The wheel buckets deadlines
+//! into fixed-granularity slots around a ring; inserting and firing are
+//! O(1) amortized, and each [`advance`](TimerWheel::advance) walks only
+//! the slots the clock actually crossed.
+//!
+//! Deadlines beyond one revolution carry a `rounds` counter and ride
+//! the ring multiple times. Fires are *hints*, not authority: a timer
+//! may fire up to one granularity early or late, so handlers re-check
+//! the real condition (actual idle time, actual stall deadline) against
+//! the clock. Cancellation is implicit — fired tokens that no longer
+//! name a live connection (or whose condition re-check fails) are
+//! ignored, which keeps the wheel free of per-entry bookkeeping.
+
+use std::time::{Duration, Instant};
+
+struct Entry {
+    token: u64,
+    rounds: u64,
+}
+
+/// A hashed timer wheel over `u64` tokens.
+pub struct TimerWheel {
+    granularity: Duration,
+    slots: Vec<Vec<Entry>>,
+    /// Ticks fully processed since `epoch`.
+    last_tick: u64,
+    epoch: Instant,
+}
+
+impl TimerWheel {
+    /// Creates a wheel with `slots` buckets of `granularity` each; `now`
+    /// anchors the wheel's clock.
+    ///
+    /// # Panics
+    /// If `granularity` is zero or `slots < 2`.
+    #[must_use]
+    pub fn new(granularity: Duration, slots: usize, now: Instant) -> TimerWheel {
+        assert!(granularity > Duration::ZERO, "zero timer granularity");
+        assert!(slots >= 2, "timer wheel needs at least 2 slots");
+        TimerWheel {
+            granularity,
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            last_tick: 0,
+            epoch: now,
+        }
+    }
+
+    /// Schedules `token` to fire roughly `after` from now (rounded up
+    /// to the wheel granularity, minimum one tick).
+    pub fn schedule(&mut self, token: u64, after: Duration) {
+        let gran = self.granularity.as_nanos().max(1);
+        let ticks = u64::try_from(after.as_nanos().div_ceil(gran))
+            .unwrap_or(u64::MAX)
+            .max(1);
+        let len = self.slots.len() as u64;
+        let slot = ((self.last_tick + ticks) % len) as usize;
+        self.slots[slot].push(Entry {
+            token,
+            rounds: (ticks - 1) / len,
+        });
+    }
+
+    /// Advances the wheel to `now`, pushing every due token onto `due`
+    /// (which is not cleared). Tokens fire at most once per schedule.
+    pub fn advance(&mut self, now: Instant, due: &mut Vec<u64>) {
+        let gran = self.granularity.as_nanos().max(1);
+        let target =
+            u64::try_from(now.duration_since(self.epoch).as_nanos() / gran).unwrap_or(u64::MAX);
+        let len = self.slots.len() as u64;
+        while self.last_tick < target {
+            self.last_tick += 1;
+            let slot = (self.last_tick % len) as usize;
+            self.slots[slot].retain_mut(|entry| {
+                if entry.rounds == 0 {
+                    due.push(entry.token);
+                    false
+                } else {
+                    entry.rounds -= 1;
+                    true
+                }
+            });
+        }
+    }
+
+    /// The next instant by which [`advance`](TimerWheel::advance) should
+    /// run again, or `None` when nothing is scheduled.
+    #[must_use]
+    pub fn next_due(&self) -> Option<Instant> {
+        if self.slots.iter().all(Vec::is_empty) {
+            return None;
+        }
+        // Coarse: one tick ahead. The event loop's poll timeout is on
+        // the same order as the granularity, so a precise scan of the
+        // ring buys nothing.
+        Some(self.epoch + self.granularity * u32::try_from(self.last_tick + 1).unwrap_or(u32::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GRAN: Duration = Duration::from_millis(10);
+
+    #[test]
+    fn fires_after_the_scheduled_delay() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(GRAN, 8, t0);
+        wheel.schedule(1, Duration::from_millis(25));
+        let mut due = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(20), &mut due);
+        assert!(due.is_empty(), "not due yet");
+        wheel.advance(t0 + Duration::from_millis(40), &mut due);
+        assert_eq!(due, vec![1]);
+        due.clear();
+        wheel.advance(t0 + Duration::from_millis(200), &mut due);
+        assert!(due.is_empty(), "fires only once");
+    }
+
+    #[test]
+    fn deadlines_beyond_one_revolution_ride_the_rounds_counter() {
+        let t0 = Instant::now();
+        // 8 slots x 10ms = one 80ms revolution; 250ms needs 3 laps.
+        let mut wheel = TimerWheel::new(GRAN, 8, t0);
+        wheel.schedule(7, Duration::from_millis(250));
+        let mut due = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(240), &mut due);
+        assert!(due.is_empty(), "still riding rounds");
+        wheel.advance(t0 + Duration::from_millis(260), &mut due);
+        assert_eq!(due, vec![7]);
+    }
+
+    #[test]
+    fn many_tokens_in_one_slot_all_fire() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(GRAN, 4, t0);
+        for token in 0..32 {
+            wheel.schedule(token, Duration::from_millis(15));
+        }
+        let mut due = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(30), &mut due);
+        due.sort_unstable();
+        assert_eq!(due, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_delay_rounds_up_to_one_tick() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(GRAN, 4, t0);
+        wheel.schedule(3, Duration::ZERO);
+        let mut due = Vec::new();
+        wheel.advance(t0 + GRAN, &mut due);
+        assert_eq!(due, vec![3]);
+    }
+
+    #[test]
+    fn next_due_tracks_pending_work() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(GRAN, 4, t0);
+        assert!(wheel.next_due().is_none());
+        wheel.schedule(1, Duration::from_millis(5));
+        assert!(wheel.next_due().is_some());
+        let mut due = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(50), &mut due);
+        assert_eq!(due, vec![1]);
+        assert!(wheel.next_due().is_none());
+    }
+}

@@ -1,7 +1,18 @@
-//! A resilient blocking client for the line-JSON protocol.
+//! A resilient blocking client for both wire protocols.
 //!
-//! One TCP connection, one request line out, one response line back —
-//! now with explicit connect/read/write timeouts, typed errors
+//! One TCP connection, one request out, one response back — over either
+//! line-delimited JSON (the default) or the length-prefixed binary
+//! framing (see [`mwsj_net::frame`]), selected by [`Proto`]. With
+//! [`Proto::Auto`] the first request doubles as the probe: it goes out
+//! as a binary frame tailed with a newline, and a server that answers
+//! in line JSON (one pinned to the line protocol) makes the client
+//! reconnect and resend on line JSON — every later request sticks with
+//! the negotiated mode. Retries, deadlines and hedging are all
+//! protocol-agnostic: [`Client::request_idempotent`] and
+//! [`Client::request_hedged`] ride on the same codec as
+//! [`Client::request`].
+//!
+//! Also here: explicit connect/read/write timeouts, typed errors
 //! ([`ClientError::TimedOut`] instead of a raw `WouldBlock`), opt-in
 //! deadline-aware retries with deterministic jittered exponential
 //! backoff ([`Client::request_idempotent`]), and an opt-in hedged second
@@ -12,10 +23,13 @@
 //! idempotent (the protocol's queries are — results are deterministic
 //! and cached — but the choice stays with the caller).
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+use mwsj_net::frame::encode_frame;
+use mwsj_net::FRAME_MAGIC;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -63,6 +77,22 @@ impl ClientError {
     }
 }
 
+/// Which wire protocol the client speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Proto {
+    /// Line-delimited JSON — the original protocol; every server
+    /// accepts it, so it is the default.
+    #[default]
+    Line,
+    /// Length-prefixed binary frames, unconditionally. Against a server
+    /// pinned to the line protocol this times out — prefer
+    /// [`Proto::Auto`] unless the fleet is known-binary.
+    Binary,
+    /// Negotiate: probe with a newline-tailed binary frame on the first
+    /// request and fall back to line JSON if the server answers in it.
+    Auto,
+}
+
 /// Client-side resilience knobs.
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
@@ -86,6 +116,8 @@ pub struct ClientConfig {
     pub hedge: Option<Duration>,
     /// Seed for the jitter stream, so retry timing is reproducible.
     pub seed: u64,
+    /// The wire protocol to speak (or negotiate, with [`Proto::Auto`]).
+    pub proto: Proto,
 }
 
 impl Default for ClientConfig {
@@ -99,6 +131,7 @@ impl Default for ClientConfig {
             total_deadline: None,
             hedge: None,
             seed: 0,
+            proto: Proto::default(),
         }
     }
 }
@@ -139,6 +172,13 @@ impl ClientConfig {
         self.seed = seed;
         self
     }
+
+    /// Selects the wire protocol (or [`Proto::Auto`] negotiation).
+    #[must_use]
+    pub fn with_proto(mut self, proto: Proto) -> Self {
+        self.proto = proto;
+        self
+    }
 }
 
 /// A connected protocol client.
@@ -148,6 +188,10 @@ pub struct Client {
     config: ClientConfig,
     stream: TcpStream,
     reader: BufReader<TcpStream>,
+    /// The mode this connection speaks. [`Proto::Auto`] means "not yet
+    /// negotiated" — the first request settles it to `Line` or `Binary`,
+    /// and a reconnect resets it to the configured value.
+    mode: Proto,
     /// xorshift state for backoff jitter (derived from the seed).
     rng: u64,
 }
@@ -173,11 +217,13 @@ impl Client {
         if rng == 0 {
             rng = 1;
         }
+        let mode = config.proto;
         Ok(Client {
             addr: addr.to_string(),
             config,
             stream,
             reader,
+            mode,
             rng,
         })
     }
@@ -222,14 +268,28 @@ impl Client {
         Ok((stream, reader))
     }
 
-    /// Sends one request line and reads one response line. No retries:
-    /// see [`Client::request_idempotent`] for the retrying variant.
+    /// Sends one request and reads one response, over whichever wire
+    /// mode this connection speaks (negotiating it first under
+    /// [`Proto::Auto`]). No retries: see [`Client::request_idempotent`]
+    /// for the retrying variant.
     ///
     /// # Errors
     /// [`ClientError::TimedOut`] when a read or write exceeds its
-    /// timeout, [`ClientError::Disconnected`] on EOF before a response,
-    /// otherwise the underlying I/O failure.
+    /// timeout, [`ClientError::Disconnected`] on EOF before a complete
+    /// response, otherwise the underlying I/O failure.
     pub fn request(&mut self, line: &str) -> Result<String, ClientError> {
+        match self.mode {
+            Proto::Line => self.request_over_line(line),
+            Proto::Binary => self.request_over_binary(line, false),
+            Proto::Auto => self.negotiate(line),
+        }
+    }
+
+    /// The line-JSON leg of the codec: request line out, response line
+    /// back. A response cut short before its terminating newline (a torn
+    /// write from a dying server) reports [`ClientError::Disconnected`],
+    /// never a truncated payload.
+    fn request_over_line(&mut self, line: &str) -> Result<String, ClientError> {
         self.stream
             .write_all(line.as_bytes())
             .map_err(|e| ClientError::from_io("write request", e))?;
@@ -246,10 +306,91 @@ impl Client {
             .reader
             .read_line(&mut response)
             .map_err(|e| ClientError::from_io("read response", e))?;
-        if n == 0 {
+        if n == 0 || !response.ends_with('\n') {
             return Err(ClientError::Disconnected);
         }
         Ok(response.trim_end().to_string())
+    }
+
+    /// The binary leg of the codec: one frame out (newline-tailed when
+    /// probing), one frame back.
+    fn request_over_binary(&mut self, line: &str, probe: bool) -> Result<String, ClientError> {
+        let mut wire = Vec::with_capacity(line.len() + 6);
+        encode_frame(line.trim_end().as_bytes(), &mut wire);
+        if probe {
+            wire.push(b'\n');
+        }
+        self.stream
+            .write_all(&wire)
+            .map_err(|e| ClientError::from_io("write request", e))?;
+        self.stream
+            .flush()
+            .map_err(|e| ClientError::from_io("write request", e))?;
+        let mut magic = [0u8; 1];
+        self.reader
+            .read_exact(&mut magic)
+            .map_err(|e| ClientError::from_io("read response", e))?;
+        if magic[0] != FRAME_MAGIC {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected a binary frame, got first byte 0x{:02x}", magic[0]),
+            )));
+        }
+        self.read_frame_body()
+    }
+
+    /// Reads a frame's length prefix and payload (the magic byte has
+    /// already been consumed).
+    fn read_frame_body(&mut self) -> Result<String, ClientError> {
+        let mut len_bytes = [0u8; 4];
+        self.reader
+            .read_exact(&mut len_bytes)
+            .map_err(|e| ClientError::from_io("read response", e))?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        let mut payload = vec![0u8; len];
+        self.reader
+            .read_exact(&mut payload)
+            .map_err(|e| ClientError::from_io("read response", e))?;
+        String::from_utf8(payload).map_err(|_| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "binary response payload is not UTF-8",
+            ))
+        })
+    }
+
+    /// [`Proto::Auto`]'s first request: a newline-tailed binary frame.
+    /// A binary-capable server answers with a frame (its first byte the
+    /// magic) and the connection settles on binary; a line-pinned server
+    /// reads the probe as one garbled line and answers a line-JSON
+    /// error, so the client reconnects on line JSON and resends.
+    fn negotiate(&mut self, line: &str) -> Result<String, ClientError> {
+        let mut wire = Vec::with_capacity(line.len() + 7);
+        encode_frame(line.trim_end().as_bytes(), &mut wire);
+        wire.push(b'\n');
+        self.stream
+            .write_all(&wire)
+            .map_err(|e| ClientError::from_io("write request", e))?;
+        self.stream
+            .flush()
+            .map_err(|e| ClientError::from_io("write request", e))?;
+        let mut magic = [0u8; 1];
+        self.reader
+            .read_exact(&mut magic)
+            .map_err(|e| ClientError::from_io("read response", e))?;
+        if magic[0] == FRAME_MAGIC {
+            self.mode = Proto::Binary;
+            return self.read_frame_body();
+        }
+        // Line-JSON first byte: the server is pinned to the line
+        // protocol and just answered an error for the garbled probe.
+        // Drop this connection (discarding that error) and resend the
+        // request over a fresh line-mode connection.
+        let (stream, reader) = Client::open(&self.addr, &self.config)?;
+        self.stream = stream;
+        self.reader = reader;
+        self.mode = Proto::Line;
+        self.request_over_line(line)
     }
 
     /// Sends an *idempotent* request, retrying with a fresh connection
@@ -297,10 +438,12 @@ impl Client {
             }
             // The failed connection may be wedged; replace it. A failed
             // reconnect leaves the dead socket in place, so the next
-            // attempt fails fast and consumes the next retry.
+            // attempt fails fast and consumes the next retry. The fresh
+            // connection renegotiates from the configured protocol.
             if let Ok((stream, reader)) = Client::open(&self.addr, &self.config) {
                 self.stream = stream;
                 self.reader = reader;
+                self.mode = self.config.proto;
             }
         }
     }
@@ -369,6 +512,107 @@ mod tests {
         let mut line = String::new();
         reader.read_line(&mut line).ok();
         line
+    }
+
+    #[test]
+    fn binary_proto_round_trips_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut header = [0u8; 5];
+            s.read_exact(&mut header).unwrap();
+            assert_eq!(header[0], FRAME_MAGIC);
+            let len = u32::from_le_bytes(header[1..5].try_into().unwrap()) as usize;
+            let mut payload = vec![0u8; len];
+            s.read_exact(&mut payload).unwrap();
+            assert_eq!(payload, b"{\"op\":\"stats\"}");
+            let mut out = Vec::new();
+            encode_frame(b"{\"ok\":true}", &mut out);
+            s.write_all(&out).unwrap();
+        });
+        let config = ClientConfig::default().with_proto(Proto::Binary);
+        let mut client = Client::with_config(&addr, config).unwrap();
+        let response = client.request("{\"op\":\"stats\"}").unwrap();
+        assert_eq!(response, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn auto_settles_on_binary_when_the_server_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Two framed requests on one connection: the newline-tailed
+            // probe, then a plain frame once binary is settled.
+            for tail in [1usize, 0] {
+                let mut header = [0u8; 5];
+                s.read_exact(&mut header).unwrap();
+                assert_eq!(header[0], FRAME_MAGIC);
+                let len = u32::from_le_bytes(header[1..5].try_into().unwrap()) as usize;
+                let mut payload = vec![0u8; len + tail];
+                s.read_exact(&mut payload).unwrap();
+                let mut out = Vec::new();
+                encode_frame(b"{\"ok\":true}", &mut out);
+                s.write_all(&out).unwrap();
+            }
+        });
+        let config = ClientConfig::default().with_proto(Proto::Auto);
+        let mut client = Client::with_config(&addr, config).unwrap();
+        assert_eq!(
+            client.request("{\"op\":\"stats\"}").unwrap(),
+            "{\"ok\":true}"
+        );
+        assert_eq!(client.mode, Proto::Binary);
+        assert_eq!(
+            client.request("{\"op\":\"stats\"}").unwrap(),
+            "{\"ok\":true}"
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn auto_falls_back_to_line_json() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // First connection: a line-pinned server reads the garbled
+            // probe as one line and answers a line-JSON error.
+            let (mut s, _) = listener.accept().unwrap();
+            read_request_line(&s);
+            s.write_all(b"{\"ok\":false,\"error\":\"bad_request\"}\n")
+                .unwrap();
+            // Second connection: the client resends over line JSON.
+            let (mut s, _) = listener.accept().unwrap();
+            let line = read_request_line(&s);
+            assert_eq!(line.trim_end(), "{\"op\":\"stats\"}");
+            s.write_all(b"{\"ok\":true}\n").unwrap();
+        });
+        let config = ClientConfig::default().with_proto(Proto::Auto);
+        let mut client = Client::with_config(&addr, config).unwrap();
+        assert_eq!(
+            client.request("{\"op\":\"stats\"}").unwrap(),
+            "{\"ok\":true}"
+        );
+        assert_eq!(client.mode, Proto::Line);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn torn_line_response_is_disconnected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            read_request_line(&s);
+            // A torn write: half a response, no newline, then the door.
+            s.write_all(b"{\"ok\":true,\"tuple_co").unwrap();
+        });
+        let mut client = Client::connect(&addr).unwrap();
+        let err = client.request("{\"op\":\"stats\"}").unwrap_err();
+        assert!(matches!(err, ClientError::Disconnected), "got {err:?}");
+        server.join().unwrap();
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! The readiness event loop of the serving tier.
+//!
+//! One thread owns every connection: a [`Poller`] (epoll on Linux)
+//! reports socket readiness, [`Connection`] state machines buffer and
+//! frame both directions, a [`TimerWheel`] paces idle eviction and
+//! injected-fault resumption, and a [`Sequencer`] per connection keeps
+//! pipelined responses in request order. Query execution itself still
+//! runs on worker threads — one per in-flight request — which report
+//! back through a completion queue and a cross-thread [`Waker`], so a
+//! slow join never stalls the thousands of other connections the loop
+//! is holding.
+//!
+//! Lifecycle rules (matching the blocking server this replaces):
+//!
+//! * A client that reaches EOF mid-run has its in-flight queries
+//!   cancelled; requests parsed *after* EOF run with a pre-cancelled
+//!   token, so cheap operations (`stats`, cache hits) still answer but
+//!   joins report `cancelled` instead of burning slots for a
+//!   half-closed peer.
+//! * Oversized or malformed requests get a typed `bad_request` response
+//!   — sequenced after any earlier pipelined responses — and the
+//!   connection closes once it flushes.
+//! * On shutdown the loop stops accepting, stops parsing new requests,
+//!   lets in-flight work finish until the drain deadline, then cancels
+//!   the stragglers through their tokens and exits once every
+//!   connection has flushed (with a hard backstop well past the
+//!   deadline).
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mwsj_core::mapreduce::CancelToken;
+use mwsj_net::poll::waker;
+use mwsj_net::{
+    Connection, FaultGate, FlushOutcome, Interest, Poller, ProtoError, ReadOutcome, Sequencer,
+    TimerWheel, Waker, WireMode,
+};
+
+use crate::protocol::{self, ErrorCode};
+use crate::{Inner, ProtoPolicy};
+
+/// Token of the listening socket.
+const LISTENER: u64 = 0;
+/// Token of the wake pipe's receive end.
+const WAKER: u64 = 1;
+/// First connection token.
+const FIRST_CONN: u64 = 2;
+/// Timer tokens with this bit set are stall-resume hints for the
+/// connection in the low bits; without it, idle-eviction checks.
+const STALL_BIT: u64 = 1 << 63;
+/// The poll tick: an upper bound on how stale the stop flag and drain
+/// deadline can get while the loop is otherwise idle.
+const TICK: Duration = Duration::from_millis(25);
+/// How long past the drain deadline the loop waits for cancelled
+/// stragglers to flush before force-exiting.
+const DRAIN_BACKSTOP: Duration = Duration::from_secs(30);
+
+/// A worker's finished response, routed back to its connection.
+struct Completion {
+    token: u64,
+    req: u64,
+    response: String,
+}
+
+struct ConnState {
+    conn: Connection,
+    seq: Sequencer,
+    /// Cancel tokens of requests dispatched but not yet completed.
+    inflight: HashMap<u64, CancelToken>,
+    /// Reading has stopped (protocol violation); close once flushed.
+    closing: bool,
+    /// What the poller is currently watching for this socket.
+    registered: Interest,
+    /// A write stall is waiting on its resume timer, not on readiness.
+    write_stalled: bool,
+}
+
+impl ConnState {
+    /// Everything answered and flushed — nothing left to do for this
+    /// connection but wait for more requests.
+    fn drained(&self) -> bool {
+        self.inflight.is_empty() && self.seq.drained() && !self.conn.wants_write()
+    }
+}
+
+/// Runs the event loop until shutdown completes. See module docs.
+pub(crate) fn run(listener: &TcpListener, inner: &Arc<Inner>) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    let (wake, mut wake_rx) = waker()?;
+    poller.register(listener, LISTENER, Interest::READ)?;
+    poller.register(&wake_rx, WAKER, Interest::READ)?;
+
+    let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut next_token = FIRST_CONN;
+    // The fault-plan connection index: increments per accepted
+    // connection, matching the blocking server's numbering so pinned
+    // chaos seeds exercise the same per-connection decision streams.
+    let mut conn_seq = 0u64;
+    let mut timers = TimerWheel::new(Duration::from_millis(10), 512, Instant::now());
+    let mut events = Vec::new();
+    let mut due: Vec<u64> = Vec::new();
+    let mut dirty: Vec<u64> = Vec::new();
+    let mut draining = false;
+    let mut drain_deadline = Instant::now();
+    let mut drain_cancelled = false;
+
+    loop {
+        let timeout = timers
+            .next_due()
+            .map_or(TICK, |at| at.saturating_duration_since(Instant::now()))
+            .min(TICK);
+        poller.wait(&mut events, timeout)?;
+        let now = Instant::now();
+
+        if !draining && inner.stopping() {
+            draining = true;
+            drain_deadline = now + inner.config.drain_deadline;
+            poller.deregister(listener).ok();
+        }
+
+        dirty.clear();
+        for ev in &events {
+            match ev.token {
+                LISTENER => {
+                    if !draining {
+                        accept_all(
+                            listener,
+                            &poller,
+                            inner,
+                            &mut conns,
+                            &mut next_token,
+                            &mut conn_seq,
+                            &mut timers,
+                            now,
+                        )?;
+                    }
+                }
+                WAKER => wake_rx.drain(),
+                token => {
+                    if conns.contains_key(&token) && !dirty.contains(&token) {
+                        dirty.push(token);
+                    }
+                }
+            }
+        }
+
+        timers.advance(now, &mut due);
+        for t in due.drain(..) {
+            let token = t & !STALL_BIT;
+            let Some(cs) = conns.get_mut(&token) else {
+                continue;
+            };
+            if t & STALL_BIT != 0 {
+                // Stall resumes are hints: clear the latch and re-drive;
+                // the connection re-checks its own resume clocks.
+                cs.write_stalled = false;
+                if !dirty.contains(&token) {
+                    dirty.push(token);
+                }
+            } else {
+                idle_check(inner, cs, &mut timers, token, now);
+            }
+        }
+
+        // Route finished responses through each connection's sequencer.
+        let batch: Vec<Completion> = {
+            let mut guard = completions.lock().expect("completions lock");
+            std::mem::take(&mut *guard)
+        };
+        for c in batch {
+            let Some(cs) = conns.get_mut(&c.token) else {
+                continue;
+            };
+            cs.inflight.remove(&c.req);
+            for payload in cs.seq.complete(c.req, c.response.into_bytes()) {
+                cs.conn.enqueue_response(&payload, now);
+            }
+            if !dirty.contains(&c.token) {
+                dirty.push(c.token);
+            }
+        }
+
+        for token in dirty.drain(..) {
+            if let Some(cs) = conns.get_mut(&token) {
+                drive(
+                    inner,
+                    &poller,
+                    &completions,
+                    &wake,
+                    cs,
+                    &mut timers,
+                    token,
+                    now,
+                    draining,
+                );
+            }
+        }
+
+        // Reap: dead connections, and violators that finished flushing.
+        conns.retain(|_, cs| {
+            let gone = cs.conn.is_dead() || (cs.closing && cs.drained());
+            if gone {
+                for tok in cs.inflight.values() {
+                    tok.cancel();
+                }
+                poller.deregister(cs.conn.socket()).ok();
+                cs.conn.kill();
+            }
+            !gone
+        });
+
+        if draining {
+            if !drain_cancelled && now >= drain_deadline {
+                for cs in conns.values() {
+                    for tok in cs.inflight.values() {
+                        tok.cancel();
+                    }
+                }
+                drain_cancelled = true;
+            }
+            conns.retain(|_, cs| {
+                if cs.drained() {
+                    poller.deregister(cs.conn.socket()).ok();
+                    cs.conn.kill();
+                    false
+                } else {
+                    true
+                }
+            });
+            if conns.is_empty() || now >= drain_deadline + DRAIN_BACKSTOP {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Accepts every pending connection (edge-free: loops to `WouldBlock`).
+#[allow(clippy::too_many_arguments)]
+fn accept_all(
+    listener: &TcpListener,
+    poller: &Poller,
+    inner: &Arc<Inner>,
+    conns: &mut HashMap<u64, ConnState>,
+    next_token: &mut u64,
+    conn_seq: &mut u64,
+    timers: &mut TimerWheel,
+    now: Instant,
+) -> std::io::Result<()> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let gate = FaultGate::new(inner.config.net_fault.clone(), *conn_seq);
+                *conn_seq += 1;
+                let Ok(mut conn) = Connection::new(stream, gate, now) else {
+                    continue;
+                };
+                if inner.config.proto == ProtoPolicy::LineOnly {
+                    conn.force_mode(WireMode::Line);
+                }
+                let token = *next_token;
+                *next_token += 1;
+                if poller
+                    .register(conn.socket(), token, Interest::READ)
+                    .is_err()
+                {
+                    continue;
+                }
+                timers.schedule(token, inner.config.idle_timeout);
+                conns.insert(
+                    token,
+                    ConnState {
+                        conn,
+                        seq: Sequencer::new(),
+                        inflight: HashMap::new(),
+                        closing: false,
+                        registered: Interest::READ,
+                        write_stalled: false,
+                    },
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The recurring idle check: evicts a connection that has made no
+/// progress for the idle timeout with nothing in flight (the slow-loris
+/// defence), otherwise re-arms the timer for the remaining window.
+fn idle_check(
+    inner: &Arc<Inner>,
+    cs: &mut ConnState,
+    timers: &mut TimerWheel,
+    token: u64,
+    now: Instant,
+) {
+    if cs.conn.is_dead() {
+        return;
+    }
+    let idle_for = now.saturating_duration_since(cs.conn.last_activity());
+    let timeout = inner.config.idle_timeout;
+    if cs.inflight.is_empty() && idle_for >= timeout {
+        if !cs.closing {
+            inner.stats.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        cs.conn.kill(); // reaped by the caller's sweep
+    } else {
+        timers.schedule(token, timeout.saturating_sub(idle_for).max(TICK));
+    }
+}
+
+/// Drives one connection: read, parse and dispatch pipelined requests,
+/// flush pending responses, and resync poller interest.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    inner: &Arc<Inner>,
+    poller: &Poller,
+    completions: &Arc<Mutex<Vec<Completion>>>,
+    wake: &Waker,
+    cs: &mut ConnState,
+    timers: &mut TimerWheel,
+    token: u64,
+    now: Instant,
+    draining: bool,
+) {
+    if cs.conn.is_dead() {
+        return;
+    }
+
+    if !cs.closing {
+        match cs.conn.fill(now) {
+            ReadOutcome::Open | ReadOutcome::Eof => {}
+            ReadOutcome::Stalled(resume) => {
+                timers.schedule(token | STALL_BIT, resume.saturating_duration_since(now));
+            }
+            ReadOutcome::Dead => {
+                for tok in cs.inflight.values() {
+                    tok.cancel();
+                }
+                return;
+            }
+        }
+    }
+
+    // Parse and dispatch every complete request in the buffer. During
+    // drain nothing new is dispatched — in-flight work finishes, the
+    // rest stays buffered until the connection closes.
+    while !cs.closing && !draining {
+        match cs.conn.next_request(inner.config.max_request_line) {
+            Ok(Some(payload)) => {
+                let text = String::from_utf8_lossy(&payload).into_owned();
+                if text.trim().is_empty() {
+                    continue;
+                }
+                let req = cs.seq.assign();
+                let cancel = CancelToken::new();
+                if cs.conn.peer_eof() {
+                    // Dispatched after EOF: answer cheap operations, but
+                    // never start a join for a half-closed peer.
+                    cancel.cancel();
+                }
+                cs.inflight.insert(req, cancel.clone());
+                let inner = Arc::clone(inner);
+                let completions = Arc::clone(completions);
+                let wake = wake.clone();
+                thread::spawn(move || {
+                    let response = crate::answer(&inner, &text, &cancel);
+                    completions
+                        .lock()
+                        .expect("completions lock")
+                        .push(Completion {
+                            token,
+                            req,
+                            response,
+                        });
+                    wake.wake();
+                });
+            }
+            Ok(None) => break,
+            Err(err) => {
+                let (message, evict) = match &err {
+                    ProtoError::Oversize { .. } => (
+                        match cs.conn.mode() {
+                            Some(WireMode::Binary) => {
+                                "request frame exceeds the configured maximum length"
+                            }
+                            _ => "request line exceeds the configured maximum length",
+                        },
+                        true,
+                    ),
+                    ProtoError::BadFrame(_) => ("malformed binary frame", false),
+                };
+                if evict {
+                    inner.stats.evicted.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                let response = protocol::error_response(ErrorCode::BadRequest, message);
+                let req = cs.seq.assign();
+                for payload in cs.seq.complete(req, response.into_bytes()) {
+                    cs.conn.enqueue_response(&payload, now);
+                }
+                cs.closing = true;
+            }
+        }
+    }
+
+    // A peer that half-closed mid-run gets its in-flight joins
+    // cancelled — their slots go back to the other tenants.
+    if cs.conn.peer_eof() {
+        for tok in cs.inflight.values() {
+            tok.cancel();
+        }
+    }
+
+    match cs.conn.flush(now) {
+        FlushOutcome::Flushed | FlushOutcome::Blocked => {}
+        FlushOutcome::Stalled(resume) => {
+            cs.write_stalled = true;
+            timers.schedule(token | STALL_BIT, resume.saturating_duration_since(now));
+        }
+        FlushOutcome::Dead => {
+            for tok in cs.inflight.values() {
+                tok.cancel();
+            }
+            return;
+        }
+    }
+
+    // An EOF'd connection with nothing left to answer or flush is done.
+    if cs.conn.peer_eof() && cs.drained() {
+        cs.conn.kill();
+        return;
+    }
+
+    let desired = Interest {
+        readable: !cs.closing && !cs.conn.peer_eof() && !cs.conn.read_stalled() && !draining,
+        writable: cs.conn.wants_write() && !cs.write_stalled,
+    };
+    if desired != cs.registered && poller.reregister(cs.conn.socket(), token, desired).is_ok() {
+        cs.registered = desired;
+    }
+}

@@ -1,13 +1,16 @@
 //! A concurrent query service for multi-way spatial joins.
 //!
 //! `mwsj-server` turns the library's [`Cluster`] into a long-running
-//! network service: a thread-per-connection TCP server speaking a
-//! line-delimited JSON protocol (see [`protocol`]), executing join
-//! queries concurrently on one shared engine whose fair-share slot
-//! scheduler arbitrates between them.
+//! network service: a single-threaded readiness event loop (the
+//! `event` module, built on [`mwsj_net`]'s epoll-backed poller) holds every
+//! connection, speaking either the line-delimited JSON protocol (see
+//! [`protocol`]) or a length-prefixed binary framing negotiated by the
+//! first byte of each connection — with full request pipelining in both.
+//! Queries execute on worker threads against one shared engine whose
+//! fair-share slot scheduler arbitrates between them.
 //!
-//! The service adds three layers the paper's batch experiments do not
-//! need but any deployment does:
+//! The service adds layers the paper's batch experiments do not need
+//! but any deployment does:
 //!
 //! * **Admission control** — at most `max_inflight` joins execute at
 //!   once with a bounded wait queue behind them; beyond that, requests
@@ -21,6 +24,11 @@
 //! * **Cancellation** — a client that disconnects mid-query has its run
 //!   cancelled at the next task boundary, releasing its slots to the
 //!   other tenants; deadlines propagate into the engine the same way.
+//! * **Sharded serving** — with [`ServerConfig::shards`] > 1, stored
+//!   map-side queries scatter across N engine shards, each owning a
+//!   disjoint seed-cell range of the dataset, and the gathered result
+//!   is byte-identical to a single-node run (see
+//!   [`mwsj_core::shards`]).
 //!
 //! ```text
 //! $ mwsj serve --addr 127.0.0.1:7878 --slots 8 --cache-bytes 16777216
@@ -33,18 +41,16 @@
 
 pub mod cache;
 pub mod client;
+mod event;
 pub mod json;
-pub mod netfault;
 pub mod protocol;
 pub mod signal;
 pub mod source;
 
 use std::collections::HashMap;
-use std::io::Write as _;
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
-use std::thread;
 use std::time::{Duration, Instant};
 
 use mwsj_core::mapreduce::{
@@ -55,10 +61,9 @@ use mwsj_geom::Rect;
 use mwsj_query::Query;
 
 use cache::{CacheKey, CachedResult, ResultCache};
-use netfault::FaultyStream;
 use protocol::{ErrorCode, ExplainRequest, QueryRequest, Request};
 
-pub use client::{Client, ClientConfig, ClientError};
+pub use client::{Client, ClientConfig, ClientError, Proto};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -97,6 +102,24 @@ pub struct ServerConfig {
     /// immediately instead of queueing — bounding tail latency while
     /// overloaded.
     pub brownout_window: Duration,
+    /// Engine shards for stored map-side queries: each shard owns a
+    /// disjoint seed-cell range and the front-end scatters/gathers.
+    /// 1 (the default) serves single-node.
+    pub shards: u32,
+    /// Per-connection wire-protocol negotiation policy.
+    pub proto: ProtoPolicy,
+}
+
+/// How the serving tier picks a wire protocol per connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtoPolicy {
+    /// Sniff the first byte: [`mwsj_net::FRAME_MAGIC`] selects the
+    /// length-prefixed binary framing, anything else line JSON.
+    #[default]
+    Auto,
+    /// Always line JSON, regardless of the first byte — for fleets that
+    /// must pin the wire format.
+    LineOnly,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +138,8 @@ impl Default for ServerConfig {
             max_request_line: 1 << 20,
             drain_deadline: Duration::from_secs(5),
             brownout_window: Duration::from_secs(2),
+            shards: 1,
+            proto: ProtoPolicy::Auto,
         }
     }
 }
@@ -191,6 +216,20 @@ impl ServerConfig {
     #[must_use]
     pub fn with_max_request_line(mut self, bytes: usize) -> Self {
         self.max_request_line = bytes.max(64);
+        self
+    }
+
+    /// Shards stored map-side queries across `shards` engine instances.
+    #[must_use]
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the wire-protocol negotiation policy.
+    #[must_use]
+    pub fn with_proto(mut self, proto: ProtoPolicy) -> Self {
+        self.proto = proto;
         self
     }
 }
@@ -287,12 +326,16 @@ struct Inner {
     admission: Admission,
     stats: ServiceStats,
     stop: AtomicBool,
-    /// Set once the drain deadline has passed: in-flight runs are
-    /// cancelled instead of being waited for.
-    cancel_inflight: AtomicBool,
     /// Brownout lease: while `Instant::now()` is before this, cache
     /// misses are shed without queueing.
     brownout_until: parking_lot::Mutex<Option<Instant>>,
+    /// One engine instance per shard (empty when `shards` == 1). Each
+    /// shard runs its seed-cell slice of stored map-side queries.
+    shard_clusters: Vec<Cluster>,
+    /// Range-scoped shard mounts of `store:` datasets, by path: element
+    /// `i` is the store opened with shard `i`'s seed-cell scope.
+    shard_mounts:
+        parking_lot::Mutex<HashMap<String, Arc<Vec<Arc<mwsj_core::store::StoredDataset>>>>>,
 }
 
 impl Inner {
@@ -358,6 +401,37 @@ impl Inner {
         map.insert(path.to_string(), entry.clone());
         Ok(entry)
     }
+
+    /// Mounts (or reuses) the per-shard range-scoped instances of a
+    /// stored dataset: the file is read once and opened `shards` times,
+    /// each open validating its own seed-cell scope (checksums still
+    /// cover every byte in every instance).
+    fn shard_stores(
+        &self,
+        path: &str,
+    ) -> Result<Arc<Vec<Arc<mwsj_core::store::StoredDataset>>>, String> {
+        let mut map = self.shard_mounts.lock();
+        if let Some(entry) = map.get(path) {
+            return Ok(Arc::clone(entry));
+        }
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("reading store `{path}` for shards: {e}"))?;
+        let ranges = mwsj_core::shards::seed_cell_ranges(
+            self.cluster.grid().num_cells(),
+            self.config.shards,
+        );
+        let mut scoped = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            let store = mwsj_core::store::StoredDataset::from_bytes_scoped(&bytes, range.clone())
+                .map_err(|e| {
+                format!("opening store `{path}` scoped to cells {range:?}: {e}")
+            })?;
+            scoped.push(Arc::new(store));
+        }
+        let entry = Arc::new(scoped);
+        map.insert(path.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
 }
 
 /// The TCP service. [`Server::bind`] it, then [`Server::run`] the accept
@@ -381,6 +455,23 @@ impl Server {
         engine.fault_plan = config.engine_faults.clone();
         let cluster =
             Cluster::new(ClusterConfig::for_space(space, space, config.grid).with_engine(engine));
+        // One engine instance per shard: the front-end scatters stored
+        // map-side queries across these and gathers the partials.
+        let shard_clusters: Vec<Cluster> = if config.shards > 1 {
+            let count =
+                mwsj_core::shards::seed_cell_ranges(cluster.grid().num_cells(), config.shards)
+                    .len();
+            (0..count)
+                .map(|_| {
+                    Cluster::new(
+                        ClusterConfig::for_space(space, space, config.grid)
+                            .with_engine(EngineConfig::default().with_slots(config.slots)),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let inner = Arc::new(Inner {
             cache: ResultCache::new(config.cache_bytes),
             datasets: parking_lot::Mutex::new(HashMap::new()),
@@ -388,8 +479,9 @@ impl Server {
             admission: Admission::new(config.max_inflight, config.max_queue),
             stats: ServiceStats::default(),
             stop: AtomicBool::new(false),
-            cancel_inflight: AtomicBool::new(false),
             brownout_until: parking_lot::Mutex::new(None),
+            shard_clusters,
+            shard_mounts: parking_lot::Mutex::new(HashMap::new()),
             cluster,
             config,
         });
@@ -404,174 +496,39 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop until shutdown is requested (a `shutdown`
+    /// Runs the event loop until shutdown is requested (a `shutdown`
     /// protocol op, or `SIGTERM`/`SIGINT` once
     /// [`signal::install_handlers`] is in place), then *drains*: no new
     /// connections are accepted, in-flight requests get up to
-    /// [`ServerConfig::drain_deadline`] to finish, and whatever is still
-    /// running afterwards is cancelled through the engine's cancellation
-    /// tokens before the connection threads are joined.
+    /// [`ServerConfig::drain_deadline`] to finish and flush, and
+    /// whatever is still running afterwards is cancelled through the
+    /// engine's cancellation tokens before the loop exits.
     ///
     /// # Errors
-    /// Propagates accept-loop I/O failures (not per-connection ones).
+    /// Propagates event-loop I/O failures (not per-connection ones).
     pub fn run(self) -> std::io::Result<()> {
-        self.listener.set_nonblocking(true)?;
-        let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
-        let mut conn_seq = 0u64;
-        while !self.inner.stopping() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let inner = Arc::clone(&self.inner);
-                    let conn = conn_seq;
-                    conn_seq += 1;
-                    connections.push(thread::spawn(move || {
-                        handle_connection(&inner, &stream, conn)
-                    }));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-            connections.retain(|h| !h.is_finished());
-        }
-        // Ordered drain: accepting has stopped; give in-flight requests
-        // until the drain deadline to answer...
-        let deadline = Instant::now() + self.inner.config.drain_deadline;
-        while connections.iter().any(|h| !h.is_finished()) && Instant::now() < deadline {
-            thread::sleep(Duration::from_millis(5));
-        }
-        // ...then cancel the stragglers (their clients get a typed
-        // `cancelled` response) and join every connection thread.
-        self.inner.cancel_inflight.store(true, Ordering::SeqCst);
-        for h in connections {
-            h.join().ok();
-        }
-        Ok(())
+        event::run(&self.listener, &self.inner)
     }
 }
 
-/// One connection: read request lines, answer each on its own line.
-///
-/// The socket is wrapped in a [`FaultyStream`] pair (transparent without
-/// a [`NetFaultPlan`]); two defences guard the read side: lines longer
-/// than [`ServerConfig::max_request_line`] are rejected and the
-/// connection closed, and a connection that makes no progress for
-/// [`ServerConfig::idle_timeout`] — idle, or trickling a request byte by
-/// byte — is evicted.
-fn handle_connection(inner: &Arc<Inner>, stream: &TcpStream, conn: u64) {
-    stream.set_nodelay(true).ok();
-    stream
-        .set_read_timeout(Some(Duration::from_millis(100)))
-        .ok();
-    let Ok((read_half, mut write_half)) =
-        FaultyStream::pair(stream, inner.config.net_fault.clone(), conn)
-    else {
-        return;
-    };
-    let mut reader = std::io::BufReader::new(read_half);
-    let mut line = String::new();
-    let mut last_progress = Instant::now();
-    let evict_oversized = |inner: &Arc<Inner>, write_half: &mut FaultyStream| {
-        inner.stats.evicted.fetch_add(1, Ordering::Relaxed);
-        let resp = protocol::error_response(
-            ErrorCode::BadRequest,
-            "request line exceeds the configured maximum length",
-        );
-        write_half.write_all(resp.as_bytes()).ok();
-        write_half.write_all(b"\n").ok();
-        write_half.flush().ok();
-    };
-    loop {
-        if inner.stopping() {
-            return;
-        }
-        use std::io::BufRead as _;
-        let before = line.len();
-        match reader.read_line(&mut line) {
-            Ok(0) => {
-                // EOF; a final unterminated line still gets an answer.
-                if !line.trim().is_empty() {
-                    serve_line(inner, stream, &mut write_half, &line);
-                }
-                return;
-            }
-            Ok(_) => {
-                if line.len() > inner.config.max_request_line {
-                    evict_oversized(inner, &mut write_half);
-                    return;
-                }
-                if !serve_line(inner, stream, &mut write_half, &line) {
-                    return;
-                }
-                line.clear();
-                last_progress = Instant::now();
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut
-                    || e.kind() == std::io::ErrorKind::Interrupted =>
-            {
-                // A partial line may have been buffered before the timeout.
-                if line.len() > inner.config.max_request_line {
-                    evict_oversized(inner, &mut write_half);
-                    return;
-                }
-                if line.len() > before {
-                    last_progress = Instant::now();
-                } else if last_progress.elapsed() > inner.config.idle_timeout {
-                    inner.stats.evicted.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
-            }
-            Err(_) => return,
-        }
-    }
-}
-
-/// Handles one request line; `false` ends the connection. Responses go
-/// through the fault-wrapped write half.
-fn serve_line(inner: &Arc<Inner>, stream: &TcpStream, w: &mut FaultyStream, line: &str) -> bool {
-    if line.trim().is_empty() {
-        return true;
-    }
-    let response = match protocol::parse_request(line) {
+/// Handles one request payload, returning the one-line JSON response.
+/// The event loop dispatches this on a worker thread with a cancel
+/// token it can fire if the client disconnects or the drain deadline
+/// passes mid-run.
+fn answer(inner: &Arc<Inner>, line: &str, cancel: &CancelToken) -> String {
+    match protocol::parse_request(line) {
         Err(msg) => {
             inner.stats.errors.fetch_add(1, Ordering::Relaxed);
-            Some(protocol::error_response(ErrorCode::BadRequest, &msg))
+            protocol::error_response(ErrorCode::BadRequest, &msg)
         }
-        Ok(Request::Stats) => Some(stats_response(inner)),
+        Ok(Request::Stats) => stats_response(inner),
         Ok(Request::Shutdown) => {
             inner.stop.store(true, Ordering::SeqCst);
-            Some("{\"ok\":true,\"stopping\":true}".to_string())
+            "{\"ok\":true,\"stopping\":true}".to_string()
         }
-        Ok(Request::Query(q)) => handle_query(inner, stream, q),
-        Ok(Request::Explain(e)) => Some(handle_explain(inner, &e)),
-    };
-    match response {
-        // No response means the client is gone.
-        None => false,
-        Some(r) => {
-            w.write_all(r.as_bytes()).is_ok() && w.write_all(b"\n").is_ok() && w.flush().is_ok()
-        }
+        Ok(Request::Query(q)) => handle_query(inner, q, cancel),
+        Ok(Request::Explain(e)) => handle_explain(inner, &e),
     }
-}
-
-/// Whether the peer has closed the connection (poll, non-destructive).
-fn peer_disconnected(stream: &TcpStream) -> bool {
-    if stream.set_nonblocking(true).is_err() {
-        return true;
-    }
-    let mut probe = [0u8; 1];
-    let gone = match stream.peek(&mut probe) {
-        Ok(0) => true,                                                 // orderly EOF
-        Ok(_) => false,                                                // pipelined data
-        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false, // idle but open
-        Err(_) => true,                                                // reset
-    };
-    stream.set_nonblocking(false).ok();
-    gone
 }
 
 /// A parsed and bound query: the canonical form, the datasets bound to
@@ -586,6 +543,10 @@ struct BoundQuery {
     /// `store:PATH` whose grid matches the service grid. Such queries
     /// run shuffle-free off the stores without materializing anything.
     stores: Option<(Vec<Arc<mwsj_core::store::StoredDataset>>, Duration)>,
+    /// The `store:` paths behind `stores` (canonical order; empty when
+    /// `stores` is unbound) — the scatter path re-mounts these with
+    /// per-shard seed-cell scopes.
+    store_paths: Vec<String>,
     fingerprints: Vec<u64>,
     combined_fingerprint: u64,
     /// Requester position i reads canonical position perm[i].
@@ -628,18 +589,22 @@ fn bind_query(
     let mut datasets: Vec<Arc<Vec<Rect>>> = Vec::new();
     let mut fingerprints: Vec<u64> = Vec::with_capacity(canonical_names.len());
     let mut stores = None;
+    let mut store_paths: Vec<String> = Vec::new();
     if specs.iter().all(|s| s.starts_with("store:")) {
         let mut mounted = Vec::with_capacity(specs.len());
+        let mut paths = Vec::with_capacity(specs.len());
         let mut open_wall = Duration::ZERO;
         for spec in &specs {
             let path = spec.strip_prefix("store:").expect("checked above");
             let (store, opened_in) = inner.mounted_store(path)?;
             open_wall += opened_in;
             mounted.push(store);
+            paths.push(path.to_string());
         }
         if mounted.iter().all(|s| s.grid() == inner.cluster.grid()) {
             fingerprints.extend(mounted.iter().map(|s| s.fingerprint()));
             stores = Some((mounted, open_wall));
+            store_paths = paths;
         }
     }
     if stores.is_none() {
@@ -670,6 +635,7 @@ fn bind_query(
         canonical,
         datasets,
         stores,
+        store_paths,
         fingerprints,
         combined_fingerprint,
         perm,
@@ -702,19 +668,21 @@ fn handle_explain(inner: &Arc<Inner>, e: &ExplainRequest) -> String {
     }
 }
 
-/// Executes a query request end to end. `None` means the client
-/// disconnected and no response should be written.
-fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Option<String> {
+/// Executes a query request end to end on the calling (worker) thread.
+/// The event loop owns `cancel`: it fires on client disconnect and at
+/// the drain deadline, and the run reports a typed `cancelled` error.
+fn handle_query(inner: &Arc<Inner>, q: QueryRequest, cancel: &CancelToken) -> String {
     let started = Instant::now();
     let fail = |code: ErrorCode, msg: &str| {
         inner.stats.errors.fetch_add(1, Ordering::Relaxed);
-        Some(protocol::error_response(code, msg))
+        protocol::error_response(code, msg)
     };
 
     let BoundQuery {
         canonical,
         datasets,
         stores,
+        store_paths,
         fingerprints,
         combined_fingerprint,
         perm,
@@ -760,13 +728,7 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
             .stats
             .served_from_cache
             .fetch_add(1, Ordering::Relaxed);
-        return Some(render_query_response(
-            true,
-            &hit,
-            &perm,
-            combined_fingerprint,
-            started.elapsed(),
-        ));
+        return render_query_response(true, &hit, &perm, combined_fingerprint, started.elapsed());
     }
 
     // Brownout: while the overload lease is live, misses are shed
@@ -776,10 +738,10 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
         inner.stats.shed.fetch_add(1, Ordering::Relaxed);
         inner.stats.brownout_sheds.fetch_add(1, Ordering::Relaxed);
         inner.note_overload();
-        return Some(protocol::error_response(
+        return protocol::error_response(
             ErrorCode::Overloaded,
             "service in brownout: cache misses are shed while overloaded",
-        ));
+        );
     }
 
     let _slot = match inner.admission.admit() {
@@ -787,25 +749,29 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
         Err(msg) => {
             inner.stats.shed.fetch_add(1, Ordering::Relaxed);
             inner.note_overload();
-            return Some(protocol::error_response(ErrorCode::Overloaded, &msg));
+            return protocol::error_response(ErrorCode::Overloaded, &msg);
         }
     };
 
-    let token = CancelToken::new();
-    let worker = {
-        let inner = Arc::clone(inner);
-        let token = token.clone();
-        let canonical = canonical.clone();
-        let datasets = datasets.clone();
-        let q = q.clone();
-        thread::spawn(move || -> Result<JoinOutput, JoinError> {
+    // The run itself — sharded scatter/gather for stored map-side
+    // queries on a sharded service, otherwise the single-node paths.
+    // `catch_unwind` preserves the old worker-thread isolation: an
+    // engine panic answers `join_failed` instead of killing the service.
+    let token = cancel.clone();
+    let sharded =
+        algorithm == Algorithm::MapSide && stores.is_some() && !inner.shard_clusters.is_empty();
+    let result: std::thread::Result<Result<JoinOutput, JoinError>> =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if sharded {
+                return run_sharded(inner, &canonical, &q, &store_paths, &token);
+            }
             if let Some((stores, open_wall)) = &stores {
                 let refs: Vec<&mwsj_core::store::StoredDataset> =
                     stores.iter().map(Arc::as_ref).collect();
                 let mut run = mwsj_core::StoredRun::new(&canonical, &refs)
                     .algorithm(algorithm)
                     .count_only(q.count_only)
-                    .cancel(token)
+                    .cancel(token.clone())
                     .priority(q.priority)
                     .share(q.share)
                     .open_wall(*open_wall);
@@ -818,7 +784,7 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
             let mut run = JoinRun::new(&canonical, &refs)
                 .algorithm(algorithm)
                 .count_only(q.count_only)
-                .cancel(token)
+                .cancel(token.clone())
                 .priority(q.priority)
                 .share(q.share)
                 .input_fingerprint(combined_fingerprint);
@@ -826,27 +792,9 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
                 run = run.deadline(Duration::from_millis(ms));
             }
             inner.cluster.submit(&run)
-        })
-    };
+        }));
 
-    // Babysit the run: a disconnected client's query is cancelled so its
-    // slots go back to the other tenants, and a drain deadline that
-    // expires mid-run cancels it so the client gets a typed `cancelled`
-    // response instead of a hung connection.
-    while !worker.is_finished() {
-        if inner.cancel_inflight.load(Ordering::SeqCst) {
-            token.cancel();
-        }
-        if peer_disconnected(stream) {
-            token.cancel();
-            worker.join().ok();
-            inner.stats.cancelled.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        thread::sleep(Duration::from_millis(2));
-    }
-
-    match worker.join() {
+    match result {
         Ok(Ok(output)) => {
             let value = CachedResult {
                 tuples: output.tuples,
@@ -856,13 +804,13 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
             };
             let cached = inner.cache.insert(key, value);
             inner.stats.queries.fetch_add(1, Ordering::Relaxed);
-            Some(render_query_response(
+            render_query_response(
                 false,
                 &cached,
                 &perm,
                 combined_fingerprint,
                 started.elapsed(),
-            ))
+            )
         }
         Ok(Err(JoinError::Job(e))) => {
             if let JobErrorKind::Cancelled { deadline_exceeded } = e.kind {
@@ -872,7 +820,7 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
                 } else {
                     ErrorCode::Cancelled
                 };
-                Some(protocol::error_response(code, &e.to_string()))
+                protocol::error_response(code, &e.to_string())
             } else {
                 fail(ErrorCode::JoinFailed, &e.to_string())
             }
@@ -883,6 +831,88 @@ fn handle_query(inner: &Arc<Inner>, stream: &TcpStream, q: QueryRequest) -> Opti
             "internal error: join worker panicked",
         ),
     }
+}
+
+/// Scatters a stored map-side query across the engine shards — each
+/// seeds only its own cell range off its range-scoped store mounts —
+/// and gathers the partials into the exact single-node [`JoinOutput`]
+/// (see [`mwsj_core::shards`]). The deadline is armed once here on the
+/// shared token; `submit_stored_partial` never arms its own.
+fn run_sharded(
+    inner: &Arc<Inner>,
+    canonical: &Query,
+    q: &QueryRequest,
+    store_paths: &[String],
+    cancel: &CancelToken,
+) -> Result<JoinOutput, JoinError> {
+    use mwsj_core::shards::{self, GatherSpec, ShardPartial};
+
+    if let Some(ms) = q.deadline_ms {
+        cancel.deadline_in(Duration::from_millis(ms));
+    }
+    // Mount the per-shard scoped instances: `mounts[rel][shard]`.
+    let mounts: Vec<Arc<Vec<Arc<mwsj_core::store::StoredDataset>>>> = store_paths
+        .iter()
+        .map(|path| inner.shard_stores(path))
+        .collect::<Result<_, String>>()
+        .map_err(|msg| {
+            JoinError::Job(mwsj_core::mapreduce::JobError {
+                job: "shard-mount".to_string(),
+                phase: mwsj_core::mapreduce::Phase::Map,
+                task: 0,
+                attempts: 1,
+                kind: JobErrorKind::AttemptsExhausted { last_error: msg },
+            })
+        })?;
+    let ranges = shards::seed_cell_ranges(inner.cluster.grid().num_cells(), inner.config.shards);
+    let open_wall = {
+        let map = inner.stores.lock();
+        store_paths
+            .iter()
+            .filter_map(|p| map.get(p).map(|(_, wall)| *wall))
+            .sum()
+    };
+
+    let t0 = Instant::now();
+    let mut partials: Vec<Result<ShardPartial, JoinError>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .enumerate()
+            .map(|(shard, range)| {
+                let mounts = &mounts;
+                let cluster = &inner.shard_clusters[shard];
+                let cancel = cancel.clone();
+                let range = range.clone();
+                scope.spawn(move || {
+                    let refs: Vec<&mwsj_core::store::StoredDataset> =
+                        mounts.iter().map(|m| m[shard].as_ref()).collect();
+                    let run = mwsj_core::StoredRun::new(canonical, &refs)
+                        .algorithm(Algorithm::MapSide)
+                        .count_only(q.count_only)
+                        .cancel(cancel)
+                        .priority(q.priority)
+                        .share(q.share);
+                    cluster.submit_stored_partial(&run, range)
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("shard worker panicked"));
+        }
+    });
+    let partials: Vec<ShardPartial> = partials.into_iter().collect::<Result<_, _>>()?;
+
+    let shard0: Vec<&mwsj_core::store::StoredDataset> =
+        mounts.iter().map(|m| m[0].as_ref()).collect();
+    let spec = GatherSpec {
+        record_total: shard0.iter().map(|s| s.record_count()).sum(),
+        count_only: q.count_only,
+        open_wall,
+        join_wall: t0.elapsed(),
+        input_fingerprint: shards::combined_fingerprint(&shard0),
+    };
+    Ok(shards::gather(partials, &spec))
 }
 
 /// Renders an `ok` query response, permuting the canonical-order tuples
@@ -941,7 +971,7 @@ fn stats_response(inner: &Inner) -> String {
     let c = inner.cache.stats();
     let sched = inner.cluster.engine().scheduler();
     format!(
-        "{{\"ok\":true,\"queries\":{},\"served_from_cache\":{},\"cancelled\":{},\"shed\":{},\"brownout_sheds\":{},\"evicted\":{},\"errors\":{},\"brownout\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"bytes\":{},\"entries\":{}}},\"slots\":{},\"slots_available\":{}}}",
+        "{{\"ok\":true,\"queries\":{},\"served_from_cache\":{},\"cancelled\":{},\"shed\":{},\"brownout_sheds\":{},\"evicted\":{},\"errors\":{},\"shards\":{},\"brownout\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"bytes\":{},\"entries\":{}}},\"slots\":{},\"slots_available\":{}}}",
         inner.stats.queries.load(Ordering::Relaxed),
         inner.stats.served_from_cache.load(Ordering::Relaxed),
         inner.stats.cancelled.load(Ordering::Relaxed),
@@ -949,6 +979,7 @@ fn stats_response(inner: &Inner) -> String {
         inner.stats.brownout_sheds.load(Ordering::Relaxed),
         inner.stats.evicted.load(Ordering::Relaxed),
         inner.stats.errors.load(Ordering::Relaxed),
+        inner.config.shards,
         inner.brownout_active(),
         c.hits,
         c.misses,

@@ -284,6 +284,17 @@ impl StoredDataset {
         Self::from_bytes(&fs::read(path)?)
     }
 
+    /// Reads and validates a stored dataset from `path`, restricting the
+    /// payload-permutation scan to `seed_cells` (see
+    /// [`StoredDataset::from_bytes_scoped`]).
+    ///
+    /// # Errors
+    /// Filesystem failures and every defect
+    /// [`StoredDataset::from_bytes_scoped`] detects.
+    pub fn open_scoped(path: &Path, seed_cells: std::ops::Range<u32>) -> Result<Self, StoreError> {
+        Self::from_bytes_scoped(&fs::read(path)?, seed_cells)
+    }
+
     /// Validates serialized bytes and takes ownership of the word arrays.
     ///
     /// # Errors
@@ -292,6 +303,39 @@ impl StoredDataset {
     /// are not a permutation of `0..record_count`, and any per-cell tree
     /// that [`PackedRTree::new`] rejects.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        Self::from_bytes_impl(bytes, None)
+    }
+
+    /// Like [`StoredDataset::from_bytes`], but restricts the O(records)
+    /// payload-permutation scan to the cells in `seed_cells`.
+    ///
+    /// This is the open a shard engine uses: it seeds joins only from
+    /// its own cell range, so only those cells' payload ids need the
+    /// full uniqueness scan. Every other integrity property still holds
+    /// globally — section checksums cover every byte, every cell tree
+    /// is structurally validated (probes traverse all of them), and a
+    /// contiguity check on the per-cell index ranges guarantees the
+    /// cells tile the entry/node arrays without gaps or overlap.
+    /// Out-of-scope payload *ids* are trusted (they are still
+    /// checksummed, just not cross-checked for global uniqueness), so
+    /// prefer [`StoredDataset::from_bytes`] when the open is not
+    /// range-scoped.
+    ///
+    /// # Errors
+    /// Everything [`StoredDataset::from_bytes`] rejects (minus
+    /// out-of-scope payload defects), plus a `seed_cells` range that
+    /// does not lie within the grid.
+    pub fn from_bytes_scoped(
+        bytes: &[u8],
+        seed_cells: std::ops::Range<u32>,
+    ) -> Result<Self, StoreError> {
+        Self::from_bytes_impl(bytes, Some(seed_cells))
+    }
+
+    fn from_bytes_impl(
+        bytes: &[u8],
+        scope: Option<std::ops::Range<u32>>,
+    ) -> Result<Self, StoreError> {
         if !bytes.len().is_multiple_of(8) {
             return Err(corrupt(format!(
                 "file size {} is not a whole number of words",
@@ -350,11 +394,26 @@ impl StoredDataset {
         if meta.len() != META_HEADER_WORDS + num_cells * META_CELL_WORDS {
             return Err(corrupt("META cell table has the wrong length"));
         }
+        if let Some(r) = &scope {
+            if r.start > r.end || r.end as usize > num_cells {
+                return Err(corrupt(format!(
+                    "seed cell range {}..{} does not lie within the {num_cells}-cell grid",
+                    r.start, r.end
+                )));
+            }
+        }
 
         let total_entries = entries.len() / ENTRY_WORDS;
         let total_nodes = nodes.len() / NODE_WORDS;
         let mut cells = Vec::with_capacity(num_cells);
         let mut seen = vec![false; total_entries];
+        // Running offsets for the contiguity check: the builder lays the
+        // cells' entry/node ranges out back to back, so the ranges must
+        // tile the arrays exactly — which is what lets a scoped open
+        // skip the per-payload scan for out-of-scope cells without
+        // giving up coverage or disjointness.
+        let mut next_entry = 0usize;
+        let mut next_node = 0usize;
         let as_range = |start: u64, count: u64, total: usize, what: &str, c: usize| {
             let start = usize::try_from(start).map_err(|_| corrupt("range overflow"))?;
             let count = usize::try_from(count).map_err(|_| corrupt("range overflow"))?;
@@ -385,19 +444,36 @@ impl StoredDataset {
                 node_count,
                 extent,
             };
+            if entry_start != next_entry || node_start != next_node {
+                return Err(corrupt(format!(
+                    "cell {c}: index ranges are not laid out contiguously"
+                )));
+            }
+            next_entry += entry_count;
+            next_node += node_count;
             // Validates word structure, node kinds, ranges and rectangles.
             let tree = cell_tree_of(&entries, &nodes, &cell)
                 .map_err(|e| corrupt(format!("cell {c}: {e}")))?;
-            for (_, id) in tree.iter() {
-                let id = id as usize;
-                if id as u64 >= record_count || seen[id] {
-                    return Err(corrupt(format!(
-                        "cell {c}: payload {id} is out of range or duplicated"
-                    )));
+            let in_scope = scope
+                .as_ref()
+                .is_none_or(|r| (c as u64) >= u64::from(r.start) && (c as u64) < u64::from(r.end));
+            if in_scope {
+                for (_, id) in tree.iter() {
+                    let id = id as usize;
+                    if id as u64 >= record_count || seen[id] {
+                        return Err(corrupt(format!(
+                            "cell {c}: payload {id} is out of range or duplicated"
+                        )));
+                    }
+                    seen[id] = true;
                 }
-                seen[id] = true;
             }
             cells.push(cell);
+        }
+        if next_entry != total_entries || next_node != total_nodes {
+            return Err(corrupt(
+                "cell index ranges do not cover the entry/node arrays",
+            ));
         }
         if total_entries as u64 != record_count {
             return Err(corrupt(format!(
@@ -610,6 +686,52 @@ mod tests {
             dfs.write("r", records);
             prop_assert_eq!(store.fingerprint(), dfs.fingerprint("r").unwrap().0);
         }
+    }
+
+    #[test]
+    fn scoped_open_matches_the_full_open() {
+        let grid = grid();
+        let rects = random_rects(400, 21);
+        let bytes = StoreBuilder::new(&grid).build(&rects).unwrap();
+        let full = StoredDataset::from_bytes(&bytes).unwrap();
+        let num_cells = grid.num_cells();
+        for range in [0..num_cells, 0..4, 4..11, 11..num_cells, 5..5] {
+            let scoped = StoredDataset::from_bytes_scoped(&bytes, range.clone()).unwrap();
+            assert_eq!(scoped.fingerprint(), full.fingerprint());
+            assert_eq!(scoped.record_count(), full.record_count());
+            assert_eq!(scoped.grid(), full.grid());
+            for cell in grid.cells() {
+                // Every cell tree — in scope or not — is identical to
+                // the full open's view; probes traverse all of them.
+                let a: Vec<_> = scoped.cell_tree(cell).iter().collect();
+                let b: Vec<_> = full.cell_tree(cell).iter().collect();
+                assert_eq!(a, b, "cell {cell:?} under scope {range:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scoped_open_still_verifies_every_checksum() {
+        let grid = grid();
+        let rects = random_rects(150, 23);
+        let bytes = StoreBuilder::new(&grid).build(&rects).unwrap();
+        // Corrupt a byte deep in the ENTRIES section: even when the
+        // damaged cell is outside the scope, the section checksum fires.
+        let mut bad = bytes.clone();
+        let at = bad.len() - 64;
+        bad[at] ^= 0x01;
+        assert!(StoredDataset::from_bytes_scoped(&bad, 0..1).is_err());
+    }
+
+    #[test]
+    fn scoped_range_must_lie_within_the_grid() {
+        let grid = grid();
+        let bytes = StoreBuilder::new(&grid)
+            .build(&random_rects(10, 29))
+            .unwrap();
+        let num_cells = grid.num_cells();
+        assert!(StoredDataset::from_bytes_scoped(&bytes, 0..num_cells + 1).is_err());
+        assert!(StoredDataset::from_bytes_scoped(&bytes, num_cells..num_cells).is_ok());
     }
 
     #[test]

@@ -464,3 +464,89 @@ fn oversized_lines_and_idle_connections_are_evicted() {
     );
     stop_resilient(&addr, h);
 }
+
+/// Pipelining under chaos: connections that batch several requests
+/// back-to-back through the fault injector either die (typed client
+/// error, torn line, EOF) or get responses that are byte-identical to
+/// the clean direct run — and always in request order. A response line
+/// that arrives complete but fails to parse, or parses to the wrong
+/// tuples, is a mismatch: corruption is inbound-only by design, so the
+/// server must never emit a garbled survivor.
+#[test]
+fn pipelined_chaos_survivors_stay_byte_identical() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+
+    let _guard = serial();
+    let (want_tuples, want_count) = direct("A ov B", &[A, B]);
+    assert!(want_count > 0);
+
+    let (addr, h) = start(
+        ServerConfig::default()
+            .with_slots(4)
+            .with_admission(8, 16)
+            .with_net_faults(NetFaultPlan::chaos(9091, 0.03)),
+    );
+
+    let line = query_line("A ov B", &[("A", A), ("B", B)], ",\"algorithm\":\"crep\"");
+    let survivors = AtomicUsize::new(0);
+    let mismatches = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for _conn in 0..6usize {
+            let addr = addr.clone();
+            let line = &line;
+            let want_tuples = &want_tuples;
+            let survivors = &survivors;
+            let mismatches = &mismatches;
+            scope.spawn(move || {
+                let Ok(mut stream) = std::net::TcpStream::connect(&addr) else {
+                    return; // casualty at connect
+                };
+                stream.set_nodelay(true).ok();
+                stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+                // The whole pipeline in one write, no reads in between.
+                let batch = format!("{line}\n").repeat(4);
+                if stream.write_all(batch.as_bytes()).is_err() {
+                    return; // casualty mid-send
+                }
+                let mut reader = BufReader::new(stream);
+                for _ in 0..4 {
+                    let mut text = String::new();
+                    match reader.read_line(&mut text) {
+                        Ok(0) | Err(_) => return,                 // EOF / timeout: casualty
+                        Ok(_) if !text.ends_with('\n') => return, // torn line
+                        Ok(_) => {}
+                    }
+                    let Ok(doc) = json::parse(text.trim_end()) else {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    };
+                    if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+                        // Typed error (a corrupted request byte, a shed):
+                        // a casualty for this slot, but later pipelined
+                        // responses may still arrive — keep reading.
+                        continue;
+                    }
+                    let count = doc.get("tuple_count").and_then(Json::as_f64);
+                    #[allow(clippy::cast_precision_loss)]
+                    let count_ok = count == Some(want_count as f64);
+                    if tuples_of(&doc) == *want_tuples && count_ok {
+                        survivors.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        mismatches.load(Ordering::Relaxed),
+        0,
+        "an intact pipelined response must match the clean direct run"
+    );
+    assert!(
+        survivors.load(Ordering::Relaxed) >= 1,
+        "a 3% fault rate across 6x4 pipelined requests must leave survivors"
+    );
+    stop_resilient(&addr, h);
+}
